@@ -1,0 +1,45 @@
+//! Embedding and detection throughput versus design size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use localwm_cdfg::generators::{layered, LayeredConfig};
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched-wm/embed");
+    group.sample_size(10);
+    for &ops in &[200usize, 800, 3200] {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: ((ops as f64).sqrt() * 1.2) as usize,
+            ..Default::default()
+        });
+        let wm = SchedulingWatermarker::new(SchedWmConfig::with_node_fraction(0.02));
+        let sig = Signature::from_author("bench");
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| wm.embed(&g, &sig).expect("embeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched-wm/detect");
+    group.sample_size(10);
+    for &ops in &[200usize, 800, 3200] {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: ((ops as f64).sqrt() * 1.2) as usize,
+            ..Default::default()
+        });
+        let wm = SchedulingWatermarker::new(SchedWmConfig::with_node_fraction(0.02));
+        let sig = Signature::from_author("bench");
+        let emb = wm.embed(&g, &sig).expect("embeds");
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| wm.detect(&emb.schedule, &g, &sig).expect("detects"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed, bench_detect);
+criterion_main!(benches);

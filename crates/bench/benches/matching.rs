@@ -1,0 +1,40 @@
+//! Template-matching enumeration and covering throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use localwm_cdfg::designs::{table2_design, table2_designs};
+use localwm_tmatch::{cover, find_matches, CoverConstraints, Library};
+
+fn bench_find_matches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tmatch/find-matches");
+    let lib = Library::dsp_default();
+    for desc in table2_designs().iter().take(7) {
+        let g = table2_design(desc);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(desc.name),
+            &g.op_count(),
+            |b, _| {
+                b.iter(|| find_matches(&g, &lib));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tmatch/cover");
+    let lib = Library::dsp_default();
+    for desc in table2_designs().iter().take(7) {
+        let g = table2_design(desc);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(desc.name),
+            &g.op_count(),
+            |b, _| {
+                b.iter(|| cover(&g, &lib, &CoverConstraints::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_find_matches, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Scheduler throughput: list vs. force-directed vs. ALAP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use localwm_cdfg::designs::{table2_design, table2_designs};
+use localwm_cdfg::generators::{layered, LayeredConfig};
+use localwm_sched::{alap_schedule, force_directed_schedule, list_schedule, OpClass, ResourceSet};
+use localwm_timing::UnitTiming;
+
+fn bench_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/list");
+    for &ops in &[500usize, 2000] {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: ((ops as f64).sqrt() * 1.2) as usize,
+            ..Default::default()
+        });
+        let rs = ResourceSet::unlimited()
+            .with(OpClass::Alu, 4)
+            .with(OpClass::Multiplier, 4)
+            .with(OpClass::Memory, 2)
+            .with(OpClass::Branch, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| list_schedule(&g, &rs, None).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/force-directed");
+    group.sample_size(10);
+    for desc in table2_designs().iter().take(4) {
+        let g = table2_design(desc);
+        let cp = UnitTiming::new(&g).critical_path();
+        group.bench_with_input(BenchmarkId::from_parameter(desc.name), &cp, |b, &cp| {
+            b.iter(|| force_directed_schedule(&g, 2 * cp).expect("schedules"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/alap");
+    let desc = table2_designs()[7]; // echo canceler
+    let g = table2_design(&desc);
+    let cp = UnitTiming::new(&g).critical_path();
+    group.sample_size(10);
+    group.bench_function("echo-canceler", |b| {
+        b.iter(|| alap_schedule(&g, 2 * cp).expect("schedules"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_list, bench_fds, bench_alap);
+criterion_main!(benches);

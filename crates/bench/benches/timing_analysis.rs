@@ -1,0 +1,72 @@
+//! Timing-analysis throughput: unit timing, incremental updates, and the
+//! bounded delay model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use localwm_cdfg::generators::{layered, LayeredConfig};
+use localwm_timing::{bounded_arrival, DynamicBounds, KindBounds, UnitTiming};
+
+fn graphs() -> Vec<(usize, localwm_cdfg::Cdfg)> {
+    [500usize, 2000, 8000]
+        .iter()
+        .map(|&ops| {
+            (
+                ops,
+                layered(&LayeredConfig {
+                    ops,
+                    layers: ((ops as f64).sqrt() * 1.2) as usize,
+                    ..Default::default()
+                }),
+            )
+        })
+        .collect()
+}
+
+fn bench_unit_timing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing/unit");
+    for (ops, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| UnitTiming::new(&g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing/incremental-edge");
+    for (ops, g) in graphs() {
+        let t0 = UnitTiming::new(&g);
+        // A slack pair to tie together.
+        let nodes: Vec<_> = g
+            .node_ids()
+            .filter(|&n| g.kind(n).is_schedulable())
+            .collect();
+        let (a, b2) = (nodes[ops / 3], nodes[2 * ops / 3]);
+        if g.reaches(a, b2) || g.reaches(b2, a) {
+            continue;
+        }
+        let mut gm = g.clone();
+        gm.add_temporal_edge(a, b2).expect("incomparable");
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |bch, _| {
+            bch.iter(|| {
+                let mut t = t0.clone();
+                t.add_edge_update(&gm, a, b2);
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing/bounded-delay");
+    let model = DynamicBounds::new(KindBounds::uniform(1, 3), 1);
+    for (ops, g) in graphs() {
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| bounded_arrival(&g, &model));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_timing, bench_incremental, bench_bounded);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates the paper's **tampering analysis** (§IV-A discussion).
+//!
+//! 1. The analytic model: for a 100 000-operation design carrying 100
+//!    temporal edges with `E[ψ_W/ψ_N] = ½`, how many pair-order
+//!    alterations must an attacker apply to push the proof of authorship
+//!    above one-in-a-million? (Paper: 31 729 ⇒ 63 % of the solution; our
+//!    model: 40 500 ⇒ 81 % — same conclusion, see EXPERIMENTS.md.)
+//! 2. A Monte-Carlo proof-decay curve on a real embedded watermark:
+//!    random legal schedule perturbations of growing size versus the
+//!    fraction of surviving constraints and the residual proof strength.
+//!
+//! Run with `cargo run --release -p localwm-bench --bin attack`.
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_core::attack::{alterations_to_defeat, perturb_schedule, reschedule};
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+
+fn main() {
+    println!("Attack analysis — erasing a local watermark\n");
+
+    // --- Analytic model --------------------------------------------------
+    let total_pairs = 50_000u64;
+    let marked = 100u64;
+    let needed = alterations_to_defeat(total_pairs, marked, 0.5, 1e-6);
+    println!(
+        "analytic: 100k-op design, {marked} marked pairs of {total_pairs}, \
+         E[psi]=1/2, target Pc 1e-6:"
+    );
+    println!(
+        "  alterations needed: {needed} = {:.0}% of the solution \
+         (paper: 31 729 = 63%)\n",
+        100.0 * needed as f64 / total_pairs as f64
+    );
+
+    // --- Monte-Carlo proof decay ----------------------------------------
+    let app = mediabench_apps()[4]; // PGP, 1755 ops
+    let g = mediabench(&app, 0);
+    let wm = SchedulingWatermarker::new(SchedWmConfig::with_node_fraction(0.02));
+    let signature = Signature::from_author("attack-victim");
+    let emb = wm.embed(&g, &signature).expect("PGP-sized design embeds");
+    let k = emb.edges.len();
+    println!(
+        "Monte-Carlo: {} ({} ops), K = {k} temporal edges, schedule \
+         length {} of {} steps",
+        app.name,
+        app.ops,
+        emb.schedule.length(),
+        emb.available_steps
+    );
+
+    let mut rows = Vec::new();
+    for moves in [0usize, 25, 100, 400, 1600, 6400, 25_600] {
+        // Average over a few attack seeds.
+        let mut surv = 0.0;
+        let mut digits = 0.0;
+        const SEEDS: u64 = 5;
+        for seed in 0..SEEDS {
+            let (p, _) = perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, seed);
+            let ev = wm.detect(&p, &g, &signature).expect("detection runs");
+            surv += ev.satisfied_fraction();
+            digits += ev.satisfied_fraction() * -ev.log10_pc;
+        }
+        surv /= SEEDS as f64;
+        digits /= SEEDS as f64;
+        rows.push(vec![
+            moves.to_string(),
+            format!("{:.1}%", 100.0 * surv),
+            format!("{digits:.1}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["random moves", "constraints surviving", "residual proof digits"],
+            &rows
+        )
+    );
+
+    // --- Full re-synthesis attack ----------------------------------------
+    let fresh = reschedule(&g, 99).expect("rescheduling succeeds");
+    let ev = wm.detect(&fresh, &g, &signature).expect("detection runs");
+    println!(
+        "full re-synthesis from the stripped spec: {:.1}% of constraints \
+         coincide (expected ~50% noise floor), is_match = {}",
+        100.0 * ev.satisfied_fraction(),
+        ev.is_match()
+    );
+    println!(
+        "\nShape check: the proof decays smoothly with tampering effort; \n\
+         erasing it outright costs a redesign-scale perturbation."
+    );
+}

@@ -1,0 +1,69 @@
+//! Demonstrates the paper's §III claim that local watermarking is a
+//! *generic* combinatorial-optimization IPP paradigm, on its own
+//! illustrating example: graph coloring ("a local watermark is embedded in
+//! a random subgraph").
+//!
+//! For a sweep of random graphs: embed signature-selected must-differ
+//! constraints in BFS localities, then report color overhead, detection
+//! strength, and the chance a plain coloring satisfies the constraints.
+//!
+//! Run with `cargo run --release -p localwm-bench --bin coloring`.
+
+use localwm_bench::report::render_table;
+use localwm_coloring::{greedy_coloring, ColoringConfig, ColoringWatermarker, UGraph};
+use localwm_core::Signature;
+
+fn main() {
+    println!("Graph-coloring local watermarks (paper §III generalization)\n");
+    let wm = ColoringWatermarker::new(ColoringConfig::default());
+    let sig = Signature::from_author("coloring-bench");
+    let mut rows = Vec::new();
+    for (n, p) in [(200usize, 0.05f64), (400, 0.04), (800, 0.02), (1600, 0.01)] {
+        let g = UGraph::random(n, p, 77);
+        let plain = greedy_coloring(&g);
+        match wm.embed(&g, &sig) {
+            Ok(emb) => {
+                let ev = wm
+                    .detect(&emb.coloring, &g, &sig)
+                    .expect("derivation replays");
+                assert!(ev.is_match());
+                let miss = wm.detect(&plain, &g, &sig).expect("derivation replays");
+                rows.push(vec![
+                    format!("G({n}, {p})"),
+                    g.edge_count().to_string(),
+                    plain.color_count().to_string(),
+                    emb.coloring.color_count().to_string(),
+                    format!("10^{:.1}", ev.log10_pc),
+                    format!("{:.0}%", 100.0 * miss.satisfied_fraction()),
+                ]);
+            }
+            Err(e) => rows.push(vec![
+                format!("G({n}, {p})"),
+                g.edge_count().to_string(),
+                plain.color_count().to_string(),
+                format!("({e})"),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "graph",
+                "edges",
+                "colors plain",
+                "colors marked",
+                "Pc",
+                "plain chance hit rate",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Shape: 48 local constraints cost zero-to-two colors, verify with\n\
+         Pc well below 1, and an unconstrained coloring satisfies most but\n\
+         not all constraints — the generic paradigm transfers unchanged."
+    );
+}

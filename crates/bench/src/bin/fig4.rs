@@ -1,0 +1,87 @@
+//! Regenerates the paper's **Fig. 4** example: local watermarking of
+//! template-matching solutions on the fourth-order parallel IIR filter.
+//!
+//! * Enumerates all node-to-module matchings of the DSP library over the
+//!   filter (the `M` list of the Fig. 5 pseudocode).
+//! * Embeds a three-matching watermark (the paper isolates
+//!   `{(A5,A6), (A9,A7), (A8,C7)}`) and prints the enforced matchings and
+//!   their PPO sets.
+//! * Counts the number of ways each enforced pair can be covered — the
+//!   paper counts six ways for the pair `(A5, A6)` — and the resulting
+//!   `P_c ≈ Π Solutions(m_i)⁻¹`.
+//!
+//! Run with `cargo run --release -p localwm-bench --bin fig4`.
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_core::{Signature, TemplateWatermarker, TmatchWmConfig};
+use localwm_timing::UnitTiming;
+use localwm_tmatch::{count_cover_solutions, find_matches, Library};
+
+fn main() {
+    let g = iir4_parallel();
+    let lib = Library::dsp_default();
+    println!("Fig. 4 — template-matching watermark on the 4th-order IIR\n");
+
+    let matches = find_matches(&g, &lib);
+    println!(
+        "library: {} templates; matchings found in the filter: {}",
+        lib.len(),
+        matches.len()
+    );
+    let name = |n: localwm_cdfg::NodeId| -> String {
+        g.node(n)
+            .and_then(|x| x.name())
+            .map_or_else(|| n.to_string(), str::to_owned)
+    };
+    let mut rows = Vec::new();
+    for m in &matches {
+        let nodes: Vec<String> = m.nodes.iter().map(|&n| name(n)).collect();
+        let ways = count_cover_solutions(&g, &lib, m);
+        rows.push(vec![
+            lib.template(m.template).name().to_owned(),
+            nodes.join(", "),
+            ways.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["template", "covered nodes", "Solutions(m)"], &rows)
+    );
+    println!(
+        "(paper counts 6 ways of covering its example pair (A5, A6); the\n\
+         figure's exact wiring is not machine-readable, our reconstruction\n\
+         gives the counts above — same magnitude, same role in Pc.)\n"
+    );
+
+    // Embed a three-matching watermark like the paper's example.
+    let cp = UnitTiming::new(&g).critical_path();
+    let wm = TemplateWatermarker::new(TmatchWmConfig {
+        z: 3,
+        available_steps: 2 * cp,
+        ..TmatchWmConfig::default()
+    });
+    let signature = Signature::from_author("fig4-author");
+    let emb = wm.embed(&g, &signature).expect("iir4 hosts 3 matchings");
+    println!("enforced matchings for {signature}:");
+    for m in &emb.forced {
+        let nodes: Vec<String> = m.nodes.iter().map(|&n| name(n)).collect();
+        println!(
+            "  {} over ({})",
+            lib.template(m.template).name(),
+            nodes.join(", ")
+        );
+    }
+    let ppos: Vec<String> = emb.ppos.iter().map(|&n| name(n)).collect();
+    println!("pseudo-primary outputs: {}", ppos.join(", "));
+    let ev = wm
+        .detect(&emb.covering, &g, &signature)
+        .expect("detection re-derives");
+    assert!(ev.is_match());
+    println!(
+        "\ndetection: all {} matchings present; log10 Pc = {:.2} \
+         (paper's small-design range: -5 to -27 across Table II)",
+        ev.checks.len(),
+        ev.log10_pc
+    );
+}

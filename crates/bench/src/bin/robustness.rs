@@ -1,0 +1,95 @@
+//! Detection robustness: true-positive vs. false-positive behaviour of the
+//! tolerant (Poisson-binomial) verdict under increasing tampering.
+//!
+//! For a grid of tampering strengths, measure:
+//!
+//! * **TPR** — how often the true author's signature still attributes the
+//!   tampered schedule (over attack seeds);
+//! * **FPR** — how often any of a panel of impostor signatures attributes
+//!   it (should stay at zero for a sound verdict).
+//!
+//! This quantifies the claim behind local watermarks: erasing the mark
+//! requires redesign-scale perturbation, while false accusations stay
+//! impossible at the chosen significance.
+//!
+//! Run with `cargo run --release -p localwm-bench --bin robustness`.
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_core::attack::perturb_schedule;
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+
+const SIGNIFICANCE: f64 = 1e-6;
+const ATTACK_SEEDS: u64 = 6;
+const IMPOSTORS: usize = 4;
+
+fn main() {
+    let app = mediabench_apps()[5]; // GSM
+    let g = mediabench(&app, 0);
+    let wm = SchedulingWatermarker::new(SchedWmConfig {
+        k: 50,
+        ..SchedWmConfig::default()
+    });
+    let author = Signature::from_author("robustness-author");
+    let emb = wm.embed(&g, &author).expect("embeds");
+    println!(
+        "Detection robustness on {} ({} ops), K = {}, significance {SIGNIFICANCE:.0e}\n",
+        app.name,
+        app.ops,
+        emb.edges.len()
+    );
+
+    let impostors: Vec<Signature> = (0..IMPOSTORS)
+        .map(|i| Signature::from_author(&format!("robustness-impostor-{i}")))
+        .collect();
+
+    let mut rows = Vec::new();
+    for moves in [0usize, 100, 400, 1600, 6400, 25_600] {
+        let mut strict_tp = 0u32;
+        let mut tolerant_tp = 0u32;
+        let mut fp = 0u32;
+        let mut surv = 0.0;
+        for seed in 0..ATTACK_SEEDS {
+            let (tampered, _) =
+                perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, seed);
+            let ev = wm.detect(&tampered, &g, &author).expect("detects");
+            surv += ev.satisfied_fraction();
+            strict_tp += u32::from(ev.is_match());
+            tolerant_tp += u32::from(ev.is_match_with_tolerance(SIGNIFICANCE));
+            for imp in &impostors {
+                let wrong = wm.detect(&tampered, &g, imp).expect("detects");
+                fp += u32::from(wrong.is_match_with_tolerance(SIGNIFICANCE));
+            }
+        }
+        let total = ATTACK_SEEDS as f64;
+        rows.push(vec![
+            moves.to_string(),
+            format!("{:.0}%", 100.0 * surv / total),
+            format!("{:.0}%", 100.0 * f64::from(strict_tp) / total),
+            format!("{:.0}%", 100.0 * f64::from(tolerant_tp) / total),
+            format!(
+                "{:.0}%",
+                100.0 * f64::from(fp) / (total * IMPOSTORS as f64)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "attack moves",
+                "constraints surviving",
+                "strict TPR",
+                "tolerant TPR",
+                "FPR",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Shape: the strict verdict dies with the first violated constraint;\n\
+         the tolerant verdict holds until the mark decays toward the chance\n\
+         floor, with a false-positive rate pinned at zero by the 1e-6\n\
+         significance bound."
+    );
+}

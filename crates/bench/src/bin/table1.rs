@@ -1,0 +1,101 @@
+//! Regenerates the paper's **Table I**: efficiency of local watermarking
+//! applied to operation scheduling on eight MediaBench applications.
+//!
+//! For each application and each constrained-node fraction (2 % and 5 %):
+//! embed a scheduling watermark (`K = fraction·N` temporal edges,
+//! `τ = 5K`), estimate the coincidence probability `P_c`, realize the
+//! edges as unit operations, and measure the execution-time overhead on the
+//! paper's 4-issue VLIW machine.
+//!
+//! Run with `cargo run --release -p localwm-bench --bin table1`.
+
+use localwm_bench::report::{format_pc, render_table};
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+use localwm_vliw::{overhead_percent, Machine};
+
+/// Paper's published values: (name, log10 Pc @2%, OH% @2%, log10 Pc @5%, OH% @5%).
+const PAPER: [(&str, f64, f64, f64, f64); 8] = [
+    ("D/A Cnv.", -26.0, 0.5, -53.0, 1.5),
+    ("G721", -27.0, 0.7, -67.0, 1.7),
+    ("epic", -39.0, 0.6, -91.0, 2.4),
+    ("PEGWIT", -27.0, 0.2, -73.0, 1.1),
+    ("PGP", -89.0, 0.1, -283.0, 0.5),
+    ("GSM", -34.0, 0.3, -87.0, 1.4),
+    ("JPEG.c", -65.0, 0.0, -212.0, 0.2),
+    ("MPEG2.d", -58.0, 0.2, -185.0, 0.4),
+];
+
+fn run_cell(
+    app: &localwm_cdfg::generators::MediabenchApp,
+    fraction: f64,
+    signature: &Signature,
+) -> Result<(f64, f64), localwm_core::WatermarkError> {
+    let g = mediabench(app, 0);
+    let wm = SchedulingWatermarker::new(SchedWmConfig::with_node_fraction(fraction));
+    let emb = wm.embed(&g, signature)?;
+    let evidence = wm.detect(&emb.schedule, &g, signature)?;
+    assert!(evidence.is_match(), "embedded mark must verify");
+    let realized = SchedulingWatermarker::realize_as_unit_ops(&g, &emb.edges);
+    let perf = overhead_percent(&g, &realized, &Machine::paper_default());
+    Ok((evidence.log10_pc, perf.overhead_percent()))
+}
+
+fn main() {
+    let signature = Signature::from_author("table1-author <ip@example.com>");
+    println!("Table I — operation-scheduling watermarks (ours vs. paper)\n");
+    let mut rows = Vec::new();
+    for (app, paper) in mediabench_apps().iter().zip(PAPER.iter()) {
+        assert_eq!(app.name, paper.0, "app order must match");
+        let two = run_cell(app, 0.02, &signature);
+        let five = run_cell(app, 0.05, &signature);
+        let fmt = |r: &Result<(f64, f64), _>, which: usize| -> (String, String) {
+            match r {
+                Ok((pc, oh)) => (format_pc(*pc), format!("{oh:.1}%")),
+                Err(e) => {
+                    eprintln!("warning: {} @{}%: {e}", app.name, which);
+                    ("n/a".into(), "n/a".into())
+                }
+            }
+        };
+        let (pc2, oh2) = fmt(&two, 2);
+        let (pc5, oh5) = fmt(&five, 5);
+        rows.push(vec![
+            app.name.to_owned(),
+            app.ops.to_string(),
+            pc2,
+            format_pc(paper.1),
+            oh2,
+            format!("{:.1}%", paper.2),
+            pc5,
+            format_pc(paper.3),
+            oh5,
+            format!("{:.1}%", paper.4),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Application",
+                "N",
+                "Pc 2% (ours)",
+                "Pc 2% (paper)",
+                "OH 2% (ours)",
+                "OH 2% (paper)",
+                "Pc 5% (ours)",
+                "Pc 5% (paper)",
+                "OH 5% (ours)",
+                "OH 5% (paper)",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Shape checks: Pc falls exponentially with K; larger apps give\n\
+         smaller Pc at a fixed fraction; overheads stay in the low percent\n\
+         range and grow with the constrained fraction. Absolute exponents\n\
+         differ from the paper's (different Pc estimator and substituted\n\
+         workload graphs) — see EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,110 @@
+//! Regenerates the paper's **Table II**: efficiency of local watermarking
+//! applied to template matching on eight DSP designs.
+//!
+//! Each design runs in two configurations: *tight* (available control
+//! steps = critical path) and *relaxed* (steps = 2 × critical path), with
+//! the published fraction of templates enforced. Reported: the module-count
+//! overhead of the watermarked covering+allocation versus the unconstrained
+//! one.
+//!
+//! Run with `cargo run --release -p localwm-bench --bin table2`.
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::designs::{table2_design, table2_designs};
+use localwm_core::{module_overhead, Signature, TemplateWatermarker, TmatchWmConfig};
+use localwm_timing::UnitTiming;
+
+/// Paper's published module-count overheads: (tight %, relaxed %).
+const PAPER_OH: [(f64, f64); 8] = [
+    (8.2, 3.3),
+    (11.1, 5.0),
+    (10.0, 3.3),
+    (8.7, 2.5),
+    (8.7, 6.0),
+    (9.0, 5.2),
+    (3.0, 0.4),
+    (1.0, 0.1),
+];
+
+/// Signatures averaged per cell: allocation deltas are single-module
+/// quanta, so one signature gives 0-or-N% outcomes; the mean over authors
+/// is the meaningful per-design overhead.
+const SIGNATURES: usize = 8;
+
+fn main() {
+    println!("Table II — template-matching watermarks (ours vs. paper)\n");
+    let mut rows = Vec::new();
+    for (desc, &(oh_tight_paper, oh_relaxed_paper)) in
+        table2_designs().iter().zip(PAPER_OH.iter())
+    {
+        let g = table2_design(desc);
+        let cp = UnitTiming::new(&g).critical_path();
+        assert_eq!(cp, desc.critical_path, "{}", desc.name);
+        for (steps, paper_oh) in [(cp, oh_tight_paper), (2 * cp, oh_relaxed_paper)] {
+            let wm = TemplateWatermarker::new(TmatchWmConfig {
+                z_fraction: Some(desc.enforced_pct / 100.0),
+                available_steps: steps,
+                ..TmatchWmConfig::default()
+            });
+            let mut oh_sum = 0.0;
+            let mut plain_last = 0;
+            let mut marked_sum = 0.0;
+            let mut ok_runs = 0usize;
+            for i in 0..SIGNATURES {
+                let signature = Signature::from_author(&format!("table2-author-{i}"));
+                match module_overhead(&g, &wm, &signature) {
+                    Ok((plain, marked, oh)) => {
+                        oh_sum += oh;
+                        plain_last = plain;
+                        marked_sum += marked as f64;
+                        ok_runs += 1;
+                    }
+                    Err(e) => eprintln!("warning: {} steps={steps} sig {i}: {e}", desc.name),
+                }
+            }
+            let cell = if ok_runs == 0 {
+                "n/a".to_owned()
+            } else {
+                format!(
+                    "{:.1}% ({}->{:.1})",
+                    oh_sum / ok_runs as f64,
+                    plain_last,
+                    marked_sum / ok_runs as f64
+                )
+            };
+            rows.push(vec![
+                desc.name.to_owned(),
+                steps.to_string(),
+                cp.to_string(),
+                g.variable_count().to_string(),
+                format!("{}%", desc.enforced_pct),
+                cell,
+                format!("{paper_oh}%"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Design",
+                "Steps",
+                "CP",
+                "Vars (ours)",
+                "% enforced",
+                "Module OH (ours)",
+                "Module OH (paper)",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Shape checks: overheads land in the paper's single-digit-to-teens\n\
+         percent range and the watermark never comes for free. The paper's\n\
+         tight-to-relaxed *reduction* reproduces only partially at our\n\
+         design sizes: fragmentation quanta (a new piece type needs at\n\
+         least one fixed-function unit regardless of slack) dominate the\n\
+         percentage once the relaxed baseline shrinks. EXPERIMENTS.md\n\
+         discusses the allocation-model substitution and this residual."
+    );
+}

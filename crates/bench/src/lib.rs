@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! One binary per experiment (see `DESIGN.md` §3 and `EXPERIMENTS.md`):
+//!
+//! * `table1` — operation-scheduling watermarks on the eight MediaBench
+//!   applications: coincidence probability and VLIW performance overhead
+//!   at 2 % and 5 % constrained nodes.
+//! * `table2` — template-matching watermarks on the eight DSP designs:
+//!   module-count overhead in tight and relaxed schedules.
+//! * `fig3` — exact schedule-space counts on the fourth-order parallel IIR
+//!   subtree (the paper's 166-vs-15 example) and the pairwise 77-vs-10
+//!   count.
+//! * `fig4` — the template-matching motivational example, including the
+//!   six ways of covering an enforced pair.
+//! * `attack` — the tampering analysis (analytic model plus Monte-Carlo
+//!   proof-decay curves).
+//!
+//! Criterion benches (`cargo bench`) measure embedding, detection,
+//! scheduling and matching throughput as design size scales.
+
+#![forbid(unsafe_code)]
+
+pub mod report;

@@ -1,0 +1,157 @@
+//! Fanin-cone analyses (criteria C2 and C3).
+
+use std::collections::VecDeque;
+
+use crate::{Cdfg, NodeId};
+
+/// Returns all nodes in the transitive fanin tree of `n` with (shortest)
+/// distance at most `max_dist` edges, *including `n` itself* at distance 0.
+///
+/// Nodes are returned in breadth-first order, ties broken by ascending node
+/// id — the deterministic enumeration the watermark embedding and detection
+/// sides must share.
+///
+/// ```
+/// use localwm_cdfg::{analysis::fanin_within, Cdfg, OpKind};
+/// let mut g = Cdfg::new();
+/// let a = g.add_node(OpKind::Input);
+/// let b = g.add_node(OpKind::Input);
+/// let s = g.add_node(OpKind::Add);
+/// g.add_data_edge(a, s)?;
+/// g.add_data_edge(b, s)?;
+/// assert_eq!(fanin_within(&g, s, 1), vec![s, a, b]);
+/// assert_eq!(fanin_within(&g, s, 0), vec![s]);
+/// # Ok::<(), localwm_cdfg::CdfgError>(())
+/// ```
+pub fn fanin_within(g: &Cdfg, n: NodeId, max_dist: u32) -> Vec<NodeId> {
+    bfs_within(g, n, max_dist, Direction::Fanin)
+}
+
+/// Returns all nodes in the transitive *fanout* tree of `n` with distance at
+/// most `max_dist`, including `n` itself. Breadth-first, id-ordered ties.
+pub fn fanout_within(g: &Cdfg, n: NodeId, max_dist: u32) -> Vec<NodeId> {
+    bfs_within(g, n, max_dist, Direction::Fanout)
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Fanin,
+    Fanout,
+}
+
+fn bfs_within(g: &Cdfg, n: NodeId, max_dist: u32, dir: Direction) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[n.index()] = true;
+    queue.push_back((n, 0u32));
+    while let Some((u, d)) = queue.pop_front() {
+        out.push(u);
+        if d == max_dist {
+            continue;
+        }
+        let mut next: Vec<NodeId> = match dir {
+            Direction::Fanin => g.preds(u).filter(|p| !seen[p.index()]).collect(),
+            Direction::Fanout => g.succs(u).filter(|s| !seen[s.index()]).collect(),
+        };
+        next.sort_unstable();
+        next.dedup();
+        for v in next {
+            seen[v.index()] = true;
+            queue.push_back((v, d + 1));
+        }
+    }
+    out
+}
+
+/// Criterion C2: `K_i(x)`, the number of nodes in the transitive fanin tree
+/// of `n` within max-distance `x` (excluding `n` itself, so that two nodes
+/// with disjoint cones compare by cone size).
+pub fn fanin_count(g: &Cdfg, n: NodeId, x: u32) -> usize {
+    fanin_within(g, n, x).len() - 1
+}
+
+/// Criterion C3: `φ(n, x) = Σ f(n_a)` over every node `n_a` in the fanin
+/// tree of `n` within max-distance `x` (including `n`), where `f` is the
+/// unique functionality identifier of
+/// [`OpKind::functionality_id`](crate::OpKind::functionality_id).
+pub fn phi(g: &Cdfg, n: NodeId, x: u32) -> u64 {
+    fanin_within(g, n, x)
+        .iter()
+        .map(|&m| u64::from(g.kind(m).functionality_id()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    /// a   b
+    ///  \ /
+    ///   s1   c
+    ///    \  /
+    ///     s2
+    fn tree() -> (Cdfg, [NodeId; 5]) {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let b = g.add_node(OpKind::Input);
+        let c = g.add_node(OpKind::Input);
+        let s1 = g.add_node(OpKind::Add);
+        let s2 = g.add_node(OpKind::Mul);
+        g.add_data_edge(a, s1).unwrap();
+        g.add_data_edge(b, s1).unwrap();
+        g.add_data_edge(s1, s2).unwrap();
+        g.add_data_edge(c, s2).unwrap();
+        (g, [a, b, c, s1, s2])
+    }
+
+    #[test]
+    fn fanin_respects_distance() {
+        let (g, [a, b, c, s1, s2]) = tree();
+        assert_eq!(fanin_within(&g, s2, 0), vec![s2]);
+        assert_eq!(fanin_within(&g, s2, 1), vec![s2, c, s1]);
+        assert_eq!(fanin_within(&g, s2, 2), vec![s2, c, s1, a, b]);
+        assert_eq!(fanin_within(&g, s1, 5), vec![s1, a, b]);
+    }
+
+    #[test]
+    fn fanin_count_excludes_self() {
+        let (g, [.., s2]) = tree();
+        assert_eq!(fanin_count(&g, s2, 0), 0);
+        assert_eq!(fanin_count(&g, s2, 1), 2);
+        assert_eq!(fanin_count(&g, s2, 2), 4);
+    }
+
+    #[test]
+    fn phi_sums_functionality_ids() {
+        let (g, [.., s1, s2]) = tree();
+        // s1 is Add (1), inputs are 0.
+        assert_eq!(phi(&g, s1, 1), 1);
+        // s2 is Mul (2); distance 1 adds c (0) and s1 (1).
+        assert_eq!(phi(&g, s2, 0), 2);
+        assert_eq!(phi(&g, s2, 1), 3);
+    }
+
+    #[test]
+    fn fanout_mirrors_fanin() {
+        let (g, [a, _, _, s1, s2]) = tree();
+        assert_eq!(fanout_within(&g, a, 1), vec![a, s1]);
+        assert_eq!(fanout_within(&g, a, 2), vec![a, s1, s2]);
+    }
+
+    #[test]
+    fn reconvergent_fanin_is_visited_once() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let x = g.add_node(OpKind::Not);
+        let y = g.add_node(OpKind::Neg);
+        let s = g.add_node(OpKind::Add);
+        g.add_data_edge(a, x).unwrap();
+        g.add_data_edge(a, y).unwrap();
+        g.add_data_edge(x, s).unwrap();
+        g.add_data_edge(y, s).unwrap();
+        assert_eq!(fanin_within(&g, s, 2), vec![s, x, y, a]);
+        assert_eq!(fanin_count(&g, s, 2), 3);
+    }
+}

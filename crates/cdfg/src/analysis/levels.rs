@@ -1,0 +1,160 @@
+//! Level (longest-path) analyses.
+
+use crate::{Cdfg, NodeId};
+
+/// Computes the paper's criterion-C1 *level* of every node with respect to a
+/// root `n_o`: `L_i` is the length (in edges) of the longest path from `n_o`
+/// to `n_i` traversed against edge direction — i.e. within `n_o`'s fanin
+/// cone. Nodes outside the fanin cone of `root` get `None`.
+///
+/// Runs in `O(V + E)` using a reverse-topological relaxation.
+///
+/// ```
+/// use localwm_cdfg::{analysis::levels_from, Cdfg, OpKind};
+/// let mut g = Cdfg::new();
+/// let a = g.add_node(OpKind::Input);
+/// let b = g.add_node(OpKind::Not);
+/// let c = g.add_node(OpKind::Output);
+/// g.add_data_edge(a, b)?;
+/// g.add_data_edge(b, c)?;
+/// let levels = levels_from(&g, c);
+/// assert_eq!(levels[a.index()], Some(2));
+/// assert_eq!(levels[b.index()], Some(1));
+/// assert_eq!(levels[c.index()], Some(0));
+/// # Ok::<(), localwm_cdfg::CdfgError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic; validate first with
+/// [`Cdfg::topo_order`](crate::Cdfg::topo_order).
+pub fn levels_from(g: &Cdfg, root: NodeId) -> Vec<Option<u32>> {
+    let order = g.topo_order().expect("levels_from requires a DAG");
+    let mut level: Vec<Option<u32>> = vec![None; g.node_count()];
+    level[root.index()] = Some(0);
+    // Walk in reverse topological order: when we visit u, the level of all
+    // of u's successors (closer to root) is final.
+    for &u in order.iter().rev() {
+        if u == root {
+            continue;
+        }
+        let mut best: Option<u32> = None;
+        for s in g.succs(u) {
+            if let Some(ls) = level[s.index()] {
+                best = Some(best.map_or(ls + 1, |b: u32| b.max(ls + 1)));
+            }
+        }
+        level[u.index()] = best;
+    }
+    level
+}
+
+/// Length, in *operations*, of the longest source-to-sink path through the
+/// graph — the paper's critical path `C` measured in control steps under the
+/// homogeneous (unit-delay) SDF model. Non-schedulable nodes (inputs,
+/// constants) contribute zero.
+///
+/// Returns 0 for an empty graph.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn longest_path_ops(g: &Cdfg) -> u32 {
+    let order = g.topo_order().expect("longest_path_ops requires a DAG");
+    let mut dist = vec![0u32; g.node_count()];
+    let mut best = 0;
+    for &u in &order {
+        let here = dist[u.index()] + u32::from(g.kind(u).is_schedulable());
+        best = best.max(here);
+        for v in g.succs(u) {
+            dist[v.index()] = dist[v.index()].max(here);
+        }
+    }
+    best
+}
+
+/// Per-node depth: the number of schedulable operations on the longest path
+/// *ending at* (and including) each node. `depth(n)` equals the earliest
+/// control step at which `n` can finish — its ASAP finish time.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn depth(g: &Cdfg) -> Vec<u32> {
+    let order = g.topo_order().expect("depth requires a DAG");
+    let mut dist = vec![0u32; g.node_count()];
+    for &u in &order {
+        let here = dist[u.index()] + u32::from(g.kind(u).is_schedulable());
+        dist[u.index()] = here;
+        for v in g.succs(u) {
+            dist[v.index()] = dist[v.index()].max(here);
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    /// in -> n1 -> n2 -> out, plus in -> n3 -> out
+    fn two_paths() -> (Cdfg, [NodeId; 5]) {
+        let mut g = Cdfg::new();
+        let i = g.add_node(OpKind::Input);
+        let n1 = g.add_node(OpKind::Not);
+        let n2 = g.add_node(OpKind::Neg);
+        let n3 = g.add_node(OpKind::Not);
+        let o = g.add_node(OpKind::Add);
+        g.add_data_edge(i, n1).unwrap();
+        g.add_data_edge(n1, n2).unwrap();
+        g.add_data_edge(i, n3).unwrap();
+        g.add_data_edge(n2, o).unwrap();
+        g.add_data_edge(n3, o).unwrap();
+        (g, [i, n1, n2, n3, o])
+    }
+
+    #[test]
+    fn levels_take_longest_path() {
+        let (g, [i, n1, n2, n3, o]) = two_paths();
+        let levels = levels_from(&g, o);
+        assert_eq!(levels[o.index()], Some(0));
+        assert_eq!(levels[n2.index()], Some(1));
+        assert_eq!(levels[n3.index()], Some(1));
+        assert_eq!(levels[n1.index()], Some(2));
+        // Input reachable via both paths; longest is through n1/n2.
+        assert_eq!(levels[i.index()], Some(3));
+    }
+
+    #[test]
+    fn levels_outside_cone_are_none() {
+        let (mut g, [_, n1, ..]) = two_paths();
+        let stray = g.add_node(OpKind::UnitOp);
+        let levels = levels_from(&g, n1);
+        assert_eq!(levels[stray.index()], None);
+    }
+
+    #[test]
+    fn critical_path_counts_operations() {
+        let (g, _) = two_paths();
+        // Longest chain of schedulable ops: n1, n2, o => 3 (input free).
+        assert_eq!(longest_path_ops(&g), 3);
+    }
+
+    #[test]
+    fn depth_is_asap_finish_time() {
+        let (g, [i, n1, n2, n3, o]) = two_paths();
+        let d = depth(&g);
+        assert_eq!(d[i.index()], 0);
+        assert_eq!(d[n1.index()], 1);
+        assert_eq!(d[n2.index()], 2);
+        assert_eq!(d[n3.index()], 1);
+        assert_eq!(d[o.index()], 3);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_critical_path() {
+        let g = Cdfg::new();
+        assert_eq!(longest_path_ops(&g), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Structural analyses used by domain selection and identification.
+//!
+//! The watermarking protocol sorts and selects nodes using three criteria
+//! (paper §IV-A):
+//!
+//! * **C1** — the *level* `L_i`: length of the longest path from the chosen
+//!   root `n_o` to `n_i` (traversed against edge direction, i.e. within the
+//!   fanin cone). See [`levels_from`].
+//! * **C2** — `K_i(x)`: the number of nodes in the transitive fanin tree of
+//!   `n_i` within max-distance `x`. See [`fanin_count`].
+//! * **C3** — `φ(n_i, x)`: the sum of functionality identifiers over that
+//!   same fanin tree. See [`phi`].
+
+mod fanin;
+mod levels;
+mod stats;
+
+pub use fanin::{fanin_count, fanin_within, fanout_within, phi};
+pub use levels::{depth, levels_from, longest_path_ops};
+pub use stats::{design_stats, DesignStats};

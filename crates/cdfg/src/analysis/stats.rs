@@ -1,0 +1,140 @@
+//! Design statistics: the structural profile watermark parameters are
+//! tuned against.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::{depth, longest_path_ops};
+use crate::{Cdfg, OpKind};
+
+/// A structural profile of a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Schedulable operation count (`N`).
+    pub ops: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Live edges.
+    pub edges: usize,
+    /// Critical path, in control steps.
+    pub critical_path: u32,
+    /// Operations per kind, sorted by mnemonic.
+    pub op_mix: BTreeMap<&'static str, usize>,
+    /// Histogram of ASAP depths: `depth_histogram[d]` = ops whose earliest
+    /// finish step is `d + 1`.
+    pub depth_histogram: Vec<usize>,
+    /// Average operations per control step at the tightest schedule
+    /// (`ops / critical_path`) — the design's intrinsic parallelism.
+    pub parallelism: f64,
+}
+
+impl DesignStats {
+    /// Renders the profile as a small report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ops {} | inputs {} | outputs {} | edges {} | critical path {} \
+             | parallelism {:.1}\n",
+            self.ops, self.inputs, self.outputs, self.edges, self.critical_path,
+            self.parallelism,
+        ));
+        out.push_str("op mix:");
+        for (k, v) in &self.op_mix {
+            out.push_str(&format!(" {k}:{v}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Profiles a design.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+///
+/// ```
+/// use localwm_cdfg::analysis::design_stats;
+/// use localwm_cdfg::designs::iir4_parallel;
+/// let stats = design_stats(&iir4_parallel());
+/// assert_eq!(stats.ops, 21);
+/// assert_eq!(stats.critical_path, 6);
+/// assert_eq!(stats.op_mix["add"], 9);
+/// assert_eq!(stats.op_mix["cmul"], 8);
+/// ```
+pub fn design_stats(g: &Cdfg) -> DesignStats {
+    let cp = longest_path_ops(g);
+    let d = depth(g);
+    let mut op_mix: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut inputs = 0;
+    let mut outputs = 0;
+    let mut ops = 0;
+    let mut depth_histogram = vec![0usize; cp as usize + 1];
+    for n in g.node_ids() {
+        let kind = g.kind(n);
+        match kind {
+            OpKind::Input => inputs += 1,
+            OpKind::Output => outputs += 1,
+            _ if kind.is_schedulable() => {
+                ops += 1;
+                *op_mix.entry(kind.mnemonic()).or_insert(0) += 1;
+                let bucket = (d[n.index()].saturating_sub(1)) as usize;
+                depth_histogram[bucket.min(cp.saturating_sub(1) as usize)] += 1;
+            }
+            _ => {}
+        }
+    }
+    DesignStats {
+        ops,
+        inputs,
+        outputs,
+        edges: g.edge_count(),
+        critical_path: cp,
+        op_mix,
+        depth_histogram,
+        parallelism: if cp == 0 { 0.0 } else { ops as f64 / f64::from(cp) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::iir4_parallel;
+    use crate::generators::{mediabench, mediabench_apps};
+
+    #[test]
+    fn iir4_profile() {
+        let s = design_stats(&iir4_parallel());
+        assert_eq!(s.ops, 21);
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.op_mix["delay"], 4);
+        assert_eq!(s.depth_histogram.iter().sum::<usize>(), 21);
+        assert!((s.parallelism - 3.5).abs() < 1e-12);
+        assert!(s.render().contains("critical path 6"));
+    }
+
+    #[test]
+    fn mediabench_profile_matches_mix_targets() {
+        let g = mediabench(&mediabench_apps()[1], 0);
+        let s = design_stats(&g);
+        assert_eq!(s.ops, 758);
+        // ~45% two-operand ALU of {add, sub, and, xor}.
+        let alu: usize = ["add", "sub", "and", "xor"]
+            .iter()
+            .map(|k| s.op_mix.get(k).copied().unwrap_or(0))
+            .sum();
+        let frac = alu as f64 / s.ops as f64;
+        assert!((0.3..0.6).contains(&frac), "alu fraction {frac}");
+        assert!(s.parallelism > 4.0, "media kernels are ILP-rich");
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let s = design_stats(&Cdfg::new());
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.critical_path, 0);
+        assert_eq!(s.parallelism, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fluent construction of CDFGs by name.
+
+use crate::{Cdfg, CdfgError, NodeId, OpKind};
+
+/// A convenience builder for constructing CDFGs with named nodes and
+/// name-based edges.
+///
+/// The builder is non-consuming; [`CdfgBuilder::build`] validates and
+/// returns the finished graph.
+///
+/// # Example
+///
+/// ```
+/// use localwm_cdfg::{CdfgBuilder, OpKind};
+///
+/// let g = CdfgBuilder::new()
+///     .node("x", OpKind::Input)
+///     .node("c", OpKind::Const)
+///     .node("m", OpKind::Mul)
+///     .node("y", OpKind::Output)
+///     .data("x", "m")
+///     .data("c", "m")
+///     .data("m", "y")
+///     .build()?;
+/// assert_eq!(g.node_count(), 4);
+/// # Ok::<(), localwm_cdfg::CdfgError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CdfgBuilder {
+    graph: Cdfg,
+    pending_errors: Vec<CdfgError>,
+}
+
+impl CdfgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a named node.
+    #[must_use]
+    pub fn node(mut self, name: &str, kind: OpKind) -> Self {
+        if let Err(e) = self.graph.try_add_named_node(kind, name) {
+            self.pending_errors.push(e);
+        }
+        self
+    }
+
+    fn resolve(&mut self, name: &str) -> Option<NodeId> {
+        match self.graph.node_by_name(name) {
+            Some(id) => Some(id),
+            None => {
+                self.pending_errors
+                    .push(CdfgError::UnknownName(name.to_owned()));
+                None
+            }
+        }
+    }
+
+    /// Adds a data edge between two named nodes.
+    #[must_use]
+    pub fn data(mut self, src: &str, dst: &str) -> Self {
+        if let (Some(s), Some(d)) = (self.resolve(src), self.resolve(dst)) {
+            if let Err(e) = self.graph.add_data_edge(s, d) {
+                self.pending_errors.push(e);
+            }
+        }
+        self
+    }
+
+    /// Adds a control edge between two named nodes.
+    #[must_use]
+    pub fn control(mut self, src: &str, dst: &str) -> Self {
+        if let (Some(s), Some(d)) = (self.resolve(src), self.resolve(dst)) {
+            if let Err(e) = self.graph.add_control_edge(s, d) {
+                self.pending_errors.push(e);
+            }
+        }
+        self
+    }
+
+    /// Adds a temporal edge between two named nodes.
+    #[must_use]
+    pub fn temporal(mut self, src: &str, dst: &str) -> Self {
+        if let (Some(s), Some(d)) = (self.resolve(src), self.resolve(dst)) {
+            if let Err(e) = self.graph.add_temporal_edge(s, d) {
+                self.pending_errors.push(e);
+            }
+        }
+        self
+    }
+
+    /// Finishes construction, validating the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred construction error, or any validation
+    /// failure from [`Cdfg::validate`].
+    pub fn build(mut self) -> Result<Cdfg, CdfgError> {
+        if let Some(e) = self.pending_errors.drain(..).next() {
+            return Err(e);
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Finishes construction without arity/DAG validation.
+    ///
+    /// Useful for intentionally partial graphs in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred construction error, if any.
+    pub fn build_unvalidated(mut self) -> Result<Cdfg, CdfgError> {
+        if let Some(e) = self.pending_errors.drain(..).next() {
+            return Err(e);
+        }
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_graph() {
+        let g = CdfgBuilder::new()
+            .node("a", OpKind::Input)
+            .node("b", OpKind::Not)
+            .data("a", "b")
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn unknown_name_is_reported() {
+        let err = CdfgBuilder::new()
+            .node("a", OpKind::Input)
+            .data("a", "ghost")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CdfgError::UnknownName("ghost".to_owned()));
+    }
+
+    #[test]
+    fn duplicate_name_is_reported() {
+        let err = CdfgBuilder::new()
+            .node("a", OpKind::Input)
+            .node("a", OpKind::Input)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, CdfgError::DuplicateName("a".to_owned()));
+    }
+
+    #[test]
+    fn build_validates_arity() {
+        let err = CdfgBuilder::new()
+            .node("a", OpKind::Input)
+            .node("s", OpKind::Add)
+            .data("a", "s")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CdfgError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn build_unvalidated_skips_checks() {
+        let g = CdfgBuilder::new()
+            .node("s", OpKind::Add)
+            .build_unvalidated()
+            .unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+}

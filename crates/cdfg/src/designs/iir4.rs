@@ -1,0 +1,123 @@
+//! The fourth-order parallel IIR filter of the paper's motivational
+//! examples (Figs. 3 and 4).
+
+use crate::{Cdfg, CdfgBuilder, OpKind};
+
+/// Builds the fourth-order parallel-form IIR filter.
+///
+/// The filter is the parallel composition of two direct-form-II
+/// second-order sections sharing the input `x`. One loop iteration is
+/// unrolled: the four delay states enter as inputs (`s11`, `s21`, `s12`,
+/// `s22`) and the end-of-iteration state updates appear as `Delay` nodes.
+///
+/// Per section *k* (states `s1k`, `s2k`):
+///
+/// ```text
+/// w  = x + a1·s1k + a2·s2k        (adds A1,A2 / A5,A6; cmuls C1,C2 / C5,C6)
+/// y  = w + b1·s1k + b2·s2k        (adds A3,A4 / A7,A8; cmuls C3,C4 / C7,C8)
+/// ```
+///
+/// and the filter output is `A9 = y1 + y2`.
+///
+/// This reconstruction carries the node names the paper's examples use
+/// (`A1…A9`, `C1…C8`); the exact drawing in the paper's figure is not
+/// machine-readable, so local wiring details may differ (documented in
+/// `EXPERIMENTS.md`).
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_cdfg::analysis::longest_path_ops;
+/// let g = iir4_parallel();
+/// assert_eq!(g.op_count(), 21); // 9 adds + 8 cmuls + 4 state delays
+/// assert!(g.node_by_name("A9").is_some());
+/// assert_eq!(longest_path_ops(&g), 6);
+/// ```
+pub fn iir4_parallel() -> Cdfg {
+    let mut b = CdfgBuilder::new().node("x", OpKind::Input);
+    for k in 1..=2 {
+        b = b
+            .node(&format!("s1{k}"), OpKind::Input)
+            .node(&format!("s2{k}"), OpKind::Input);
+    }
+    // Section 1: C1,C2 feedback; C3,C4 feedforward; adds A1..A4.
+    // Section 2: C5,C6 feedback; C7,C8 feedforward; adds A5..A8.
+    for (k, (c0, a0)) in [(1usize, (1usize, 1usize)), (2, (5, 5))] {
+        let s1 = format!("s1{k}");
+        let s2 = format!("s2{k}");
+        b = b
+            .node(&format!("C{}", c0), OpKind::ConstMul)
+            .node(&format!("C{}", c0 + 1), OpKind::ConstMul)
+            .node(&format!("C{}", c0 + 2), OpKind::ConstMul)
+            .node(&format!("C{}", c0 + 3), OpKind::ConstMul)
+            .node(&format!("A{}", a0), OpKind::Add)
+            .node(&format!("A{}", a0 + 1), OpKind::Add)
+            .node(&format!("A{}", a0 + 2), OpKind::Add)
+            .node(&format!("A{}", a0 + 3), OpKind::Add)
+            .data(&s1, &format!("C{}", c0))
+            .data(&s2, &format!("C{}", c0 + 1))
+            .data(&s1, &format!("C{}", c0 + 2))
+            .data(&s2, &format!("C{}", c0 + 3))
+            .data("x", &format!("A{}", a0))
+            .data(&format!("C{}", c0), &format!("A{}", a0))
+            .data(&format!("A{}", a0), &format!("A{}", a0 + 1))
+            .data(&format!("C{}", c0 + 1), &format!("A{}", a0 + 1))
+            .data(&format!("A{}", a0 + 1), &format!("A{}", a0 + 2))
+            .data(&format!("C{}", c0 + 2), &format!("A{}", a0 + 2))
+            .data(&format!("A{}", a0 + 2), &format!("A{}", a0 + 3))
+            .data(&format!("C{}", c0 + 3), &format!("A{}", a0 + 3))
+            // State updates: w -> s1, old s1 -> s2.
+            .node(&format!("D1{k}"), OpKind::Delay)
+            .node(&format!("D2{k}"), OpKind::Delay)
+            .data(&format!("A{}", a0 + 1), &format!("D1{k}"))
+            .data(&s1, &format!("D2{k}"));
+    }
+    b.node("A9", OpKind::Add)
+        .node("y", OpKind::Output)
+        .data("A4", "A9")
+        .data("A8", "A9")
+        .data("A9", "y")
+        .build()
+        .expect("iir4 is a valid CDFG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::longest_path_ops;
+
+    #[test]
+    fn has_the_papers_named_nodes() {
+        let g = iir4_parallel();
+        for i in 1..=9 {
+            assert!(g.node_by_name(&format!("A{i}")).is_some(), "missing A{i}");
+        }
+        for i in 1..=8 {
+            assert!(g.node_by_name(&format!("C{i}")).is_some(), "missing C{i}");
+        }
+    }
+
+    #[test]
+    fn op_and_variable_counts() {
+        let g = iir4_parallel();
+        // 9 adds + 8 cmuls + 4 delays = 21 schedulable ops.
+        assert_eq!(g.op_count(), 21);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn critical_path_is_six_operations() {
+        // s11 -> C1 -> A1 -> A2 -> A3 -> A4 -> A9: one cmul plus five adds.
+        let g = iir4_parallel();
+        assert_eq!(longest_path_ops(&g), 6);
+    }
+
+    #[test]
+    fn cmuls_are_all_at_depth_one() {
+        let g = iir4_parallel();
+        let d = crate::analysis::depth(&g);
+        for i in 1..=8 {
+            let c = g.node_by_name(&format!("C{i}")).unwrap();
+            assert_eq!(d[c.index()], 1, "C{i} should be ready at step 1");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The DSP designs used in the paper's evaluation.
+//!
+//! [`iir4_parallel`] is the paper's running example (Figs. 3 and 4): a
+//! fourth-order parallel-form IIR filter with adds `A1…A9` and constant
+//! multiplications `C1…C8`.
+//!
+//! The Table II designs shipped with HYPER are unavailable, so
+//! [`table2_design`] synthesizes structurally equivalent dataflow graphs
+//! that reproduce each design's published *critical path* exactly and
+//! approximate its size; see `DESIGN.md` §4 for the substitution rationale.
+
+mod iir4;
+mod table2;
+
+pub use iir4::iir4_parallel;
+pub use table2::{table2_design, table2_designs, Table2Design};

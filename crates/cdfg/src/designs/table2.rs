@@ -1,0 +1,207 @@
+//! Parametric reconstructions of the paper's Table II designs.
+
+use crate::{Cdfg, NodeId, OpKind};
+
+/// Descriptor of one Table II design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Design {
+    /// Human-readable name as printed in the paper.
+    pub name: &'static str,
+    /// Published critical path, in control steps.
+    pub critical_path: u32,
+    /// Published variable count (HYPER's spec-variable metric; our SSA-value
+    /// counts differ — see `EXPERIMENTS.md`).
+    pub paper_variables: u32,
+    /// Published percentage of templates enforced (column 5, both rows).
+    pub enforced_pct: f64,
+}
+
+/// The eight Table II designs with their published parameters.
+pub fn table2_designs() -> [Table2Design; 8] {
+    [
+        Table2Design { name: "8th Order CF IIR", critical_path: 18, paper_variables: 35, enforced_pct: 3.0 },
+        Table2Design { name: "Linear GE Cntrlr", critical_path: 12, paper_variables: 48, enforced_pct: 5.0 },
+        Table2Design { name: "Wavelet Filter", critical_path: 16, paper_variables: 31, enforced_pct: 4.0 },
+        Table2Design { name: "Modem Filter", critical_path: 10, paper_variables: 33, enforced_pct: 5.0 },
+        Table2Design { name: "Volterra 2nd ord.", critical_path: 12, paper_variables: 28, enforced_pct: 5.0 },
+        Table2Design { name: "Volterra 3rd non-lin.", critical_path: 20, paper_variables: 50, enforced_pct: 3.0 },
+        Table2Design { name: "D/A Converter", critical_path: 132, paper_variables: 354, enforced_pct: 4.0 },
+        Table2Design { name: "Long Echo Canceler", critical_path: 2566, paper_variables: 1082, enforced_pct: 2.0 },
+    ]
+}
+
+/// Synthesizes a dataflow graph matching a Table II design descriptor.
+///
+/// The generator reproduces the published **critical path exactly** and
+/// grows the design towards the published variable count:
+///
+/// 1. A *backbone* of `critical_path` chained operations (alternating
+///    constant-multiplications and additions, the texture of IIR/FIR/
+///    Volterra kernels). Every even backbone position is an addition whose
+///    second operand is a coefficient-scaled state input, as in a filter
+///    ladder.
+/// 2. *Tap* chains hanging off the backbone — short `cmul → add → output`
+///    side computations — added until the variable count reaches the paper's
+///    figure (or the structural maximum for very long backbones, where the
+///    paper's variable metric counts reused spec variables rather than SSA
+///    values and is therefore smaller than any unrolled graph; measured
+///    counts are reported side-by-side in `EXPERIMENTS.md`).
+///
+/// The result is deterministic (no randomness).
+///
+/// ```
+/// use localwm_cdfg::designs::{table2_design, table2_designs};
+/// use localwm_cdfg::analysis::longest_path_ops;
+/// let d = table2_designs()[0];
+/// let g = table2_design(&d);
+/// assert_eq!(longest_path_ops(&g), d.critical_path);
+/// ```
+pub fn table2_design(desc: &Table2Design) -> Cdfg {
+    let cp = desc.critical_path;
+    assert!(cp >= 2, "a design needs at least two pipeline stages");
+    let mut g = Cdfg::new();
+    let x = g.add_named_node(OpKind::Input, "x");
+
+    // Backbone: b1..b_cp with a period-6 texture
+    // (cmul, add, add, mul, add, sub). The cmul-add-add runs host `cmac2`
+    // modules overlapping `cmac`/`add2` alternatives (the mapper's
+    // genuinely conflicting groupings); the mul-add pairs host `mac`
+    // modules; the subs stay singletons — so an unconstrained covering
+    // already exercises every piece type a watermark can fragment into.
+    let mut backbone: Vec<NodeId> = Vec::with_capacity(cp as usize);
+    let mut prev = x;
+    for i in 1..=cp {
+        let n = match i % 6 {
+            1 => {
+                let n = g.add_named_node(OpKind::ConstMul, format!("m{i}"));
+                g.add_data_edge(prev, n).expect("valid edge");
+                n
+            }
+            4 => {
+                let n = g.add_named_node(OpKind::Mul, format!("p{i}"));
+                g.add_data_edge(prev, n).expect("valid edge");
+                g.add_data_edge(x, n).expect("valid edge");
+                n
+            }
+            0 => {
+                let s = g.add_named_node(OpKind::Input, format!("s{i}"));
+                let n = g.add_named_node(OpKind::Sub, format!("d{i}"));
+                g.add_data_edge(prev, n).expect("valid edge");
+                g.add_data_edge(s, n).expect("valid edge");
+                n
+            }
+            _ => {
+                let s = g.add_named_node(OpKind::Input, format!("s{i}"));
+                let n = g.add_named_node(OpKind::Add, format!("a{i}"));
+                g.add_data_edge(prev, n).expect("valid edge");
+                g.add_data_edge(s, n).expect("valid edge");
+                n
+            }
+        };
+        backbone.push(n);
+        prev = n;
+    }
+    let y = g.add_named_node(OpKind::Output, "y");
+    g.add_data_edge(prev, y).expect("valid edge");
+
+    // Tap computations until we reach the published variable count, with a
+    // structural minimum so every design keeps off-critical matchable
+    // sites. A *full tap* is a three-op ladder slice
+    // `cmul(x) → add → add → output` (laxity 3, three variables): exactly a
+    // `cmac2` library module, but also coverable as `cmac` + singleton or
+    // `add2` + singleton — the overlapping alternatives that give enforced
+    // matchings their cost. Shorter taps (two ops / one op) make every
+    // variable-count parity reachable. Taps read only primary inputs,
+    // preserving the backbone's single-fanout template sites.
+    let _ = &backbone;
+    let target = desc.paper_variables as usize;
+    let min_taps = (cp as usize / 16).max(3);
+    let v0 = g.variable_count();
+    let need = target.saturating_sub(v0);
+    let n_taps = min_taps.max(need.div_ceil(4));
+    // Tap sizes (1–4 ops each) planned so the variable count lands exactly
+    // on the published target whenever `need >= n_taps`; designs whose
+    // published count is below the unrolled baseline (the echo canceler)
+    // get full structural taps instead. Tap heads alternate between
+    // constant-multiplies and adds so unconstrained covers contain cmac2,
+    // cmac, add2 and singleton pieces alike.
+    let sizes: Vec<usize> = if need >= n_taps {
+        let base = need / n_taps;
+        let rem = need % n_taps;
+        (0..n_taps)
+            .map(|i| (base + usize::from(i < rem)).min(4))
+            .collect()
+    } else {
+        vec![3; n_taps]
+    };
+    for (tap, &size) in sizes.iter().enumerate() {
+        let head_kind = if tap % 2 == 0 { OpKind::ConstMul } else { OpKind::Add };
+        let t = g.add_named_node(head_kind, format!("t{tap}"));
+        g.add_data_edge(x, t).expect("valid edge");
+        if head_kind == OpKind::Add {
+            g.add_data_edge(x, t).expect("valid edge");
+        }
+        let o = g.add_named_node(OpKind::Output, format!("yt{tap}"));
+        let mut head = t;
+        for stage in 1..size {
+            let a = g.add_named_node(OpKind::Add, format!("ta{tap}_{stage}"));
+            g.add_data_edge(head, a).expect("valid edge");
+            g.add_data_edge(x, a).expect("valid edge");
+            head = a;
+        }
+        g.add_data_edge(head, o).expect("valid edge");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::longest_path_ops;
+
+    #[test]
+    fn every_design_matches_published_critical_path() {
+        for d in table2_designs() {
+            // Skip the echo canceler here (exercised in the slow test below)
+            // to keep the default test run fast.
+            if d.critical_path > 200 {
+                continue;
+            }
+            let g = table2_design(&d);
+            assert_eq!(longest_path_ops(&g), d.critical_path, "{}", d.name);
+            assert!(g.validate().is_ok(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn small_designs_hit_published_variable_count() {
+        for d in table2_designs().iter().take(6) {
+            let g = table2_design(d);
+            assert_eq!(
+                g.variable_count(),
+                d.paper_variables as usize,
+                "{}: variable target should be reachable for small designs",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn echo_canceler_matches_critical_path() {
+        let d = table2_designs()[7];
+        let g = table2_design(&d);
+        assert_eq!(longest_path_ops(&g), 2566);
+        // The unrolled graph necessarily has more SSA values than HYPER's
+        // reused spec variables.
+        assert!(g.variable_count() > d.paper_variables as usize);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let d = table2_designs()[2];
+        let a = table2_design(&d);
+        let b = table2_design(&d);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

@@ -1,0 +1,69 @@
+//! Graphviz (DOT) export.
+
+use std::fmt::Write as _;
+
+use crate::{Cdfg, EdgeKind};
+
+impl Cdfg {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Data edges are solid, control edges dashed, temporal (watermark)
+    /// edges dotted and red — handy for eyeballing where constraints landed.
+    ///
+    /// ```
+    /// use localwm_cdfg::{Cdfg, OpKind};
+    /// let mut g = Cdfg::new();
+    /// let a = g.add_named_node(OpKind::Input, "x");
+    /// let b = g.add_node(OpKind::Not);
+    /// g.add_data_edge(a, b)?;
+    /// let dot = g.to_dot("example");
+    /// assert!(dot.contains("digraph example"));
+    /// assert!(dot.contains("x\\nin"));
+    /// # Ok::<(), localwm_cdfg::CdfgError>(())
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {name} {{");
+        let _ = writeln!(s, "  rankdir=TB;");
+        let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+        for id in self.node_ids() {
+            let node = self.node(id).expect("id in range");
+            let label = match node.name() {
+                Some(n) => format!("{n}\\n{}", node.kind()),
+                None => format!("{id}\\n{}", node.kind()),
+            };
+            let _ = writeln!(s, "  {} [label=\"{label}\"];", id.index());
+        }
+        for e in self.edges() {
+            let style = match e.kind() {
+                EdgeKind::Data => "",
+                EdgeKind::Control => " [style=dashed]",
+                EdgeKind::Temporal => " [style=dotted, color=red]",
+            };
+            let _ = writeln!(s, "  {} -> {}{style};", e.src().index(), e.dst().index());
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cdfg, OpKind};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edge_styles() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let b = g.add_node(OpKind::Not);
+        let c = g.add_node(OpKind::Neg);
+        g.add_data_edge(a, b).unwrap();
+        g.add_control_edge(a, c).unwrap();
+        g.add_temporal_edge(b, c).unwrap();
+        let dot = g.to_dot("t");
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=dotted, color=red"));
+        assert_eq!(dot.matches("label=").count(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Layered random DAG generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cdfg, NodeId, OpKind};
+
+/// Configuration for the layered generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredConfig {
+    /// Number of schedulable operations to generate (exactly).
+    pub ops: usize,
+    /// Number of layers the operations are spread across. Controls the
+    /// critical path (≈ `layers`) and therefore the average scheduling
+    /// slack: media kernels have `ops ≫ layers`.
+    pub layers: usize,
+    /// Number of primary inputs feeding layer 1.
+    pub inputs: usize,
+    /// How many preceding layers an operand may come from (locality
+    /// window). 1 = strictly layer-to-layer; larger values create slack
+    /// spread.
+    pub locality: usize,
+    /// Relative weights of the generated op mix:
+    /// `(alu2, mul, mem, cmp, unary)` where `alu2` covers two-operand
+    /// add/sub/logic, `mem` covers load/store, `cmp` covers compares and
+    /// shifts, `unary` covers not/neg.
+    pub mix: (u32, u32, u32, u32, u32),
+    /// Probability that an operand comes from a primary input instead of a
+    /// recent layer. Fresh operands start new short dependence chains,
+    /// giving the graph the laxity diversity of real compiled kernels
+    /// (expression trees restart at loads/constants all the time). 0 makes
+    /// every node near-critical; ~0.4 matches media-kernel texture.
+    pub fresh_prob: f64,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            ops: 200,
+            layers: 20,
+            inputs: 8,
+            locality: 3,
+            mix: (45, 25, 15, 10, 5),
+            fresh_prob: 0.4,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a layered random DAG.
+///
+/// Exactly `cfg.ops` schedulable operations are produced, spread uniformly
+/// over `cfg.layers` layers. Each operation draws its operands uniformly
+/// from the previous `cfg.locality` layers (or the primary inputs), which
+/// yields the mix of tight chains and wide, slack-rich regions typical of
+/// compiled media kernels.
+///
+/// Dangling values (produced but never consumed) are terminated with
+/// `Output` nodes so the graph is a complete specification.
+///
+/// ```
+/// use localwm_cdfg::generators::{layered, LayeredConfig};
+/// let g = layered(&LayeredConfig { ops: 100, ..Default::default() });
+/// assert_eq!(g.op_count(), 100);
+/// assert!(g.validate().is_ok());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `ops`, `layers` or `inputs` is zero, or `layers > ops`.
+pub fn layered(cfg: &LayeredConfig) -> Cdfg {
+    assert!(
+        (0.0..=1.0).contains(&cfg.fresh_prob),
+        "fresh_prob must be a probability"
+    );
+    assert!(cfg.ops > 0, "ops must be positive");
+    assert!(cfg.layers > 0, "layers must be positive");
+    assert!(cfg.inputs > 0, "inputs must be positive");
+    assert!(cfg.layers <= cfg.ops, "cannot have more layers than ops");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = Cdfg::with_capacity(cfg.ops + cfg.inputs, cfg.ops * 2);
+
+    let inputs: Vec<NodeId> = (0..cfg.inputs).map(|_| g.add_node(OpKind::Input)).collect();
+    let mut layers: Vec<Vec<NodeId>> = vec![inputs];
+
+    // Distribute ops over layers as evenly as possible, remainder spread
+    // over the earliest layers (wider near the inputs, like real kernels).
+    let base = cfg.ops / cfg.layers;
+    let extra = cfg.ops % cfg.layers;
+
+    let total_weight = cfg.mix.0 + cfg.mix.1 + cfg.mix.2 + cfg.mix.3 + cfg.mix.4;
+    assert!(total_weight > 0, "op mix weights must not all be zero");
+
+    for layer_idx in 0..cfg.layers {
+        let count = base + usize::from(layer_idx < extra);
+        let mut layer = Vec::with_capacity(count);
+        for _ in 0..count {
+            let kind = pick_kind(&mut rng, cfg.mix, total_weight);
+            let n = g.add_node(kind);
+            let arity = kind.arity().expect("generated kinds have fixed arity");
+            for _ in 0..arity {
+                let src = if rng.gen_bool(cfg.fresh_prob) {
+                    layers[0][rng.gen_range(0..layers[0].len())]
+                } else {
+                    pick_operand(&mut rng, &layers, cfg.locality)
+                };
+                g.add_data_edge(src, n).expect("layered edges are acyclic");
+            }
+            layer.push(n);
+        }
+        layers.push(layer);
+    }
+
+    // Terminate dangling values.
+    let dangling: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| {
+            !g.kind(n).is_sink() && g.data_succs(n).next().is_none()
+        })
+        .collect();
+    for n in dangling {
+        let o = g.add_node(OpKind::Output);
+        g.add_data_edge(n, o).expect("valid edge");
+    }
+    g
+}
+
+fn pick_kind(rng: &mut StdRng, mix: (u32, u32, u32, u32, u32), total: u32) -> OpKind {
+    let r = rng.gen_range(0..total);
+    let (alu2, mul, mem, cmp, _) = mix;
+    if r < alu2 {
+        match rng.gen_range(0..4) {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::And,
+            _ => OpKind::Xor,
+        }
+    } else if r < alu2 + mul {
+        OpKind::Mul
+    } else if r < alu2 + mul + mem {
+        if rng.gen_bool(0.7) {
+            OpKind::Load
+        } else {
+            OpKind::Store
+        }
+    } else if r < alu2 + mul + mem + cmp {
+        match rng.gen_range(0..3) {
+            0 => OpKind::Lt,
+            1 => OpKind::Eq,
+            _ => OpKind::Shl,
+        }
+    } else {
+        if rng.gen_bool(0.5) {
+            OpKind::Not
+        } else {
+            OpKind::Neg
+        }
+    }
+}
+
+fn pick_operand(rng: &mut StdRng, layers: &[Vec<NodeId>], locality: usize) -> NodeId {
+    let lo = layers.len().saturating_sub(locality.max(1));
+    // Candidate layers [lo, len); all are non-empty by construction.
+    let layer = rng.gen_range(lo..layers.len());
+    let layer = &layers[layer];
+    layer[rng.gen_range(0..layer.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::longest_path_ops;
+
+    #[test]
+    fn exact_op_count() {
+        for ops in [1usize, 7, 64, 333] {
+            let cfg = LayeredConfig {
+                ops,
+                layers: ops.min(10),
+                ..Default::default()
+            };
+            let g = layered(&cfg);
+            assert_eq!(g.op_count(), ops);
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn critical_path_bounded_by_layers() {
+        let cfg = LayeredConfig {
+            ops: 300,
+            layers: 15,
+            ..Default::default()
+        };
+        let g = layered(&cfg);
+        assert!(longest_path_ops(&g) <= 15);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = LayeredConfig::default();
+        let a = layered(&cfg);
+        let b = layered(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        let ea: Vec<_> = a.edges().map(|e| (e.src(), e.dst())).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.src(), e.dst())).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = layered(&LayeredConfig { seed: 1, ..Default::default() });
+        let b = layered(&LayeredConfig { seed: 2, ..Default::default() });
+        let ea: Vec<_> = a.edges().map(|e| (e.src(), e.dst())).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.src(), e.dst())).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    #[should_panic(expected = "layers must be positive")]
+    fn zero_layers_panics() {
+        let _ = layered(&LayeredConfig { layers: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,98 @@
+//! MediaBench-scale application graphs (Table I workloads).
+
+use crate::generators::{layered, LayeredConfig};
+use crate::Cdfg;
+
+/// Descriptor of one Table I application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediabenchApp {
+    /// Application name as printed in the paper.
+    pub name: &'static str,
+    /// Published operation count `N`.
+    pub ops: usize,
+}
+
+/// The eight Table I applications with their published op counts.
+pub fn mediabench_apps() -> [MediabenchApp; 8] {
+    [
+        MediabenchApp { name: "D/A Cnv.", ops: 528 },
+        MediabenchApp { name: "G721", ops: 758 },
+        MediabenchApp { name: "epic", ops: 872 },
+        MediabenchApp { name: "PEGWIT", ops: 658 },
+        MediabenchApp { name: "PGP", ops: 1755 },
+        MediabenchApp { name: "GSM", ops: 802 },
+        MediabenchApp { name: "JPEG.c", ops: 1422 },
+        MediabenchApp { name: "MPEG2.d", ops: 1372 },
+    ]
+}
+
+/// Generates a CDFG standing in for one MediaBench application.
+///
+/// The graph has **exactly** the published operation count. Depth scales
+/// like `√N` (media kernels expose abundant instruction-level parallelism,
+/// so the critical path is far shorter than the op count) and the op mix is
+/// ~45 % two-operand ALU, ~25 % multiply, ~15 % memory, ~10 % compare/shift
+/// and ~5 % unary ops.
+///
+/// `seed` varies the draw; embedding experiments average over seeds.
+///
+/// ```
+/// use localwm_cdfg::generators::{mediabench, mediabench_apps};
+/// let app = mediabench_apps()[1]; // G721
+/// let g = mediabench(&app, 0);
+/// assert_eq!(g.op_count(), 758);
+/// ```
+pub fn mediabench(app: &MediabenchApp, seed: u64) -> Cdfg {
+    let layers = ((app.ops as f64).sqrt() * 1.2).round() as usize;
+    layered(&LayeredConfig {
+        ops: app.ops,
+        layers: layers.clamp(4, app.ops),
+        inputs: 16,
+        locality: 4,
+        mix: (45, 25, 15, 10, 5),
+        fresh_prob: 0.4,
+        seed: seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(app.ops as u64)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::longest_path_ops;
+
+    #[test]
+    fn all_apps_match_published_op_counts() {
+        for app in mediabench_apps() {
+            let g = mediabench(&app, 0);
+            assert_eq!(g.op_count(), app.ops, "{}", app.name);
+            assert!(g.validate().is_ok(), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn graphs_have_substantial_slack() {
+        // The watermark needs operations with overlapping ASAP/ALAP windows;
+        // that requires critical path << op count.
+        for app in mediabench_apps().iter().take(3) {
+            let g = mediabench(app, 0);
+            let cp = longest_path_ops(&g) as usize;
+            assert!(
+                cp * 4 < app.ops,
+                "{}: cp {} too long for {} ops",
+                app.name,
+                cp,
+                app.ops
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_graphs() {
+        let app = mediabench_apps()[0];
+        let a = mediabench(&app, 0);
+        let b = mediabench(&app, 1);
+        let ea: Vec<_> = a.edges().map(|e| (e.src(), e.dst())).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.src(), e.dst())).collect();
+        assert_ne!(ea, eb);
+    }
+}

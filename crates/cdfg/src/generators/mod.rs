@@ -1,0 +1,15 @@
+//! Synthetic CDFG generators.
+//!
+//! * [`mediabench`] — MediaBench-scale graphs with the exact op counts of
+//!   the paper's Table I (the C sources + IMPACT compiler pipeline is
+//!   substituted by a structure-matched generator; see `DESIGN.md` §4).
+//! * [`random_dag`] — small random DAGs for property-based testing.
+//! * [`layered`] — a tunable layered-DAG generator underlying both.
+
+mod layered;
+mod mediabench;
+mod random;
+
+pub use layered::{layered, LayeredConfig};
+pub use mediabench::{mediabench, mediabench_apps, MediabenchApp};
+pub use random::random_dag;

@@ -1,0 +1,368 @@
+//! Operation semantics.
+//!
+//! The paper's node-ordering criterion C3 requires that "all possible
+//! distinct operations are uniquely identified (e.g., addition is identified
+//! with 1, multiplication with 2, etc.)". [`OpKind::functionality_id`] is
+//! exactly that mapping.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The kind of a CDFG operation node.
+///
+/// The set covers the homogeneous-SDF operations occurring in the paper's
+/// DSP benchmarks (adds, constant multiplications, delays, …) plus the
+/// generic ALU / memory / control operations needed for MediaBench-scale
+/// graphs compiled onto the VLIW evaluation machine.
+///
+/// ```
+/// use localwm_cdfg::OpKind;
+/// assert_eq!(OpKind::Add.functionality_id(), 1);
+/// assert_eq!(OpKind::Mul.functionality_id(), 2);
+/// assert!(OpKind::Add.is_schedulable());
+/// assert!(!OpKind::Input.is_schedulable());
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// Primary input (a source; takes no operands).
+    Input,
+    /// Primary output (a sink; produces no value consumed inside the graph).
+    Output,
+    /// Compile-time constant (a source).
+    Const,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// General multiplication.
+    Mul,
+    /// Multiplication by a constant coefficient (the `C*` nodes of the
+    /// paper's IIR example).
+    ConstMul,
+    /// Division.
+    Div,
+    /// Left shift.
+    Shl,
+    /// Right shift.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Bitwise/logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// Less-than comparison.
+    Lt,
+    /// Equality comparison.
+    Eq,
+    /// Two-way multiplexer (select).
+    Mux,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch anchor (control operation).
+    Branch,
+    /// Unit-delay register (`z⁻¹` in filter structures).
+    Delay,
+    /// A unit operation with no architectural effect — the paper induces
+    /// temporal edges in compiled code "using additional operations with
+    /// unit operators (e.g., additions with variables assigned to zero at
+    /// runtime)". Embedders insert these as watermark anchors.
+    UnitOp,
+}
+
+impl OpKind {
+    /// All operation kinds, in functionality-id order.
+    pub const ALL: [OpKind; 23] = [
+        OpKind::Input,
+        OpKind::Add,
+        OpKind::Mul,
+        OpKind::Sub,
+        OpKind::ConstMul,
+        OpKind::Div,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::Neg,
+        OpKind::Lt,
+        OpKind::Eq,
+        OpKind::Mux,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Branch,
+        OpKind::Delay,
+        OpKind::UnitOp,
+        OpKind::Const,
+        OpKind::Output,
+    ];
+
+    /// The unique functionality identifier `f(n)` of criterion C3.
+    ///
+    /// Follows the paper's convention: addition is 1, multiplication is 2,
+    /// and every further distinct operation gets its own identifier. Sources
+    /// and sinks get identifiers too so that φ sums are total functions.
+    pub fn functionality_id(self) -> u32 {
+        match self {
+            OpKind::Input => 0,
+            OpKind::Add => 1,
+            OpKind::Mul => 2,
+            OpKind::Sub => 3,
+            OpKind::ConstMul => 4,
+            OpKind::Div => 5,
+            OpKind::Shl => 6,
+            OpKind::Shr => 7,
+            OpKind::And => 8,
+            OpKind::Or => 9,
+            OpKind::Xor => 10,
+            OpKind::Not => 11,
+            OpKind::Neg => 12,
+            OpKind::Lt => 13,
+            OpKind::Eq => 14,
+            OpKind::Mux => 15,
+            OpKind::Load => 16,
+            OpKind::Store => 17,
+            OpKind::Branch => 18,
+            OpKind::Delay => 19,
+            OpKind::UnitOp => 20,
+            OpKind::Const => 21,
+            OpKind::Output => 22,
+        }
+    }
+
+    /// Number of data operands this operation consumes.
+    ///
+    /// `None` means variadic (outputs accept one operand but stores accept
+    /// two, muxes three; variadic kinds are validated individually).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            OpKind::Input | OpKind::Const => Some(0),
+            OpKind::Output
+            | OpKind::Not
+            | OpKind::Neg
+            | OpKind::Delay
+            | OpKind::ConstMul
+            | OpKind::Load
+            | OpKind::Branch
+            | OpKind::UnitOp => Some(1),
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Shl
+            | OpKind::Shr
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Xor
+            | OpKind::Lt
+            | OpKind::Eq
+            | OpKind::Store => Some(2),
+            OpKind::Mux => Some(3),
+        }
+    }
+
+    /// Whether the operation occupies a control step when scheduled.
+    ///
+    /// Inputs and constants are available "for free" at step 0, and writing
+    /// a primary output is a wire, not an operation; everything else takes
+    /// one control step in the homogeneous SDF model.
+    pub fn is_schedulable(self) -> bool {
+        !matches!(self, OpKind::Input | OpKind::Const | OpKind::Output)
+    }
+
+    /// Whether the operation is a pure source (no data operands).
+    pub fn is_source(self) -> bool {
+        matches!(self, OpKind::Input | OpKind::Const)
+    }
+
+    /// Whether the operation is a sink (its result is not consumed).
+    pub fn is_sink(self) -> bool {
+        matches!(self, OpKind::Output | OpKind::Store | OpKind::Branch)
+    }
+
+    /// Short mnemonic used by the text format and DOT export.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Input => "in",
+            OpKind::Output => "out",
+            OpKind::Const => "const",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::ConstMul => "cmul",
+            OpKind::Div => "div",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Not => "not",
+            OpKind::Neg => "neg",
+            OpKind::Lt => "lt",
+            OpKind::Eq => "eq",
+            OpKind::Mux => "mux",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Branch => "br",
+            OpKind::Delay => "delay",
+            OpKind::UnitOp => "unit",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an [`OpKind`] mnemonic fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpKindError {
+    token: String,
+}
+
+impl fmt::Display for ParseOpKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operation mnemonic `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseOpKindError {}
+
+impl FromStr for OpKind {
+    type Err = ParseOpKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let kind = match s {
+            "in" => OpKind::Input,
+            "out" => OpKind::Output,
+            "const" => OpKind::Const,
+            "add" => OpKind::Add,
+            "sub" => OpKind::Sub,
+            "mul" => OpKind::Mul,
+            "cmul" => OpKind::ConstMul,
+            "div" => OpKind::Div,
+            "shl" => OpKind::Shl,
+            "shr" => OpKind::Shr,
+            "and" => OpKind::And,
+            "or" => OpKind::Or,
+            "xor" => OpKind::Xor,
+            "not" => OpKind::Not,
+            "neg" => OpKind::Neg,
+            "lt" => OpKind::Lt,
+            "eq" => OpKind::Eq,
+            "mux" => OpKind::Mux,
+            "load" => OpKind::Load,
+            "store" => OpKind::Store,
+            "br" => OpKind::Branch,
+            "delay" => OpKind::Delay,
+            "unit" => OpKind::UnitOp,
+            other => {
+                return Err(ParseOpKindError {
+                    token: other.to_owned(),
+                })
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn functionality_ids_are_unique() {
+        let kinds = [
+            OpKind::Input,
+            OpKind::Output,
+            OpKind::Const,
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::ConstMul,
+            OpKind::Div,
+            OpKind::Shl,
+            OpKind::Shr,
+            OpKind::And,
+            OpKind::Or,
+            OpKind::Xor,
+            OpKind::Not,
+            OpKind::Neg,
+            OpKind::Lt,
+            OpKind::Eq,
+            OpKind::Mux,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Branch,
+            OpKind::Delay,
+            OpKind::UnitOp,
+        ];
+        let ids: HashSet<u32> = kinds.iter().map(|k| k.functionality_id()).collect();
+        assert_eq!(ids.len(), kinds.len(), "functionality ids must be unique");
+    }
+
+    #[test]
+    fn paper_convention_add_is_one_mul_is_two() {
+        assert_eq!(OpKind::Add.functionality_id(), 1);
+        assert_eq!(OpKind::Mul.functionality_id(), 2);
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for kind in [
+            OpKind::Input,
+            OpKind::Output,
+            OpKind::Const,
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::ConstMul,
+            OpKind::Div,
+            OpKind::Shl,
+            OpKind::Shr,
+            OpKind::And,
+            OpKind::Or,
+            OpKind::Xor,
+            OpKind::Not,
+            OpKind::Neg,
+            OpKind::Lt,
+            OpKind::Eq,
+            OpKind::Mux,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Branch,
+            OpKind::Delay,
+            OpKind::UnitOp,
+        ] {
+            let parsed: OpKind = kind.mnemonic().parse().expect("mnemonic parses");
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_rejected() {
+        let err = "bogus".parse::<OpKind>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn sources_have_zero_arity_and_are_not_schedulable() {
+        assert_eq!(OpKind::Input.arity(), Some(0));
+        assert_eq!(OpKind::Const.arity(), Some(0));
+        assert!(!OpKind::Input.is_schedulable());
+        assert!(OpKind::Store.is_sink());
+        assert!(OpKind::Add.is_schedulable());
+    }
+}

@@ -1,0 +1,175 @@
+//! A minimal line-oriented text format for CDFGs.
+//!
+//! The format mirrors classic academic netlist formats (one declaration per
+//! line) and exists so examples and tests can ship designs as plain text:
+//!
+//! ```text
+//! # comment
+//! node <name> <mnemonic>
+//! data <src> <dst>
+//! ctrl <src> <dst>
+//! temp <src> <dst>
+//! ```
+
+use crate::{Cdfg, CdfgError, OpKind};
+
+/// Serializes a graph to the text format. Anonymous nodes are given
+/// synthetic `n<i>` names.
+///
+/// ```
+/// use localwm_cdfg::{parse_cdfg, write_cdfg, Cdfg, OpKind};
+/// let mut g = Cdfg::new();
+/// let a = g.add_named_node(OpKind::Input, "x");
+/// let b = g.add_named_node(OpKind::Output, "y");
+/// g.add_data_edge(a, b)?;
+/// let text = write_cdfg(&g);
+/// let g2 = parse_cdfg(&text)?;
+/// assert_eq!(g2.node_count(), 2);
+/// assert_eq!(g2.edge_count(), 1);
+/// # Ok::<(), localwm_cdfg::CdfgError>(())
+/// ```
+pub fn write_cdfg(g: &Cdfg) -> String {
+    let mut out = String::new();
+    let name_of = |id: crate::NodeId| -> String {
+        match g.node(id).and_then(|n| n.name()) {
+            Some(n) => n.to_owned(),
+            None => format!("n{}", id.index()),
+        }
+    };
+    for id in g.node_ids() {
+        let node = g.node(id).expect("id in range");
+        out.push_str(&format!("node {} {}\n", name_of(id), node.kind()));
+    }
+    for e in g.edges() {
+        let tag = match e.kind() {
+            crate::EdgeKind::Data => "data",
+            crate::EdgeKind::Control => "ctrl",
+            crate::EdgeKind::Temporal => "temp",
+        };
+        out.push_str(&format!("{tag} {} {}\n", name_of(e.src()), name_of(e.dst())));
+    }
+    out
+}
+
+/// Parses the text format back into a graph.
+///
+/// # Errors
+///
+/// Returns [`CdfgError::Parse`] for malformed lines,
+/// [`CdfgError::DuplicateName`]/[`CdfgError::UnknownName`] for name
+/// problems, and validation errors from [`Cdfg::validate`].
+pub fn parse_cdfg(text: &str) -> Result<Cdfg, CdfgError> {
+    let mut g = Cdfg::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a token");
+        match head {
+            "node" => {
+                let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(n), Some(k), None) => (n, k),
+                    _ => {
+                        return Err(CdfgError::Parse {
+                            line: lineno,
+                            message: "expected `node <name> <kind>`".to_owned(),
+                        })
+                    }
+                };
+                let kind: OpKind = kind.parse().map_err(|e| CdfgError::Parse {
+                    line: lineno,
+                    message: format!("{e}"),
+                })?;
+                g.try_add_named_node(kind, name)?;
+            }
+            "data" | "ctrl" | "temp" => {
+                let (src, dst) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(s), Some(d), None) => (s, d),
+                    _ => {
+                        return Err(CdfgError::Parse {
+                            line: lineno,
+                            message: format!("expected `{head} <src> <dst>`"),
+                        })
+                    }
+                };
+                let s = g
+                    .node_by_name(src)
+                    .ok_or_else(|| CdfgError::UnknownName(src.to_owned()))?;
+                let d = g
+                    .node_by_name(dst)
+                    .ok_or_else(|| CdfgError::UnknownName(dst.to_owned()))?;
+                match head {
+                    "data" => g.add_data_edge(s, d)?,
+                    "ctrl" => g.add_control_edge(s, d)?,
+                    _ => g.add_temporal_edge(s, d)?,
+                };
+            }
+            other => {
+                return Err(CdfgError::Parse {
+                    line: lineno,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeKind;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let g = parse_cdfg("# hello\n\nnode a in\nnode b out\ndata a b\n").unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn round_trips_all_edge_kinds() {
+        let mut g = Cdfg::new();
+        let a = g.add_named_node(OpKind::Input, "a");
+        let b = g.add_named_node(OpKind::UnitOp, "b");
+        let c = g.add_named_node(OpKind::Output, "c");
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(b, c).unwrap();
+        g.add_temporal_edge(a, c).unwrap();
+        let text = write_cdfg(&g);
+        let g2 = parse_cdfg(&text).unwrap();
+        assert_eq!(g2.edge_count(), 3);
+        assert_eq!(
+            g2.edges().filter(|e| e.kind() == EdgeKind::Temporal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn bad_directive_reports_line() {
+        let err = parse_cdfg("node a in\nfrobnicate a\n").unwrap_err();
+        assert!(matches!(err, CdfgError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_kind_reports_line() {
+        let err = parse_cdfg("node a warp\n").unwrap_err();
+        assert!(matches!(err, CdfgError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_edge_endpoint_is_rejected() {
+        let err = parse_cdfg("node a in\ndata a ghost\n").unwrap_err();
+        assert_eq!(err, CdfgError::UnknownName("ghost".to_owned()));
+    }
+
+    #[test]
+    fn parse_validates_graph() {
+        // Add with a single operand fails arity validation.
+        let err = parse_cdfg("node a in\nnode s add\ndata a s\n").unwrap_err();
+        assert!(matches!(err, CdfgError::ArityMismatch { .. }));
+    }
+}

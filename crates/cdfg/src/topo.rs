@@ -1,0 +1,152 @@
+//! Topological ordering.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::{Cdfg, NodeId};
+
+/// Error returned when a graph is not a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// Nodes that remain on at least one cycle.
+    pub cyclic_nodes: Vec<NodeId>,
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph is cyclic; {} node(s) participate in cycles",
+            self.cyclic_nodes.len()
+        )
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Computes a topological order of the graph (Kahn's algorithm).
+///
+/// The order is deterministic: among ready nodes, the lowest id is emitted
+/// first. Determinism matters because watermark embedding and detection must
+/// derive identical node enumerations on both sides.
+///
+/// # Errors
+///
+/// Returns [`TopoError`] listing the nodes involved in cycles if the graph
+/// is not a DAG.
+///
+/// ```
+/// use localwm_cdfg::{topo_order, Cdfg, OpKind};
+/// let mut g = Cdfg::new();
+/// let a = g.add_node(OpKind::Input);
+/// let b = g.add_node(OpKind::Not);
+/// g.add_data_edge(a, b)?;
+/// assert_eq!(topo_order(&g)?, vec![a, b]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn topo_order(g: &Cdfg) -> Result<Vec<NodeId>, TopoError> {
+    let n = g.node_count();
+    let mut in_deg = vec![0usize; n];
+    for e in g.edges() {
+        in_deg[e.dst().index()] += 1;
+    }
+    // A BinaryHeap would give strict smallest-first; a deque of a pre-sorted
+    // seed plus in-order pushes is both deterministic and O(V + E). We use a
+    // simple monotone frontier: collect ready nodes, sort, repeat per wave.
+    let mut order = Vec::with_capacity(n);
+    let mut ready: VecDeque<NodeId> = g
+        .node_ids()
+        .filter(|id| in_deg[id.index()] == 0)
+        .collect();
+    while let Some(u) = ready.pop_front() {
+        order.push(u);
+        let mut newly: Vec<NodeId> = Vec::new();
+        for v in g.succs(u) {
+            let d = &mut in_deg[v.index()];
+            *d -= 1;
+            if *d == 0 {
+                newly.push(v);
+            }
+        }
+        newly.sort_unstable();
+        for v in newly {
+            ready.push_back(v);
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let mut cyclic: Vec<NodeId> = g
+            .node_ids()
+            .filter(|id| in_deg[id.index()] > 0)
+            .collect();
+        cyclic.sort_unstable();
+        Err(TopoError {
+            cyclic_nodes: cyclic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeKind, OpKind};
+
+    #[test]
+    fn orders_a_chain() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let b = g.add_node(OpKind::Not);
+        let c = g.add_node(OpKind::Output);
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(b, c).unwrap();
+        assert_eq!(topo_order(&g).unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn respects_all_edge_kinds() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::UnitOp);
+        let b = g.add_node(OpKind::UnitOp);
+        g.add_edge(EdgeKind::Temporal, b, a).unwrap();
+        let order = topo_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(b) < pos(a));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::UnitOp);
+        let b = g.add_node(OpKind::UnitOp);
+        g.add_edge(EdgeKind::Control, a, b).unwrap();
+        g.add_edge(EdgeKind::Control, b, a).unwrap();
+        let err = topo_order(&g).unwrap_err();
+        assert_eq!(err.cyclic_nodes, vec![a, b]);
+    }
+
+    #[test]
+    fn every_edge_is_respected_in_order() {
+        // Deterministic layered graph.
+        let mut g = Cdfg::new();
+        let mut prev: Vec<NodeId> = (0..4).map(|_| g.add_node(OpKind::Input)).collect();
+        for _ in 0..5 {
+            let layer: Vec<NodeId> = (0..4).map(|_| g.add_node(OpKind::UnitOp)).collect();
+            for (i, &n) in layer.iter().enumerate() {
+                g.add_data_edge(prev[i % prev.len()], n).unwrap();
+            }
+            prev = layer;
+        }
+        let order = topo_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, n) in order.iter().enumerate() {
+                p[n.index()] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.src().index()] < pos[e.dst().index()]);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! SDF iteration unrolling.
+//!
+//! The paper's computational model is homogeneous synchronous dataflow: a
+//! design describes one iteration, with `Delay` nodes (`z⁻¹`) carrying
+//! state to the next. Unrolling splices `k` copies of the iteration
+//! together — each `Delay`'s input feeds the state `Input` of the next
+//! copy — which is how throughput-oriented synthesis (and watermarking of
+//! multi-iteration schedules) sees the design.
+
+use crate::{Cdfg, CdfgError, NodeId, OpKind};
+
+/// Unrolls `k ≥ 1` iterations of an SDF design.
+///
+/// State matching is positional: the i-th `Delay` node's value feeds
+/// whatever the i-th state `Input` fed in the next copy. A *state input*
+/// is an `Input` whose name starts with `s` by the convention of this
+/// crate's designs, or — when no named convention is present — the inputs
+/// are left independent per iteration (pure feed-forward unrolling).
+///
+/// Nodes of copy `j` are named `<name>@<j>` when the original is named.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_cdfg::unroll;
+/// use localwm_cdfg::analysis::longest_path_ops;
+///
+/// let g = iir4_parallel();
+/// let u = unroll(&g, 3)?;
+/// assert_eq!(u.op_count(), 3 * g.op_count() - 2 * 4); // delays splice away
+/// assert!(longest_path_ops(&u) > longest_path_ops(&g));
+/// # Ok::<(), localwm_cdfg::CdfgError>(())
+/// ```
+pub fn unroll(g: &Cdfg, k: usize) -> Result<Cdfg, CdfgError> {
+    assert!(k >= 1, "unroll factor must be at least 1");
+    // Identify state pairs: delays (in id order) and state inputs (in id
+    // order, names starting with 's').
+    let delays: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| g.kind(n) == OpKind::Delay)
+        .collect();
+    let state_inputs: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| {
+            g.kind(n) == OpKind::Input
+                && g.node(n)
+                    .and_then(|x| x.name())
+                    .is_some_and(|name| name.starts_with('s'))
+        })
+        .collect();
+    let paired = delays.len().min(state_inputs.len());
+
+    let mut out = Cdfg::with_capacity(g.node_count() * k, g.edge_count() * k);
+    // map[j][old.index()] = new node in copy j (None for spliced nodes).
+    let mut map: Vec<Vec<Option<NodeId>>> = Vec::with_capacity(k);
+    for j in 0..k {
+        let mut copy: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        for n in g.node_ids() {
+            let kind = g.kind(n);
+            // Delays materialize only in the last copy (they carry state
+            // *out* of the unrolled block); earlier copies splice them.
+            if kind == OpKind::Delay && j + 1 < k && delays[..paired].contains(&n) {
+                continue;
+            }
+            // State inputs materialize only in the first copy.
+            if j > 0 && state_inputs[..paired].contains(&n) {
+                continue;
+            }
+            let new = match g.node(n).and_then(|x| x.name()) {
+                Some(name) => out.try_add_named_node(kind, format!("{name}@{j}"))?,
+                None => out.add_node(kind),
+            };
+            if let Some(lit) = g.node(n).and_then(|x| x.literal()) {
+                out.set_literal(new, lit);
+            }
+            copy[n.index()] = Some(new);
+        }
+        map.push(copy);
+    }
+
+    // Resolves the producer feeding `n` in copy `j`, walking splices.
+    let resolve = |map: &[Vec<Option<NodeId>>], j: usize, n: NodeId| -> NodeId {
+        if let Some(new) = map[j][n.index()] {
+            return new;
+        }
+        // Spliced: either a state input of copy j>0 (value comes from the
+        // previous copy's delay *input*), or a delay of copy j<k-1 (value
+        // is its own input within copy j).
+        if let Some(pos) = state_inputs[..paired].iter().position(|&s| s == n) {
+            let delay = delays[pos];
+            let feeder = g
+                .data_preds(delay)
+                .next()
+                .expect("delays have one operand");
+            // The value the delay would have captured in copy j-1.
+            return resolve_inner(map, g, &state_inputs[..paired], &delays[..paired], j - 1, feeder);
+        }
+        unreachable!("only state inputs are spliced without a direct mapping")
+    };
+
+    for j in 0..k {
+        for e in g.edges() {
+            let (src, dst) = (e.src(), e.dst());
+            // Skip edges whose destination was spliced away in this copy.
+            let Some(new_dst) = map[j][dst.index()] else {
+                continue;
+            };
+            let new_src = if map[j][src.index()].is_some() {
+                map[j][src.index()].expect("checked")
+            } else {
+                resolve(&map, j, src)
+            };
+            out.add_edge(e.kind(), new_src, new_dst)?;
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_inner(
+    map: &[Vec<Option<NodeId>>],
+    g: &Cdfg,
+    state_inputs: &[NodeId],
+    delays: &[NodeId],
+    j: usize,
+    n: NodeId,
+) -> NodeId {
+    if let Some(new) = map[j][n.index()] {
+        return new;
+    }
+    if let Some(pos) = state_inputs.iter().position(|&s| s == n) {
+        assert!(j > 0, "copy 0 state inputs always materialize");
+        let feeder = g
+            .data_preds(delays[pos])
+            .next()
+            .expect("delays have one operand");
+        return resolve_inner(map, g, state_inputs, delays, j - 1, feeder);
+    }
+    unreachable!("unresolvable spliced node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::iir4_parallel;
+    use crate::analysis::longest_path_ops;
+
+    #[test]
+    fn unroll_one_is_isomorphic_in_size() {
+        let g = iir4_parallel();
+        let u = unroll(&g, 1).unwrap();
+        assert_eq!(u.node_count(), g.node_count());
+        assert_eq!(u.edge_count(), g.edge_count());
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn unroll_extends_the_critical_path() {
+        let g = iir4_parallel();
+        let cp1 = longest_path_ops(&g);
+        let u2 = unroll(&g, 2).unwrap();
+        let u4 = unroll(&g, 4).unwrap();
+        assert!(u2.validate().is_ok());
+        assert!(u4.validate().is_ok());
+        let cp2 = longest_path_ops(&u2);
+        let cp4 = longest_path_ops(&u4);
+        assert!(cp2 > cp1, "state recurrence must lengthen the path");
+        assert!(cp4 > cp2);
+    }
+
+    #[test]
+    fn delays_and_states_splice_away() {
+        let g = iir4_parallel(); // 4 delays, 4 state inputs
+        let u = unroll(&g, 3).unwrap();
+        let delays = u
+            .node_ids()
+            .filter(|&n| u.kind(n) == OpKind::Delay)
+            .count();
+        assert_eq!(delays, 4, "only the last copy keeps its delays");
+        let state_inputs = u
+            .node_ids()
+            .filter(|&n| {
+                u.kind(n) == OpKind::Input
+                    && u.node(n).and_then(|x| x.name()).is_some_and(|m| m.starts_with('s'))
+            })
+            .count();
+        assert_eq!(state_inputs, 4, "only the first copy keeps state inputs");
+    }
+
+    #[test]
+    fn copies_are_named_by_iteration() {
+        let g = iir4_parallel();
+        let u = unroll(&g, 2).unwrap();
+        assert!(u.node_by_name("A9@0").is_some());
+        assert!(u.node_by_name("A9@1").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_unroll_panics() {
+        let _ = unroll(&iir4_parallel(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the graph core.
+
+use localwm_cdfg::analysis::{depth, fanin_within, levels_from, longest_path_ops};
+use localwm_cdfg::generators::{layered, random_dag, LayeredConfig};
+use localwm_cdfg::{parse_cdfg, write_cdfg, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Topological order respects every edge on random DAGs.
+    #[test]
+    fn topo_respects_edges(n in 2usize..80, p in 0.0f64..0.5, seed in 0u64..2000) {
+        let g = random_dag(n, p, seed);
+        let order = g.topo_order().expect("random_dag is a DAG");
+        let mut pos = vec![0usize; g.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for e in g.edges() {
+            prop_assert!(pos[e.src().index()] < pos[e.dst().index()]);
+        }
+    }
+
+    /// The text format round-trips structure exactly (layered graphs are
+    /// arity-valid, which the parser checks).
+    #[test]
+    fn textfmt_round_trips(ops in 2usize..60, seed in 0u64..1000) {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: (ops / 6).max(1),
+            seed,
+            ..Default::default()
+        });
+        let text = write_cdfg(&g);
+        let g2 = parse_cdfg(&text).expect("own output parses");
+        prop_assert_eq!(g.node_count(), g2.node_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        let e1: Vec<_> = g.edges().map(|e| (e.src().index(), e.dst().index(), e.kind())).collect();
+        let e2: Vec<_> = g2.edges().map(|e| (e.src().index(), e.dst().index(), e.kind())).collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Fanin balls are monotone in the radius and contain their center.
+    #[test]
+    fn fanin_monotone(n in 2usize..60, p in 0.0f64..0.4, seed in 0u64..1000, v in 0usize..60) {
+        let g = random_dag(n, p, seed);
+        let v = NodeId::from_index(v % n);
+        let mut prev = 0usize;
+        for r in 0..5u32 {
+            let ball = fanin_within(&g, v, r);
+            prop_assert_eq!(ball[0], v);
+            prop_assert!(ball.len() >= prev);
+            prev = ball.len();
+        }
+    }
+
+    /// depth(n) equals 1 + max over preds, and the max depth is the
+    /// critical path.
+    #[test]
+    fn depth_recurrence(n in 2usize..60, p in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let d = depth(&g);
+        for v in g.node_ids() {
+            let pred_max = g.preds(v).map(|u| d[u.index()]).max().unwrap_or(0);
+            prop_assert_eq!(d[v.index()], pred_max + 1); // all UnitOps are schedulable
+        }
+        prop_assert_eq!(d.iter().copied().max().unwrap_or(0), longest_path_ops(&g));
+    }
+
+    /// Levels from a root are none outside the cone and zero at the root.
+    #[test]
+    fn levels_sane(n in 2usize..60, p in 0.0f64..0.4, seed in 0u64..1000, r in 0usize..60) {
+        let g = random_dag(n, p, seed);
+        let root = NodeId::from_index(r % n);
+        let levels = levels_from(&g, root);
+        prop_assert_eq!(levels[root.index()], Some(0));
+        let cone = fanin_within(&g, root, n as u32);
+        for v in g.node_ids() {
+            prop_assert_eq!(levels[v.index()].is_some(), cone.contains(&v));
+        }
+    }
+
+    /// Layered graphs always produce exactly the requested op count and
+    /// validate.
+    #[test]
+    fn layered_is_well_formed(ops in 1usize..200, seed in 0u64..500, fresh in 0.0f64..0.9) {
+        let layers = (ops / 8).clamp(1, ops);
+        let g = layered(&LayeredConfig { ops, layers, fresh_prob: fresh, seed, ..Default::default() });
+        prop_assert_eq!(g.op_count(), ops);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Removing a freshly added temporal edge restores the edge count and
+    /// the graph stays a DAG throughout.
+    #[test]
+    fn temporal_add_remove_round_trip(n in 3usize..50, p in 0.05f64..0.4, seed in 0u64..500) {
+        let mut g = random_dag(n, p, seed);
+        let before = g.edge_count();
+        let a = NodeId::from_index(0);
+        let b = NodeId::from_index(n - 1);
+        if !g.reaches(b, a) && a != b {
+            let id = g.add_temporal_edge(a, b).expect("acyclic by reach check");
+            prop_assert!(g.topo_order().is_ok());
+            prop_assert_eq!(g.edge_count(), before + 1);
+            g.remove_edge(id).expect("just added");
+            prop_assert_eq!(g.edge_count(), before);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! JSON round-trips for the data structures (feature `serde`).
+#![cfg(feature = "serde")]
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::generators::{layered, LayeredConfig};
+use localwm_cdfg::Cdfg;
+
+#[test]
+fn cdfg_round_trips_through_json() {
+    let g = iir4_parallel();
+    let json = serde_json::to_string(&g).expect("serializes");
+    let g2: Cdfg = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(g.node_count(), g2.node_count());
+    assert_eq!(g.edge_count(), g2.edge_count());
+    assert_eq!(g.op_count(), g2.op_count());
+    // Names survive.
+    assert_eq!(g.node_by_name("A9"), g2.node_by_name("A9"));
+    // Structure survives edge by edge.
+    let e1: Vec<_> = g
+        .edges()
+        .map(|e| (e.src(), e.dst(), e.kind()))
+        .collect();
+    let e2: Vec<_> = g2
+        .edges()
+        .map(|e| (e.src(), e.dst(), e.kind()))
+        .collect();
+    assert_eq!(e1, e2);
+    assert!(g2.validate().is_ok());
+}
+
+#[test]
+fn generated_graphs_round_trip() {
+    let g = layered(&LayeredConfig {
+        ops: 120,
+        layers: 10,
+        seed: 8,
+        ..Default::default()
+    });
+    let json = serde_json::to_string(&g).expect("serializes");
+    let g2: Cdfg = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(g.node_count(), g2.node_count());
+    assert!(g2.topo_order().is_ok());
+}

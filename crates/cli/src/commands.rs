@@ -1,0 +1,364 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use localwm_cdfg::designs::{iir4_parallel, table2_design, table2_designs};
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::{parse_cdfg, write_cdfg, Cdfg};
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+use localwm_sched::{force_directed_schedule, list_schedule, OpClass, ResourceSet};
+use localwm_sim::{interpret, Inputs};
+use localwm_timing::UnitTiming;
+
+use crate::schedule_io::{parse_schedule, write_schedule};
+
+type CliResult = Result<(), String>;
+
+/// Dispatches a parsed argument vector.
+pub fn run(args: &[String]) -> CliResult {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("gen") => gen(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("dot") => dot(&args[1..]),
+        Some("embed") => embed(&args[1..]),
+        Some("detect") => detect(&args[1..]),
+        Some("schedule") => schedule_cmd(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("help") | None => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`; try `localwm help`")),
+    }
+}
+
+const HELP: &str = "localwm — local watermarking of behavioral-synthesis solutions
+
+USAGE:
+  localwm gen <design> [--seed N] [-o FILE]
+  localwm info <design.cdfg>
+  localwm dot <design.cdfg>
+  localwm embed <design.cdfg> --author ID [--fraction F | --k K] \\
+                [-o schedule.txt] [--marked marked.cdfg]
+  localwm detect <design.cdfg> <schedule.txt> --author ID
+  localwm schedule <design.cdfg> [--scheduler list|fds|alap] [--steps N]
+                   [--alu N] [--mult N] [--mem N] [--branch N]
+  localwm simulate <design.cdfg> [--seed N]
+
+DESIGNS (for gen):
+  iir4 | cf-iir | linear-ge | wavelet | modem | volterra2 | volterra3 |
+  dac | echo | mediabench:<dac|g721|epic|pegwit|pgp|gsm|jpeg|mpeg2>";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String], idx: usize) -> Option<&str> {
+    args.iter()
+        .filter(|a| !a.starts_with('-'))
+        .scan(false, |skip, a| {
+            // Skip flag values: a positional preceded by a flag token is a
+            // value, not a positional. Handled by the caller passing only
+            // leading positionals in our grammar; keep it simple here.
+            let _ = skip;
+            Some(a)
+        })
+        .nth(idx)
+        .map(String::as_str)
+}
+
+fn load_design(path: &str) -> Result<Cdfg, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_cdfg(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn gen(args: &[String]) -> CliResult {
+    let name = positional(args, 0).ok_or("gen: missing design name")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let g = build_design(name, seed)?;
+    let text = write_cdfg(&g);
+    match flag_value(args, "-o") {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {path}: {} ops, {} edges",
+                g.op_count(),
+                g.edge_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn build_design(name: &str, seed: u64) -> Result<Cdfg, String> {
+    if name == "iir4" {
+        return Ok(iir4_parallel());
+    }
+    let table2_keys = [
+        "cf-iir",
+        "linear-ge",
+        "wavelet",
+        "modem",
+        "volterra2",
+        "volterra3",
+        "dac",
+        "echo",
+    ];
+    if let Some(i) = table2_keys.iter().position(|&k| k == name) {
+        return Ok(table2_design(&table2_designs()[i]));
+    }
+    if let Some(app) = name.strip_prefix("mediabench:") {
+        let keys = ["dac", "g721", "epic", "pegwit", "pgp", "gsm", "jpeg", "mpeg2"];
+        let i = keys
+            .iter()
+            .position(|&k| k == app)
+            .ok_or_else(|| format!("unknown mediabench app `{app}`"))?;
+        return Ok(mediabench(&mediabench_apps()[i], seed));
+    }
+    Err(format!("unknown design `{name}`; try `localwm help`"))
+}
+
+fn info(args: &[String]) -> CliResult {
+    let path = positional(args, 0).ok_or("info: missing design file")?;
+    let g = load_design(path)?;
+    let t = UnitTiming::new(&g);
+    let stats = localwm_cdfg::analysis::design_stats(&g);
+    println!("design          {path}");
+    println!("nodes           {}", g.node_count());
+    println!("operations      {}", g.op_count());
+    println!("edges           {}", g.edge_count());
+    println!("variables       {}", g.variable_count());
+    println!("critical path   {} control steps", t.critical_path());
+    println!("parallelism     {:.1} ops/step", stats.parallelism);
+    let mix: Vec<String> = stats
+        .op_mix
+        .iter()
+        .map(|(k, v)| format!("{k}:{v}"))
+        .collect();
+    println!("op mix          {}", mix.join(" "));
+    Ok(())
+}
+
+fn dot(args: &[String]) -> CliResult {
+    let path = positional(args, 0).ok_or("dot: missing design file")?;
+    let g = load_design(path)?;
+    print!("{}", g.to_dot("design"));
+    Ok(())
+}
+
+fn watermarker(args: &[String]) -> Result<SchedulingWatermarker, String> {
+    let mut config = SchedWmConfig::default();
+    if let Some(f) = flag_value(args, "--fraction") {
+        let f: f64 = f.parse().map_err(|_| format!("bad fraction `{f}`"))?;
+        config = SchedWmConfig::with_node_fraction(f);
+    }
+    if let Some(k) = flag_value(args, "--k") {
+        config.k = k.parse().map_err(|_| format!("bad k `{k}`"))?;
+    }
+    Ok(SchedulingWatermarker::new(config))
+}
+
+fn signature(args: &[String]) -> Result<Signature, String> {
+    flag_value(args, "--author")
+        .map(Signature::from_author)
+        .ok_or_else(|| "missing --author <id>".to_owned())
+}
+
+fn embed(args: &[String]) -> CliResult {
+    let path = positional(args, 0).ok_or("embed: missing design file")?;
+    let g = load_design(path)?;
+    let wm = watermarker(args)?;
+    let sig = signature(args)?;
+    let emb = wm.embed(&g, &sig).map_err(|e| e.to_string())?;
+    println!(
+        "embedded {} temporal edge(s) across {} localit(y/ies); schedule \
+         length {} of {}",
+        emb.edges.len(),
+        emb.domains.len(),
+        emb.schedule.length(),
+        emb.available_steps
+    );
+    let text = write_schedule(&g, &emb.schedule);
+    match flag_value(args, "-o") {
+        Some(out) => {
+            fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote schedule to {out}");
+        }
+        None => print!("{text}"),
+    }
+    if let Some(marked_path) = flag_value(args, "--marked") {
+        fs::write(marked_path, write_cdfg(&emb.marked))
+            .map_err(|e| format!("writing {marked_path}: {e}"))?;
+        println!("wrote constrained specification to {marked_path}");
+    }
+    Ok(())
+}
+
+fn detect(args: &[String]) -> CliResult {
+    let design_path = positional(args, 0).ok_or("detect: missing design file")?;
+    let sched_path = positional(args, 1).ok_or("detect: missing schedule file")?;
+    let g = load_design(design_path)?;
+    let text =
+        fs::read_to_string(sched_path).map_err(|e| format!("reading {sched_path}: {e}"))?;
+    let schedule = parse_schedule(&g, &text)?;
+    let wm = watermarker(args)?;
+    let sig = signature(args)?;
+    let ev = wm.detect(&schedule, &g, &sig).map_err(|e| e.to_string())?;
+    println!(
+        "constraints satisfied: {}/{} ({:.0}%)",
+        ev.checks.iter().filter(|&&(_, _, ok)| ok).count(),
+        ev.checks.len(),
+        100.0 * ev.satisfied_fraction()
+    );
+    println!("coincidence probability ~ 10^{:.1}", ev.log10_pc);
+    if ev.is_match() {
+        println!("MATCH: the schedule carries {sig}'s watermark");
+        Ok(())
+    } else {
+        Err("no match: watermark absent or damaged".to_owned())
+    }
+}
+
+fn schedule_cmd(args: &[String]) -> CliResult {
+    let path = positional(args, 0).ok_or("schedule: missing design file")?;
+    let g = load_design(path)?;
+    let mut rs = ResourceSet::unlimited();
+    for (flag, class) in [
+        ("--alu", OpClass::Alu),
+        ("--mult", OpClass::Multiplier),
+        ("--mem", OpClass::Memory),
+        ("--branch", OpClass::Branch),
+    ] {
+        if let Some(v) = flag_value(args, flag) {
+            let n: usize = v.parse().map_err(|_| format!("bad {flag} `{v}`"))?;
+            rs = rs.with(class, n);
+        }
+    }
+    let cp = UnitTiming::new(&g).critical_path();
+    let steps: u32 = flag_value(args, "--steps")
+        .map(|v| v.parse().map_err(|_| format!("bad steps `{v}`")))
+        .transpose()?
+        .unwrap_or(cp);
+    let scheduler = flag_value(args, "--scheduler").unwrap_or("list");
+    let s = match scheduler {
+        "list" => list_schedule(&g, &rs, None).map_err(|e| e.to_string())?,
+        "fds" => force_directed_schedule(&g, steps).map_err(|e| e.to_string())?,
+        "alap" => localwm_sched::alap_schedule(&g, steps).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown scheduler `{other}` (list|fds|alap)")),
+    };
+    println!(
+        "{} scheduler: {} ops in {} control steps (critical path {})",
+        scheduler,
+        g.op_count(),
+        s.length(),
+        cp
+    );
+    print!("{}", s.render(&g));
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> CliResult {
+    let path = positional(args, 0).ok_or("simulate: missing design file")?;
+    let g = load_design(path)?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| format!("bad seed `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let trace = interpret(&g, &Inputs::seeded(seed)).map_err(|e| e.to_string())?;
+    println!("# outputs (seed {seed})");
+    for (n, v) in trace.outputs(&g) {
+        let name = g
+            .node(n)
+            .and_then(|x| x.name().map(str::to_owned))
+            .unwrap_or_else(|| n.to_string());
+        println!("{name} = {v}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_design_knows_every_key() {
+        assert!(build_design("iir4", 0).is_ok());
+        for k in ["cf-iir", "linear-ge", "wavelet", "modem", "volterra2", "volterra3"] {
+            assert!(build_design(k, 0).is_ok(), "{k}");
+        }
+        assert!(build_design("mediabench:g721", 0).is_ok());
+        assert!(build_design("bogus", 0).is_err());
+        assert!(build_design("mediabench:bogus", 0).is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["x.cdfg", "--author", "al", "--k", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value(&args, "--author"), Some("al"));
+        assert_eq!(flag_value(&args, "--k"), Some("5"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        assert_eq!(positional(&args, 0), Some("x.cdfg"));
+    }
+
+    #[test]
+    fn schedule_and_simulate_subcommands_work() {
+        let dir = std::env::temp_dir().join("localwm-cli-test2");
+        let _ = fs::create_dir_all(&dir);
+        let design = dir.join("d.cdfg");
+        let d = design.to_str().unwrap().to_owned();
+        run(&["gen".into(), "iir4".into(), "-o".into(), d.clone()]).unwrap();
+        run(&["schedule".into(), d.clone(), "--scheduler".into(), "fds".into(), "--steps".into(), "9".into()]).unwrap();
+        run(&["schedule".into(), d.clone(), "--alu".into(), "2".into()]).unwrap();
+        run(&["simulate".into(), d.clone(), "--seed".into(), "3".into()]).unwrap();
+        assert!(run(&["schedule".into(), d, "--scheduler".into(), "bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join("localwm-cli-test");
+        let _ = fs::create_dir_all(&dir);
+        let design = dir.join("d.cdfg");
+        let schedule = dir.join("s.txt");
+        let d = design.to_str().unwrap().to_owned();
+        let s = schedule.to_str().unwrap().to_owned();
+
+        run(&["gen".into(), "mediabench:pegwit".into(), "-o".into(), d.clone()]).unwrap();
+        run(&[
+            "embed".into(),
+            d.clone(),
+            "--author".into(),
+            "cli-test".into(),
+            "-o".into(),
+            s.clone(),
+        ])
+        .unwrap();
+        run(&[
+            "detect".into(),
+            d.clone(),
+            s.clone(),
+            "--author".into(),
+            "cli-test".into(),
+        ])
+        .unwrap();
+        // Wrong author must fail.
+        assert!(run(&[
+            "detect".into(),
+            d,
+            s,
+            "--author".into(),
+            "someone-else".into(),
+        ])
+        .is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! `localwm` — command-line front end for the local-watermarks toolkit.
+//!
+//! ```text
+//! localwm gen <design> [--seed N] -o design.cdfg     generate a design
+//! localwm info <design.cdfg>                         structural summary
+//! localwm dot <design.cdfg>                          Graphviz to stdout
+//! localwm embed <design.cdfg> --author <id>          watermark + schedule
+//!         [--fraction F | --k K] -o schedule.txt [--marked marked.cdfg]
+//! localwm detect <design.cdfg> <schedule.txt> --author <id>
+//! ```
+//!
+//! `<design>` for `gen` is one of `iir4`, a Table II key
+//! (`cf-iir`, `linear-ge`, `wavelet`, `modem`, `volterra2`, `volterra3`,
+//! `dac`, `echo`), or `mediabench:<app>` (`dac`, `g721`, `epic`, `pegwit`,
+//! `pgp`, `gsm`, `jpeg`, `mpeg2`).
+
+use std::process::ExitCode;
+
+mod commands;
+mod schedule_io;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Schedule text format: one `<node-name> <step>` pair per line.
+
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_sched::Schedule;
+
+/// Serializes a schedule using node names (synthetic `n<i>` for anonymous
+/// nodes, matching `localwm_cdfg::write_cdfg`).
+pub fn write_schedule(g: &Cdfg, s: &Schedule) -> String {
+    let mut out = String::from("# localwm schedule v1\n");
+    for (n, step) in s.iter() {
+        let name = g
+            .node(n)
+            .and_then(|x| x.name().map(str::to_owned))
+            .unwrap_or_else(|| format!("n{}", n.index()));
+        out.push_str(&format!("{name} {step}\n"));
+    }
+    out
+}
+
+/// Parses the schedule format against a graph (names must resolve).
+pub fn parse_schedule(g: &Cdfg, text: &str) -> Result<Schedule, String> {
+    let mut s = Schedule::empty(g);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (name, step) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(n), Some(s), None) => (n, s),
+            _ => return Err(format!("line {}: expected `<name> <step>`", lineno + 1)),
+        };
+        let node: NodeId = resolve(g, name)
+            .ok_or_else(|| format!("line {}: unknown node `{name}`", lineno + 1))?;
+        let step: u32 = step
+            .parse()
+            .map_err(|_| format!("line {}: bad step `{step}`", lineno + 1))?;
+        s.set_step(node, step);
+    }
+    Ok(s)
+}
+
+fn resolve(g: &Cdfg, name: &str) -> Option<NodeId> {
+    if let Some(n) = g.node_by_name(name) {
+        return Some(n);
+    }
+    // Synthetic `n<i>` names for anonymous nodes.
+    let idx: usize = name.strip_prefix('n')?.parse().ok()?;
+    let id = NodeId::from_index(idx);
+    if g.node(id).is_some_and(|x| x.name().is_none()) {
+        Some(id)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::OpKind;
+    use localwm_sched::{list_schedule, ResourceSet};
+
+    #[test]
+    fn round_trips_named_and_anonymous_nodes() {
+        let mut g = Cdfg::new();
+        let x = g.add_named_node(OpKind::Input, "x");
+        let a = g.add_node(OpKind::Not); // anonymous
+        let b = g.add_named_node(OpKind::Neg, "b");
+        g.add_data_edge(x, a).unwrap();
+        g.add_data_edge(a, b).unwrap();
+        let s = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
+        let text = write_schedule(&g, &s);
+        let parsed = parse_schedule(&g, &text).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn rejects_unknown_nodes_and_bad_steps() {
+        let mut g = Cdfg::new();
+        let _ = g.add_named_node(OpKind::Input, "x");
+        assert!(parse_schedule(&g, "ghost 1\n").is_err());
+        assert!(parse_schedule(&g, "x abc\n").is_err());
+        assert!(parse_schedule(&g, "x\n").is_err());
+    }
+}

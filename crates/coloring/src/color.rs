@@ -1,0 +1,135 @@
+//! Greedy coloring: the off-the-shelf optimizer the watermark rides.
+
+use crate::UGraph;
+
+/// A proper vertex coloring: `colors[v]` is the color of vertex `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u32>,
+}
+
+impl Coloring {
+    /// Color of a vertex.
+    pub fn color(&self, v: usize) -> u32 {
+        self.colors[v]
+    }
+
+    /// Number of distinct colors used.
+    pub fn color_count(&self) -> usize {
+        let mut seen: Vec<u32> = self.colors.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Raw color vector.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Builds a coloring from raw colors (for deserialization/tests).
+    pub fn from_colors(colors: Vec<u32>) -> Self {
+        Coloring { colors }
+    }
+}
+
+/// Largest-degree-first greedy coloring. Deterministic: vertices are
+/// processed by descending degree (ties by index) and each takes the
+/// smallest color absent from its neighbourhood.
+///
+/// ```
+/// use localwm_coloring::{greedy_coloring, validate_coloring, UGraph};
+/// let g = UGraph::random(60, 0.2, 9);
+/// let c = greedy_coloring(&g);
+/// assert!(validate_coloring(&g, &c));
+/// ```
+pub fn greedy_coloring(g: &UGraph) -> Coloring {
+    let n = g.vertex_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut colors = vec![u32::MAX; n];
+    for v in order {
+        let mut used: Vec<u32> = g
+            .neighbours(v)
+            .iter()
+            .map(|&u| colors[u])
+            .filter(|&c| c != u32::MAX)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut c = 0u32;
+        for u in used {
+            if u == c {
+                c += 1;
+            } else if u > c {
+                break;
+            }
+        }
+        colors[v] = c;
+    }
+    Coloring { colors }
+}
+
+/// Whether a coloring is proper for `g` (all vertices colored, no edge
+/// monochromatic).
+pub fn validate_coloring(g: &UGraph, c: &Coloring) -> bool {
+    if c.as_slice().len() != g.vertex_count() {
+        return false;
+    }
+    for u in 0..g.vertex_count() {
+        for &v in g.neighbours(u) {
+            if c.color(u) == c.color(v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_a_triangle_with_three() {
+        let mut g = UGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let c = greedy_coloring(&g);
+        assert!(validate_coloring(&g, &c));
+        assert_eq!(c.color_count(), 3);
+    }
+
+    #[test]
+    fn bipartite_needs_two() {
+        let mut g = UGraph::new(6);
+        for u in 0..3 {
+            for v in 3..6 {
+                g.add_edge(u, v);
+            }
+        }
+        let c = greedy_coloring(&g);
+        assert!(validate_coloring(&g, &c));
+        assert_eq!(c.color_count(), 2);
+    }
+
+    #[test]
+    fn random_graphs_color_properly() {
+        for seed in 0..10 {
+            let g = UGraph::random(80, 0.15, seed);
+            let c = greedy_coloring(&g);
+            assert!(validate_coloring(&g, &c), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn invalid_coloring_detected() {
+        let mut g = UGraph::new(2);
+        g.add_edge(0, 1);
+        let bad = Coloring::from_colors(vec![0, 0]);
+        assert!(!validate_coloring(&g, &bad));
+        let short = Coloring::from_colors(vec![0]);
+        assert!(!validate_coloring(&g, &short));
+    }
+}

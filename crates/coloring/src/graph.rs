@@ -1,0 +1,164 @@
+//! Simple undirected graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected graph on vertices `0..n` with adjacency lists.
+///
+/// ```
+/// use localwm_coloring::UGraph;
+/// let mut g = UGraph::new(3);
+/// g.add_edge(0, 1);
+/// assert!(g.adjacent(0, 1));
+/// assert!(g.adjacent(1, 0));
+/// assert!(!g.adjacent(0, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UGraph {
+    adj: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl UGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        UGraph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// An Erdős–Rényi `G(n, p)` graph, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = UGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds an undirected edge (idempotent; self-loops rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or a self loop.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self loops are not allowed");
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex range");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+            self.edges += 1;
+        }
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn adjacent(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Neighbours of `u` (insertion order).
+    pub fn neighbours(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Breadth-first ball of `radius` hops around `start` (sorted
+    /// neighbour order for determinism), including `start`.
+    pub fn ball(&self, start: usize, radius: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.vertex_count()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut out = Vec::new();
+        seen[start] = true;
+        queue.push_back((start, 0usize));
+        while let Some((u, d)) = queue.pop_front() {
+            out.push(u);
+            if d == radius {
+                continue;
+            }
+            let mut next: Vec<usize> = self.adj[u]
+                .iter()
+                .copied()
+                .filter(|&v| !seen[v])
+                .collect();
+            next.sort_unstable();
+            for v in next {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back((v, d + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_symmetric_and_deduped() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_panics() {
+        let mut g = UGraph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = UGraph::random(50, 0.1, 3);
+        let b = UGraph::random(50, 0.1, 3);
+        assert_eq!(a, b);
+        let c = UGraph::random(50, 0.1, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ball_grows_with_radius() {
+        let g = UGraph::random(100, 0.05, 1);
+        let b1 = g.ball(0, 1);
+        let b2 = g.ball(0, 2);
+        assert!(b2.len() >= b1.len());
+        assert_eq!(b1[0], 0);
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        assert_eq!(UGraph::random(10, 0.0, 0).edge_count(), 0);
+        assert_eq!(UGraph::random(10, 1.0, 0).edge_count(), 45);
+    }
+}

@@ -1,0 +1,325 @@
+//! The local watermark protocol for graph coloring.
+
+use std::fmt;
+
+use localwm_prng::{Bitstream, Signature};
+
+use crate::{greedy_coloring, validate_coloring, Coloring, UGraph};
+
+/// Derivation output: the must-differ pairs and the locality centers.
+type Derivation = (Vec<(usize, usize)>, Vec<usize>);
+
+/// Configuration of the coloring watermark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColoringConfig {
+    /// Number of localities (BFS balls) to mark.
+    pub localities: usize,
+    /// BFS radius of each locality.
+    pub radius: usize,
+    /// Must-differ constraints per locality.
+    pub constraints_per_locality: usize,
+    /// Selection attempts before giving up.
+    pub max_attempts: usize,
+}
+
+impl Default for ColoringConfig {
+    fn default() -> Self {
+        ColoringConfig {
+            localities: 4,
+            radius: 2,
+            constraints_per_locality: 12,
+            max_attempts: 32,
+        }
+    }
+}
+
+/// A fully-embedded coloring watermark.
+#[derive(Debug, Clone)]
+pub struct ColoringEmbedding {
+    /// The constrained (virtual-edge-augmented) graph the optimizer ran on.
+    pub constrained: UGraph,
+    /// The coloring produced under constraints — the marked solution.
+    pub coloring: Coloring,
+    /// The signature's must-differ pairs, per locality.
+    pub constraints: Vec<(usize, usize)>,
+    /// The chosen locality centers.
+    pub centers: Vec<usize>,
+}
+
+/// Detection evidence.
+#[derive(Debug, Clone)]
+pub struct ColoringEvidence {
+    /// Per constraint: the pair and whether it is differently colored.
+    pub checks: Vec<((usize, usize), bool)>,
+    /// `log₁₀` of the coincidence probability under the independence
+    /// model: each unconstrained pair differs with probability
+    /// `1 − 1/χ`, so `P_c = (1 − 1/χ)^K`.
+    pub log10_pc: f64,
+}
+
+impl ColoringEvidence {
+    /// Whether every constraint holds (and at least one was checked).
+    pub fn is_match(&self) -> bool {
+        !self.checks.is_empty() && self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// Fraction of constraints that hold.
+    pub fn satisfied_fraction(&self) -> f64 {
+        if self.checks.is_empty() {
+            return 0.0;
+        }
+        self.checks.iter().filter(|(_, ok)| *ok).count() as f64 / self.checks.len() as f64
+    }
+}
+
+/// Errors from the coloring watermark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ColoringWmError {
+    /// The graph is too small or too dense to host the requested
+    /// constraints (not enough non-adjacent pairs in any locality).
+    NoLocality {
+        /// Constraints placed before giving up.
+        placed: usize,
+        /// Constraints requested.
+        requested: usize,
+    },
+    /// A configuration field is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ColoringWmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringWmError::NoLocality { placed, requested } => {
+                write!(f, "only {placed} of {requested} constraints placeable")
+            }
+            ColoringWmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ColoringWmError {}
+
+/// Embeds and detects local watermarks in graph colorings.
+#[derive(Debug, Clone)]
+pub struct ColoringWatermarker {
+    config: ColoringConfig,
+}
+
+impl ColoringWatermarker {
+    /// Creates a watermarker.
+    pub fn new(config: ColoringConfig) -> Self {
+        ColoringWatermarker { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ColoringConfig {
+        &self.config
+    }
+
+    /// Derives the signature's must-differ pairs. Deterministic in
+    /// `(graph, signature, config)` — detection replays it.
+    fn derive(
+        &self,
+        g: &UGraph,
+        signature: &Signature,
+    ) -> Result<Derivation, ColoringWmError> {
+        if self.config.localities == 0 || self.config.constraints_per_locality == 0 {
+            return Err(ColoringWmError::InvalidConfig(
+                "localities and constraints_per_locality must be positive".to_owned(),
+            ));
+        }
+        let n = g.vertex_count();
+        if n < 4 {
+            return Err(ColoringWmError::NoLocality {
+                placed: 0,
+                requested: self.config.localities * self.config.constraints_per_locality,
+            });
+        }
+        let mut constraints: Vec<(usize, usize)> = Vec::new();
+        let mut centers: Vec<usize> = Vec::new();
+        let total = self.config.localities * self.config.constraints_per_locality;
+        for attempt in 0..self.config.max_attempts {
+            if constraints.len() >= total {
+                break;
+            }
+            let mut bits =
+                Bitstream::for_purpose(signature, &format!("coloring-wm/attempt-{attempt}"));
+            let center = bits.range(n);
+            let ball = g.ball(center, self.config.radius);
+            if ball.len() < 4 {
+                continue;
+            }
+            // Non-adjacent pairs inside the locality, canonical order.
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for (i, &u) in ball.iter().enumerate() {
+                for &v in &ball[i + 1..] {
+                    let (a, b) = if u < v { (u, v) } else { (v, u) };
+                    if !g.adjacent(a, b) && !constraints.contains(&(a, b)) {
+                        candidates.push((a, b));
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            let take = self
+                .config
+                .constraints_per_locality
+                .min(candidates.len())
+                .min(total - constraints.len());
+            if take == 0 {
+                continue;
+            }
+            let picks = bits.ordered_selection(candidates.len(), take);
+            for i in picks {
+                constraints.push(candidates[i]);
+            }
+            centers.push(center);
+        }
+        if constraints.len() < total {
+            return Err(ColoringWmError::NoLocality {
+                placed: constraints.len(),
+                requested: total,
+            });
+        }
+        Ok((constraints, centers))
+    }
+
+    /// Embeds the watermark: augments the graph with the signature's
+    /// must-differ pairs as virtual edges and colors it.
+    ///
+    /// # Errors
+    ///
+    /// [`ColoringWmError::NoLocality`] when the graph cannot host the
+    /// requested constraint count.
+    pub fn embed(
+        &self,
+        g: &UGraph,
+        signature: &Signature,
+    ) -> Result<ColoringEmbedding, ColoringWmError> {
+        let (constraints, centers) = self.derive(g, signature)?;
+        let mut constrained = g.clone();
+        for &(u, v) in &constraints {
+            constrained.add_edge(u, v);
+        }
+        let coloring = greedy_coloring(&constrained);
+        debug_assert!(validate_coloring(&constrained, &coloring));
+        debug_assert!(validate_coloring(g, &coloring));
+        Ok(ColoringEmbedding {
+            constrained,
+            coloring,
+            constraints,
+            centers,
+        })
+    }
+
+    /// Detects the watermark in a suspected coloring of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Same derivation errors as [`ColoringWatermarker::embed`].
+    pub fn detect(
+        &self,
+        coloring: &Coloring,
+        g: &UGraph,
+        signature: &Signature,
+    ) -> Result<ColoringEvidence, ColoringWmError> {
+        let (constraints, _) = self.derive(g, signature)?;
+        let checks: Vec<((usize, usize), bool)> = constraints
+            .into_iter()
+            .map(|(u, v)| ((u, v), coloring.color(u) != coloring.color(v)))
+            .collect();
+        let chi = coloring.color_count().max(2) as f64;
+        let per_pair = 1.0 - 1.0 / chi;
+        let log10_pc = checks.len() as f64 * per_pair.log10();
+        Ok(ColoringEvidence { checks, log10_pc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(name: &str) -> Signature {
+        Signature::from_author(name)
+    }
+
+    #[test]
+    fn embed_detect_round_trips() {
+        let g = UGraph::random(300, 0.04, 11);
+        let wm = ColoringWatermarker::new(ColoringConfig::default());
+        let s = sig("color-roundtrip");
+        let emb = wm.embed(&g, &s).unwrap();
+        assert!(validate_coloring(&g, &emb.coloring));
+        let ev = wm.detect(&emb.coloring, &g, &s).unwrap();
+        assert!(ev.is_match());
+        assert!(ev.log10_pc < 0.0);
+    }
+
+    #[test]
+    fn plain_coloring_misses_constraints() {
+        // With 48 constraints and chi ~ 5-8, a plain greedy coloring
+        // satisfies all of them with probability (1-1/chi)^48 << 1.
+        let g = UGraph::random(300, 0.04, 11);
+        let wm = ColoringWatermarker::new(ColoringConfig::default());
+        let s = sig("color-plain");
+        let plain = greedy_coloring(&g);
+        let ev = wm.detect(&plain, &g, &s).unwrap();
+        assert!(!ev.is_match());
+        assert!(ev.satisfied_fraction() > 0.5, "chance level is high");
+    }
+
+    #[test]
+    fn wrong_signature_rarely_verifies() {
+        let g = UGraph::random(300, 0.04, 2);
+        let wm = ColoringWatermarker::new(ColoringConfig::default());
+        let author = sig("true-author");
+        let emb = wm.embed(&g, &author).unwrap();
+        let mut false_pos = 0;
+        for i in 0..6 {
+            let other = sig(&format!("color-impostor-{i}"));
+            if let Ok(ev) = wm.detect(&emb.coloring, &g, &other) {
+                if ev.is_match() {
+                    false_pos += 1;
+                }
+            }
+        }
+        assert_eq!(false_pos, 0);
+    }
+
+    #[test]
+    fn watermark_overhead_in_colors_is_small() {
+        let g = UGraph::random(400, 0.05, 5);
+        let plain = greedy_coloring(&g).color_count();
+        let wm = ColoringWatermarker::new(ColoringConfig::default());
+        let emb = wm.embed(&g, &sig("color-overhead")).unwrap();
+        let marked = emb.coloring.color_count();
+        assert!(
+            marked <= plain + 2,
+            "48 local constraints should cost at most ~2 colors \
+             ({plain} -> {marked})"
+        );
+    }
+
+    #[test]
+    fn too_dense_graph_reports_no_locality() {
+        let g = UGraph::random(12, 1.0, 0); // complete: no non-adjacent pairs
+        let wm = ColoringWatermarker::new(ColoringConfig::default());
+        assert!(matches!(
+            wm.embed(&g, &sig("dense")),
+            Err(ColoringWmError::NoLocality { .. })
+        ));
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let g = UGraph::random(200, 0.05, 9);
+        let wm = ColoringWatermarker::new(ColoringConfig::default());
+        let s = sig("det");
+        let a = wm.embed(&g, &s).unwrap();
+        let b = wm.embed(&g, &s).unwrap();
+        assert_eq!(a.constraints, b.constraints);
+        assert_eq!(a.coloring, b.coloring);
+    }
+}

@@ -1,0 +1,470 @@
+//! Module allocation: the HLS back-end step that turns a covering into a
+//! *module count*.
+//!
+//! The paper's Table II metric is "the count of used modules to cover the
+//! entire design" for a given number of available control steps — the
+//! number of hardware units after **allocation**, where units are
+//! time-shared across control steps. Two effects matter:
+//!
+//! * more control steps ⇒ more time-sharing ⇒ fewer units;
+//! * a specialized module can execute any computation whose operation
+//!   multiset its own template covers (a `cmac2` unit — add·add·cmul — can
+//!   serve a plain add, a `cmac`, or an `add2` in a pinch), so fragmented
+//!   pieces left behind by watermark PPOs are *absorbed* by idle capacity
+//!   when the schedule has slack, and cost extra units when it does not.
+//!
+//! Pipeline: [`condense`] contracts a covering into a macro-operation DAG;
+//! [`min_units`] grows a per-type unit vector from zero until a
+//! compatibility-aware list schedule meets the deadline;
+//! [`allocated_modules`] sums it.
+
+use std::collections::HashMap;
+
+use localwm_cdfg::{Cdfg, OpKind};
+use localwm_tmatch::{Covering, Library};
+
+/// A macro-operation type: a name plus the sorted multiset of operation
+/// kinds its hardware module implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroType {
+    /// Template name or `1op:<mnemonic>`.
+    pub name: String,
+    /// Sorted operation-kind multiset of the module.
+    pub kinds: Vec<OpKind>,
+}
+
+impl MacroType {
+    /// Whether a unit of `self` can execute a piece of type `piece`
+    /// (the piece's kind multiset is contained in this module's).
+    pub fn hosts(&self, piece: &MacroType) -> bool {
+        let mut pool = self.kinds.clone();
+        piece.kinds.iter().all(|k| {
+            if let Some(pos) = pool.iter().position(|p| p == k) {
+                pool.swap_remove(pos);
+                true
+            } else {
+                false
+            }
+        })
+    }
+}
+
+/// A condensed (macro-operation) dependence DAG.
+#[derive(Debug, Clone)]
+pub struct MacroDag {
+    /// Per-macro type index into `type_table`.
+    pub types: Vec<usize>,
+    /// The distinct macro types.
+    pub type_table: Vec<MacroType>,
+    /// Dependence edges between macros.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl MacroDag {
+    /// Number of macro-operations.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Number of distinct types in use.
+    pub fn type_count(&self) -> usize {
+        self.type_table.len()
+    }
+
+    /// Critical path of the macro DAG, in steps (every macro takes one).
+    pub fn critical_path(&self) -> u32 {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            out[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut depth = vec![1u32; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut best = if n == 0 { 0 } else { 1 };
+        while let Some(u) = stack.pop() {
+            for &v in &out[u] {
+                depth[v] = depth[v].max(depth[u] + 1);
+                best = best.max(depth[v]);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Contracts a covering into a [`MacroDag`].
+///
+/// Selected matchings become one macro each, typed by their template;
+/// uncovered operations become singleton macros typed `1op:<kind>`.
+/// Original edges whose endpoints land in different macros become macro
+/// dependences (duplicates dropped; free nodes vanish).
+pub fn condense(g: &Cdfg, covering: &Covering, lib: &Library) -> MacroDag {
+    let mut macro_of: Vec<Option<usize>> = vec![None; g.node_count()];
+    let mut types: Vec<usize> = Vec::new();
+    let mut table: Vec<MacroType> = Vec::new();
+    let mut ids: HashMap<String, usize> = HashMap::new();
+    let mut intern = |ty: MacroType, table: &mut Vec<MacroType>| -> usize {
+        *ids.entry(ty.name.clone()).or_insert_with(|| {
+            table.push(ty);
+            table.len() - 1
+        })
+    };
+
+    for m in &covering.selected {
+        let t = lib.template(m.template);
+        let mut kinds: Vec<OpKind> = (0..t.len()).map(|p| t.kind(p)).collect();
+        kinds.sort_unstable();
+        let ty = intern(
+            MacroType {
+                name: t.name().to_owned(),
+                kinds,
+            },
+            &mut table,
+        );
+        let idx = types.len();
+        types.push(ty);
+        for &n in &m.nodes {
+            macro_of[n.index()] = Some(idx);
+        }
+    }
+    for &n in &covering.singletons {
+        let kind = g.kind(n);
+        let ty = intern(
+            MacroType {
+                name: format!("1op:{kind}"),
+                kinds: vec![kind],
+            },
+            &mut table,
+        );
+        let idx = types.len();
+        types.push(ty);
+        macro_of[n.index()] = Some(idx);
+    }
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for e in g.edges() {
+        let (Some(a), Some(b)) = (macro_of[e.src().index()], macro_of[e.dst().index()]) else {
+            continue;
+        };
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    MacroDag {
+        types,
+        type_table: table,
+        edges,
+    }
+}
+
+/// How pieces may be assigned to units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationPolicy {
+    /// Every piece needs a unit of exactly its type — HYPER-style
+    /// fixed-function modules (the default, and what Table II models).
+    #[default]
+    FixedFunction,
+    /// A piece may also execute on any idle unit whose operation multiset
+    /// covers it (superset-functionality sharing).
+    Hosting,
+}
+
+/// Finds a small per-type unit vector meeting the deadline.
+///
+/// Units start at zero; a list schedule honouring the [`AllocationPolicy`]
+/// is attempted and, on overrun, the type of the most-stalled pieces gains
+/// one unit. Monotone, deterministic, and guaranteed to terminate (one
+/// unit per piece is always feasible when the deadline covers the macro
+/// critical path).
+///
+/// Returns `None` if the deadline is below the macro critical path.
+pub fn min_units(dag: &MacroDag, steps: u32, policy: AllocationPolicy) -> Option<Vec<usize>> {
+    if dag.is_empty() {
+        return Some(Vec::new());
+    }
+    if dag.critical_path() > steps {
+        return None;
+    }
+    // hosts[piece_type] = unit types that can execute it, own type first.
+    let tcount = dag.type_count();
+    let hosts: Vec<Vec<usize>> = (0..tcount)
+        .map(|p| {
+            let mut h = vec![p];
+            if policy == AllocationPolicy::Hosting {
+                for u in 0..tcount {
+                    if u != p && dag.type_table[u].hosts(&dag.type_table[p]) {
+                        h.push(u);
+                    }
+                }
+            }
+            h
+        })
+        .collect();
+
+    let mut units = vec![0usize; tcount];
+    loop {
+        match schedule_len(dag, &units, &hosts, steps) {
+            Ok(_) => return Some(units),
+            Err(bottleneck) => units[bottleneck] += 1,
+        }
+    }
+}
+
+/// Compatibility-aware list schedule under per-type unit limits.
+///
+/// `Ok(len)` when the DAG fits in `deadline`; `Err(bottleneck)` with the
+/// piece type that stalled most otherwise.
+fn schedule_len(
+    dag: &MacroDag,
+    units: &[usize],
+    hosts: &[Vec<usize>],
+    deadline: u32,
+) -> Result<u32, usize> {
+    let n = dag.len();
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &dag.edges {
+        out[a].push(b);
+        indeg[b] += 1;
+    }
+    // Tail-length priority via reverse topological relaxation.
+    let mut tail = vec![1u32; n];
+    {
+        let mut indeg2 = vec![0usize; n];
+        for &(_, b) in &dag.edges {
+            indeg2[b] += 1;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg2[i] == 0).collect();
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &v in &out[u] {
+                indeg2[v] -= 1;
+                if indeg2[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        for &u in order.iter().rev() {
+            for &v in &out[u] {
+                tail[u] = tail[u].max(tail[v] + 1);
+            }
+        }
+    }
+
+    let mut earliest = vec![1u32; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut remaining = n;
+    let mut step = 0u32;
+    let mut stalls = vec![0u64; units.len()];
+    while remaining > 0 {
+        step += 1;
+        let mut cands: Vec<usize> = ready
+            .iter()
+            .copied()
+            .filter(|&i| earliest[i] <= step)
+            .collect();
+        cands.sort_by_key(|&i| (std::cmp::Reverse(tail[i]), i));
+        let mut used = vec![0usize; units.len()];
+        let mut placed = Vec::new();
+        for i in cands {
+            let t = dag.types[i];
+            let slot = hosts[t].iter().copied().find(|&h| used[h] < units[h]);
+            match slot {
+                Some(h) => {
+                    used[h] += 1;
+                    placed.push(i);
+                }
+                None => stalls[t] += 1,
+            }
+        }
+        for i in placed {
+            ready.retain(|&r| r != i);
+            remaining -= 1;
+            for &v in &out[i] {
+                earliest[v] = earliest[v].max(step + 1);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        if step > deadline && remaining > 0 {
+            return Err(most_stalled(&stalls));
+        }
+        if step > deadline.saturating_add(dag.len() as u32) {
+            // Units all zero for some reachable type: guarantee progress.
+            return Err(most_stalled(&stalls));
+        }
+    }
+    if step <= deadline {
+        Ok(step)
+    } else {
+        Err(most_stalled(&stalls))
+    }
+}
+
+fn most_stalled(stalls: &[u64]) -> usize {
+    stalls
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Total modules allocated for a covering at a deadline.
+///
+/// Returns `None` if the deadline is infeasible for the condensed DAG.
+pub fn allocated_modules(
+    g: &Cdfg,
+    covering: &Covering,
+    lib: &Library,
+    steps: u32,
+    policy: AllocationPolicy,
+) -> Option<usize> {
+    let dag = condense(g, covering, lib);
+    min_units(&dag, steps, policy).map(|u| u.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_tmatch::{cover, CoverConstraints};
+
+    fn iir_cover() -> (Cdfg, Covering, Library) {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let c = cover(&g, &lib, &CoverConstraints::default());
+        (g, c, lib)
+    }
+
+    #[test]
+    fn hosting_is_multiset_containment() {
+        let add = MacroType {
+            name: "1op:add".into(),
+            kinds: vec![OpKind::Add],
+        };
+        let cmac2 = MacroType {
+            name: "cmac2".into(),
+            kinds: vec![OpKind::Add, OpKind::Add, OpKind::ConstMul],
+        };
+        let mac = MacroType {
+            name: "mac".into(),
+            kinds: vec![OpKind::Add, OpKind::Mul],
+        };
+        assert!(cmac2.hosts(&add));
+        assert!(!add.hosts(&cmac2));
+        assert!(mac.hosts(&add));
+        assert!(!cmac2.hosts(&mac), "no Mul in a cmac2");
+        assert!(cmac2.hosts(&cmac2));
+    }
+
+    #[test]
+    fn condense_preserves_piece_accounting() {
+        let (g, c, lib) = iir_cover();
+        let dag = condense(&g, &c, &lib);
+        assert_eq!(dag.len(), c.selected.len() + c.singletons.len());
+        assert!(dag.critical_path() <= localwm_timing::UnitTiming::new(&g).critical_path());
+    }
+
+    #[test]
+    fn more_steps_never_needs_more_units() {
+        let (g, c, lib) = iir_cover();
+        let dag = condense(&g, &c, &lib);
+        let cp = dag.critical_path();
+        let tight: usize = min_units(&dag, cp, AllocationPolicy::FixedFunction).unwrap().iter().sum();
+        let relaxed: usize =
+            min_units(&dag, 4 * cp, AllocationPolicy::FixedFunction).unwrap().iter().sum();
+        assert!(relaxed <= tight, "relaxed {relaxed} > tight {tight}");
+        assert!(relaxed >= 1);
+    }
+
+    #[test]
+    fn compatibility_absorbs_singletons() {
+        // One cmac2 piece plus an independent singleton add, two steps:
+        // the add runs on the idle cmac2 unit; one module total.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let t = g.add_node(OpKind::ConstMul);
+        let a1 = g.add_node(OpKind::Add);
+        let a2 = g.add_node(OpKind::Add);
+        let lone = g.add_node(OpKind::Add);
+        let o1 = g.add_node(OpKind::Output);
+        let o2 = g.add_node(OpKind::Output);
+        g.add_data_edge(x, t).unwrap();
+        g.add_data_edge(t, a1).unwrap();
+        g.add_data_edge(x, a1).unwrap();
+        g.add_data_edge(a1, a2).unwrap();
+        g.add_data_edge(x, a2).unwrap();
+        g.add_data_edge(a2, o1).unwrap();
+        g.add_data_edge(x, lone).unwrap();
+        g.add_data_edge(x, lone).unwrap();
+        g.add_data_edge(lone, o2).unwrap();
+        let lib = Library::dsp_default();
+        let c = cover(&g, &lib, &CoverConstraints::default());
+        assert_eq!(c.selected.len(), 1, "cmac2 covers the tap");
+        assert_eq!(c.singletons.len(), 1);
+        let total = allocated_modules(&g, &c, &lib, 2, AllocationPolicy::Hosting).unwrap();
+        assert_eq!(total, 1, "the lone add should ride the cmac2 unit");
+        let strict = allocated_modules(&g, &c, &lib, 2, AllocationPolicy::FixedFunction).unwrap();
+        assert_eq!(strict, 2, "fixed-function units cannot share");
+    }
+
+    #[test]
+    fn infeasible_deadline_is_none() {
+        let (g, c, lib) = iir_cover();
+        let dag = condense(&g, &c, &lib);
+        assert!(dag.critical_path() > 1);
+        assert_eq!(min_units(&dag, 1, AllocationPolicy::FixedFunction), None);
+    }
+
+    #[test]
+    fn allocation_meets_its_own_deadline() {
+        let (g, c, lib) = iir_cover();
+        let dag = condense(&g, &c, &lib);
+        let tcount = dag.type_count();
+        let hosts: Vec<Vec<usize>> = (0..tcount)
+            .map(|p| {
+                let mut h = vec![p];
+                for u in 0..tcount {
+                    if u != p && dag.type_table[u].hosts(&dag.type_table[p]) {
+                        h.push(u);
+                    }
+                }
+                h
+            })
+            .collect();
+        for steps in [dag.critical_path(), dag.critical_path() + 3] {
+            let units = min_units(&dag, steps, AllocationPolicy::Hosting).unwrap();
+            assert!(matches!(
+                schedule_len(&dag, &units, &hosts, steps),
+                Ok(l) if l <= steps
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_graph_allocates_nothing() {
+        let g = Cdfg::new();
+        let lib = Library::dsp_default();
+        let c = cover(&g, &lib, &CoverConstraints::default());
+        assert_eq!(
+            allocated_modules(&g, &c, &lib, 4, AllocationPolicy::FixedFunction),
+            Some(0)
+        );
+    }
+}

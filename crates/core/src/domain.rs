@@ -1,0 +1,290 @@
+//! Domain selection and identification (paper §IV-A).
+//!
+//! A watermark lives in a *locality*: a subtree `T` of the CDFG chosen by
+//! the author's bitstream. Selection must be exactly reproducible at
+//! detection time, which requires two ingredients:
+//!
+//! 1. **Unique identification** of every node in the candidate subtree
+//!    `T_o`, by sorting with criteria C1 (level), C2 (fanin-cone size
+//!    `K_i(x)`) and C3 (functionality sum `φ(n_i, x)`) for growing
+//!    distances `x` — so the enumeration does not depend on internal node
+//!    ids an adversary could permute.
+//! 2. A **signature-driven breadth-first walk** of `T_o` that includes at
+//!    least one input of every visited node and each remaining input with a
+//!    bitstream-drawn coin, truncated at the desired cardinality `τ`.
+
+use localwm_cdfg::analysis::{fanin_count, fanin_within, levels_from, phi};
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_prng::Bitstream;
+
+/// A selected watermark domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// The central (root) node `n_o`.
+    pub root: NodeId,
+    /// The full candidate fanin tree `T_o` (BFS order from the root).
+    pub t_o: Vec<NodeId>,
+    /// The selected subtree `T ⊆ T_o`, in selection order.
+    pub t: Vec<NodeId>,
+}
+
+/// Orders the nodes of a candidate set uniquely using criteria C1–C3.
+///
+/// Two nodes compare by level first (C1, descending distance from the
+/// root); ties consult the fanin-cone size `K_i(x)` (C2) and the
+/// functionality sum `φ(n_i, x)` (C3) for increasing max-distance `x` until
+/// resolved. If the criteria are exhausted without resolution (structurally
+/// isomorphic cones), the node id breaks the tie — the paper assumes the
+/// criteria always resolve, which holds for irregular graphs but not for
+/// perfectly symmetric ones.
+///
+/// The returned vector is the canonical enumeration of the set: position is
+/// the node's unique identifier.
+pub fn order_nodes(g: &Cdfg, root: NodeId, set: &[NodeId], max_x: u32) -> Vec<NodeId> {
+    let levels = levels_from(g, root);
+    let mut out = set.to_vec();
+    out.sort_by(|&a, &b| {
+        let la = levels[a.index()].unwrap_or(u32::MAX);
+        let lb = levels[b.index()].unwrap_or(u32::MAX);
+        la.cmp(&lb)
+            .then_with(|| {
+                for x in 1..=max_x {
+                    let ka = fanin_count(g, a, x);
+                    let kb = fanin_count(g, b, x);
+                    if ka != kb {
+                        return ka.cmp(&kb);
+                    }
+                    let pa = phi(g, a, x);
+                    let pb = phi(g, b, x);
+                    if pa != pb {
+                        return pa.cmp(&pb);
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+            .then(a.cmp(&b))
+    });
+    out
+}
+
+/// Selects a domain rooted at `root`: builds the fanin tree `T_o` of
+/// max-distance `tau`, orders it canonically, then walks it breadth-first
+/// with the bitstream, keeping at least one input per visited node and each
+/// further input with a coin flip, until `tau` nodes are selected.
+///
+/// The walk consumes draws from `bits` deterministically; embedding and
+/// detection must pass bitstreams at identical positions.
+pub fn select_domain(g: &Cdfg, root: NodeId, tau: usize, bits: &mut Bitstream) -> Domain {
+    let t_o = fanin_within(g, root, tau as u32);
+    let ordered = order_nodes(g, root, &t_o, 4);
+    // Canonical position of each node for deterministic input ordering.
+    let pos_of = |n: NodeId| ordered.iter().position(|&x| x == n).unwrap_or(usize::MAX);
+
+    let mut selected: Vec<NodeId> = Vec::with_capacity(tau);
+    let mut in_t = vec![false; g.node_count()];
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    selected.push(root);
+    in_t[root.index()] = true;
+    queue.push_back(root);
+
+    while let Some(u) = queue.pop_front() {
+        if selected.len() >= tau {
+            break;
+        }
+        // Inputs of u inside T_o, canonically ordered.
+        let mut inputs: Vec<NodeId> = g
+            .preds(u)
+            .filter(|p| t_o.contains(p) && !in_t[p.index()])
+            .collect();
+        inputs.sort_by_key(|&n| pos_of(n));
+        inputs.dedup();
+        if inputs.is_empty() {
+            continue;
+        }
+        // At least one input is always included: the bitstream picks which;
+        // each remaining input is excluded "with a given probability"
+        // (paper §IV-A) — we use 1/4 so the walk keeps enough breadth to
+        // reach the desired cardinality.
+        let forced = *bits.choose(&inputs).expect("inputs non-empty");
+        for n in inputs {
+            let take = n == forced || bits.ratio(3, 4);
+            if take && selected.len() < tau {
+                selected.push(n);
+                in_t[n.index()] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+
+    Domain {
+        root,
+        t_o,
+        t: selected,
+    }
+}
+
+/// Picks a pseudorandom root for the domain from a precomputed candidate
+/// list (see [`root_candidates`]).
+pub fn pick_root(candidates: &[NodeId], bits: &mut Bitstream) -> Option<NodeId> {
+    bits.choose(candidates).copied()
+}
+
+/// Root candidates for a domain of cardinality `tau`: schedulable nodes
+/// whose transitive fanin cone (within distance `tau`) holds at least
+/// `min_cone` schedulable operations — a root with a smaller cone can never
+/// yield a `τ`-sized subtree. If no node qualifies, the nodes with the
+/// largest cones are returned so small designs still embed.
+pub fn root_candidates(g: &Cdfg, tau: usize, min_cone: usize) -> Vec<NodeId> {
+    let mut sized: Vec<(usize, NodeId)> = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable() && g.preds(n).next().is_some())
+        .map(|n| {
+            let cone = fanin_within(g, n, tau as u32);
+            let ops = cone
+                .iter()
+                .filter(|&&m| g.kind(m).is_schedulable())
+                .count();
+            (ops, n)
+        })
+        .collect();
+    let qualifying: Vec<NodeId> = sized
+        .iter()
+        .filter(|&&(ops, _)| ops >= min_cone)
+        .map(|&(_, n)| n)
+        .collect();
+    if !qualifying.is_empty() {
+        return qualifying;
+    }
+    // Fallback: the deepest-coned quartile, deterministically ordered.
+    sized.sort_by_key(|&(ops, n)| (std::cmp::Reverse(ops), n));
+    let keep = (sized.len() / 4).max(1).min(sized.len());
+    let mut out: Vec<NodeId> = sized[..keep].iter().map(|&(_, n)| n).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::OpKind;
+    use localwm_prng::Signature;
+
+    fn sig() -> Signature {
+        Signature::from_author("domain-tests")
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let g = iir4_parallel();
+        let a9 = g.node_by_name("A9").unwrap();
+        let t_o = fanin_within(&g, a9, 6);
+        let o1 = order_nodes(&g, a9, &t_o, 4);
+        let o2 = order_nodes(&g, a9, &t_o, 4);
+        assert_eq!(o1, o2);
+        assert_eq!(o1.len(), t_o.len());
+        // The root has level 0: must come first.
+        assert_eq!(o1[0], a9);
+    }
+
+    #[test]
+    fn ordering_distinguishes_structurally_different_nodes() {
+        let g = iir4_parallel();
+        let a9 = g.node_by_name("A9").unwrap();
+        let a4 = g.node_by_name("A4").unwrap(); // deep add
+        let c4 = g.node_by_name("C4").unwrap(); // shallow cmul
+        let t_o = fanin_within(&g, a9, 6);
+        let ordered = order_nodes(&g, a9, &t_o, 4);
+        let pos = |n| ordered.iter().position(|&x| x == n).unwrap();
+        // A4 is one edge from A9 (level 1); C4 two (level 2).
+        assert!(pos(a4) < pos(c4));
+    }
+
+    #[test]
+    fn domain_selection_is_reproducible() {
+        let g = iir4_parallel();
+        let a9 = g.node_by_name("A9").unwrap();
+        let mut b1 = Bitstream::for_purpose(&sig(), "walk");
+        let mut b2 = Bitstream::for_purpose(&sig(), "walk");
+        let d1 = select_domain(&g, a9, 8, &mut b1);
+        let d2 = select_domain(&g, a9, 8, &mut b2);
+        assert_eq!(d1, d2);
+        assert!(d1.t.len() <= 8);
+        assert_eq!(d1.t[0], a9);
+    }
+
+    #[test]
+    fn different_signatures_select_different_subtrees() {
+        let g = iir4_parallel();
+        let a9 = g.node_by_name("A9").unwrap();
+        let mut diffs = 0;
+        for i in 0..8 {
+            let s1 = Signature::from_author(&format!("author-a-{i}"));
+            let s2 = Signature::from_author(&format!("author-b-{i}"));
+            let d1 = select_domain(&g, a9, 10, &mut Bitstream::for_purpose(&s1, "walk"));
+            let d2 = select_domain(&g, a9, 10, &mut Bitstream::for_purpose(&s2, "walk"));
+            if d1.t != d2.t {
+                diffs += 1;
+            }
+        }
+        assert!(diffs >= 4, "only {diffs}/8 signature pairs diverged");
+    }
+
+    #[test]
+    fn selection_respects_tau() {
+        let g = iir4_parallel();
+        let a9 = g.node_by_name("A9").unwrap();
+        for tau in [1usize, 3, 5, 12] {
+            let mut bits = Bitstream::for_purpose(&sig(), "tau");
+            let d = select_domain(&g, a9, tau, &mut bits);
+            assert!(d.t.len() <= tau, "tau={tau} got {}", d.t.len());
+        }
+    }
+
+    #[test]
+    fn selected_nodes_form_a_connected_fanin_region() {
+        let g = iir4_parallel();
+        let a9 = g.node_by_name("A9").unwrap();
+        let mut bits = Bitstream::for_purpose(&sig(), "conn");
+        let d = select_domain(&g, a9, 10, &mut bits);
+        // Every non-root selected node has a successor in the selection
+        // (it was reached as an input of a selected node).
+        for &n in &d.t[1..] {
+            assert!(
+                g.succs(n).any(|s| d.t.contains(&s)),
+                "{n} is disconnected from the domain"
+            );
+        }
+    }
+
+    #[test]
+    fn pick_root_skips_sources() {
+        let g = iir4_parallel();
+        let candidates = root_candidates(&g, 8, 4);
+        let mut bits = Bitstream::for_purpose(&sig(), "root");
+        for _ in 0..32 {
+            let r = pick_root(&candidates, &mut bits).unwrap();
+            assert!(g.kind(r).is_schedulable());
+            assert!(g.kind(r) != OpKind::Input);
+        }
+    }
+
+    #[test]
+    fn root_candidates_prefer_large_cones() {
+        let g = iir4_parallel();
+        // tau 8, min cone 6: only deep adds qualify.
+        let candidates = root_candidates(&g, 8, 6);
+        let a9 = g.node_by_name("A9").unwrap();
+        assert!(candidates.contains(&a9));
+        let c1 = g.node_by_name("C1").unwrap();
+        assert!(!candidates.contains(&c1), "C1's cone is a single input");
+    }
+
+    #[test]
+    fn root_candidates_fall_back_on_tiny_designs() {
+        let g = iir4_parallel();
+        // Impossible requirement: falls back to the largest cones.
+        let candidates = root_candidates(&g, 10, 10_000);
+        assert!(!candidates.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Watermarking errors.
+
+use std::fmt;
+
+use localwm_cdfg::CdfgError;
+use localwm_sched::ScheduleError;
+
+/// Errors from watermark embedding or detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WatermarkError {
+    /// No domain with enough eligible nodes could be found after the
+    /// configured number of attempts. The design may be too small, too
+    /// serial (no slack), or the config too demanding.
+    NoDomain {
+        /// Domain-selection attempts made.
+        attempts: usize,
+        /// Eligible candidates in the best attempt.
+        best_candidates: usize,
+        /// Candidates required (`τ'`).
+        needed: usize,
+    },
+    /// Fewer than `K` temporal edges could be drawn in the selected domain.
+    TooFewEdges {
+        /// Edges drawn.
+        drawn: usize,
+        /// Edges requested (`K`).
+        requested: usize,
+    },
+    /// Fewer than `Z` matchings could be enforced.
+    TooFewMatchings {
+        /// Matchings enforced.
+        enforced: usize,
+        /// Matchings requested (`Z`).
+        requested: usize,
+    },
+    /// A graph operation failed.
+    Graph(CdfgError),
+    /// Scheduling failed.
+    Schedule(ScheduleError),
+    /// The configuration is invalid (e.g. `epsilon` outside `[0, 1)`).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatermarkError::NoDomain {
+                attempts,
+                best_candidates,
+                needed,
+            } => write!(
+                f,
+                "no suitable watermark domain after {attempts} attempt(s): \
+                 best had {best_candidates} eligible node(s), {needed} needed"
+            ),
+            WatermarkError::TooFewEdges { drawn, requested } => {
+                write!(f, "only {drawn} of {requested} temporal edge(s) drawable")
+            }
+            WatermarkError::TooFewMatchings {
+                enforced,
+                requested,
+            } => write!(f, "only {enforced} of {requested} matching(s) enforceable"),
+            WatermarkError::Graph(e) => write!(f, "graph error: {e}"),
+            WatermarkError::Schedule(e) => write!(f, "scheduling error: {e}"),
+            WatermarkError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WatermarkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WatermarkError::Graph(e) => Some(e),
+            WatermarkError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CdfgError> for WatermarkError {
+    fn from(e: CdfgError) -> Self {
+        WatermarkError::Graph(e)
+    }
+}
+
+impl From<ScheduleError> for WatermarkError {
+    fn from(e: ScheduleError) -> Self {
+        WatermarkError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WatermarkError::NoDomain {
+            attempts: 3,
+            best_candidates: 1,
+            needed: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1') && s.contains('5'));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let ge: WatermarkError = CdfgError::Cyclic.into();
+        assert!(matches!(ge, WatermarkError::Graph(_)));
+        let se: WatermarkError = ScheduleError::InfeasibleDeadline {
+            requested: 1,
+            needed: 2,
+        }
+        .into();
+        assert!(matches!(se, WatermarkError::Schedule(_)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Fingerprinting: per-recipient watermarks for leak tracing.
+//!
+//! Watermarking proves *authorship*; fingerprinting additionally proves
+//! *which licensee* leaked a design. Each recipient gets a copy synthesized
+//! under a signature derived from the author's signature and the
+//! recipient's identity; when a misappropriated solution surfaces, the
+//! author re-derives every recipient's constraints and identifies the copy
+//! (cf. Lach et al., "Fingerprinting digital circuits on programmable
+//! hardware", cited by the paper).
+
+use localwm_cdfg::Cdfg;
+use localwm_prng::Signature;
+use localwm_sched::Schedule;
+
+use crate::{SchedEmbedding, SchedEvidence, SchedulingWatermarker, WatermarkError};
+
+/// One recipient's fingerprinted copy.
+#[derive(Debug, Clone)]
+pub struct RecipientCopy {
+    /// The recipient's identity label.
+    pub recipient: String,
+    /// The embedding produced for this recipient.
+    pub embedding: SchedEmbedding,
+}
+
+/// The outcome of tracing a leaked schedule.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    /// Index of the identified recipient (into the distributed list).
+    pub recipient_index: usize,
+    /// The matching recipient's label.
+    pub recipient: String,
+    /// Evidence for the identified recipient.
+    pub evidence: SchedEvidence,
+}
+
+/// Derives the recipient-specific signature: the author's key material
+/// extended with the recipient identity.
+pub fn recipient_signature(author: &Signature, recipient: &str) -> Signature {
+    let mut bytes = Vec::with_capacity(64 + recipient.len() + 1);
+    bytes.extend_from_slice(author.key());
+    bytes.push(0x1D);
+    bytes.extend_from_slice(recipient.as_bytes());
+    Signature::from_bytes(&bytes, &format!("{}:{recipient}", author.label()))
+}
+
+/// Distributes fingerprinted copies of a design to `recipients`.
+///
+/// # Errors
+///
+/// Propagates embedding errors (all copies must embed for distribution to
+/// be meaningful).
+pub fn distribute(
+    wm: &SchedulingWatermarker,
+    g: &Cdfg,
+    author: &Signature,
+    recipients: &[&str],
+) -> Result<Vec<RecipientCopy>, WatermarkError> {
+    recipients
+        .iter()
+        .map(|r| {
+            let sig = recipient_signature(author, r);
+            Ok(RecipientCopy {
+                recipient: (*r).to_owned(),
+                embedding: wm.embed(g, &sig)?,
+            })
+        })
+        .collect()
+}
+
+/// Traces a leaked schedule to a recipient: re-derives every recipient's
+/// constraints and returns the unique full match, if any.
+///
+/// Returns `Ok(None)` when no recipient (or more than one — an
+/// inconclusive result that should never happen with adequately sized
+/// marks) verifies fully.
+///
+/// # Errors
+///
+/// Propagates derivation errors.
+pub fn identify(
+    wm: &SchedulingWatermarker,
+    schedule: &Schedule,
+    g: &Cdfg,
+    author: &Signature,
+    recipients: &[&str],
+) -> Result<Option<TraceResult>, WatermarkError> {
+    let mut matches: Vec<TraceResult> = Vec::new();
+    for (i, r) in recipients.iter().enumerate() {
+        let sig = recipient_signature(author, r);
+        let evidence = wm.detect(schedule, g, &sig)?;
+        if evidence.is_match() {
+            matches.push(TraceResult {
+                recipient_index: i,
+                recipient: (*r).to_owned(),
+                evidence,
+            });
+        }
+    }
+    if matches.len() == 1 {
+        Ok(matches.pop())
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedWmConfig;
+    use localwm_cdfg::generators::{mediabench, mediabench_apps};
+
+    const RECIPIENTS: [&str; 5] = ["fab-a", "fab-b", "integrator-c", "oem-d", "oem-e"];
+
+    fn setup() -> (Cdfg, SchedulingWatermarker, Signature) {
+        let g = mediabench(&mediabench_apps()[0], 0);
+        let wm = SchedulingWatermarker::new(SchedWmConfig {
+            k: 12,
+            ..SchedWmConfig::default()
+        });
+        (g, wm, Signature::from_author("vendor"))
+    }
+
+    #[test]
+    fn every_leak_traces_to_its_recipient() {
+        let (g, wm, author) = setup();
+        let copies = distribute(&wm, &g, &author, &RECIPIENTS).expect("distributes");
+        assert_eq!(copies.len(), RECIPIENTS.len());
+        for (i, copy) in copies.iter().enumerate() {
+            let traced = identify(&wm, &copy.embedding.schedule, &g, &author, &RECIPIENTS)
+                .expect("derives")
+                .unwrap_or_else(|| panic!("copy {i} did not trace"));
+            assert_eq!(traced.recipient_index, i);
+            assert_eq!(traced.recipient, RECIPIENTS[i]);
+        }
+    }
+
+    #[test]
+    fn recipient_signatures_are_distinct_and_bound_to_author() {
+        let author = Signature::from_author("vendor");
+        let other = Signature::from_author("someone-else");
+        let a = recipient_signature(&author, "fab-a");
+        let b = recipient_signature(&author, "fab-b");
+        let c = recipient_signature(&other, "fab-a");
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key(), "same recipient under a different author");
+    }
+
+    #[test]
+    fn unmarked_solution_traces_to_nobody() {
+        let (g, wm, author) = setup();
+        let plain =
+            localwm_sched::list_schedule(&g, &localwm_sched::ResourceSet::unlimited(), None)
+                .expect("schedules");
+        let traced = identify(&wm, &plain, &g, &author, &RECIPIENTS).expect("derives");
+        assert!(traced.is_none());
+    }
+
+    #[test]
+    fn copies_differ_between_recipients() {
+        let (g, wm, author) = setup();
+        let copies = distribute(&wm, &g, &author, &RECIPIENTS[..2]).expect("distributes");
+        assert_ne!(copies[0].embedding.edges, copies[1].embedding.edges);
+    }
+}

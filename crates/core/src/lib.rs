@@ -1,0 +1,71 @@
+//! Local watermarks for behavioral synthesis.
+//!
+//! This crate is the paper's primary contribution: an intellectual-property
+//! protection technique that hides many *small*, independently detectable
+//! watermarks in pseudorandomly selected localities of a design, instead of
+//! one global error-corrected mark. Each watermark is a set of
+//! signature-derived extra constraints; a design synthesized under them
+//! carries statistically imperceptible evidence of authorship that survives
+//! cutting, embedding into larger systems, and local tampering.
+//!
+//! Two behavioral-synthesis tasks are protected:
+//!
+//! * [`SchedulingWatermarker`] — adds *temporal edges* between slack-rich
+//!   operations with overlapping ASAP/ALAP windows (paper Fig. 2); any
+//!   schedule produced under them betrays the signature through the
+//!   execution order of the constrained pairs.
+//! * [`TemplateWatermarker`] — forces signature-chosen node-to-module
+//!   matchings by promoting the matched region's neighbouring variables to
+//!   pseudo-primary outputs (paper Fig. 5).
+//!
+//! Supporting modules: [`domain`] (locality selection and unique node
+//! identification via criteria C1–C3), [`pc`] (coincidence-probability
+//! estimation, exact and approximate), [`allocation`] (module allocation
+//! behind the Table II metric), [`fingerprint`] (per-recipient marks for
+//! leak tracing), and [`attack`] (tampering models and proof-decay
+//! measurement).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use localwm_cdfg::designs::iir4_parallel;
+//! use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+//!
+//! let design = iir4_parallel();
+//! let sig = Signature::from_author("alice <alice@example.com>");
+//! let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+//! let embedded = wm.embed(&design, &sig)?;
+//! let evidence = wm.detect(&embedded.schedule, &design, &sig)?;
+//! assert!(evidence.is_match());
+//!
+//! // A different author's signature does not verify.
+//! let mallory = Signature::from_author("mallory");
+//! let wrong = wm.detect(&embedded.schedule, &design, &mallory)?;
+//! assert!(!wrong.is_match());
+//! # Ok::<(), localwm_core::WatermarkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod attack;
+pub mod audit;
+pub mod binding;
+pub mod domain;
+pub mod fingerprint;
+pub mod pc;
+
+mod error;
+mod sched_wm;
+mod tmatch_wm;
+
+pub use error::WatermarkError;
+pub use sched_wm::{SchedEmbedding, SchedEvidence, SchedWmConfig, SchedulingWatermarker};
+pub use tmatch_wm::{
+    module_instances, module_overhead, TmatchEmbedding, TmatchEvidence,
+    TmatchWmConfig, TemplateWatermarker,
+};
+
+// Re-export the signature type: it is the crate's user-facing identity.
+pub use localwm_prng::Signature;

@@ -1,0 +1,220 @@
+//! Coincidence-probability (`P_c`) estimation.
+//!
+//! The strength of authorship is `1 − P_c`, where `P_c` is the likelihood
+//! that an *unwatermarked* flow accidentally produces a solution satisfying
+//! the signature's constraints. Two estimators are provided, mirroring the
+//! paper:
+//!
+//! * [`exact_pc`] — exhaustive schedule enumeration on a subproblem
+//!   (the paper's Fig. 3 method, "only for small examples").
+//! * [`log10_pc_pairs`] — the scalable approximation
+//!   `P_c ≈ Π ψ_W(e_i)/ψ_N(e_i)` with per-edge pair-window counting
+//!   (the paper's `O[i]/O[j]` 77-vs-10 example is exactly such a count).
+
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_sched::enumerate::SubProblem;
+use localwm_sched::Windows;
+
+/// Probability that `src` lands strictly before `dst` when both are placed
+/// uniformly and independently in their mobility windows.
+///
+/// This is the per-edge `ψ_W(e)/ψ_N(e)` with the window product as the
+/// schedule space: the count of `(x, y)` pairs with `x < y` over all
+/// window pairs.
+pub fn pair_order_probability(windows: &Windows, src: NodeId, dst: NodeId) -> f64 {
+    let (a1, b1) = (windows.asap(src), windows.alap(src));
+    let (a2, b2) = (windows.asap(dst), windows.alap(dst));
+    let mut favorable = 0u64;
+    let total = u64::from(b1 - a1 + 1) * u64::from(b2 - a2 + 1);
+    for x in a1..=b1 {
+        // y in [a2, b2] with y > x.
+        let lo = a2.max(x + 1);
+        if lo <= b2 {
+            favorable += u64::from(b2 - lo + 1);
+        }
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    favorable as f64 / total as f64
+}
+
+/// `log₁₀ P_c` for a set of temporal edges under the pair-window
+/// approximation: `Σ log₁₀ (ψ_W/ψ_N)`. Sums in log space so hundreds of
+/// edges do not underflow (the paper reports exponents down to 10⁻²⁸³).
+///
+/// Edges whose probability is 0 (structurally impossible without the
+/// watermark) contribute `-∞`; callers treating that as "overwhelming
+/// proof" should clamp.
+pub fn log10_pc_pairs(windows: &Windows, edges: &[(NodeId, NodeId)]) -> f64 {
+    edges
+        .iter()
+        .map(|&(s, d)| pair_order_probability(windows, s, d).log10())
+        .sum()
+}
+
+/// The Poisson-binomial tail `P(X ≥ at_least)` where `X` counts how many
+/// of `K` independent events with probabilities `ps` occur.
+///
+/// This is the significance test behind tolerant detection: given the
+/// per-constraint chance probabilities of an *unmarked* solution, how
+/// likely is it to satisfy at least as many constraints as the suspected
+/// one did? Exact `O(K²)` dynamic program.
+///
+/// # Panics
+///
+/// Panics if any probability is outside `[0, 1]`.
+pub fn poisson_binomial_tail(ps: &[f64], at_least: usize) -> f64 {
+    assert!(
+        ps.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+    if at_least == 0 {
+        return 1.0;
+    }
+    let k = ps.len();
+    if at_least > k {
+        return 0.0;
+    }
+    // dist[j] = P(X == j) after processing a prefix.
+    let mut dist = vec![0.0f64; k + 1];
+    dist[0] = 1.0;
+    for (i, &p) in ps.iter().enumerate() {
+        for j in (0..=i + 1).rev() {
+            let stay = if j <= i { dist[j] * (1.0 - p) } else { 0.0 };
+            let step = if j > 0 { dist[j - 1] * p } else { 0.0 };
+            dist[j] = stay + step;
+        }
+    }
+    dist[at_least..].iter().sum()
+}
+
+/// Exact `P_c` by exhaustive enumeration: the ratio of schedule counts of
+/// the subproblem over `subset` with and without the watermark's edges.
+///
+/// Returns `None` when the subproblem exceeds `cap` schedules (the paper's
+/// "exponential runtimes" caveat) or admits no schedule.
+pub fn exact_pc(
+    g: &Cdfg,
+    windows: &Windows,
+    subset: &[NodeId],
+    edges: &[(NodeId, NodeId)],
+    cap: u128,
+) -> Option<f64> {
+    let base = SubProblem::from_graph(g, windows, subset);
+    let total = base.count_capped(cap)?;
+    if total == 0 {
+        return None;
+    }
+    let mut constrained = base;
+    for &(s, d) in edges {
+        constrained = constrained.with_order(s, d)?;
+    }
+    let with = constrained.count_capped(cap)?;
+    Some(with as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    /// Two independent single-step ops over `steps` available steps.
+    fn pair(steps: u32) -> (Cdfg, Windows, NodeId, NodeId) {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let a = g.add_node(OpKind::Not);
+        let b = g.add_node(OpKind::Neg);
+        g.add_data_edge(x, a).unwrap();
+        g.add_data_edge(x, b).unwrap();
+        let w = Windows::new(&g, steps).unwrap();
+        (g, w, a, b)
+    }
+
+    #[test]
+    fn symmetric_pair_is_under_half() {
+        let (_, w, a, b) = pair(4);
+        let p = pair_order_probability(&w, a, b);
+        // 4x4 grid, strictly-below-diagonal: 6/16.
+        assert!((p - 6.0 / 16.0).abs() < 1e-12);
+        // Symmetry: before + after + same-step = 1.
+        let q = pair_order_probability(&w, b, a);
+        assert!((p + q + 4.0 / 16.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log10_sums_over_edges() {
+        let (_, w, a, b) = pair(4);
+        let one = log10_pc_pairs(&w, &[(a, b)]);
+        let two = log10_pc_pairs(&w, &[(a, b), (a, b)]);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        assert!(one < 0.0);
+    }
+
+    #[test]
+    fn exact_pc_matches_hand_count() {
+        let (g, w, a, b) = pair(3);
+        // 9 total schedules; a<b in 3.
+        let pc = exact_pc(&g, &w, &[a, b], &[(a, b)], 10_000).unwrap();
+        assert!((pc - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_binomial_matches_binomial_for_equal_ps() {
+        // 10 fair coins: P(X >= 8) = (45 + 10 + 1) / 1024.
+        let ps = [0.5f64; 10];
+        let tail = poisson_binomial_tail(&ps, 8);
+        assert!((tail - 56.0 / 1024.0).abs() < 1e-12);
+        assert_eq!(poisson_binomial_tail(&ps, 0), 1.0);
+        assert_eq!(poisson_binomial_tail(&ps, 11), 0.0);
+    }
+
+    #[test]
+    fn poisson_binomial_handles_mixed_ps() {
+        let ps = [1.0, 0.0, 0.5];
+        // X >= 2 requires the p=0.5 event (the 1.0 always fires, 0.0 never).
+        assert!((poisson_binomial_tail(&ps, 2) - 0.5).abs() < 1e-12);
+        assert!((poisson_binomial_tail(&ps, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(poisson_binomial_tail(&ps, 3), 0.0);
+    }
+
+    #[test]
+    fn exact_pc_with_no_edges_is_one() {
+        let (g, w, a, b) = pair(3);
+        let pc = exact_pc(&g, &w, &[a, b], &[], 10_000).unwrap();
+        assert!((pc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_pc_caps_out() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let subset: Vec<NodeId> = (0..10)
+            .map(|_| {
+                let n = g.add_node(OpKind::Not);
+                g.add_data_edge(x, n).unwrap();
+                n
+            })
+            .collect();
+        let w = Windows::new(&g, 10).unwrap();
+        assert_eq!(exact_pc(&g, &w, &subset, &[], 1000), None);
+    }
+
+    #[test]
+    fn more_edges_mean_smaller_pc() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let ns: Vec<NodeId> = (0..4)
+            .map(|_| {
+                let n = g.add_node(OpKind::Not);
+                g.add_data_edge(x, n).unwrap();
+                n
+            })
+            .collect();
+        let w = Windows::new(&g, 5).unwrap();
+        let one = exact_pc(&g, &w, &ns, &[(ns[0], ns[1])], 1_000_000).unwrap();
+        let two = exact_pc(&g, &w, &ns, &[(ns[0], ns[1]), (ns[2], ns[3])], 1_000_000).unwrap();
+        assert!(two < one);
+        assert!(one < 1.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! The template-matching watermark (paper §IV-B, Fig. 5).
+
+use std::collections::{HashMap, HashSet};
+
+use localwm_cdfg::{Cdfg, NodeId, OpKind};
+use localwm_prng::{Bitstream, Signature};
+use localwm_sched::{Schedule, Windows};
+use localwm_tmatch::{cover, find_matches, CoverConstraints, Covering, Library, Match};
+
+use crate::WatermarkError;
+
+/// Configuration of the template-matching watermark.
+#[derive(Debug, Clone)]
+pub struct TmatchWmConfig {
+    /// The module library (shared with the mapping tool).
+    pub library: Library,
+    /// Number of matchings to enforce, `Z` (0 = auto: `0.07 · |T|`, the
+    /// paper's Table II setting).
+    pub z: usize,
+    /// `Z` as a fraction of the domain size; overrides `z` when set.
+    pub z_fraction: Option<f64>,
+    /// Laxity margin `ε ∈ [0, 1)`: nodes on paths longer than
+    /// `(1 − ε) ·` available steps are excluded from the domain, keeping
+    /// enforced matchings off (near-)critical paths.
+    pub epsilon: f64,
+    /// Available control steps (0 = tight: the critical path).
+    pub available_steps: u32,
+}
+
+impl Default for TmatchWmConfig {
+    fn default() -> Self {
+        TmatchWmConfig {
+            library: Library::dsp_default(),
+            z: 0,
+            z_fraction: None,
+            epsilon: 0.1,
+            available_steps: 0,
+        }
+    }
+}
+
+impl TmatchWmConfig {
+    fn validate(&self) -> Result<(), WatermarkError> {
+        if !(0.0..1.0).contains(&self.epsilon) {
+            return Err(WatermarkError::InvalidConfig(format!(
+                "epsilon must be in [0, 1), got {}",
+                self.epsilon
+            )));
+        }
+        if let Some(f) = self.z_fraction {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(WatermarkError::InvalidConfig(format!(
+                    "z_fraction must be in [0, 1], got {f}"
+                )));
+            }
+        }
+        if self.library.is_empty() {
+            return Err(WatermarkError::InvalidConfig(
+                "library must not be empty".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn resolve_z(&self, domain_size: usize) -> usize {
+        match self.z_fraction {
+            Some(f) => ((f * domain_size as f64).round() as usize).max(1),
+            None if self.z > 0 => self.z,
+            None => ((0.07 * domain_size as f64).round() as usize).max(1),
+        }
+    }
+}
+
+/// The result of embedding a template-matching watermark.
+#[derive(Debug, Clone)]
+pub struct TmatchEmbedding {
+    /// The enforced matchings, in enforcement order.
+    pub forced: Vec<Match>,
+    /// Variables promoted to pseudo-primary outputs.
+    pub ppos: Vec<NodeId>,
+    /// The covering the constrained mapping tool produced.
+    pub covering: Covering,
+    /// Control steps used for laxity filtering.
+    pub available_steps: u32,
+}
+
+/// Evidence from a template-matching detection pass.
+#[derive(Debug, Clone)]
+pub struct TmatchEvidence {
+    /// Per enforced matching: present in the suspected covering?
+    pub checks: Vec<(Match, bool)>,
+    /// Per enforced matching: the chance an unconstrained covering picks
+    /// it anyway (`1 / Solutions(m)`).
+    pub chances: Vec<f64>,
+    /// `log₁₀ P_c ≈ -Σ log₁₀ Solutions(m_i)`.
+    pub log10_pc: f64,
+}
+
+impl TmatchEvidence {
+    /// Whether every enforced matching is present (and at least one was
+    /// checked).
+    pub fn is_match(&self) -> bool {
+        !self.checks.is_empty() && self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// Fraction of enforced matchings present.
+    pub fn satisfied_fraction(&self) -> f64 {
+        if self.checks.is_empty() {
+            return 0.0;
+        }
+        self.checks.iter().filter(|(_, ok)| *ok).count() as f64 / self.checks.len() as f64
+    }
+
+    /// Probability an unconstrained covering shows at least this many of
+    /// the enforced matchings by chance (Poisson-binomial tail over the
+    /// per-matching chances).
+    pub fn chance_probability(&self) -> f64 {
+        let present = self.checks.iter().filter(|(_, ok)| *ok).count();
+        crate::pc::poisson_binomial_tail(&self.chances, present)
+    }
+
+    /// Tolerant verdict at significance `max_chance` (see
+    /// [`crate::SchedEvidence::is_match_with_tolerance`]).
+    pub fn is_match_with_tolerance(&self, max_chance: f64) -> bool {
+        !self.checks.is_empty() && self.chance_probability() <= max_chance
+    }
+}
+
+/// Embeds and detects template-matching watermarks.
+#[derive(Debug, Clone)]
+pub struct TemplateWatermarker {
+    config: TmatchWmConfig,
+}
+
+impl TemplateWatermarker {
+    /// Creates a watermarker with the given configuration.
+    pub fn new(config: TmatchWmConfig) -> Self {
+        TemplateWatermarker { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TmatchWmConfig {
+        &self.config
+    }
+
+    fn steps_for(&self, g: &Cdfg) -> u32 {
+        if self.config.available_steps > 0 {
+            self.config.available_steps
+        } else {
+            localwm_timing::UnitTiming::new(g).critical_path()
+        }
+    }
+
+    /// Derives the signature's forced matchings and PPO set — the Fig. 5
+    /// constraint-encoding loop. Deterministic in `(g, signature, config)`.
+    fn derive(
+        &self,
+        g: &Cdfg,
+        signature: &Signature,
+    ) -> Result<(Vec<Match>, Vec<NodeId>, u32), WatermarkError> {
+        self.config.validate()?;
+        let steps = self.steps_for(g);
+        let windows = Windows::new(g, steps)?;
+        let laxity_cap = f64::from(steps) * (1.0 - self.config.epsilon);
+        let domain: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&n| g.kind(n).is_schedulable())
+            .collect();
+        let z = self.config.resolve_z(domain.len());
+
+        let mut bits = Bitstream::for_purpose(signature, "tmatch-wm");
+        let mut processed: HashSet<NodeId> = HashSet::new();
+        let mut ppos: Vec<NodeId> = Vec::new();
+        let mut forced: Vec<Match> = Vec::new();
+
+        let all_matches = find_matches(g, &self.config.library);
+        for _ in 0..z {
+            let eligible: Vec<&Match> = all_matches
+                .iter()
+                .filter(|m| m.nodes.len() >= 2)
+                .filter(|m| {
+                    m.nodes.iter().all(|&n| {
+                        !processed.contains(&n)
+                            && f64::from(windows.laxity(n)) <= laxity_cap
+                    })
+                })
+                .filter(|m| m.internal_nodes().iter().all(|n| !ppos.contains(n)))
+                .collect();
+            if eligible.is_empty() {
+                break;
+            }
+            let chosen = eligible[bits.range(eligible.len())].clone();
+            // Promote the module's boundary variables to PPOs: the output
+            // (root) and every non-primary input producer.
+            let in_match: HashSet<NodeId> = chosen.nodes.iter().copied().collect();
+            let mut new_ppos: Vec<NodeId> = vec![chosen.root()];
+            for &n in &chosen.nodes {
+                for p in g.data_preds(n) {
+                    if !in_match.contains(&p) && !g.kind(p).is_source() {
+                        new_ppos.push(p);
+                    }
+                }
+            }
+            new_ppos.sort_unstable();
+            new_ppos.dedup();
+            for p in new_ppos {
+                if !ppos.contains(&p) {
+                    ppos.push(p);
+                }
+            }
+            processed.extend(chosen.nodes.iter().copied());
+            forced.push(chosen);
+        }
+
+        if forced.len() < z {
+            return Err(WatermarkError::TooFewMatchings {
+                enforced: forced.len(),
+                requested: z,
+            });
+        }
+        Ok((forced, ppos, steps))
+    }
+
+    /// Embeds the watermark: derives the forced matchings and runs the
+    /// covering tool under them.
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::TooFewMatchings`] if the design cannot host `Z`
+    /// enforced matchings, plus configuration errors.
+    pub fn embed(
+        &self,
+        g: &Cdfg,
+        signature: &Signature,
+    ) -> Result<TmatchEmbedding, WatermarkError> {
+        let (forced, ppos, steps) = self.derive(g, signature)?;
+        let covering = cover(
+            g,
+            &self.config.library,
+            &CoverConstraints {
+                ppos: ppos.clone(),
+                forced: forced.clone(),
+            },
+        );
+        Ok(TmatchEmbedding {
+            forced,
+            ppos,
+            covering,
+            available_steps: steps,
+        })
+    }
+
+    /// Detects the watermark in a suspected covering: re-derives the
+    /// forced matchings and checks each one is present.
+    ///
+    /// # Errors
+    ///
+    /// Same derivation errors as [`TemplateWatermarker::embed`].
+    pub fn detect(
+        &self,
+        covering: &Covering,
+        g: &Cdfg,
+        signature: &Signature,
+    ) -> Result<TmatchEvidence, WatermarkError> {
+        let (forced, _, _) = self.derive(g, signature)?;
+        let checks: Vec<(Match, bool)> = forced
+            .into_iter()
+            .map(|m| {
+                let present = covering.selected.contains(&m);
+                (m, present)
+            })
+            .collect();
+        let chances: Vec<f64> = checks
+            .iter()
+            .map(|(m, _)| {
+                let ways = localwm_tmatch::count_cover_solutions(g, &self.config.library, m);
+                1.0 / ways.max(1) as f64
+            })
+            .collect();
+        let log10_pc = chances.iter().map(|c| c.log10()).sum::<f64>();
+        Ok(TmatchEvidence {
+            checks,
+            chances,
+            log10_pc,
+        })
+    }
+}
+
+/// Allocates module instances for a covering under a schedule: a module is
+/// busy from the first to the last control step of its operations, and two
+/// instances of the same type are needed wherever two busy intervals
+/// overlap. Singleton operations allocate single-op modules keyed by their
+/// operation kind.
+///
+/// This is the Table II quality metric: with twice the control steps the
+/// scheduler spreads work out, peaks drop, and fewer instances are needed.
+pub fn module_instances(g: &Cdfg, covering: &Covering, schedule: &Schedule) -> usize {
+    #[derive(Hash, PartialEq, Eq)]
+    enum TypeKey {
+        Template(usize),
+        Single(OpKind),
+    }
+    let mut intervals: HashMap<TypeKey, Vec<(u32, u32)>> = HashMap::new();
+    for m in &covering.selected {
+        let steps: Vec<u32> = m.nodes.iter().filter_map(|&n| schedule.step(n)).collect();
+        if steps.is_empty() {
+            continue;
+        }
+        let lo = *steps.iter().min().expect("non-empty");
+        let hi = *steps.iter().max().expect("non-empty");
+        intervals
+            .entry(TypeKey::Template(m.template))
+            .or_default()
+            .push((lo, hi));
+    }
+    for &n in &covering.singletons {
+        if let Some(s) = schedule.step(n) {
+            intervals
+                .entry(TypeKey::Single(g.kind(n)))
+                .or_default()
+                .push((s, s));
+        }
+    }
+    intervals
+        .values()
+        .map(|ivs| {
+            // Peak overlap via sweep.
+            let mut events: Vec<(u32, i32)> = Vec::with_capacity(ivs.len() * 2);
+            for &(lo, hi) in ivs {
+                events.push((lo, 1));
+                events.push((hi + 1, -1));
+            }
+            events.sort_unstable();
+            let mut cur = 0i32;
+            let mut peak = 0i32;
+            for (_, d) in events {
+                cur += d;
+                peak = peak.max(cur);
+            }
+            peak as usize
+        })
+        .sum()
+}
+
+/// Measures the paper's Table II quality metric — "the percentage of
+/// increase of the count of used modules to cover the entire design" —
+/// covering the design with and without the watermark constraints and
+/// **allocating** functional units for the available control steps (see
+/// [`crate::allocation`]): module counts are post-allocation, so a larger
+/// step budget lets time-sharing absorb the watermark's fragmentation.
+///
+/// Returns `(plain_modules, marked_modules, overhead_percent)`.
+///
+/// # Errors
+///
+/// Propagates embedding errors.
+pub fn module_overhead(
+    g: &Cdfg,
+    wm: &TemplateWatermarker,
+    signature: &Signature,
+) -> Result<(usize, usize, f64), WatermarkError> {
+    let steps = wm.steps_for(g);
+    let plain_cover = cover(g, &wm.config.library, &CoverConstraints::default());
+    let policy = crate::allocation::AllocationPolicy::FixedFunction;
+    let plain =
+        crate::allocation::allocated_modules(g, &plain_cover, &wm.config.library, steps, policy)
+            .expect("condensed critical path never exceeds the deadline");
+    let emb = wm.embed(g, signature)?;
+    let marked =
+        crate::allocation::allocated_modules(g, &emb.covering, &wm.config.library, steps, policy)
+            .expect("condensed critical path never exceeds the deadline");
+    let overhead = if plain == 0 {
+        0.0
+    } else {
+        100.0 * (marked as f64 - plain as f64) / plain as f64
+    };
+    Ok((plain, marked, overhead))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::{table2_design, table2_designs};
+    use localwm_sched::force_directed_schedule;
+    use localwm_cdfg::designs::iir4_parallel;
+
+    fn sig(name: &str) -> Signature {
+        Signature::from_author(name)
+    }
+
+    fn relaxed_config(g: &Cdfg, z: usize) -> TmatchWmConfig {
+        let cp = localwm_timing::UnitTiming::new(g).critical_path();
+        TmatchWmConfig {
+            z,
+            available_steps: 2 * cp,
+            ..TmatchWmConfig::default()
+        }
+    }
+
+    #[test]
+    fn embed_then_detect_round_trips() {
+        let g = iir4_parallel();
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 2));
+        let s = sig("tmatch-roundtrip");
+        let emb = wm.embed(&g, &s).unwrap();
+        assert_eq!(emb.forced.len(), 2);
+        let ev = wm.detect(&emb.covering, &g, &s).unwrap();
+        assert!(ev.is_match());
+        assert!(ev.log10_pc < 0.0);
+    }
+
+    #[test]
+    fn unconstrained_covering_misses_matchings() {
+        let g = table2_design(&table2_designs()[1]); // Linear GE
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 4));
+        let s = sig("tmatch-plain");
+        let plain = cover(&g, &Library::dsp_default(), &CoverConstraints::default());
+        let ev = wm.detect(&plain, &g, &s).unwrap();
+        // The greedy cover may coincide on some matchings, but rarely all.
+        assert!(ev.satisfied_fraction() < 1.0 || !ev.is_match());
+    }
+
+    #[test]
+    fn forced_matchings_are_disjoint_and_off_critical_paths() {
+        let g = table2_design(&table2_designs()[2]); // Wavelet
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 3));
+        let emb = wm.embed(&g, &sig("disjoint")).unwrap();
+        let mut seen = HashSet::new();
+        let steps = emb.available_steps;
+        let w = Windows::new(&g, steps).unwrap();
+        let cap = f64::from(steps) * (1.0 - wm.config().epsilon);
+        for m in &emb.forced {
+            for &n in &m.nodes {
+                assert!(seen.insert(n), "{n} enforced twice");
+                assert!(f64::from(w.laxity(n)) <= cap, "{n} too critical");
+            }
+        }
+    }
+
+    #[test]
+    fn ppos_are_module_boundaries() {
+        let g = iir4_parallel();
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 2));
+        let emb = wm.embed(&g, &sig("ppo")).unwrap();
+        for m in &emb.forced {
+            assert!(emb.ppos.contains(&m.root()), "module output must be PPO");
+        }
+    }
+
+    #[test]
+    fn different_signatures_enforce_different_matchings() {
+        let g = table2_design(&table2_designs()[3]); // Modem
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 3));
+        let a = wm.embed(&g, &sig("author-a")).unwrap();
+        let b = wm.embed(&g, &sig("author-b")).unwrap();
+        assert_ne!(a.forced, b.forced);
+    }
+
+    #[test]
+    fn too_many_matchings_error() {
+        let g = iir4_parallel();
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 50));
+        assert!(matches!(
+            wm.embed(&g, &sig("greedy")),
+            Err(WatermarkError::TooFewMatchings { .. })
+        ));
+    }
+
+    #[test]
+    fn module_overhead_is_nonnegative_and_small() {
+        let g = table2_design(&table2_designs()[1]);
+        let wm = TemplateWatermarker::new(relaxed_config(&g, 2));
+        let (plain, marked, pct) = module_overhead(&g, &wm, &sig("overhead")).unwrap();
+        assert!(plain > 0);
+        assert!(
+            marked + 1 >= plain,
+            "fragmentation should not reduce the unit count materially"
+        );
+        assert!(pct < 60.0, "overhead {pct}% implausibly high");
+    }
+
+    #[test]
+    fn relaxed_steps_need_fewer_instances() {
+        let g = table2_design(&table2_designs()[0]); // 8th order CF IIR
+        let cp = localwm_timing::UnitTiming::new(&g).critical_path();
+        let lib = Library::dsp_default();
+        let covering = cover(&g, &lib, &CoverConstraints::default());
+        let tight = module_instances(
+            &g,
+            &covering,
+            &force_directed_schedule(&g, cp).unwrap(),
+        );
+        let relaxed = module_instances(
+            &g,
+            &covering,
+            &force_directed_schedule(&g, 2 * cp).unwrap(),
+        );
+        assert!(relaxed <= tight, "slack must not raise instance count");
+    }
+}

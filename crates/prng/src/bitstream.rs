@@ -1,0 +1,262 @@
+//! Selection draws on top of the RC4 keystream.
+
+use crate::{Rc4, Signature};
+
+/// An author-specific pseudorandom bitstream with unbiased selection draws.
+///
+/// Both the embedding and the detection side construct the same bitstream
+/// from the signature and a purpose label, then perform the *same sequence
+/// of draws*; determinism plus unbiased `range` draws guarantee the two
+/// sides reconstruct identical selections.
+///
+/// ```
+/// use localwm_prng::{Bitstream, Signature};
+/// let sig = Signature::from_author("alice");
+/// let mut bs = Bitstream::for_purpose(&sig, "example");
+/// let idx = bs.range(5);
+/// assert!(idx < 5);
+/// let chosen = bs.choose(&["a", "b", "c"]);
+/// assert!(chosen.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bitstream {
+    rc4: Rc4,
+    /// Bit buffer (LSB-first) for single-bit draws.
+    buf: u8,
+    bits_left: u8,
+}
+
+impl Bitstream {
+    /// Creates a bitstream keyed by a signature alone.
+    pub fn new(signature: &Signature) -> Self {
+        Bitstream {
+            rc4: Rc4::new(signature.key()),
+            buf: 0,
+            bits_left: 0,
+        }
+    }
+
+    /// Creates a bitstream keyed by a signature and a purpose label, so
+    /// different protocol stages draw from independent streams.
+    pub fn for_purpose(signature: &Signature, purpose: &str) -> Self {
+        let mut key = Vec::with_capacity(64 + purpose.len() + 1);
+        key.extend_from_slice(signature.key());
+        key.push(0x1F); // separator outside ASCII text range
+        key.extend_from_slice(purpose.as_bytes());
+        // RC4 keys cap at 256 bytes; fold overlong purposes.
+        if key.len() > 256 {
+            let folded: Vec<u8> = key
+                .chunks(256)
+                .fold(vec![0u8; 256], |mut acc, chunk| {
+                    for (a, &c) in acc.iter_mut().zip(chunk) {
+                        *a ^= c;
+                    }
+                    acc
+                });
+            key = folded;
+        }
+        Bitstream {
+            rc4: Rc4::new(&key),
+            buf: 0,
+            bits_left: 0,
+        }
+    }
+
+    /// Draws one pseudorandom bit.
+    pub fn bit(&mut self) -> bool {
+        if self.bits_left == 0 {
+            self.buf = self.rc4.next_byte();
+            self.bits_left = 8;
+        }
+        let b = self.buf & 1 != 0;
+        self.buf >>= 1;
+        self.bits_left -= 1;
+        b
+    }
+
+    /// Draws a full byte.
+    pub fn byte(&mut self) -> u8 {
+        self.rc4.next_byte()
+    }
+
+    /// Draws a `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_be_bytes([self.byte(), self.byte(), self.byte(), self.byte()])
+    }
+
+    /// Draws an unbiased index in `0..n` via rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "range(0) has no valid draws");
+        let n = n as u64;
+        if n == 1 {
+            return 0;
+        }
+        // Rejection sampling over the smallest power-of-two cover.
+        let bits = 64 - (n - 1).leading_zeros();
+        loop {
+            let mut v: u64 = 0;
+            for _ in 0..bits.div_ceil(8) {
+                v = (v << 8) | u64::from(self.byte());
+            }
+            v &= (1u64 << bits) - 1;
+            if v < n {
+                return v as usize;
+            }
+        }
+    }
+
+    /// Draws a bool that is `true` with probability `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den`.
+    pub fn ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0 && num <= den, "invalid probability {num}/{den}");
+        (self.range(den as usize) as u32) < num
+    }
+
+    /// Chooses one element of a slice uniformly (`None` for an empty slice).
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range(items.len())])
+        }
+    }
+
+    /// Draws an ordered selection of `k` distinct indices from `0..n`
+    /// (a pseudorandomly *ordered* selection, as the protocol requires for
+    /// the `T''` node list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn ordered_selection(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot select {k} of {n}");
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.range(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        Signature::from_author("test-author")
+    }
+
+    #[test]
+    fn purposes_give_independent_streams() {
+        let s = sig();
+        let mut a = Bitstream::for_purpose(&s, "a");
+        let mut b = Bitstream::for_purpose(&s, "b");
+        let xs: Vec<u8> = (0..16).map(|_| a.byte()).collect();
+        let ys: Vec<u8> = (0..16).map(|_| b.byte()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn same_purpose_replays_identically() {
+        let s = sig();
+        let mut a = Bitstream::for_purpose(&s, "x");
+        let mut b = Bitstream::for_purpose(&s, "x");
+        for n in [1usize, 2, 3, 10, 1000] {
+            assert_eq!(a.range(n), b.range(n));
+        }
+        for _ in 0..100 {
+            assert_eq!(a.bit(), b.bit());
+        }
+    }
+
+    #[test]
+    fn range_draws_are_in_bounds_and_cover() {
+        let mut bs = Bitstream::new(&sig());
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = bs.range(7);
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut bs = Bitstream::new(&sig());
+        let n = 5usize;
+        let mut counts = vec![0u32; n];
+        const DRAWS: u32 = 50_000;
+        for _ in 0..DRAWS {
+            counts[bs.range(n)] += 1;
+        }
+        let expected = f64::from(DRAWS) / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn ordered_selection_is_a_permutation_prefix() {
+        let mut bs = Bitstream::new(&sig());
+        let sel = bs.ordered_selection(20, 8);
+        assert_eq!(sel.len(), 8);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "selection must be distinct");
+        assert!(sel.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn ordered_selection_full_is_permutation() {
+        let mut bs = Bitstream::new(&sig());
+        let mut sel = bs.ordered_selection(10, 10);
+        sel.sort_unstable();
+        assert_eq!(sel, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "range(0)")]
+    fn range_zero_panics() {
+        Bitstream::new(&sig()).range(0);
+    }
+
+    #[test]
+    fn ratio_respects_probability() {
+        let mut bs = Bitstream::new(&sig());
+        let mut hits = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            if bs.ratio(1, 4) {
+                hits += 1;
+            }
+        }
+        let p = f64::from(hits) / f64::from(DRAWS);
+        assert!((0.23..0.27).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut bs = Bitstream::new(&sig());
+        assert_eq!(bs.choose::<u8>(&[]), None);
+    }
+
+    #[test]
+    fn overlong_purpose_is_folded_not_rejected() {
+        let long = "p".repeat(1000);
+        let mut bs = Bitstream::for_purpose(&sig(), &long);
+        let _ = bs.byte();
+    }
+}

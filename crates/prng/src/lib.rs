@@ -1,0 +1,38 @@
+//! Author-keyed pseudorandom bitstreams.
+//!
+//! Every selection the watermarking protocol makes — which subtree to mark,
+//! which nodes receive constraints, which matching to enforce — is driven by
+//! "an author-specific pseudorandom sequence of bits … generated using the
+//! RC4 stream cipher by iteratively encrypting a certain standard seed
+//! number keyed with the author's digital signature" (paper §IV-A).
+//!
+//! * [`Rc4`] — the RC4 stream cipher, implemented from scratch.
+//! * [`Signature`] — an author identity hashed into an RC4 key.
+//! * [`Bitstream`] — convenience draws (`bit`, `range`, `choose`, `subset`)
+//!   on top of the keystream, with rejection sampling so range draws are
+//!   unbiased and therefore identical on the embedding and detection sides.
+//!
+//! # Example
+//!
+//! ```
+//! use localwm_prng::{Bitstream, Signature};
+//!
+//! let sig = Signature::from_author("alice <alice@example.com>");
+//! let mut embed_side = Bitstream::for_purpose(&sig, "domain-selection");
+//! let mut detect_side = Bitstream::for_purpose(&sig, "domain-selection");
+//! // Both sides derive the identical selection sequence.
+//! for _ in 0..64 {
+//!     assert_eq!(embed_side.range(10), detect_side.range(10));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstream;
+mod rc4;
+mod signature;
+
+pub use bitstream::Bitstream;
+pub use rc4::Rc4;
+pub use signature::Signature;

@@ -1,0 +1,136 @@
+//! The RC4 stream cipher.
+
+/// RC4 keystream generator.
+///
+/// Implemented exactly as published (KSA + PRGA). The paper leans on RC4's
+/// one-way property: "the one-way property of the pseudorandom bitstream
+/// generator prohibits the attacker to locally modify the design in order to
+/// augment her/his signature" (§IV-A).
+///
+/// RC4 is used here as a *deterministic keyed PRG*, not as a secure cipher
+/// for new cryptographic designs — it is what the paper specifies, and the
+/// protocol only needs a one-way keyed bitstream.
+///
+/// ```
+/// use localwm_prng::Rc4;
+/// let mut rc4 = Rc4::new(b"Key");
+/// let mut buf = [0u8; 5];
+/// rc4.keystream(&mut buf);
+/// // Published test vector for key "Key": keystream EB9F7781B734CA72A719
+/// assert_eq!(buf, [0xEB, 0x9F, 0x77, 0x81, 0xB7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Initializes the cipher with a key (KSA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is empty or longer than 256 bytes (the RC4 key
+    /// schedule's defined range).
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "RC4 key length must be within 1..=256 bytes"
+        );
+        let mut s = [0u8; 256];
+        for (i, slot) in s.iter_mut().enumerate() {
+            *slot = i as u8;
+        }
+        let mut j = 0u8;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// Produces the next keystream byte (PRGA).
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let t = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[t as usize]
+    }
+
+    /// Fills a buffer with keystream bytes.
+    pub fn keystream(&mut self, buf: &mut [u8]) {
+        for b in buf {
+            *b = self.next_byte();
+        }
+    }
+
+    /// Encrypts/decrypts in place (XOR with the keystream).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published RC4 test vectors (key, first keystream bytes).
+    const VECTORS: &[(&[u8], &[u8])] = &[
+        (b"Key", &[0xEB, 0x9F, 0x77, 0x81, 0xB7, 0x34, 0xCA, 0x72, 0xA7, 0x19]),
+        (b"Wiki", &[0x60, 0x44, 0xDB, 0x6D, 0x41, 0xB7]),
+        (b"Secret", &[0x04, 0xD4, 0x6B, 0x05, 0x3C, 0xA8, 0x7B, 0x59]),
+    ];
+
+    #[test]
+    fn matches_published_test_vectors() {
+        for (key, expected) in VECTORS {
+            let mut rc4 = Rc4::new(key);
+            let mut buf = vec![0u8; expected.len()];
+            rc4.keystream(&mut buf);
+            assert_eq!(&buf, expected, "key {:?}", std::str::from_utf8(key));
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut plain = b"attack at dawn".to_vec();
+        let original = plain.clone();
+        Rc4::new(b"k3y").apply(&mut plain);
+        assert_ne!(plain, original);
+        Rc4::new(b"k3y").apply(&mut plain);
+        assert_eq!(plain, original);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let mut a = Rc4::new(b"a");
+        let mut b = Rc4::new(b"b");
+        let bytes_a: Vec<u8> = (0..32).map(|_| a.next_byte()).collect();
+        let bytes_b: Vec<u8> = (0..32).map(|_| b.next_byte()).collect();
+        assert_ne!(bytes_a, bytes_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "RC4 key length")]
+    fn empty_key_panics() {
+        let _ = Rc4::new(b"");
+    }
+
+    #[test]
+    fn keystream_is_reasonably_balanced() {
+        let mut rc4 = Rc4::new(b"balance-check");
+        let mut ones = 0u32;
+        const N: u32 = 8 * 4096;
+        for _ in 0..(N / 8) {
+            ones += rc4.next_byte().count_ones();
+        }
+        let ratio = f64::from(ones) / f64::from(N);
+        assert!((0.47..0.53).contains(&ratio), "bit ratio {ratio}");
+    }
+}

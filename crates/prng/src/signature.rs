@@ -1,0 +1,127 @@
+//! Author signatures.
+
+use std::fmt;
+
+/// An author's digital signature, reduced to an RC4 key.
+///
+/// The paper keys the bitstream generator "with the author's digital
+/// signature D". Any byte string works as a signature; convenience
+/// constructors derive one from an author identity string. A 64-byte key is
+/// derived with a simple sponge over the input so that signatures longer
+/// than RC4's key-schedule limit still work and short signatures get
+/// diffused.
+///
+/// ```
+/// use localwm_prng::Signature;
+/// let a = Signature::from_author("alice");
+/// let b = Signature::from_author("bob");
+/// assert_ne!(a.key(), b.key());
+/// assert_eq!(a, Signature::from_author("alice"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    key: [u8; 64],
+    label: String,
+}
+
+impl Signature {
+    /// Derives a signature from an author identity string.
+    pub fn from_author(author: &str) -> Self {
+        Self::from_bytes(author.as_bytes(), author)
+    }
+
+    /// Derives a signature from raw signature bytes with a display label.
+    pub fn from_bytes(bytes: &[u8], label: &str) -> Self {
+        Signature {
+            key: derive_key(bytes),
+            label: label.to_owned(),
+        }
+    }
+
+    /// The derived 64-byte RC4 key.
+    pub fn key(&self) -> &[u8; 64] {
+        &self.key
+    }
+
+    /// The human-readable label (for reports; carries no entropy).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signature({})", self.label)
+    }
+}
+
+/// A fixed-key sponge: absorb input into a 64-byte state with an FNV-like
+/// mixing permutation. Not a cryptographic hash — the one-way property the
+/// protocol relies on comes from RC4 keyed with this state; the sponge only
+/// spreads input entropy across the key bytes.
+fn derive_key(bytes: &[u8]) -> [u8; 64] {
+    let mut state = [0u8; 64];
+    // Domain-separating initial pattern.
+    for (i, s) in state.iter_mut().enumerate() {
+        *s = (i as u8).wrapping_mul(0x9E).wrapping_add(0x3C);
+    }
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, &b) in bytes.iter().enumerate() {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        let idx = i % 64;
+        state[idx] ^= (acc >> 24) as u8;
+        state[(idx + 17) % 64] = state[(idx + 17) % 64].wrapping_add((acc >> 48) as u8);
+    }
+    // Final diffusion passes so trailing bytes influence every key byte.
+    for _ in 0..3 {
+        for i in 0..64 {
+            acc ^= u64::from(state[i]);
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3).rotate_left(29);
+            state[i] = state[i]
+                .wrapping_add((acc >> 32) as u8)
+                .rotate_left(3)
+                ^ state[(i + 31) % 64];
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            Signature::from_author("x").key(),
+            Signature::from_author("x").key()
+        );
+    }
+
+    #[test]
+    fn single_bit_difference_changes_many_key_bytes() {
+        let a = Signature::from_bytes(b"watermark-0", "a");
+        let b = Signature::from_bytes(b"watermark-1", "b");
+        let differing = a
+            .key()
+            .iter()
+            .zip(b.key().iter())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(differing > 32, "only {differing} key bytes differ");
+    }
+
+    #[test]
+    fn empty_and_long_inputs_work() {
+        let empty = Signature::from_bytes(b"", "empty");
+        let long = Signature::from_bytes(&[0xAB; 10_000], "long");
+        assert_ne!(empty.key(), long.key());
+    }
+
+    #[test]
+    fn display_shows_label_not_key() {
+        let s = Signature::from_author("alice");
+        assert_eq!(s.to_string(), "signature(alice)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Exact (branch-and-bound) scheduling.
+//!
+//! The paper names two scheduling families: heuristics (force-directed
+//! [14]) and exact formulations (ILP [15]). This module is the exact
+//! counterpart in this workspace: an iterative-deepening branch-and-bound
+//! that finds a **minimum-latency** resource-constrained schedule, used to
+//! certify heuristic quality on small designs and to give watermark
+//! experiments a ground-truth optimum.
+
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_timing::UnitTiming;
+
+use crate::{OpClass, ResourceSet, Schedule, ScheduleError};
+
+/// Finds a minimum-latency schedule by iterative deepening.
+///
+/// For each candidate latency `L` starting at the critical path, a
+/// depth-first search assigns operations (topological order, critical
+/// ops first) to steps within their `[earliest, L − tail + 1]` windows
+/// under the per-step resource limits, backtracking on dead ends. The
+/// first feasible `L` is optimal.
+///
+/// Exponential in the worst case: intended for designs up to a few dozen
+/// operations (`limit_nodes` guards against accidental big inputs).
+///
+/// # Errors
+///
+/// * [`ScheduleError::InfeasibleDeadline`] if no schedule exists within
+///   `max_latency`.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or has more than `MAX_EXACT_NODES`
+/// operations.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_sched::{exact_schedule, ResourceSet};
+///
+/// let g = iir4_parallel();
+/// let s = exact_schedule(&g, &ResourceSet::unlimited(), 12)?;
+/// assert_eq!(s.length(), 6); // the critical path is optimal
+/// # Ok::<(), localwm_sched::ScheduleError>(())
+/// ```
+pub fn exact_schedule(
+    g: &Cdfg,
+    resources: &ResourceSet,
+    max_latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    assert!(
+        g.op_count() <= MAX_EXACT_NODES,
+        "exact scheduling is exponential; {} ops exceed the {} cap",
+        g.op_count(),
+        MAX_EXACT_NODES
+    );
+    let timing = UnitTiming::new(g);
+    let cp = timing.critical_path();
+    // Class-count lower bound: ceil(ops_of_class / units).
+    let mut class_lb = cp;
+    let mut per_class = [0u32; OpClass::COUNT];
+    for n in g.node_ids() {
+        if g.kind(n).is_schedulable() {
+            per_class[OpClass::of(g.kind(n)) as usize] += 1;
+        }
+    }
+    for class in OpClass::ALL {
+        if let Some(u) = resources.available(class) {
+            class_lb = class_lb.max(per_class[class as usize].div_ceil(u as u32));
+        }
+    }
+
+    for latency in class_lb..=max_latency.max(class_lb) {
+        if latency > max_latency {
+            break;
+        }
+        if let Some(schedule) = try_latency(g, resources, &timing, latency) {
+            debug_assert!(schedule.validate_with_resources(g, resources).is_ok());
+            return Ok(schedule);
+        }
+    }
+    Err(ScheduleError::InfeasibleDeadline {
+        requested: max_latency,
+        needed: max_latency + 1,
+    })
+}
+
+/// The hard cap on exact-scheduling problem size.
+pub const MAX_EXACT_NODES: usize = 64;
+
+fn try_latency(
+    g: &Cdfg,
+    resources: &ResourceSet,
+    timing: &UnitTiming,
+    latency: u32,
+) -> Option<Schedule> {
+    // Order: topological, critical (small mobility) first for early pruning.
+    let order = g.topo_order().expect("DAG");
+    let mut ops: Vec<NodeId> = order
+        .into_iter()
+        .filter(|&n| g.kind(n).is_schedulable())
+        .collect();
+    // Stable secondary sort by mobility keeps the topological property:
+    // we must NOT reorder dependents before dependencies, so sort only as a
+    // tiebreak via stable sort on mobility *within* the topo order is
+    // unsound in general; instead keep pure topological order (assignments
+    // propagate earliest-step constraints forward, which is sound).
+    let _ = &mut ops;
+
+    let mut schedule = Schedule::empty(g);
+    let mut usage = vec![[0usize; OpClass::COUNT]; latency as usize + 1];
+    if dfs(
+        g,
+        resources,
+        timing,
+        latency,
+        &ops,
+        0,
+        &mut schedule,
+        &mut usage,
+    ) {
+        Some(schedule)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &Cdfg,
+    resources: &ResourceSet,
+    timing: &UnitTiming,
+    latency: u32,
+    ops: &[NodeId],
+    idx: usize,
+    schedule: &mut Schedule,
+    usage: &mut [[usize; OpClass::COUNT]],
+) -> bool {
+    let Some(&n) = ops.get(idx) else {
+        return true;
+    };
+    let class = OpClass::of(g.kind(n));
+    let earliest = g
+        .preds(n)
+        .filter(|&p| g.kind(p).is_schedulable())
+        .filter_map(|p| schedule.step(p))
+        .max()
+        .map_or(1, |m| m + 1)
+        .max(timing.asap(n));
+    let latest = timing.alap(n, latency);
+    if earliest > latest {
+        return false;
+    }
+    for step in earliest..=latest {
+        if let Some(avail) = resources.available(class) {
+            if usage[step as usize][class as usize] >= avail {
+                continue;
+            }
+        }
+        usage[step as usize][class as usize] += 1;
+        schedule.set_step(n, step);
+        if dfs(g, resources, timing, latency, ops, idx + 1, schedule, usage) {
+            return true;
+        }
+        schedule.clear_step(n);
+        usage[step as usize][class as usize] -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_schedule;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    #[test]
+    fn unlimited_resources_reach_critical_path() {
+        let g = iir4_parallel();
+        let s = exact_schedule(&g, &ResourceSet::unlimited(), 10).unwrap();
+        assert_eq!(s.length(), 6);
+        assert!(s.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn exact_never_loses_to_list() {
+        let g = iir4_parallel();
+        for (alu, mult) in [(1usize, 1usize), (2, 1), (2, 2), (4, 2)] {
+            let rs = ResourceSet::unlimited()
+                .with(OpClass::Alu, alu)
+                .with(OpClass::Multiplier, mult);
+            let list = list_schedule(&g, &rs, None).unwrap();
+            let exact = exact_schedule(&g, &rs, list.length()).unwrap();
+            assert!(
+                exact.length() <= list.length(),
+                "alu={alu} mult={mult}: exact {} > list {}",
+                exact.length(),
+                list.length()
+            );
+            assert!(exact.validate_with_resources(&g, &rs).is_ok());
+        }
+    }
+
+    #[test]
+    fn class_bound_is_respected() {
+        // 6 independent multiplies on 2 multipliers: exactly 3 steps.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        for _ in 0..6 {
+            let m = g.add_node(OpKind::ConstMul);
+            g.add_data_edge(x, m).unwrap();
+        }
+        let rs = ResourceSet::unlimited().with(OpClass::Multiplier, 2);
+        let s = exact_schedule(&g, &rs, 10).unwrap();
+        assert_eq!(s.length(), 3);
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        for _ in 0..4 {
+            let m = g.add_node(OpKind::ConstMul);
+            g.add_data_edge(x, m).unwrap();
+        }
+        let rs = ResourceSet::unlimited().with(OpClass::Multiplier, 1);
+        assert!(matches!(
+            exact_schedule(&g, &rs, 3),
+            Err(ScheduleError::InfeasibleDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn temporal_edges_constrain_the_optimum() {
+        // Two independent ops; a temporal edge forces 2 steps even with
+        // unlimited resources.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let a = g.add_node(OpKind::Not);
+        let b = g.add_node(OpKind::Neg);
+        g.add_data_edge(x, a).unwrap();
+        g.add_data_edge(x, b).unwrap();
+        let free = exact_schedule(&g, &ResourceSet::unlimited(), 4).unwrap();
+        assert_eq!(free.length(), 1);
+        g.add_temporal_edge(a, b).unwrap();
+        let constrained = exact_schedule(&g, &ResourceSet::unlimited(), 4).unwrap();
+        assert_eq!(constrained.length(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_input_panics() {
+        let g = localwm_cdfg::generators::random_dag(100, 0.05, 1);
+        let _ = exact_schedule(&g, &ResourceSet::unlimited(), 100);
+    }
+}

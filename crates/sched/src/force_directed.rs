@@ -1,0 +1,294 @@
+//! Force-directed scheduling (Paulin & Knight).
+//!
+//! The paper cites force-directed scheduling as the canonical heuristic for
+//! behavioral synthesis [14]. Given a latency budget, FDS balances the
+//! expected concurrency of each functional-unit class across control steps,
+//! minimizing peak resource usage.
+
+use localwm_cdfg::{Cdfg, NodeId};
+
+use crate::{OpClass, Schedule, ScheduleError, Windows};
+
+/// Force-directed schedules a CDFG into `available_steps` control steps,
+/// minimizing the peak per-class concurrency.
+///
+/// The implementation is the classic algorithm: uniform placement
+/// probabilities over each operation's live `[asap, alap]` window,
+/// per-class distribution graphs, and self + direct predecessor/successor
+/// forces. One operation is committed per iteration (lowest total force,
+/// ties by node id), windows are re-propagated, and the loop repeats —
+/// `O(n² · S)` overall, intended for the design-scale problems of the
+/// paper's Table II rather than whole programs.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleDeadline`] if `available_steps` is below the
+/// critical path.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_sched::force_directed_schedule;
+///
+/// let g = iir4_parallel();
+/// let s = force_directed_schedule(&g, 8)?;
+/// assert!(s.validate(&g).is_ok());
+/// assert!(s.length() <= 8);
+/// # Ok::<(), localwm_sched::ScheduleError>(())
+/// ```
+pub fn force_directed_schedule(g: &Cdfg, available_steps: u32) -> Result<Schedule, ScheduleError> {
+    let windows = Windows::new(g, available_steps)?;
+    let _node_total = g.node_count();
+    let steps = available_steps as usize;
+
+    let mut asap: Vec<u32> = g.node_ids().map(|id| windows.asap(id)).collect();
+    let mut alap: Vec<u32> = g.node_ids().map(|id| windows.alap(id)).collect();
+    let schedulable: Vec<bool> = g.node_ids().map(|id| g.kind(id).is_schedulable()).collect();
+    let class: Vec<OpClass> = g.node_ids().map(|id| OpClass::of(g.kind(id))).collect();
+
+    let mut unplaced: Vec<NodeId> = g
+        .node_ids()
+        .filter(|id| schedulable[id.index()])
+        .collect();
+    let mut schedule = Schedule::empty(g);
+
+    // Distribution graphs: dg[class][step-1].
+    let mut dg = vec![vec![0f64; steps]; OpClass::COUNT];
+    let prob = |asap: u32, alap: u32, s: u32| -> f64 {
+        if (asap..=alap).contains(&s) {
+            1.0 / f64::from(alap - asap + 1)
+        } else {
+            0.0
+        }
+    };
+    for &id in &unplaced {
+        let i = id.index();
+        for s in asap[i]..=alap[i] {
+            dg[class[i] as usize][(s - 1) as usize] += prob(asap[i], alap[i], s);
+        }
+    }
+
+    // Force of moving a window [a0,b0] to [a1,b1] for class c.
+    let force_of = |dg: &[Vec<f64>], c: OpClass, a0: u32, b0: u32, a1: u32, b1: u32| -> f64 {
+        let row = &dg[c as usize];
+        let mut f = 0.0;
+        for s in a1..=b1 {
+            f += row[(s - 1) as usize] * prob(a1, b1, s);
+        }
+        for s in a0..=b0 {
+            f -= row[(s - 1) as usize] * prob(a0, b0, s);
+        }
+        f
+    };
+
+    while !unplaced.is_empty() {
+        let mut best: Option<(f64, NodeId, u32)> = None;
+        for &id in &unplaced {
+            let i = id.index();
+            'step: for t in asap[i]..=alap[i] {
+                let mut total = force_of(&dg, class[i], asap[i], alap[i], t, t);
+                // Direct successors: window floor rises to t+1.
+                for d in g.succs(id) {
+                    let j = d.index();
+                    if !schedulable[j] {
+                        continue;
+                    }
+                    let na = asap[j].max(t + 1);
+                    if na > alap[j] {
+                        continue 'step; // infeasible placement
+                    }
+                    if na != asap[j] {
+                        total += force_of(&dg, class[j], asap[j], alap[j], na, alap[j]);
+                    }
+                }
+                // Direct predecessors: window ceiling drops to t-1.
+                for p in g.preds(id) {
+                    let j = p.index();
+                    if !schedulable[j] {
+                        continue;
+                    }
+                    if schedule.step(p).is_some() {
+                        continue;
+                    }
+                    let nb = alap[j].min(t.saturating_sub(1));
+                    if nb < asap[j] {
+                        continue 'step;
+                    }
+                    if nb != alap[j] {
+                        total += force_of(&dg, class[j], asap[j], alap[j], asap[j], nb);
+                    }
+                }
+                let better = match best {
+                    None => true,
+                    Some((bf, bid, _)) => {
+                        total < bf - 1e-12 || ((total - bf).abs() <= 1e-12 && id < bid)
+                    }
+                };
+                if better {
+                    best = Some((total, id, t));
+                }
+            }
+        }
+        let (_, id, t) = best.expect("windows always admit at least one placement");
+        let i = id.index();
+
+        // Commit: remove old distribution, pin to t.
+        for s in asap[i]..=alap[i] {
+            dg[class[i] as usize][(s - 1) as usize] -= prob(asap[i], alap[i], s);
+        }
+        dg[class[i] as usize][(t - 1) as usize] += 1.0;
+        asap[i] = t;
+        alap[i] = t;
+        schedule.set_step(id, t);
+        unplaced.retain(|&u| u != id);
+
+        // Propagate window tightening transitively, updating the DGs.
+        let mut stack: Vec<NodeId> = vec![id];
+        while let Some(u) = stack.pop() {
+            let ui = u.index();
+            for d in g.succs(u) {
+                let j = d.index();
+                if !schedulable[j] || schedule.step(d).is_some() {
+                    continue;
+                }
+                let floor = asap[ui] + u32::from(schedulable[ui]);
+                if asap[j] < floor {
+                    let nb = alap[j];
+                    update_window(&mut dg, class[j], &mut asap[j], &mut alap[j], floor, nb);
+                    stack.push(d);
+                }
+            }
+            for p in g.preds(u) {
+                let j = p.index();
+                if !schedulable[j] || schedule.step(p).is_some() {
+                    continue;
+                }
+                let ceil = alap[ui].saturating_sub(u32::from(schedulable[ui]));
+                if alap[j] > ceil {
+                    let na = asap[j];
+                    update_window(&mut dg, class[j], &mut asap[j], &mut alap[j], na, ceil);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    debug_assert!(schedule.validate(g).is_ok());
+    Ok(schedule)
+}
+
+fn update_window(
+    dg: &mut [Vec<f64>],
+    c: OpClass,
+    asap: &mut u32,
+    alap: &mut u32,
+    na: u32,
+    nb: u32,
+) {
+    let row = &mut dg[c as usize];
+    let old_p = 1.0 / f64::from(*alap - *asap + 1);
+    for s in *asap..=*alap {
+        row[(s - 1) as usize] -= old_p;
+    }
+    debug_assert!(na <= nb, "window update produced an empty window");
+    let new_p = 1.0 / f64::from(nb - na + 1);
+    for s in na..=nb {
+        row[(s - 1) as usize] += new_p;
+    }
+    *asap = na;
+    *alap = nb;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    fn peak_usage(g: &Cdfg, s: &Schedule, c: OpClass) -> usize {
+        let mut per_step = std::collections::HashMap::new();
+        for (n, step) in s.iter() {
+            if OpClass::of(g.kind(n)) == c {
+                *per_step.entry(step).or_insert(0usize) += 1;
+            }
+        }
+        per_step.values().copied().max().unwrap_or(0)
+    }
+
+    #[test]
+    fn produces_valid_schedule_within_deadline() {
+        let g = iir4_parallel();
+        for steps in [6u32, 8, 12] {
+            let s = force_directed_schedule(&g, steps).unwrap();
+            assert!(s.validate(&g).is_ok(), "steps={steps}");
+            assert!(s.length() <= steps);
+        }
+    }
+
+    #[test]
+    fn slack_reduces_peak_multiplier_usage() {
+        let g = iir4_parallel();
+        let tight = force_directed_schedule(&g, 6).unwrap();
+        let loose = force_directed_schedule(&g, 12).unwrap();
+        let pt = peak_usage(&g, &tight, OpClass::Multiplier);
+        let pl = peak_usage(&g, &loose, OpClass::Multiplier);
+        assert!(
+            pl <= pt,
+            "FDS with slack should not raise peak mult usage ({pl} > {pt})"
+        );
+        // With 12 steps, 8 cmuls can spread far below the 8-wide worst case.
+        assert!(pl <= 4, "expected balanced multipliers, got {pl}");
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let g = iir4_parallel();
+        assert!(matches!(
+            force_directed_schedule(&g, 3),
+            Err(ScheduleError::InfeasibleDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn honours_temporal_edges() {
+        let mut g = iir4_parallel();
+        let c1 = g.node_by_name("C1").unwrap();
+        let c6 = g.node_by_name("C6").unwrap();
+        g.add_temporal_edge(c1, c6).unwrap();
+        let s = force_directed_schedule(&g, 8).unwrap();
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.executes_before(c1, c6), Some(true));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = iir4_parallel();
+        let a = force_directed_schedule(&g, 9).unwrap();
+        let b = force_directed_schedule(&g, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn balances_better_than_asap_packing() {
+        // 6 independent multiplies + a 3-deep chain; 3 steps available.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        for _ in 0..6 {
+            let m = g.add_node(OpKind::ConstMul);
+            g.add_data_edge(x, m).unwrap();
+        }
+        let mut prev = x;
+        for _ in 0..3 {
+            let a = g.add_node(OpKind::Not);
+            g.add_data_edge(prev, a).unwrap();
+            prev = a;
+        }
+        let s = force_directed_schedule(&g, 3).unwrap();
+        assert!(s.validate(&g).is_ok());
+        // ASAP would put all 6 multiplies in step 1; FDS spreads to ~2/step.
+        assert!(peak_usage(&g, &s, OpClass::Multiplier) <= 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Operation scheduling for behavioral synthesis.
+//!
+//! Scheduling "partitions the set of operations in the CDFG into groups such
+//! that the operations in the same group can be executed concurrently in one
+//! control step" (paper §IV-A). This crate supplies every scheduling
+//! capability the watermarking protocol and its evaluation need:
+//!
+//! * [`Schedule`] — a control-step assignment with full validity checking.
+//! * [`Windows`] — per-node ASAP/ALAP windows under a deadline.
+//! * [`list_schedule`] — resource-constrained list scheduling (the
+//!   workhorse "synthesis tool" run after constraints are embedded).
+//! * [`exact_schedule`] — minimum-latency branch-and-bound (the exact/ILP
+//!   counterpart the paper cites) for certifying heuristics on small
+//!   designs.
+//! * [`force_directed_schedule`] — Paulin–Knight force-directed scheduling
+//!   (the paper cites it as the canonical heuristic), minimizing peak
+//!   resource usage under a latency constraint.
+//! * [`enumerate`] — exact schedule counting/enumeration for small
+//!   (sub)problems, used for the `ψ_W/ψ_N` ratios and exact coincidence
+//!   probabilities of the paper's Fig. 3 example.
+//!
+//! # Example
+//!
+//! ```
+//! use localwm_cdfg::designs::iir4_parallel;
+//! use localwm_sched::{list_schedule, ResourceSet, Schedule};
+//!
+//! let g = iir4_parallel();
+//! let sched = list_schedule(&g, &ResourceSet::unlimited(), None)?;
+//! assert!(sched.validate(&g).is_ok());
+//! assert_eq!(sched.length(), 6); // matches the critical path
+//! # Ok::<(), localwm_sched::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+
+mod exact;
+mod force_directed;
+mod lifetimes;
+mod list;
+mod resource;
+mod schedule;
+mod windows;
+
+pub use exact::{exact_schedule, MAX_EXACT_NODES};
+pub use force_directed::force_directed_schedule;
+pub use lifetimes::{left_edge_binding, lifetimes, register_count, Lifetime};
+pub use list::{alap_schedule, list_schedule};
+pub use resource::{OpClass, ResourceSet};
+pub use schedule::{Schedule, ScheduleError};
+pub use windows::Windows;

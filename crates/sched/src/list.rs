@@ -1,0 +1,253 @@
+//! Resource-constrained list scheduling.
+
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_timing::UnitTiming;
+
+use crate::{OpClass, ResourceSet, Schedule, ScheduleError};
+
+/// List-schedules a CDFG.
+///
+/// Priority function: longest tail first (critical-path scheduling), ties
+/// broken by node id for determinism. Every edge kind — data, control and
+/// *temporal* — is honoured as a strict precedence, which is exactly how the
+/// watermarking flow makes the "synthesis tool" satisfy the embedded
+/// constraints transparently.
+///
+/// With `deadline: None` the schedule is as short as the resources permit.
+/// With a deadline the schedule is checked post-hoc and
+/// [`ScheduleError::InfeasibleDeadline`] is returned if it overruns.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleDeadline`] when a deadline is given and
+/// cannot be met.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_sched::{list_schedule, OpClass, ResourceSet};
+///
+/// let g = iir4_parallel();
+/// // One multiplier: the 8 constant-mults serialize.
+/// let rs = ResourceSet::unlimited().with(OpClass::Multiplier, 1);
+/// let s = list_schedule(&g, &rs, None)?;
+/// assert!(s.validate_with_resources(&g, &rs).is_ok());
+/// assert!(s.length() >= 8);
+/// # Ok::<(), localwm_sched::ScheduleError>(())
+/// ```
+pub fn list_schedule(
+    g: &Cdfg,
+    resources: &ResourceSet,
+    deadline: Option<u32>,
+) -> Result<Schedule, ScheduleError> {
+    let timing = UnitTiming::new(g);
+    let mut schedule = Schedule::empty(g);
+
+    // Remaining unscheduled precedence predecessors per node.
+    let mut pending: Vec<usize> = g
+        .node_ids()
+        .map(|n| {
+            g.preds(n)
+                .filter(|&p| g.kind(p).is_schedulable())
+                .count()
+        })
+        .collect();
+
+    // Ready list: schedulable ops whose schedulable preds are all placed.
+    let mut ready: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable() && pending[n.index()] == 0)
+        .collect();
+
+    // Earliest step each node may start at, updated as preds are placed.
+    let mut earliest: Vec<u32> = vec![1; g.node_count()];
+
+    let mut remaining = g.op_count();
+    let mut step: u32 = 0;
+    while remaining > 0 {
+        step += 1;
+        // Candidates runnable this step.
+        let mut candidates: Vec<NodeId> = ready
+            .iter()
+            .copied()
+            .filter(|&n| earliest[n.index()] <= step)
+            .collect();
+        // Longest tail first; ties by id.
+        candidates.sort_by_key(|&n| (std::cmp::Reverse(timing.laxity(n)), n));
+
+        let mut used = [0usize; OpClass::COUNT];
+        let mut placed: Vec<NodeId> = Vec::new();
+        for n in candidates {
+            let class = OpClass::of(g.kind(n));
+            if let Some(avail) = resources.available(class) {
+                if used[class as usize] >= avail {
+                    continue;
+                }
+            }
+            used[class as usize] += 1;
+            schedule.set_step(n, step);
+            placed.push(n);
+        }
+        for n in placed {
+            ready.retain(|&r| r != n);
+            remaining -= 1;
+            for s in g.succs(n) {
+                earliest[s.index()] = earliest[s.index()].max(step + 1);
+                if g.kind(s).is_schedulable() {
+                    pending[s.index()] -= 1;
+                    if pending[s.index()] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            step <= 2 * g.node_count() as u32 + 2,
+            "list scheduler failed to make progress"
+        );
+    }
+
+    if let Some(d) = deadline {
+        let len = schedule.length();
+        if len > d {
+            return Err(ScheduleError::InfeasibleDeadline {
+                requested: d,
+                needed: len,
+            });
+        }
+    }
+    Ok(schedule)
+}
+
+/// ALAP-schedules a CDFG: every operation runs at its latest feasible step
+/// under the deadline. Linear time, and it *spreads* work across the whole
+/// step budget, which makes it a cheap stand-in for force-directed
+/// scheduling on designs too large for `O(n²·S)` balancing (the echo
+/// canceler of Table II).
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleDeadline`] if `available_steps` is below the
+/// critical path.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn alap_schedule(g: &Cdfg, available_steps: u32) -> Result<Schedule, ScheduleError> {
+    let windows = crate::Windows::new(g, available_steps)?;
+    let mut s = Schedule::empty(g);
+    for n in g.node_ids() {
+        if g.kind(n).is_schedulable() {
+            s.set_step(n, windows.alap(n));
+        }
+    }
+    debug_assert!(s.validate(g).is_ok());
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::generators::{mediabench, mediabench_apps};
+    use localwm_cdfg::OpKind;
+
+    #[test]
+    fn unlimited_resources_reach_critical_path() {
+        let g = iir4_parallel();
+        let s = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.length(), 6);
+    }
+
+    #[test]
+    fn resource_limits_stretch_the_schedule() {
+        let g = iir4_parallel();
+        let rs = ResourceSet::unlimited()
+            .with(OpClass::Multiplier, 1)
+            .with(OpClass::Alu, 1);
+        let s = list_schedule(&g, &rs, None).unwrap();
+        assert!(s.validate_with_resources(&g, &rs).is_ok());
+        // 8 cmuls on one multiplier and 13 ALU ops on one ALU.
+        assert!(s.length() >= 13);
+    }
+
+    #[test]
+    fn temporal_edges_are_honoured() {
+        let mut g = iir4_parallel();
+        let c1 = g.node_by_name("C1").unwrap();
+        let c5 = g.node_by_name("C5").unwrap();
+        g.add_temporal_edge(c1, c5).unwrap();
+        let s = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.executes_before(c1, c5), Some(true));
+    }
+
+    #[test]
+    fn deadline_violation_is_reported() {
+        let g = iir4_parallel();
+        let rs = ResourceSet::unlimited().with(OpClass::Alu, 1);
+        let err = list_schedule(&g, &rs, Some(6)).unwrap_err();
+        assert!(matches!(err, ScheduleError::InfeasibleDeadline { .. }));
+    }
+
+    #[test]
+    fn schedules_mediabench_scale_graphs() {
+        let app = mediabench_apps()[0];
+        let g = mediabench(&app, 0);
+        let rs = ResourceSet::unlimited()
+            .with(OpClass::Alu, 4)
+            .with(OpClass::Multiplier, 4)
+            .with(OpClass::Memory, 2)
+            .with(OpClass::Branch, 2);
+        let s = list_schedule(&g, &rs, None).unwrap();
+        assert!(s.validate_with_resources(&g, &rs).is_ok());
+    }
+
+    #[test]
+    fn alap_spreads_to_late_steps() {
+        let g = iir4_parallel();
+        let s = alap_schedule(&g, 12).unwrap();
+        assert!(s.validate(&g).is_ok());
+        // The final add must land on the last step.
+        let a9 = g.node_by_name("A9").unwrap();
+        assert_eq!(s.step(a9), Some(12));
+    }
+
+    #[test]
+    fn alap_rejects_infeasible_deadline() {
+        let g = iir4_parallel();
+        assert!(matches!(
+            alap_schedule(&g, 4),
+            Err(ScheduleError::InfeasibleDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = iir4_parallel();
+        let a = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
+        let b = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn store_and_branch_ops_are_scheduled_too() {
+        let mut g = localwm_cdfg::Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let ld = g.add_node(OpKind::Load);
+        let st = g.add_node(OpKind::Store);
+        let br = g.add_node(OpKind::Branch);
+        g.add_data_edge(x, ld).unwrap();
+        g.add_data_edge(x, st).unwrap();
+        g.add_data_edge(ld, st).unwrap();
+        g.add_data_edge(ld, br).unwrap();
+        let rs = ResourceSet::unlimited().with(OpClass::Memory, 1);
+        let s = list_schedule(&g, &rs, None).unwrap();
+        assert!(s.validate_with_resources(&g, &rs).is_ok());
+        assert!(s.step(st) > s.step(ld));
+    }
+}

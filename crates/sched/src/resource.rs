@@ -1,0 +1,142 @@
+//! Functional-unit classes and resource sets.
+
+use localwm_cdfg::OpKind;
+
+/// Functional-unit class an operation executes on.
+///
+/// The classes mirror the paper's evaluation machine ("four arithmetic-logic
+/// units, two branch and two memory units") plus a multiplier class, since
+/// datapath-oriented resource sets usually separate multipliers from ALUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum OpClass {
+    /// Add/sub/logic/compare/shift/move units.
+    Alu = 0,
+    /// Multiply/divide units.
+    Multiplier = 1,
+    /// Load/store units.
+    Memory = 2,
+    /// Branch units.
+    Branch = 3,
+}
+
+impl OpClass {
+    /// Number of distinct classes.
+    pub const COUNT: usize = 4;
+
+    /// The class an operation kind executes on.
+    pub fn of(kind: OpKind) -> OpClass {
+        match kind {
+            OpKind::Mul | OpKind::ConstMul | OpKind::Div => OpClass::Multiplier,
+            OpKind::Load | OpKind::Store => OpClass::Memory,
+            OpKind::Branch => OpClass::Branch,
+            _ => OpClass::Alu,
+        }
+    }
+
+    /// All classes.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Alu,
+        OpClass::Multiplier,
+        OpClass::Memory,
+        OpClass::Branch,
+    ];
+}
+
+/// Per-class functional-unit availability.
+///
+/// `None` for a class means unlimited units of that class.
+///
+/// ```
+/// use localwm_sched::{OpClass, ResourceSet};
+/// let rs = ResourceSet::unlimited()
+///     .with(OpClass::Multiplier, 2)
+///     .with(OpClass::Memory, 1);
+/// assert_eq!(rs.available(OpClass::Multiplier), Some(2));
+/// assert_eq!(rs.available(OpClass::Alu), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceSet {
+    limits: [Option<usize>; OpClass::COUNT],
+}
+
+impl ResourceSet {
+    /// No limits on any class (pure dependence-constrained scheduling).
+    pub fn unlimited() -> Self {
+        ResourceSet {
+            limits: [None; OpClass::COUNT],
+        }
+    }
+
+    /// Sets the limit of one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` — a class with zero units can never schedule.
+    #[must_use]
+    pub fn with(mut self, class: OpClass, count: usize) -> Self {
+        assert!(count > 0, "a resource class needs at least one unit");
+        self.limits[class as usize] = Some(count);
+        self
+    }
+
+    /// The available units of a class (`None` = unlimited).
+    pub fn available(&self, class: OpClass) -> Option<usize> {
+        self.limits[class as usize]
+    }
+
+    /// Whether no class is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.limits.iter().all(|l| l.is_none())
+    }
+
+    /// Number of classes (for dense usage tables).
+    pub fn class_count(&self) -> usize {
+        OpClass::COUNT
+    }
+}
+
+impl Default for ResourceSet {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_expected_kinds() {
+        assert_eq!(OpClass::of(OpKind::Add), OpClass::Alu);
+        assert_eq!(OpClass::of(OpKind::Xor), OpClass::Alu);
+        assert_eq!(OpClass::of(OpKind::Mul), OpClass::Multiplier);
+        assert_eq!(OpClass::of(OpKind::ConstMul), OpClass::Multiplier);
+        assert_eq!(OpClass::of(OpKind::Load), OpClass::Memory);
+        assert_eq!(OpClass::of(OpKind::Branch), OpClass::Branch);
+        assert_eq!(OpClass::of(OpKind::UnitOp), OpClass::Alu);
+    }
+
+    #[test]
+    fn unlimited_has_no_limits() {
+        let rs = ResourceSet::unlimited();
+        assert!(rs.is_unlimited());
+        for class in OpClass::ALL {
+            assert_eq!(rs.available(class), None);
+        }
+    }
+
+    #[test]
+    fn with_sets_one_class() {
+        let rs = ResourceSet::unlimited().with(OpClass::Alu, 4);
+        assert!(!rs.is_unlimited());
+        assert_eq!(rs.available(OpClass::Alu), Some(4));
+        assert_eq!(rs.available(OpClass::Memory), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_panics() {
+        let _ = ResourceSet::unlimited().with(OpClass::Alu, 0);
+    }
+}

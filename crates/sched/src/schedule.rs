@@ -1,0 +1,346 @@
+//! The schedule type and its validity checks.
+
+use std::fmt;
+
+use localwm_cdfg::{Cdfg, NodeId};
+
+use crate::ResourceSet;
+
+/// A control-step assignment: every schedulable operation gets a 1-based
+/// step; free nodes (inputs, constants, outputs) carry no step.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    steps: Vec<Option<u32>>,
+}
+
+/// Scheduling errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A schedulable operation has no assigned step.
+    Unscheduled(NodeId),
+    /// A free node was assigned a step.
+    FreeNodeScheduled(NodeId),
+    /// A precedence edge is violated (`src` not strictly before `dst`).
+    PrecedenceViolated {
+        /// Edge source.
+        src: NodeId,
+        /// Edge destination.
+        dst: NodeId,
+    },
+    /// More operations of one class in a step than the resource set allows.
+    ResourceOversubscribed {
+        /// The oversubscribed control step.
+        step: u32,
+        /// Operations of the class placed in that step.
+        used: usize,
+        /// Available units of the class.
+        available: usize,
+    },
+    /// The requested deadline is infeasible (shorter than the critical
+    /// path, or resources too scarce for the scheduler in use).
+    InfeasibleDeadline {
+        /// The requested number of control steps.
+        requested: u32,
+        /// A lower bound on the achievable length.
+        needed: u32,
+    },
+    /// A step assignment of 0 was supplied (steps are 1-based).
+    ZeroStep(NodeId),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unscheduled(n) => write!(f, "operation {n} has no control step"),
+            ScheduleError::FreeNodeScheduled(n) => {
+                write!(f, "free node {n} must not carry a control step")
+            }
+            ScheduleError::PrecedenceViolated { src, dst } => {
+                write!(f, "precedence violated: {src} must precede {dst}")
+            }
+            ScheduleError::ResourceOversubscribed {
+                step,
+                used,
+                available,
+            } => write!(
+                f,
+                "step {step} uses {used} unit(s) of a class with only {available}"
+            ),
+            ScheduleError::InfeasibleDeadline { requested, needed } => write!(
+                f,
+                "deadline of {requested} step(s) infeasible; at least {needed} needed"
+            ),
+            ScheduleError::ZeroStep(n) => write!(f, "operation {n} assigned step 0"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Creates an empty (all-unscheduled) assignment sized for `g`.
+    pub fn empty(g: &Cdfg) -> Self {
+        Schedule {
+            steps: vec![None; g.node_count()],
+        }
+    }
+
+    /// Creates a schedule from raw per-node steps.
+    pub fn from_steps(steps: Vec<Option<u32>>) -> Self {
+        Schedule { steps }
+    }
+
+    /// The step of a node (`None` for free or unscheduled nodes).
+    pub fn step(&self, n: NodeId) -> Option<u32> {
+        self.steps.get(n.index()).copied().flatten()
+    }
+
+    /// Assigns a step.
+    pub fn set_step(&mut self, n: NodeId, step: u32) {
+        self.steps[n.index()] = Some(step);
+    }
+
+    /// Clears a step assignment.
+    pub fn clear_step(&mut self, n: NodeId) {
+        self.steps[n.index()] = None;
+    }
+
+    /// Total schedule length in control steps (0 if nothing scheduled).
+    pub fn length(&self) -> u32 {
+        self.steps.iter().flatten().copied().max().unwrap_or(0)
+    }
+
+    /// Iterator over `(node, step)` pairs of scheduled operations.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|step| (NodeId::from_index(i), step)))
+    }
+
+    /// Whether `a` executes strictly before `b`.
+    ///
+    /// Returns `None` if either is unscheduled.
+    pub fn executes_before(&self, a: NodeId, b: NodeId) -> Option<bool> {
+        Some(self.step(a)? < self.step(b)?)
+    }
+
+    /// Renders the schedule as a per-step table for human inspection.
+    ///
+    /// ```text
+    /// step 1 | C1(cmul) C2(cmul)
+    /// step 2 | A1(add)
+    /// ```
+    pub fn render(&self, g: &Cdfg) -> String {
+        let len = self.length() as usize;
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); len + 1];
+        for (n, s) in self.iter() {
+            buckets[s as usize].push(n);
+        }
+        let mut out = String::new();
+        let width = len.to_string().len();
+        for (step, bucket) in buckets.iter().enumerate().skip(1) {
+            let mut names: Vec<String> = bucket
+                .iter()
+                .map(|&n| {
+                    let label = g
+                        .node(n)
+                        .and_then(|x| x.name().map(str::to_owned))
+                        .unwrap_or_else(|| n.to_string());
+                    format!("{label}({})", g.kind(n))
+                })
+                .collect();
+            names.sort_unstable();
+            out.push_str(&format!("step {step:>width$} | {}\n", names.join(" ")));
+        }
+        out
+    }
+
+    /// Validates precedence completeness for a graph (no resource check).
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn validate(&self, g: &Cdfg) -> Result<(), ScheduleError> {
+        self.validate_with_resources(g, &ResourceSet::unlimited())
+    }
+
+    /// Validates a schedule against a graph and a resource set:
+    ///
+    /// 1. every schedulable operation has a (non-zero) step;
+    /// 2. free nodes have no step;
+    /// 3. every edge (data, control, or temporal) whose endpoints are both
+    ///    schedulable runs source strictly before destination;
+    /// 4. no control step uses more units of a class than available.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a [`ScheduleError`].
+    pub fn validate_with_resources(
+        &self,
+        g: &Cdfg,
+        resources: &ResourceSet,
+    ) -> Result<(), ScheduleError> {
+        for n in g.node_ids() {
+            let schedulable = g.kind(n).is_schedulable();
+            match (schedulable, self.step(n)) {
+                (true, None) => return Err(ScheduleError::Unscheduled(n)),
+                (true, Some(0)) => return Err(ScheduleError::ZeroStep(n)),
+                (false, Some(_)) => return Err(ScheduleError::FreeNodeScheduled(n)),
+                _ => {}
+            }
+        }
+        for e in g.edges() {
+            let (s, d) = (e.src(), e.dst());
+            match (self.step(s), self.step(d)) {
+                (Some(a), Some(b)) if a >= b => {
+                    return Err(ScheduleError::PrecedenceViolated { src: s, dst: d })
+                }
+                _ => {}
+            }
+        }
+        if !resources.is_unlimited() {
+            let len = self.length();
+            let classes = resources.class_count();
+            let mut usage = vec![0usize; (len as usize + 1) * classes];
+            for (n, step) in self.iter() {
+                let class = crate::OpClass::of(g.kind(n));
+                let cell = &mut usage[step as usize * classes + class as usize];
+                *cell += 1;
+                if let Some(avail) = resources.available(class) {
+                    if *cell > avail {
+                        return Err(ScheduleError::ResourceOversubscribed {
+                            step,
+                            used: *cell,
+                            available: avail,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    fn add_chain() -> (Cdfg, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let a = g.add_node(OpKind::Not);
+        let b = g.add_node(OpKind::Neg);
+        g.add_data_edge(x, a).unwrap();
+        g.add_data_edge(a, b).unwrap();
+        (g, x, a, b)
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (g, _, a, b) = add_chain();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 1);
+        s.set_step(b, 2);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.length(), 2);
+        assert_eq!(s.executes_before(a, b), Some(true));
+    }
+
+    #[test]
+    fn render_shows_every_scheduled_op() {
+        let (g, _, a, b) = add_chain();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 1);
+        s.set_step(b, 2);
+        let table = s.render(&g);
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.contains("step 1 |"));
+        assert!(table.contains("(not)"));
+        assert!(table.contains("(neg)"));
+    }
+
+    #[test]
+    fn missing_step_is_reported() {
+        let (g, _, a, b) = add_chain();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 1);
+        assert_eq!(s.validate(&g), Err(ScheduleError::Unscheduled(b)));
+    }
+
+    #[test]
+    fn precedence_violation_is_reported() {
+        let (g, _, a, b) = add_chain();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 2);
+        s.set_step(b, 2);
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::PrecedenceViolated { src: a, dst: b })
+        );
+    }
+
+    #[test]
+    fn temporal_edges_are_enforced() {
+        let (mut g, _, a, b) = add_chain();
+        let c = g.add_node(OpKind::UnitOp);
+        let x2 = g.add_node(OpKind::Input);
+        g.add_data_edge(x2, c).unwrap();
+        g.add_temporal_edge(b, c).unwrap();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 1);
+        s.set_step(b, 2);
+        s.set_step(c, 2);
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::PrecedenceViolated { src: b, dst: c })
+        );
+        s.set_step(c, 3);
+        assert!(s.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn free_node_with_step_is_rejected() {
+        let (g, x, a, b) = add_chain();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 1);
+        s.set_step(b, 2);
+        s.set_step(x, 1);
+        assert_eq!(s.validate(&g), Err(ScheduleError::FreeNodeScheduled(x)));
+    }
+
+    #[test]
+    fn zero_step_is_rejected() {
+        let (g, _, a, b) = add_chain();
+        let mut s = Schedule::empty(&g);
+        s.set_step(a, 0);
+        s.set_step(b, 2);
+        assert_eq!(s.validate(&g), Err(ScheduleError::ZeroStep(a)));
+    }
+
+    #[test]
+    fn resource_oversubscription_is_detected() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let y = g.add_node(OpKind::Input);
+        let m1 = g.add_node(OpKind::Mul);
+        let m2 = g.add_node(OpKind::Mul);
+        g.add_data_edge(x, m1).unwrap();
+        g.add_data_edge(y, m1).unwrap();
+        g.add_data_edge(x, m2).unwrap();
+        g.add_data_edge(y, m2).unwrap();
+        let mut s = Schedule::empty(&g);
+        s.set_step(m1, 1);
+        s.set_step(m2, 1);
+        let one_mult = ResourceSet::unlimited().with(crate::OpClass::Multiplier, 1);
+        assert!(matches!(
+            s.validate_with_resources(&g, &one_mult),
+            Err(ScheduleError::ResourceOversubscribed { step: 1, used: 2, available: 1 })
+        ));
+        s.set_step(m2, 2);
+        assert!(s.validate_with_resources(&g, &one_mult).is_ok());
+    }
+}

@@ -1,0 +1,171 @@
+//! ASAP/ALAP mobility windows under a deadline.
+
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_timing::UnitTiming;
+
+use crate::ScheduleError;
+
+/// Per-node scheduling windows `[asap, alap]` for a fixed number of
+/// available control steps.
+///
+/// The windows are the paper's `asap(·)`/`alap(·)` functions: the scheduling
+/// freedom of each operation given the design's latency budget. Watermark
+/// constraint encoding pairs nodes with *overlapping* windows.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_sched::Windows;
+///
+/// let g = iir4_parallel();
+/// let w = Windows::new(&g, 8)?; // two slack steps over the 6-step CP
+/// let c1 = g.node_by_name("C1").unwrap();
+/// assert_eq!(w.asap(c1), 1);
+/// assert_eq!(w.alap(c1), 3);
+/// # Ok::<(), localwm_sched::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Windows {
+    timing: UnitTiming,
+    available_steps: u32,
+}
+
+impl Windows {
+    /// Computes windows for `available_steps` control steps.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InfeasibleDeadline`] if the deadline is shorter than
+    /// the critical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn new(g: &Cdfg, available_steps: u32) -> Result<Self, ScheduleError> {
+        let timing = UnitTiming::new(g);
+        if available_steps < timing.critical_path() {
+            return Err(ScheduleError::InfeasibleDeadline {
+                requested: available_steps,
+                needed: timing.critical_path(),
+            });
+        }
+        Ok(Windows {
+            timing,
+            available_steps,
+        })
+    }
+
+    /// Windows with the tightest feasible deadline (`steps == C`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn tight(g: &Cdfg) -> Self {
+        let timing = UnitTiming::new(g);
+        let available_steps = timing.critical_path();
+        Windows {
+            timing,
+            available_steps,
+        }
+    }
+
+    /// The deadline these windows were computed for.
+    pub fn available_steps(&self) -> u32 {
+        self.available_steps
+    }
+
+    /// The critical path of the underlying graph.
+    pub fn critical_path(&self) -> u32 {
+        self.timing.critical_path()
+    }
+
+    /// Earliest step of `n`.
+    pub fn asap(&self, n: NodeId) -> u32 {
+        self.timing.asap(n)
+    }
+
+    /// Latest step of `n` under the deadline.
+    pub fn alap(&self, n: NodeId) -> u32 {
+        self.timing.alap(n, self.available_steps)
+    }
+
+    /// `alap - asap`.
+    pub fn mobility(&self, n: NodeId) -> u32 {
+        self.timing.mobility(n, self.available_steps)
+    }
+
+    /// The paper's laxity of `n` (longest path through `n`, in ops).
+    pub fn laxity(&self, n: NodeId) -> u32 {
+        self.timing.laxity(n)
+    }
+
+    /// Whether the windows of `a` and `b` overlap (the temporal-edge
+    /// pairing precondition).
+    pub fn overlap(&self, a: NodeId, b: NodeId) -> bool {
+        self.timing.windows_overlap(a, b, self.available_steps)
+    }
+
+    /// Access to the underlying timing (e.g. for incremental updates).
+    pub fn timing(&self) -> &UnitTiming {
+        &self.timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    #[test]
+    fn infeasible_deadline_is_rejected() {
+        let g = iir4_parallel();
+        let err = Windows::new(&g, 5).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::InfeasibleDeadline {
+                requested: 5,
+                needed: 6
+            }
+        );
+    }
+
+    #[test]
+    fn tight_windows_pin_critical_nodes() {
+        let g = iir4_parallel();
+        let w = Windows::tight(&g);
+        assert_eq!(w.available_steps(), 6);
+        let a9 = g.node_by_name("A9").unwrap();
+        assert_eq!(w.asap(a9), w.alap(a9));
+        assert_eq!(w.mobility(a9), 0);
+    }
+
+    #[test]
+    fn slack_grows_with_deadline() {
+        let g = iir4_parallel();
+        let tight = Windows::new(&g, 6).unwrap();
+        let loose = Windows::new(&g, 12).unwrap();
+        let c2 = g.node_by_name("C2").unwrap();
+        assert!(loose.mobility(c2) > tight.mobility(c2));
+    }
+
+    #[test]
+    fn asap_never_exceeds_alap() {
+        let g = iir4_parallel();
+        let w = Windows::new(&g, 9).unwrap();
+        for n in g.node_ids() {
+            assert!(w.asap(n) <= w.alap(n), "window inverted at {n}");
+        }
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_overlap() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let a = g.add_node(OpKind::Not);
+        let b = g.add_node(OpKind::Neg);
+        g.add_data_edge(x, a).unwrap();
+        g.add_data_edge(a, b).unwrap();
+        let w = Windows::tight(&g);
+        assert!(!w.overlap(a, b));
+    }
+}

@@ -1,0 +1,15 @@
+//! JSON round-trip for schedules (feature `serde`).
+#![cfg(feature = "serde")]
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_sched::{list_schedule, ResourceSet, Schedule};
+
+#[test]
+fn schedule_round_trips_through_json() {
+    let g = iir4_parallel();
+    let s = list_schedule(&g, &ResourceSet::unlimited(), None).expect("schedules");
+    let json = serde_json::to_string(&s).expect("serializes");
+    let s2: Schedule = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(s, s2);
+    assert!(s2.validate(&g).is_ok());
+}

@@ -1,0 +1,238 @@
+//! The interpreter.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use localwm_cdfg::{Cdfg, NodeId, OpKind};
+
+use crate::eval_op;
+
+/// Input assignment for a simulation run.
+///
+/// Explicitly set values win; unset inputs fall back to a deterministic
+/// per-node default derived from `default_seed` (so whole-design runs
+/// don't need to enumerate hundreds of inputs).
+#[derive(Debug, Clone, Default)]
+pub struct Inputs {
+    values: HashMap<NodeId, i64>,
+    default_seed: u64,
+}
+
+impl Inputs {
+    /// Empty assignment with seed 0 defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty assignment whose defaults derive from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Inputs {
+            values: HashMap::new(),
+            default_seed: seed,
+        }
+    }
+
+    /// Sets one input value.
+    pub fn set(&mut self, n: NodeId, value: i64) {
+        self.values.insert(n, value);
+    }
+
+    /// The value an input node receives.
+    pub fn value_for(&self, n: NodeId) -> i64 {
+        if let Some(&v) = self.values.get(&n) {
+            return v;
+        }
+        // SplitMix64 over (seed, node index).
+        let mut z = self
+            .default_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n.index() as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as i64
+    }
+}
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpretError {
+    /// The graph is cyclic.
+    Cyclic,
+    /// A node's data-operand count does not match its kind's arity.
+    Arity {
+        /// The offending node.
+        node: NodeId,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for InterpretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpretError::Cyclic => write!(f, "graph is cyclic"),
+            InterpretError::Arity {
+                node,
+                expected,
+                found,
+            } => write!(f, "node {node} expects {expected} operand(s), found {found}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpretError {}
+
+/// A completed simulation: every node's value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    values: Vec<i64>,
+}
+
+impl Trace {
+    pub(crate) fn from_values(values: Vec<i64>) -> Self {
+        Trace { values }
+    }
+
+    /// The computed value of a node (`None` for out-of-range ids).
+    pub fn value(&self, n: NodeId) -> Option<i64> {
+        self.values.get(n.index()).copied()
+    }
+
+    /// The values of all `Output` nodes of `g`, in node-id order.
+    pub fn outputs(&self, g: &Cdfg) -> Vec<(NodeId, i64)> {
+        g.node_ids()
+            .filter(|&n| g.kind(n) == OpKind::Output)
+            .map(|n| (n, self.values[n.index()]))
+            .collect()
+    }
+}
+
+/// Interprets a CDFG: evaluates every node in topological order.
+///
+/// Operand order is the data-edge insertion order — the graph builder's
+/// argument order — which matters for non-commutative kinds.
+///
+/// # Errors
+///
+/// [`InterpretError::Cyclic`] or [`InterpretError::Arity`].
+pub fn interpret(g: &Cdfg, inputs: &Inputs) -> Result<Trace, InterpretError> {
+    let order = g.topo_order().map_err(|_| InterpretError::Cyclic)?;
+    let mut values = vec![0i64; g.node_count()];
+    for n in order {
+        let kind = g.kind(n);
+        if kind == OpKind::Input {
+            values[n.index()] = inputs.value_for(n);
+            continue;
+        }
+        let operands: Vec<i64> = g.data_preds(n).map(|p| values[p.index()]).collect();
+        if let Some(expected) = kind.arity() {
+            if operands.len() != expected {
+                return Err(InterpretError::Arity {
+                    node: n,
+                    expected,
+                    found: operands.len(),
+                });
+            }
+        }
+        let literal = g.node(n).and_then(|x| x.literal());
+        values[n.index()] = eval_op(kind, literal, &operands);
+    }
+    Ok(Trace { values })
+}
+
+/// Whether two traces agree on every `Output` node of `base` — the
+/// semantic-preservation check for watermark realizations, which only
+/// append nodes and thus keep the base graph's output ids valid.
+pub fn outputs_match(base: &Cdfg, a: &Trace, b: &Trace) -> bool {
+    base.node_ids()
+        .filter(|&n| base.kind(n) == OpKind::Output)
+        .all(|n| a.value(n) == b.value(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::CdfgBuilder;
+
+    fn small() -> (Cdfg, NodeId, NodeId, NodeId) {
+        let g = CdfgBuilder::new()
+            .node("a", OpKind::Input)
+            .node("b", OpKind::Input)
+            .node("d", OpKind::Sub)
+            .node("y", OpKind::Output)
+            .data("a", "d")
+            .data("b", "d")
+            .data("d", "y")
+            .build()
+            .expect("valid");
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        (g, a, b, y)
+    }
+
+    #[test]
+    fn operand_order_follows_edge_insertion() {
+        let (g, a, b, y) = small();
+        let mut inputs = Inputs::new();
+        inputs.set(a, 10);
+        inputs.set(b, 3);
+        let t = interpret(&g, &inputs).unwrap();
+        assert_eq!(t.value(y), Some(7), "a - b, not b - a");
+    }
+
+    #[test]
+    fn defaults_are_deterministic_and_seed_dependent() {
+        let (g, _, _, y) = small();
+        let t1 = interpret(&g, &Inputs::seeded(1)).unwrap();
+        let t2 = interpret(&g, &Inputs::seeded(1)).unwrap();
+        let t3 = interpret(&g, &Inputs::seeded(2)).unwrap();
+        assert_eq!(t1.value(y), t2.value(y));
+        assert_ne!(t1.value(y), t3.value(y));
+    }
+
+    #[test]
+    fn literals_flow_through() {
+        let mut g = Cdfg::new();
+        let c = g.add_node(OpKind::Const);
+        g.set_literal(c, 21);
+        let m = g.add_node(OpKind::ConstMul);
+        g.set_literal(m, 2);
+        g.add_data_edge(c, m).unwrap();
+        let y = g.add_node(OpKind::Output);
+        g.add_data_edge(m, y).unwrap();
+        let t = interpret(&g, &Inputs::new()).unwrap();
+        assert_eq!(t.value(y), Some(42));
+    }
+
+    #[test]
+    fn arity_error_reported() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let s = g.add_node(OpKind::Add);
+        g.add_data_edge(a, s).unwrap();
+        assert!(matches!(
+            interpret(&g, &Inputs::new()),
+            Err(InterpretError::Arity { expected: 2, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn temporal_edges_do_not_change_values() {
+        let (mut g, a, b, y) = small();
+        let base = interpret(&g, &Inputs::seeded(5)).unwrap();
+        g.add_temporal_edge(a, b).unwrap();
+        let marked = interpret(&g, &Inputs::seeded(5)).unwrap();
+        assert_eq!(base.value(y), marked.value(y));
+        assert!(outputs_match(&g, &base, &marked));
+    }
+
+    #[test]
+    fn outputs_lists_all_output_nodes() {
+        let (g, ..) = small();
+        let t = interpret(&g, &Inputs::new()).unwrap();
+        assert_eq!(t.outputs(&g).len(), 1);
+    }
+}

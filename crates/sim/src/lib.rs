@@ -1,0 +1,52 @@
+//! Functional simulation of CDFGs.
+//!
+//! The watermarking flow promises that its constraints are *transparent*:
+//! temporal edges (and the unit operations that realize them in compiled
+//! code) change scheduling decisions but never the computed values. This
+//! crate provides the deterministic interpreter that lets the test suite
+//! verify that promise end to end — embed, realize, schedule, execute, and
+//! compare every primary output bit-for-bit.
+//!
+//! # Semantics
+//!
+//! Values are `i64` with wrapping arithmetic. Every operation kind has a
+//! total, documented semantic (see [`eval_op`]); memory operations are
+//! modelled as pure hash-like functions of their operands so simulation
+//! needs no memory image, and `UnitOp` is the paper's "addition with a
+//! variable assigned to zero" — the identity.
+//!
+//! # Example
+//!
+//! ```
+//! use localwm_cdfg::{Cdfg, OpKind};
+//! use localwm_sim::{interpret, Inputs};
+//!
+//! let mut g = Cdfg::new();
+//! let a = g.add_node(OpKind::Input);
+//! let b = g.add_node(OpKind::Input);
+//! let s = g.add_node(OpKind::Add);
+//! let y = g.add_node(OpKind::Output);
+//! g.add_data_edge(a, s)?;
+//! g.add_data_edge(b, s)?;
+//! g.add_data_edge(s, y)?;
+//!
+//! let mut inputs = Inputs::new();
+//! inputs.set(a, 2);
+//! inputs.set(b, 40);
+//! let out = interpret(&g, &inputs)?;
+//! assert_eq!(out.value(y), Some(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod interp;
+mod iterate;
+mod value;
+
+pub use exec::execute_scheduled;
+pub use iterate::iterate;
+pub use interp::{interpret, outputs_match, InterpretError, Inputs, Trace};
+pub use value::eval_op;

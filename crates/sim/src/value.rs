@@ -1,0 +1,189 @@
+//! Per-operation semantics.
+
+use localwm_cdfg::OpKind;
+
+/// Evaluates one operation over its operand values.
+///
+/// Total and deterministic for every kind; `literal` carries a node's
+/// attached constant (the value of a `Const`, the coefficient of a
+/// `ConstMul`), defaulting to documented values when absent. Arithmetic
+/// wraps.
+///
+/// Semantics of the non-obvious kinds:
+///
+/// * `Load(a)` — a pure hash of the address: `a ⊕ (a >>> 17) · LOAD_SALT`
+///   (simulation needs no memory image; what matters for watermark
+///   verification is determinism).
+/// * `Store(a, v)` — the stored value `v` (sinks still produce a value so
+///   traces can compare them).
+/// * `Branch(c)` — the taken bit, `c & 1`.
+/// * `Delay(v)` — the identity (the next-iteration state value).
+/// * `UnitOp(v)` — the identity: "additions with variables assigned to
+///   zero at runtime" (paper §V).
+/// * `Mux(s, a, b)` — `a` if `s & 1 == 0` else `b`.
+/// * shifts use the low 6 bits of the shift amount.
+///
+/// # Panics
+///
+/// Panics if `operands.len()` does not match the kind's arity.
+pub fn eval_op(kind: OpKind, literal: Option<i64>, operands: &[i64]) -> i64 {
+    const LOAD_SALT: i64 = 0x9E37_79B9_7F4A_7C15u64 as i64;
+    let req = |n: usize| {
+        assert_eq!(
+            operands.len(),
+            n,
+            "{kind} expects {n} operand(s), got {}",
+            operands.len()
+        );
+    };
+    match kind {
+        OpKind::Input => {
+            req(0);
+            literal.unwrap_or(0)
+        }
+        OpKind::Const => {
+            req(0);
+            literal.unwrap_or(1)
+        }
+        OpKind::Output => {
+            req(1);
+            operands[0]
+        }
+        OpKind::Add => {
+            req(2);
+            operands[0].wrapping_add(operands[1])
+        }
+        OpKind::Sub => {
+            req(2);
+            operands[0].wrapping_sub(operands[1])
+        }
+        OpKind::Mul => {
+            req(2);
+            operands[0].wrapping_mul(operands[1])
+        }
+        OpKind::ConstMul => {
+            req(1);
+            operands[0].wrapping_mul(literal.unwrap_or(3))
+        }
+        OpKind::Div => {
+            req(2);
+            if operands[1] == 0 {
+                0
+            } else {
+                operands[0].wrapping_div(operands[1])
+            }
+        }
+        OpKind::Shl => {
+            req(2);
+            operands[0].wrapping_shl((operands[1] & 0x3F) as u32)
+        }
+        OpKind::Shr => {
+            req(2);
+            operands[0].wrapping_shr((operands[1] & 0x3F) as u32)
+        }
+        OpKind::And => {
+            req(2);
+            operands[0] & operands[1]
+        }
+        OpKind::Or => {
+            req(2);
+            operands[0] | operands[1]
+        }
+        OpKind::Xor => {
+            req(2);
+            operands[0] ^ operands[1]
+        }
+        OpKind::Not => {
+            req(1);
+            !operands[0]
+        }
+        OpKind::Neg => {
+            req(1);
+            operands[0].wrapping_neg()
+        }
+        OpKind::Lt => {
+            req(2);
+            i64::from(operands[0] < operands[1])
+        }
+        OpKind::Eq => {
+            req(2);
+            i64::from(operands[0] == operands[1])
+        }
+        OpKind::Mux => {
+            req(3);
+            if operands[0] & 1 == 0 {
+                operands[1]
+            } else {
+                operands[2]
+            }
+        }
+        OpKind::Load => {
+            req(1);
+            (operands[0] ^ operands[0].rotate_right(17)).wrapping_mul(LOAD_SALT)
+        }
+        OpKind::Store => {
+            req(2);
+            operands[1]
+        }
+        OpKind::Branch => {
+            req(1);
+            operands[0] & 1
+        }
+        OpKind::Delay | OpKind::UnitOp => {
+            req(1);
+            operands[0]
+        }
+        // `OpKind` is non_exhaustive; any future kind must get semantics.
+        other => unreachable!("no semantics defined for {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(eval_op(OpKind::Add, None, &[i64::MAX, 1]), i64::MIN);
+        assert_eq!(eval_op(OpKind::Neg, None, &[i64::MIN]), i64::MIN);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(eval_op(OpKind::Div, None, &[5, 0]), 0);
+        assert_eq!(eval_op(OpKind::Div, None, &[7, 2]), 3);
+    }
+
+    #[test]
+    fn literals_drive_constants() {
+        assert_eq!(eval_op(OpKind::Const, Some(9), &[]), 9);
+        assert_eq!(eval_op(OpKind::Const, None, &[]), 1);
+        assert_eq!(eval_op(OpKind::ConstMul, Some(5), &[7]), 35);
+        assert_eq!(eval_op(OpKind::ConstMul, None, &[7]), 21);
+    }
+
+    #[test]
+    fn unit_op_is_identity() {
+        assert_eq!(eval_op(OpKind::UnitOp, None, &[1234]), 1234);
+    }
+
+    #[test]
+    fn mux_selects_by_parity() {
+        assert_eq!(eval_op(OpKind::Mux, None, &[0, 10, 20]), 10);
+        assert_eq!(eval_op(OpKind::Mux, None, &[1, 10, 20]), 20);
+    }
+
+    #[test]
+    fn load_is_deterministic_and_spread() {
+        let a = eval_op(OpKind::Load, None, &[1]);
+        let b = eval_op(OpKind::Load, None, &[2]);
+        assert_ne!(a, b);
+        assert_eq!(a, eval_op(OpKind::Load, None, &[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operand")]
+    fn wrong_arity_panics() {
+        let _ = eval_op(OpKind::Add, None, &[1]);
+    }
+}

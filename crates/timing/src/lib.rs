@@ -1,0 +1,46 @@
+//! Critical-path timing analysis for CDFGs.
+//!
+//! Both watermarking protocols begin with "compute the critical path `C` of
+//! the CDFG" and filter candidate nodes by *laxity* — the length of the
+//! longest path that contains a node. This crate provides:
+//!
+//! * [`UnitTiming`] — control-step timing under the homogeneous (unit
+//!   delay) SDF model: ASAP/ALAP steps, per-node laxity, mobility windows,
+//!   and incremental update when a temporal edge is added.
+//! * [`DelayBounds`] / [`bounded_arrival`] — a **bounded delay model**
+//!   where every operation's delay is an interval `[lo, hi]`; the analysis
+//!   propagates arrival intervals and yields lower/upper bounds on the true
+//!   critical path, plus the set of *possibly-critical* nodes.
+//! * [`DynamicBounds`] — input-dependent ("dynamically bounded") delay
+//!   intervals whose width grows with the number of simultaneously-arriving
+//!   operands, in the spirit of dynamically bounded delay critical-path
+//!   analysis.
+//! * [`criticality`] — Monte-Carlo statistical timing: per-node
+//!   criticality probabilities and circuit-delay quantiles under any
+//!   bounded model.
+//!
+//! # Example
+//!
+//! ```
+//! use localwm_cdfg::designs::iir4_parallel;
+//! use localwm_timing::UnitTiming;
+//!
+//! let g = iir4_parallel();
+//! let t = UnitTiming::new(&g);
+//! assert_eq!(t.critical_path(), 6);
+//! let a9 = g.node_by_name("A9").unwrap();
+//! assert_eq!(t.laxity(a9), 6); // A9 lies on the critical path
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounded;
+mod delay;
+mod statistical;
+mod unit;
+
+pub use bounded::{bounded_arrival, bounded_critical_path, possibly_critical, BoundedArrival};
+pub use delay::{DelayBounds, DelayInterval, DynamicBounds, KindBounds};
+pub use statistical::{criticality, CriticalityReport};
+pub use unit::UnitTiming;

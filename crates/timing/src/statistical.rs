@@ -1,0 +1,206 @@
+//! Statistical timing: Monte-Carlo criticality under bounded delays.
+//!
+//! The interval analysis of [`crate::bounded_arrival`] brackets the true
+//! critical path; this module refines it with sampling: draw delay
+//! assignments consistent with a [`DelayBounds`] model, time each sample,
+//! and report per-node *criticality probabilities* (how often a node lies
+//! on a zero-slack path) plus the sampled circuit-delay distribution.
+
+use localwm_cdfg::{Cdfg, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DelayBounds, DelayInterval};
+
+/// Result of a Monte-Carlo timing run.
+#[derive(Debug, Clone)]
+pub struct CriticalityReport {
+    /// Per node: fraction of samples in which it was critical.
+    pub criticality: Vec<f64>,
+    /// Sampled circuit delays, one per sample (sorted ascending).
+    pub delays: Vec<u64>,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+impl CriticalityReport {
+    /// Criticality probability of one node.
+    pub fn probability(&self, n: NodeId) -> f64 {
+        self.criticality[n.index()]
+    }
+
+    /// The `q`-quantile of the sampled circuit delay (`q ∈ [0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were drawn or `q` is out of range.
+    pub fn delay_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(!self.delays.is_empty(), "no samples drawn");
+        let idx = ((self.delays.len() - 1) as f64 * q).round() as usize;
+        self.delays[idx]
+    }
+
+    /// Nodes whose criticality probability is at least `threshold`,
+    /// ascending by id.
+    pub fn critical_above(&self, threshold: f64) -> Vec<NodeId> {
+        self.criticality
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p >= threshold)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+/// Runs `samples` Monte-Carlo timing simulations of `g` under `model`,
+/// drawing each node's delay uniformly from its interval.
+///
+/// Deterministic in `seed`. `O(samples · (V + E))`.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or `samples == 0`.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_timing::{criticality, KindBounds};
+///
+/// let g = iir4_parallel();
+/// let report = criticality(&g, &KindBounds::uniform(1, 3), 200, 7);
+/// let a9 = g.node_by_name("A9").unwrap();
+/// assert!(report.probability(a9) > 0.5); // the output add is usually critical
+/// ```
+pub fn criticality<M: DelayBounds>(
+    g: &Cdfg,
+    model: &M,
+    samples: usize,
+    seed: u64,
+) -> CriticalityReport {
+    assert!(samples > 0, "at least one sample required");
+    let order = g.topo_order().expect("criticality requires a DAG");
+    let n = g.node_count();
+    let bounds: Vec<DelayInterval> = g.node_ids().map(|v| model.bounds(g, v)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = vec![0u64; n];
+    let mut delays = Vec::with_capacity(samples);
+
+    let mut finish = vec![0u64; n];
+    let mut required = vec![u64::MAX; n];
+    for _ in 0..samples {
+        // Draw one consistent delay assignment.
+        let d: Vec<u64> = bounds
+            .iter()
+            .map(|b| {
+                if b.lo == b.hi {
+                    b.lo
+                } else {
+                    rng.gen_range(b.lo..=b.hi)
+                }
+            })
+            .collect();
+        // Forward arrival times.
+        let mut circuit = 0u64;
+        for &v in &order {
+            let arrive = g
+                .preds(v)
+                .map(|p| finish[p.index()])
+                .max()
+                .unwrap_or(0);
+            finish[v.index()] = arrive + d[v.index()];
+            circuit = circuit.max(finish[v.index()]);
+        }
+        // Backward required times at the sampled circuit delay.
+        for r in required.iter_mut() {
+            *r = u64::MAX;
+        }
+        for &v in order.iter().rev() {
+            let r = if g.succs(v).next().is_none() {
+                circuit
+            } else {
+                required[v.index()]
+            };
+            required[v.index()] = required[v.index()].min(r);
+            let start_latest = r.saturating_sub(d[v.index()]);
+            for p in g.preds(v) {
+                required[p.index()] = required[p.index()].min(start_latest);
+            }
+        }
+        for v in 0..n {
+            if finish[v] == required[v] {
+                hits[v] += 1;
+            }
+        }
+        delays.push(circuit);
+    }
+    delays.sort_unstable();
+    CriticalityReport {
+        criticality: hits.iter().map(|&h| h as f64 / samples as f64).collect(),
+        delays,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bounded_critical_path, KindBounds};
+    use localwm_cdfg::generators::random_dag;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    #[test]
+    fn fixed_delays_give_binary_criticality() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let a = g.add_node(OpKind::Not);
+        let b = g.add_node(OpKind::Not);
+        let c = g.add_node(OpKind::Not); // short side branch
+        g.add_data_edge(x, a).unwrap();
+        g.add_data_edge(a, b).unwrap();
+        g.add_data_edge(x, c).unwrap();
+        let r = criticality(&g, &KindBounds::unit(), 50, 1);
+        assert_eq!(r.probability(a), 1.0);
+        assert_eq!(r.probability(b), 1.0);
+        assert_eq!(r.probability(c), 0.0);
+    }
+
+    #[test]
+    fn sampled_delays_stay_within_the_interval_bounds() {
+        let g = random_dag(40, 0.15, 3);
+        let model = KindBounds::uniform(1, 4);
+        let interval = bounded_critical_path(&g, &model);
+        let r = criticality(&g, &model, 300, 9);
+        assert!(*r.delays.first().unwrap() >= interval.lo);
+        assert!(*r.delays.last().unwrap() <= interval.hi);
+        assert!(r.delay_quantile(0.0) <= r.delay_quantile(1.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = random_dag(30, 0.2, 5);
+        let model = KindBounds::uniform(1, 3);
+        let a = criticality(&g, &model, 100, 11);
+        let b = criticality(&g, &model, 100, 11);
+        assert_eq!(a.delays, b.delays);
+        assert_eq!(a.criticality, b.criticality);
+    }
+
+    #[test]
+    fn uncertainty_spreads_criticality() {
+        let g = random_dag(50, 0.12, 8);
+        let tight = criticality(&g, &KindBounds::unit(), 200, 2);
+        let loose = criticality(&g, &KindBounds::uniform(1, 5), 200, 2);
+        let count = |r: &CriticalityReport| r.critical_above(0.01).len();
+        assert!(
+            count(&loose) >= count(&tight),
+            "delay uncertainty should widen the sometimes-critical set"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let g = random_dag(5, 0.3, 0);
+        let _ = criticality(&g, &KindBounds::unit(), 0, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the timing analyses.
+
+use localwm_cdfg::generators::{random_dag, layered, LayeredConfig};
+use localwm_cdfg::NodeId;
+use localwm_timing::{bounded_arrival, bounded_critical_path, KindBounds, UnitTiming};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// depth/tail invariants: laxity is bounded by the critical path and
+    /// attained by at least one node.
+    #[test]
+    fn laxity_bounds(n in 2usize..80, p in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let t = UnitTiming::new(&g);
+        let cp = t.critical_path();
+        let mut attained = false;
+        for v in g.node_ids() {
+            let l = t.laxity(v);
+            prop_assert!(l <= cp);
+            attained |= l == cp;
+        }
+        prop_assert!(attained, "some node must lie on the critical path");
+    }
+
+    /// ALAP is monotone in the deadline; ASAP never exceeds ALAP at any
+    /// feasible deadline.
+    #[test]
+    fn alap_monotone(n in 2usize..60, p in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let t = UnitTiming::new(&g);
+        let cp = t.critical_path();
+        for v in g.node_ids() {
+            let mut prev = 0u32;
+            for extra in 0..4u32 {
+                let alap = t.alap(v, cp + extra);
+                prop_assert!(t.asap(v) <= alap);
+                prop_assert!(alap >= prev);
+                prev = alap;
+            }
+        }
+    }
+
+    /// Incremental edge update equals a fresh rebuild for every node.
+    #[test]
+    fn incremental_equals_rebuild(seed in 0u64..500) {
+        let g0 = layered(&LayeredConfig { ops: 80, layers: 8, seed, ..Default::default() });
+        let nodes: Vec<NodeId> = g0
+            .node_ids()
+            .filter(|&v| g0.kind(v).is_schedulable())
+            .collect();
+        let (a, b) = (nodes[nodes.len() / 5], nodes[4 * nodes.len() / 5]);
+        prop_assume!(!g0.reaches(a, b) && !g0.reaches(b, a));
+        let mut g = g0.clone();
+        let mut inc = UnitTiming::new(&g);
+        g.add_temporal_edge(a, b).expect("incomparable");
+        inc.add_edge_update(&g, a, b);
+        let fresh = UnitTiming::new(&g);
+        prop_assert_eq!(inc.critical_path(), fresh.critical_path());
+        for v in g.node_ids() {
+            prop_assert_eq!(inc.asap(v), fresh.asap(v));
+            prop_assert_eq!(inc.tail(v), fresh.tail(v));
+            prop_assert_eq!(inc.laxity(v), fresh.laxity(v));
+        }
+    }
+
+    /// Interval analysis: per-node finish intervals are ordered and the
+    /// circuit interval scales linearly when the model scales.
+    #[test]
+    fn interval_scaling(n in 2usize..60, p in 0.0f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let one = bounded_critical_path(&g, &KindBounds::uniform(1, 2));
+        let two = bounded_critical_path(&g, &KindBounds::uniform(2, 4));
+        prop_assert_eq!(two.lo, 2 * one.lo);
+        prop_assert_eq!(two.hi, 2 * one.hi);
+        let arr = bounded_arrival(&g, &KindBounds::uniform(1, 2));
+        for f in &arr.finish {
+            prop_assert!(f.lo <= f.hi);
+            prop_assert!(f.hi <= arr.critical_path.hi);
+        }
+    }
+
+    /// Window overlap is symmetric and reflexive for schedulable nodes.
+    #[test]
+    fn overlap_symmetric(n in 2usize..50, p in 0.0f64..0.4, seed in 0u64..500) {
+        let g = random_dag(n, p, seed);
+        let t = UnitTiming::new(&g);
+        let steps = t.critical_path() + 2;
+        for u in g.node_ids() {
+            prop_assert!(t.windows_overlap(u, u, steps));
+            for v in g.node_ids() {
+                prop_assert_eq!(
+                    t.windows_overlap(u, v, steps),
+                    t.windows_overlap(v, u, steps)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Covering the CDFG with modules.
+
+use std::collections::HashSet;
+
+use localwm_cdfg::{Cdfg, NodeId};
+
+use crate::{find_matches, Library, Match};
+
+/// Constraints the watermark imposes on the covering tool.
+#[derive(Debug, Clone, Default)]
+pub struct CoverConstraints {
+    /// Pseudo-primary outputs: values that must stay visible. A PPO node
+    /// can root a module (its output is the module output) but can never be
+    /// *internal* to one.
+    pub ppos: Vec<NodeId>,
+    /// Matchings the solution must contain (the watermark's enforced
+    /// node-to-module matchings).
+    pub forced: Vec<Match>,
+}
+
+impl CoverConstraints {
+    /// No constraints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a node is a PPO.
+    pub fn is_ppo(&self, n: NodeId) -> bool {
+        self.ppos.contains(&n)
+    }
+}
+
+/// A covering solution.
+#[derive(Debug, Clone)]
+pub struct Covering {
+    /// Selected multi-op matchings (disjoint).
+    pub selected: Vec<Match>,
+    /// Operations not covered by any selected matching; each uses its own
+    /// single-op module.
+    pub singletons: Vec<NodeId>,
+}
+
+impl Covering {
+    /// Total modules used: one per selected matching plus one per
+    /// uncovered operation — the paper's Table II quality metric.
+    pub fn module_count(&self) -> usize {
+        self.selected.len() + self.singletons.len()
+    }
+
+    /// Number of operations absorbed into multi-op modules.
+    pub fn covered_ops(&self) -> usize {
+        self.selected.iter().map(|m| m.nodes.len()).sum()
+    }
+}
+
+/// Covers the graph's operations with library modules, minimizing the
+/// module count with a deterministic greedy heuristic: repeatedly select
+/// the largest feasible matching (ties by root id, then template index).
+///
+/// Respects [`CoverConstraints`]: forced matchings are selected first and
+/// PPO nodes never end up internal to a module.
+///
+/// # Panics
+///
+/// Panics if two forced matchings overlap, or a forced matching hides a
+/// PPO internally — the embedder guarantees both by construction.
+pub fn cover(g: &Cdfg, lib: &Library, constraints: &CoverConstraints) -> Covering {
+    let mut used: HashSet<NodeId> = HashSet::new();
+    let mut selected: Vec<Match> = Vec::new();
+
+    for m in &constraints.forced {
+        for &n in &m.nodes {
+            assert!(used.insert(n), "forced matchings overlap at {n}");
+        }
+        for &n in m.internal_nodes() {
+            assert!(
+                !constraints.is_ppo(n),
+                "forced matching hides PPO {n} internally"
+            );
+        }
+        selected.push(m.clone());
+    }
+
+    let mut candidates: Vec<Match> = find_matches(g, lib)
+        .into_iter()
+        .filter(|m| {
+            m.internal_nodes()
+                .iter()
+                .all(|&n| !constraints.is_ppo(n))
+        })
+        .collect();
+    // Largest first; deterministic ties.
+    candidates.sort_by_key(|m| {
+        (
+            std::cmp::Reverse(m.nodes.len()),
+            m.root(),
+            m.template,
+        )
+    });
+
+    for m in candidates {
+        if m.nodes.iter().any(|n| used.contains(n)) {
+            continue;
+        }
+        used.extend(m.nodes.iter().copied());
+        selected.push(m);
+    }
+
+    let singletons: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable() && !used.contains(&n))
+        .collect();
+
+    Covering {
+        selected,
+        singletons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+
+    #[test]
+    fn plain_cover_beats_all_singletons() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let c = cover(&g, &lib, &CoverConstraints::default());
+        assert!(c.module_count() < g.op_count());
+        // Every op accounted for exactly once.
+        assert_eq!(c.covered_ops() + c.singletons.len(), g.op_count());
+    }
+
+    #[test]
+    fn ppo_constraint_increases_module_count() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let free = cover(&g, &lib, &CoverConstraints::default());
+        // Make every cmul a PPO: cmacs can no longer absorb them.
+        let ppos: Vec<NodeId> = (1..=8)
+            .map(|i| g.node_by_name(&format!("C{i}")).unwrap())
+            .collect();
+        let constrained = cover(
+            &g,
+            &lib,
+            &CoverConstraints {
+                ppos,
+                forced: Vec::new(),
+            },
+        );
+        assert!(constrained.module_count() > free.module_count());
+    }
+
+    #[test]
+    fn forced_matching_is_kept() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let all = find_matches(&g, &lib);
+        let forced = all[0].clone();
+        let c = cover(
+            &g,
+            &lib,
+            &CoverConstraints {
+                ppos: Vec::new(),
+                forced: vec![forced.clone()],
+            },
+        );
+        assert!(c.selected.contains(&forced));
+    }
+
+    #[test]
+    fn selected_matches_are_disjoint() {
+        let g = iir4_parallel();
+        let c = cover(&g, &Library::dsp_default(), &CoverConstraints::default());
+        let mut seen = HashSet::new();
+        for m in &c.selected {
+            for &n in &m.nodes {
+                assert!(seen.insert(n), "node {n} covered twice");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_forced_matchings_panic() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let all = find_matches(&g, &lib);
+        let m = all
+            .iter()
+            .find(|m| m.nodes.len() >= 2)
+            .expect("a multi-op match exists")
+            .clone();
+        let _ = cover(
+            &g,
+            &lib,
+            &CoverConstraints {
+                ppos: Vec::new(),
+                forced: vec![m.clone(), m],
+            },
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Template matching for behavioral synthesis.
+//!
+//! "In template mapping at the behavioral level, groups of primitive
+//! operations are replaced with more complex and specialized hardware units"
+//! (paper §IV-B). This crate implements the substrate the template-matching
+//! watermark is built on:
+//!
+//! * [`Template`] / [`Library`] — modules as rooted operation trees.
+//! * [`find_matches`] — exhaustive enumeration of node-to-module matchings,
+//!   the `M` list of the paper's Fig. 5 pseudocode.
+//! * [`cover`] — covering the CDFG with modules (minimizing module count)
+//!   under pseudo-primary-output (PPO) visibility constraints and forced
+//!   matchings.
+//! * [`count_cover_solutions`] — the paper's `Solutions(m)` function: the
+//!   number of distinct ways the nodes covered by an enforced template can
+//!   be covered, which drives the coincidence probability
+//!   `P_c ≈ Π Solutions(m_i)⁻¹`.
+//!
+//! # Example
+//!
+//! ```
+//! use localwm_cdfg::designs::iir4_parallel;
+//! use localwm_tmatch::{cover, find_matches, CoverConstraints, Library};
+//!
+//! let g = iir4_parallel();
+//! let lib = Library::dsp_default();
+//! let matches = find_matches(&g, &lib);
+//! assert!(!matches.is_empty());
+//! let solution = cover(&g, &lib, &CoverConstraints::default());
+//! assert!(solution.module_count() < g.op_count()); // templates helped
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cover;
+mod library;
+mod matcher;
+mod solutions;
+mod template;
+
+pub use cover::{cover, CoverConstraints, Covering};
+pub use library::Library;
+pub use matcher::{find_matches, find_matches_rooted, Match};
+pub use solutions::count_cover_solutions;
+pub use template::Template;

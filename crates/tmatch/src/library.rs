@@ -1,0 +1,152 @@
+//! Template libraries.
+
+use localwm_cdfg::OpKind;
+
+use crate::Template;
+
+/// An ordered collection of templates available to the mapper.
+///
+/// Order matters: matching enumeration assigns each matching "a unique
+/// identifier" (paper §IV-B), and the identifiers must be identical on the
+/// embedding and detection sides — both derive them from the library order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Library {
+    templates: Vec<Template>,
+}
+
+impl Library {
+    /// Creates a library from templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two templates share a name (names identify templates in
+    /// reports).
+    pub fn new(templates: Vec<Template>) -> Self {
+        let mut names: Vec<&str> = templates.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            templates.len(),
+            "template names must be unique"
+        );
+        Library { templates }
+    }
+
+    /// The default datapath library used by the evaluation: the specialized
+    /// units a DSP-oriented module generator would offer.
+    ///
+    /// * `add2` — two chained adders (the paper's two-adder template).
+    /// * `mac` — multiply-accumulate: `add(mul(·,·),·)`.
+    /// * `cmac` — coefficient MAC: `add(cmul(·),·)`, the workhorse of
+    ///   filter ladders.
+    /// * `cmac2` — a three-op ladder slice: `add(add(cmul(·)))`.
+    /// * `addtree3` — a balanced three-adder reduction tree.
+    pub fn dsp_default() -> Self {
+        Library::new(vec![
+            Template::chain("add2", &[OpKind::Add, OpKind::Add]),
+            Template::chain("mac", &[OpKind::Add, OpKind::Mul]),
+            Template::chain("cmac", &[OpKind::Add, OpKind::ConstMul]),
+            Template::chain("cmac2", &[OpKind::Add, OpKind::Add, OpKind::ConstMul]),
+            Template::new(
+                "addtree3",
+                &[
+                    (OpKind::Add, None),
+                    (OpKind::Add, Some(0)),
+                    (OpKind::Add, Some(0)),
+                ],
+            ),
+        ])
+    }
+
+    /// A richer library modelling a production module generator: the DSP
+    /// default plus subtract/accumulate slices, a four-op ladder, and a
+    /// multiply tree — used by the library-richness ablation (a larger
+    /// inventory gives the mapper more ways to absorb watermark
+    /// fragmentation; see `EXPERIMENTS.md` on Table II's residual).
+    pub fn dsp_rich() -> Self {
+        let mut templates = Library::dsp_default().templates;
+        templates.extend([
+            Template::chain("subacc", &[OpKind::Sub, OpKind::Add]),
+            Template::chain("accsub", &[OpKind::Add, OpKind::Sub]),
+            Template::chain(
+                "cmac3",
+                &[OpKind::Add, OpKind::Add, OpKind::Add, OpKind::ConstMul],
+            ),
+            Template::new(
+                "multree",
+                &[
+                    (OpKind::Mul, None),
+                    (OpKind::Mul, Some(0)),
+                    (OpKind::Mul, Some(0)),
+                ],
+            ),
+            Template::chain("submac", &[OpKind::Sub, OpKind::Mul]),
+        ]);
+        Library::new(templates)
+    }
+
+    /// The templates, in identifier order.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Number of templates (`λ` in the paper's complexity bound).
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Template by index.
+    pub fn template(&self, idx: usize) -> &Template {
+        &self.templates[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_is_consistent() {
+        let lib = Library::dsp_default();
+        assert_eq!(lib.len(), 5);
+        assert_eq!(lib.template(0).name(), "add2");
+        assert!(lib.templates().iter().all(|t| t.len() >= 2));
+    }
+
+    #[test]
+    fn rich_library_extends_the_default() {
+        let base = Library::dsp_default();
+        let rich = Library::dsp_rich();
+        assert!(rich.len() > base.len());
+        // The default templates keep their identifiers (prefix property),
+        // so watermarks embedded against the default stay decodable.
+        for i in 0..base.len() {
+            assert_eq!(base.template(i).name(), rich.template(i).name());
+        }
+    }
+
+    #[test]
+    fn rich_library_absorbs_more(){
+        use localwm_cdfg::designs::{table2_design, table2_designs};
+        use crate::{cover, CoverConstraints};
+        let g = table2_design(&table2_designs()[1]);
+        let base = cover(&g, &Library::dsp_default(), &CoverConstraints::default());
+        let rich = cover(&g, &Library::dsp_rich(), &CoverConstraints::default());
+        assert!(rich.module_count() <= base.module_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_names_panic() {
+        let _ = Library::new(vec![
+            Template::chain("t", &[OpKind::Add]),
+            Template::chain("t", &[OpKind::Mul]),
+        ]);
+    }
+}

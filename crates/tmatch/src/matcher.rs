@@ -1,0 +1,213 @@
+//! Exhaustive enumeration of node-to-module matchings.
+
+use localwm_cdfg::{Cdfg, NodeId};
+
+use crate::{Library, Template};
+
+/// One matching: an instance of a library template over concrete CDFG
+/// nodes — the paper's `m = {(n ⋈ O)^{|m|}}` pair set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the template in the library.
+    pub template: usize,
+    /// `nodes[pos]` is the CDFG node matched to template position `pos`
+    /// (position 0 = root).
+    pub nodes: Vec<NodeId>,
+}
+
+impl Match {
+    /// The node matched to the template root (the module output).
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Nodes *internal* to the module (every non-root position): their
+    /// values disappear inside the specialized unit.
+    pub fn internal_nodes(&self) -> &[NodeId] {
+        &self.nodes[1..]
+    }
+
+    /// Whether the matching covers a node.
+    pub fn covers(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+}
+
+/// Enumerates **all** matchings of every library template anywhere in the
+/// graph, in deterministic order (by root node id, then template index,
+/// then operand assignment order).
+///
+/// A template position `p` with parent `q` matches node `n` feeding node
+/// `m` iff `kind(n) == kind(p)`, there is a data edge `n → m`, and — for
+/// internal positions — `n`'s value has no other consumer (the value is
+/// absorbed into the module, so external fanout would break the netlist).
+///
+/// Complexity is `O(|N| · λ)` template-root trials as the paper states,
+/// each expanding a constant-size operand tree.
+pub fn find_matches(g: &Cdfg, lib: &Library) -> Vec<Match> {
+    let mut out = Vec::new();
+    for root in g.node_ids() {
+        out.extend(find_matches_rooted(g, lib, root));
+    }
+    out
+}
+
+/// Enumerates all matchings whose *root* is a specific node.
+pub fn find_matches_rooted(g: &Cdfg, lib: &Library, root: NodeId) -> Vec<Match> {
+    let mut out = Vec::new();
+    for (ti, t) in lib.templates().iter().enumerate() {
+        if g.kind(root) != t.kind(0) {
+            continue;
+        }
+        let mut assignment: Vec<Option<NodeId>> = vec![None; t.len()];
+        assignment[0] = Some(root);
+        extend(g, t, ti, 1, &mut assignment, &mut out);
+    }
+    // Operand permutations of commutative siblings produce matchings that
+    // cover the same node set with the same template: keep one.
+    let mut seen: Vec<(usize, Vec<NodeId>)> = Vec::new();
+    out.retain(|m| {
+        let mut key = m.nodes.clone();
+        key.sort_unstable();
+        let key = (m.template, key);
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+    out
+}
+
+/// Recursively assigns template position `pos` (positions are created in
+/// parent-before-child order, so all parents are already assigned).
+fn extend(
+    g: &Cdfg,
+    t: &Template,
+    ti: usize,
+    pos: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    out: &mut Vec<Match>,
+) {
+    if pos == t.len() {
+        out.push(Match {
+            template: ti,
+            nodes: assignment.iter().map(|a| a.expect("complete")).collect(),
+        });
+        return;
+    }
+    let parent_pos = t.parent(pos).expect("non-root positions have parents");
+    let parent_node = assignment[parent_pos].expect("parents assigned first");
+    // Candidate operands: data preds of the parent's node with the right
+    // kind, absorbed fanout, and not already used in this assignment.
+    let mut candidates: Vec<NodeId> = g
+        .data_preds(parent_node)
+        .filter(|&c| g.kind(c) == t.kind(pos))
+        .filter(|&c| g.data_succs(c).count() == 1)
+        .filter(|&c| !assignment.iter().flatten().any(|&used| used == c))
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    for c in candidates {
+        assignment[pos] = Some(c);
+        extend(g, t, ti, pos + 1, assignment, out);
+        assignment[pos] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    /// x, y inputs; m = mul(x, y); s = add(m, z). A classic MAC site.
+    fn mac_site() -> (Cdfg, NodeId, NodeId) {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let y = g.add_node(OpKind::Input);
+        let z = g.add_node(OpKind::Input);
+        let m = g.add_node(OpKind::Mul);
+        let s = g.add_node(OpKind::Add);
+        let o = g.add_node(OpKind::Output);
+        g.add_data_edge(x, m).unwrap();
+        g.add_data_edge(y, m).unwrap();
+        g.add_data_edge(m, s).unwrap();
+        g.add_data_edge(z, s).unwrap();
+        g.add_data_edge(s, o).unwrap();
+        (g, m, s)
+    }
+
+    #[test]
+    fn finds_the_mac() {
+        let (g, m, s) = mac_site();
+        let lib = Library::dsp_default();
+        let matches = find_matches(&g, &lib);
+        let mac = matches
+            .iter()
+            .find(|mm| lib.template(mm.template).name() == "mac")
+            .expect("mac should match");
+        assert_eq!(mac.root(), s);
+        assert_eq!(mac.internal_nodes(), &[m]);
+    }
+
+    #[test]
+    fn external_fanout_blocks_internal_absorption() {
+        let (mut g, m, _) = mac_site();
+        // Give the multiply a second consumer: it can no longer be hidden.
+        let extra = g.add_node(OpKind::Not);
+        g.add_data_edge(m, extra).unwrap();
+        let lib = Library::dsp_default();
+        let matches = find_matches(&g, &lib);
+        assert!(
+            matches
+                .iter()
+                .all(|mm| lib.template(mm.template).name() != "mac"),
+            "mac must not match once the product escapes"
+        );
+    }
+
+    #[test]
+    fn rooted_enumeration_is_a_filter_of_global() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let all = find_matches(&g, &lib);
+        let a9 = g.node_by_name("A9").unwrap();
+        let rooted = find_matches_rooted(&g, &lib, a9);
+        let filtered: Vec<&Match> = all.iter().filter(|m| m.root() == a9).collect();
+        assert_eq!(rooted.len(), filtered.len());
+    }
+
+    #[test]
+    fn iir4_has_cmac_matches() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        let matches = find_matches(&g, &lib);
+        let cmacs = matches
+            .iter()
+            .filter(|m| lib.template(m.template).name() == "cmac")
+            .count();
+        // Every section add consumes a single-fanout cmul: 8 cmac sites.
+        assert_eq!(cmacs, 8);
+    }
+
+    #[test]
+    fn assignments_never_reuse_a_node() {
+        let g = iir4_parallel();
+        let matches = find_matches(&g, &Library::dsp_default());
+        for m in matches {
+            let mut ns = m.nodes.clone();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), m.nodes.len(), "duplicate node in match");
+        }
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let g = iir4_parallel();
+        let lib = Library::dsp_default();
+        assert_eq!(find_matches(&g, &lib), find_matches(&g, &lib));
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's `Solutions(m)` count.
+
+use std::collections::HashSet;
+
+use localwm_cdfg::{Cdfg, NodeId};
+
+use crate::{find_matches, Library, Match};
+
+/// Counts the number of distinct ways the node set of an enforced matching
+/// `m` can be covered — the paper's `Solutions(m_i)`, whose reciprocal
+/// product approximates the coincidence probability
+/// `P_c ≈ Π Solutions(m_i)⁻¹`.
+///
+/// A *way* is a set of pairwise-disjoint covers (library matchings or
+/// single-op modules) such that every node of `m` is covered exactly once;
+/// covers may pull in neighbouring nodes outside `m` (the paper's Fig. 4
+/// example counts `(A5,A9 | A6)` as a distinct way of covering `{A5,A6}`).
+///
+/// Exhaustive but local: only matchings touching `m`'s nodes participate,
+/// and `|m|` is template-sized, so the recursion is shallow.
+pub fn count_cover_solutions(g: &Cdfg, lib: &Library, m: &Match) -> u64 {
+    let targets: Vec<NodeId> = m.nodes.clone();
+    let target_set: HashSet<NodeId> = targets.iter().copied().collect();
+
+    // Candidate covers: all matchings touching at least one target, plus a
+    // singleton pseudo-cover for each target.
+    let mut covers: Vec<Vec<NodeId>> = find_matches(g, lib)
+        .into_iter()
+        .filter(|c| c.nodes.iter().any(|n| target_set.contains(n)))
+        .map(|c| c.nodes)
+        .collect();
+    for &t in &targets {
+        covers.push(vec![t]);
+    }
+
+    fn recurse(targets: &[NodeId], covered: &mut HashSet<NodeId>, covers: &[Vec<NodeId>]) -> u64 {
+        // First uncovered target.
+        let Some(&next) = targets.iter().find(|t| !covered.contains(t)) else {
+            return 1;
+        };
+        let mut total = 0u64;
+        for c in covers {
+            if !c.contains(&next) {
+                continue;
+            }
+            // Disjointness against already chosen covers.
+            if c.iter().any(|n| covered.contains(n)) {
+                continue;
+            }
+            for &n in c {
+                covered.insert(n);
+            }
+            total += recurse(targets, covered, covers);
+            for n in c {
+                covered.remove(n);
+            }
+        }
+        total
+    }
+
+    recurse(&targets, &mut HashSet::new(), &covers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    /// An isolated pair add(add): ways = {singletons} + {add2 together} = 2.
+    #[test]
+    fn isolated_pair_has_two_ways() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let b = g.add_node(OpKind::Input);
+        let c = g.add_node(OpKind::Input);
+        let s1 = g.add_node(OpKind::Add);
+        let s2 = g.add_node(OpKind::Add);
+        let o = g.add_node(OpKind::Output);
+        g.add_data_edge(a, s1).unwrap();
+        g.add_data_edge(b, s1).unwrap();
+        g.add_data_edge(s1, s2).unwrap();
+        g.add_data_edge(c, s2).unwrap();
+        g.add_data_edge(s2, o).unwrap();
+        let lib = Library::dsp_default();
+        let m = find_matches(&g, &lib)
+            .into_iter()
+            .find(|m| m.nodes.len() == 2)
+            .expect("add2 matches");
+        assert_eq!(count_cover_solutions(&g, &lib, &m), 2);
+    }
+
+    /// A longer chain lets the pair be covered in more ways (neighbours can
+    /// be pulled in), increasing Solutions(m).
+    #[test]
+    fn more_context_means_more_ways() {
+        // chain of four adds.
+        let mut g = Cdfg::new();
+        let inputs: Vec<_> = (0..5).map(|_| g.add_node(OpKind::Input)).collect();
+        let mut prev = inputs[0];
+        let mut adds = Vec::new();
+        for i in 0..4 {
+            let s = g.add_node(OpKind::Add);
+            g.add_data_edge(prev, s).unwrap();
+            g.add_data_edge(inputs[i + 1], s).unwrap();
+            adds.push(s);
+            prev = s;
+        }
+        let o = g.add_node(OpKind::Output);
+        g.add_data_edge(prev, o).unwrap();
+        let lib = Library::dsp_default();
+        // The middle pair (adds[1], adds[2]) as an add2 match.
+        let m = find_matches(&g, &lib)
+            .into_iter()
+            .find(|m| m.nodes == vec![adds[2], adds[1]])
+            .expect("middle add2 exists");
+        let middle = count_cover_solutions(&g, &lib, &m);
+        // The head pair has less context.
+        let head = find_matches(&g, &lib)
+            .into_iter()
+            .find(|m| m.nodes == vec![adds[1], adds[0]])
+            .expect("head add2 exists");
+        let head_ways = count_cover_solutions(&g, &lib, &head);
+        assert!(middle >= head_ways);
+        assert!(head_ways >= 2);
+    }
+
+    #[test]
+    fn single_node_match_counts_its_covers() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::Input);
+        let n = g.add_node(OpKind::Not);
+        let o = g.add_node(OpKind::Output);
+        g.add_data_edge(a, n).unwrap();
+        g.add_data_edge(n, o).unwrap();
+        let lib = Library::dsp_default();
+        let m = Match {
+            template: 0,
+            nodes: vec![n],
+        };
+        // Only the singleton cover exists for a lone Not.
+        assert_eq!(count_cover_solutions(&g, &lib, &m), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Module templates as rooted operation trees.
+
+use localwm_cdfg::OpKind;
+
+/// A template: a rooted tree of operations implemented by one specialized
+/// hardware module. "A module is defined as a set of operation trees. Each
+/// operation in each module is uniquely identified" (paper §IV-B).
+///
+/// Position 0 is always the root (the module's output operation); every
+/// other position names its parent, forming the operand tree. Leaf operands
+/// of the tree are the module's external inputs.
+///
+/// ```
+/// use localwm_cdfg::OpKind;
+/// use localwm_tmatch::Template;
+///
+/// // A two-adder module: add(add(a, b), c).
+/// let t = Template::chain("add2", &[OpKind::Add, OpKind::Add]);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.kind(0), OpKind::Add);
+/// assert_eq!(t.parent(1), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    name: String,
+    kinds: Vec<OpKind>,
+    /// `parent[i]` for i > 0; the root has no parent.
+    parents: Vec<Option<usize>>,
+}
+
+impl Template {
+    /// Creates a template from explicit structure.
+    ///
+    /// `ops[i] = (kind, parent)`; entry 0 must be the root with
+    /// `parent == None`; each other entry's parent must be an earlier index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty template, a non-root first entry, a rooted
+    /// non-first entry, or a forward parent reference.
+    pub fn new(name: &str, ops: &[(OpKind, Option<usize>)]) -> Self {
+        assert!(!ops.is_empty(), "a template needs at least one operation");
+        assert!(ops[0].1.is_none(), "entry 0 must be the root");
+        for (i, &(_, p)) in ops.iter().enumerate().skip(1) {
+            let p = p.expect("non-root entries need a parent");
+            assert!(p < i, "parent references must point backwards");
+        }
+        Template {
+            name: name.to_owned(),
+            kinds: ops.iter().map(|&(k, _)| k).collect(),
+            parents: ops.iter().map(|&(_, p)| p).collect(),
+        }
+    }
+
+    /// A linear chain template: `kinds[0]` is the root, each subsequent
+    /// operation feeds the previous one.
+    pub fn chain(name: &str, kinds: &[OpKind]) -> Self {
+        let ops: Vec<(OpKind, Option<usize>)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, if i == 0 { None } else { Some(i - 1) }))
+            .collect();
+        Template::new(name, &ops)
+    }
+
+    /// Template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations in the template.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the template is a single operation.
+    pub fn is_empty(&self) -> bool {
+        false // a template always has at least one op (enforced in new)
+    }
+
+    /// Operation kind at a position.
+    pub fn kind(&self, pos: usize) -> OpKind {
+        self.kinds[pos]
+    }
+
+    /// Parent position (`None` for the root).
+    pub fn parent(&self, pos: usize) -> Option<usize> {
+        self.parents[pos]
+    }
+
+    /// Child positions of a position.
+    pub fn children(&self, pos: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.parents[i] == Some(pos))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let t = Template::chain("mac", &[OpKind::Add, OpKind::Mul]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.kind(0), OpKind::Add);
+        assert_eq!(t.kind(1), OpKind::Mul);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.children(0), vec![1]);
+        assert!(t.children(1).is_empty());
+    }
+
+    #[test]
+    fn branching_template() {
+        // add(mul(..), mul(..))
+        let t = Template::new(
+            "dual-mac",
+            &[
+                (OpKind::Add, None),
+                (OpKind::Mul, Some(0)),
+                (OpKind::Mul, Some(0)),
+            ],
+        );
+        assert_eq!(t.children(0), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_template_panics() {
+        let _ = Template::new("empty", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry 0 must be the root")]
+    fn rooted_non_first_panics() {
+        let _ = Template::new("bad", &[(OpKind::Add, Some(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "point backwards")]
+    fn forward_parent_panics() {
+        let _ = Template::new(
+            "bad",
+            &[(OpKind::Add, None), (OpKind::Mul, Some(2)), (OpKind::Mul, Some(0))],
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for matching and covering.
+
+use localwm_cdfg::generators::{layered, LayeredConfig};
+use localwm_cdfg::NodeId;
+use localwm_tmatch::{cover, find_matches, CoverConstraints, Library};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every matching is structurally sound: kinds line up, internal
+    /// nodes feed only their consumer, nodes are distinct.
+    #[test]
+    fn matches_are_sound(ops in 20usize..150, seed in 0u64..500) {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: (ops / 8).max(1),
+            seed,
+            ..Default::default()
+        });
+        let lib = Library::dsp_default();
+        for m in find_matches(&g, &lib) {
+            let t = lib.template(m.template);
+            prop_assert_eq!(m.nodes.len(), t.len());
+            let mut uniq = m.nodes.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), m.nodes.len());
+            for (pos, &node) in m.nodes.iter().enumerate() {
+                prop_assert_eq!(g.kind(node), t.kind(pos));
+                if let Some(parent) = t.parent(pos) {
+                    let parent_node = m.nodes[parent];
+                    prop_assert!(g.data_preds(parent_node).any(|x| x == node));
+                    prop_assert_eq!(g.data_succs(node).count(), 1);
+                }
+            }
+        }
+    }
+
+    /// A covering partitions the schedulable operations exactly.
+    #[test]
+    fn covering_is_a_partition(ops in 20usize..150, seed in 0u64..500) {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: (ops / 8).max(1),
+            seed,
+            ..Default::default()
+        });
+        let lib = Library::dsp_default();
+        let c = cover(&g, &lib, &CoverConstraints::default());
+        let mut covered: HashSet<NodeId> = HashSet::new();
+        for m in &c.selected {
+            for &n in &m.nodes {
+                prop_assert!(covered.insert(n), "{n} covered twice");
+            }
+        }
+        for &n in &c.singletons {
+            prop_assert!(covered.insert(n), "{n} covered twice");
+        }
+        let all: HashSet<NodeId> = g
+            .node_ids()
+            .filter(|&n| g.kind(n).is_schedulable())
+            .collect();
+        prop_assert_eq!(covered, all);
+    }
+
+    /// Adding PPOs never decreases the module count, and the constrained
+    /// covering never hides a PPO internally.
+    #[test]
+    fn ppos_only_hurt(ops in 20usize..120, seed in 0u64..300, n_ppos in 0usize..8) {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: (ops / 8).max(1),
+            seed,
+            ..Default::default()
+        });
+        let lib = Library::dsp_default();
+        let free = cover(&g, &lib, &CoverConstraints::default());
+        let schedulable: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&n| g.kind(n).is_schedulable())
+            .collect();
+        let ppos: Vec<NodeId> = schedulable
+            .iter()
+            .step_by((schedulable.len() / n_ppos.max(1)).max(1))
+            .copied()
+            .take(n_ppos)
+            .collect();
+        let constrained = cover(
+            &g,
+            &lib,
+            &CoverConstraints { ppos: ppos.clone(), forced: Vec::new() },
+        );
+        prop_assert!(constrained.module_count() >= free.module_count());
+        for m in &constrained.selected {
+            for &n in m.internal_nodes() {
+                prop_assert!(!ppos.contains(&n), "PPO {n} hidden internally");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Compiling (cycle-scheduling) a CDFG onto the machine.
+
+use localwm_cdfg::{Cdfg, NodeId};
+use localwm_sched::{OpClass, Schedule};
+use localwm_timing::UnitTiming;
+
+use crate::Machine;
+
+/// A compiled program: the cycle assignment and the makespan.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    schedule: Schedule,
+    cycles: u32,
+}
+
+impl CompiledProgram {
+    /// Total execution cycles.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// The cycle-accurate schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+/// Compiles a CDFG onto a [`Machine`]: critical-path-priority list
+/// scheduling under the machine's issue width and per-class functional-unit
+/// limits. Every edge kind — including watermark temporal edges — is a
+/// strict dependence.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn compile(g: &Cdfg, machine: &Machine) -> CompiledProgram {
+    let timing = UnitTiming::new(g);
+    let mut schedule = Schedule::empty(g);
+
+    let mut pending: Vec<usize> = g
+        .node_ids()
+        .map(|n| g.preds(n).filter(|&p| g.kind(p).is_schedulable()).count())
+        .collect();
+    let mut ready: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable() && pending[n.index()] == 0)
+        .collect();
+    let mut earliest: Vec<u32> = vec![1; g.node_count()];
+
+    let mut remaining = g.op_count();
+    let mut cycle: u32 = 0;
+    while remaining > 0 {
+        cycle += 1;
+        let mut candidates: Vec<NodeId> = ready
+            .iter()
+            .copied()
+            .filter(|&n| earliest[n.index()] <= cycle)
+            .collect();
+        candidates.sort_by_key(|&n| (std::cmp::Reverse(timing.laxity(n)), n));
+
+        let mut issued = 0usize;
+        let mut used = [0usize; OpClass::COUNT];
+        let mut placed: Vec<NodeId> = Vec::new();
+        for n in candidates {
+            if issued == machine.issue_width() {
+                break;
+            }
+            let class = OpClass::of(g.kind(n));
+            // ALUs are shared between Alu and Multiplier classes.
+            let pool_used = match class {
+                OpClass::Alu | OpClass::Multiplier => {
+                    used[OpClass::Alu as usize] + used[OpClass::Multiplier as usize]
+                }
+                c => used[c as usize],
+            };
+            if pool_used >= machine.units_for(class) {
+                continue;
+            }
+            used[class as usize] += 1;
+            issued += 1;
+            schedule.set_step(n, cycle);
+            placed.push(n);
+        }
+        for n in placed {
+            ready.retain(|&r| r != n);
+            remaining -= 1;
+            for s in g.succs(n) {
+                earliest[s.index()] = earliest[s.index()].max(cycle + 1);
+                if g.kind(s).is_schedulable() {
+                    pending[s.index()] -= 1;
+                    if pending[s.index()] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    let cycles = schedule.length();
+    CompiledProgram { schedule, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::generators::{mediabench, mediabench_apps};
+    use localwm_cdfg::{Cdfg, OpKind};
+
+    #[test]
+    fn issue_width_caps_parallelism() {
+        // 8 independent ALU ops on a 4-issue machine: 2 cycles.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        for _ in 0..8 {
+            let n = g.add_node(OpKind::Not);
+            g.add_data_edge(x, n).unwrap();
+        }
+        let prog = compile(&g, &Machine::paper_default());
+        assert_eq!(prog.cycles(), 2);
+    }
+
+    #[test]
+    fn memory_units_cap_loads() {
+        // 4 independent loads, 2 memory units: 2 cycles even at 4-issue.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        for _ in 0..4 {
+            let n = g.add_node(OpKind::Load);
+            g.add_data_edge(x, n).unwrap();
+        }
+        let prog = compile(&g, &Machine::paper_default());
+        assert_eq!(prog.cycles(), 2);
+    }
+
+    #[test]
+    fn dependences_serialize() {
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let mut prev = x;
+        for _ in 0..5 {
+            let n = g.add_node(OpKind::Not);
+            g.add_data_edge(prev, n).unwrap();
+            prev = n;
+        }
+        let prog = compile(&g, &Machine::paper_default());
+        assert_eq!(prog.cycles(), 5);
+    }
+
+    #[test]
+    fn schedule_is_valid_and_complete() {
+        let g = mediabench(&mediabench_apps()[3], 1);
+        let prog = compile(&g, &Machine::paper_default());
+        assert!(prog.schedule().validate(&g).is_ok());
+        assert!(prog.cycles() >= (g.op_count() as u32).div_ceil(4));
+    }
+
+    #[test]
+    fn temporal_edges_cost_cycles_when_tight() {
+        // Two independent 2-chains; tie the end of one before the start of
+        // the other with a temporal edge: makespan doubles.
+        let mut g = Cdfg::new();
+        let x = g.add_node(OpKind::Input);
+        let a1 = g.add_node(OpKind::Not);
+        let a2 = g.add_node(OpKind::Not);
+        let b1 = g.add_node(OpKind::Not);
+        let b2 = g.add_node(OpKind::Not);
+        g.add_data_edge(x, a1).unwrap();
+        g.add_data_edge(a1, a2).unwrap();
+        g.add_data_edge(x, b1).unwrap();
+        g.add_data_edge(b1, b2).unwrap();
+        let base = compile(&g, &Machine::paper_default()).cycles();
+        g.add_temporal_edge(a2, b1).unwrap();
+        let constrained = compile(&g, &Machine::paper_default()).cycles();
+        assert_eq!(base, 2);
+        assert_eq!(constrained, 4);
+    }
+}

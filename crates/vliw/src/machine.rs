@@ -1,0 +1,80 @@
+//! Machine description.
+
+use localwm_sched::OpClass;
+
+/// A VLIW machine: a total issue width plus per-class functional-unit
+/// counts. Multiplies execute on the ALUs (the paper's machine description
+/// lists only ALU, branch and memory units).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    issue_width: usize,
+    alus: usize,
+    branch_units: usize,
+    memory_units: usize,
+}
+
+impl Machine {
+    /// The paper's evaluation machine: 4-issue, 4 ALUs, 2 branch units,
+    /// 2 memory units.
+    pub fn paper_default() -> Self {
+        Machine {
+            issue_width: 4,
+            alus: 4,
+            branch_units: 2,
+            memory_units: 2,
+        }
+    }
+
+    /// A custom machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(issue_width: usize, alus: usize, branch_units: usize, memory_units: usize) -> Self {
+        assert!(
+            issue_width > 0 && alus > 0 && branch_units > 0 && memory_units > 0,
+            "machine parameters must be positive"
+        );
+        Machine {
+            issue_width,
+            alus,
+            branch_units,
+            memory_units,
+        }
+    }
+
+    /// Ops issued per cycle, across all classes.
+    pub fn issue_width(&self) -> usize {
+        self.issue_width
+    }
+
+    /// Functional units available for an operation class.
+    pub fn units_for(&self, class: OpClass) -> usize {
+        match class {
+            OpClass::Alu | OpClass::Multiplier => self.alus,
+            OpClass::Memory => self.memory_units,
+            OpClass::Branch => self.branch_units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let m = Machine::paper_default();
+        assert_eq!(m.issue_width(), 4);
+        assert_eq!(m.units_for(OpClass::Alu), 4);
+        assert_eq!(m.units_for(OpClass::Multiplier), 4);
+        assert_eq!(m.units_for(OpClass::Branch), 2);
+        assert_eq!(m.units_for(OpClass::Memory), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_issue_width_panics() {
+        let _ = Machine::new(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Performance-overhead measurement.
+
+use localwm_cdfg::Cdfg;
+
+use crate::{compile, Machine};
+
+/// Baseline-vs-watermarked cycle comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfComparison {
+    /// Cycles of the unwatermarked program.
+    pub base_cycles: u32,
+    /// Cycles of the watermarked program.
+    pub marked_cycles: u32,
+}
+
+impl PerfComparison {
+    /// Overhead as a percentage (the paper's "Perf. OH" column).
+    pub fn overhead_percent(&self) -> f64 {
+        if self.base_cycles == 0 {
+            return 0.0;
+        }
+        100.0 * (f64::from(self.marked_cycles) - f64::from(self.base_cycles))
+            / f64::from(self.base_cycles)
+    }
+}
+
+/// Compiles both graphs and reports the execution-time increase the
+/// watermark induced.
+pub fn overhead_percent(base: &Cdfg, marked: &Cdfg, machine: &Machine) -> PerfComparison {
+    PerfComparison {
+        base_cycles: compile(base, machine).cycles(),
+        marked_cycles: compile(marked, machine).cycles(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::generators::{mediabench, mediabench_apps};
+
+    #[test]
+    fn identical_graphs_have_zero_overhead() {
+        let g = mediabench(&mediabench_apps()[0], 0);
+        let cmp = overhead_percent(&g, &g, &Machine::paper_default());
+        assert_eq!(cmp.base_cycles, cmp.marked_cycles);
+        assert_eq!(cmp.overhead_percent(), 0.0);
+    }
+
+    #[test]
+    fn a_few_temporal_edges_cost_little() {
+        let base = mediabench(&mediabench_apps()[1], 0);
+        let mut marked = base.clone();
+        // Tie a handful of far-apart slack pairs together.
+        let schedulable: Vec<_> = marked
+            .node_ids()
+            .filter(|&n| marked.kind(n).is_schedulable())
+            .collect();
+        let mut added = 0;
+        let mut i = 0;
+        while added < 5 && i + 40 < schedulable.len() {
+            let (a, b) = (schedulable[i], schedulable[i + 40]);
+            if marked.add_edge_acyclic(localwm_cdfg::EdgeKind::Temporal, a, b).is_ok() {
+                added += 1;
+            }
+            i += 17;
+        }
+        assert!(added > 0);
+        let cmp = overhead_percent(&base, &marked, &Machine::paper_default());
+        assert!(cmp.marked_cycles >= cmp.base_cycles);
+        assert!(
+            cmp.overhead_percent() < 20.0,
+            "slack edges should be cheap, got {}%",
+            cmp.overhead_percent()
+        );
+    }
+}

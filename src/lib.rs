@@ -1,0 +1,47 @@
+//! # Local Watermarks
+//!
+//! A production-quality Rust reproduction of
+//! *Kirovski & Potkonjak, "Local Watermarks: Methodology and Application to
+//! Behavioral Synthesis"* — intellectual-property protection for behavioral
+//! synthesis solutions via many small, locally-detectable watermarks.
+//!
+//! This umbrella crate re-exports the whole toolkit:
+//!
+//! * [`cdfg`] — control-data flow graphs, analyses, designs, generators.
+//! * [`coloring`] — the paper's graph-coloring instance of the generic
+//!   local-watermark paradigm.
+//! * [`prng`] — RC4-keyed author-specific bitstreams.
+//! * [`timing`] — critical-path analysis, laxity, bounded delay models.
+//! * [`sched`] — ASAP/ALAP, list and force-directed scheduling, exact
+//!   schedule enumeration.
+//! * [`tmatch`] — template matching, covering, and matching enumeration.
+//! * [`sim`] — deterministic functional simulation (semantic-preservation
+//!   checks for watermark realizations).
+//! * [`vliw`] — the 4-issue VLIW evaluation machine.
+//! * [`core`] — the watermarking protocols themselves (embedding,
+//!   detection, coincidence-probability estimation, attacks).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use local_watermarks::core::{SchedulingWatermarker, Signature, SchedWmConfig};
+//! use local_watermarks::cdfg::designs::iir4_parallel;
+//!
+//! let design = iir4_parallel();
+//! let signature = Signature::from_author("alice <alice@example.com>");
+//! let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+//! let embedded = wm.embed(&design, &signature)?;
+//! let evidence = wm.detect(&embedded.schedule, &design, &signature)?;
+//! assert!(evidence.is_match());
+//! # Ok::<(), local_watermarks::core::WatermarkError>(())
+//! ```
+
+pub use localwm_cdfg as cdfg;
+pub use localwm_coloring as coloring;
+pub use localwm_core as core;
+pub use localwm_prng as prng;
+pub use localwm_sched as sched;
+pub use localwm_sim as sim;
+pub use localwm_timing as timing;
+pub use localwm_tmatch as tmatch;
+pub use localwm_vliw as vliw;

@@ -1,0 +1,102 @@
+//! Property-based integration tests over randomly generated designs.
+
+use local_watermarks::cdfg::generators::{layered, random_dag, LayeredConfig};
+use local_watermarks::core::{SchedWmConfig, SchedulingWatermarker, Signature};
+use local_watermarks::sched::{force_directed_schedule, list_schedule, ResourceSet, Windows};
+use local_watermarks::timing::{bounded_critical_path, KindBounds, UnitTiming};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Embedding then detecting with the same signature always matches on
+    /// any layered design big enough to host the default mark.
+    #[test]
+    fn embed_detect_round_trip(seed in 0u64..500, ops in 120usize..400) {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: ((ops as f64).sqrt() * 1.2) as usize,
+            seed,
+            ..Default::default()
+        });
+        let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+        let sig = Signature::from_author(&format!("prop-{seed}"));
+        if let Ok(emb) = wm.embed(&g, &sig) {
+            prop_assert!(emb.schedule.validate(&emb.marked).is_ok());
+            let ev = wm.detect(&emb.schedule, &g, &sig).expect("detects");
+            prop_assert!(ev.is_match());
+            prop_assert!(ev.log10_pc <= 0.0);
+        }
+    }
+
+    /// Watermark edges never stretch the schedule past the step budget.
+    #[test]
+    fn embedding_respects_the_deadline(seed in 0u64..300) {
+        let g = layered(&LayeredConfig { ops: 250, layers: 18, seed, ..Default::default() });
+        let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+        let sig = Signature::from_author("deadline-prop");
+        if let Ok(emb) = wm.embed(&g, &sig) {
+            prop_assert!(emb.schedule.length() <= emb.available_steps);
+        }
+    }
+
+    /// ASAP never exceeds ALAP, and laxity never exceeds the critical path.
+    #[test]
+    fn window_invariants(n in 5usize..60, p in 0.05f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let t = UnitTiming::new(&g);
+        let steps = t.critical_path().max(1) + 3;
+        let w = Windows::new(&g, steps).expect("feasible");
+        for node in g.node_ids() {
+            prop_assert!(w.asap(node) <= w.alap(node));
+            prop_assert!(t.laxity(node) <= t.critical_path());
+        }
+    }
+
+    /// Any valid list schedule is at least as long as the critical path
+    /// and exactly the critical path without resource limits.
+    #[test]
+    fn list_schedule_matches_critical_path(n in 5usize..60, p in 0.05f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let s = list_schedule(&g, &ResourceSet::unlimited(), None).expect("schedules");
+        prop_assert!(s.validate(&g).is_ok());
+        prop_assert_eq!(s.length(), UnitTiming::new(&g).critical_path());
+    }
+
+    /// Force-directed schedules are valid and meet their deadline.
+    #[test]
+    fn fds_is_valid(n in 5usize..40, p in 0.05f64..0.3, seed in 0u64..500, slack in 0u32..6) {
+        let g = random_dag(n, p, seed);
+        let cp = UnitTiming::new(&g).critical_path().max(1);
+        let s = force_directed_schedule(&g, cp + slack).expect("schedules");
+        prop_assert!(s.validate(&g).is_ok());
+        prop_assert!(s.length() <= cp + slack);
+    }
+
+    /// The bounded-delay interval brackets the unit-delay critical path
+    /// whenever the model brackets the unit delay.
+    #[test]
+    fn bounded_interval_brackets_unit(n in 5usize..60, p in 0.05f64..0.4, seed in 0u64..1000) {
+        let g = random_dag(n, p, seed);
+        let unit = u64::from(UnitTiming::new(&g).critical_path());
+        let cp = bounded_critical_path(&g, &KindBounds::uniform(1, 3));
+        prop_assert!(cp.lo <= unit);
+        prop_assert!(cp.hi >= unit);
+        prop_assert_eq!(cp.lo, unit); // lower bound is the all-1 assignment
+    }
+
+    /// Adding a feasible temporal edge never shortens the critical path.
+    #[test]
+    fn temporal_edges_are_monotone(seed in 0u64..500) {
+        let g = layered(&LayeredConfig { ops: 100, layers: 10, seed, ..Default::default() });
+        let before = UnitTiming::new(&g).critical_path();
+        let nodes: Vec<_> = g.node_ids().filter(|&n| g.kind(n).is_schedulable()).collect();
+        let mut gm = g.clone();
+        let (a, b) = (nodes[nodes.len() / 4], nodes[3 * nodes.len() / 4]);
+        if !gm.reaches(a, b) && !gm.reaches(b, a) {
+            gm.add_temporal_edge(a, b).expect("incomparable");
+            let after = UnitTiming::new(&gm).critical_path();
+            prop_assert!(after >= before);
+        }
+    }
+}

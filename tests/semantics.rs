@@ -1,0 +1,58 @@
+//! Semantic-preservation integration tests: the watermark changes
+//! scheduling decisions, never computed values.
+
+use local_watermarks::cdfg::generators::{mediabench, mediabench_apps};
+use local_watermarks::core::{SchedWmConfig, SchedulingWatermarker, Signature};
+use local_watermarks::sim::{execute_scheduled, interpret, outputs_match, Inputs};
+
+#[test]
+fn watermark_realization_preserves_every_output() {
+    let g = mediabench(&mediabench_apps()[0], 0);
+    let wm = SchedulingWatermarker::new(SchedWmConfig::with_node_fraction(0.02));
+    let sig = Signature::from_author("semantics");
+    let emb = wm.embed(&g, &sig).expect("embeds");
+    let realized = SchedulingWatermarker::realize_as_unit_ops(&g, &emb.edges);
+
+    for seed in 0..8 {
+        let inputs = Inputs::seeded(seed);
+        let base = interpret(&g, &inputs).expect("interprets");
+        let marked = interpret(&realized, &inputs).expect("interprets");
+        assert!(
+            outputs_match(&g, &base, &marked),
+            "seed {seed}: realization changed an output"
+        );
+    }
+}
+
+#[test]
+fn watermarked_schedule_computes_the_same_results() {
+    let g = mediabench(&mediabench_apps()[1], 0);
+    let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+    let sig = Signature::from_author("sched-semantics");
+    let emb = wm.embed(&g, &sig).expect("embeds");
+
+    let inputs = Inputs::seeded(123);
+    let reference = interpret(&g, &inputs).expect("interprets");
+    // Execute the constrained schedule on the *marked* graph: temporal
+    // edges carry no data, so outputs must be identical to the reference.
+    let executed = execute_scheduled(&emb.marked, &emb.schedule, &inputs).expect("executes");
+    assert!(outputs_match(&g, &reference, &executed));
+}
+
+#[test]
+fn attack_perturbations_preserve_semantics_too() {
+    // A valid perturbed schedule still computes the right values — the
+    // attacker's dilemma: only order changes, so the mark's evidence is
+    // all that moves.
+    use local_watermarks::core::attack::perturb_schedule;
+    let g = mediabench(&mediabench_apps()[2], 0);
+    let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+    let sig = Signature::from_author("attack-semantics");
+    let emb = wm.embed(&g, &sig).expect("embeds");
+    let (tampered, _) = perturb_schedule(&g, &emb.schedule, emb.available_steps, 500, 3);
+
+    let inputs = Inputs::seeded(7);
+    let reference = interpret(&g, &inputs).expect("interprets");
+    let executed = execute_scheduled(&g, &tampered, &inputs).expect("executes");
+    assert!(outputs_match(&g, &reference, &executed));
+}

@@ -1,0 +1,110 @@
+//! End-to-end integration of the template-matching watermark.
+
+use local_watermarks::cdfg::designs::{table2_design, table2_designs};
+use local_watermarks::core::allocation::{allocated_modules, AllocationPolicy};
+use local_watermarks::core::{
+    module_overhead, Signature, TemplateWatermarker, TmatchWmConfig,
+};
+use local_watermarks::timing::UnitTiming;
+use local_watermarks::tmatch::{cover, CoverConstraints, Library};
+
+fn relaxed(design: &local_watermarks::cdfg::Cdfg, z: usize) -> TmatchWmConfig {
+    let cp = UnitTiming::new(design).critical_path();
+    TmatchWmConfig {
+        z,
+        available_steps: 2 * cp,
+        ..TmatchWmConfig::default()
+    }
+}
+
+#[test]
+fn small_table2_designs_embed_and_detect() {
+    for desc in table2_designs().iter().take(6) {
+        let g = table2_design(desc);
+        let wm = TemplateWatermarker::new(relaxed(&g, 2));
+        let sig = Signature::from_author(&format!("tmatch-{}", desc.name));
+        let emb = wm
+            .embed(&g, &sig)
+            .unwrap_or_else(|e| panic!("{}: {e}", desc.name));
+        let ev = wm.detect(&emb.covering, &g, &sig).expect("detects");
+        assert!(ev.is_match(), "{} failed to verify", desc.name);
+        assert!(ev.log10_pc < 0.0, "{}: Pc must shrink", desc.name);
+    }
+}
+
+#[test]
+fn tight_configuration_embeds_on_every_design() {
+    // With steps == critical path, only off-critical regions host marks.
+    for desc in table2_designs().iter().take(6) {
+        let g = table2_design(desc);
+        let wm = TemplateWatermarker::new(TmatchWmConfig {
+            z: 1,
+            ..TmatchWmConfig::default()
+        });
+        let sig = Signature::from_author("tight");
+        let emb = wm
+            .embed(&g, &sig)
+            .unwrap_or_else(|e| panic!("{}: {e}", desc.name));
+        assert_eq!(emb.forced.len(), 1);
+    }
+}
+
+#[test]
+fn module_overhead_is_bounded_across_designs() {
+    for desc in table2_designs().iter().take(4) {
+        let g = table2_design(desc);
+        let wm = TemplateWatermarker::new(TmatchWmConfig {
+            z_fraction: Some(desc.enforced_pct / 100.0),
+            ..TmatchWmConfig::default()
+        });
+        let sig = Signature::from_author("overhead-int");
+        let (plain, marked, pct) = module_overhead(&g, &wm, &sig)
+            .unwrap_or_else(|e| panic!("{}: {e}", desc.name));
+        assert!(plain > 0, "{}", desc.name);
+        assert!(marked + 2 >= plain, "{}", desc.name);
+        assert!(pct.abs() < 80.0, "{}: {pct}%", desc.name);
+    }
+}
+
+#[test]
+fn allocation_and_covering_agree_on_piece_accounting() {
+    let g = table2_design(&table2_designs()[4]);
+    let lib = Library::dsp_default();
+    let covering = cover(&g, &lib, &CoverConstraints::default());
+    assert_eq!(
+        covering.covered_ops() + covering.singletons.len(),
+        g.op_count()
+    );
+    let cp = UnitTiming::new(&g).critical_path();
+    let tight = allocated_modules(&g, &covering, &lib, cp, AllocationPolicy::FixedFunction)
+        .expect("feasible");
+    let relaxed = allocated_modules(&g, &covering, &lib, 4 * cp, AllocationPolicy::FixedFunction)
+        .expect("feasible");
+    assert!(relaxed <= tight);
+    assert!(relaxed >= 1);
+    // Hosting can only reduce the count further.
+    let hosted = allocated_modules(&g, &covering, &lib, cp, AllocationPolicy::Hosting)
+        .expect("feasible");
+    assert!(hosted <= tight);
+}
+
+#[test]
+fn forced_matchings_survive_inside_the_covering_tool() {
+    let g = table2_design(&table2_designs()[1]);
+    let wm = TemplateWatermarker::new(relaxed(&g, 4));
+    let sig = Signature::from_author("forced-int");
+    let emb = wm.embed(&g, &sig).expect("embeds");
+    for m in &emb.forced {
+        assert!(
+            emb.covering.selected.contains(m),
+            "forced matching missing from covering"
+        );
+    }
+    // No op is covered twice.
+    let mut seen = std::collections::HashSet::new();
+    for m in &emb.covering.selected {
+        for &n in &m.nodes {
+            assert!(seen.insert(n), "{n} covered twice");
+        }
+    }
+}
