@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use localwm_cdfg::generators::{layered, LayeredConfig};
-use localwm_timing::{bounded_arrival, DynamicBounds, KindBounds, UnitTiming};
+use localwm_engine::{DesignContext, Parallelism};
+use localwm_timing::{bounded_arrival, criticality_in, DynamicBounds, KindBounds, UnitTiming};
 
 fn graphs() -> Vec<(usize, localwm_cdfg::Cdfg)> {
     [500usize, 2000, 8000]
@@ -68,5 +69,61 @@ fn bench_bounded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_unit_timing, bench_incremental, bench_bounded);
+/// Cached (shared `DesignContext`) versus uncached (fresh analysis per
+/// query) access to the same derived facts: a window table at the critical
+/// path plus laxity for every node, queried repeatedly.
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/context-queries");
+    for (ops, g) in graphs() {
+        let nodes: Vec<_> = g.node_ids().collect();
+        group.bench_with_input(BenchmarkId::new("uncached", ops), &ops, |b, _| {
+            b.iter(|| {
+                let t = UnitTiming::new(&g);
+                let cp = t.critical_path();
+                nodes
+                    .iter()
+                    .map(|&n| u64::from(t.laxity(n)) + u64::from(t.alap(n, cp)))
+                    .sum::<u64>()
+            });
+        });
+        let ctx = DesignContext::new(g.clone());
+        group.bench_with_input(BenchmarkId::new("cached", ops), &ops, |b, _| {
+            b.iter(|| {
+                let cp = ctx.critical_path();
+                let w = ctx.windows(cp).expect("critical path is feasible");
+                nodes
+                    .iter()
+                    .map(|&n| u64::from(ctx.laxity(n)) + u64::from(w.alap(n)))
+                    .sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Serial versus parallel Monte-Carlo criticality over the shared context.
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/criticality");
+    let model = KindBounds::uniform(1, 3);
+    const SAMPLES: usize = 64;
+    for (ops, g) in graphs() {
+        let ctx = DesignContext::new(g);
+        group.bench_with_input(BenchmarkId::new("serial", ops), &ops, |b, _| {
+            b.iter(|| criticality_in(&ctx, &model, SAMPLES, 7, Parallelism::Serial));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", ops), &ops, |b, _| {
+            b.iter(|| criticality_in(&ctx, &model, SAMPLES, 7, Parallelism::Auto));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unit_timing,
+    bench_incremental,
+    bench_bounded,
+    bench_cached_vs_uncached,
+    bench_serial_vs_parallel
+);
 criterion_main!(benches);

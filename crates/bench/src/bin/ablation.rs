@@ -49,7 +49,12 @@ fn main() {
                     emb.domains.len().to_string(),
                 ]);
             }
-            Err(e) => rows.push(vec![k.to_string(), format!("({e})"), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                k.to_string(),
+                format!("({e})"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!(
@@ -81,7 +86,10 @@ fn main() {
             Err(e) => rows.push(vec![format!("{eps:.1}"), format!("({e})"), "-".into()]),
         }
     }
-    println!("{}", render_table(&["epsilon", "edges placed", "VLIW overhead"], &rows));
+    println!(
+        "{}",
+        render_table(&["epsilon", "edges placed", "VLIW overhead"], &rows)
+    );
 
     // --- 3. Slack-factor sweep --------------------------------------------
     println!("\nslack-factor sweep (PEGWIT, 658 ops, K = 2%):\n");
@@ -138,17 +146,17 @@ fn main() {
             format!("{approx:.4}"),
         ]);
     }
-    println!("{}", render_table(&["instance", "exact Pc", "pair-window Pc"], &rows));
+    println!(
+        "{}",
+        render_table(&["instance", "exact Pc", "pair-window Pc"], &rows)
+    );
     println!(
         "(the pair-window estimate tracks the exact count within a small\n\
          factor on independent pairs; dependence chains make it conservative)"
     );
 }
 
-fn first_incomparable(
-    g: &localwm_cdfg::Cdfg,
-    subset: &[NodeId],
-) -> Option<(NodeId, NodeId)> {
+fn first_incomparable(g: &localwm_cdfg::Cdfg, subset: &[NodeId]) -> Option<(NodeId, NodeId)> {
     for (i, &a) in subset.iter().enumerate() {
         for &b in &subset[i + 1..] {
             if !g.reaches(a, b) && !g.reaches(b, a) {

@@ -72,7 +72,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["random moves", "constraints surviving", "residual proof digits"],
+            &[
+                "random moves",
+                "constraints surviving",
+                "residual proof digits"
+            ],
             &rows
         )
     );

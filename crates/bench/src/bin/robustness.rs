@@ -67,10 +67,7 @@ fn main() {
             format!("{:.0}%", 100.0 * surv / total),
             format!("{:.0}%", 100.0 * f64::from(strict_tp) / total),
             format!("{:.0}%", 100.0 * f64::from(tolerant_tp) / total),
-            format!(
-                "{:.0}%",
-                100.0 * f64::from(fp) / (total * IMPOSTORS as f64)
-            ),
+            format!("{:.0}%", 100.0 * f64::from(fp) / (total * IMPOSTORS as f64)),
         ]);
     }
     println!(

@@ -34,8 +34,7 @@ const SIGNATURES: usize = 8;
 fn main() {
     println!("Table II — template-matching watermarks (ours vs. paper)\n");
     let mut rows = Vec::new();
-    for (desc, &(oh_tight_paper, oh_relaxed_paper)) in
-        table2_designs().iter().zip(PAPER_OH.iter())
+    for (desc, &(oh_tight_paper, oh_relaxed_paper)) in table2_designs().iter().zip(PAPER_OH.iter())
     {
         let g = table2_design(desc);
         let cp = UnitTiming::new(&g).critical_path();

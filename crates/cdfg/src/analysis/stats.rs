@@ -36,8 +36,7 @@ impl DesignStats {
         out.push_str(&format!(
             "ops {} | inputs {} | outputs {} | edges {} | critical path {} \
              | parallelism {:.1}\n",
-            self.ops, self.inputs, self.outputs, self.edges, self.critical_path,
-            self.parallelism,
+            self.ops, self.inputs, self.outputs, self.edges, self.critical_path, self.parallelism,
         ));
         out.push_str("op mix:");
         for (k, v) in &self.op_mix {
@@ -93,7 +92,11 @@ pub fn design_stats(g: &Cdfg) -> DesignStats {
         critical_path: cp,
         op_mix,
         depth_histogram,
-        parallelism: if cp == 0 { 0.0 } else { ops as f64 / f64::from(cp) },
+        parallelism: if cp == 0 {
+            0.0
+        } else {
+            ops as f64 / f64::from(cp)
+        },
     }
 }
 

@@ -19,14 +19,54 @@ pub struct Table2Design {
 /// The eight Table II designs with their published parameters.
 pub fn table2_designs() -> [Table2Design; 8] {
     [
-        Table2Design { name: "8th Order CF IIR", critical_path: 18, paper_variables: 35, enforced_pct: 3.0 },
-        Table2Design { name: "Linear GE Cntrlr", critical_path: 12, paper_variables: 48, enforced_pct: 5.0 },
-        Table2Design { name: "Wavelet Filter", critical_path: 16, paper_variables: 31, enforced_pct: 4.0 },
-        Table2Design { name: "Modem Filter", critical_path: 10, paper_variables: 33, enforced_pct: 5.0 },
-        Table2Design { name: "Volterra 2nd ord.", critical_path: 12, paper_variables: 28, enforced_pct: 5.0 },
-        Table2Design { name: "Volterra 3rd non-lin.", critical_path: 20, paper_variables: 50, enforced_pct: 3.0 },
-        Table2Design { name: "D/A Converter", critical_path: 132, paper_variables: 354, enforced_pct: 4.0 },
-        Table2Design { name: "Long Echo Canceler", critical_path: 2566, paper_variables: 1082, enforced_pct: 2.0 },
+        Table2Design {
+            name: "8th Order CF IIR",
+            critical_path: 18,
+            paper_variables: 35,
+            enforced_pct: 3.0,
+        },
+        Table2Design {
+            name: "Linear GE Cntrlr",
+            critical_path: 12,
+            paper_variables: 48,
+            enforced_pct: 5.0,
+        },
+        Table2Design {
+            name: "Wavelet Filter",
+            critical_path: 16,
+            paper_variables: 31,
+            enforced_pct: 4.0,
+        },
+        Table2Design {
+            name: "Modem Filter",
+            critical_path: 10,
+            paper_variables: 33,
+            enforced_pct: 5.0,
+        },
+        Table2Design {
+            name: "Volterra 2nd ord.",
+            critical_path: 12,
+            paper_variables: 28,
+            enforced_pct: 5.0,
+        },
+        Table2Design {
+            name: "Volterra 3rd non-lin.",
+            critical_path: 20,
+            paper_variables: 50,
+            enforced_pct: 3.0,
+        },
+        Table2Design {
+            name: "D/A Converter",
+            critical_path: 132,
+            paper_variables: 354,
+            enforced_pct: 4.0,
+        },
+        Table2Design {
+            name: "Long Echo Canceler",
+            critical_path: 2566,
+            paper_variables: 1082,
+            enforced_pct: 2.0,
+        },
     ]
 }
 
@@ -135,7 +175,11 @@ pub fn table2_design(desc: &Table2Design) -> Cdfg {
         vec![3; n_taps]
     };
     for (tap, &size) in sizes.iter().enumerate() {
-        let head_kind = if tap % 2 == 0 { OpKind::ConstMul } else { OpKind::Add };
+        let head_kind = if tap % 2 == 0 {
+            OpKind::ConstMul
+        } else {
+            OpKind::Add
+        };
         let t = g.add_named_node(head_kind, format!("t{tap}"));
         g.add_data_edge(x, t).expect("valid edge");
         if head_kind == OpKind::Add {

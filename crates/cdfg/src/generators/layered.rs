@@ -116,9 +116,7 @@ pub fn layered(cfg: &LayeredConfig) -> Cdfg {
     // Terminate dangling values.
     let dangling: Vec<NodeId> = g
         .node_ids()
-        .filter(|&n| {
-            !g.kind(n).is_sink() && g.data_succs(n).next().is_none()
-        })
+        .filter(|&n| !g.kind(n).is_sink() && g.data_succs(n).next().is_none())
         .collect();
     for n in dangling {
         let o = g.add_node(OpKind::Output);
@@ -211,8 +209,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = layered(&LayeredConfig { seed: 1, ..Default::default() });
-        let b = layered(&LayeredConfig { seed: 2, ..Default::default() });
+        let a = layered(&LayeredConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = layered(&LayeredConfig {
+            seed: 2,
+            ..Default::default()
+        });
         let ea: Vec<_> = a.edges().map(|e| (e.src(), e.dst())).collect();
         let eb: Vec<_> = b.edges().map(|e| (e.src(), e.dst())).collect();
         assert_ne!(ea, eb);
@@ -221,6 +225,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "layers must be positive")]
     fn zero_layers_panics() {
-        let _ = layered(&LayeredConfig { layers: 0, ..Default::default() });
+        let _ = layered(&LayeredConfig {
+            layers: 0,
+            ..Default::default()
+        });
     }
 }

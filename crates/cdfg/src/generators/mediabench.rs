@@ -15,14 +15,38 @@ pub struct MediabenchApp {
 /// The eight Table I applications with their published op counts.
 pub fn mediabench_apps() -> [MediabenchApp; 8] {
     [
-        MediabenchApp { name: "D/A Cnv.", ops: 528 },
-        MediabenchApp { name: "G721", ops: 758 },
-        MediabenchApp { name: "epic", ops: 872 },
-        MediabenchApp { name: "PEGWIT", ops: 658 },
-        MediabenchApp { name: "PGP", ops: 1755 },
-        MediabenchApp { name: "GSM", ops: 802 },
-        MediabenchApp { name: "JPEG.c", ops: 1422 },
-        MediabenchApp { name: "MPEG2.d", ops: 1372 },
+        MediabenchApp {
+            name: "D/A Cnv.",
+            ops: 528,
+        },
+        MediabenchApp {
+            name: "G721",
+            ops: 758,
+        },
+        MediabenchApp {
+            name: "epic",
+            ops: 872,
+        },
+        MediabenchApp {
+            name: "PEGWIT",
+            ops: 658,
+        },
+        MediabenchApp {
+            name: "PGP",
+            ops: 1755,
+        },
+        MediabenchApp {
+            name: "GSM",
+            ops: 802,
+        },
+        MediabenchApp {
+            name: "JPEG.c",
+            ops: 1422,
+        },
+        MediabenchApp {
+            name: "MPEG2.d",
+            ops: 1372,
+        },
     ]
 }
 

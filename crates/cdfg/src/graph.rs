@@ -5,7 +5,6 @@ use std::collections::HashMap;
 use crate::{CdfgError, EdgeId, NodeId, OpKind};
 
 /// The kind of a CDFG edge.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EdgeKind {
     /// A data dependence: the destination consumes the value produced by the
@@ -32,7 +31,6 @@ impl EdgeKind {
 }
 
 /// A CDFG node: one operation.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     kind: OpKind,
@@ -61,7 +59,6 @@ impl Node {
 }
 
 /// A directed CDFG edge.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     kind: EdgeKind,
@@ -107,7 +104,6 @@ impl Edge {
 /// assert_eq!(g.node_by_name("A2"), Some(b));
 /// # Ok::<(), localwm_cdfg::CdfgError>(())
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Default)]
 pub struct Cdfg {
     nodes: Vec<Node>,
@@ -147,7 +143,10 @@ impl Cdfg {
     /// Number of *operations*: schedulable nodes, the `N` of the paper's
     /// Table I (inputs and constants are excluded).
     pub fn op_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind.is_schedulable()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_schedulable())
+            .count()
     }
 
     /// Adds an anonymous node and returns its id.
@@ -371,7 +370,11 @@ impl Cdfg {
     pub fn strip_temporal_edges(&mut self) -> usize {
         let ids: Vec<EdgeId> = self
             .edge_ids()
-            .filter(|&e| self.edges[e.index()].as_ref().is_some_and(|x| x.kind == EdgeKind::Temporal))
+            .filter(|&e| {
+                self.edges[e.index()]
+                    .as_ref()
+                    .is_some_and(|x| x.kind == EdgeKind::Temporal)
+            })
             .collect();
         for id in &ids {
             let _ = self.remove_edge(*id);
@@ -451,9 +454,7 @@ impl Cdfg {
     /// plus primary inputs.
     pub fn variable_count(&self) -> usize {
         self.node_ids()
-            .filter(|&n| {
-                self.kind(n) == OpKind::Input || self.data_succs(n).next().is_some()
-            })
+            .filter(|&n| self.kind(n) == OpKind::Input || self.data_succs(n).next().is_some())
             .count()
     }
 
@@ -486,6 +487,147 @@ impl Cdfg {
             }
         }
         Ok(())
+    }
+}
+
+/// Hand-written [`serde`] impls (the vendored offline serde stand-in has no
+/// derive macros; see `vendor/README.md`).
+///
+/// A [`Cdfg`] serializes as `{"nodes": [...], "edges": [...]}` — removed
+/// edges appear as `null` so edge ids stay stable across a round-trip. The
+/// adjacency lists and the name index are derived data and are rebuilt on
+/// deserialization.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{Cdfg, Edge, EdgeKind, Node};
+    use crate::EdgeId;
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    impl Serialize for EdgeKind {
+        fn to_value(&self) -> Value {
+            Value::Str(
+                match self {
+                    EdgeKind::Data => "Data",
+                    EdgeKind::Control => "Control",
+                    EdgeKind::Temporal => "Temporal",
+                }
+                .to_owned(),
+            )
+        }
+    }
+
+    impl Deserialize for EdgeKind {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Str(s) => match s.as_str() {
+                    "Data" => Ok(EdgeKind::Data),
+                    "Control" => Ok(EdgeKind::Control),
+                    "Temporal" => Ok(EdgeKind::Temporal),
+                    other => Err(DeError::msg(format!("unknown edge kind `{other}`"))),
+                },
+                other => Err(DeError::msg(format!(
+                    "expected edge-kind string, got {other:?}"
+                ))),
+            }
+        }
+    }
+
+    impl Serialize for Node {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("kind".to_owned(), self.kind.to_value()),
+                ("name".to_owned(), self.name.to_value()),
+                ("literal".to_owned(), self.literal.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for Node {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let field = |name: &str| {
+                v.field(name)
+                    .ok_or_else(|| DeError::msg(format!("node missing `{name}`")))
+            };
+            Ok(Node {
+                kind: Deserialize::from_value(field("kind")?)?,
+                name: Deserialize::from_value(field("name")?)?,
+                literal: Deserialize::from_value(field("literal")?)?,
+            })
+        }
+    }
+
+    impl Serialize for Edge {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("kind".to_owned(), self.kind.to_value()),
+                ("src".to_owned(), self.src.to_value()),
+                ("dst".to_owned(), self.dst.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for Edge {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let field = |name: &str| {
+                v.field(name)
+                    .ok_or_else(|| DeError::msg(format!("edge missing `{name}`")))
+            };
+            Ok(Edge {
+                kind: Deserialize::from_value(field("kind")?)?,
+                src: Deserialize::from_value(field("src")?)?,
+                dst: Deserialize::from_value(field("dst")?)?,
+            })
+        }
+    }
+
+    impl Serialize for Cdfg {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("nodes".to_owned(), self.nodes.to_value()),
+                ("edges".to_owned(), self.edges.to_value()),
+            ])
+        }
+    }
+
+    impl Deserialize for Cdfg {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            let nodes: Vec<Node> = Deserialize::from_value(
+                v.field("nodes")
+                    .ok_or_else(|| DeError::msg("cdfg missing `nodes`"))?,
+            )?;
+            let edges: Vec<Option<Edge>> = Deserialize::from_value(
+                v.field("edges")
+                    .ok_or_else(|| DeError::msg("cdfg missing `edges`"))?,
+            )?;
+            let mut g = Cdfg {
+                nodes,
+                edges,
+                out_edges: Vec::new(),
+                in_edges: Vec::new(),
+                names: std::collections::HashMap::new(),
+            };
+            g.out_edges = vec![Vec::new(); g.nodes.len()];
+            g.in_edges = vec![Vec::new(); g.nodes.len()];
+            for (ni, n) in g.nodes.iter().enumerate() {
+                if let Some(name) = &n.name {
+                    if g.names
+                        .insert(name.clone(), crate::NodeId::from_index(ni))
+                        .is_some()
+                    {
+                        return Err(DeError::msg(format!("duplicate node name `{name}`")));
+                    }
+                }
+            }
+            for (ei, e) in g.edges.iter().enumerate() {
+                let Some(e) = e else { continue };
+                if e.src.index() >= g.nodes.len() || e.dst.index() >= g.nodes.len() {
+                    return Err(DeError::msg(format!("edge {ei} endpoint out of range")));
+                }
+                g.out_edges[e.src.index()].push(EdgeId::from_index(ei));
+                g.in_edges[e.dst.index()].push(EdgeId::from_index(ei));
+            }
+            Ok(g)
+        }
     }
 }
 
@@ -594,7 +736,14 @@ mod tests {
         let add = g.add_node(OpKind::Add);
         g.add_data_edge(a, add).unwrap();
         let err = g.validate().unwrap_err();
-        assert!(matches!(err, CdfgError::ArityMismatch { expected: 2, found: 1, .. }));
+        assert!(matches!(
+            err,
+            CdfgError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
         let b = g.add_node(OpKind::Input);
         g.add_data_edge(b, add).unwrap();
         assert!(g.validate().is_ok());

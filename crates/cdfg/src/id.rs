@@ -13,7 +13,6 @@ use std::fmt;
 /// let n = g.add_node(OpKind::Add);
 /// assert_eq!(n.index(), 0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
@@ -41,7 +40,6 @@ impl fmt::Display for NodeId {
 /// Identifier of an edge in a [`Cdfg`](crate::Cdfg).
 ///
 /// Edge ids are dense indices, assigned consecutively starting at zero.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub(crate) u32);
 
@@ -85,5 +83,38 @@ mod tests {
     fn ids_are_ordered_by_index() {
         assert!(NodeId::from_index(1) < NodeId::from_index(2));
         assert!(EdgeId::from_index(0) < EdgeId::from_index(9));
+    }
+}
+
+/// Hand-written [`serde`] impls: ids serialize as their raw dense index.
+/// (The vendored offline serde stand-in has no derive macros; see
+/// `vendor/README.md`.)
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{EdgeId, NodeId};
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    impl Serialize for NodeId {
+        fn to_value(&self) -> Value {
+            self.0.to_value()
+        }
+    }
+
+    impl Deserialize for NodeId {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            u32::from_value(v).map(NodeId)
+        }
+    }
+
+    impl Serialize for EdgeId {
+        fn to_value(&self) -> Value {
+            self.0.to_value()
+        }
+    }
+
+    impl Deserialize for EdgeId {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            u32::from_value(v).map(EdgeId)
+        }
     }
 }

@@ -22,7 +22,6 @@ use std::str::FromStr;
 /// assert!(OpKind::Add.is_schedulable());
 /// assert!(!OpKind::Input.is_schedulable());
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum OpKind {
@@ -364,5 +363,83 @@ mod tests {
         assert!(!OpKind::Input.is_schedulable());
         assert!(OpKind::Store.is_sink());
         assert!(OpKind::Add.is_schedulable());
+    }
+}
+
+/// Hand-written [`serde`] impls: kinds serialize as their variant name.
+/// (The vendored offline serde stand-in has no derive macros; see
+/// `vendor/README.md`.)
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::OpKind;
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    impl Serialize for OpKind {
+        fn to_value(&self) -> Value {
+            Value::Str(
+                match self {
+                    OpKind::Input => "Input",
+                    OpKind::Output => "Output",
+                    OpKind::Const => "Const",
+                    OpKind::Add => "Add",
+                    OpKind::Sub => "Sub",
+                    OpKind::Mul => "Mul",
+                    OpKind::ConstMul => "ConstMul",
+                    OpKind::Div => "Div",
+                    OpKind::Shl => "Shl",
+                    OpKind::Shr => "Shr",
+                    OpKind::And => "And",
+                    OpKind::Or => "Or",
+                    OpKind::Xor => "Xor",
+                    OpKind::Not => "Not",
+                    OpKind::Neg => "Neg",
+                    OpKind::Lt => "Lt",
+                    OpKind::Eq => "Eq",
+                    OpKind::Mux => "Mux",
+                    OpKind::Load => "Load",
+                    OpKind::Store => "Store",
+                    OpKind::Branch => "Branch",
+                    OpKind::Delay => "Delay",
+                    OpKind::UnitOp => "UnitOp",
+                }
+                .to_owned(),
+            )
+        }
+    }
+
+    impl Deserialize for OpKind {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            match v {
+                Value::Str(s) => match s.as_str() {
+                    "Input" => Ok(OpKind::Input),
+                    "Output" => Ok(OpKind::Output),
+                    "Const" => Ok(OpKind::Const),
+                    "Add" => Ok(OpKind::Add),
+                    "Sub" => Ok(OpKind::Sub),
+                    "Mul" => Ok(OpKind::Mul),
+                    "ConstMul" => Ok(OpKind::ConstMul),
+                    "Div" => Ok(OpKind::Div),
+                    "Shl" => Ok(OpKind::Shl),
+                    "Shr" => Ok(OpKind::Shr),
+                    "And" => Ok(OpKind::And),
+                    "Or" => Ok(OpKind::Or),
+                    "Xor" => Ok(OpKind::Xor),
+                    "Not" => Ok(OpKind::Not),
+                    "Neg" => Ok(OpKind::Neg),
+                    "Lt" => Ok(OpKind::Lt),
+                    "Eq" => Ok(OpKind::Eq),
+                    "Mux" => Ok(OpKind::Mux),
+                    "Load" => Ok(OpKind::Load),
+                    "Store" => Ok(OpKind::Store),
+                    "Branch" => Ok(OpKind::Branch),
+                    "Delay" => Ok(OpKind::Delay),
+                    "UnitOp" => Ok(OpKind::UnitOp),
+                    other => Err(DeError::msg(format!("unknown op kind `{other}`"))),
+                },
+                other => Err(DeError::msg(format!(
+                    "expected op-kind string, got {other:?}"
+                ))),
+            }
+        }
     }
 }

@@ -46,7 +46,11 @@ pub fn write_cdfg(g: &Cdfg) -> String {
             crate::EdgeKind::Control => "ctrl",
             crate::EdgeKind::Temporal => "temp",
         };
-        out.push_str(&format!("{tag} {} {}\n", name_of(e.src()), name_of(e.dst())));
+        out.push_str(&format!(
+            "{tag} {} {}\n",
+            name_of(e.src()),
+            name_of(e.dst())
+        ));
     }
     out
 }
@@ -143,7 +147,9 @@ mod tests {
         let g2 = parse_cdfg(&text).unwrap();
         assert_eq!(g2.edge_count(), 3);
         assert_eq!(
-            g2.edges().filter(|e| e.kind() == EdgeKind::Temporal).count(),
+            g2.edges()
+                .filter(|e| e.kind() == EdgeKind::Temporal)
+                .count(),
             1
         );
     }

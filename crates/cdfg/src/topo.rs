@@ -54,10 +54,7 @@ pub fn topo_order(g: &Cdfg) -> Result<Vec<NodeId>, TopoError> {
     // seed plus in-order pushes is both deterministic and O(V + E). We use a
     // simple monotone frontier: collect ready nodes, sort, repeat per wave.
     let mut order = Vec::with_capacity(n);
-    let mut ready: VecDeque<NodeId> = g
-        .node_ids()
-        .filter(|id| in_deg[id.index()] == 0)
-        .collect();
+    let mut ready: VecDeque<NodeId> = g.node_ids().filter(|id| in_deg[id.index()] == 0).collect();
     while let Some(u) = ready.pop_front() {
         order.push(u);
         let mut newly: Vec<NodeId> = Vec::new();
@@ -76,10 +73,7 @@ pub fn topo_order(g: &Cdfg) -> Result<Vec<NodeId>, TopoError> {
     if order.len() == n {
         Ok(order)
     } else {
-        let mut cyclic: Vec<NodeId> = g
-            .node_ids()
-            .filter(|id| in_deg[id.index()] > 0)
-            .collect();
+        let mut cyclic: Vec<NodeId> = g.node_ids().filter(|id| in_deg[id.index()] > 0).collect();
         cyclic.sort_unstable();
         Err(TopoError {
             cyclic_nodes: cyclic,

@@ -95,12 +95,16 @@ pub fn unroll(g: &Cdfg, k: usize) -> Result<Cdfg, CdfgError> {
         // is its own input within copy j).
         if let Some(pos) = state_inputs[..paired].iter().position(|&s| s == n) {
             let delay = delays[pos];
-            let feeder = g
-                .data_preds(delay)
-                .next()
-                .expect("delays have one operand");
+            let feeder = g.data_preds(delay).next().expect("delays have one operand");
             // The value the delay would have captured in copy j-1.
-            return resolve_inner(map, g, &state_inputs[..paired], &delays[..paired], j - 1, feeder);
+            return resolve_inner(
+                map,
+                g,
+                &state_inputs[..paired],
+                &delays[..paired],
+                j - 1,
+                feeder,
+            );
         }
         unreachable!("only state inputs are spliced without a direct mapping")
     };
@@ -148,8 +152,8 @@ fn resolve_inner(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::designs::iir4_parallel;
     use crate::analysis::longest_path_ops;
+    use crate::designs::iir4_parallel;
 
     #[test]
     fn unroll_one_is_isomorphic_in_size() {
@@ -178,16 +182,15 @@ mod tests {
     fn delays_and_states_splice_away() {
         let g = iir4_parallel(); // 4 delays, 4 state inputs
         let u = unroll(&g, 3).unwrap();
-        let delays = u
-            .node_ids()
-            .filter(|&n| u.kind(n) == OpKind::Delay)
-            .count();
+        let delays = u.node_ids().filter(|&n| u.kind(n) == OpKind::Delay).count();
         assert_eq!(delays, 4, "only the last copy keeps its delays");
         let state_inputs = u
             .node_ids()
             .filter(|&n| {
                 u.kind(n) == OpKind::Input
-                    && u.node(n).and_then(|x| x.name()).is_some_and(|m| m.starts_with('s'))
+                    && u.node(n)
+                        .and_then(|x| x.name())
+                        .is_some_and(|m| m.starts_with('s'))
             })
             .count();
         assert_eq!(state_inputs, 4, "only the first copy keeps state inputs");

@@ -16,14 +16,8 @@ fn cdfg_round_trips_through_json() {
     // Names survive.
     assert_eq!(g.node_by_name("A9"), g2.node_by_name("A9"));
     // Structure survives edge by edge.
-    let e1: Vec<_> = g
-        .edges()
-        .map(|e| (e.src(), e.dst(), e.kind()))
-        .collect();
-    let e2: Vec<_> = g2
-        .edges()
-        .map(|e| (e.src(), e.dst(), e.kind()))
-        .collect();
+    let e1: Vec<_> = g.edges().map(|e| (e.src(), e.dst(), e.kind())).collect();
+    let e2: Vec<_> = g2.edges().map(|e| (e.src(), e.dst(), e.kind())).collect();
     assert_eq!(e1, e2);
     assert!(g2.validate().is_ok());
 }

@@ -1,14 +1,18 @@
 //! Subcommand implementations.
 
 use std::fs;
+use std::sync::Arc;
 
 use localwm_cdfg::designs::{iir4_parallel, table2_design, table2_designs};
 use localwm_cdfg::generators::{mediabench, mediabench_apps};
 use localwm_cdfg::{parse_cdfg, write_cdfg, Cdfg};
 use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
-use localwm_sched::{force_directed_schedule, list_schedule, OpClass, ResourceSet};
-use localwm_sim::{interpret, Inputs};
-use localwm_timing::UnitTiming;
+use localwm_engine::{DesignContext, KindBounds, Parallelism, RecordingProbe};
+use localwm_sched::{
+    alap_schedule_in, force_directed_schedule_in, list_schedule_in, OpClass, ResourceSet,
+};
+use localwm_sim::{interpret_in, Inputs};
+use localwm_timing::criticality_in;
 
 use crate::schedule_io::{parse_schedule, write_schedule};
 
@@ -25,6 +29,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("detect") => detect(&args[1..]),
         Some("schedule") => schedule_cmd(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -45,6 +50,8 @@ USAGE:
   localwm schedule <design.cdfg> [--scheduler list|fds|alap] [--steps N]
                    [--alu N] [--mult N] [--mem N] [--branch N]
   localwm simulate <design.cdfg> [--seed N]
+  localwm analyze <design.cdfg> [--deadline N] [--lo N --hi N]
+                  [--samples N] [--seed N] [--probe-out FILE]
 
 DESIGNS (for gen):
   iir4 | cf-iir | linear-ge | wavelet | modem | volterra2 | volterra3 |
@@ -116,7 +123,9 @@ fn build_design(name: &str, seed: u64) -> Result<Cdfg, String> {
         return Ok(table2_design(&table2_designs()[i]));
     }
     if let Some(app) = name.strip_prefix("mediabench:") {
-        let keys = ["dac", "g721", "epic", "pegwit", "pgp", "gsm", "jpeg", "mpeg2"];
+        let keys = [
+            "dac", "g721", "epic", "pegwit", "pgp", "gsm", "jpeg", "mpeg2",
+        ];
         let i = keys
             .iter()
             .position(|&k| k == app)
@@ -128,9 +137,10 @@ fn build_design(name: &str, seed: u64) -> Result<Cdfg, String> {
 
 fn info(args: &[String]) -> CliResult {
     let path = positional(args, 0).ok_or("info: missing design file")?;
-    let g = load_design(path)?;
-    let t = UnitTiming::new(&g);
-    let stats = localwm_cdfg::analysis::design_stats(&g);
+    let ctx = DesignContext::new(load_design(path)?);
+    let g = ctx.graph();
+    let t = ctx.unit_timing();
+    let stats = localwm_cdfg::analysis::design_stats(g);
     println!("design          {path}");
     println!("nodes           {}", g.node_count());
     println!("operations      {}", g.op_count());
@@ -174,10 +184,13 @@ fn signature(args: &[String]) -> Result<Signature, String> {
 
 fn embed(args: &[String]) -> CliResult {
     let path = positional(args, 0).ok_or("embed: missing design file")?;
-    let g = load_design(path)?;
+    let ctx = DesignContext::new(load_design(path)?);
+    let g = ctx.graph();
     let wm = watermarker(args)?;
     let sig = signature(args)?;
-    let emb = wm.embed(&g, &sig).map_err(|e| e.to_string())?;
+    let emb = wm
+        .embed_in(&ctx, &sig, Parallelism::from_env())
+        .map_err(|e| e.to_string())?;
     println!(
         "embedded {} temporal edge(s) across {} localit(y/ies); schedule \
          length {} of {}",
@@ -186,7 +199,7 @@ fn embed(args: &[String]) -> CliResult {
         emb.schedule.length(),
         emb.available_steps
     );
-    let text = write_schedule(&g, &emb.schedule);
+    let text = write_schedule(g, &emb.schedule);
     match flag_value(args, "-o") {
         Some(out) => {
             fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
@@ -205,13 +218,14 @@ fn embed(args: &[String]) -> CliResult {
 fn detect(args: &[String]) -> CliResult {
     let design_path = positional(args, 0).ok_or("detect: missing design file")?;
     let sched_path = positional(args, 1).ok_or("detect: missing schedule file")?;
-    let g = load_design(design_path)?;
-    let text =
-        fs::read_to_string(sched_path).map_err(|e| format!("reading {sched_path}: {e}"))?;
-    let schedule = parse_schedule(&g, &text)?;
+    let ctx = DesignContext::new(load_design(design_path)?);
+    let text = fs::read_to_string(sched_path).map_err(|e| format!("reading {sched_path}: {e}"))?;
+    let schedule = parse_schedule(ctx.graph(), &text)?;
     let wm = watermarker(args)?;
     let sig = signature(args)?;
-    let ev = wm.detect(&schedule, &g, &sig).map_err(|e| e.to_string())?;
+    let ev = wm
+        .detect_in(&schedule, &ctx, &sig, Parallelism::from_env())
+        .map_err(|e| e.to_string())?;
     println!(
         "constraints satisfied: {}/{} ({:.0}%)",
         ev.checks.iter().filter(|&&(_, _, ok)| ok).count(),
@@ -229,7 +243,8 @@ fn detect(args: &[String]) -> CliResult {
 
 fn schedule_cmd(args: &[String]) -> CliResult {
     let path = positional(args, 0).ok_or("schedule: missing design file")?;
-    let g = load_design(path)?;
+    let ctx = DesignContext::new(load_design(path)?);
+    let g = ctx.graph();
     let mut rs = ResourceSet::unlimited();
     for (flag, class) in [
         ("--alu", OpClass::Alu),
@@ -242,16 +257,16 @@ fn schedule_cmd(args: &[String]) -> CliResult {
             rs = rs.with(class, n);
         }
     }
-    let cp = UnitTiming::new(&g).critical_path();
+    let cp = ctx.critical_path();
     let steps: u32 = flag_value(args, "--steps")
         .map(|v| v.parse().map_err(|_| format!("bad steps `{v}`")))
         .transpose()?
         .unwrap_or(cp);
     let scheduler = flag_value(args, "--scheduler").unwrap_or("list");
     let s = match scheduler {
-        "list" => list_schedule(&g, &rs, None).map_err(|e| e.to_string())?,
-        "fds" => force_directed_schedule(&g, steps).map_err(|e| e.to_string())?,
-        "alap" => localwm_sched::alap_schedule(&g, steps).map_err(|e| e.to_string())?,
+        "list" => list_schedule_in(&ctx, &rs, None).map_err(|e| e.to_string())?,
+        "fds" => force_directed_schedule_in(&ctx, steps).map_err(|e| e.to_string())?,
+        "alap" => alap_schedule_in(&ctx, steps).map_err(|e| e.to_string())?,
         other => return Err(format!("unknown scheduler `{other}` (list|fds|alap)")),
     };
     println!(
@@ -261,25 +276,106 @@ fn schedule_cmd(args: &[String]) -> CliResult {
         s.length(),
         cp
     );
-    print!("{}", s.render(&g));
+    print!("{}", s.render(g));
     Ok(())
 }
 
 fn simulate(args: &[String]) -> CliResult {
     let path = positional(args, 0).ok_or("simulate: missing design file")?;
-    let g = load_design(path)?;
+    let ctx = DesignContext::new(load_design(path)?);
+    let g = ctx.graph();
     let seed: u64 = flag_value(args, "--seed")
         .map(|v| v.parse().map_err(|_| format!("bad seed `{v}`")))
         .transpose()?
         .unwrap_or(0);
-    let trace = interpret(&g, &Inputs::seeded(seed)).map_err(|e| e.to_string())?;
+    let trace = interpret_in(&ctx, &Inputs::seeded(seed)).map_err(|e| e.to_string())?;
     println!("# outputs (seed {seed})");
-    for (n, v) in trace.outputs(&g) {
+    for (n, v) in trace.outputs(g) {
         let name = g
             .node(n)
             .and_then(|x| x.name().map(str::to_owned))
             .unwrap_or_else(|| n.to_string());
         println!("{name} = {v}");
+    }
+    Ok(())
+}
+
+/// Full timing-analysis sweep through the shared engine layer, with
+/// optional instrumentation-probe JSON dump (`--probe-out`).
+fn analyze(args: &[String]) -> CliResult {
+    let path = positional(args, 0).ok_or("analyze: missing design file")?;
+    let probe = Arc::new(RecordingProbe::new());
+    let ctx = DesignContext::new(load_design(path)?).with_probe(probe.clone());
+    let g = ctx.graph();
+
+    let cp = ctx.critical_path();
+    let deadline: u32 = flag_value(args, "--deadline")
+        .map(|v| v.parse().map_err(|_| format!("bad deadline `{v}`")))
+        .transpose()?
+        .unwrap_or(cp);
+    let lo: u64 = flag_value(args, "--lo")
+        .map(|v| v.parse().map_err(|_| format!("bad lo `{v}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let hi: u64 = flag_value(args, "--hi")
+        .map(|v| v.parse().map_err(|_| format!("bad hi `{v}`")))
+        .transpose()?
+        .unwrap_or(3);
+    let samples: usize = flag_value(args, "--samples")
+        .map(|v| v.parse().map_err(|_| format!("bad samples `{v}`")))
+        .transpose()?
+        .unwrap_or(200);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| format!("bad seed `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+    if lo > hi {
+        return Err(format!("bad delay bounds: lo {lo} > hi {hi}"));
+    }
+
+    println!("design          {path}");
+    println!("operations      {}", g.op_count());
+    println!("critical path   {cp} control steps (unit delay)");
+
+    let w = ctx.windows(deadline).map_err(|e| e.to_string())?;
+    let zero_mobility = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable() && w.mobility(n) == 0)
+        .count();
+    println!("deadline        {deadline} steps, {zero_mobility} op(s) with zero mobility");
+
+    let model = KindBounds::uniform(lo, hi);
+    let interval = ctx.bounded_critical_path(&model);
+    let maybe = ctx.possibly_critical(&model);
+    println!(
+        "bounded delays  [{lo}, {hi}] per op -> circuit delay in [{}, {}]",
+        interval.lo, interval.hi
+    );
+    println!("possibly critical ops: {}", maybe.len());
+
+    let report = criticality_in(&ctx, &model, samples, seed, Parallelism::from_env());
+    let mut hot: Vec<(f64, localwm_cdfg::NodeId)> = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable())
+        .map(|n| (report.probability(n), n))
+        .collect();
+    hot.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    println!(
+        "criticality     {samples} samples, seed {seed}; delay p50 {} / p95 {}",
+        report.delay_quantile(0.5),
+        report.delay_quantile(0.95)
+    );
+    for &(p, n) in hot.iter().take(5) {
+        let name = g
+            .node(n)
+            .and_then(|x| x.name().map(str::to_owned))
+            .unwrap_or_else(|| n.to_string());
+        println!("  {name:<12} critical in {:.0}% of samples", 100.0 * p);
+    }
+
+    if let Some(out) = flag_value(args, "--probe-out") {
+        fs::write(out, probe.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote probe counters to {out}");
     }
     Ok(())
 }
@@ -291,7 +387,14 @@ mod tests {
     #[test]
     fn build_design_knows_every_key() {
         assert!(build_design("iir4", 0).is_ok());
-        for k in ["cf-iir", "linear-ge", "wavelet", "modem", "volterra2", "volterra3"] {
+        for k in [
+            "cf-iir",
+            "linear-ge",
+            "wavelet",
+            "modem",
+            "volterra2",
+            "volterra3",
+        ] {
             assert!(build_design(k, 0).is_ok(), "{k}");
         }
         assert!(build_design("mediabench:g721", 0).is_ok());
@@ -318,10 +421,55 @@ mod tests {
         let design = dir.join("d.cdfg");
         let d = design.to_str().unwrap().to_owned();
         run(&["gen".into(), "iir4".into(), "-o".into(), d.clone()]).unwrap();
-        run(&["schedule".into(), d.clone(), "--scheduler".into(), "fds".into(), "--steps".into(), "9".into()]).unwrap();
+        run(&[
+            "schedule".into(),
+            d.clone(),
+            "--scheduler".into(),
+            "fds".into(),
+            "--steps".into(),
+            "9".into(),
+        ])
+        .unwrap();
         run(&["schedule".into(), d.clone(), "--alu".into(), "2".into()]).unwrap();
         run(&["simulate".into(), d.clone(), "--seed".into(), "3".into()]).unwrap();
         assert!(run(&["schedule".into(), d, "--scheduler".into(), "bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn analyze_subcommand_dumps_probe_counters() {
+        let dir = std::env::temp_dir().join("localwm-cli-test3");
+        let _ = fs::create_dir_all(&dir);
+        let design = dir.join("d.cdfg");
+        let probe = dir.join("probe.json");
+        let d = design.to_str().unwrap().to_owned();
+        let p = probe.to_str().unwrap().to_owned();
+        run(&["gen".into(), "iir4".into(), "-o".into(), d.clone()]).unwrap();
+        run(&[
+            "analyze".into(),
+            d.clone(),
+            "--lo".into(),
+            "1".into(),
+            "--hi".into(),
+            "3".into(),
+            "--samples".into(),
+            "50".into(),
+            "--probe-out".into(),
+            p.clone(),
+        ])
+        .unwrap();
+        let json = fs::read_to_string(&probe).unwrap();
+        assert!(json.contains("engine.topo.build"));
+        assert!(json.contains("timing.criticality.samples"));
+        // lo > hi is rejected.
+        assert!(run(&[
+            "analyze".into(),
+            d,
+            "--lo".into(),
+            "5".into(),
+            "--hi".into(),
+            "2".into()
+        ])
+        .is_err());
     }
 
     #[test]
@@ -333,7 +481,13 @@ mod tests {
         let d = design.to_str().unwrap().to_owned();
         let s = schedule.to_str().unwrap().to_owned();
 
-        run(&["gen".into(), "mediabench:pegwit".into(), "-o".into(), d.clone()]).unwrap();
+        run(&[
+            "gen".into(),
+            "mediabench:pegwit".into(),
+            "-o".into(),
+            d.clone(),
+        ])
+        .unwrap();
         run(&[
             "embed".into(),
             d.clone(),

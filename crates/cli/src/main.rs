@@ -7,6 +7,10 @@
 //! localwm embed <design.cdfg> --author <id>          watermark + schedule
 //!         [--fraction F | --k K] -o schedule.txt [--marked marked.cdfg]
 //! localwm detect <design.cdfg> <schedule.txt> --author <id>
+//! localwm schedule <design.cdfg> [--scheduler list|fds|alap] [--steps N]
+//! localwm simulate <design.cdfg> [--seed N]
+//! localwm analyze <design.cdfg> [--deadline N] [--lo N --hi N]
+//!         [--samples N] [--seed N] [--probe-out FILE]
 //! ```
 //!
 //! `<design>` for `gen` is one of `iir4`, a Table II key

@@ -100,11 +100,7 @@ impl UGraph {
             if d == radius {
                 continue;
             }
-            let mut next: Vec<usize> = self.adj[u]
-                .iter()
-                .copied()
-                .filter(|&v| !seen[v])
-                .collect();
+            let mut next: Vec<usize> = self.adj[u].iter().copied().filter(|&v| !seen[v]).collect();
             next.sort_unstable();
             for v in next {
                 if !seen[v] {

@@ -120,11 +120,7 @@ impl ColoringWatermarker {
 
     /// Derives the signature's must-differ pairs. Deterministic in
     /// `(graph, signature, config)` — detection replays it.
-    fn derive(
-        &self,
-        g: &UGraph,
-        signature: &Signature,
-    ) -> Result<Derivation, ColoringWmError> {
+    fn derive(&self, g: &UGraph, signature: &Signature) -> Result<Derivation, ColoringWmError> {
         if self.config.localities == 0 || self.config.constraints_per_locality == 0 {
             return Err(ColoringWmError::InvalidConfig(
                 "localities and constraints_per_locality must be positive".to_owned(),

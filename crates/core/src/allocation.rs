@@ -386,9 +386,14 @@ mod tests {
         let (g, c, lib) = iir_cover();
         let dag = condense(&g, &c, &lib);
         let cp = dag.critical_path();
-        let tight: usize = min_units(&dag, cp, AllocationPolicy::FixedFunction).unwrap().iter().sum();
-        let relaxed: usize =
-            min_units(&dag, 4 * cp, AllocationPolicy::FixedFunction).unwrap().iter().sum();
+        let tight: usize = min_units(&dag, cp, AllocationPolicy::FixedFunction)
+            .unwrap()
+            .iter()
+            .sum();
+        let relaxed: usize = min_units(&dag, 4 * cp, AllocationPolicy::FixedFunction)
+            .unwrap()
+            .iter()
+            .sum();
         assert!(relaxed <= tight, "relaxed {relaxed} > tight {tight}");
         assert!(relaxed >= 1);
     }

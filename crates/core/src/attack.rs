@@ -14,6 +14,7 @@
 //!   "alter 63 % of the final solution" argument.
 
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::DesignContext;
 use localwm_sched::{Schedule, ScheduleError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,12 +86,26 @@ pub fn perturb_schedule(
 ///
 /// Panics if the graph is cyclic.
 pub fn reschedule(g: &Cdfg, seed: u64) -> Result<Schedule, ScheduleError> {
+    reschedule_in(&DesignContext::from(g), seed)
+}
+
+/// [`reschedule`] against a shared [`DesignContext`], reusing its memoized
+/// topological order.
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn reschedule_in(ctx: &DesignContext, seed: u64) -> Result<Schedule, ScheduleError> {
+    let g = ctx.graph();
     let mut rng = StdRng::seed_from_u64(seed);
-    let order = g.topo_order().expect("reschedule requires a DAG");
     let mut s = Schedule::empty(g);
     // Randomized-greedy: walk in topo order, placing each op at its
     // earliest feasible step plus a random hold of 0..=2 steps.
-    for n in order {
+    for &n in ctx.topo() {
         if !g.kind(n).is_schedulable() {
             continue;
         }
@@ -214,7 +229,11 @@ mod tests {
         let s = Signature::from_author("victim-3");
         let emb = wm.embed(&g, &s).unwrap();
         let light = wm
-            .detect(&perturb_schedule(&g, &emb.schedule, emb.available_steps, 20, 3).0, &g, &s)
+            .detect(
+                &perturb_schedule(&g, &emb.schedule, emb.available_steps, 20, 3).0,
+                &g,
+                &s,
+            )
             .unwrap();
         let heavy = wm
             .detect(

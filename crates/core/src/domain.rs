@@ -13,8 +13,8 @@
 //!    least one input of every visited node and each remaining input with a
 //!    bitstream-drawn coin, truncated at the desired cardinality `τ`.
 
-use localwm_cdfg::analysis::{fanin_count, fanin_within, levels_from, phi};
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::DesignContext;
 use localwm_prng::Bitstream;
 
 /// A selected watermark domain.
@@ -41,7 +41,18 @@ pub struct Domain {
 /// The returned vector is the canonical enumeration of the set: position is
 /// the node's unique identifier.
 pub fn order_nodes(g: &Cdfg, root: NodeId, set: &[NodeId], max_x: u32) -> Vec<NodeId> {
-    let levels = levels_from(g, root);
+    order_nodes_in(&DesignContext::from(g), root, set, max_x)
+}
+
+/// [`order_nodes`] against a shared [`DesignContext`], reusing its memoized
+/// level maps and fanin-cone statistics.
+pub fn order_nodes_in(
+    ctx: &DesignContext,
+    root: NodeId,
+    set: &[NodeId],
+    max_x: u32,
+) -> Vec<NodeId> {
+    let levels = ctx.levels_from(root);
     let mut out = set.to_vec();
     out.sort_by(|&a, &b| {
         let la = levels[a.index()].unwrap_or(u32::MAX);
@@ -49,13 +60,13 @@ pub fn order_nodes(g: &Cdfg, root: NodeId, set: &[NodeId], max_x: u32) -> Vec<No
         la.cmp(&lb)
             .then_with(|| {
                 for x in 1..=max_x {
-                    let ka = fanin_count(g, a, x);
-                    let kb = fanin_count(g, b, x);
+                    let ka = ctx.fanin_count(a, x);
+                    let kb = ctx.fanin_count(b, x);
                     if ka != kb {
                         return ka.cmp(&kb);
                     }
-                    let pa = phi(g, a, x);
-                    let pb = phi(g, b, x);
+                    let pa = ctx.phi(a, x);
+                    let pb = ctx.phi(b, x);
                     if pa != pb {
                         return pa.cmp(&pb);
                     }
@@ -75,8 +86,20 @@ pub fn order_nodes(g: &Cdfg, root: NodeId, set: &[NodeId], max_x: u32) -> Vec<No
 /// The walk consumes draws from `bits` deterministically; embedding and
 /// detection must pass bitstreams at identical positions.
 pub fn select_domain(g: &Cdfg, root: NodeId, tau: usize, bits: &mut Bitstream) -> Domain {
-    let t_o = fanin_within(g, root, tau as u32);
-    let ordered = order_nodes(g, root, &t_o, 4);
+    select_domain_in(&DesignContext::from(g), root, tau, bits)
+}
+
+/// [`select_domain`] against a shared [`DesignContext`], reusing its
+/// memoized fanin cones and level maps.
+pub fn select_domain_in(
+    ctx: &DesignContext,
+    root: NodeId,
+    tau: usize,
+    bits: &mut Bitstream,
+) -> Domain {
+    let g = ctx.graph();
+    let t_o = ctx.fanin_cone(root, tau as u32).to_vec();
+    let ordered = order_nodes_in(ctx, root, &t_o, 4);
     // Canonical position of each node for deterministic input ordering.
     let pos_of = |n: NodeId| ordered.iter().position(|&x| x == n).unwrap_or(usize::MAX);
 
@@ -135,15 +158,19 @@ pub fn pick_root(candidates: &[NodeId], bits: &mut Bitstream) -> Option<NodeId> 
 /// yield a `τ`-sized subtree. If no node qualifies, the nodes with the
 /// largest cones are returned so small designs still embed.
 pub fn root_candidates(g: &Cdfg, tau: usize, min_cone: usize) -> Vec<NodeId> {
+    root_candidates_in(&DesignContext::from(g), tau, min_cone)
+}
+
+/// [`root_candidates`] against a shared [`DesignContext`], reusing its
+/// memoized fanin cones.
+pub fn root_candidates_in(ctx: &DesignContext, tau: usize, min_cone: usize) -> Vec<NodeId> {
+    let g = ctx.graph();
     let mut sized: Vec<(usize, NodeId)> = g
         .node_ids()
         .filter(|&n| g.kind(n).is_schedulable() && g.preds(n).next().is_some())
         .map(|n| {
-            let cone = fanin_within(g, n, tau as u32);
-            let ops = cone
-                .iter()
-                .filter(|&&m| g.kind(m).is_schedulable())
-                .count();
+            let cone = ctx.fanin_cone(n, tau as u32);
+            let ops = cone.iter().filter(|&&m| g.kind(m).is_schedulable()).count();
             (ops, n)
         })
         .collect();
@@ -166,6 +193,7 @@ pub fn root_candidates(g: &Cdfg, tau: usize, min_cone: usize) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use localwm_cdfg::analysis::fanin_within;
     use localwm_cdfg::designs::iir4_parallel;
     use localwm_cdfg::OpKind;
     use localwm_prng::Signature;

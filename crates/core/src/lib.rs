@@ -63,8 +63,8 @@ mod tmatch_wm;
 pub use error::WatermarkError;
 pub use sched_wm::{SchedEmbedding, SchedEvidence, SchedWmConfig, SchedulingWatermarker};
 pub use tmatch_wm::{
-    module_instances, module_overhead, TmatchEmbedding, TmatchEvidence,
-    TmatchWmConfig, TemplateWatermarker,
+    module_instances, module_overhead, TemplateWatermarker, TmatchEmbedding, TmatchEvidence,
+    TmatchWmConfig,
 };
 
 // Re-export the signature type: it is the crate's user-facing identity.

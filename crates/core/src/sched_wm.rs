@@ -1,11 +1,11 @@
 //! The operation-scheduling watermark (paper §IV-A, Fig. 2).
 
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::{par_map, DesignContext, Parallelism};
 use localwm_prng::{Bitstream, Signature};
-use localwm_sched::{list_schedule, ResourceSet, Schedule, Windows};
-use localwm_timing::UnitTiming;
+use localwm_sched::{list_schedule_in, ResourceSet, Schedule, Windows};
 
-use crate::domain::{pick_root, select_domain, Domain};
+use crate::domain::{pick_root, select_domain_in, Domain};
 use crate::{pc, WatermarkError};
 
 /// Derivation output: the selected localities, the temporal edges, and the
@@ -210,15 +210,16 @@ impl SchedulingWatermarker {
     /// [`SchedulingWatermarker::detect`] call this; it is deterministic in
     /// `(g, signature, config)`, which is what makes detection work without
     /// any side channel.
-    fn derive(
+    fn derive_in(
         &self,
-        g: &Cdfg,
+        ctx: &DesignContext,
         signature: &Signature,
+        par: Parallelism,
     ) -> Result<Derivation, WatermarkError> {
         self.config.validate()?;
+        let g = ctx.graph();
         let (tau, k) = self.config.resolve(g);
-        let base_timing = UnitTiming::new(g);
-        let cp = base_timing.critical_path();
+        let cp = ctx.unit_timing().critical_path();
         if cp == 0 {
             return Err(WatermarkError::NoDomain {
                 attempts: 0,
@@ -227,7 +228,7 @@ impl SchedulingWatermarker {
             });
         }
         let steps = ((f64::from(cp) * self.config.slack_factor).ceil() as u32).max(cp);
-        let windows = Windows::new(g, steps)?;
+        let windows = Windows::in_ctx(ctx, steps)?;
         // Eligibility: the longest path through a constrained node must
         // clear the deadline with an ε margin. With a tight deadline
         // (`slack_factor == 1`) this is exactly the paper's
@@ -242,44 +243,58 @@ impl SchedulingWatermarker {
         // several pseudorandomly selected localities until K temporal
         // edges are placed. Each locality is independently detectable;
         // detection replays the identical deterministic loop.
-        let roots = crate::domain::root_candidates(g, tau, (k / 4).max(2));
+        let roots = crate::domain::root_candidates_in(ctx, tau, (k / 4).max(2));
+
+        // Phase 1 — locality preparation, fanned across workers. Each
+        // attempt's bitstream, root pick, domain walk and eligibility
+        // filter depend only on (graph, signature, attempt index), never on
+        // edges drawn by earlier attempts, so the fan-out is result-
+        // identical for every `Parallelism` choice.
+        let attempts: Vec<usize> = (0..self.config.max_attempts).collect();
+        let prepared: Vec<Option<(Bitstream, Domain, Vec<NodeId>)>> =
+            par_map(par, &attempts, |_, &attempt| {
+                let mut bits =
+                    Bitstream::for_purpose(signature, &format!("sched-wm/attempt-{attempt}"));
+                let root = pick_root(&roots, &mut bits)?;
+                let domain = select_domain_in(ctx, root, tau, &mut bits);
+
+                // T': eligible nodes — schedulable, laxity within the cap,
+                // and (pruned to a fixpoint) owning an overlap partner
+                // inside T'.
+                let mut t_prime: Vec<NodeId> = domain
+                    .t
+                    .iter()
+                    .copied()
+                    .filter(|&n| g.kind(n).is_schedulable())
+                    .filter(|&n| f64::from(windows.laxity(n)) <= laxity_cap)
+                    .collect();
+                loop {
+                    let before = t_prime.len();
+                    let snapshot = t_prime.clone();
+                    t_prime.retain(|&n| snapshot.iter().any(|&m| m != n && windows.overlap(n, m)));
+                    if t_prime.len() == before {
+                        break;
+                    }
+                }
+                Some((bits, domain, t_prime))
+            });
+        ctx.probe()
+            .counter("core.sched_wm.attempts", prepared.len() as u64);
+
+        // Phase 2 — edge drawing. Each drawn edge tightens the working
+        // graph that later draws are filtered against, so localities are
+        // consumed strictly in attempt order.
         let mut best_candidates = 0usize;
         let mut domains: Vec<Domain> = Vec::new();
         let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(k);
-        let mut working = g.clone();
-        let mut wt = UnitTiming::new(&working);
-        for attempt in 0..self.config.max_attempts {
+        let mut working = DesignContext::from(g);
+        for prep in prepared {
             if edges.len() == k {
                 break;
             }
-            let mut bits =
-                Bitstream::for_purpose(signature, &format!("sched-wm/attempt-{attempt}"));
-            let Some(root) = pick_root(&roots, &mut bits) else {
+            let Some((mut bits, domain, t_prime)) = prep else {
                 break;
             };
-            let domain = select_domain(g, root, tau, &mut bits);
-
-            // T': eligible nodes — schedulable, laxity within the cap, and
-            // (pruned to a fixpoint) owning an overlap partner inside T'.
-            let mut t_prime: Vec<NodeId> = domain
-                .t
-                .iter()
-                .copied()
-                .filter(|&n| g.kind(n).is_schedulable())
-                .filter(|&n| f64::from(windows.laxity(n)) <= laxity_cap)
-                .collect();
-            loop {
-                let before = t_prime.len();
-                let snapshot = t_prime.clone();
-                t_prime.retain(|&n| {
-                    snapshot
-                        .iter()
-                        .any(|&m| m != n && windows.overlap(n, m))
-                });
-                if t_prime.len() == before {
-                    break;
-                }
-            }
             best_candidates = best_candidates.max(t_prime.len());
             if t_prime.len() < 2 {
                 continue;
@@ -300,6 +315,7 @@ impl SchedulingWatermarker {
                     break;
                 }
                 let ni = t2[i];
+                let wt = working.unit_timing();
                 let gset: Vec<NodeId> = t2[i + 1..]
                     .iter()
                     .copied()
@@ -313,7 +329,6 @@ impl SchedulingWatermarker {
                 working
                     .add_temporal_edge(ni, nk)
                     .expect("incomparable nodes cannot cycle");
-                wt.add_edge_update(&working, ni, nk);
                 edges.push((ni, nk));
                 drew_here = true;
             }
@@ -321,6 +336,8 @@ impl SchedulingWatermarker {
                 domains.push(domain);
             }
         }
+        ctx.probe()
+            .counter("core.sched_wm.edges", edges.len() as u64);
         if edges.len() == k {
             return Ok((domains, edges, windows));
         }
@@ -346,18 +363,36 @@ impl SchedulingWatermarker {
     /// [`WatermarkError::NoDomain`] if no locality supports the requested
     /// constraint count, plus configuration and scheduling errors.
     pub fn embed(&self, g: &Cdfg, signature: &Signature) -> Result<SchedEmbedding, WatermarkError> {
-        let (domains, edges, windows) = self.derive(g, signature)?;
-        let mut marked = g.clone();
+        self.embed_in(&DesignContext::from(g), signature, Parallelism::from_env())
+    }
+
+    /// [`SchedulingWatermarker::embed`] against a shared [`DesignContext`],
+    /// fanning the per-attempt locality preparation across scoped worker
+    /// threads per `par`. The embedding is byte-identical for every
+    /// [`Parallelism`] choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SchedulingWatermarker::embed`].
+    pub fn embed_in(
+        &self,
+        ctx: &DesignContext,
+        signature: &Signature,
+        par: Parallelism,
+    ) -> Result<SchedEmbedding, WatermarkError> {
+        let (domains, edges, windows) = self.derive_in(ctx, signature, par)?;
+        let mut marked = ctx.graph().clone();
         for &(s, d) in &edges {
             marked.add_temporal_edge(s, d)?;
         }
-        let schedule = list_schedule(
-            &marked,
+        let marked_ctx = DesignContext::new(marked).with_probe(ctx.probe_arc());
+        let schedule = list_schedule_in(
+            &marked_ctx,
             &ResourceSet::unlimited(),
             Some(windows.available_steps()),
         )?;
         Ok(SchedEmbedding {
-            marked,
+            marked: marked_ctx.into_graph(),
             schedule,
             edges,
             domains,
@@ -380,16 +415,33 @@ impl SchedulingWatermarker {
         g: &Cdfg,
         signature: &Signature,
     ) -> Result<SchedEvidence, WatermarkError> {
-        let (_, edges, windows) = self.derive(g, signature)?;
+        self.detect_in(
+            schedule,
+            &DesignContext::from(g),
+            signature,
+            Parallelism::from_env(),
+        )
+    }
+
+    /// [`SchedulingWatermarker::detect`] against a shared
+    /// [`DesignContext`], fanning the per-attempt locality preparation
+    /// across scoped worker threads per `par`. The evidence is
+    /// byte-identical for every [`Parallelism`] choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SchedulingWatermarker::detect`].
+    pub fn detect_in(
+        &self,
+        schedule: &Schedule,
+        ctx: &DesignContext,
+        signature: &Signature,
+        par: Parallelism,
+    ) -> Result<SchedEvidence, WatermarkError> {
+        let (_, edges, windows) = self.derive_in(ctx, signature, par)?;
         let checks: Vec<(NodeId, NodeId, bool)> = edges
             .iter()
-            .map(|&(s, d)| {
-                (
-                    s,
-                    d,
-                    schedule.executes_before(s, d).unwrap_or(false),
-                )
-            })
+            .map(|&(s, d)| (s, d, schedule.executes_before(s, d).unwrap_or(false)))
             .collect();
         let chances: Vec<f64> = edges
             .iter()
@@ -428,6 +480,7 @@ mod tests {
     use localwm_cdfg::designs::iir4_parallel;
     use localwm_cdfg::generators::{mediabench, mediabench_apps};
     use localwm_cdfg::EdgeKind;
+    use localwm_sched::list_schedule;
 
     fn sig(name: &str) -> Signature {
         Signature::from_author(name)
@@ -490,7 +543,10 @@ mod tests {
         // Schedule the *original* graph: no constraints embedded.
         let plain = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
         let ev = wm.detect(&plain, &g, &s).unwrap();
-        assert!(!ev.is_match(), "plain schedule should miss some constraints");
+        assert!(
+            !ev.is_match(),
+            "plain schedule should miss some constraints"
+        );
     }
 
     #[test]
@@ -564,6 +620,63 @@ mod tests {
         for &(src, dst) in &emb.edges {
             assert_eq!(s.executes_before(src, dst), Some(true));
         }
+    }
+
+    #[test]
+    fn serial_and_parallel_embeddings_are_identical() {
+        use localwm_cdfg::designs::{table2_design, table2_designs};
+        let t2 = table2_designs();
+        let designs: Vec<(&str, Cdfg)> = vec![
+            ("iir4", iir4_parallel()),
+            (t2[1].name, table2_design(&t2[1])), // Linear GE: widest Table II
+            (t2[3].name, table2_design(&t2[3])), // Modem
+            ("mediabench0", mediabench(&mediabench_apps()[0], 0)),
+        ];
+        let mut embedded = 0usize;
+        for (name, g) in designs {
+            let wm = SchedulingWatermarker::new(SchedWmConfig {
+                epsilon: 0.0,
+                slack_factor: 2.0,
+                ..SchedWmConfig::default()
+            });
+            let s = sig("par-embed");
+            let ctx = DesignContext::from(&g);
+            let serial = wm.embed_in(&ctx, &s, Parallelism::Serial);
+            for par in [Parallelism::Threads(3), Parallelism::Auto] {
+                let p = wm.embed_in(&ctx, &s, par);
+                match (&serial, &p) {
+                    (Ok(se), Ok(pe)) => {
+                        assert_eq!(se.edges, pe.edges, "{name}: edges differ under {par:?}");
+                        assert_eq!(
+                            se.schedule, pe.schedule,
+                            "{name}: schedule differs under {par:?}"
+                        );
+                        let es = wm
+                            .detect_in(&se.schedule, &ctx, &s, Parallelism::Serial)
+                            .unwrap();
+                        let ep = wm.detect_in(&pe.schedule, &ctx, &s, par).unwrap();
+                        assert_eq!(
+                            es.checks, ep.checks,
+                            "{name}: evidence differs under {par:?}"
+                        );
+                        assert_eq!(es.chances, ep.chances);
+                    }
+                    // Table II designs are nearly serial accumulation
+                    // chains: the scheduling watermark legitimately finds
+                    // no incomparable slack pairs there (the paper marks
+                    // them with the *template* watermark instead). The
+                    // parallel path must still fail identically.
+                    (Err(se), Err(pe)) => assert_eq!(
+                        format!("{se:?}"),
+                        format!("{pe:?}"),
+                        "{name}: error differs under {par:?}"
+                    ),
+                    _ => panic!("{name}: serial and {par:?} disagree on embeddability"),
+                }
+            }
+            embedded += usize::from(serial.is_ok());
+        }
+        assert!(embedded >= 2, "iir4 and mediabench must embed");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use localwm_cdfg::{Cdfg, NodeId, OpKind};
+use localwm_engine::DesignContext;
 use localwm_prng::{Bitstream, Signature};
 use localwm_sched::{Schedule, Windows};
 use localwm_tmatch::{cover, find_matches, CoverConstraints, Covering, Library, Match};
@@ -143,24 +144,25 @@ impl TemplateWatermarker {
         &self.config
     }
 
-    fn steps_for(&self, g: &Cdfg) -> u32 {
+    fn steps_for_in(&self, ctx: &DesignContext) -> u32 {
         if self.config.available_steps > 0 {
             self.config.available_steps
         } else {
-            localwm_timing::UnitTiming::new(g).critical_path()
+            ctx.unit_timing().critical_path()
         }
     }
 
     /// Derives the signature's forced matchings and PPO set — the Fig. 5
     /// constraint-encoding loop. Deterministic in `(g, signature, config)`.
-    fn derive(
+    fn derive_in(
         &self,
-        g: &Cdfg,
+        ctx: &DesignContext,
         signature: &Signature,
     ) -> Result<(Vec<Match>, Vec<NodeId>, u32), WatermarkError> {
         self.config.validate()?;
-        let steps = self.steps_for(g);
-        let windows = Windows::new(g, steps)?;
+        let g = ctx.graph();
+        let steps = self.steps_for_in(ctx);
+        let windows = Windows::in_ctx(ctx, steps)?;
         let laxity_cap = f64::from(steps) * (1.0 - self.config.epsilon);
         let domain: Vec<NodeId> = g
             .node_ids()
@@ -180,8 +182,7 @@ impl TemplateWatermarker {
                 .filter(|m| m.nodes.len() >= 2)
                 .filter(|m| {
                     m.nodes.iter().all(|&n| {
-                        !processed.contains(&n)
-                            && f64::from(windows.laxity(n)) <= laxity_cap
+                        !processed.contains(&n) && f64::from(windows.laxity(n)) <= laxity_cap
                     })
                 })
                 .filter(|m| m.internal_nodes().iter().all(|n| !ppos.contains(n)))
@@ -212,6 +213,8 @@ impl TemplateWatermarker {
             forced.push(chosen);
         }
 
+        ctx.probe()
+            .counter("core.tmatch_wm.forced", forced.len() as u64);
         if forced.len() < z {
             return Err(WatermarkError::TooFewMatchings {
                 enforced: forced.len(),
@@ -233,7 +236,22 @@ impl TemplateWatermarker {
         g: &Cdfg,
         signature: &Signature,
     ) -> Result<TmatchEmbedding, WatermarkError> {
-        let (forced, ppos, steps) = self.derive(g, signature)?;
+        self.embed_in(&DesignContext::from(g), signature)
+    }
+
+    /// [`TemplateWatermarker::embed`] against a shared [`DesignContext`],
+    /// reusing its memoized timing analyses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TemplateWatermarker::embed`].
+    pub fn embed_in(
+        &self,
+        ctx: &DesignContext,
+        signature: &Signature,
+    ) -> Result<TmatchEmbedding, WatermarkError> {
+        let g = ctx.graph();
+        let (forced, ppos, steps) = self.derive_in(ctx, signature)?;
         let covering = cover(
             g,
             &self.config.library,
@@ -262,7 +280,22 @@ impl TemplateWatermarker {
         g: &Cdfg,
         signature: &Signature,
     ) -> Result<TmatchEvidence, WatermarkError> {
-        let (forced, _, _) = self.derive(g, signature)?;
+        self.detect_in(covering, &DesignContext::from(g), signature)
+    }
+
+    /// [`TemplateWatermarker::detect`] against a shared [`DesignContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TemplateWatermarker::detect`].
+    pub fn detect_in(
+        &self,
+        covering: &Covering,
+        ctx: &DesignContext,
+        signature: &Signature,
+    ) -> Result<TmatchEvidence, WatermarkError> {
+        let g = ctx.graph();
+        let (forced, _, _) = self.derive_in(ctx, signature)?;
         let checks: Vec<(Match, bool)> = forced
             .into_iter()
             .map(|m| {
@@ -359,13 +392,27 @@ pub fn module_overhead(
     wm: &TemplateWatermarker,
     signature: &Signature,
 ) -> Result<(usize, usize, f64), WatermarkError> {
-    let steps = wm.steps_for(g);
+    module_overhead_in(&DesignContext::from(g), wm, signature)
+}
+
+/// [`module_overhead`] against a shared [`DesignContext`].
+///
+/// # Errors
+///
+/// Propagates embedding errors.
+pub fn module_overhead_in(
+    ctx: &DesignContext,
+    wm: &TemplateWatermarker,
+    signature: &Signature,
+) -> Result<(usize, usize, f64), WatermarkError> {
+    let g = ctx.graph();
+    let steps = wm.steps_for_in(ctx);
     let plain_cover = cover(g, &wm.config.library, &CoverConstraints::default());
     let policy = crate::allocation::AllocationPolicy::FixedFunction;
     let plain =
         crate::allocation::allocated_modules(g, &plain_cover, &wm.config.library, steps, policy)
             .expect("condensed critical path never exceeds the deadline");
-    let emb = wm.embed(g, signature)?;
+    let emb = wm.embed_in(ctx, signature)?;
     let marked =
         crate::allocation::allocated_modules(g, &emb.covering, &wm.config.library, steps, policy)
             .expect("condensed critical path never exceeds the deadline");
@@ -380,9 +427,9 @@ pub fn module_overhead(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
     use localwm_cdfg::designs::{table2_design, table2_designs};
     use localwm_sched::force_directed_schedule;
-    use localwm_cdfg::designs::iir4_parallel;
 
     fn sig(name: &str) -> Signature {
         Signature::from_author(name)
@@ -485,16 +532,9 @@ mod tests {
         let cp = localwm_timing::UnitTiming::new(&g).critical_path();
         let lib = Library::dsp_default();
         let covering = cover(&g, &lib, &CoverConstraints::default());
-        let tight = module_instances(
-            &g,
-            &covering,
-            &force_directed_schedule(&g, cp).unwrap(),
-        );
-        let relaxed = module_instances(
-            &g,
-            &covering,
-            &force_directed_schedule(&g, 2 * cp).unwrap(),
-        );
+        let tight = module_instances(&g, &covering, &force_directed_schedule(&g, cp).unwrap());
+        let relaxed =
+            module_instances(&g, &covering, &force_directed_schedule(&g, 2 * cp).unwrap());
         assert!(relaxed <= tight, "slack must not raise instance count");
     }
 }

@@ -30,18 +30,28 @@ pub struct BoundedArrival {
 ///
 /// ```
 /// use localwm_cdfg::designs::iir4_parallel;
-/// use localwm_timing::{bounded_arrival, KindBounds};
+/// use localwm_engine::{bounded_arrival, KindBounds};
 ///
 /// let g = iir4_parallel();
 /// let arr = bounded_arrival(&g, &KindBounds::uniform(1, 2));
 /// assert_eq!(arr.critical_path.lo, 6);
 /// assert_eq!(arr.critical_path.hi, 12);
 /// ```
-pub fn bounded_arrival<M: DelayBounds>(g: &Cdfg, model: &M) -> BoundedArrival {
+pub fn bounded_arrival<M: DelayBounds + ?Sized>(g: &Cdfg, model: &M) -> BoundedArrival {
     let order = g.topo_order().expect("bounded arrival requires a DAG");
+    bounded_arrival_with_order(g, &order, model)
+}
+
+/// [`bounded_arrival`] over a precomputed topological order (the memoized
+/// [`DesignContext`](crate::DesignContext) path).
+pub fn bounded_arrival_with_order<M: DelayBounds + ?Sized>(
+    g: &Cdfg,
+    order: &[NodeId],
+    model: &M,
+) -> BoundedArrival {
     let mut finish = vec![DelayInterval::fixed(0); g.node_count()];
     let mut cp = DelayInterval::fixed(0);
-    for &u in &order {
+    for &u in order {
         let mut in_lo = 0u64;
         let mut in_hi = 0u64;
         for p in g.preds(u) {
@@ -60,7 +70,7 @@ pub fn bounded_arrival<M: DelayBounds>(g: &Cdfg, model: &M) -> BoundedArrival {
 }
 
 /// The circuit critical-path interval under a bounded delay model.
-pub fn bounded_critical_path<M: DelayBounds>(g: &Cdfg, model: &M) -> DelayInterval {
+pub fn bounded_critical_path<M: DelayBounds + ?Sized>(g: &Cdfg, model: &M) -> DelayInterval {
     bounded_arrival(g, model).critical_path
 }
 
@@ -69,9 +79,20 @@ pub fn bounded_critical_path<M: DelayBounds>(g: &Cdfg, model: &M) -> DelayInterv
 ///
 /// Every node that is critical under **some** consistent delay assignment
 /// with circuit delay equal to `critical_path.hi` is included.
-pub fn possibly_critical<M: DelayBounds>(g: &Cdfg, model: &M) -> Vec<NodeId> {
-    let arr = bounded_arrival(g, model);
-    let order = g.topo_order().expect("DAG checked above");
+pub fn possibly_critical<M: DelayBounds + ?Sized>(g: &Cdfg, model: &M) -> Vec<NodeId> {
+    let order = g.topo_order().expect("possibly_critical requires a DAG");
+    let arr = bounded_arrival_with_order(g, &order, model);
+    possibly_critical_with_arrival(g, &order, model, &arr)
+}
+
+/// [`possibly_critical`] over a precomputed topological order and arrival
+/// analysis (the memoized [`DesignContext`](crate::DesignContext) path).
+pub fn possibly_critical_with_arrival<M: DelayBounds + ?Sized>(
+    g: &Cdfg,
+    order: &[NodeId],
+    model: &M,
+    arr: &BoundedArrival,
+) -> Vec<NodeId> {
     // Required (latest) finish times under the all-max assignment.
     let mut required = vec![u64::MAX; g.node_count()];
     for &u in order.iter().rev() {

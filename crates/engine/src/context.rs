@@ -1,0 +1,600 @@
+//! The memoized analysis context shared by every pass.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use localwm_cdfg::{analysis, Cdfg, CdfgError, EdgeId, NodeId, TopoError};
+
+use crate::bounded::{bounded_arrival_with_order, possibly_critical_with_arrival, BoundedArrival};
+use crate::delay::{DelayBounds, DelayInterval};
+use crate::probe::{NoopProbe, Probe};
+use crate::unit::UnitTiming;
+
+/// Error from a fallible context query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The graph is not a DAG.
+    Cyclic(TopoError),
+    /// A deadline is tighter than the graph's critical path.
+    InfeasibleDeadline {
+        /// The requested number of control steps.
+        deadline: u32,
+        /// The critical path that does not fit in them.
+        critical_path: u32,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Cyclic(e) => write!(f, "{e}"),
+            EngineError::InfeasibleDeadline {
+                deadline,
+                critical_path,
+            } => write!(
+                f,
+                "deadline of {deadline} step(s) is infeasible: critical path is {critical_path}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Materialized ASAP/ALAP windows of every node under one deadline.
+///
+/// Produced (and memoized per deadline) by [`DesignContext::windows`]; all
+/// queries are O(1) array reads.
+#[derive(Debug, Clone)]
+pub struct WindowTable {
+    deadline: u32,
+    asap: Vec<u32>,
+    alap: Vec<u32>,
+}
+
+impl WindowTable {
+    /// The deadline (available control steps) this table was built for.
+    pub fn deadline(&self) -> u32 {
+        self.deadline
+    }
+
+    /// Earliest control step of `n` (1-based; 0 for free sources).
+    pub fn asap(&self, n: NodeId) -> u32 {
+        self.asap[n.index()]
+    }
+
+    /// Latest control step of `n` under the deadline.
+    pub fn alap(&self, n: NodeId) -> u32 {
+        self.alap[n.index()]
+    }
+
+    /// Scheduling freedom of `n`: `alap - asap`.
+    pub fn mobility(&self, n: NodeId) -> u32 {
+        self.alap[n.index()] - self.asap[n.index()]
+    }
+
+    /// Whether the mobility windows of two nodes overlap — the pairing
+    /// precondition for temporal-edge endpoints.
+    pub fn overlap(&self, a: NodeId, b: NodeId) -> bool {
+        self.asap[a.index()] <= self.alap[b.index()] && self.asap[b.index()] <= self.alap[a.index()]
+    }
+}
+
+/// Fanin-cone cache keyed by `(root, max_dist)`.
+type FaninCache = HashMap<(NodeId, u32), Arc<Vec<NodeId>>>;
+
+#[derive(Default)]
+struct Caches {
+    topo: OnceLock<Result<Vec<NodeId>, TopoError>>,
+    unit: OnceLock<UnitTiming>,
+    windows: Mutex<HashMap<u32, Arc<WindowTable>>>,
+    levels: Mutex<HashMap<NodeId, Arc<Vec<Option<u32>>>>>,
+    fanin: Mutex<FaninCache>,
+    bounded: Mutex<HashMap<u64, Arc<BoundedArrival>>>,
+}
+
+/// A CDFG bundled with lazily computed, memoized analyses: topological
+/// order, unit-delay timing (ASAP/ALAP/laxity), per-deadline window tables,
+/// per-root levels, fanin cones, and bounded-delay critical paths.
+///
+/// This is the **single source of truth** for those analyses: timing,
+/// scheduling, watermarking, matching and simulation passes all query one
+/// context instead of re-deriving graph facts. Every cache is interior
+/// (`OnceLock`/`Mutex`), so a `&DesignContext` can be shared across scoped
+/// worker threads; queries fill caches on first use and are O(1) after.
+///
+/// Mutation goes through [`DesignContext::mutate`] (or the incremental
+/// [`DesignContext::add_temporal_edge`]), which bumps a generation counter
+/// and invalidates the caches, so stale analyses are unrepresentable.
+///
+/// The context [`Deref`]s to [`Cdfg`], so plain graph accessors
+/// (`node_count`, `succs`, `kind`, …) work directly on it.
+///
+/// ```
+/// use localwm_cdfg::designs::iir4_parallel;
+/// use localwm_engine::DesignContext;
+///
+/// let ctx = DesignContext::new(iir4_parallel());
+/// assert_eq!(ctx.critical_path(), 6);
+/// let w = ctx.windows(8).unwrap();
+/// let a9 = ctx.node_by_name("A9").unwrap();
+/// assert_eq!(w.asap(a9), 6);
+/// ```
+pub struct DesignContext {
+    graph: Cdfg,
+    generation: u64,
+    probe: Arc<dyn Probe>,
+    caches: Caches,
+}
+
+impl fmt::Debug for DesignContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DesignContext")
+            .field("nodes", &self.graph.node_count())
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DesignContext {
+    /// Wraps a graph. No analysis runs until queried.
+    pub fn new(graph: Cdfg) -> Self {
+        DesignContext {
+            graph,
+            generation: 0,
+            probe: Arc::new(NoopProbe),
+            caches: Caches::default(),
+        }
+    }
+
+    /// Replaces the instrumentation probe (default: no-op).
+    #[must_use]
+    pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// The instrumentation probe observing this context's passes.
+    pub fn probe(&self) -> &dyn Probe {
+        self.probe.as_ref()
+    }
+
+    /// A shareable handle to the probe, for worker threads.
+    pub fn probe_arc(&self) -> Arc<dyn Probe> {
+        Arc::clone(&self.probe)
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &Cdfg {
+        &self.graph
+    }
+
+    /// Unwraps the graph, dropping all caches.
+    pub fn into_graph(self) -> Cdfg {
+        self.graph
+    }
+
+    /// Monotone counter bumped by every mutation; two equal generations on
+    /// the same context mean the graph (and all cached analyses) are
+    /// unchanged.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The memoized topological order (deterministic lowest-id-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError`] if the graph is cyclic.
+    pub fn try_topo(&self) -> Result<&[NodeId], TopoError> {
+        match self.caches.topo.get_or_init(|| {
+            self.probe.counter("engine.topo.build", 1);
+            localwm_cdfg::topo_order(&self.graph)
+        }) {
+            Ok(v) => Ok(v.as_slice()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The memoized topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic; use [`DesignContext::try_topo`] to
+    /// handle that case.
+    pub fn topo(&self) -> &[NodeId] {
+        self.try_topo().expect("analysis requires a DAG")
+    }
+
+    /// The memoized unit-delay timing (ASAP/ALAP/laxity substrate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn unit_timing(&self) -> &UnitTiming {
+        self.caches.unit.get_or_init(|| {
+            let order = self.topo();
+            self.probe.counter("engine.unit.build", 1);
+            UnitTiming::with_order(&self.graph, order)
+        })
+    }
+
+    /// The critical path `C` in control steps under the unit-delay model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn critical_path(&self) -> u32 {
+        self.unit_timing().critical_path()
+    }
+
+    /// The paper's *laxity* of `n`: length of the longest path through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn laxity(&self, n: NodeId) -> u32 {
+        self.unit_timing().laxity(n)
+    }
+
+    /// The memoized ASAP/ALAP window table for one deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cyclic`] if the graph is not a DAG;
+    /// [`EngineError::InfeasibleDeadline`] if the critical path exceeds the
+    /// deadline.
+    pub fn windows(&self, deadline: u32) -> Result<Arc<WindowTable>, EngineError> {
+        if let Err(e) = self.try_topo() {
+            return Err(EngineError::Cyclic(e));
+        }
+        let timing = self.unit_timing();
+        if timing.critical_path() > deadline {
+            return Err(EngineError::InfeasibleDeadline {
+                deadline,
+                critical_path: timing.critical_path(),
+            });
+        }
+        let mut cache = self.caches.windows.lock().expect("windows cache lock");
+        if let Some(t) = cache.get(&deadline) {
+            self.probe.counter("engine.windows.hit", 1);
+            return Ok(Arc::clone(t));
+        }
+        self.probe.counter("engine.windows.miss", 1);
+        let ids: Vec<NodeId> = self.graph.node_ids().collect();
+        let table = Arc::new(WindowTable {
+            deadline,
+            asap: ids.iter().map(|&n| timing.asap(n)).collect(),
+            alap: ids.iter().map(|&n| timing.alap(n, deadline)).collect(),
+        });
+        cache.insert(deadline, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// The memoized criterion-C1 levels with respect to `root`: longest
+    /// path (in edges) from `root` against edge direction; `None` outside
+    /// the fanin cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn levels_from(&self, root: NodeId) -> Arc<Vec<Option<u32>>> {
+        let mut cache = self.caches.levels.lock().expect("levels cache lock");
+        if let Some(l) = cache.get(&root) {
+            self.probe.counter("engine.levels.hit", 1);
+            return Arc::clone(l);
+        }
+        self.probe.counter("engine.levels.miss", 1);
+        let levels = Arc::new(analysis::levels_from(&self.graph, root));
+        cache.insert(root, Arc::clone(&levels));
+        levels
+    }
+
+    /// The memoized transitive fanin cone of `n` within `max_dist` edges,
+    /// including `n` itself, in deterministic BFS order.
+    pub fn fanin_cone(&self, n: NodeId, max_dist: u32) -> Arc<Vec<NodeId>> {
+        let mut cache = self.caches.fanin.lock().expect("fanin cache lock");
+        if let Some(c) = cache.get(&(n, max_dist)) {
+            self.probe.counter("engine.fanin.hit", 1);
+            return Arc::clone(c);
+        }
+        self.probe.counter("engine.fanin.miss", 1);
+        let cone = Arc::new(analysis::fanin_within(&self.graph, n, max_dist));
+        cache.insert((n, max_dist), Arc::clone(&cone));
+        cone
+    }
+
+    /// Criterion C2: number of nodes in the fanin cone of `n` within
+    /// `max_dist`, excluding `n`.
+    pub fn fanin_count(&self, n: NodeId, max_dist: u32) -> usize {
+        self.fanin_cone(n, max_dist).len() - 1
+    }
+
+    /// Criterion C3: `φ(n, x)`, the functionality-id sum over the fanin
+    /// cone of `n` within `max_dist`, including `n`.
+    pub fn phi(&self, n: NodeId, max_dist: u32) -> u64 {
+        self.fanin_cone(n, max_dist)
+            .iter()
+            .map(|&m| u64::from(self.graph.kind(m).functionality_id()))
+            .sum()
+    }
+
+    /// The memoized bounded-delay arrival analysis under `model`.
+    ///
+    /// Models are identified by a fingerprint of their per-node intervals,
+    /// so distinct model values that induce the same bounds share one cache
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn bounded_arrival<M: DelayBounds + ?Sized>(&self, model: &M) -> Arc<BoundedArrival> {
+        let bounds: Vec<DelayInterval> = self
+            .graph
+            .node_ids()
+            .map(|n| model.bounds(&self.graph, n))
+            .collect();
+        let key = fingerprint(&bounds);
+        let mut cache = self.caches.bounded.lock().expect("bounded cache lock");
+        if let Some(a) = cache.get(&key) {
+            self.probe.counter("engine.bounded.hit", 1);
+            return Arc::clone(a);
+        }
+        self.probe.counter("engine.bounded.miss", 1);
+        let order = self.topo();
+        let arr = Arc::new(bounded_arrival_with_order(
+            &self.graph,
+            order,
+            &Table(bounds),
+        ));
+        cache.insert(key, Arc::clone(&arr));
+        arr
+    }
+
+    /// The memoized circuit critical-path interval under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn bounded_critical_path<M: DelayBounds + ?Sized>(&self, model: &M) -> DelayInterval {
+        self.bounded_arrival(model).critical_path
+    }
+
+    /// Nodes possibly critical under `model` (zero worst-case slack),
+    /// reusing the memoized arrival analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn possibly_critical<M: DelayBounds + ?Sized>(&self, model: &M) -> Vec<NodeId> {
+        let arr = self.bounded_arrival(model);
+        possibly_critical_with_arrival(&self.graph, self.topo(), model, &arr)
+    }
+
+    /// Mutates the graph through `f`, bumping the generation and dropping
+    /// every cached analysis.
+    pub fn mutate<R>(&mut self, f: impl FnOnce(&mut Cdfg) -> R) -> R {
+        let r = f(&mut self.graph);
+        self.generation += 1;
+        self.probe.counter("engine.invalidate", 1);
+        self.caches = Caches::default();
+        r
+    }
+
+    /// Adds a temporal (precedence) edge and **incrementally** refreshes the
+    /// unit-timing cache instead of discarding it; all other caches are
+    /// dropped and the generation is bumped.
+    ///
+    /// The incremental update assumes the new edge keeps the graph acyclic —
+    /// the same contract as [`UnitTiming::add_edge_update`]. Watermark
+    /// embedding guarantees this by testing `asap(src) + tail(dst)` against
+    /// the deadline before drawing an edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CdfgError`] from the underlying edge insertion.
+    pub fn add_temporal_edge(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, CdfgError> {
+        let id = self.graph.add_temporal_edge(src, dst)?;
+        self.generation += 1;
+        let unit = self.caches.unit.take().map(|mut t| {
+            t.add_edge_update(&self.graph, src, dst);
+            t
+        });
+        self.probe.counter("engine.invalidate", 1);
+        self.caches = Caches::default();
+        if let Some(t) = unit {
+            self.probe.counter("engine.unit.incremental", 1);
+            let _ = self.caches.unit.set(t);
+        }
+        Ok(id)
+    }
+}
+
+/// Per-node interval table used as the canonical model for cached entries.
+struct Table(Vec<DelayInterval>);
+
+impl DelayBounds for Table {
+    fn bounds(&self, _g: &Cdfg, n: NodeId) -> DelayInterval {
+        self.0[n.index()]
+    }
+}
+
+/// FNV-1a over the interval endpoints: a stable fingerprint identifying a
+/// delay model by what it assigns, not by its type.
+fn fingerprint(bounds: &[DelayInterval]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for i in bounds {
+        mix(i.lo);
+        mix(i.hi);
+    }
+    h
+}
+
+impl From<Cdfg> for DesignContext {
+    fn from(graph: Cdfg) -> Self {
+        DesignContext::new(graph)
+    }
+}
+
+impl From<&Cdfg> for DesignContext {
+    /// Clones the graph — the compatibility shim for call sites that only
+    /// hold a `&Cdfg`. Prefer constructing one context up front and sharing
+    /// it.
+    fn from(graph: &Cdfg) -> Self {
+        DesignContext::new(graph.clone())
+    }
+}
+
+impl Deref for DesignContext {
+    type Target = Cdfg;
+
+    fn deref(&self) -> &Cdfg {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KindBounds;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::{analysis, OpKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn topo_is_memoized_and_matches_direct() {
+        let ctx = DesignContext::new(iir4_parallel());
+        let direct = ctx.graph().topo_order().unwrap();
+        assert_eq!(ctx.topo(), direct.as_slice());
+        // Second query hits the same allocation.
+        let a = ctx.topo().as_ptr();
+        let b = ctx.topo().as_ptr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windows_match_unit_timing() {
+        let ctx = DesignContext::new(iir4_parallel());
+        let w = ctx.windows(8).unwrap();
+        let t = UnitTiming::new(ctx.graph());
+        for n in ctx.node_ids() {
+            assert_eq!(w.asap(n), t.asap(n));
+            assert_eq!(w.alap(n), t.alap(n, 8));
+            assert_eq!(w.mobility(n), t.mobility(n, 8));
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_is_an_error() {
+        let ctx = DesignContext::new(iir4_parallel());
+        let err = ctx.windows(3).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::InfeasibleDeadline {
+                deadline: 3,
+                critical_path: 6
+            }
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_reports_error() {
+        let mut g = Cdfg::new();
+        let a = g.add_node(OpKind::UnitOp);
+        let b = g.add_node(OpKind::UnitOp);
+        g.add_edge(localwm_cdfg::EdgeKind::Control, a, b).unwrap();
+        g.add_edge(localwm_cdfg::EdgeKind::Control, b, a).unwrap();
+        let ctx = DesignContext::new(g);
+        assert!(ctx.try_topo().is_err());
+        assert!(matches!(ctx.windows(10), Err(EngineError::Cyclic(_))));
+    }
+
+    #[test]
+    fn levels_and_fanin_match_direct_analysis() {
+        let ctx = DesignContext::new(iir4_parallel());
+        let root = ctx.node_by_name("A9").unwrap();
+        assert_eq!(
+            *ctx.levels_from(root),
+            analysis::levels_from(ctx.graph(), root)
+        );
+        for n in ctx.node_ids() {
+            assert_eq!(
+                *ctx.fanin_cone(n, 2),
+                analysis::fanin_within(ctx.graph(), n, 2)
+            );
+            assert_eq!(
+                ctx.fanin_count(n, 2),
+                analysis::fanin_count(ctx.graph(), n, 2)
+            );
+            assert_eq!(ctx.phi(n, 2), analysis::phi(ctx.graph(), n, 2));
+        }
+    }
+
+    #[test]
+    fn bounded_cache_hits_for_equivalent_models() {
+        let ctx = DesignContext::new(iir4_parallel());
+        let probe = Arc::new(crate::RecordingProbe::new());
+        let ctx = ctx.with_probe(probe.clone());
+        let a = ctx.bounded_critical_path(&KindBounds::uniform(1, 2));
+        let b = ctx.bounded_critical_path(&KindBounds::uniform(1, 2));
+        assert_eq!(a, b);
+        assert_eq!(probe.counter_value("engine.bounded.miss"), 1);
+        assert_eq!(probe.counter_value("engine.bounded.hit"), 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_and_bumps_generation() {
+        let mut ctx = DesignContext::new(iir4_parallel());
+        let cp_before = ctx.critical_path();
+        assert_eq!(ctx.generation(), 0);
+        // Append a chain of two ops behind the output adder.
+        ctx.mutate(|g| {
+            let tail1 = g.add_node(OpKind::Not);
+            let tail2 = g.add_node(OpKind::Not);
+            let a9 = g.node_by_name("A9").unwrap();
+            g.add_data_edge(a9, tail1).unwrap();
+            g.add_data_edge(tail1, tail2).unwrap();
+        });
+        assert_eq!(ctx.generation(), 1);
+        assert_eq!(ctx.critical_path(), cp_before + 2);
+    }
+
+    #[test]
+    fn incremental_temporal_edge_matches_full_rebuild() {
+        let mut ctx = DesignContext::new(iir4_parallel());
+        let _warm = ctx.critical_path(); // populate the unit cache
+        let a2 = ctx.node_by_name("A2").unwrap();
+        let c7 = ctx.node_by_name("C7").unwrap();
+        ctx.add_temporal_edge(a2, c7).unwrap();
+        assert_eq!(ctx.generation(), 1);
+        let fresh = UnitTiming::new(ctx.graph());
+        let cached = ctx.unit_timing();
+        for n in ctx.node_ids() {
+            assert_eq!(cached.asap(n), fresh.asap(n));
+            assert_eq!(cached.laxity(n), fresh.laxity(n));
+        }
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        let ctx = DesignContext::new(iir4_parallel());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert_eq!(ctx.critical_path(), 6);
+                    let w = ctx.windows(9).unwrap();
+                    let a9 = ctx.node_by_name("A9").unwrap();
+                    assert_eq!(w.asap(a9), 6);
+                });
+            }
+        });
+    }
+}

@@ -53,8 +53,8 @@ pub trait DelayBounds {
 ///
 /// ```
 /// use localwm_cdfg::OpKind;
-/// use localwm_timing::{DelayBounds, DelayInterval};
-/// use localwm_timing::KindBounds;
+/// use localwm_engine::{DelayBounds, DelayInterval};
+/// use localwm_engine::KindBounds;
 ///
 /// let model = KindBounds::unit()
 ///     .with(OpKind::Mul, DelayInterval::new(2, 3));

@@ -1,0 +1,143 @@
+//! Deterministic fan-out of independent work across scoped threads.
+//!
+//! Passes that process independent localities (watermark attempt domains,
+//! Monte-Carlo input vectors, …) fan them out with [`par_map`]. Results come
+//! back **in input order** regardless of the worker count, so serial and
+//! parallel runs of a deterministic per-item function are byte-identical.
+
+use std::num::NonZeroUsize;
+
+/// How much parallelism a pass may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Everything on the calling thread.
+    Serial,
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves the worker count for a workload of `items` independent
+    /// pieces; never more workers than items, never fewer than 1.
+    pub fn worker_count(self, items: usize) -> usize {
+        let cap = match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.max(1),
+        };
+        cap.min(items).max(1)
+    }
+
+    /// Reads the `LOCALWM_THREADS` environment variable: unset or invalid
+    /// means [`Parallelism::Auto`], `0` or `1` means [`Parallelism::Serial`],
+    /// `n > 1` means [`Parallelism::Threads`]`(n)`.
+    pub fn from_env() -> Self {
+        match std::env::var("LOCALWM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) | Ok(1) => Parallelism::Serial,
+                Ok(n) => Parallelism::Threads(n),
+                Err(_) => Parallelism::Auto,
+            },
+            Err(_) => Parallelism::Auto,
+        }
+    }
+}
+
+/// Maps `f` over `items`, fanning contiguous chunks out across scoped
+/// threads. `f` receives `(index, &item)` and results are returned in input
+/// order, so any deterministic `f` yields identical output for every
+/// [`Parallelism`] choice.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the first panicking worker's payload).
+///
+/// ```
+/// use localwm_engine::{par_map, Parallelism};
+///
+/// let squares = par_map(Parallelism::Threads(4), &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = par.worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                s.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(ci * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => chunks.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_across_worker_counts() {
+        let items: Vec<u32> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Threads(200),
+        ] {
+            let got = par_map(par, &items, |_, &x| u64::from(x) * 3 + 1);
+            assert_eq!(got, expect, "order broken under {par:?}");
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(Parallelism::Threads(3), &items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u8> = par_map(Parallelism::Auto, &[] as &[u8], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_count_clamps() {
+        assert_eq!(Parallelism::Serial.worker_count(100), 1);
+        assert_eq!(Parallelism::Threads(0).worker_count(100), 1);
+        assert_eq!(Parallelism::Threads(8).worker_count(3), 3);
+        assert!(Parallelism::Auto.worker_count(100) >= 1);
+    }
+}

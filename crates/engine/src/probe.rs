@@ -1,0 +1,239 @@
+//! Instrumentation probes: dependency-free observability hooks.
+//!
+//! Analysis and watermarking passes report what they do through a [`Probe`]:
+//! monotonic counters (`cache.hit`, `attempt.rejected`, …), wall-clock
+//! timers, and discrete events. The default [`NoopProbe`] compiles to
+//! nothing; a [`RecordingProbe`] aggregates everything and can dump a JSON
+//! report (`localwm analyze --probe-out` uses this).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Observability sink for engine and pass instrumentation.
+///
+/// All hooks default to no-ops, so implementors override only what they
+/// record. Implementations must be `Send + Sync`: parallel passes report
+/// from worker threads.
+pub trait Probe: Send + Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one timed span of `nanos` nanoseconds under `name`.
+    fn timer_ns(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// Records a discrete event with a free-form detail string.
+    fn event(&self, name: &str, detail: &str) {
+        let _ = (name, detail);
+    }
+}
+
+/// A probe that records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// Runs `f`, reporting its wall-clock duration to `probe` under `name`.
+pub fn timed<R>(probe: &dyn Probe, name: &str, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let r = f();
+    probe.timer_ns(
+        name,
+        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+    r
+}
+
+#[derive(Debug, Default)]
+struct TimerStat {
+    count: u64,
+    total_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct Recorded {
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, TimerStat>,
+    events: Vec<(String, String)>,
+}
+
+/// A probe that aggregates counters/timers and keeps events in order, for
+/// inspection in tests and for the CLI's `analyze --probe-out` JSON report.
+///
+/// ```
+/// use localwm_engine::{Probe, RecordingProbe};
+///
+/// let p = RecordingProbe::new();
+/// p.counter("cache.hit", 1);
+/// p.counter("cache.hit", 2);
+/// assert_eq!(p.counter_value("cache.hit"), 3);
+/// assert!(p.to_json().contains("\"cache.hit\": 3"));
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordingProbe {
+    inner: Mutex<Recorded>,
+}
+
+impl RecordingProbe {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("probe lock")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of recorded spans for a timer (0 if never touched).
+    pub fn timer_count(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("probe lock")
+            .timers
+            .get(name)
+            .map_or(0, |t| t.count)
+    }
+
+    /// All recorded `(name, detail)` events, in order.
+    pub fn events(&self) -> Vec<(String, String)> {
+        self.inner.lock().expect("probe lock").events.clone()
+    }
+
+    /// Dumps everything recorded so far as a deterministic JSON object with
+    /// `counters`, `timers` (count + total nanoseconds) and `events` keys.
+    pub fn to_json(&self) -> String {
+        let rec = self.inner.lock().expect("probe lock");
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in rec.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(k));
+        }
+        if !rec.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"timers\": {");
+        for (i, (k, t)) in rec.timers.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"total_ns\": {}}}",
+                escape(k),
+                t.count,
+                t.total_ns
+            );
+        }
+        if !rec.timers.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"events\": [");
+        for (i, (name, detail)) in rec.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": \"{}\", \"detail\": \"{}\"}}",
+                escape(name),
+                escape(detail)
+            );
+        }
+        if !rec.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Probe for RecordingProbe {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut rec = self.inner.lock().expect("probe lock");
+        *rec.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    fn timer_ns(&self, name: &str, nanos: u64) {
+        let mut rec = self.inner.lock().expect("probe lock");
+        let t = rec.timers.entry(name.to_owned()).or_default();
+        t.count += 1;
+        t.total_ns = t.total_ns.saturating_add(nanos);
+    }
+
+    fn event(&self, name: &str, detail: &str) {
+        let mut rec = self.inner.lock().expect("probe lock");
+        rec.events.push((name.to_owned(), detail.to_owned()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate() {
+        let p = RecordingProbe::new();
+        p.counter("a", 1);
+        p.counter("a", 4);
+        p.counter("b", 2);
+        assert_eq!(p.counter_value("a"), 5);
+        assert_eq!(p.counter_value("b"), 2);
+        assert_eq!(p.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn timers_count_spans() {
+        let p = RecordingProbe::new();
+        let x = timed(&p, "span", || 21 * 2);
+        assert_eq!(x, 42);
+        timed(&p, "span", || ());
+        assert_eq!(p.timer_count("span"), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let p = RecordingProbe::new();
+        p.counter("hits", 3);
+        p.timer_ns("t", 1000);
+        p.event("note", "say \"hi\"\n");
+        let json = p.to_json();
+        assert!(json.contains("\"hits\": 3"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("say \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn noop_probe_is_silent() {
+        let p = NoopProbe;
+        p.counter("x", 1);
+        p.event("x", "y");
+        assert_eq!(timed(&p, "t", || 7), 7);
+    }
+}

@@ -17,7 +17,7 @@ use localwm_cdfg::{Cdfg, NodeId};
 ///
 /// ```
 /// use localwm_cdfg::{Cdfg, OpKind};
-/// use localwm_timing::UnitTiming;
+/// use localwm_engine::UnitTiming;
 ///
 /// let mut g = Cdfg::new();
 /// let x = g.add_node(OpKind::Input);
@@ -50,10 +50,16 @@ impl UnitTiming {
     /// Panics if the graph is cyclic.
     pub fn new(g: &Cdfg) -> Self {
         let order = g.topo_order().expect("timing requires a DAG");
+        Self::with_order(g, &order)
+    }
+
+    /// Builds timing for a graph whose topological order is already known
+    /// (the memoized [`DesignContext`](crate::DesignContext) path).
+    pub fn with_order(g: &Cdfg, order: &[NodeId]) -> Self {
         let n = g.node_count();
         let mut depth = vec![0u32; n];
         let mut tail = vec![0u32; n];
-        for &u in &order {
+        for &u in order {
             let here = depth[u.index()] + u32::from(g.kind(u).is_schedulable());
             depth[u.index()] = here;
             for v in g.succs(u) {
@@ -68,10 +74,7 @@ impl UnitTiming {
             tail[u.index()] = best + u32::from(g.kind(u).is_schedulable());
         }
         let critical_path = depth.iter().copied().max().unwrap_or(0);
-        let schedulable = g
-            .node_ids()
-            .map(|id| g.kind(id).is_schedulable())
-            .collect();
+        let schedulable = g.node_ids().map(|id| g.kind(id).is_schedulable()).collect();
         UnitTiming {
             depth,
             tail,
@@ -149,11 +152,7 @@ impl UnitTiming {
         // Forward: push depth from src through dst's fanout cone.
         let mut stack = vec![dst];
         while let Some(u) = stack.pop() {
-            let incoming = g
-                .preds(u)
-                .map(|p| self.depth[p.index()])
-                .max()
-                .unwrap_or(0);
+            let incoming = g.preds(u).map(|p| self.depth[p.index()]).max().unwrap_or(0);
             let new_depth = incoming + u32::from(g.kind(u).is_schedulable());
             if new_depth > self.depth[u.index()] {
                 self.depth[u.index()] = new_depth;
@@ -257,11 +256,7 @@ mod tests {
         let fresh = UnitTiming::new(&g);
         for n in g.node_ids() {
             assert_eq!(t.asap(n), fresh.asap(n), "depth mismatch at {n}");
-            assert_eq!(
-                t.laxity(n),
-                fresh.laxity(n),
-                "laxity mismatch at {n}"
-            );
+            assert_eq!(t.laxity(n), fresh.laxity(n), "laxity mismatch at {n}");
         }
         assert_eq!(t.critical_path(), fresh.critical_path());
     }
@@ -284,5 +279,18 @@ mod tests {
         let (g, nodes) = chain(2);
         let t = UnitTiming::new(&g);
         assert_eq!(t.asap(nodes[0]), 0);
+    }
+
+    #[test]
+    fn with_order_matches_new() {
+        let g = iir4_parallel();
+        let order = g.topo_order().unwrap();
+        let a = UnitTiming::new(&g);
+        let b = UnitTiming::with_order(&g, &order);
+        for n in g.node_ids() {
+            assert_eq!(a.asap(n), b.asap(n));
+            assert_eq!(a.tail(n), b.tail(n));
+        }
+        assert_eq!(a.critical_path(), b.critical_path());
     }
 }

@@ -1,0 +1,183 @@
+//! Property-based tests for the shared engine layer.
+//!
+//! The central claim of [`DesignContext`] is that memoization is
+//! *transparent*: no interleaving of queries and mutations can make a
+//! cached answer diverge from direct recomputation on the current graph.
+//! These tests drive a context through random query/mutation schedules and
+//! compare every memoized result against a from-scratch analysis.
+
+use localwm_cdfg::analysis::{fanin_within, levels_from};
+use localwm_cdfg::generators::random_dag;
+use localwm_cdfg::{topo_order, NodeId};
+use localwm_engine::{bounded_critical_path, DesignContext, KindBounds, Parallelism, UnitTiming};
+use proptest::prelude::*;
+
+/// One step of a random schedule: which memoized query to issue, or
+/// whether to mutate the graph between queries.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Topo,
+    CriticalPath,
+    Windows(u32),
+    Levels,
+    Fanin(u32),
+    Bounded,
+    Mutate,
+}
+
+fn decode(code: u8) -> Op {
+    match code % 10 {
+        0 => Op::Topo,
+        1 => Op::CriticalPath,
+        2 => Op::Windows(u32::from(code / 10)),
+        3 => Op::Levels,
+        4 => Op::Fanin(u32::from(code % 4) + 1),
+        5 => Op::Bounded,
+        6 | 7 => Op::Mutate,
+        _ => Op::CriticalPath,
+    }
+}
+
+/// Checks every memoized analysis against direct recomputation on the
+/// context's current graph.
+fn assert_matches_recompute(ctx: &DesignContext, deadline_extra: u32) {
+    let g = ctx.graph();
+    let fresh_topo = topo_order(g).expect("generated graphs are DAGs");
+    assert_eq!(ctx.topo(), fresh_topo.as_slice(), "topo order diverged");
+
+    let fresh = UnitTiming::new(g);
+    let cp = fresh.critical_path();
+    assert_eq!(ctx.critical_path(), cp, "critical path diverged");
+    for v in g.node_ids() {
+        assert_eq!(ctx.unit_timing().asap(v), fresh.asap(v));
+        assert_eq!(ctx.laxity(v), fresh.laxity(v));
+    }
+
+    let deadline = cp + deadline_extra;
+    let w = ctx.windows(deadline).expect("deadline >= critical path");
+    for v in g.node_ids() {
+        assert_eq!(w.asap(v), fresh.asap(v));
+        assert_eq!(w.alap(v), fresh.alap(v, deadline));
+        assert_eq!(w.mobility(v), fresh.mobility(v, deadline));
+    }
+
+    let model = KindBounds::uniform(1, 3);
+    let direct = bounded_critical_path(g, &model);
+    let memo = ctx.bounded_critical_path(&model);
+    assert_eq!((memo.lo, memo.hi), (direct.lo, direct.hi));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of queries and temporal-edge insertions leaves the
+    /// memoized analyses equal to direct recomputation.
+    #[test]
+    fn memoized_equals_recomputed_under_interleaving(
+        n in 4usize..40,
+        p in 0.05f64..0.4,
+        seed in 0u64..1000,
+        schedule in proptest::collection::vec(0u8..=255, 1..24),
+    ) {
+        let g = random_dag(n, p, seed);
+        let mut ctx = DesignContext::new(g);
+        let mut pair = 0usize;
+        for (i, &code) in schedule.iter().enumerate() {
+            match decode(code) {
+                Op::Topo => { let _ = ctx.topo(); }
+                Op::CriticalPath => { let _ = ctx.critical_path(); }
+                Op::Windows(extra) => {
+                    let cp = ctx.critical_path();
+                    prop_assert!(ctx.windows(cp + extra).is_ok());
+                }
+                Op::Levels => {
+                    let root = ctx.topo()[0];
+                    let direct = levels_from(ctx.graph(), root);
+                    prop_assert_eq!(ctx.levels_from(root).as_slice(), direct.as_slice());
+                }
+                Op::Fanin(d) => {
+                    let nodes: Vec<NodeId> = ctx.graph().node_ids().collect();
+                    let v = nodes[i % nodes.len()];
+                    let direct = fanin_within(ctx.graph(), v, d);
+                    prop_assert_eq!(ctx.fanin_cone(v, d).as_slice(), direct.as_slice());
+                }
+                Op::Bounded => {
+                    let _ = ctx.bounded_critical_path(&KindBounds::uniform(1, 3));
+                }
+                Op::Mutate => {
+                    // Draw a forward pair in topo order: adding the edge can
+                    // never create a cycle; skip already-comparable pairs.
+                    let order = ctx.topo().to_vec();
+                    let a = order[pair % order.len()];
+                    let b = order[(pair + 1 + i) % order.len()];
+                    pair += 1;
+                    let gen_before = ctx.generation();
+                    if !ctx.reaches(a, b) && !ctx.reaches(b, a) && a != b {
+                        prop_assert!(ctx.add_temporal_edge(a, b).is_ok());
+                        prop_assert!(ctx.generation() > gen_before,
+                            "mutation must bump the generation");
+                    }
+                }
+            }
+            assert_matches_recompute(&ctx, u32::from(code % 5));
+        }
+    }
+
+    /// Cached handles returned *before* a mutation stay internally
+    /// consistent snapshots, while fresh queries see the new graph.
+    #[test]
+    fn mutation_invalidates_but_old_snapshots_survive(
+        n in 6usize..40,
+        p in 0.05f64..0.35,
+        seed in 0u64..1000,
+    ) {
+        let g = random_dag(n, p, seed);
+        let mut ctx = DesignContext::new(g);
+        let cp0 = ctx.critical_path();
+        let snapshot = ctx.windows(cp0 + 2).expect("feasible");
+
+        // Find an incomparable forward pair to connect.
+        let order = ctx.topo().to_vec();
+        let mut edge = None;
+        'outer: for (i, &a) in order.iter().enumerate() {
+            for &b in &order[i + 1..] {
+                if !ctx.reaches(a, b) && !ctx.reaches(b, a) {
+                    edge = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(edge.is_some());
+        let (a, b) = edge.unwrap();
+        ctx.add_temporal_edge(a, b).expect("incomparable pair");
+
+        // The old Arc still answers with pre-mutation values...
+        prop_assert_eq!(snapshot.deadline(), cp0 + 2);
+        // ...while the context recomputes against the mutated graph.
+        let fresh = UnitTiming::new(ctx.graph());
+        prop_assert_eq!(ctx.critical_path(), fresh.critical_path());
+        for v in ctx.graph().node_ids() {
+            prop_assert_eq!(ctx.unit_timing().asap(v), fresh.asap(v));
+        }
+    }
+
+    /// `par_map` over a shared context is deterministic: any thread count
+    /// produces the serial result, and concurrent cache fills agree.
+    #[test]
+    fn parallel_queries_match_serial(
+        n in 4usize..40,
+        p in 0.05f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let g = random_dag(n, p, seed);
+        let ctx = DesignContext::new(g);
+        let nodes: Vec<NodeId> = ctx.graph().node_ids().collect();
+        let serial = localwm_engine::par_map(Parallelism::Serial, &nodes, |_, &v| {
+            (ctx.laxity(v), ctx.fanin_count(v, 3), ctx.phi(v, 3))
+        });
+        let threaded = localwm_engine::par_map(Parallelism::Threads(4), &nodes, |_, &v| {
+            (ctx.laxity(v), ctx.fanin_count(v, 3), ctx.phi(v, 3))
+        });
+        prop_assert_eq!(serial, threaded);
+    }
+}

@@ -45,14 +45,12 @@ impl Bitstream {
         key.extend_from_slice(purpose.as_bytes());
         // RC4 keys cap at 256 bytes; fold overlong purposes.
         if key.len() > 256 {
-            let folded: Vec<u8> = key
-                .chunks(256)
-                .fold(vec![0u8; 256], |mut acc, chunk| {
-                    for (a, &c) in acc.iter_mut().zip(chunk) {
-                        *a ^= c;
-                    }
-                    acc
-                });
+            let folded: Vec<u8> = key.chunks(256).fold(vec![0u8; 256], |mut acc, chunk| {
+                for (a, &c) in acc.iter_mut().zip(chunk) {
+                    *a ^= c;
+                }
+                acc
+            });
             key = folded;
         }
         Bitstream {

@@ -44,9 +44,7 @@ impl Rc4 {
         }
         let mut j = 0u8;
         for i in 0..256 {
-            j = j
-                .wrapping_add(s[i])
-                .wrapping_add(key[i % key.len()]);
+            j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
             s.swap(i, j as usize);
         }
         Rc4 { s, i: 0, j: 0 }
@@ -82,7 +80,10 @@ mod tests {
 
     /// Published RC4 test vectors (key, first keystream bytes).
     const VECTORS: &[(&[u8], &[u8])] = &[
-        (b"Key", &[0xEB, 0x9F, 0x77, 0x81, 0xB7, 0x34, 0xCA, 0x72, 0xA7, 0x19]),
+        (
+            b"Key",
+            &[0xEB, 0x9F, 0x77, 0x81, 0xB7, 0x34, 0xCA, 0x72, 0xA7, 0x19],
+        ),
         (b"Wiki", &[0x60, 0x44, 0xDB, 0x6D, 0x41, 0xB7]),
         (b"Secret", &[0x04, 0xD4, 0x6B, 0x05, 0x3C, 0xA8, 0x7B, 0x59]),
     ];

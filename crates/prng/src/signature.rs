@@ -78,10 +78,8 @@ fn derive_key(bytes: &[u8]) -> [u8; 64] {
         for i in 0..64 {
             acc ^= u64::from(state[i]);
             acc = acc.wrapping_mul(0x0000_0100_0000_01B3).rotate_left(29);
-            state[i] = state[i]
-                .wrapping_add((acc >> 32) as u8)
-                .rotate_left(3)
-                ^ state[(i + 31) % 64];
+            state[i] =
+                state[i].wrapping_add((acc >> 32) as u8).rotate_left(3) ^ state[(i + 31) % 64];
         }
     }
     state

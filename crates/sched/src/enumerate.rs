@@ -8,6 +8,7 @@
 //! small examples" — so this module provides capped counting.
 
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::DesignContext;
 
 use crate::Windows;
 
@@ -44,6 +45,18 @@ impl SubProblem {
     /// Panics if `subset` contains non-schedulable nodes or duplicates, or
     /// if the graph is cyclic.
     pub fn from_graph(g: &Cdfg, windows: &Windows, subset: &[NodeId]) -> Self {
+        Self::in_ctx(&DesignContext::from(g), windows, subset)
+    }
+
+    /// [`SubProblem::from_graph`] against a shared [`DesignContext`],
+    /// reusing its memoized topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` contains non-schedulable nodes or duplicates, or
+    /// if the graph is cyclic.
+    pub fn in_ctx(ctx: &DesignContext, windows: &Windows, subset: &[NodeId]) -> Self {
+        let g = ctx.graph();
         let mut seen = std::collections::HashSet::new();
         for &n in subset {
             assert!(
@@ -52,12 +65,9 @@ impl SubProblem {
             );
             assert!(seen.insert(n), "duplicate node {n} in subset");
         }
-        let order = g.topo_order().expect("subproblem requires a DAG");
-        let index_of: std::collections::HashMap<NodeId, usize> = subset
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i))
-            .collect();
+        let order = ctx.topo();
+        let index_of: std::collections::HashMap<NodeId, usize> =
+            subset.iter().enumerate().map(|(i, &n)| (n, i)).collect();
 
         let mut lags: Vec<(usize, usize, u32)> = Vec::new();
         // For each subset source u: longest schedulable-op distance to all v.
@@ -110,8 +120,11 @@ impl SubProblem {
         assert_eq!(topo.len(), n, "lag constraints must be acyclic");
 
         let nodes: Vec<NodeId> = topo.iter().map(|&i| subset[i]).collect();
-        let remap: std::collections::HashMap<usize, usize> =
-            topo.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: std::collections::HashMap<usize, usize> = topo
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let win: Vec<(u32, u32)> = nodes
             .iter()
             .map(|&nd| (windows.asap(nd), windows.alap(nd)))
@@ -197,7 +210,8 @@ impl SubProblem {
 
     /// Counts all valid schedules (cap `u128::MAX`).
     pub fn count(&self) -> u128 {
-        self.count_capped(u128::MAX).expect("u128 cap not reachable")
+        self.count_capped(u128::MAX)
+            .expect("u128 cap not reachable")
     }
 
     /// Enumerates every valid schedule, invoking `f` with `(nodes, steps)`.

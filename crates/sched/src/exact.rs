@@ -8,7 +8,7 @@
 //! experiments a ground-truth optimum.
 
 use localwm_cdfg::{Cdfg, NodeId};
-use localwm_timing::UnitTiming;
+use localwm_engine::{DesignContext, UnitTiming};
 
 use crate::{OpClass, ResourceSet, Schedule, ScheduleError};
 
@@ -47,13 +47,34 @@ pub fn exact_schedule(
     resources: &ResourceSet,
     max_latency: u32,
 ) -> Result<Schedule, ScheduleError> {
+    exact_schedule_in(&DesignContext::from(g), resources, max_latency)
+}
+
+/// [`exact_schedule`] against a shared [`DesignContext`], reusing its
+/// memoized topological order and unit-delay timing.
+///
+/// # Errors
+///
+/// * [`ScheduleError::InfeasibleDeadline`] if no schedule exists within
+///   `max_latency`.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or has more than `MAX_EXACT_NODES`
+/// operations.
+pub fn exact_schedule_in(
+    ctx: &DesignContext,
+    resources: &ResourceSet,
+    max_latency: u32,
+) -> Result<Schedule, ScheduleError> {
+    let g = ctx.graph();
     assert!(
         g.op_count() <= MAX_EXACT_NODES,
         "exact scheduling is exponential; {} ops exceed the {} cap",
         g.op_count(),
         MAX_EXACT_NODES
     );
-    let timing = UnitTiming::new(g);
+    let timing = ctx.unit_timing();
     let cp = timing.critical_path();
     // Class-count lower bound: ceil(ops_of_class / units).
     let mut class_lb = cp;
@@ -73,7 +94,7 @@ pub fn exact_schedule(
         if latency > max_latency {
             break;
         }
-        if let Some(schedule) = try_latency(g, resources, &timing, latency) {
+        if let Some(schedule) = try_latency(ctx, resources, timing, latency) {
             debug_assert!(schedule.validate_with_resources(g, resources).is_ok());
             return Ok(schedule);
         }
@@ -88,15 +109,17 @@ pub fn exact_schedule(
 pub const MAX_EXACT_NODES: usize = 64;
 
 fn try_latency(
-    g: &Cdfg,
+    ctx: &DesignContext,
     resources: &ResourceSet,
     timing: &UnitTiming,
     latency: u32,
 ) -> Option<Schedule> {
+    let g = ctx.graph();
     // Order: topological, critical (small mobility) first for early pruning.
-    let order = g.topo_order().expect("DAG");
-    let mut ops: Vec<NodeId> = order
-        .into_iter()
+    let mut ops: Vec<NodeId> = ctx
+        .topo()
+        .iter()
+        .copied()
         .filter(|&n| g.kind(n).is_schedulable())
         .collect();
     // Stable secondary sort by mobility keeps the topological property:

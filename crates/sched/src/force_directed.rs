@@ -6,6 +6,7 @@
 //! minimizing peak resource usage.
 
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::DesignContext;
 
 use crate::{OpClass, Schedule, ScheduleError, Windows};
 
@@ -40,8 +41,25 @@ use crate::{OpClass, Schedule, ScheduleError, Windows};
 /// # Ok::<(), localwm_sched::ScheduleError>(())
 /// ```
 pub fn force_directed_schedule(g: &Cdfg, available_steps: u32) -> Result<Schedule, ScheduleError> {
-    let windows = Windows::new(g, available_steps)?;
-    let _node_total = g.node_count();
+    force_directed_schedule_in(&DesignContext::from(g), available_steps)
+}
+
+/// [`force_directed_schedule`] against a shared [`DesignContext`].
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleDeadline`] if `available_steps` is below the
+/// critical path.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn force_directed_schedule_in(
+    ctx: &DesignContext,
+    available_steps: u32,
+) -> Result<Schedule, ScheduleError> {
+    let g = ctx.graph();
+    let windows = Windows::in_ctx(ctx, available_steps)?;
     let steps = available_steps as usize;
 
     let mut asap: Vec<u32> = g.node_ids().map(|id| windows.asap(id)).collect();
@@ -49,10 +67,7 @@ pub fn force_directed_schedule(g: &Cdfg, available_steps: u32) -> Result<Schedul
     let schedulable: Vec<bool> = g.node_ids().map(|id| g.kind(id).is_schedulable()).collect();
     let class: Vec<OpClass> = g.node_ids().map(|id| OpClass::of(g.kind(id))).collect();
 
-    let mut unplaced: Vec<NodeId> = g
-        .node_ids()
-        .filter(|id| schedulable[id.index()])
-        .collect();
+    let mut unplaced: Vec<NodeId> = g.node_ids().filter(|id| schedulable[id.index()]).collect();
     let mut schedule = Schedule::empty(g);
 
     // Distribution graphs: dg[class][step-1].

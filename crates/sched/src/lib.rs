@@ -19,6 +19,10 @@
 //!   (sub)problems, used for the `ψ_W/ψ_N` ratios and exact coincidence
 //!   probabilities of the paper's Fig. 3 example.
 //!
+//! Every scheduler also has an `*_in` variant taking a shared
+//! [`localwm_engine::DesignContext`], which reuses the engine's memoized
+//! topological order and unit-delay timing instead of recomputing them.
+//!
 //! # Example
 //!
 //! ```
@@ -45,10 +49,10 @@ mod resource;
 mod schedule;
 mod windows;
 
-pub use exact::{exact_schedule, MAX_EXACT_NODES};
-pub use force_directed::force_directed_schedule;
+pub use exact::{exact_schedule, exact_schedule_in, MAX_EXACT_NODES};
+pub use force_directed::{force_directed_schedule, force_directed_schedule_in};
 pub use lifetimes::{left_edge_binding, lifetimes, register_count, Lifetime};
-pub use list::{alap_schedule, list_schedule};
+pub use list::{alap_schedule, alap_schedule_in, list_schedule, list_schedule_in};
 pub use resource::{OpClass, ResourceSet};
 pub use schedule::{Schedule, ScheduleError};
 pub use windows::Windows;

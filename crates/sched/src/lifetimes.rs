@@ -93,10 +93,7 @@ pub fn left_edge_binding(lifetimes: &[Lifetime]) -> (Vec<usize>, usize) {
     for i in order {
         let lt = lifetimes[i];
         // First register whose occupant expired at or before this def.
-        match reg_free_at
-            .iter()
-            .position(|&free| free <= lt.def)
-        {
+        match reg_free_at.iter().position(|&free| free <= lt.def) {
             Some(r) => {
                 reg_free_at[r] = lt.last_use;
                 binding[i] = r;
@@ -180,9 +177,21 @@ mod tests {
 
     #[test]
     fn lifetime_overlap_predicate() {
-        let a = Lifetime { producer: NodeId::from_index(0), def: 1, last_use: 4 };
-        let b = Lifetime { producer: NodeId::from_index(1), def: 4, last_use: 6 };
-        let c = Lifetime { producer: NodeId::from_index(2), def: 2, last_use: 3 };
+        let a = Lifetime {
+            producer: NodeId::from_index(0),
+            def: 1,
+            last_use: 4,
+        };
+        let b = Lifetime {
+            producer: NodeId::from_index(1),
+            def: 4,
+            last_use: 6,
+        };
+        let c = Lifetime {
+            producer: NodeId::from_index(2),
+            def: 2,
+            last_use: 3,
+        };
         assert!(!a.overlaps(&b), "handoff at a step boundary is free");
         assert!(a.overlaps(&c));
         assert!(c.overlaps(&a));
@@ -193,11 +202,9 @@ mod tests {
         let g = iir4_parallel();
         let s = list_schedule(&g, &ResourceSet::unlimited(), None).unwrap();
         let lts = lifetimes(&g, &s);
-        let producers: std::collections::HashSet<_> =
-            lts.iter().map(|l| l.producer).collect();
+        let producers: std::collections::HashSet<_> = lts.iter().map(|l| l.producer).collect();
         for n in g.node_ids() {
-            let produces = g.data_succs(n).next().is_some()
-                && g.kind(n) != OpKind::Output;
+            let produces = g.data_succs(n).next().is_some() && g.kind(n) != OpKind::Output;
             assert_eq!(producers.contains(&n), produces, "{n}");
         }
     }

@@ -1,7 +1,7 @@
 //! Resource-constrained list scheduling.
 
 use localwm_cdfg::{Cdfg, NodeId};
-use localwm_timing::UnitTiming;
+use localwm_engine::DesignContext;
 
 use crate::{OpClass, ResourceSet, Schedule, ScheduleError};
 
@@ -43,17 +43,33 @@ pub fn list_schedule(
     resources: &ResourceSet,
     deadline: Option<u32>,
 ) -> Result<Schedule, ScheduleError> {
-    let timing = UnitTiming::new(g);
+    list_schedule_in(&DesignContext::from(g), resources, deadline)
+}
+
+/// [`list_schedule`] against a shared [`DesignContext`], reusing its
+/// memoized unit-delay timing for the priority function.
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleDeadline`] when a deadline is given and
+/// cannot be met.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn list_schedule_in(
+    ctx: &DesignContext,
+    resources: &ResourceSet,
+    deadline: Option<u32>,
+) -> Result<Schedule, ScheduleError> {
+    let g = ctx.graph();
+    let timing = ctx.unit_timing();
     let mut schedule = Schedule::empty(g);
 
     // Remaining unscheduled precedence predecessors per node.
     let mut pending: Vec<usize> = g
         .node_ids()
-        .map(|n| {
-            g.preds(n)
-                .filter(|&p| g.kind(p).is_schedulable())
-                .count()
-        })
+        .map(|n| g.preds(n).filter(|&p| g.kind(p).is_schedulable()).count())
         .collect();
 
     // Ready list: schedulable ops whose schedulable preds are all placed.
@@ -110,6 +126,8 @@ pub fn list_schedule(
         );
     }
 
+    ctx.probe().counter("sched.list.steps", u64::from(step));
+
     if let Some(d) = deadline {
         let len = schedule.length();
         if len > d {
@@ -137,7 +155,25 @@ pub fn list_schedule(
 ///
 /// Panics if the graph is cyclic.
 pub fn alap_schedule(g: &Cdfg, available_steps: u32) -> Result<Schedule, ScheduleError> {
-    let windows = crate::Windows::new(g, available_steps)?;
+    alap_schedule_in(&DesignContext::from(g), available_steps)
+}
+
+/// [`alap_schedule`] against a shared [`DesignContext`].
+///
+/// # Errors
+///
+/// [`ScheduleError::InfeasibleDeadline`] if `available_steps` is below the
+/// critical path.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn alap_schedule_in(
+    ctx: &DesignContext,
+    available_steps: u32,
+) -> Result<Schedule, ScheduleError> {
+    let g = ctx.graph();
+    let windows = crate::Windows::in_ctx(ctx, available_steps)?;
     let mut s = Schedule::empty(g);
     for n in g.node_ids() {
         if g.kind(n).is_schedulable() {

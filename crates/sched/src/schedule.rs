@@ -8,7 +8,6 @@ use crate::ResourceSet;
 
 /// A control-step assignment: every schedulable operation gets a 1-based
 /// step; free nodes (inputs, constants, outputs) carry no step.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     steps: Vec<Option<u32>>,
@@ -224,6 +223,29 @@ impl Schedule {
     }
 }
 
+/// Hand-written [`serde`] impls (the vendored offline serde stand-in has no
+/// derive macros; see `vendor/README.md`): a schedule serializes as its
+/// dense per-node step array, `null` for free nodes.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::Schedule;
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    impl Serialize for Schedule {
+        fn to_value(&self) -> Value {
+            self.steps.to_value()
+        }
+    }
+
+    impl Deserialize for Schedule {
+        fn from_value(v: &Value) -> Result<Self, DeError> {
+            Ok(Schedule {
+                steps: Deserialize::from_value(v)?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,7 +360,11 @@ mod tests {
         let one_mult = ResourceSet::unlimited().with(crate::OpClass::Multiplier, 1);
         assert!(matches!(
             s.validate_with_resources(&g, &one_mult),
-            Err(ScheduleError::ResourceOversubscribed { step: 1, used: 2, available: 1 })
+            Err(ScheduleError::ResourceOversubscribed {
+                step: 1,
+                used: 2,
+                available: 1
+            })
         ));
         s.set_step(m2, 2);
         assert!(s.validate_with_resources(&g, &one_mult).is_ok());

@@ -1,7 +1,7 @@
 //! ASAP/ALAP mobility windows under a deadline.
 
 use localwm_cdfg::{Cdfg, NodeId};
-use localwm_timing::UnitTiming;
+use localwm_engine::{DesignContext, EngineError, UnitTiming};
 
 use crate::ScheduleError;
 
@@ -11,6 +11,11 @@ use crate::ScheduleError;
 /// The windows are the paper's `asap(·)`/`alap(·)` functions: the scheduling
 /// freedom of each operation given the design's latency budget. Watermark
 /// constraint encoding pairs nodes with *overlapping* windows.
+///
+/// The timing substrate comes from the shared
+/// [`DesignContext`] — build windows with [`Windows::in_ctx`] to reuse its
+/// memoized analyses; [`Windows::new`] is a convenience shim that constructs
+/// a throwaway context.
 ///
 /// ```
 /// use localwm_cdfg::designs::iir4_parallel;
@@ -30,7 +35,41 @@ pub struct Windows {
 }
 
 impl Windows {
+    /// Computes windows for `available_steps` control steps against a
+    /// shared context (the memoized path).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InfeasibleDeadline`] if the deadline is shorter than
+    /// the critical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn in_ctx(ctx: &DesignContext, available_steps: u32) -> Result<Self, ScheduleError> {
+        // Populate / validate via the context's memoized window table.
+        match ctx.windows(available_steps) {
+            Ok(_) => {}
+            Err(EngineError::InfeasibleDeadline {
+                deadline,
+                critical_path,
+            }) => {
+                return Err(ScheduleError::InfeasibleDeadline {
+                    requested: deadline,
+                    needed: critical_path,
+                })
+            }
+            Err(EngineError::Cyclic(_)) => panic!("windows require a DAG"),
+        }
+        Ok(Windows {
+            timing: ctx.unit_timing().clone(),
+            available_steps,
+        })
+    }
+
     /// Computes windows for `available_steps` control steps.
+    ///
+    /// Convenience shim over [`Windows::in_ctx`] with a throwaway context.
     ///
     /// # Errors
     ///
@@ -41,17 +80,22 @@ impl Windows {
     ///
     /// Panics if the graph is cyclic.
     pub fn new(g: &Cdfg, available_steps: u32) -> Result<Self, ScheduleError> {
-        let timing = UnitTiming::new(g);
-        if available_steps < timing.critical_path() {
-            return Err(ScheduleError::InfeasibleDeadline {
-                requested: available_steps,
-                needed: timing.critical_path(),
-            });
-        }
-        Ok(Windows {
+        Self::in_ctx(&DesignContext::from(g), available_steps)
+    }
+
+    /// Windows with the tightest feasible deadline (`steps == C`), against
+    /// a shared context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn tight_in(ctx: &DesignContext) -> Self {
+        let timing = ctx.unit_timing().clone();
+        let available_steps = timing.critical_path();
+        Windows {
             timing,
             available_steps,
-        })
+        }
     }
 
     /// Windows with the tightest feasible deadline (`steps == C`).
@@ -60,12 +104,7 @@ impl Windows {
     ///
     /// Panics if the graph is cyclic.
     pub fn tight(g: &Cdfg) -> Self {
-        let timing = UnitTiming::new(g);
-        let available_steps = timing.critical_path();
-        Windows {
-            timing,
-            available_steps,
-        }
+        Self::tight_in(&DesignContext::from(g))
     }
 
     /// The deadline these windows were computed for.
@@ -154,6 +193,18 @@ mod tests {
         let w = Windows::new(&g, 9).unwrap();
         for n in g.node_ids() {
             assert!(w.asap(n) <= w.alap(n), "window inverted at {n}");
+        }
+    }
+
+    #[test]
+    fn shared_context_and_shim_agree() {
+        let g = iir4_parallel();
+        let ctx = DesignContext::from(&g);
+        let a = Windows::in_ctx(&ctx, 9).unwrap();
+        let b = Windows::new(&g, 9).unwrap();
+        for n in g.node_ids() {
+            assert_eq!(a.asap(n), b.asap(n));
+            assert_eq!(a.alap(n), b.alap(n));
         }
     }
 

@@ -5,7 +5,7 @@
 use localwm_cdfg::{Cdfg, NodeId, OpKind};
 use localwm_sched::Schedule;
 
-use crate::{eval_op, InterpretError, Inputs, Trace};
+use crate::{eval_op, Inputs, InterpretError, Trace};
 
 /// Executes a scheduled design step by step.
 ///
@@ -28,8 +28,23 @@ pub fn execute_scheduled(
     schedule: &Schedule,
     inputs: &Inputs,
 ) -> Result<Trace, InterpretError> {
+    execute_scheduled_in(&localwm_engine::DesignContext::from(g), schedule, inputs)
+}
+
+/// [`execute_scheduled`] against a shared
+/// [`localwm_engine::DesignContext`], reusing its memoized cycle check.
+///
+/// # Errors
+///
+/// [`InterpretError::Cyclic`] or [`InterpretError::Arity`].
+pub fn execute_scheduled_in(
+    ctx: &localwm_engine::DesignContext,
+    schedule: &Schedule,
+    inputs: &Inputs,
+) -> Result<Trace, InterpretError> {
+    let g = ctx.graph();
     // Arity/cycle validation up front (reuses the interpreter's checks).
-    g.topo_order().map_err(|_| InterpretError::Cyclic)?;
+    ctx.try_topo().map_err(|_| InterpretError::Cyclic)?;
     let mut values = vec![0i64; g.node_count()];
 
     // Sources first.

@@ -77,7 +77,10 @@ impl fmt::Display for InterpretError {
                 node,
                 expected,
                 found,
-            } => write!(f, "node {node} expects {expected} operand(s), found {found}"),
+            } => write!(
+                f,
+                "node {node} expects {expected} operand(s), found {found}"
+            ),
         }
     }
 }
@@ -118,9 +121,24 @@ impl Trace {
 ///
 /// [`InterpretError::Cyclic`] or [`InterpretError::Arity`].
 pub fn interpret(g: &Cdfg, inputs: &Inputs) -> Result<Trace, InterpretError> {
-    let order = g.topo_order().map_err(|_| InterpretError::Cyclic)?;
+    interpret_in(&localwm_engine::DesignContext::from(g), inputs)
+}
+
+/// [`interpret`] against a shared [`localwm_engine::DesignContext`],
+/// reusing its memoized topological order — the fast path when many input
+/// vectors are simulated against one design.
+///
+/// # Errors
+///
+/// [`InterpretError::Cyclic`] or [`InterpretError::Arity`].
+pub fn interpret_in(
+    ctx: &localwm_engine::DesignContext,
+    inputs: &Inputs,
+) -> Result<Trace, InterpretError> {
+    let g = ctx.graph();
+    let order = ctx.try_topo().map_err(|_| InterpretError::Cyclic)?;
     let mut values = vec![0i64; g.node_count()];
-    for n in order {
+    for &n in order {
         let kind = g.kind(n);
         if kind == OpKind::Input {
             values[n.index()] = inputs.value_for(n);
@@ -215,7 +233,11 @@ mod tests {
         g.add_data_edge(a, s).unwrap();
         assert!(matches!(
             interpret(&g, &Inputs::new()),
-            Err(InterpretError::Arity { expected: 2, found: 1, .. })
+            Err(InterpretError::Arity {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
     }
 

@@ -9,7 +9,7 @@
 
 use localwm_cdfg::{Cdfg, NodeId, OpKind};
 
-use crate::{interpret, InterpretError, Inputs, Trace};
+use crate::{interpret, Inputs, InterpretError, Trace};
 
 /// Runs `k` iterations of an SDF design.
 ///
@@ -116,11 +116,11 @@ mod tests {
         }
         let unrolled = interpret(&u, &inputs).unwrap();
 
-        for j in 0..K {
+        for (j, trace) in traces.iter().enumerate().take(K) {
             let y = g.node_by_name("y").unwrap();
             let yu = u.node_by_name(&format!("y@{j}")).unwrap();
             assert_eq!(
-                traces[j].value(y),
+                trace.value(y),
                 unrolled.value(yu),
                 "iteration {j} output diverged between iterate() and unroll()"
             );

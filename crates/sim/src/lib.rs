@@ -46,7 +46,7 @@ mod interp;
 mod iterate;
 mod value;
 
-pub use exec::execute_scheduled;
+pub use exec::{execute_scheduled, execute_scheduled_in};
+pub use interp::{interpret, interpret_in, outputs_match, Inputs, InterpretError, Trace};
 pub use iterate::iterate;
-pub use interp::{interpret, outputs_match, InterpretError, Inputs, Trace};
 pub use value::eval_op;

@@ -2,22 +2,18 @@
 //!
 //! Both watermarking protocols begin with "compute the critical path `C` of
 //! the CDFG" and filter candidate nodes by *laxity* — the length of the
-//! longest path that contains a node. This crate provides:
+//! longest path that contains a node.
 //!
-//! * [`UnitTiming`] — control-step timing under the homogeneous (unit
-//!   delay) SDF model: ASAP/ALAP steps, per-node laxity, mobility windows,
-//!   and incremental update when a temporal edge is added.
-//! * [`DelayBounds`] / [`bounded_arrival`] — a **bounded delay model**
-//!   where every operation's delay is an interval `[lo, hi]`; the analysis
-//!   propagates arrival intervals and yields lower/upper bounds on the true
-//!   critical path, plus the set of *possibly-critical* nodes.
-//! * [`DynamicBounds`] — input-dependent ("dynamically bounded") delay
-//!   intervals whose width grows with the number of simultaneously-arriving
-//!   operands, in the spirit of dynamically bounded delay critical-path
-//!   analysis.
+//! The deterministic analyses — [`UnitTiming`], the bounded-delay interval
+//! machinery ([`DelayBounds`], [`bounded_arrival`], [`DynamicBounds`]) —
+//! live in [`localwm_engine`] where they are memoized behind
+//! [`DesignContext`]; this crate re-exports them unchanged and adds the
+//! randomized layer:
+//!
 //! * [`criticality`] — Monte-Carlo statistical timing: per-node
 //!   criticality probabilities and circuit-delay quantiles under any
-//!   bounded model.
+//!   bounded model, with deterministic per-sample seeding so serial and
+//!   parallel runs agree exactly.
 //!
 //! # Example
 //!
@@ -35,12 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod bounded;
-mod delay;
 mod statistical;
-mod unit;
 
-pub use bounded::{bounded_arrival, bounded_critical_path, possibly_critical, BoundedArrival};
-pub use delay::{DelayBounds, DelayInterval, DynamicBounds, KindBounds};
-pub use statistical::{criticality, CriticalityReport};
-pub use unit::UnitTiming;
+pub use localwm_engine::{
+    bounded_arrival, bounded_critical_path, possibly_critical, BoundedArrival, DelayBounds,
+    DelayInterval, DesignContext, DynamicBounds, KindBounds, UnitTiming,
+};
+
+pub use statistical::{criticality, criticality_in, CriticalityReport};

@@ -1,12 +1,18 @@
 //! Statistical timing: Monte-Carlo criticality under bounded delays.
 //!
-//! The interval analysis of [`crate::bounded_arrival`] brackets the true
-//! critical path; this module refines it with sampling: draw delay
+//! The interval analysis of [`localwm_engine::bounded_arrival`] brackets the
+//! true critical path; this module refines it with sampling: draw delay
 //! assignments consistent with a [`DelayBounds`] model, time each sample,
 //! and report per-node *criticality probabilities* (how often a node lies
 //! on a zero-slack path) plus the sampled circuit-delay distribution.
+//!
+//! Each input vector (sample) is timed with its **own** per-sample RNG seed
+//! derived from the run seed and the sample index, so the result is
+//! independent of how samples are fanned out across worker threads: serial
+//! and parallel sweeps are byte-identical.
 
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::{par_map, timed, DesignContext, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,7 +62,8 @@ impl CriticalityReport {
 /// Runs `samples` Monte-Carlo timing simulations of `g` under `model`,
 /// drawing each node's delay uniformly from its interval.
 ///
-/// Deterministic in `seed`. `O(samples · (V + E))`.
+/// Deterministic in `seed` (and independent of thread count — see
+/// [`criticality_in`]). `O(samples · (V + E))` work.
 ///
 /// # Panics
 ///
@@ -77,61 +84,108 @@ pub fn criticality<M: DelayBounds>(
     samples: usize,
     seed: u64,
 ) -> CriticalityReport {
+    criticality_in(
+        &DesignContext::from(g),
+        model,
+        samples,
+        seed,
+        Parallelism::from_env(),
+    )
+}
+
+/// [`criticality`] against a shared [`DesignContext`], fanning independent
+/// input vectors across scoped worker threads per `par`.
+///
+/// Per-sample seeding makes the output identical for every
+/// [`Parallelism`] choice.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or `samples == 0`.
+pub fn criticality_in<M: DelayBounds>(
+    ctx: &DesignContext,
+    model: &M,
+    samples: usize,
+    seed: u64,
+    par: Parallelism,
+) -> CriticalityReport {
     assert!(samples > 0, "at least one sample required");
-    let order = g.topo_order().expect("criticality requires a DAG");
+    let g = ctx.graph();
+    let order = ctx.topo();
     let n = g.node_count();
     let bounds: Vec<DelayInterval> = g.node_ids().map(|v| model.bounds(g, v)).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let probe = ctx.probe();
+    probe.counter("timing.criticality.samples", samples as u64);
+
+    // Contiguous sample ranges, one per worker; per-sample seeds make the
+    // partitioning irrelevant to the result.
+    let workers = par.worker_count(samples);
+    let chunk = samples.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(samples)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+
+    let parts = timed(probe, "timing.criticality", || {
+        par_map(par, &ranges, |_, &(lo, hi)| {
+            let mut hits = vec![0u64; n];
+            let mut delays = Vec::with_capacity(hi - lo);
+            let mut finish = vec![0u64; n];
+            let mut required = vec![u64::MAX; n];
+            for s in lo..hi {
+                let mut rng = StdRng::seed_from_u64(sample_seed(seed, s as u64));
+                // Draw one consistent delay assignment.
+                let d: Vec<u64> = bounds
+                    .iter()
+                    .map(|b| {
+                        if b.lo == b.hi {
+                            b.lo
+                        } else {
+                            rng.gen_range(b.lo..=b.hi)
+                        }
+                    })
+                    .collect();
+                // Forward arrival times.
+                let mut circuit = 0u64;
+                for &v in order {
+                    let arrive = g.preds(v).map(|p| finish[p.index()]).max().unwrap_or(0);
+                    finish[v.index()] = arrive + d[v.index()];
+                    circuit = circuit.max(finish[v.index()]);
+                }
+                // Backward required times at the sampled circuit delay.
+                for r in required.iter_mut() {
+                    *r = u64::MAX;
+                }
+                for &v in order.iter().rev() {
+                    let r = if g.succs(v).next().is_none() {
+                        circuit
+                    } else {
+                        required[v.index()]
+                    };
+                    required[v.index()] = required[v.index()].min(r);
+                    let start_latest = r.saturating_sub(d[v.index()]);
+                    for p in g.preds(v) {
+                        required[p.index()] = required[p.index()].min(start_latest);
+                    }
+                }
+                for v in 0..n {
+                    if finish[v] == required[v] {
+                        hits[v] += 1;
+                    }
+                }
+                delays.push(circuit);
+            }
+            (hits, delays)
+        })
+    });
+
     let mut hits = vec![0u64; n];
     let mut delays = Vec::with_capacity(samples);
-
-    let mut finish = vec![0u64; n];
-    let mut required = vec![u64::MAX; n];
-    for _ in 0..samples {
-        // Draw one consistent delay assignment.
-        let d: Vec<u64> = bounds
-            .iter()
-            .map(|b| {
-                if b.lo == b.hi {
-                    b.lo
-                } else {
-                    rng.gen_range(b.lo..=b.hi)
-                }
-            })
-            .collect();
-        // Forward arrival times.
-        let mut circuit = 0u64;
-        for &v in &order {
-            let arrive = g
-                .preds(v)
-                .map(|p| finish[p.index()])
-                .max()
-                .unwrap_or(0);
-            finish[v.index()] = arrive + d[v.index()];
-            circuit = circuit.max(finish[v.index()]);
+    for (part_hits, part_delays) in parts {
+        for (h, p) in hits.iter_mut().zip(part_hits) {
+            *h += p;
         }
-        // Backward required times at the sampled circuit delay.
-        for r in required.iter_mut() {
-            *r = u64::MAX;
-        }
-        for &v in order.iter().rev() {
-            let r = if g.succs(v).next().is_none() {
-                circuit
-            } else {
-                required[v.index()]
-            };
-            required[v.index()] = required[v.index()].min(r);
-            let start_latest = r.saturating_sub(d[v.index()]);
-            for p in g.preds(v) {
-                required[p.index()] = required[p.index()].min(start_latest);
-            }
-        }
-        for v in 0..n {
-            if finish[v] == required[v] {
-                hits[v] += 1;
-            }
-        }
-        delays.push(circuit);
+        delays.extend(part_delays);
     }
     delays.sort_unstable();
     CriticalityReport {
@@ -139,6 +193,15 @@ pub fn criticality<M: DelayBounds>(
         delays,
         samples,
     }
+}
+
+/// SplitMix64-style mix of the run seed and a sample index: well-separated
+/// per-sample streams that do not depend on work partitioning.
+fn sample_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -183,6 +246,26 @@ mod tests {
         let b = criticality(&g, &model, 100, 11);
         assert_eq!(a.delays, b.delays);
         assert_eq!(a.criticality, b.criticality);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree_exactly() {
+        let g = random_dag(40, 0.15, 13);
+        let ctx = DesignContext::from(&g);
+        let model = KindBounds::uniform(1, 4);
+        let serial = criticality_in(&ctx, &model, 97, 17, Parallelism::Serial);
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+            Parallelism::Auto,
+        ] {
+            let p = criticality_in(&ctx, &model, 97, 17, par);
+            assert_eq!(serial.delays, p.delays, "delays differ under {par:?}");
+            assert_eq!(
+                serial.criticality, p.criticality,
+                "criticality differs under {par:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the timing analyses.
 
-use localwm_cdfg::generators::{random_dag, layered, LayeredConfig};
+use localwm_cdfg::generators::{layered, random_dag, LayeredConfig};
 use localwm_cdfg::NodeId;
 use localwm_timing::{bounded_arrival, bounded_critical_path, KindBounds, UnitTiming};
 use proptest::prelude::*;

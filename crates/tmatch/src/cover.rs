@@ -64,6 +64,21 @@ impl Covering {
 ///
 /// Panics if two forced matchings overlap, or a forced matching hides a
 /// PPO internally — the embedder guarantees both by construction.
+pub fn cover_in(
+    ctx: &localwm_engine::DesignContext,
+    lib: &Library,
+    constraints: &CoverConstraints,
+) -> Covering {
+    cover(ctx.graph(), lib, constraints)
+}
+
+/// Covers the graph's operations with library modules; see [`cover_in`]
+/// for the [`localwm_engine::DesignContext`]-based entry point.
+///
+/// # Panics
+///
+/// Panics if two forced matchings overlap, or a forced matching hides a
+/// PPO internally — the embedder guarantees both by construction.
 pub fn cover(g: &Cdfg, lib: &Library, constraints: &CoverConstraints) -> Covering {
     let mut used: HashSet<NodeId> = HashSet::new();
     let mut selected: Vec<Match> = Vec::new();
@@ -83,20 +98,10 @@ pub fn cover(g: &Cdfg, lib: &Library, constraints: &CoverConstraints) -> Coverin
 
     let mut candidates: Vec<Match> = find_matches(g, lib)
         .into_iter()
-        .filter(|m| {
-            m.internal_nodes()
-                .iter()
-                .all(|&n| !constraints.is_ppo(n))
-        })
+        .filter(|m| m.internal_nodes().iter().all(|&n| !constraints.is_ppo(n)))
         .collect();
     // Largest first; deterministic ties.
-    candidates.sort_by_key(|m| {
-        (
-            std::cmp::Reverse(m.nodes.len()),
-            m.root(),
-            m.template,
-        )
-    });
+    candidates.sort_by_key(|m| (std::cmp::Reverse(m.nodes.len()), m.root(), m.template));
 
     for m in candidates {
         if m.nodes.iter().any(|n| used.contains(n)) {

@@ -39,8 +39,8 @@ mod matcher;
 mod solutions;
 mod template;
 
-pub use cover::{cover, CoverConstraints, Covering};
+pub use cover::{cover, cover_in, CoverConstraints, Covering};
 pub use library::Library;
-pub use matcher::{find_matches, find_matches_rooted, Match};
+pub use matcher::{find_matches, find_matches_in, find_matches_rooted, Match};
 pub use solutions::count_cover_solutions;
 pub use template::Template;

@@ -132,9 +132,9 @@ mod tests {
     }
 
     #[test]
-    fn rich_library_absorbs_more(){
-        use localwm_cdfg::designs::{table2_design, table2_designs};
+    fn rich_library_absorbs_more() {
         use crate::{cover, CoverConstraints};
+        use localwm_cdfg::designs::{table2_design, table2_designs};
         let g = table2_design(&table2_designs()[1]);
         let base = cover(&g, &Library::dsp_default(), &CoverConstraints::default());
         let rich = cover(&g, &Library::dsp_rich(), &CoverConstraints::default());

@@ -52,6 +52,11 @@ pub fn find_matches(g: &Cdfg, lib: &Library) -> Vec<Match> {
     out
 }
 
+/// [`find_matches`] against a shared [`localwm_engine::DesignContext`].
+pub fn find_matches_in(ctx: &localwm_engine::DesignContext, lib: &Library) -> Vec<Match> {
+    find_matches(ctx.graph(), lib)
+}
+
 /// Enumerates all matchings whose *root* is a specific node.
 pub fn find_matches_rooted(g: &Cdfg, lib: &Library, root: NodeId) -> Vec<Match> {
     let mut out = Vec::new();

@@ -143,7 +143,11 @@ mod tests {
     fn forward_parent_panics() {
         let _ = Template::new(
             "bad",
-            &[(OpKind::Add, None), (OpKind::Mul, Some(2)), (OpKind::Mul, Some(0))],
+            &[
+                (OpKind::Add, None),
+                (OpKind::Mul, Some(2)),
+                (OpKind::Mul, Some(0)),
+            ],
         );
     }
 }

@@ -1,8 +1,8 @@
 //! Compiling (cycle-scheduling) a CDFG onto the machine.
 
 use localwm_cdfg::{Cdfg, NodeId};
+use localwm_engine::DesignContext;
 use localwm_sched::{OpClass, Schedule};
-use localwm_timing::UnitTiming;
 
 use crate::Machine;
 
@@ -34,7 +34,18 @@ impl CompiledProgram {
 ///
 /// Panics if the graph is cyclic.
 pub fn compile(g: &Cdfg, machine: &Machine) -> CompiledProgram {
-    let timing = UnitTiming::new(g);
+    compile_in(&DesignContext::from(g), machine)
+}
+
+/// [`compile`] against a shared [`DesignContext`], reusing its memoized
+/// unit-delay timing for the priority function.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+pub fn compile_in(ctx: &DesignContext, machine: &Machine) -> CompiledProgram {
+    let g = ctx.graph();
+    let timing = ctx.unit_timing();
     let mut schedule = Schedule::empty(g);
 
     let mut pending: Vec<usize> = g

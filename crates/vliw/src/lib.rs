@@ -32,6 +32,6 @@ mod compile;
 mod machine;
 mod perf;
 
-pub use compile::{compile, CompiledProgram};
+pub use compile::{compile, compile_in, CompiledProgram};
 pub use machine::Machine;
 pub use perf::{overhead_percent, PerfComparison};

@@ -59,7 +59,10 @@ mod tests {
         let mut i = 0;
         while added < 5 && i + 40 < schedulable.len() {
             let (a, b) = (schedulable[i], schedulable[i + 40]);
-            if marked.add_edge_acyclic(localwm_cdfg::EdgeKind::Temporal, a, b).is_ok() {
+            if marked
+                .add_edge_acyclic(localwm_cdfg::EdgeKind::Temporal, a, b)
+                .is_ok()
+            {
                 added += 1;
             }
             i += 17;

@@ -34,7 +34,8 @@ fn main() -> Result<(), WatermarkError> {
     );
 
     for moves in [0usize, 50, 500, 5000] {
-        let (tampered, applied) = perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, 42);
+        let (tampered, applied) =
+            perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, 42);
         let ev = wm.detect(&tampered, &g, &sig)?;
         println!(
             "after {applied:4} random legal moves: {:5.1}% of constraints \

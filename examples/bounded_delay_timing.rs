@@ -26,10 +26,15 @@ fn main() {
 
     // Bounded delays: each op kind gets an interval; the analysis yields
     // exact lower/upper bounds on the true critical path.
-    let model = KindBounds::uniform(1, 2)
-        .with(local_watermarks::cdfg::OpKind::ConstMul, local_watermarks::timing::DelayInterval::new(2, 4));
+    let model = KindBounds::uniform(1, 2).with(
+        local_watermarks::cdfg::OpKind::ConstMul,
+        local_watermarks::timing::DelayInterval::new(2, 4),
+    );
     let cp = bounded_critical_path(&iir, &model);
-    println!("IIR4 under bounded delays: critical path in [{}, {}]", cp.lo, cp.hi);
+    println!(
+        "IIR4 under bounded delays: critical path in [{}, {}]",
+        cp.lo, cp.hi
+    );
 
     // Dynamically bounded delays: intervals widen with fanin (input-
     // dependent switching), narrowing which nodes can possibly be critical.

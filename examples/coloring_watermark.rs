@@ -18,7 +18,10 @@ fn main() -> Result<(), ColoringWmError> {
         g.edge_count()
     );
     let plain = greedy_coloring(&g);
-    println!("unconstrained greedy coloring: {} colors", plain.color_count());
+    println!(
+        "unconstrained greedy coloring: {} colors",
+        plain.color_count()
+    );
 
     let wm = ColoringWatermarker::new(ColoringConfig::default());
     let sig = Signature::from_author("alice <alice@example.com>");

@@ -14,7 +14,11 @@ fn main() -> Result<(), WatermarkError> {
     // 4-issue VLIW machine.
     let app = mediabench_apps()[1];
     let program = mediabench(&app, 0);
-    println!("workload: {} with {} operations", app.name, program.op_count());
+    println!(
+        "workload: {} with {} operations",
+        app.name,
+        program.op_count()
+    );
 
     // Constrain 2% of the operations, like Table I's first configuration.
     let watermarker = SchedulingWatermarker::new(SchedWmConfig::with_node_fraction(0.02));

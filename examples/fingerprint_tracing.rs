@@ -48,6 +48,9 @@ fn main() -> Result<(), WatermarkError> {
     let fresh = local_watermarks::core::attack::reschedule(&design, 1234)
         .map_err(WatermarkError::Schedule)?;
     let nobody = identify(&wm, &fresh, &design, &author, &recipients)?;
-    println!("independent re-synthesis traces to: {:?}", nobody.map(|t| t.recipient));
+    println!(
+        "independent re-synthesis traces to: {:?}",
+        nobody.map(|t| t.recipient)
+    );
     Ok(())
 }

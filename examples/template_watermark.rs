@@ -65,8 +65,6 @@ fn main() -> Result<(), WatermarkError> {
 
     // And the price: module count with and without the watermark.
     let (plain_modules, marked_modules, pct) = module_overhead(&design, &watermarker, &signature)?;
-    println!(
-        "allocated modules: {plain_modules} -> {marked_modules} ({pct:+.1}% overhead)"
-    );
+    println!("allocated modules: {plain_modules} -> {marked_modules} ({pct:+.1}% overhead)");
     Ok(())
 }

@@ -1,6 +1,6 @@
 //! Golden values: the paper facts this reproduction pins down exactly.
 
-use local_watermarks::cdfg::designs::{iir4_parallel, table2_designs, table2_design};
+use local_watermarks::cdfg::designs::{iir4_parallel, table2_design, table2_designs};
 use local_watermarks::cdfg::generators::mediabench_apps;
 use local_watermarks::core::attack::alterations_to_defeat;
 use local_watermarks::core::pc::pair_order_probability;

@@ -45,10 +45,7 @@ fn marked_specification_round_trips_through_synthesis_and_stripping() {
     // Stripping returns the spec to its original shape.
     emb.marked.strip_temporal_edges();
     assert_eq!(emb.marked.edge_count(), g.edge_count());
-    assert!(emb
-        .marked
-        .edges()
-        .all(|e| e.kind() != EdgeKind::Temporal));
+    assert!(emb.marked.edges().all(|e| e.kind() != EdgeKind::Temporal));
 
     // The stripped spec still verifies through the schedule.
     let ev = wm.detect(&schedule, &g, &sig).expect("detects");

@@ -2,9 +2,7 @@
 
 use local_watermarks::cdfg::designs::{table2_design, table2_designs};
 use local_watermarks::core::allocation::{allocated_modules, AllocationPolicy};
-use local_watermarks::core::{
-    module_overhead, Signature, TemplateWatermarker, TmatchWmConfig,
-};
+use local_watermarks::core::{module_overhead, Signature, TemplateWatermarker, TmatchWmConfig};
 use local_watermarks::timing::UnitTiming;
 use local_watermarks::tmatch::{cover, CoverConstraints, Library};
 
@@ -58,8 +56,8 @@ fn module_overhead_is_bounded_across_designs() {
             ..TmatchWmConfig::default()
         });
         let sig = Signature::from_author("overhead-int");
-        let (plain, marked, pct) = module_overhead(&g, &wm, &sig)
-            .unwrap_or_else(|e| panic!("{}: {e}", desc.name));
+        let (plain, marked, pct) =
+            module_overhead(&g, &wm, &sig).unwrap_or_else(|e| panic!("{}: {e}", desc.name));
         assert!(plain > 0, "{}", desc.name);
         assert!(marked + 2 >= plain, "{}", desc.name);
         assert!(pct.abs() < 80.0, "{}: {pct}%", desc.name);
@@ -83,8 +81,8 @@ fn allocation_and_covering_agree_on_piece_accounting() {
     assert!(relaxed <= tight);
     assert!(relaxed >= 1);
     // Hosting can only reduce the count further.
-    let hosted = allocated_modules(&g, &covering, &lib, cp, AllocationPolicy::Hosting)
-        .expect("feasible");
+    let hosted =
+        allocated_modules(&g, &covering, &lib, cp, AllocationPolicy::Hosting).expect("feasible");
     assert!(hosted <= tight);
 }
 

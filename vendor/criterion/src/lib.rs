@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the workspace's benchmark surface — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`] and [`black_box`] — with a simple
+//! warmup-plus-measure loop instead of criterion's statistical machinery.
+//!
+//! Results print as a table. When the `CRITERION_OUT` environment variable
+//! names a file, a JSON report is also written there (the repo's
+//! `BENCH_*.json` artifacts are produced this way). See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    sample_size: usize,
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    mean_ns: f64,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors the real API; arguments are ignored in the stand-in.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks one closure under a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        self.run_one(name, sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: String, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size,
+            mean_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut bencher);
+        self.results.push(BenchResult {
+            name,
+            mean_ns: bencher.mean_ns,
+            samples: bencher.samples,
+        });
+    }
+
+    /// Prints the result table and writes the optional JSON report. Called
+    /// by `criterion_main!` after all groups have run.
+    pub fn finalize(&self) {
+        println!();
+        println!("{:<56} {:>14} {:>9}", "benchmark", "mean", "samples");
+        for r in &self.results {
+            println!(
+                "{:<56} {:>14} {:>9}",
+                r.name,
+                format_ns(r.mean_ns),
+                r.samples
+            );
+        }
+        if let Ok(path) = std::env::var("CRITERION_OUT") {
+            let mut json = String::from("{\n  \"benchmarks\": [\n");
+            for (i, r) in self.results.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+                    r.name.replace('"', "\\\""),
+                    r.mean_ns,
+                    r.samples,
+                    if i + 1 < self.results.len() { "," } else { "" }
+                );
+            }
+            json.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("criterion stand-in: cannot write {path}: {e}");
+            } else {
+                println!("\nwrote JSON report to {path}");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks one closure against one input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(full, sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks one closure under a sub-name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; results are recorded
+    /// eagerly).
+    pub fn finish(self) {}
+}
+
+/// A display name for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Runs and measures one benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures a closure: brief warmup, then `sample_size` timed runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup and per-sample batching: very fast bodies are batched so
+        // timer resolution doesn't dominate.
+        let warmup_start = Instant::now();
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+            if warmup_start.elapsed() > Duration::from_millis(500) {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+        }
+        self.samples = self.sample_size;
+        self.mean_ns = total.as_nanos() as f64 / (self.sample_size as u64 * batch) as f64;
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter(10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert_eq!(c.results[0].name, "g/10");
+    }
+}

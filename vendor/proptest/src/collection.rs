@@ -1,0 +1,27 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Builds a [`VecStrategy`]: each value is a vector whose length is drawn
+/// from `len` and whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = Strategy::sample(&self.len, rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

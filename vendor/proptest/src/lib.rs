@@ -1,0 +1,210 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, range and `any::<T>()` strategies,
+//! `proptest::collection::vec`, `ProptestConfig::with_cases`,
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs but is not
+//!   minimized.
+//! * **Deterministic seeding** — each test derives its RNG seed from the
+//!   test function's name, so runs are reproducible without a
+//!   `proptest-regressions` persistence file (existing regression files are
+//!   ignored).
+//!
+//! See `vendor/README.md` for the policy on these stand-ins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __config.cases.saturating_mul(16).max(64);
+            while __accepted < __config.cases {
+                if __attempts >= __max_attempts {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), __accepted, __config.cases
+                    );
+                }
+                __attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => { __accepted += 1; }
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest `{}` failed at case {}: {}\n  inputs: {}",
+                        stringify!($name), __accepted, msg, __inputs
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the case
+/// fails with its inputs reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(a in 3usize..10, b in 0u64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 5);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test("fixed");
+        let mut b = TestRng::for_test("fixed");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Test execution support: configuration, RNG, and case outcomes.
+
+/// Per-test configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — redraw, don't fail.
+    Reject(&'static str),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Deterministic test RNG (SplitMix64), seeded from the test's name so every
+/// run of a given test replays the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased draw from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next();
+            let wide = u128::from(r) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
