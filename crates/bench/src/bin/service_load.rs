@@ -1,0 +1,182 @@
+//! Load benchmark for `localwm-serve`: cold- vs warm-cache request latency
+//! and multi-client throughput at 1, 4 and 8 workers.
+//!
+//! Servers run in-process on a loopback socket; clients are real TCP
+//! connections through [`localwm_serve::Client`]. Writes `BENCH_service.json`
+//! (or the path given as the first argument) in the same shape as the other
+//! `BENCH_*.json` reports.
+
+use std::time::{Duration, Instant};
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::{Client, Request, RequestKind, ServeConfig, ServerHandle};
+use serde::Value;
+
+struct Sample {
+    name: String,
+    mean_ns: f64,
+    samples: usize,
+}
+
+fn start_server(workers: usize) -> ServerHandle {
+    localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth: 256,
+        cache_cap: 16,
+        default_timeout_ms: None,
+        metrics_out: None,
+    })
+    .expect("bind loopback")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect_within(&handle.addr().to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+fn timing_request(design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Timing);
+    r.design = Some(design.to_owned());
+    r
+}
+
+fn analyze_request(design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Analyze);
+    r.design = Some(design.to_owned());
+    r.samples = Some(2_000);
+    r
+}
+
+/// Mean per-request latency of sending `reqs` serially on one connection.
+fn mean_latency_ns(client: &mut Client, reqs: &[Request]) -> f64 {
+    let start = Instant::now();
+    for r in reqs {
+        let resp = client.call(r).expect("request");
+        assert!(resp.ok, "benchmark request failed: {:?}", resp.error);
+    }
+    start.elapsed().as_nanos() as f64 / reqs.len() as f64
+}
+
+fn cold_vs_warm(designs: &[String], out: &mut Vec<Sample>) {
+    let handle = start_server(4);
+    let mut client = connect(&handle);
+    let reqs: Vec<Request> = designs.iter().map(|d| timing_request(d)).collect();
+    // Cold: every design misses the context cache and builds its analyses.
+    let cold = mean_latency_ns(&mut client, &reqs);
+    // Warm: identical requests served from the shared-context cache.
+    let warm = mean_latency_ns(&mut client, &reqs);
+    handle.shutdown();
+    out.push(Sample {
+        name: "serve/timing/cold-cache".to_owned(),
+        mean_ns: cold,
+        samples: designs.len(),
+    });
+    out.push(Sample {
+        name: "serve/timing/warm-cache".to_owned(),
+        mean_ns: warm,
+        samples: designs.len(),
+    });
+}
+
+fn throughput(designs: &[String], workers: usize, out: &mut Vec<Sample>) {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 12;
+    let handle = start_server(workers);
+    let addr = handle.addr().to_string();
+    // Pre-warm the context cache so every worker count sees the same work.
+    let mut warmup = connect(&handle);
+    for d in designs {
+        assert!(warmup.call(&timing_request(d)).expect("warmup").ok);
+    }
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let designs = designs.to_vec();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_within(&addr, Duration::from_secs(5)).expect("connect");
+                for i in 0..PER_CLIENT {
+                    let d = &designs[(c + i) % designs.len()];
+                    let resp = client.call(&analyze_request(d)).expect("request");
+                    assert!(resp.ok, "load request failed: {:?}", resp.error);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let total = CLIENTS * PER_CLIENT;
+    let mean_ns = start.elapsed().as_nanos() as f64 / total as f64;
+    handle.shutdown();
+    out.push(Sample {
+        name: format!("serve/analyze-load/workers-{workers}"),
+        mean_ns,
+        samples: total,
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_owned());
+    let apps = mediabench_apps();
+    let designs: Vec<String> = apps
+        .iter()
+        .take(6)
+        .map(|app| write_cdfg(&mediabench(app, 0)))
+        .collect();
+
+    let mut samples = Vec::new();
+    cold_vs_warm(&designs, &mut samples);
+    for workers in [1, 4, 8] {
+        throughput(&designs, workers, &mut samples);
+    }
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{:.1}", s.mean_ns / 1e3),
+                s.samples.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["benchmark", "mean µs/req", "n"], &rows)
+    );
+
+    let entries: Vec<Value> = samples
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(s.name.clone())),
+                (
+                    "mean_ns".to_owned(),
+                    Value::Float((s.mean_ns * 10.0).round() / 10.0),
+                ),
+                ("samples".to_owned(), Value::Int(s.samples as i64)),
+            ])
+        })
+        .collect();
+    let note = format!(
+        "service_load: in-process localwm-serve on loopback TCP; cold/warm = \
+         serial timing requests over 6 mediabench designs before/after the \
+         context cache is populated; analyze-load = 8 sync clients x 12 \
+         analyze(samples=2000) requests, mean wall-clock per request; host \
+         had {} CPU core(s), so worker scaling is bounded accordingly",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let doc = Value::Object(vec![
+        ("note".to_owned(), Value::Str(note)),
+        ("benchmarks".to_owned(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

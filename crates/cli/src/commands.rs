@@ -9,12 +9,11 @@ use localwm_cdfg::{parse_cdfg, write_cdfg, Cdfg};
 use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
 use localwm_engine::{DesignContext, KindBounds, Parallelism, RecordingProbe};
 use localwm_sched::{
-    alap_schedule_in, force_directed_schedule_in, list_schedule_in, OpClass, ResourceSet,
+    alap_schedule_in, force_directed_schedule_in, list_schedule_in, parse_schedule, write_schedule,
+    OpClass, ResourceSet,
 };
 use localwm_sim::{interpret_in, Inputs};
 use localwm_timing::criticality_in;
-
-use crate::schedule_io::{parse_schedule, write_schedule};
 
 type CliResult = Result<(), String>;
 
@@ -30,6 +29,8 @@ pub fn run(args: &[String]) -> CliResult {
         Some("schedule") => schedule_cmd(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("serve") => crate::serve_cmd::serve(&args[1..]),
+        Some("request") => crate::serve_cmd::request(&args[1..]),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -52,6 +53,13 @@ USAGE:
   localwm simulate <design.cdfg> [--seed N]
   localwm analyze <design.cdfg> [--deadline N] [--lo N --hi N]
                   [--samples N] [--seed N] [--probe-out FILE]
+  localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
+  localwm request <embed|detect|analyze|timing|stats|shutdown>
+                  [--addr HOST:PORT] [--design FILE] [--author ID]
+                  [--schedule FILE] [--schedule-out FILE] [--fraction F]
+                  [--k K] [--deadline N] [--lo N --hi N] [--samples N]
+                  [--seed N] [--timeout-ms N]
 
 DESIGNS (for gen):
   iir4 | cf-iir | linear-ge | wavelet | modem | volterra2 | volterra3 |

@@ -11,6 +11,9 @@
 //! localwm simulate <design.cdfg> [--seed N]
 //! localwm analyze <design.cdfg> [--deadline N] [--lo N --hi N]
 //!         [--samples N] [--seed N] [--probe-out FILE]
+//! localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!         [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
+//! localwm request <kind> [--addr HOST:PORT] [--design FILE] ...
 //! ```
 //!
 //! `<design>` for `gen` is one of `iir4`, a Table II key
@@ -21,7 +24,7 @@
 use std::process::ExitCode;
 
 mod commands;
-mod schedule_io;
+mod serve_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,113 @@
+//! `localwm serve` / `localwm request` — the service front end.
+
+use std::fs;
+use std::time::Duration;
+
+use localwm_serve::{Client, Request, RequestKind, ServeConfig};
+use serde::Value;
+
+type CliResult = Result<(), String>;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("bad value for {flag}: `{raw}`")),
+    }
+}
+
+/// `localwm serve [--addr A] [--workers N] [--queue-depth N] [--cache-cap N]
+/// [--default-timeout-ms N] [--metrics-out FILE]`
+pub fn serve(args: &[String]) -> CliResult {
+    let mut cfg = ServeConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:7171")
+            .to_owned(),
+        ..ServeConfig::default()
+    };
+    if let Some(n) = parse_flag::<usize>(args, "--workers")? {
+        cfg.workers = n;
+    }
+    if let Some(n) = parse_flag::<usize>(args, "--queue-depth")? {
+        cfg.queue_depth = n;
+    }
+    if let Some(n) = parse_flag::<usize>(args, "--cache-cap")? {
+        cfg.cache_cap = n;
+    }
+    cfg.default_timeout_ms = parse_flag::<u64>(args, "--default-timeout-ms")?;
+    cfg.metrics_out = flag_value(args, "--metrics-out").map(str::to_owned);
+
+    let handle = localwm_serve::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("localwm-serve listening on {}", handle.addr());
+    handle.join();
+    println!("localwm-serve stopped");
+    Ok(())
+}
+
+/// `localwm request <kind> [--addr A] [--design FILE] [--author ID]
+/// [--schedule FILE] [--fraction F] [--k K] [--deadline N] [--lo N --hi N]
+/// [--samples N] [--seed N] [--timeout-ms N] [--schedule-out FILE]`
+pub fn request(args: &[String]) -> CliResult {
+    let kind_raw = args
+        .first()
+        .map(String::as_str)
+        .ok_or("usage: localwm request <embed|detect|analyze|timing|stats|shutdown> ...")?;
+    let kind =
+        RequestKind::parse(kind_raw).ok_or_else(|| format!("unknown request kind `{kind_raw}`"))?;
+    let args = &args[1..];
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7171");
+
+    let mut req = Request::new(kind);
+    req.id = parse_flag::<u64>(args, "--id")?;
+    if let Some(path) = flag_value(args, "--design") {
+        req.design = Some(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
+    }
+    req.author = flag_value(args, "--author").map(str::to_owned);
+    if let Some(path) = flag_value(args, "--schedule") {
+        req.schedule = Some(fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
+    }
+    req.fraction = parse_flag::<f64>(args, "--fraction")?;
+    req.k = parse_flag::<usize>(args, "--k")?;
+    req.deadline = parse_flag::<u32>(args, "--deadline")?;
+    req.lo = parse_flag::<u64>(args, "--lo")?;
+    req.hi = parse_flag::<u64>(args, "--hi")?;
+    req.samples = parse_flag::<usize>(args, "--samples")?;
+    req.seed = parse_flag::<u64>(args, "--seed")?;
+    req.timeout_ms = parse_flag::<u64>(args, "--timeout-ms")?;
+
+    let mut client = Client::connect_within(addr, Duration::from_secs(5))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = client
+        .call(&req)
+        .map_err(|e| format!("request failed: {e}"))?;
+
+    if let Some(out) = flag_value(args, "--schedule-out") {
+        match resp.result_field("schedule") {
+            Some(Value::Str(text)) => {
+                fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+            }
+            _ => return Err("response carries no schedule text".to_owned()),
+        }
+    }
+
+    let rendered = serde_json::to_string_pretty(&resp).expect("response serialization");
+    println!("{rendered}");
+    if resp.ok {
+        Ok(())
+    } else {
+        let detail = resp
+            .error
+            .as_ref()
+            .map_or_else(|| "unknown error".to_owned(), ToString::to_string);
+        Err(format!("server returned an error: {detail}"))
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end flows through the real `localwm` binary: generate → embed →
+//! detect on disk, the typed no-incomparable-pairs diagnostic, and a full
+//! serve/request round trip over a loopback socket.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn localwm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_localwm"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("localwm-cli-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn localwm");
+    assert!(
+        out.status.success(),
+        "command failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn gen_embed_detect_round_trips_on_disk() {
+    let dir = tmp_dir("flow");
+    let design = dir.join("iir4.cdfg");
+    let schedule = dir.join("schedule.txt");
+
+    run_ok(localwm().args(["gen", "iir4", "-o", design.to_str().unwrap()]));
+    let out = run_ok(localwm().args([
+        "embed",
+        design.to_str().unwrap(),
+        "--author",
+        "cli-e2e",
+        "-o",
+        schedule.to_str().unwrap(),
+    ]));
+    assert!(out.contains("embedded"), "embed reports its edges: {out}");
+    let out = run_ok(localwm().args([
+        "detect",
+        design.to_str().unwrap(),
+        schedule.to_str().unwrap(),
+        "--author",
+        "cli-e2e",
+    ]));
+    assert!(
+        out.contains("MATCH"),
+        "detect confirms the watermark: {out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serial_designs_get_the_typed_no_incomparable_pairs_diagnostic() {
+    let dir = tmp_dir("serial");
+    let design = dir.join("linear-ge.cdfg");
+    run_ok(localwm().args(["gen", "linear-ge", "-o", design.to_str().unwrap()]));
+    let out = localwm()
+        .args(["embed", design.to_str().unwrap(), "--author", "cli-e2e"])
+        .output()
+        .expect("spawn localwm");
+    assert!(!out.status.success(), "embed on a serial design fails");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no incomparable slack pairs"),
+        "typed diagnostic names the failure: {stderr}"
+    );
+    assert!(
+        stderr.contains("template watermark"),
+        "diagnostic suggests the fallback scheme: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe open so the server's shutdown message doesn't
+    // hit a closed pipe.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+fn spawn_server(metrics_out: Option<&Path>) -> ServerProc {
+    let mut cmd = localwm();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"]);
+    if let Some(path) = metrics_out {
+        cmd.args(["--metrics-out", path.to_str().unwrap()]);
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn localwm serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read listen line");
+    let addr = first
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on listen line")
+        .to_owned();
+    ServerProc {
+        child,
+        addr,
+        _stdout: reader,
+    }
+}
+
+#[test]
+fn serve_and_request_round_trip_over_the_wire() {
+    let dir = tmp_dir("serve");
+    let design = dir.join("iir4.cdfg");
+    let schedule = dir.join("schedule.txt");
+    let metrics = dir.join("metrics.json");
+    run_ok(localwm().args(["gen", "iir4", "-o", design.to_str().unwrap()]));
+
+    let mut server = spawn_server(Some(&metrics));
+    let addr = server.addr.clone();
+
+    let out = run_ok(localwm().args([
+        "request",
+        "embed",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+        "--author",
+        "cli-e2e",
+        "--schedule-out",
+        schedule.to_str().unwrap(),
+    ]));
+    assert!(out.contains("\"ok\": true"), "embed succeeded: {out}");
+    assert!(schedule.exists(), "--schedule-out wrote the schedule");
+
+    let out = run_ok(localwm().args([
+        "request",
+        "detect",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+        "--author",
+        "cli-e2e",
+        "--schedule",
+        schedule.to_str().unwrap(),
+    ]));
+    assert!(out.contains("\"match\": true"), "detect matched: {out}");
+
+    let out = run_ok(localwm().args(["request", "stats", "--addr", &addr]));
+    assert!(
+        out.contains("\"cache\""),
+        "stats exposes cache counters: {out}"
+    );
+
+    let out = run_ok(localwm().args(["request", "shutdown", "--addr", &addr]));
+    assert!(
+        out.contains("\"drained_jobs\""),
+        "shutdown reports drain: {out}"
+    );
+
+    let status = server.child.wait().expect("server exit");
+    assert!(status.success(), "server exits cleanly after shutdown");
+    let dumped = std::fs::read_to_string(&metrics).expect("metrics dump exists");
+    assert!(dumped.contains("\"requests\""), "metrics dump has counters");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -27,6 +27,18 @@ pub enum WatermarkError {
         /// Edges requested (`K`).
         requested: usize,
     },
+    /// Eligible (slack-rich) nodes were found, but every examined pair was
+    /// comparable or non-overlapping, so not a single temporal edge could
+    /// be drawn. This is the signature failure mode of nearly-serial
+    /// accumulation chains (the paper's Table II designs), which the paper
+    /// marks with the *template* watermark instead.
+    NoIncomparablePairs {
+        /// Eligible nodes in the largest locality examined.
+        domain_size: usize,
+        /// Candidate (source, destination) pairs examined across every
+        /// locality before giving up.
+        pairs_examined: usize,
+    },
     /// Fewer than `Z` matchings could be enforced.
     TooFewMatchings {
         /// Matchings enforced.
@@ -57,6 +69,16 @@ impl fmt::Display for WatermarkError {
             WatermarkError::TooFewEdges { drawn, requested } => {
                 write!(f, "only {drawn} of {requested} temporal edge(s) drawable")
             }
+            WatermarkError::NoIncomparablePairs {
+                domain_size,
+                pairs_examined,
+            } => write!(
+                f,
+                "no incomparable slack pairs: {pairs_examined} candidate pair(s) \
+                 across localities of up to {domain_size} eligible node(s) were \
+                 all comparable or non-overlapping; the design is too serial for \
+                 the scheduling watermark (try the template watermark)"
+            ),
             WatermarkError::TooFewMatchings {
                 enforced,
                 requested,

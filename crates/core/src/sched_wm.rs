@@ -285,6 +285,7 @@ impl SchedulingWatermarker {
         // graph that later draws are filtered against, so localities are
         // consumed strictly in attempt order.
         let mut best_candidates = 0usize;
+        let mut pairs_examined = 0usize;
         let mut domains: Vec<Domain> = Vec::new();
         let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(k);
         let mut working = DesignContext::from(g);
@@ -316,6 +317,7 @@ impl SchedulingWatermarker {
                 }
                 let ni = t2[i];
                 let wt = working.unit_timing();
+                pairs_examined += t2.len() - i - 1;
                 let gset: Vec<NodeId> = t2[i + 1..]
                     .iter()
                     .copied()
@@ -341,7 +343,15 @@ impl SchedulingWatermarker {
         if edges.len() == k {
             return Ok((domains, edges, windows));
         }
-        if best_candidates < 2 {
+        if edges.is_empty() && pairs_examined > 0 {
+            // Localities with eligible slack-rich nodes existed, yet no
+            // candidate pair anywhere was simultaneously overlapping and
+            // incomparable: the design is too serial for this watermark.
+            Err(WatermarkError::NoIncomparablePairs {
+                domain_size: best_candidates,
+                pairs_examined,
+            })
+        } else if best_candidates < 2 {
             Err(WatermarkError::NoDomain {
                 attempts: self.config.max_attempts,
                 best_candidates,
@@ -677,6 +687,33 @@ mod tests {
             embedded += usize::from(serial.is_ok());
         }
         assert!(embedded >= 2, "iir4 and mediabench must embed");
+    }
+
+    #[test]
+    fn serial_designs_report_no_incomparable_pairs() {
+        use localwm_cdfg::designs::{table2_design, table2_designs};
+        // Table II designs are nearly serial accumulation chains: eligible
+        // slack-rich nodes exist, but every candidate pair is comparable, so
+        // the failure must be the typed NoIncomparablePairs diagnostic
+        // rather than a generic TooFewEdges.
+        let t2 = table2_designs();
+        let g = table2_design(&t2[1]); // Linear GE: widest Table II design
+        let wm = SchedulingWatermarker::new(SchedWmConfig {
+            epsilon: 0.0,
+            slack_factor: 2.0,
+            ..SchedWmConfig::default()
+        });
+        let err = wm.embed(&g, &sig("serial")).unwrap_err();
+        match err {
+            WatermarkError::NoIncomparablePairs {
+                domain_size,
+                pairs_examined,
+            } => {
+                assert!(domain_size >= 2, "eligible nodes were found");
+                assert!(pairs_examined > 0, "pairs were actually examined");
+            }
+            other => panic!("expected NoIncomparablePairs, got {other:?}"),
+        }
     }
 
     #[test]

@@ -93,6 +93,7 @@ struct Caches {
     levels: Mutex<HashMap<NodeId, Arc<Vec<Option<u32>>>>>,
     fanin: Mutex<FaninCache>,
     bounded: Mutex<HashMap<u64, Arc<BoundedArrival>>>,
+    content: OnceLock<u64>,
 }
 
 /// A CDFG bundled with lazily computed, memoized analyses: topological
@@ -373,6 +374,22 @@ impl DesignContext {
         possibly_critical_with_arrival(&self.graph, self.topo(), model, &arr)
     }
 
+    /// A stable content hash of the design: FNV-1a over the canonical
+    /// serialized CDFG ([`localwm_cdfg::write_cdfg`]).
+    ///
+    /// The hash identifies the graph by *content* — node kinds, names, and
+    /// edges in id order — so two contexts built from the same design (e.g.
+    /// a graph and its write→parse round-trip, which preserves node ids)
+    /// hash identically even though they are distinct allocations. Service
+    /// layers key shared-context caches on this. Memoized; invalidated by
+    /// mutation like every other cached analysis.
+    pub fn content_hash(&self) -> u64 {
+        *self
+            .caches
+            .content
+            .get_or_init(|| fnv1a_bytes(localwm_cdfg::write_cdfg(&self.graph).as_bytes()))
+    }
+
     /// Mutates the graph through `f`, bumping the generation and dropping
     /// every cached analysis.
     pub fn mutate<R>(&mut self, f: impl FnOnce(&mut Cdfg) -> R) -> R {
@@ -419,6 +436,16 @@ impl DelayBounds for Table {
     fn bounds(&self, _g: &Cdfg, n: NodeId) -> DelayInterval {
         self.0[n.index()]
     }
+}
+
+/// FNV-1a over a byte string.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// FNV-1a over the interval endpoints: a stable fingerprint identifying a
@@ -581,6 +608,27 @@ mod tests {
             assert_eq!(cached.asap(n), fresh.asap(n));
             assert_eq!(cached.laxity(n), fresh.laxity(n));
         }
+    }
+
+    #[test]
+    fn content_hash_is_invariant_under_roundtrip_and_tracks_mutation() {
+        let ctx = DesignContext::new(iir4_parallel());
+        let h = ctx.content_hash();
+        assert_eq!(h, ctx.content_hash(), "memoized value is stable");
+
+        // A node-id-preserving round-trip through the canonical text format
+        // yields a different allocation with the identical content hash.
+        let text = localwm_cdfg::write_cdfg(ctx.graph());
+        let round = localwm_cdfg::parse_cdfg(&text).unwrap();
+        assert_eq!(DesignContext::new(round).content_hash(), h);
+
+        // Distinct designs and mutated graphs hash differently.
+        let mut other = DesignContext::new(iir4_parallel());
+        assert_eq!(other.content_hash(), h);
+        let a2 = other.node_by_name("A2").unwrap();
+        let c7 = other.node_by_name("C7").unwrap();
+        other.add_temporal_edge(a2, c7).unwrap();
+        assert_ne!(other.content_hash(), h, "mutation invalidates the hash");
     }
 
     #[test]

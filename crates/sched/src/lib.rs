@@ -47,6 +47,7 @@ mod lifetimes;
 mod list;
 mod resource;
 mod schedule;
+mod textio;
 mod windows;
 
 pub use exact::{exact_schedule, exact_schedule_in, MAX_EXACT_NODES};
@@ -55,4 +56,5 @@ pub use lifetimes::{left_edge_binding, lifetimes, register_count, Lifetime};
 pub use list::{alap_schedule, alap_schedule_in, list_schedule, list_schedule_in};
 pub use resource::{OpClass, ResourceSet};
 pub use schedule::{Schedule, ScheduleError};
+pub use textio::{parse_schedule, write_schedule};
 pub use windows::Windows;

@@ -1,7 +1,13 @@
 //! Schedule text format: one `<node-name> <step>` pair per line.
+//!
+//! The interchange format the `localwm` CLI and the `localwm-serve` wire
+//! protocol use for schedules. Node names match the canonical CDFG text
+//! format of [`localwm_cdfg::write_cdfg`]: declared names where present,
+//! synthetic `n<i>` names for anonymous nodes.
 
 use localwm_cdfg::{Cdfg, NodeId};
-use localwm_sched::Schedule;
+
+use crate::Schedule;
 
 /// Serializes a schedule using node names (synthetic `n<i>` for anonymous
 /// nodes, matching `localwm_cdfg::write_cdfg`).
@@ -18,6 +24,11 @@ pub fn write_schedule(g: &Cdfg, s: &Schedule) -> String {
 }
 
 /// Parses the schedule format against a graph (names must resolve).
+///
+/// # Errors
+///
+/// Returns a descriptive message for malformed lines, unknown node names,
+/// and unparseable steps.
 pub fn parse_schedule(g: &Cdfg, text: &str) -> Result<Schedule, String> {
     let mut s = Schedule::empty(g);
     for (lineno, raw) in text.lines().enumerate() {
@@ -57,8 +68,8 @@ fn resolve(g: &Cdfg, name: &str) -> Option<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{list_schedule, ResourceSet};
     use localwm_cdfg::OpKind;
-    use localwm_sched::{list_schedule, ResourceSet};
 
     #[test]
     fn round_trips_named_and_anonymous_nodes() {

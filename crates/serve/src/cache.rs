@@ -1,0 +1,236 @@
+//! A content-hash-keyed LRU cache of shared [`DesignContext`]s.
+//!
+//! Repeated requests against the same CDFG (keyed by
+//! [`DesignContext::content_hash`]) get the **same** `Arc<DesignContext>`
+//! back, so the engine's memoized analyses — topological order, unit
+//! timing, window tables, bounded-delay arrivals — are computed once per
+//! design, not once per request. Hits, misses and evictions are counted
+//! for the `stats` request.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use localwm_cdfg::{parse_cdfg, Cdfg};
+use localwm_engine::DesignContext;
+
+struct Entry {
+    ctx: Arc<DesignContext>,
+    last_used: u64,
+    /// Request-text FNV aliases pointing at this entry, removed on evict.
+    aliases: Vec<u64>,
+}
+
+struct Lru {
+    entries: HashMap<u64, Entry>,
+    /// Fast path: FNV of the raw request text → canonical content key, so a
+    /// byte-identical resend skips parsing and canonicalization entirely.
+    text_alias: HashMap<u64, u64>,
+    tick: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The cache; see the module docs.
+pub struct ContextCache {
+    state: Mutex<Lru>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A counters snapshot for the `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a fresh context.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+    /// Designs currently cached.
+    pub entries: usize,
+    /// Maximum designs cached.
+    pub capacity: usize,
+}
+
+impl ContextCache {
+    /// An empty cache holding at most `capacity` designs (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        ContextCache {
+            state: Mutex::new(Lru {
+                entries: HashMap::new(),
+                text_alias: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the shared context for the raw CDFG `text`.
+    ///
+    /// Byte-identical text seen before takes the alias fast path: no parse,
+    /// no canonicalization, just a hash of the request bytes. Novel text is
+    /// parsed and resolved through the canonical content hash, so two
+    /// different spellings of the same design still share one context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message for malformed text (never cached).
+    pub fn get_or_parse(&self, text: &str) -> Result<Arc<DesignContext>, String> {
+        let text_key = fnv1a(text.as_bytes());
+        {
+            let mut lru = self.state.lock().expect("cache lock");
+            lru.tick += 1;
+            let tick = lru.tick;
+            if let Some(&key) = lru.text_alias.get(&text_key) {
+                if let Some(e) = lru.entries.get_mut(&key) {
+                    e.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&e.ctx));
+                }
+            }
+        }
+        let graph = parse_cdfg(text).map_err(|e| e.to_string())?;
+        Ok(self.insert(graph, Some(text_key)))
+    }
+
+    /// Returns the shared context for `graph`, inserting (and, at capacity,
+    /// evicting the least-recently-used design) on miss.
+    pub fn get_or_insert(&self, graph: Cdfg) -> Arc<DesignContext> {
+        self.insert(graph, None)
+    }
+
+    fn insert(&self, graph: Cdfg, text_key: Option<u64>) -> Arc<DesignContext> {
+        // Hashing happens outside the cache lock: it serializes the graph.
+        let fresh = DesignContext::new(graph);
+        let key = fresh.content_hash();
+        let mut lru = self.state.lock().expect("cache lock");
+        lru.tick += 1;
+        let tick = lru.tick;
+        if let Some(e) = lru.entries.get_mut(&key) {
+            e.last_used = tick;
+            if let Some(tk) = text_key {
+                if !e.aliases.contains(&tk) {
+                    e.aliases.push(tk);
+                }
+            }
+            let ctx = Arc::clone(&e.ctx);
+            if let Some(tk) = text_key {
+                lru.text_alias.insert(tk, key);
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ctx;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if lru.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = lru.entries.iter().min_by_key(|(&k, e)| (e.last_used, k)) {
+                if let Some(evicted) = lru.entries.remove(&victim) {
+                    for a in &evicted.aliases {
+                        lru.text_alias.remove(a);
+                    }
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ctx = Arc::new(fresh);
+        lru.entries.insert(
+            key,
+            Entry {
+                ctx: Arc::clone(&ctx),
+                last_used: tick,
+                aliases: text_key.into_iter().collect(),
+            },
+        );
+        if let Some(tk) = text_key {
+            lru.text_alias.insert(tk, key);
+        }
+        ctx
+    }
+
+    /// A counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.state.lock().expect("cache lock").entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::generators::{mediabench, mediabench_apps};
+    use localwm_cdfg::write_cdfg;
+
+    #[test]
+    fn identical_text_takes_the_alias_fast_path() {
+        let cache = ContextCache::new(4);
+        let text = write_cdfg(&iir4_parallel());
+        let a = cache.get_or_parse(&text).unwrap();
+        let b = cache.get_or_parse(&text).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // A respelled design (extra blank line) still resolves to the same
+        // canonical entry through the content hash.
+        let respelled = format!("\n{text}");
+        let c = cache.get_or_parse(&respelled).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn malformed_text_is_an_error_and_never_cached() {
+        let cache = ContextCache::new(4);
+        assert!(cache.get_or_parse("node bogus-kind x").is_err());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn same_design_hits_and_shares_the_context() {
+        let cache = ContextCache::new(4);
+        let a = cache.get_or_insert(iir4_parallel());
+        let _ = a.critical_path(); // warm an analysis
+        let b = cache.get_or_insert(iir4_parallel());
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the same shared context");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_design() {
+        let cache = ContextCache::new(2);
+        let apps = mediabench_apps();
+        cache.get_or_insert(iir4_parallel()); // A
+        cache.get_or_insert(mediabench(&apps[0], 0)); // B
+        cache.get_or_insert(iir4_parallel()); // touch A -> B is LRU
+        cache.get_or_insert(mediabench(&apps[1], 0)); // C evicts B
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // A is still cached; B was evicted and misses again.
+        cache.get_or_insert(iir4_parallel());
+        cache.get_or_insert(mediabench(&apps[0], 0));
+        let s = cache.stats();
+        assert_eq!(s.hits, 2, "A hit twice; B's return was a miss");
+        assert_eq!(s.evictions, 2, "B's return evicted the next LRU");
+    }
+}

@@ -1,0 +1,96 @@
+//! A minimal blocking client for the JSON-lines protocol, shared by the
+//! CLI's `localwm request`, the integration tests, and the load bench.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Connects, retrying for up to `wait` while the server is starting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once `wait` elapses.
+    pub fn connect_within(addr: &str, wait: Duration) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next raw response line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or a server-closed connection.
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Reads and decodes the next response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or an undecodable response line.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let line = self.recv_line()?;
+        Response::from_line(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends `req` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] and [`Client::recv`] errors.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+}

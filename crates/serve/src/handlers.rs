@@ -1,0 +1,264 @@
+//! Request execution: pure functions from a request (plus the shared
+//! context cache) to a result object or a typed [`ServiceError`].
+//!
+//! Handlers run on worker threads with [`Parallelism::Serial`] — the
+//! service's concurrency comes from the worker pool, not from nested
+//! fan-out — and every handler is deterministic in its request, so
+//! concurrent and serial executions of the same request stream produce
+//! byte-identical responses.
+
+use std::sync::Arc;
+
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature, WatermarkError};
+use localwm_engine::{DesignContext, KindBounds, Parallelism};
+use localwm_sched::{parse_schedule, write_schedule};
+use localwm_timing::criticality_in;
+use serde::{object, Serialize, Value};
+
+use crate::cache::ContextCache;
+use crate::protocol::{ErrorCode, Request, RequestKind, ServiceError};
+
+type HandlerResult = Result<Value, ServiceError>;
+
+fn bad_request(msg: impl Into<String>) -> ServiceError {
+    ServiceError::new(ErrorCode::BadRequest, msg)
+}
+
+/// Resolves the request's design text through the shared context cache.
+fn design_context(cache: &ContextCache, req: &Request) -> Result<Arc<DesignContext>, ServiceError> {
+    let text = req
+        .design
+        .as_deref()
+        .ok_or_else(|| bad_request("missing `design` (CDFG text)"))?;
+    cache
+        .get_or_parse(text)
+        .map_err(|e| bad_request(format!("bad design: {e}")))
+}
+
+fn bounds(req: &Request) -> Result<KindBounds, ServiceError> {
+    let lo = req.lo.unwrap_or(1);
+    let hi = req.hi.unwrap_or(3);
+    if lo > hi {
+        return Err(bad_request(format!("bad delay bounds: lo {lo} > hi {hi}")));
+    }
+    Ok(KindBounds::uniform(lo, hi))
+}
+
+/// Executes one queued request against the shared cache.
+///
+/// # Errors
+///
+/// Returns a typed [`ServiceError`]; `stats` and `shutdown` are answered
+/// inline by the connection thread and never reach this function.
+pub fn execute(cache: &ContextCache, req: &Request) -> HandlerResult {
+    match req.kind {
+        RequestKind::Embed => embed(cache, req),
+        RequestKind::Detect => detect(cache, req),
+        RequestKind::Analyze => analyze(cache, req),
+        RequestKind::Timing => timing(cache, req),
+        RequestKind::Stats | RequestKind::Shutdown => Err(ServiceError::new(
+            ErrorCode::Internal,
+            "stats/shutdown are handled inline",
+        )),
+    }
+}
+
+fn signature(req: &Request) -> Result<Signature, ServiceError> {
+    req.author
+        .as_deref()
+        .map(Signature::from_author)
+        .ok_or_else(|| bad_request("missing `author`"))
+}
+
+fn watermarker(req: &Request) -> SchedulingWatermarker {
+    let mut config = SchedWmConfig::default();
+    if let Some(f) = req.fraction {
+        config = SchedWmConfig::with_node_fraction(f);
+    }
+    if let Some(k) = req.k {
+        config.k = k;
+    }
+    SchedulingWatermarker::new(config)
+}
+
+fn embed(cache: &ContextCache, req: &Request) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let sig = signature(req)?;
+    let wm = watermarker(req);
+    let emb = wm
+        .embed_in(&ctx, &sig, Parallelism::Serial)
+        .map_err(|e| match e {
+            WatermarkError::NoIncomparablePairs {
+                domain_size,
+                pairs_examined,
+            } => ServiceError::new(ErrorCode::NoIncomparablePairs, e.to_string())
+                .with_detail("domain_size", domain_size.to_value())
+                .with_detail("pairs_examined", pairs_examined.to_value()),
+            other => ServiceError::new(ErrorCode::EmbedFailed, other.to_string()),
+        })?;
+    Ok(object(vec![
+        ("edges", emb.edges.len().to_value()),
+        ("localities", emb.domains.len().to_value()),
+        ("schedule_length", emb.schedule.length().to_value()),
+        ("available_steps", emb.available_steps.to_value()),
+        (
+            "schedule",
+            write_schedule(ctx.graph(), &emb.schedule).to_value(),
+        ),
+    ]))
+}
+
+fn detect(cache: &ContextCache, req: &Request) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let sig = signature(req)?;
+    let text = req
+        .schedule
+        .as_deref()
+        .ok_or_else(|| bad_request("missing `schedule` (schedule text)"))?;
+    let schedule =
+        parse_schedule(ctx.graph(), text).map_err(|e| bad_request(format!("bad schedule: {e}")))?;
+    let wm = watermarker(req);
+    let ev = wm
+        .detect_in(&schedule, &ctx, &sig, Parallelism::Serial)
+        .map_err(|e| ServiceError::new(ErrorCode::DetectFailed, e.to_string()))?;
+    let satisfied = ev.checks.iter().filter(|&&(_, _, ok)| ok).count();
+    Ok(object(vec![
+        ("match", ev.is_match().to_value()),
+        ("satisfied", satisfied.to_value()),
+        ("checked", ev.checks.len().to_value()),
+        ("log10_pc", ev.log10_pc.to_value()),
+    ]))
+}
+
+fn timing(cache: &ContextCache, req: &Request) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let cp = ctx.critical_path();
+    let deadline = req.deadline.unwrap_or(cp);
+    let w = ctx
+        .windows(deadline)
+        .map_err(|e| bad_request(e.to_string()))?;
+    let g = ctx.graph();
+    let zero_mobility = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable() && w.mobility(n) == 0)
+        .count();
+    let model = bounds(req)?;
+    let interval = ctx.bounded_critical_path(&model);
+    let maybe = ctx.possibly_critical(&model);
+    Ok(object(vec![
+        ("ops", g.op_count().to_value()),
+        ("critical_path", cp.to_value()),
+        ("deadline", deadline.to_value()),
+        ("zero_mobility", zero_mobility.to_value()),
+        ("bounded_lo", interval.lo.to_value()),
+        ("bounded_hi", interval.hi.to_value()),
+        ("possibly_critical", maybe.len().to_value()),
+    ]))
+}
+
+fn analyze(cache: &ContextCache, req: &Request) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let base = timing(cache, req)?;
+    let samples = req.samples.unwrap_or(100);
+    let seed = req.seed.unwrap_or(0);
+    let model = bounds(req)?;
+    let report = criticality_in(&ctx, &model, samples, seed, Parallelism::Serial);
+    let g = ctx.graph();
+    let mut hot: Vec<(f64, localwm_cdfg::NodeId)> = g
+        .node_ids()
+        .filter(|&n| g.kind(n).is_schedulable())
+        .map(|n| (report.probability(n), n))
+        .collect();
+    hot.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    let top: Vec<Value> = hot
+        .iter()
+        .take(5)
+        .map(|&(p, n)| {
+            let name = g
+                .node(n)
+                .and_then(|x| x.name().map(str::to_owned))
+                .unwrap_or_else(|| format!("n{}", n.index()));
+            Value::Array(vec![Value::Str(name), Value::Float(p)])
+        })
+        .collect();
+    let mut fields = match base {
+        Value::Object(f) => f,
+        _ => unreachable!("timing returns an object"),
+    };
+    fields.push(("samples".to_owned(), samples.to_value()));
+    fields.push(("seed".to_owned(), seed.to_value()));
+    fields.push((
+        "delay_p50".to_owned(),
+        report.delay_quantile(0.5).to_value(),
+    ));
+    fields.push((
+        "delay_p95".to_owned(),
+        report.delay_quantile(0.95).to_value(),
+    ));
+    fields.push(("top_critical".to_owned(), Value::Array(top)));
+    Ok(Value::Object(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::write_cdfg;
+
+    fn req_with_design(kind: RequestKind) -> Request {
+        let mut r = Request::new(kind);
+        r.design = Some(write_cdfg(&iir4_parallel()));
+        r
+    }
+
+    #[test]
+    fn timing_reports_critical_path() {
+        let cache = ContextCache::new(2);
+        let out = execute(&cache, &req_with_design(RequestKind::Timing)).unwrap();
+        assert_eq!(out.field("critical_path"), Some(&Value::Int(6)));
+        assert!(matches!(out.field("bounded_hi"), Some(Value::Int(_))));
+    }
+
+    #[test]
+    fn embed_then_detect_round_trips_through_the_wire_formats() {
+        let cache = ContextCache::new(2);
+        let mut embed_req = req_with_design(RequestKind::Embed);
+        embed_req.author = Some("server-test".to_owned());
+        let emb = execute(&cache, &embed_req).unwrap();
+        let schedule = match emb.field("schedule") {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("expected schedule text, got {other:?}"),
+        };
+        let mut detect_req = req_with_design(RequestKind::Detect);
+        detect_req.author = Some("server-test".to_owned());
+        detect_req.schedule = Some(schedule);
+        let ev = execute(&cache, &detect_req).unwrap();
+        assert_eq!(ev.field("match"), Some(&Value::Bool(true)));
+        // The cache served both requests from one context.
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn missing_fields_are_bad_requests() {
+        let cache = ContextCache::new(2);
+        let no_design = Request::new(RequestKind::Timing);
+        let err = execute(&cache, &no_design).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        let no_author = req_with_design(RequestKind::Embed);
+        let err = execute(&cache, &no_author).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn serial_design_yields_typed_no_incomparable_pairs() {
+        use localwm_cdfg::designs::{table2_design, table2_designs};
+        let cache = ContextCache::new(2);
+        let mut req = Request::new(RequestKind::Embed);
+        req.design = Some(write_cdfg(&table2_design(&table2_designs()[1])));
+        req.author = Some("anyone".to_owned());
+        let err = execute(&cache, &req).unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoIncomparablePairs);
+        assert!(err.details.iter().any(|(k, _)| k == "domain_size"));
+        assert!(err.details.iter().any(|(k, _)| k == "pairs_examined"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `localwm-serve`: a concurrent analysis service over the localwm engine.
+//!
+//! A std-only TCP server speaking a JSON-lines protocol (one request
+//! object per line, one response object per line; see [`protocol`]).
+//! Request kinds: `embed`, `detect`, `analyze`, `timing`, `stats`,
+//! `shutdown`.
+//!
+//! The moving parts:
+//!
+//! * [`queue::BoundedQueue`] — bounded MPMC job queue with explicit
+//!   backpressure (typed `overloaded` error when full; the acceptor never
+//!   blocks).
+//! * [`cache::ContextCache`] — content-hash-keyed LRU of shared
+//!   [`DesignContext`](localwm_engine::DesignContext)s with hit/miss/
+//!   eviction counters.
+//! * [`metrics::Metrics`] — per-kind latency histograms and counters,
+//!   surfaced by the `stats` request and `--metrics-out`.
+//! * [`server`] — acceptor, worker pool, deadline watchdog, graceful
+//!   drain-on-shutdown.
+//! * [`client::Client`] — the blocking client used by `localwm request`,
+//!   the integration tests, and the load bench.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod handlers;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, ContextCache};
+pub use client::Client;
+pub use metrics::{Metrics, Outcome};
+pub use protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{start, ServeConfig, ServerHandle};

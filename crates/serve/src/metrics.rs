@@ -1,0 +1,178 @@
+//! Live service metrics: per-kind request counters and latency histograms.
+//!
+//! Lock-free (atomic) recording on the worker path; snapshots are exposed
+//! through the `stats` request and dumped to JSON on exit via
+//! `--metrics-out`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::protocol::RequestKind;
+
+/// Power-of-two microsecond buckets: `< 1µs, < 2µs, …, < 16.4ms, ≥ 16.4ms`.
+const BUCKETS: usize = 16;
+
+/// How a request finished, for counter purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A success response was sent.
+    Ok,
+    /// A typed error response was sent.
+    Error,
+    /// The watchdog answered with `deadline_exceeded`.
+    Timeout,
+}
+
+#[derive(Default)]
+struct KindMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl KindMetrics {
+    fn record(&self, latency: Duration, outcome: Outcome) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Outcome::Ok => {}
+            Outcome::Error => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Timeout => {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_value(&self) -> Value {
+        let hist: Vec<Value> = self
+            .buckets
+            .iter()
+            .map(|b| Value::UInt(b.load(Ordering::Relaxed)))
+            .collect();
+        Value::Object(vec![
+            (
+                "count".to_owned(),
+                Value::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "errors".to_owned(),
+                Value::UInt(self.errors.load(Ordering::Relaxed)),
+            ),
+            (
+                "timeouts".to_owned(),
+                Value::UInt(self.timeouts.load(Ordering::Relaxed)),
+            ),
+            (
+                "total_us".to_owned(),
+                Value::UInt(self.total_us.load(Ordering::Relaxed)),
+            ),
+            ("histogram_us_pow2".to_owned(), Value::Array(hist)),
+        ])
+    }
+}
+
+/// The server-wide metrics registry.
+pub struct Metrics {
+    started: Instant,
+    kinds: [KindMetrics; RequestKind::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// An empty registry; the uptime clock starts now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            kinds: Default::default(),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, kind: RequestKind, latency: Duration, outcome: Outcome) {
+        self.kinds[kind.index()].record(latency, outcome);
+    }
+
+    /// Total requests recorded for one kind.
+    pub fn count(&self, kind: RequestKind) -> u64 {
+        self.kinds[kind.index()].requests.load(Ordering::Relaxed)
+    }
+
+    /// Total timeouts recorded for one kind.
+    pub fn timeouts(&self, kind: RequestKind) -> u64 {
+        self.kinds[kind.index()].timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the registry was created.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The per-kind snapshot as a JSON object keyed by wire name.
+    pub fn to_value(&self) -> Value {
+        Value::Object(
+            RequestKind::ALL
+                .iter()
+                .map(|k| (k.as_str().to_owned(), self.kinds[k.index()].to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_land_in_the_right_counters() {
+        let m = Metrics::new();
+        m.record(RequestKind::Timing, Duration::from_micros(3), Outcome::Ok);
+        m.record(
+            RequestKind::Timing,
+            Duration::from_micros(9),
+            Outcome::Error,
+        );
+        m.record(
+            RequestKind::Embed,
+            Duration::from_millis(2),
+            Outcome::Timeout,
+        );
+        assert_eq!(m.count(RequestKind::Timing), 2);
+        assert_eq!(m.count(RequestKind::Embed), 1);
+        assert_eq!(m.timeouts(RequestKind::Embed), 1);
+        let v = m.to_value();
+        let timing = v.field("timing").unwrap();
+        assert_eq!(timing.field("count"), Some(&Value::UInt(2)));
+        assert_eq!(timing.field("errors"), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_of_microseconds() {
+        let m = Metrics::new();
+        // 0µs -> bucket 0, 1µs -> bucket 1, 1ms (=2^10µs) -> bucket 11.
+        m.record(RequestKind::Stats, Duration::from_micros(0), Outcome::Ok);
+        m.record(RequestKind::Stats, Duration::from_micros(1), Outcome::Ok);
+        m.record(RequestKind::Stats, Duration::from_micros(1024), Outcome::Ok);
+        let v = m.to_value();
+        let hist = match v.field("stats").unwrap().field("histogram_us_pow2") {
+            Some(Value::Array(a)) => a.clone(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(hist[0], Value::UInt(1));
+        assert_eq!(hist[1], Value::UInt(1));
+        assert_eq!(hist[11], Value::UInt(1));
+    }
+}

@@ -1,0 +1,494 @@
+//! The JSON-lines wire protocol.
+//!
+//! Every request and response is one JSON object per line (`\n`-terminated,
+//! no newlines inside). Grammar:
+//!
+//! ```text
+//! request  = { "kind": KIND, ["id": u64], ...params } "\n"
+//! KIND     = "embed" | "detect" | "analyze" | "timing" | "stats" | "shutdown"
+//! params   = "design": cdfg-text      (embed/detect/analyze/timing)
+//!            "author": string         (embed/detect)
+//!            "schedule": sched-text   (detect)
+//!            "fraction": f64 | "k": u64             (embed)
+//!            "deadline": u32, "lo": u64, "hi": u64  (analyze/timing)
+//!            "samples": u64, "seed": u64            (analyze)
+//!            "timeout_ms": u64        (any; per-request deadline)
+//! response = { ["id": u64], "kind": KIND, "ok": bool,
+//!              "result": object | "error": {"code": CODE, "message": str, ...} } "\n"
+//! ```
+//!
+//! Requests may be pipelined on one connection; responses carry the echoed
+//! `id` so clients can match them when they complete out of order.
+
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// The request kinds the service understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Embed a scheduling watermark and synthesize a schedule.
+    Embed,
+    /// Verify a schedule against a signature.
+    Detect,
+    /// Full analysis sweep: windows, bounded delays, Monte-Carlo criticality.
+    Analyze,
+    /// Timing summary: critical path, mobility, bounded-delay interval.
+    Timing,
+    /// Live server metrics (answered inline, even under full queue).
+    Stats,
+    /// Graceful shutdown: drain in-flight work, then exit.
+    Shutdown,
+}
+
+impl RequestKind {
+    /// Every kind, in wire-name order; indexes match [`RequestKind::index`].
+    pub const ALL: [RequestKind; 6] = [
+        RequestKind::Embed,
+        RequestKind::Detect,
+        RequestKind::Analyze,
+        RequestKind::Timing,
+        RequestKind::Stats,
+        RequestKind::Shutdown,
+    ];
+
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Embed => "embed",
+            RequestKind::Detect => "detect",
+            RequestKind::Analyze => "analyze",
+            RequestKind::Timing => "timing",
+            RequestKind::Stats => "stats",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+
+    /// A dense index for per-kind metric arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// What to do.
+    pub kind: RequestKind,
+    /// The design, in the canonical CDFG text format.
+    pub design: Option<String>,
+    /// Author identity for embed/detect.
+    pub author: Option<String>,
+    /// A schedule in the text format (detect).
+    pub schedule: Option<String>,
+    /// Embed: constrain this fraction of the operations.
+    pub fraction: Option<f64>,
+    /// Embed: draw exactly `k` temporal edges.
+    pub k: Option<usize>,
+    /// Window deadline in control steps (timing/analyze).
+    pub deadline: Option<u32>,
+    /// Bounded-delay model lower bound per op.
+    pub lo: Option<u64>,
+    /// Bounded-delay model upper bound per op.
+    pub hi: Option<u64>,
+    /// Monte-Carlo criticality sample count (analyze).
+    pub samples: Option<usize>,
+    /// Monte-Carlo seed (analyze).
+    pub seed: Option<u64>,
+    /// Per-request deadline in milliseconds; past it the watchdog answers
+    /// with a `deadline_exceeded` error.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Request {
+    /// An empty request of the given kind.
+    pub fn new(kind: RequestKind) -> Self {
+        Request {
+            id: None,
+            kind,
+            design: None,
+            author: None,
+            schedule: None,
+            fraction: None,
+            k: None,
+            deadline: None,
+            lo: None,
+            hi: None,
+            samples: None,
+            seed: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Encodes the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("request serialization is infallible")
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or an unknown/missing kind.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+}
+
+fn push_field(fields: &mut Vec<(String, Value)>, name: &str, v: Option<Value>) {
+    if let Some(v) = v {
+        fields.push((name.to_owned(), v));
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        push_field(&mut fields, "id", self.id.map(|v| v.to_value()));
+        fields.push(("kind".to_owned(), Value::Str(self.kind.as_str().to_owned())));
+        push_field(
+            &mut fields,
+            "design",
+            self.design.as_ref().map(|v| v.to_value()),
+        );
+        push_field(
+            &mut fields,
+            "author",
+            self.author.as_ref().map(|v| v.to_value()),
+        );
+        push_field(
+            &mut fields,
+            "schedule",
+            self.schedule.as_ref().map(|v| v.to_value()),
+        );
+        push_field(&mut fields, "fraction", self.fraction.map(|v| v.to_value()));
+        push_field(&mut fields, "k", self.k.map(|v| v.to_value()));
+        push_field(&mut fields, "deadline", self.deadline.map(|v| v.to_value()));
+        push_field(&mut fields, "lo", self.lo.map(|v| v.to_value()));
+        push_field(&mut fields, "hi", self.hi.map(|v| v.to_value()));
+        push_field(&mut fields, "samples", self.samples.map(|v| v.to_value()));
+        push_field(&mut fields, "seed", self.seed.map(|v| v.to_value()));
+        push_field(
+            &mut fields,
+            "timeout_ms",
+            self.timeout_ms.map(|v| v.to_value()),
+        );
+        Value::Object(fields)
+    }
+}
+
+/// Fetches an optional field: absent and `null` both mean `None`.
+fn opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match v.field(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => T::from_value(x)
+            .map(Some)
+            .map_err(|e| DeError::msg(format!("field `{name}`: {e}"))),
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind: String = serde::field(v, "kind")?;
+        let kind = RequestKind::parse(&kind)
+            .ok_or_else(|| DeError::msg(format!("unknown request kind `{kind}`")))?;
+        Ok(Request {
+            id: opt(v, "id")?,
+            kind,
+            design: opt(v, "design")?,
+            author: opt(v, "author")?,
+            schedule: opt(v, "schedule")?,
+            fraction: opt(v, "fraction")?,
+            k: opt(v, "k")?,
+            deadline: opt(v, "deadline")?,
+            lo: opt(v, "lo")?,
+            hi: opt(v, "hi")?,
+            samples: opt(v, "samples")?,
+            seed: opt(v, "seed")?,
+            timeout_ms: opt(v, "timeout_ms")?,
+        })
+    }
+}
+
+/// Typed error codes a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The job queue was full; the request was rejected without blocking
+    /// the acceptor. Retry with backoff.
+    Overloaded,
+    /// The request was malformed or missing required fields.
+    BadRequest,
+    /// The per-request deadline elapsed before a worker finished.
+    DeadlineExceeded,
+    /// Embed: the design has no incomparable slack pairs (typed diagnostic
+    /// with `domain_size` / `pairs_examined` details).
+    NoIncomparablePairs,
+    /// Embed failed for another reason (see message).
+    EmbedFailed,
+    /// Detect failed (see message).
+    DetectFailed,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::NoIncomparablePairs => "no_incomparable_pairs",
+            ErrorCode::EmbedFailed => "embed_failed",
+            ErrorCode::DetectFailed => "detect_failed",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name (unknown codes map to [`ErrorCode::Internal`]).
+    pub fn parse(s: &str) -> Self {
+        [
+            ErrorCode::Overloaded,
+            ErrorCode::BadRequest,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::NoIncomparablePairs,
+            ErrorCode::EmbedFailed,
+            ErrorCode::DetectFailed,
+            ErrorCode::ShuttingDown,
+        ]
+        .into_iter()
+        .find(|c| c.as_str() == s)
+        .unwrap_or(ErrorCode::Internal)
+    }
+}
+
+/// A typed service error: a code, a human message, and structured details.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable message.
+    pub message: String,
+    /// Extra structured fields merged into the error object.
+    pub details: Vec<(String, Value)>,
+}
+
+impl ServiceError {
+    /// An error with no extra details.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServiceError {
+            code,
+            message: message.into(),
+            details: Vec::new(),
+        }
+    }
+
+    /// Adds a structured detail field.
+    #[must_use]
+    pub fn with_detail(mut self, name: &str, v: Value) -> Self {
+        self.details.push((name.to_owned(), v));
+        self
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("code".to_owned(), Value::Str(self.code.as_str().to_owned())),
+            ("message".to_owned(), Value::Str(self.message.clone())),
+        ];
+        fields.extend(self.details.iter().cloned());
+        Value::Object(fields)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let code: String = serde::field(v, "code")?;
+        let message: String = serde::field(v, "message")?;
+        let details = match v {
+            Value::Object(fields) => fields
+                .iter()
+                .filter(|(k, _)| k != "code" && k != "message")
+                .cloned()
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(ServiceError {
+            code: ErrorCode::parse(&code),
+            message,
+            details,
+        })
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id, echoed back.
+    pub id: Option<u64>,
+    /// The request kind this answers (`"invalid"` for unparseable lines).
+    pub kind: String,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Result object on success.
+    pub result: Option<Value>,
+    /// Error object on failure.
+    pub error: Option<ServiceError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn success(id: Option<u64>, kind: &str, result: Value) -> Self {
+        Response {
+            id,
+            kind: kind.to_owned(),
+            ok: true,
+            result: Some(result),
+            error: None,
+        }
+    }
+
+    /// A failure response.
+    pub fn failure(id: Option<u64>, kind: &str, error: ServiceError) -> Self {
+        Response {
+            id,
+            kind: kind.to_owned(),
+            ok: false,
+            result: None,
+            error: Some(error),
+        }
+    }
+
+    /// Encodes the response as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("response serialization is infallible")
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a shape mismatch.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+
+    /// A field of the result object, if this is a success carrying one.
+    pub fn result_field(&self, name: &str) -> Option<&Value> {
+        self.result.as_ref().and_then(|r| r.field(name))
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        push_field(&mut fields, "id", self.id.map(|v| v.to_value()));
+        fields.push(("kind".to_owned(), Value::Str(self.kind.clone())));
+        fields.push(("ok".to_owned(), Value::Bool(self.ok)));
+        if let Some(r) = &self.result {
+            fields.push(("result".to_owned(), r.clone()));
+        }
+        if let Some(e) = &self.error {
+            fields.push(("error".to_owned(), e.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Response {
+            id: opt(v, "id")?,
+            kind: serde::field(v, "kind")?,
+            ok: serde::field(v, "ok")?,
+            result: v.field("result").cloned(),
+            error: match v.field("error") {
+                None | Some(Value::Null) => None,
+                Some(e) => Some(ServiceError::from_value(e)?),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = Request::new(RequestKind::Embed);
+        req.id = Some(7);
+        req.design = Some("node a add\n".to_owned());
+        req.author = Some("alice".to_owned());
+        req.k = Some(4);
+        req.timeout_ms = Some(500);
+        let line = req.to_line();
+        assert!(!line.contains('\n'), "one line on the wire");
+        let back = Request::from_line(&line).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert!(Request::from_line(r#"{"kind":"explode"}"#).is_err());
+        assert!(Request::from_line(r#"{"id":1}"#).is_err());
+        assert!(Request::from_line("not json").is_err());
+    }
+
+    #[test]
+    fn every_kind_parses_its_wire_name() {
+        for k in RequestKind::ALL {
+            assert_eq!(RequestKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(RequestKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn response_round_trips_with_error_details() {
+        let err = ServiceError::new(ErrorCode::NoIncomparablePairs, "too serial")
+            .with_detail("domain_size", 11u64.to_value())
+            .with_detail("pairs_examined", 90u64.to_value());
+        let resp = Response::failure(Some(3), "embed", err.clone());
+        let back = Response::from_line(&resp.to_line()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(
+            back.error.as_ref().unwrap().code,
+            ErrorCode::NoIncomparablePairs
+        );
+        assert_eq!(
+            back.error.unwrap().details,
+            vec![
+                ("domain_size".to_owned(), Value::Int(11)),
+                ("pairs_examined".to_owned(), Value::Int(90)),
+            ]
+        );
+    }
+
+    #[test]
+    fn success_response_exposes_result_fields() {
+        let body = serde::object(vec![("critical_path", 6u32.to_value())]);
+        let resp = Response::success(None, "timing", body);
+        let back = Response::from_line(&resp.to_line()).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.result_field("critical_path"), Some(&Value::Int(6)));
+    }
+}

@@ -1,0 +1,191 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! Producers (connection threads) use [`BoundedQueue::try_push`], which
+//! **never blocks**: when the queue is at capacity the job comes straight
+//! back so the caller can answer with a typed `overloaded` error. Consumers
+//! (workers) block in [`BoundedQueue::pop`] until a job or queue closure
+//! arrives.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The queue; see the module docs.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+    rejected: AtomicU64,
+}
+
+/// Why a [`BoundedQueue::try_push`] returned the job to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue has been closed.
+    Closed,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` jobs (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues without blocking. On a full or closed queue the job is
+    /// handed back with the reason; full-queue rejections are counted.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return Err((item, PushError::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err((item, PushError::Full));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (FIFO) or the queue is closed and
+    /// empty (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, and
+    /// blocked consumers wake once it is empty.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total full-queue rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-admits.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_wakes_consumers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11), Err((11, PushError::Closed)));
+        assert_eq!(q.pop(), Some(10), "queued work still drains");
+        assert_eq!(q.pop(), None, "then consumers see closure");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_items() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut v = p * 1000 + i;
+                        // Spin on Full (bounded queue, slow consumers).
+                        while let Err((back, PushError::Full)) = q.try_push(v) {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "every produced job is consumed exactly once");
+    }
+}

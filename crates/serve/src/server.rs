@@ -1,0 +1,449 @@
+//! The concurrent analysis server.
+//!
+//! Threading model:
+//!
+//! * **Acceptor** — non-blocking accept loop; spawns one reader thread per
+//!   connection and never does request work itself.
+//! * **Connection readers** — decode JSON lines, answer `stats` and
+//!   `shutdown` inline (so observability and drain work even under a full
+//!   queue), and [`try_push`](crate::queue::BoundedQueue::try_push) every
+//!   other request: a full queue yields an immediate typed `overloaded`
+//!   error instead of blocking.
+//! * **Workers** — a fixed pool popping the bounded queue and running
+//!   [`handlers::execute`].
+//! * **Watchdog** — scans pending requests every few milliseconds and
+//!   answers expired ones with `deadline_exceeded`; the response-once flag
+//!   keeps a late worker from double-answering.
+//!
+//! Shutdown is graceful: the flag flips first (new work is refused with
+//! `shutting_down`), queued and in-flight jobs drain to completion, the
+//! metrics snapshot is dumped (`--metrics-out`), and only then does the
+//! `shutdown` request get its acknowledgement.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Serialize, Value};
+
+use crate::cache::ContextCache;
+use crate::handlers;
+use crate::metrics::{Metrics, Outcome};
+use crate::protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server configuration (the CLI's `localwm serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded job-queue depth; beyond it requests are rejected with
+    /// `overloaded`.
+    pub queue_depth: usize,
+    /// Designs kept in the shared-context LRU cache.
+    pub cache_cap: usize,
+    /// Default per-request deadline applied when a request carries none.
+    pub default_timeout_ms: Option<u64>,
+    /// Dump the final metrics snapshot to this file on shutdown.
+    pub metrics_out: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            cache_cap: 8,
+            default_timeout_ms: None,
+            metrics_out: None,
+        }
+    }
+}
+
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send(&self, resp: &Response) {
+        let mut line = resp.to_line();
+        line.push('\n');
+        let mut s = self.stream.lock().expect("conn lock");
+        // A dead peer is not a server error; drop the response.
+        let _ = s.write_all(line.as_bytes()).and_then(|()| s.flush());
+    }
+}
+
+struct JobState {
+    id: Option<u64>,
+    kind: RequestKind,
+    deadline: Option<Instant>,
+    responded: AtomicBool,
+    started: Instant,
+}
+
+struct Job {
+    req: Request,
+    conn: Arc<Conn>,
+    state: Arc<JobState>,
+}
+
+struct Pending {
+    state: Arc<JobState>,
+    conn: Arc<Conn>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<Job>,
+    cache: ContextCache,
+    metrics: Metrics,
+    pending: Mutex<Vec<Pending>>,
+    shutting_down: AtomicBool,
+    stopped: AtomicBool,
+    metrics_dumped: AtomicBool,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    workers: usize,
+}
+
+impl Shared {
+    /// Sends `resp` unless someone (worker or watchdog) already answered
+    /// this job, and records the latency under the winning outcome.
+    fn respond_once(&self, state: &JobState, conn: &Conn, resp: &Response, outcome: Outcome) {
+        if state.responded.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.metrics
+            .record(state.kind, state.started.elapsed(), outcome);
+        conn.send(resp);
+    }
+
+    fn stats_value(&self) -> Value {
+        let c = self.cache.stats();
+        Value::Object(vec![
+            ("uptime_ms".to_owned(), self.metrics.uptime_ms().to_value()),
+            ("workers".to_owned(), self.workers.to_value()),
+            (
+                "queue".to_owned(),
+                Value::Object(vec![
+                    ("depth".to_owned(), self.queue.len().to_value()),
+                    ("capacity".to_owned(), self.queue.capacity().to_value()),
+                    ("rejected".to_owned(), self.queue.rejected().to_value()),
+                ]),
+            ),
+            (
+                "cache".to_owned(),
+                Value::Object(vec![
+                    ("hits".to_owned(), c.hits.to_value()),
+                    ("misses".to_owned(), c.misses.to_value()),
+                    ("evictions".to_owned(), c.evictions.to_value()),
+                    ("entries".to_owned(), c.entries.to_value()),
+                    ("capacity".to_owned(), c.capacity.to_value()),
+                ]),
+            ),
+            ("requests".to_owned(), self.metrics.to_value()),
+        ])
+    }
+
+    fn dump_metrics(&self) {
+        if let Some(path) = &self.cfg.metrics_out {
+            let json = serde_json::to_string_pretty(&self.stats_value())
+                .expect("stats serialization is infallible");
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("localwm-serve: writing {path}: {e}");
+            }
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::join`] (wait for a `shutdown` request) or
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops (a `shutdown` request arrives or
+    /// [`ServerHandle::shutdown`] is called from another thread).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Programmatic graceful shutdown: drains queued and in-flight work,
+    /// dumps metrics, stops every thread, and waits for them.
+    pub fn shutdown(self) {
+        drain(&self.shared);
+        stop(&self.shared);
+        self.join();
+    }
+}
+
+/// Starts a server; returns once the listener is bound and all threads run.
+///
+/// # Errors
+///
+/// Propagates listener bind errors.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(cfg.queue_depth),
+        cache: ContextCache::new(cfg.cache_cap),
+        metrics: Metrics::new(),
+        pending: Mutex::new(Vec::new()),
+        shutting_down: AtomicBool::new(false),
+        stopped: AtomicBool::new(false),
+        metrics_dumped: AtomicBool::new(false),
+        jobs_submitted: AtomicU64::new(0),
+        jobs_completed: AtomicU64::new(0),
+        workers,
+        cfg,
+    });
+
+    let mut threads = Vec::with_capacity(workers + 2);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("localwm-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker"),
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("localwm-watchdog".to_owned())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn watchdog"),
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("localwm-acceptor".to_owned())
+                .spawn(move || acceptor_loop(&shared, &listener))
+                .expect("spawn acceptor"),
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stopped.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                // Reader threads are detached: they exit on client
+                // disconnect, and never hold work the drain waits on.
+                let _ = std::thread::Builder::new()
+                    .name("localwm-conn".to_owned())
+                    .spawn(move || conn_loop(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(stream),
+    });
+    let reader = io::BufReader::new(read_half);
+    for line in io::BufRead::lines(reader) {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::from_line(&line) {
+            Err(msg) => conn.send(&Response::failure(
+                None,
+                "invalid",
+                ServiceError::new(ErrorCode::BadRequest, msg),
+            )),
+            Ok(req) => dispatch(shared, &conn, req),
+        }
+        if shared.stopped.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
+    let started = Instant::now();
+    match req.kind {
+        // Answered inline so they work even when the queue is full.
+        RequestKind::Stats => {
+            let resp = Response::success(req.id, "stats", shared.stats_value());
+            shared
+                .metrics
+                .record(RequestKind::Stats, started.elapsed(), Outcome::Ok);
+            conn.send(&resp);
+        }
+        RequestKind::Shutdown => {
+            let drained = drain(shared);
+            let body = Value::Object(vec![
+                ("drained_jobs".to_owned(), drained.to_value()),
+                (
+                    "uptime_ms".to_owned(),
+                    shared.metrics.uptime_ms().to_value(),
+                ),
+            ]);
+            shared
+                .metrics
+                .record(RequestKind::Shutdown, started.elapsed(), Outcome::Ok);
+            // Acknowledge before stopping the threads, so the response is on
+            // the wire before the process is free to exit.
+            conn.send(&Response::success(req.id, "shutdown", body));
+            stop(shared);
+        }
+        kind => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                conn.send(&Response::failure(
+                    req.id,
+                    kind.as_str(),
+                    ServiceError::new(ErrorCode::ShuttingDown, "server is draining"),
+                ));
+                return;
+            }
+            let timeout = req.timeout_ms.or(shared.cfg.default_timeout_ms);
+            let state = Arc::new(JobState {
+                id: req.id,
+                kind,
+                deadline: timeout.map(|ms| started + Duration::from_millis(ms)),
+                responded: AtomicBool::new(false),
+                started,
+            });
+            if state.deadline.is_some() {
+                shared.pending.lock().expect("pending lock").push(Pending {
+                    state: Arc::clone(&state),
+                    conn: Arc::clone(conn),
+                });
+            }
+            shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+            let job = Job {
+                req,
+                conn: Arc::clone(conn),
+                state,
+            };
+            if let Err((job, why)) = shared.queue.try_push(job) {
+                let err = match why {
+                    PushError::Full => ServiceError::new(
+                        ErrorCode::Overloaded,
+                        "job queue is full; retry with backoff",
+                    )
+                    .with_detail("queue_capacity", shared.queue.capacity().to_value()),
+                    PushError::Closed => {
+                        ServiceError::new(ErrorCode::ShuttingDown, "server is draining")
+                    }
+                };
+                let resp = Response::failure(job.state.id, kind.as_str(), err);
+                shared.respond_once(&job.state, &job.conn, &resp, Outcome::Error);
+                shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        if !job.state.responded.load(Ordering::SeqCst) {
+            let resp = match handlers::execute(&shared.cache, &job.req) {
+                Ok(body) => Response::success(job.state.id, job.state.kind.as_str(), body),
+                Err(e) => Response::failure(job.state.id, job.state.kind.as_str(), e),
+            };
+            let outcome = if resp.ok { Outcome::Ok } else { Outcome::Error };
+            shared.respond_once(&job.state, &job.conn, &resp, outcome);
+        }
+        shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn watchdog_loop(shared: &Arc<Shared>) {
+    while !shared.stopped.load(Ordering::SeqCst) {
+        {
+            let mut pending = shared.pending.lock().expect("pending lock");
+            let now = Instant::now();
+            pending.retain(|p| {
+                if p.state.responded.load(Ordering::SeqCst) {
+                    return false;
+                }
+                match p.state.deadline {
+                    Some(d) if now >= d => {
+                        let resp = Response::failure(
+                            p.state.id,
+                            p.state.kind.as_str(),
+                            ServiceError::new(
+                                ErrorCode::DeadlineExceeded,
+                                "request deadline elapsed before completion",
+                            ),
+                        );
+                        shared.respond_once(&p.state, &p.conn, &resp, Outcome::Timeout);
+                        false
+                    }
+                    _ => true,
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Flips the draining flag and waits for every submitted job to complete,
+/// then dumps metrics (once). Returns the number of jobs that had been
+/// accepted when the drain finished. Idempotent: concurrent callers all
+/// wait on the same completion counters — new work is already refused.
+fn drain(shared: &Arc<Shared>) -> u64 {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    // Drain: every accepted job (queued or in-flight) must be answered.
+    loop {
+        let submitted = shared.jobs_submitted.load(Ordering::SeqCst);
+        let completed = shared.jobs_completed.load(Ordering::SeqCst);
+        if completed >= submitted {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if !shared.metrics_dumped.swap(true, Ordering::SeqCst) {
+        shared.dump_metrics();
+    }
+    shared.jobs_completed.load(Ordering::SeqCst)
+}
+
+/// Stops the acceptor, watchdog, and (via queue closure) the workers.
+fn stop(shared: &Arc<Shared>) {
+    shared.stopped.store(true, Ordering::SeqCst);
+    shared.queue.close();
+}

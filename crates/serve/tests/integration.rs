@@ -1,0 +1,252 @@
+//! End-to-end tests: a real server on a loopback socket, driven through
+//! the blocking [`Client`] over the JSON-lines wire format.
+
+use std::time::Duration;
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::{Client, Request, RequestKind, ServeConfig};
+use serde::Value;
+
+fn start_server(workers: usize, queue_depth: usize) -> localwm_serve::ServerHandle {
+    localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth,
+        cache_cap: 4,
+        default_timeout_ms: None,
+        metrics_out: None,
+    })
+    .expect("bind loopback")
+}
+
+fn connect(handle: &localwm_serve::ServerHandle) -> Client {
+    Client::connect_within(&handle.addr().to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+fn timing_request(id: u64, design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Timing);
+    r.id = Some(id);
+    r.design = Some(design.to_owned());
+    r
+}
+
+/// An analyze request heavy enough to occupy a worker for a while.
+fn slow_request(id: u64, design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Analyze);
+    r.id = Some(id);
+    r.design = Some(design.to_owned());
+    r.samples = Some(200_000);
+    r
+}
+
+#[test]
+fn warm_cache_timing_is_byte_identical_to_cold() {
+    let handle = start_server(2, 16);
+    let mut c = connect(&handle);
+    let design = write_cdfg(&iir4_parallel());
+
+    c.send(&timing_request(1, &design)).unwrap();
+    let cold = c.recv_line().unwrap();
+    c.send(&timing_request(1, &design)).unwrap();
+    let warm = c.recv_line().unwrap();
+    assert_eq!(cold, warm, "cache hits must not change the response bytes");
+
+    let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+    let cache = stats.result_field("cache").expect("cache stats");
+    assert_eq!(
+        cache.field("hits"),
+        Some(&Value::Int(1)),
+        "second request hit the context cache"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_responses_to_serial() {
+    let apps = mediabench_apps();
+    let designs: Vec<String> = vec![
+        write_cdfg(&iir4_parallel()),
+        write_cdfg(&mediabench(&apps[0], 0)),
+        write_cdfg(&mediabench(&apps[1], 0)),
+    ];
+    let requests: Vec<Request> = (0..9u64)
+        .map(|i| {
+            let design = &designs[usize::try_from(i).unwrap() % designs.len()];
+            let mut r = if i % 3 == 0 {
+                let mut e = Request::new(RequestKind::Embed);
+                e.author = Some(format!("author-{}", i % 2));
+                e
+            } else if i % 3 == 1 {
+                let mut a = Request::new(RequestKind::Analyze);
+                a.samples = Some(50);
+                a
+            } else {
+                Request::new(RequestKind::Timing)
+            };
+            r.id = Some(i);
+            r.design = Some(design.clone());
+            r
+        })
+        .collect();
+
+    // Serial reference: one connection, one request at a time.
+    let serial_server = start_server(1, 16);
+    let mut serial = Vec::new();
+    {
+        let mut c = connect(&serial_server);
+        for r in &requests {
+            c.send(r).unwrap();
+            serial.push((r.id.unwrap(), c.recv_line().unwrap()));
+        }
+    }
+    serial_server.shutdown();
+
+    // Concurrent run: one connection per request, all in flight at once.
+    let concurrent_server = start_server(4, 16);
+    let addr = concurrent_server.addr().to_string();
+    let threads: Vec<_> = requests
+        .iter()
+        .cloned()
+        .map(|r| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect_within(&addr, Duration::from_secs(5)).expect("connect");
+                c.send(&r).unwrap();
+                (r.id.unwrap(), c.recv_line().unwrap())
+            })
+        })
+        .collect();
+    let mut concurrent: Vec<(u64, String)> =
+        threads.into_iter().map(|t| t.join().unwrap()).collect();
+    concurrent_server.shutdown();
+
+    concurrent.sort_by_key(|&(id, _)| id);
+    assert_eq!(
+        serial, concurrent,
+        "scheduling must not leak into responses"
+    );
+}
+
+#[test]
+fn full_queue_yields_typed_overloaded_without_stalling_the_acceptor() {
+    let handle = start_server(1, 1);
+    let design = write_cdfg(&iir4_parallel());
+
+    // Occupy the single worker, then fill the single queue slot.
+    let mut busy1 = connect(&handle);
+    busy1.send(&slow_request(1, &design)).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let mut busy2 = connect(&handle);
+    busy2.send(&slow_request(2, &design)).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A third request must bounce immediately with a typed error.
+    let mut probe = connect(&handle);
+    let resp = probe.call(&timing_request(3, &design)).unwrap();
+    assert!(!resp.ok);
+    let err = resp.error.expect("typed error");
+    assert_eq!(err.code.as_str(), "overloaded");
+    assert!(err.details.iter().any(|(k, _)| k == "queue_capacity"));
+
+    // The accept loop is alive: a brand-new connection gets stats inline.
+    let mut fresh = connect(&handle);
+    let stats = fresh.call(&Request::new(RequestKind::Stats)).unwrap();
+    assert!(stats.ok);
+    let queue = stats.result_field("queue").expect("queue stats");
+    assert_eq!(queue.field("rejected"), Some(&Value::Int(1)));
+
+    // The displaced work itself still completes.
+    assert!(busy1.recv().unwrap().ok);
+    assert!(busy2.recv().unwrap().ok);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let handle = start_server(1, 16);
+    let design = write_cdfg(&iir4_parallel());
+
+    let mut worker_conn = connect(&handle);
+    for id in 0..4u64 {
+        worker_conn.send(&slow_request(id, &design)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut admin = connect(&handle);
+    let resp = admin.call(&Request::new(RequestKind::Shutdown)).unwrap();
+    assert!(resp.ok);
+    match resp.result_field("drained_jobs") {
+        Some(Value::Int(n)) => assert_eq!(*n, 4, "every accepted job drained"),
+        other => panic!("expected drained_jobs count, got {other:?}"),
+    }
+
+    // All four queued requests were answered, none dropped.
+    for _ in 0..4 {
+        assert!(worker_conn.recv().unwrap().ok, "drained job succeeded");
+    }
+    handle.join();
+}
+
+#[test]
+fn expired_deadlines_get_a_typed_timeout_response() {
+    let handle = start_server(1, 4);
+    let design = write_cdfg(&iir4_parallel());
+    let mut c = connect(&handle);
+    let mut r = slow_request(7, &design);
+    r.timeout_ms = Some(1);
+    let resp = c.call(&r).unwrap();
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.error.expect("typed error").code.as_str(),
+        "deadline_exceeded"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_designs_raise_the_cache_hit_counter() {
+    let handle = start_server(2, 16);
+    let design = write_cdfg(&iir4_parallel());
+    let mut c = connect(&handle);
+    for id in 0..5u64 {
+        assert!(c.call(&timing_request(id, &design)).unwrap().ok);
+    }
+    let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+    let cache = stats.result_field("cache").expect("cache stats");
+    assert_eq!(cache.field("hits"), Some(&Value::Int(4)));
+    assert_eq!(cache.field("misses"), Some(&Value::Int(1)));
+
+    // Requests after shutdown are refused with a typed error.
+    handle.shutdown();
+}
+
+#[test]
+fn requests_during_drain_are_refused_as_shutting_down() {
+    let handle = start_server(1, 16);
+    let design = write_cdfg(&iir4_parallel());
+    let mut busy = connect(&handle);
+    busy.send(&slow_request(1, &design)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut admin = connect(&handle);
+    admin.send(&Request::new(RequestKind::Shutdown)).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+
+    // While the drain is in progress, new work is refused.
+    let mut late = connect(&handle);
+    let resp = late.call(&timing_request(9, &design));
+    if let Ok(resp) = resp {
+        assert!(!resp.ok);
+        assert_eq!(
+            resp.error.expect("typed error").code.as_str(),
+            "shutting_down"
+        );
+    } // A refused/closed connection is also an acceptable drain behavior.
+
+    assert!(busy.recv().unwrap().ok, "in-flight job still drained");
+    assert!(admin.recv().unwrap().ok);
+    handle.join();
+}

@@ -20,6 +20,10 @@
 //! * [`vliw`] — the 4-issue VLIW evaluation machine.
 //! * [`core`] — the watermarking protocols themselves (embedding,
 //!   detection, coincidence-probability estimation, attacks).
+//! * [`engine`] — memoized [`DesignContext`](engine::DesignContext),
+//!   instrumentation probes, and deterministic parallel fan-out.
+//! * [`serve`] — the concurrent analysis service (JSON-lines TCP protocol,
+//!   worker pool, context cache, live metrics) and its blocking client.
 //!
 //! # Quickstart
 //!
@@ -39,8 +43,10 @@
 pub use localwm_cdfg as cdfg;
 pub use localwm_coloring as coloring;
 pub use localwm_core as core;
+pub use localwm_engine as engine;
 pub use localwm_prng as prng;
 pub use localwm_sched as sched;
+pub use localwm_serve as serve;
 pub use localwm_sim as sim;
 pub use localwm_timing as timing;
 pub use localwm_tmatch as tmatch;
