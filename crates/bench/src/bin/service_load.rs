@@ -28,6 +28,7 @@ fn start_server(workers: usize) -> ServerHandle {
         cache_cap: 16,
         default_timeout_ms: None,
         metrics_out: None,
+        fault_plan: None,
     })
     .expect("bind loopback")
 }

@@ -31,6 +31,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("analyze") => analyze(&args[1..]),
         Some("serve") => crate::serve_cmd::serve(&args[1..]),
         Some("request") => crate::serve_cmd::request(&args[1..]),
+        Some("chaos") => crate::chaos_cmd::chaos(&args[1..]),
         Some("help") | None => {
             println!("{HELP}");
             Ok(())
@@ -60,12 +61,15 @@ USAGE:
                   [--schedule FILE] [--schedule-out FILE] [--fraction F]
                   [--k K] [--deadline N] [--lo N --hi N] [--samples N]
                   [--seed N] [--timeout-ms N]
+  localwm chaos [--seed N] [--requests N] [--faults-per-point N]
+                [--workers N] [--queue-depth N] [--cache-cap N]
+                [--recv-timeout-ms N] [--json] [--report-out FILE]
 
 DESIGNS (for gen):
   iir4 | cf-iir | linear-ge | wavelet | modem | volterra2 | volterra3 |
   dac | echo | mediabench:<dac|g721|epic|pegwit|pgp|gsm|jpeg|mpeg2>";
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))

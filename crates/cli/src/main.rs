@@ -14,6 +14,8 @@
 //! localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!         [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
 //! localwm request <kind> [--addr HOST:PORT] [--design FILE] ...
+//! localwm chaos [--seed N] [--requests N] [--faults-per-point N] [--json]
+//!         [--workers N] [--queue-depth N] [--cache-cap N] [--report-out FILE]
 //! ```
 //!
 //! `<design>` for `gen` is one of `iir4`, a Table II key
@@ -23,6 +25,7 @@
 
 use std::process::ExitCode;
 
+mod chaos_cmd;
 mod commands;
 mod serve_cmd;
 

@@ -159,6 +159,20 @@ impl ContextCache {
         ctx
     }
 
+    /// Evicts every cached design (an "eviction storm"), counting each
+    /// displaced entry in the eviction counter exactly like an LRU
+    /// displacement. Returns how many entries were evicted. Used by fault
+    /// injection and by tests; correctness-neutral because entries are
+    /// pure memoized derivations of their design text.
+    pub fn evict_all(&self) -> usize {
+        let mut lru = self.state.lock().expect("cache lock");
+        let n = lru.entries.len();
+        lru.entries.clear();
+        lru.text_alias.clear();
+        self.evictions.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
     /// A counters snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -213,6 +227,105 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "hit returns the same shared context");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    /// `evictions == misses − entries` — the counter identity the chaos
+    /// harness checks on a live server. Misses are counted only when an
+    /// entry is actually built, so every miss either still sits in the
+    /// cache or was evicted.
+    fn assert_counter_identity(cache: &ContextCache) {
+        let s = cache.stats();
+        assert_eq!(
+            s.evictions,
+            s.misses - s.entries as u64,
+            "evictions ({}) != misses ({}) - entries ({})",
+            s.evictions,
+            s.misses,
+            s.entries
+        );
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one_and_still_serves() {
+        let cache = ContextCache::new(0);
+        assert_eq!(cache.stats().capacity, 1, "capacity 0 is clamped, not UB");
+        let apps = mediabench_apps();
+        let a = cache.get_or_insert(iir4_parallel());
+        let _ = a.critical_path();
+        cache.get_or_insert(mediabench(&apps[0], 0)); // displaces A
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (1, 1));
+        assert_counter_identity(&cache);
+        // The displaced context stays alive for existing holders.
+        assert_eq!(a.critical_path(), 6);
+    }
+
+    #[test]
+    fn capacity_one_thrashes_but_stays_consistent() {
+        let cache = ContextCache::new(1);
+        let apps = mediabench_apps();
+        for round in 0..3 {
+            cache.get_or_insert(iir4_parallel());
+            cache.get_or_insert(mediabench(&apps[0], 0));
+            let s = cache.stats();
+            assert_eq!(s.entries, 1);
+            assert_eq!(s.hits, 0, "alternating designs never hit at capacity 1");
+            assert_eq!(s.misses, 2 * (round + 1));
+            assert_counter_identity(&cache);
+        }
+        // Repeating the resident design is a hit, not another miss.
+        cache.get_or_insert(mediabench(&apps[0], 0));
+        assert_eq!(cache.stats().hits, 1);
+        assert_counter_identity(&cache);
+    }
+
+    #[test]
+    fn eviction_counter_is_monotone_through_storms() {
+        let cache = ContextCache::new(2);
+        let apps = mediabench_apps();
+        let mut last = 0;
+        cache.get_or_insert(iir4_parallel());
+        cache.get_or_insert(mediabench(&apps[0], 0));
+        for i in 0..4 {
+            cache.get_or_insert(mediabench(&apps[i % 3], i as u64));
+            let now = cache.stats().evictions;
+            assert!(now >= last, "eviction counter went backwards");
+            last = now;
+        }
+        let n = cache.evict_all();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0, "storm empties the cache");
+        assert_eq!(s.evictions, last + n as u64, "storm counts every casualty");
+        assert_counter_identity(&cache);
+    }
+
+    #[test]
+    fn text_alias_is_dropped_with_its_evicted_entry() {
+        let apps = mediabench_apps();
+        // LRU displacement path: A's alias must die with A.
+        let cache = ContextCache::new(1);
+        let text = write_cdfg(&iir4_parallel());
+        cache.get_or_parse(&text).unwrap();
+        cache.get_or_insert(mediabench(&apps[0], 0)); // displaces A
+        let s = cache.stats();
+        assert_eq!((s.misses, s.evictions), (2, 1));
+        // The resend must rebuild (miss), not resolve a dangling alias.
+        cache.get_or_parse(&text).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 3), "stale alias would have hit");
+        assert_counter_identity(&cache);
+        // And once rebuilt, the fast path works again.
+        cache.get_or_parse(&text).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+
+        // Storm path: evict_all clears aliases too.
+        let storm = ContextCache::new(4);
+        storm.get_or_parse(&text).unwrap();
+        storm.evict_all();
+        storm.get_or_parse(&text).unwrap();
+        let s = storm.stats();
+        assert_eq!((s.hits, s.misses), (0, 2), "alias survived the storm");
+        assert_counter_identity(&storm);
     }
 
     #[test]

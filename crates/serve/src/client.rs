@@ -42,6 +42,18 @@ impl Client {
         }
     }
 
+    /// Applies a read timeout to subsequent [`Client::recv`] calls (`None`
+    /// blocks forever). A timed-out read surfaces as a `WouldBlock` /
+    /// `TimedOut` I/O error — the chaos harness uses this to classify
+    /// dropped responses without hanging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one request line.
     ///
     /// # Errors

@@ -1,0 +1,462 @@
+//! Deterministic fault injection: seeded [`FaultPlan`]s and the runtime
+//! [`FaultInjector`] that fires them.
+//!
+//! The service exposes five **injection points** — places where real
+//! deployments fail: socket reads, socket writes, queue admission, worker
+//! execution, and the context cache. A [`FaultPlan`] names, for each point,
+//! the exact operation indices at which a fault fires and what it does
+//! (kill the connection, drop or truncate a response, stall a worker,
+//! reject as overloaded, evict the whole cache). Plans are generated from a
+//! seed by a counter-based PRNG, so the same seed always produces the same
+//! plan, and — because the injector fires on deterministic per-point
+//! operation counters — a single-worker replay produces the identical
+//! injected-fault trace every run.
+//!
+//! The injection *seams* in [`server`](crate::server) are only active when
+//! the crate is built with the `fault-inject` feature; without it,
+//! [`ServeConfig::fault_plan`](crate::ServeConfig) is ignored and no
+//! injector is ever installed, so production builds carry no fault paths.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Where in the service a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InjectionPoint {
+    /// A request line was read from a connection (fault: kill the
+    /// connection before the request is processed).
+    SockRead,
+    /// A response is about to be written (fault: drop it, or write a
+    /// truncated prefix and kill the connection).
+    SockWrite,
+    /// A queued-kind request is about to be admitted to the job queue
+    /// (fault: behave as if the queue were full).
+    QueuePush,
+    /// A worker picked up a job (fault: stall for a plan-chosen duration).
+    WorkerStall,
+    /// A worker picked up a job (fault: evict every cached context first —
+    /// an eviction storm).
+    CacheEvict,
+}
+
+impl InjectionPoint {
+    /// Every point, in wire-name order; indexes match
+    /// [`InjectionPoint::index`].
+    pub const ALL: [InjectionPoint; 5] = [
+        InjectionPoint::SockRead,
+        InjectionPoint::SockWrite,
+        InjectionPoint::QueuePush,
+        InjectionPoint::WorkerStall,
+        InjectionPoint::CacheEvict,
+    ];
+
+    /// A dense index for per-point tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectionPoint::SockRead => "sock_read",
+            InjectionPoint::SockWrite => "sock_write",
+            InjectionPoint::QueuePush => "queue_push",
+            InjectionPoint::WorkerStall => "worker_stall",
+            InjectionPoint::CacheEvict => "cache_evict",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|p| p.as_str() == s)
+    }
+}
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Shut the connection down before processing the request
+    /// ([`InjectionPoint::SockRead`]).
+    DropConnection,
+    /// Skip the response write entirely; the connection stays alive
+    /// ([`InjectionPoint::SockWrite`]).
+    DropResponse,
+    /// Write only a prefix of the response line, then shut the connection
+    /// down — a torn write ([`InjectionPoint::SockWrite`]).
+    PartialWrite,
+    /// Sleep this many milliseconds before executing the job
+    /// ([`InjectionPoint::WorkerStall`]).
+    StallMs(u64),
+    /// Reject the request as if the queue were at capacity
+    /// ([`InjectionPoint::QueuePush`]).
+    RejectFull,
+    /// Evict every cached design context ([`InjectionPoint::CacheEvict`]).
+    EvictAll,
+}
+
+impl FaultAction {
+    /// The wire name (the stall duration is carried separately).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultAction::DropConnection => "drop_connection",
+            FaultAction::DropResponse => "drop_response",
+            FaultAction::PartialWrite => "partial_write",
+            FaultAction::StallMs(_) => "stall_ms",
+            FaultAction::RejectFull => "reject_full",
+            FaultAction::EvictAll => "evict_all",
+        }
+    }
+
+    fn to_value(self) -> Value {
+        let mut fields = vec![("action".to_owned(), Value::Str(self.as_str().to_owned()))];
+        if let FaultAction::StallMs(ms) = self {
+            fields.push(("ms".to_owned(), Value::UInt(ms)));
+        }
+        Value::Object(fields)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let name: String = serde::field(v, "action")?;
+        match name.as_str() {
+            "drop_connection" => Ok(FaultAction::DropConnection),
+            "drop_response" => Ok(FaultAction::DropResponse),
+            "partial_write" => Ok(FaultAction::PartialWrite),
+            "stall_ms" => Ok(FaultAction::StallMs(serde::field(v, "ms")?)),
+            "reject_full" => Ok(FaultAction::RejectFull),
+            "evict_all" => Ok(FaultAction::EvictAll),
+            other => Err(DeError::msg(format!("unknown fault action `{other}`"))),
+        }
+    }
+}
+
+/// One planned fault: at the `at_index`-th operation seen by `point`,
+/// perform `action`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which injection point this fault arms.
+    pub point: InjectionPoint,
+    /// Zero-based operation index at that point.
+    pub at_index: u64,
+    /// What happens when it fires.
+    pub action: FaultAction,
+}
+
+/// A deterministic, seeded schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// The operation horizon the plan was generated for (indices are drawn
+    /// from the first half of it, so trailing admin traffic — `stats`,
+    /// `shutdown` — stays fault-free).
+    pub horizon: u64,
+    /// The armed faults, sorted by `(point, at_index)`.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// A splittable counter-based PRNG (splitmix64): identical sequences for
+/// identical seeds on every platform.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// An unbiased-enough draw in `[0, bound)` (`bound` clamped to ≥ 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever fire).
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            horizon: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Generates a plan from `seed`: up to `per_point` faults at each
+    /// injection point, with indices drawn from `[0, horizon / 2)` so a
+    /// replay of `horizon` requests keeps its trailing admin traffic
+    /// (stats, shutdown) fault-free. Identical arguments always produce the
+    /// identical plan.
+    pub fn generate(seed: u64, horizon: u64, per_point: usize) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xC0FF_EE00_D15E_A5ED);
+        let range = (horizon / 2).max(1);
+        let mut faults = Vec::new();
+        for point in InjectionPoint::ALL {
+            let mut used = Vec::new();
+            for _ in 0..per_point {
+                let at_index = rng.below(range);
+                let roll = rng.next_u64();
+                if used.contains(&at_index) {
+                    continue; // collisions are dropped, deterministically
+                }
+                used.push(at_index);
+                let action = match point {
+                    InjectionPoint::SockRead => FaultAction::DropConnection,
+                    InjectionPoint::SockWrite => {
+                        if roll & 1 == 0 {
+                            FaultAction::DropResponse
+                        } else {
+                            FaultAction::PartialWrite
+                        }
+                    }
+                    InjectionPoint::QueuePush => FaultAction::RejectFull,
+                    InjectionPoint::WorkerStall => FaultAction::StallMs(5 + roll % 20),
+                    InjectionPoint::CacheEvict => FaultAction::EvictAll,
+                };
+                faults.push(FaultSpec {
+                    point,
+                    at_index,
+                    action,
+                });
+            }
+        }
+        faults.sort_by_key(|f| (f.point, f.at_index));
+        FaultPlan {
+            seed,
+            horizon,
+            faults,
+        }
+    }
+
+    /// Faults armed for one injection point.
+    pub fn faults_at(&self, point: InjectionPoint) -> impl Iterator<Item = &FaultSpec> {
+        self.faults.iter().filter(move |f| f.point == point)
+    }
+
+    /// How many planned faults of this action kind exist (stall durations
+    /// are ignored for matching).
+    pub fn count_action(&self, name: &str) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.action.as_str() == name)
+            .count()
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> Value {
+        let faults: Vec<Value> = self
+            .faults
+            .iter()
+            .map(|f| {
+                let mut o = match f.action.to_value() {
+                    Value::Object(fields) => fields,
+                    _ => unreachable!("action serializes to an object"),
+                };
+                o.insert(
+                    0,
+                    ("point".to_owned(), Value::Str(f.point.as_str().to_owned())),
+                );
+                o.insert(1, ("at_index".to_owned(), Value::UInt(f.at_index)));
+                Value::Object(o)
+            })
+            .collect();
+        Value::Object(vec![
+            ("seed".to_owned(), Value::UInt(self.seed)),
+            ("horizon".to_owned(), Value::UInt(self.horizon)),
+            ("faults".to_owned(), Value::Array(faults)),
+        ])
+    }
+}
+
+impl Deserialize for FaultPlan {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let seed: u64 = serde::field(v, "seed")?;
+        let horizon: u64 = serde::field(v, "horizon")?;
+        let raw = match v.field("faults") {
+            Some(Value::Array(a)) => a,
+            _ => return Err(DeError::msg("missing `faults` array")),
+        };
+        let mut faults = Vec::with_capacity(raw.len());
+        for f in raw {
+            let point: String = serde::field(f, "point")?;
+            let point = InjectionPoint::parse(&point)
+                .ok_or_else(|| DeError::msg(format!("unknown injection point `{point}`")))?;
+            faults.push(FaultSpec {
+                point,
+                at_index: serde::field(f, "at_index")?,
+                action: FaultAction::from_value(f)?,
+            });
+        }
+        Ok(FaultPlan {
+            seed,
+            horizon,
+            faults,
+        })
+    }
+}
+
+/// One fault that actually fired at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The injection point that fired.
+    pub point: InjectionPoint,
+    /// The operation index at which it fired.
+    pub index: u64,
+    /// The action performed.
+    pub action: FaultAction,
+}
+
+impl Serialize for FiredFault {
+    fn to_value(&self) -> Value {
+        let mut fields = match self.action.to_value() {
+            Value::Object(f) => f,
+            _ => unreachable!("action serializes to an object"),
+        };
+        fields.insert(
+            0,
+            (
+                "point".to_owned(),
+                Value::Str(self.point.as_str().to_owned()),
+            ),
+        );
+        fields.insert(1, ("index".to_owned(), Value::UInt(self.index)));
+        Value::Object(fields)
+    }
+}
+
+/// The runtime side of a [`FaultPlan`]: per-point operation counters, the
+/// armed fault table, and a trace of everything that fired.
+pub struct FaultInjector {
+    armed: [HashMap<u64, FaultAction>; 5],
+    counters: [AtomicU64; 5],
+    trace: Mutex<Vec<FiredFault>>,
+}
+
+impl FaultInjector {
+    /// An injector armed with `plan`.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        let mut armed: [HashMap<u64, FaultAction>; 5] = Default::default();
+        for f in &plan.faults {
+            armed[f.point.index()].insert(f.at_index, f.action);
+        }
+        FaultInjector {
+            armed,
+            counters: Default::default(),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Ticks `point`'s operation counter and returns the armed fault for
+    /// this index, if any; fired faults are appended to the trace.
+    pub fn check(&self, point: InjectionPoint) -> Option<FaultAction> {
+        let index = self.counters[point.index()].fetch_add(1, Ordering::SeqCst);
+        let action = self.armed[point.index()].get(&index).copied();
+        if let Some(action) = action {
+            self.trace.lock().expect("trace lock").push(FiredFault {
+                point,
+                index,
+                action,
+            });
+        }
+        action
+    }
+
+    /// Operations seen so far at one point.
+    pub fn operations(&self, point: InjectionPoint) -> u64 {
+        self.counters[point.index()].load(Ordering::SeqCst)
+    }
+
+    /// Everything that has fired, in firing order.
+    pub fn trace(&self) -> Vec<FiredFault> {
+        self.trace.lock().expect("trace lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_generates_the_identical_plan() {
+        let a = FaultPlan::generate(42, 100, 3);
+        let b = FaultPlan::generate(42, 100, 3);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty());
+        let c = FaultPlan::generate(43, 100, 3);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn plan_indices_stay_in_the_front_half_of_the_horizon() {
+        let p = FaultPlan::generate(7, 64, 4);
+        assert!(p.faults.iter().all(|f| f.at_index < 32));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let p = FaultPlan::generate(9, 40, 2);
+        let json = serde_json::to_string(&p.to_value()).unwrap();
+        let v = serde_json::from_str::<Value>(&json).unwrap();
+        let back = FaultPlan::from_value(&v).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn injector_fires_exactly_at_the_armed_indices_and_traces() {
+        let plan = FaultPlan {
+            seed: 0,
+            horizon: 10,
+            faults: vec![
+                FaultSpec {
+                    point: InjectionPoint::SockWrite,
+                    at_index: 2,
+                    action: FaultAction::DropResponse,
+                },
+                FaultSpec {
+                    point: InjectionPoint::WorkerStall,
+                    at_index: 0,
+                    action: FaultAction::StallMs(7),
+                },
+            ],
+        };
+        let inj = FaultInjector::from_plan(&plan);
+        assert_eq!(inj.check(InjectionPoint::SockWrite), None); // index 0
+        assert_eq!(inj.check(InjectionPoint::SockWrite), None); // index 1
+        assert_eq!(
+            inj.check(InjectionPoint::SockWrite),
+            Some(FaultAction::DropResponse)
+        );
+        assert_eq!(
+            inj.check(InjectionPoint::WorkerStall),
+            Some(FaultAction::StallMs(7))
+        );
+        assert_eq!(inj.check(InjectionPoint::WorkerStall), None);
+        let trace = inj.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].point, InjectionPoint::SockWrite);
+        assert_eq!(trace[0].index, 2);
+        assert_eq!(trace[1].action, FaultAction::StallMs(7));
+        assert_eq!(inj.operations(InjectionPoint::SockWrite), 3);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(5);
+        let mut b = SplitMix64::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -44,17 +44,33 @@ fn bounds(req: &Request) -> Result<KindBounds, ServiceError> {
     Ok(KindBounds::uniform(lo, hi))
 }
 
-/// Executes one queued request against the shared cache.
+/// Executes one queued request against the shared cache with
+/// [`Parallelism::Serial`] (the service's default — concurrency comes from
+/// the worker pool).
 ///
 /// # Errors
 ///
 /// Returns a typed [`ServiceError`]; `stats` and `shutdown` are answered
 /// inline by the connection thread and never reach this function.
 pub fn execute(cache: &ContextCache, req: &Request) -> HandlerResult {
+    execute_with(cache, req, Parallelism::Serial)
+}
+
+/// [`execute`] with an explicit [`Parallelism`] for the engine passes.
+///
+/// Every engine entry point is parallelism-invariant, so any `par` choice
+/// produces byte-identical results — the differential oracle in
+/// `localwm-testkit` runs request streams through `Serial` and `Threads(n)`
+/// lanes and asserts exactly that.
+///
+/// # Errors
+///
+/// Same as [`execute`].
+pub fn execute_with(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
     match req.kind {
-        RequestKind::Embed => embed(cache, req),
-        RequestKind::Detect => detect(cache, req),
-        RequestKind::Analyze => analyze(cache, req),
+        RequestKind::Embed => embed(cache, req, par),
+        RequestKind::Detect => detect(cache, req, par),
+        RequestKind::Analyze => analyze(cache, req, par),
         RequestKind::Timing => timing(cache, req),
         RequestKind::Stats | RequestKind::Shutdown => Err(ServiceError::new(
             ErrorCode::Internal,
@@ -81,21 +97,19 @@ fn watermarker(req: &Request) -> SchedulingWatermarker {
     SchedulingWatermarker::new(config)
 }
 
-fn embed(cache: &ContextCache, req: &Request) -> HandlerResult {
+fn embed(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
     let ctx = design_context(cache, req)?;
     let sig = signature(req)?;
     let wm = watermarker(req);
-    let emb = wm
-        .embed_in(&ctx, &sig, Parallelism::Serial)
-        .map_err(|e| match e {
-            WatermarkError::NoIncomparablePairs {
-                domain_size,
-                pairs_examined,
-            } => ServiceError::new(ErrorCode::NoIncomparablePairs, e.to_string())
-                .with_detail("domain_size", domain_size.to_value())
-                .with_detail("pairs_examined", pairs_examined.to_value()),
-            other => ServiceError::new(ErrorCode::EmbedFailed, other.to_string()),
-        })?;
+    let emb = wm.embed_in(&ctx, &sig, par).map_err(|e| match e {
+        WatermarkError::NoIncomparablePairs {
+            domain_size,
+            pairs_examined,
+        } => ServiceError::new(ErrorCode::NoIncomparablePairs, e.to_string())
+            .with_detail("domain_size", domain_size.to_value())
+            .with_detail("pairs_examined", pairs_examined.to_value()),
+        other => ServiceError::new(ErrorCode::EmbedFailed, other.to_string()),
+    })?;
     Ok(object(vec![
         ("edges", emb.edges.len().to_value()),
         ("localities", emb.domains.len().to_value()),
@@ -108,7 +122,7 @@ fn embed(cache: &ContextCache, req: &Request) -> HandlerResult {
     ]))
 }
 
-fn detect(cache: &ContextCache, req: &Request) -> HandlerResult {
+fn detect(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
     let ctx = design_context(cache, req)?;
     let sig = signature(req)?;
     let text = req
@@ -119,7 +133,7 @@ fn detect(cache: &ContextCache, req: &Request) -> HandlerResult {
         parse_schedule(ctx.graph(), text).map_err(|e| bad_request(format!("bad schedule: {e}")))?;
     let wm = watermarker(req);
     let ev = wm
-        .detect_in(&schedule, &ctx, &sig, Parallelism::Serial)
+        .detect_in(&schedule, &ctx, &sig, par)
         .map_err(|e| ServiceError::new(ErrorCode::DetectFailed, e.to_string()))?;
     let satisfied = ev.checks.iter().filter(|&&(_, _, ok)| ok).count();
     Ok(object(vec![
@@ -156,13 +170,13 @@ fn timing(cache: &ContextCache, req: &Request) -> HandlerResult {
     ]))
 }
 
-fn analyze(cache: &ContextCache, req: &Request) -> HandlerResult {
+fn analyze(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
     let ctx = design_context(cache, req)?;
     let base = timing(cache, req)?;
     let samples = req.samples.unwrap_or(100);
     let seed = req.seed.unwrap_or(0);
     let model = bounds(req)?;
-    let report = criticality_in(&ctx, &model, samples, seed, Parallelism::Serial);
+    let report = criticality_in(&ctx, &model, samples, seed, par);
     let g = ctx.graph();
     let mut hot: Vec<(f64, localwm_cdfg::NodeId)> = g
         .node_ids()

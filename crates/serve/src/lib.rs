@@ -19,12 +19,17 @@
 //!   drain-on-shutdown.
 //! * [`client::Client`] — the blocking client used by `localwm request`,
 //!   the integration tests, and the load bench.
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]); the seams in [`server`] fire only when the crate
+//!   is built with the `fault-inject` feature. `localwm-testkit` drives
+//!   this for chaos and differential testing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod handlers;
 pub mod metrics;
 pub mod protocol;
@@ -33,6 +38,7 @@ pub mod server;
 
 pub use cache::{CacheStats, ContextCache};
 pub use client::Client;
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultSpec, FiredFault, InjectionPoint};
 pub use metrics::{Metrics, Outcome};
 pub use protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
 pub use queue::{BoundedQueue, PushError};

@@ -21,7 +21,7 @@
 //! `shutdown` request get its acknowledgement.
 
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use serde::{Serialize, Value};
 
 use crate::cache::ContextCache;
+use crate::fault::{FaultAction, FaultInjector, FaultPlan, FiredFault, InjectionPoint};
 use crate::handlers;
 use crate::metrics::{Metrics, Outcome};
 use crate::protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
@@ -51,6 +52,10 @@ pub struct ServeConfig {
     pub default_timeout_ms: Option<u64>,
     /// Dump the final metrics snapshot to this file on shutdown.
     pub metrics_out: Option<String>,
+    /// Deterministic fault schedule, honored only when the crate is built
+    /// with the `fault-inject` feature (ignored — with a warning — without
+    /// it). See [`crate::fault`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -62,18 +67,37 @@ impl Default for ServeConfig {
             cache_cap: 8,
             default_timeout_ms: None,
             metrics_out: None,
+            fault_plan: None,
         }
     }
 }
 
 struct Conn {
     stream: Mutex<TcpStream>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Conn {
     fn send(&self, resp: &Response) {
         let mut line = resp.to_line();
         line.push('\n');
+        if let Some(inj) = &self.injector {
+            match inj.check(InjectionPoint::SockWrite) {
+                Some(FaultAction::DropResponse) => return, // simulated write error
+                Some(FaultAction::PartialWrite) => {
+                    // A torn write: a prefix of the line goes out, then the
+                    // connection dies mid-response.
+                    let mut s = self.stream.lock().expect("conn lock");
+                    let half = line.len() / 2;
+                    let _ = s
+                        .write_all(&line.as_bytes()[..half])
+                        .and_then(|()| s.flush());
+                    let _ = s.shutdown(Shutdown::Both);
+                    return;
+                }
+                _ => {}
+            }
+        }
         let mut s = self.stream.lock().expect("conn lock");
         // A dead peer is not a server error; drop the response.
         let _ = s.write_all(line.as_bytes()).and_then(|()| s.flush());
@@ -110,7 +134,9 @@ struct Shared {
     metrics_dumped: AtomicBool,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
+    panics: AtomicU64,
     workers: usize,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Shared {
@@ -127,7 +153,7 @@ impl Shared {
 
     fn stats_value(&self) -> Value {
         let c = self.cache.stats();
-        Value::Object(vec![
+        let mut fields = vec![
             ("uptime_ms".to_owned(), self.metrics.uptime_ms().to_value()),
             ("workers".to_owned(), self.workers.to_value()),
             (
@@ -148,17 +174,48 @@ impl Shared {
                     ("capacity".to_owned(), c.capacity.to_value()),
                 ]),
             ),
+            (
+                "panics".to_owned(),
+                self.panics.load(Ordering::SeqCst).to_value(),
+            ),
             ("requests".to_owned(), self.metrics.to_value()),
-        ])
+        ];
+        if let Some(inj) = &self.injector {
+            fields.push((
+                "faults_fired".to_owned(),
+                (inj.trace().len() as u64).to_value(),
+            ));
+        }
+        Value::Object(fields)
     }
 
-    fn dump_metrics(&self) {
+    /// Writes the metrics snapshot to `--metrics-out`. `clean` records
+    /// whether this was a drained shutdown or a partial flush after a
+    /// fault/abort, so chaos runs can tell the two apart.
+    fn dump_metrics(&self, clean: bool) {
         if let Some(path) = &self.cfg.metrics_out {
-            let json = serde_json::to_string_pretty(&self.stats_value())
+            let mut fields = match self.stats_value() {
+                Value::Object(f) => f,
+                _ => unreachable!("stats_value returns an object"),
+            };
+            fields.push(("clean_shutdown".to_owned(), Value::Bool(clean)));
+            let json = serde_json::to_string_pretty(&Value::Object(fields))
                 .expect("stats serialization is infallible");
             if let Err(e) = std::fs::write(path, json + "\n") {
                 eprintln!("localwm-serve: writing {path}: {e}");
             }
+        }
+    }
+}
+
+impl Drop for Shared {
+    /// Last-resort metrics flush: if the server went down without a drain
+    /// (a panic or fault tore the normal shutdown path), the snapshot is
+    /// still written — marked `"clean_shutdown": false` — so chaos runs
+    /// always produce their `--metrics-out` file.
+    fn drop(&mut self) {
+        if !self.metrics_dumped.swap(true, Ordering::SeqCst) {
+            self.dump_metrics(false);
         }
     }
 }
@@ -193,6 +250,29 @@ impl ServerHandle {
         stop(&self.shared);
         self.join();
     }
+
+    /// Hard stop **without** draining: in-flight work finishes, but nothing
+    /// queued is waited on and a *partial* metrics snapshot
+    /// (`"clean_shutdown": false`) is flushed immediately. This is the
+    /// escape hatch chaos runs use when an injected fault ate the normal
+    /// `shutdown` acknowledgement.
+    pub fn abort(self) {
+        stop(&self.shared);
+        if !self.shared.metrics_dumped.swap(true, Ordering::SeqCst) {
+            self.shared.dump_metrics(false);
+        }
+        self.join();
+    }
+
+    /// Every fault that fired so far (empty when no fault plan is
+    /// installed or the crate was built without `fault-inject`).
+    pub fn fault_trace(&self) -> Vec<FiredFault> {
+        self.shared
+            .injector
+            .as_ref()
+            .map(|i| i.trace())
+            .unwrap_or_default()
+    }
 }
 
 /// Starts a server; returns once the listener is bound and all threads run.
@@ -205,6 +285,20 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
+    #[cfg(feature = "fault-inject")]
+    let injector = cfg
+        .fault_plan
+        .as_ref()
+        .map(|p| Arc::new(FaultInjector::from_plan(p)));
+    #[cfg(not(feature = "fault-inject"))]
+    let injector: Option<Arc<FaultInjector>> = {
+        if cfg.fault_plan.is_some() {
+            eprintln!(
+                "localwm-serve: fault plan ignored (built without the `fault-inject` feature)"
+            );
+        }
+        None
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(cfg.queue_depth),
         cache: ContextCache::new(cfg.cache_cap),
@@ -215,7 +309,9 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         metrics_dumped: AtomicBool::new(false),
         jobs_submitted: AtomicU64::new(0),
         jobs_completed: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
         workers,
+        injector,
         cfg,
     });
 
@@ -280,12 +376,25 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
     };
     let conn = Arc::new(Conn {
         stream: Mutex::new(stream),
+        injector: shared.injector.clone(),
     });
     let reader = io::BufReader::new(read_half);
     for line in io::BufRead::lines(reader) {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
+        }
+        if let Some(inj) = &shared.injector {
+            if matches!(
+                inj.check(InjectionPoint::SockRead),
+                Some(FaultAction::DropConnection)
+            ) {
+                // Simulated read error: the request just read is lost and
+                // the connection dies before it is processed.
+                let s = conn.stream.lock().expect("conn lock");
+                let _ = s.shutdown(Shutdown::Both);
+                break;
+            }
         }
         match Request::from_line(&line) {
             Err(msg) => conn.send(&Response::failure(
@@ -358,7 +467,20 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 conn: Arc::clone(conn),
                 state,
             };
-            if let Err((job, why)) = shared.queue.try_push(job) {
+            // Injected queue-full burst: indistinguishable on the wire from
+            // a genuine capacity rejection.
+            let pushed = match &shared.injector {
+                Some(inj)
+                    if matches!(
+                        inj.check(InjectionPoint::QueuePush),
+                        Some(FaultAction::RejectFull)
+                    ) =>
+                {
+                    Err((job, PushError::Full))
+                }
+                _ => shared.queue.try_push(job),
+            };
+            if let Err((job, why)) = pushed {
                 let err = match why {
                     PushError::Full => ServiceError::new(
                         ErrorCode::Overloaded,
@@ -379,10 +501,40 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
+        if let Some(inj) = &shared.injector {
+            if let Some(FaultAction::StallMs(ms)) = inj.check(InjectionPoint::WorkerStall) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            if matches!(
+                inj.check(InjectionPoint::CacheEvict),
+                Some(FaultAction::EvictAll)
+            ) {
+                shared.cache.evict_all();
+            }
+        }
         if !job.state.responded.load(Ordering::SeqCst) {
-            let resp = match handlers::execute(&shared.cache, &job.req) {
-                Ok(body) => Response::success(job.state.id, job.state.kind.as_str(), body),
-                Err(e) => Response::failure(job.state.id, job.state.kind.as_str(), e),
+            // A panicking handler must not kill the worker or leave the
+            // request unanswered: contain it, answer with a typed internal
+            // error, and count it.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handlers::execute(&shared.cache, &job.req)
+            }));
+            let resp = match outcome {
+                Ok(Ok(body)) => Response::success(job.state.id, job.state.kind.as_str(), body),
+                Ok(Err(e)) => Response::failure(job.state.id, job.state.kind.as_str(), e),
+                Err(panic) => {
+                    shared.panics.fetch_add(1, Ordering::SeqCst);
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_owned());
+                    Response::failure(
+                        job.state.id,
+                        job.state.kind.as_str(),
+                        ServiceError::new(ErrorCode::Internal, format!("handler panicked: {msg}")),
+                    )
+                }
             };
             let outcome = if resp.ok { Outcome::Ok } else { Outcome::Error };
             shared.respond_once(&job.state, &job.conn, &resp, outcome);
@@ -437,7 +589,7 @@ fn drain(shared: &Arc<Shared>) -> u64 {
         std::thread::sleep(Duration::from_millis(2));
     }
     if !shared.metrics_dumped.swap(true, Ordering::SeqCst) {
-        shared.dump_metrics();
+        shared.dump_metrics(true);
     }
     shared.jobs_completed.load(Ordering::SeqCst)
 }

@@ -17,6 +17,7 @@ fn start_server(workers: usize, queue_depth: usize) -> localwm_serve::ServerHand
         cache_cap: 4,
         default_timeout_ms: None,
         metrics_out: None,
+        fault_plan: None,
     })
     .expect("bind loopback")
 }
@@ -188,6 +189,56 @@ fn graceful_shutdown_drains_in_flight_work() {
         assert!(worker_conn.recv().unwrap().ok, "drained job succeeded");
     }
     handle.join();
+}
+
+#[test]
+fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
+    let dir = std::env::temp_dir();
+    let aborted = dir.join(format!("localwm-metrics-abort-{}.json", std::process::id()));
+    let drained = dir.join(format!("localwm-metrics-drain-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&aborted);
+    let _ = std::fs::remove_file(&drained);
+    let design = write_cdfg(&iir4_parallel());
+
+    // Abort path: the server dies without draining — the metrics snapshot
+    // must still land on disk, marked as a partial flush.
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 8,
+        cache_cap: 2,
+        default_timeout_ms: None,
+        metrics_out: Some(aborted.to_string_lossy().into_owned()),
+        fault_plan: None,
+    })
+    .expect("bind loopback");
+    let mut c = connect(&handle);
+    assert!(c.call(&timing_request(1, &design)).unwrap().ok);
+    handle.abort();
+    let dump = std::fs::read_to_string(&aborted).expect("abort still flushed metrics");
+    let v: Value = serde_json::from_str(&dump).expect("metrics dump is JSON");
+    assert_eq!(v.field("clean_shutdown"), Some(&Value::Bool(false)));
+
+    // Drain path: the same snapshot, marked clean.
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 8,
+        cache_cap: 2,
+        default_timeout_ms: None,
+        metrics_out: Some(drained.to_string_lossy().into_owned()),
+        fault_plan: None,
+    })
+    .expect("bind loopback");
+    let mut c = connect(&handle);
+    assert!(c.call(&timing_request(1, &design)).unwrap().ok);
+    handle.shutdown();
+    let dump = std::fs::read_to_string(&drained).expect("drain flushed metrics");
+    let v: Value = serde_json::from_str(&dump).expect("metrics dump is JSON");
+    assert_eq!(v.field("clean_shutdown"), Some(&Value::Bool(true)));
+
+    let _ = std::fs::remove_file(&aborted);
+    let _ = std::fs::remove_file(&drained);
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Golden-corpus conformance runner.
+//!
+//! ```text
+//! cargo run -p localwm-testkit --bin conformance             # check, exit 1 on drift
+//! cargo run -p localwm-testkit --bin conformance -- --bless  # regenerate designs + goldens
+//! cargo run -p localwm-testkit --bin conformance -- --dir X  # use a corpus at X
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use localwm_testkit::corpus;
+
+fn main() -> ExitCode {
+    let mut bless = false;
+    let mut dir = corpus::corpus_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--dir" => match args.next() {
+                Some(d) => dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--dir needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: conformance [--bless] [--dir PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if bless {
+        match corpus::bless(&dir) {
+            Ok(names) => {
+                println!("blessed {} cases into {}:", names.len(), dir.display());
+                for n in names {
+                    println!("  {n}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match corpus::check(&dir) {
+            Ok(drifts) if drifts.is_empty() => {
+                println!(
+                    "corpus clean: {} cases match their goldens",
+                    corpus::builtin_cases().len()
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(drifts) => {
+                eprintln!("corpus drift ({} findings):", drifts.len());
+                for d in &drifts {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "run `cargo run -p localwm-testkit --bin conformance -- --bless` to accept"
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("corpus check failed: {e} (missing corpus? run with --bless once)");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The chaos harness: a live server, a seeded fault plan, a seeded
+//! request stream, and a set of service invariants checked afterwards.
+//!
+//! [`run`] starts a real server on a loopback socket with
+//! `ServeConfig::fault_plan` set, replays a [`seeded_stream`] through it
+//! over one sequential connection (reconnecting whenever a fault kills the
+//! socket), and classifies every request's fate: answered, response
+//! dropped, or connection died. It then cross-checks the observed
+//! casualties against the injector's fired-fault trace:
+//!
+//! * **no lost responses** beyond the fired lossy faults (`drop_response`,
+//!   `drop_connection`, `partial_write`) — and not one fewer, either;
+//! * **no double-acks** — every request id is answered at most once;
+//! * **exact drain accounting** — `shutdown` reports
+//!   `drained_jobs == requests that reached dispatch`, i.e. sends minus
+//!   connections killed before dispatch;
+//! * **cache counter consistency** — `evictions == misses − entries`
+//!   (holds through injected eviction storms) and `entries ≤ capacity`.
+//!
+//! The harness runs single-worker with a single in-flight request, so the
+//! server's operation counters advance in lockstep with the client and the
+//! whole run — plan, fired-fault trace, fates, report — is a pure function
+//! of the seed. `tests/determinism.rs` asserts exactly that. The report
+//! deliberately contains no wall-clock quantities.
+//!
+//! The fault plan only arms indices in the first half of the operation
+//! horizon (see `FaultPlan::generate`), so the trailing `stats`/`shutdown`
+//! admin exchange is never hit and the accounting stays exact. Without the
+//! `fault-inject` feature the same harness runs fault-free and the
+//! invariants degenerate to "nothing was lost at all".
+
+use std::collections::BTreeMap;
+use std::io;
+use std::time::Duration;
+
+use localwm_serve::{Client, FaultPlan, FiredFault, Request, RequestKind, Response, ServeConfig};
+use serde::{Serialize, Value};
+
+use crate::stream::{seeded_stream, StreamSpec};
+
+/// Knobs for one chaos run. Everything that affects behavior is explicit
+/// here; two runs with equal configs produce identical outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for both the fault plan and the request stream.
+    pub seed: u64,
+    /// Stream length.
+    pub requests: usize,
+    /// Faults armed per injection point (see `FaultPlan::generate`).
+    pub faults_per_point: usize,
+    /// Worker threads. Keep at 1 for exact deterministic accounting.
+    pub workers: usize,
+    /// Job queue depth.
+    pub queue_depth: usize,
+    /// Context-cache capacity; small values make eviction storms bite.
+    pub cache_cap: usize,
+    /// How long to wait for a response before classifying it as dropped.
+    pub recv_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            requests: 40,
+            faults_per_point: 2,
+            workers: 1,
+            queue_depth: 32,
+            cache_cap: 2,
+            recv_timeout: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// Everything a chaos run produces.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The seeded plan that was armed.
+    pub plan: FaultPlan,
+    /// The faults that actually fired, in firing order.
+    pub trace: Vec<FiredFault>,
+    /// Human-readable invariant violations (empty = healthy run).
+    pub violations: Vec<String>,
+    /// The full deterministic report (also carries `violations`).
+    pub report: Value,
+}
+
+/// How one request ended, as observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Answered,
+    ResponseDropped,
+    ConnectionDied,
+    SendFailed,
+}
+
+impl Fate {
+    fn as_str(self) -> &'static str {
+        match self {
+            Fate::Answered => "answered",
+            Fate::ResponseDropped => "response_dropped",
+            Fate::ConnectionDied => "connection_died",
+            Fate::SendFailed => "send_failed",
+        }
+    }
+}
+
+fn connect(addr: &str, recv_timeout: Duration) -> Result<Client, String> {
+    let c = Client::connect_within(addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect: {e}"))?;
+    c.set_read_timeout(Some(recv_timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    Ok(c)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Calls an admin request, retrying once over a fresh connection (a fault
+/// may have killed the current one between data requests).
+fn admin_call(
+    client: &mut Client,
+    addr: &str,
+    recv_timeout: Duration,
+    req: &Request,
+) -> Result<Response, String> {
+    if let Ok(resp) = client.call(req) {
+        return Ok(resp);
+    }
+    *client = connect(addr, recv_timeout)?;
+    client
+        .call(req)
+        .map_err(|e| format!("admin {} failed twice: {e}", req.kind))
+}
+
+fn int_field(v: Option<&Value>, name: &str) -> Result<i64, String> {
+    match v.and_then(|x| x.field(name)) {
+        Some(Value::Int(n)) => Ok(*n),
+        other => Err(format!(
+            "stats field `{name}` missing or not an int: {other:?}"
+        )),
+    }
+}
+
+/// Runs one chaos scenario end to end. See the module docs for what is
+/// checked; violations land in [`ChaosOutcome::violations`] rather than
+/// failing the run.
+///
+/// # Errors
+///
+/// Returns a message only for harness-level failures (cannot bind,
+/// cannot reconnect, admin traffic dead) — never for invariant violations.
+///
+/// # Panics
+///
+/// Panics if the seeded stream produces a request without an id (a testkit
+/// bug, not a caller error).
+pub fn run(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
+    let plan = FaultPlan::generate(cfg.seed, cfg.requests as u64, cfg.faults_per_point);
+    let requests = seeded_stream(&StreamSpec {
+        seed: cfg.seed,
+        requests: cfg.requests,
+    });
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: cfg.workers,
+        queue_depth: cfg.queue_depth,
+        cache_cap: cfg.cache_cap,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: Some(plan.clone()),
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr().to_string();
+    let mut client = connect(&addr, cfg.recv_timeout)?;
+
+    let mut fates: Vec<(u64, Fate)> = Vec::with_capacity(requests.len());
+    let mut answered: Vec<Response> = Vec::new();
+    let mut acks_by_id: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut send_failures = 0u64;
+
+    for req in &requests {
+        let id = req.id.expect("stream requests carry ids");
+        let sent = match client.send(req) {
+            Ok(()) => true,
+            Err(_) => {
+                // The previous fault left a dead socket behind; one retry
+                // on a fresh connection.
+                client = connect(&addr, cfg.recv_timeout)?;
+                client.send(req).is_ok()
+            }
+        };
+        if !sent {
+            send_failures += 1;
+            fates.push((id, Fate::SendFailed));
+            continue;
+        }
+        loop {
+            match client.recv() {
+                Ok(resp) => {
+                    if let Some(rid) = resp.id {
+                        *acks_by_id.entry(rid).or_insert(0) += 1;
+                    }
+                    let ours = resp.id == Some(id);
+                    if ours {
+                        answered.push(resp);
+                        fates.push((id, Fate::Answered));
+                        break;
+                    }
+                    // A stray (duplicate or late) ack: recorded above for
+                    // the double-ack check; keep waiting for ours.
+                }
+                Err(e) if is_timeout(&e) => {
+                    fates.push((id, Fate::ResponseDropped));
+                    break;
+                }
+                Err(_) => {
+                    fates.push((id, Fate::ConnectionDied));
+                    client = connect(&addr, cfg.recv_timeout)?;
+                    break;
+                }
+            }
+        }
+    }
+
+    // The stream is done and (single worker, single in-flight request)
+    // every dispatched job has completed, so the counters are settled.
+    let stats = admin_call(
+        &mut client,
+        &addr,
+        cfg.recv_timeout,
+        &Request::new(RequestKind::Stats),
+    )?;
+    let cache = stats.result_field("cache").cloned();
+    let ack = admin_call(
+        &mut client,
+        &addr,
+        cfg.recv_timeout,
+        &Request::new(RequestKind::Shutdown),
+    )?;
+    let drained = match ack.result_field("drained_jobs") {
+        Some(Value::Int(n)) => *n,
+        other => return Err(format!("shutdown ack without drained_jobs: {other:?}")),
+    };
+    let trace = handle.fault_trace();
+    handle.join();
+
+    // ---- Invariants ----
+    let mut violations: Vec<String> = Vec::new();
+    for (id, n) in &acks_by_id {
+        if *n > 1 {
+            violations.push(format!("double ack: id {id} answered {n} times"));
+        }
+    }
+    let fired = |action: &str| -> i64 {
+        trace.iter().filter(|f| f.action.as_str() == action).count() as i64
+    };
+    let lossy_fired = fired("drop_response") + fired("drop_connection") + fired("partial_write");
+    let lost = fates.iter().filter(|(_, f)| *f != Fate::Answered).count() as i64;
+    if lost != lossy_fired {
+        violations.push(format!(
+            "lost-response accounting: {lost} requests lost but {lossy_fired} lossy faults fired"
+        ));
+    }
+    let sends_reached = requests.len() as i64 - send_failures as i64;
+    let expected_drained = sends_reached - fired("drop_connection");
+    if drained != expected_drained {
+        violations.push(format!(
+            "drain accounting: drained_jobs {drained}, expected {expected_drained} \
+             ({sends_reached} reads minus {} connections dropped pre-dispatch)",
+            fired("drop_connection")
+        ));
+    }
+    match &cache {
+        Some(_) => {
+            let hits = int_field(cache.as_ref(), "hits")?;
+            let misses = int_field(cache.as_ref(), "misses")?;
+            let evictions = int_field(cache.as_ref(), "evictions")?;
+            let entries = int_field(cache.as_ref(), "entries")?;
+            let capacity = int_field(cache.as_ref(), "capacity")?;
+            if evictions != misses - entries {
+                violations.push(format!(
+                    "cache counters inconsistent: evictions {evictions} != misses {misses} - entries {entries}"
+                ));
+            }
+            if entries > capacity {
+                violations.push(format!(
+                    "cache over capacity: {entries} entries > {capacity}"
+                ));
+            }
+            if hits < 0 {
+                violations.push("cache hit counter underflowed".to_owned());
+            }
+        }
+        None => violations.push("stats response carried no cache section".to_owned()),
+    }
+
+    // ---- Deterministic report ----
+    let mut ok_count = 0u64;
+    let mut by_code: BTreeMap<String, u64> = BTreeMap::new();
+    for resp in &answered {
+        if resp.ok {
+            ok_count += 1;
+        } else if let Some(err) = &resp.error {
+            *by_code.entry(err.code.as_str().to_owned()).or_insert(0) += 1;
+        }
+    }
+    let report = serde::object(vec![
+        ("seed", cfg.seed.to_value()),
+        ("requests", cfg.requests.to_value()),
+        ("workers", cfg.workers.to_value()),
+        ("cache_cap", cfg.cache_cap.to_value()),
+        (
+            "fault_inject_compiled",
+            Value::Bool(cfg!(feature = "fault-inject")),
+        ),
+        ("plan", plan.to_value()),
+        (
+            "fired",
+            Value::Array(trace.iter().map(Serialize::to_value).collect()),
+        ),
+        (
+            "fates",
+            Value::Array(
+                fates
+                    .iter()
+                    .map(|&(id, f)| {
+                        Value::Array(vec![id.to_value(), Value::Str(f.as_str().to_owned())])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("answered", (answered.len() as u64).to_value()),
+        ("lost", lost.to_value()),
+        ("responses_ok", ok_count.to_value()),
+        (
+            "responses_by_code",
+            Value::Object(
+                by_code
+                    .into_iter()
+                    .map(|(k, v)| (k, v.to_value()))
+                    .collect(),
+            ),
+        ),
+        ("cache", cache.unwrap_or(Value::Null)),
+        ("drained_jobs", drained.to_value()),
+        (
+            "violations",
+            Value::Array(violations.iter().map(|v| Value::Str(v.clone())).collect()),
+        ),
+    ]);
+    Ok(ChaosOutcome {
+        plan,
+        trace,
+        violations,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_run_reports_no_violations() {
+        let cfg = ChaosConfig {
+            seed: 99,
+            requests: 12,
+            faults_per_point: 0, // unarmed plan: a pure smoke run
+            ..ChaosConfig::default()
+        };
+        let out = run(&cfg).expect("chaos run");
+        assert!(out.trace.is_empty(), "no faults armed, none may fire");
+        assert!(
+            out.violations.is_empty(),
+            "violations: {:?}",
+            out.violations
+        );
+        assert_eq!(
+            out.report.field("answered"),
+            Some(&12u64.to_value()),
+            "every request answered on a fault-free run"
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! The golden conformance corpus.
+//!
+//! Layout (committed at the repository root):
+//!
+//! ```text
+//! corpus/
+//!   designs/<name>.cdfg   one design per file, canonical CDFG text
+//!   golden/<name>.json    expected service responses for that design
+//! ```
+//!
+//! Each golden file records, as pretty-printed JSON, the exact protocol
+//! [`Response`] objects the service produces for a fixed request battery
+//! against that design: `timing`, `analyze` (fixed samples/seed), `embed`
+//! (fixed author), and — when the embed succeeds — `detect` of the embedded
+//! schedule. Designs where embed fails (the serial Table II entries) commit
+//! the typed `no_incomparable_pairs` error response instead; typed errors
+//! are corpus content, not corpus failures.
+//!
+//! [`check`] recomputes every golden and diffs it against disk; [`bless`]
+//! rewrites designs and goldens (the `--bless` flag of the `conformance`
+//! binary). Drift output is line-oriented so CI logs show exactly which
+//! response field moved.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use localwm_cdfg::designs::{iir4_parallel, table2_design, table2_designs};
+use localwm_cdfg::generators::{layered, mediabench, mediabench_apps, LayeredConfig};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::handlers;
+use localwm_serve::{ContextCache, Request, RequestKind, Response};
+use serde::{Serialize, Value};
+
+/// One corpus design: a name and its canonical CDFG text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusCase {
+    /// File stem under `corpus/designs/`.
+    pub name: String,
+    /// Canonical CDFG text.
+    pub design: String,
+}
+
+/// Author identity baked into every corpus embed/detect request.
+pub const CORPUS_AUTHOR: &str = "corpus-author";
+
+/// The built-in corpus definition, sorted by name. [`bless`] writes these
+/// to disk; [`check`] flags disk designs that drift from them.
+pub fn builtin_cases() -> Vec<CorpusCase> {
+    let mut cases = vec![
+        CorpusCase {
+            name: "iir4".to_owned(),
+            design: write_cdfg(&iir4_parallel()),
+        },
+        CorpusCase {
+            name: "cf-iir-serial".to_owned(),
+            design: write_cdfg(&table2_design(&table2_designs()[0])),
+        },
+        CorpusCase {
+            name: "ge-controller".to_owned(),
+            design: write_cdfg(&table2_design(&table2_designs()[1])),
+        },
+        CorpusCase {
+            name: "layered-120".to_owned(),
+            design: write_cdfg(&layered(&LayeredConfig {
+                ops: 120,
+                layers: 12,
+                seed: 42,
+                ..LayeredConfig::default()
+            })),
+        },
+        CorpusCase {
+            name: "layered-240".to_owned(),
+            design: write_cdfg(&layered(&LayeredConfig {
+                ops: 240,
+                layers: 16,
+                seed: 7,
+                ..LayeredConfig::default()
+            })),
+        },
+        CorpusCase {
+            name: "mediabench-0".to_owned(),
+            design: write_cdfg(&mediabench(&mediabench_apps()[0], 0)),
+        },
+    ];
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    cases
+}
+
+/// The committed corpus directory: `<repo root>/corpus`.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+/// The fixed request battery for one design. Request ids are local to the
+/// battery (0-based); [`corpus_requests`] renumbers them stream-wide.
+pub fn case_requests(case: &CorpusCase) -> Vec<Request> {
+    let with_design = |kind| {
+        let mut r = Request::new(kind);
+        r.design = Some(case.design.clone());
+        r
+    };
+    let timing = with_design(RequestKind::Timing);
+    let mut analyze = with_design(RequestKind::Analyze);
+    analyze.samples = Some(40);
+    analyze.seed = Some(0);
+    let mut embed = with_design(RequestKind::Embed);
+    embed.author = Some(CORPUS_AUTHOR.to_owned());
+    let mut reqs = vec![timing, analyze, embed.clone()];
+    // Detect rides along only when the embed succeeds; on serial designs
+    // the battery ends at the typed embed error.
+    let cache = ContextCache::new(1);
+    if let Ok(out) = handlers::execute(&cache, &embed) {
+        if let Some(Value::Str(schedule)) = out.field("schedule") {
+            let mut detect = with_design(RequestKind::Detect);
+            detect.author = Some(CORPUS_AUTHOR.to_owned());
+            detect.schedule = Some(schedule.clone());
+            reqs.push(detect);
+        }
+    }
+    for (i, r) in reqs.iter_mut().enumerate() {
+        r.id = Some(i as u64);
+    }
+    reqs
+}
+
+/// Typed-error requests appended to the corpus stream so the differential
+/// lanes and goldens cover error responses, not just successes.
+pub fn error_requests() -> Vec<Request> {
+    let iir4 = write_cdfg(&iir4_parallel());
+    let mut missing_design = Request::new(RequestKind::Timing);
+    missing_design.id = Some(0);
+    let mut bad_design = Request::new(RequestKind::Timing);
+    bad_design.design = Some("node a definitely_not_an_op\n".to_owned());
+    let mut bad_bounds = Request::new(RequestKind::Analyze);
+    bad_bounds.design = Some(iir4.clone());
+    bad_bounds.lo = Some(9);
+    bad_bounds.hi = Some(3);
+    let mut bad_schedule = Request::new(RequestKind::Detect);
+    bad_schedule.design = Some(iir4);
+    bad_schedule.author = Some(CORPUS_AUTHOR.to_owned());
+    bad_schedule.schedule = Some("not a schedule".to_owned());
+    let mut missing_author = Request::new(RequestKind::Embed);
+    missing_author.design = Some(write_cdfg(&iir4_parallel()));
+    vec![
+        missing_design,
+        bad_design,
+        bad_bounds,
+        bad_schedule,
+        missing_author,
+    ]
+}
+
+/// The full corpus request stream — every case battery plus the typed-error
+/// battery, with globally sequential ids. This is the stream the
+/// differential oracle runs through every lane.
+pub fn corpus_requests(cases: &[CorpusCase]) -> Vec<Request> {
+    let mut all: Vec<Request> = cases.iter().flat_map(case_requests).collect();
+    all.extend(error_requests());
+    for (i, r) in all.iter_mut().enumerate() {
+        r.id = Some(i as u64);
+    }
+    all
+}
+
+/// Computes the golden value for one case: the exact responses of its
+/// request battery against a fresh cache.
+pub fn golden_value(case: &CorpusCase) -> Value {
+    let cache = ContextCache::new(2);
+    let responses: Vec<Value> = case_requests(case)
+        .iter()
+        .map(|req| {
+            let resp = match handlers::execute(&cache, req) {
+                Ok(v) => Response::success(req.id, req.kind.as_str(), v),
+                Err(e) => Response::failure(req.id, req.kind.as_str(), e),
+            };
+            resp.to_value()
+        })
+        .collect();
+    serde::object(vec![
+        ("design", Value::Str(case.name.clone())),
+        ("responses", Value::Array(responses)),
+    ])
+}
+
+/// The golden file text for one case (pretty JSON, trailing newline).
+pub fn golden_text(case: &CorpusCase) -> String {
+    let mut s = serde_json::to_string_pretty(&golden_value(case)).expect("goldens serialize");
+    s.push('\n');
+    s
+}
+
+/// One detected divergence between the computed corpus and disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Case name (or file stem for orphans).
+    pub name: String,
+    /// What drifted: `missing-design`, `design-drift`, `missing-golden`,
+    /// `golden-drift`, or `orphan`.
+    pub kind: &'static str,
+    /// Line-oriented diff excerpt (empty for missing/orphan files).
+    pub diff: String,
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.name)?;
+        if !self.diff.is_empty() {
+            write!(f, "\n{}", self.diff)?;
+        }
+        Ok(())
+    }
+}
+
+/// First differing lines between two texts, `-` expected / `+` actual.
+fn line_diff(expected: &str, actual: &str, max_lines: usize) -> String {
+    let mut out = Vec::new();
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    for i in 0..e.len().max(a.len()) {
+        let (le, la) = (e.get(i), a.get(i));
+        if le != la {
+            out.push(format!(
+                "  line {}:\n  - {}\n  + {}",
+                i + 1,
+                le.unwrap_or(&"<eof>"),
+                la.unwrap_or(&"<eof>")
+            ));
+            if out.len() >= max_lines {
+                out.push("  ... (diff truncated)".to_owned());
+                break;
+            }
+        }
+    }
+    out.join("\n")
+}
+
+/// Loads the committed designs (`corpus/designs/*.cdfg`), sorted by name.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a missing directory is an error (run
+/// `conformance --bless` once to create the corpus).
+pub fn load_cases(dir: &Path) -> io::Result<Vec<CorpusCase>> {
+    let designs = dir.join("designs");
+    let mut cases = Vec::new();
+    for entry in fs::read_dir(&designs)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cdfg") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        cases.push(CorpusCase {
+            name,
+            design: fs::read_to_string(&path)?,
+        });
+    }
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(cases)
+}
+
+/// Recomputes every builtin case and diffs designs and goldens against
+/// `dir`. Returns the drift list (empty means the corpus is clean).
+///
+/// # Errors
+///
+/// Propagates I/O errors other than missing files (which are reported as
+/// drift, not errors).
+pub fn check(dir: &Path) -> io::Result<Vec<Drift>> {
+    let mut drifts = Vec::new();
+    let cases = builtin_cases();
+    for case in &cases {
+        let design_path = dir.join("designs").join(format!("{}.cdfg", case.name));
+        match fs::read_to_string(&design_path) {
+            Ok(on_disk) if on_disk == case.design => {}
+            Ok(on_disk) => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "design-drift",
+                diff: line_diff(&case.design, &on_disk, 5),
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "missing-design",
+                diff: String::new(),
+            }),
+            Err(e) => return Err(e),
+        }
+        let golden_path = dir.join("golden").join(format!("{}.json", case.name));
+        let expected = golden_text(case);
+        match fs::read_to_string(&golden_path) {
+            Ok(on_disk) if on_disk == expected => {}
+            Ok(on_disk) => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "golden-drift",
+                diff: line_diff(&expected, &on_disk, 8),
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "missing-golden",
+                diff: String::new(),
+            }),
+            Err(e) => return Err(e),
+        }
+    }
+    // Orphans: committed files no builtin case produces anymore.
+    for (sub, ext) in [("designs", "cdfg"), ("golden", "json")] {
+        let path = dir.join(sub);
+        let entries = match fs::read_dir(&path) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let p = entry?.path();
+            if p.extension().and_then(|e| e.to_str()) != Some(ext) {
+                continue;
+            }
+            let stem = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            if !cases.iter().any(|c| c.name == stem) {
+                drifts.push(Drift {
+                    name: format!("{sub}/{stem}.{ext}"),
+                    kind: "orphan",
+                    diff: String::new(),
+                });
+            }
+        }
+    }
+    drifts.sort_by(|a, b| (a.kind, &a.name).cmp(&(b.kind, &b.name)));
+    Ok(drifts)
+}
+
+/// Regenerates the whole corpus under `dir` (designs and goldens); the
+/// `--bless` mode. Returns the written case names.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn bless(dir: &Path) -> io::Result<Vec<String>> {
+    fs::create_dir_all(dir.join("designs"))?;
+    fs::create_dir_all(dir.join("golden"))?;
+    let mut written = Vec::new();
+    for case in builtin_cases() {
+        fs::write(
+            dir.join("designs").join(format!("{}.cdfg", case.name)),
+            &case.design,
+        )?;
+        fs::write(
+            dir.join("golden").join(format!("{}.json", case.name)),
+            golden_text(&case),
+        )?;
+        written.push(case.name);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_cases_are_sorted_and_named_uniquely() {
+        let cases = builtin_cases();
+        assert!(cases.len() >= 5, "corpus has real breadth");
+        let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn goldens_are_deterministic() {
+        let case = &builtin_cases()[0];
+        assert_eq!(golden_text(case), golden_text(case));
+    }
+
+    #[test]
+    fn corpus_stream_has_sequential_ids_and_error_cases() {
+        let reqs = corpus_requests(&builtin_cases());
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id.expect("id")).collect();
+        assert_eq!(ids, (0..reqs.len() as u64).collect::<Vec<u64>>());
+        assert!(reqs.iter().any(|r| r.design.is_none()));
+    }
+
+    #[test]
+    fn line_diff_pinpoints_the_divergence() {
+        let d = line_diff("a\nb\nc", "a\nX\nc", 5);
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("- b") && d.contains("+ X"), "{d}");
+    }
+}

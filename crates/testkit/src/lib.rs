@@ -1,0 +1,47 @@
+//! `localwm-testkit`: the deterministic verification layer for the engine
+//! and service crates.
+//!
+//! Three instruments, all seeded and reproducible:
+//!
+//! * [`stream`] — seeded request streams mixing every request kind with
+//!   typed-error cases; the same seed always yields the same byte-exact
+//!   stream.
+//! * [`oracle`] — differential oracles: the same stream runs through the
+//!   in-process API, a real TCP server (cold and then warm cache), and
+//!   serial vs threaded engine passes, and every lane must produce
+//!   byte-identical response lines. Also probe-level invariants (memo
+//!   builders run exactly once, no spurious invalidations).
+//! * [`corpus`] — the golden conformance corpus: committed CDFG designs
+//!   under `corpus/designs/` with expected service responses under
+//!   `corpus/golden/`, a drift checker, and a `--bless` regenerator
+//!   (`cargo run -p localwm-testkit --bin conformance`).
+//! * [`chaos`] — a chaos harness that starts a live server with a seeded
+//!   [`FaultPlan`](localwm_serve::FaultPlan), replays a seeded stream
+//!   through the injected faults, and checks service invariants (no lost
+//!   responses beyond the fired faults, no double-acks, exact drain
+//!   accounting, cache counter consistency). Same seed ⇒ same plan, same
+//!   fired-fault trace, same report.
+//!
+//! Built with the `fault-inject` feature (the default) the chaos runs fire
+//! real faults; without it the same harness runs fault-free and asserts
+//! the zero-fault invariants, so both feature configurations are testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod corpus;
+pub mod oracle;
+pub mod stream;
+
+pub use chaos::{ChaosConfig, ChaosOutcome};
+
+/// Whether this build of the testkit armed the `fault-inject` seams in
+/// `localwm-serve` (callers like the CLI cannot see the feature flag of a
+/// dependency through `cfg!`).
+pub fn fault_inject_compiled() -> bool {
+    cfg!(feature = "fault-inject")
+}
+pub use corpus::CorpusCase;
+pub use oracle::DifferentialReport;
+pub use stream::StreamSpec;

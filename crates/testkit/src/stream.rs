@@ -1,0 +1,204 @@
+//! Seeded request streams.
+//!
+//! [`seeded_stream`] expands a [`StreamSpec`] into a fully deterministic
+//! sequence of protocol [`Request`]s: a mix of `timing`, `analyze`,
+//! `embed`, and `detect` over a fixed design pool, salted with
+//! typed-error cases (missing fields, malformed designs, inverted delay
+//! bounds, unparseable schedules, unembeddable serial designs). The same
+//! spec always produces the same byte-exact requests — the differential
+//! oracle and the chaos harness both lean on that.
+
+use localwm_cdfg::designs::{iir4_parallel, table2_design, table2_designs};
+use localwm_cdfg::generators::{layered, mediabench, mediabench_apps, LayeredConfig};
+use localwm_cdfg::write_cdfg;
+use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
+use localwm_engine::{DesignContext, Parallelism};
+use localwm_sched::write_schedule;
+use localwm_serve::fault::SplitMix64;
+use localwm_serve::{Request, RequestKind};
+
+/// Author identity used for the stream's valid detect requests.
+pub const STREAM_AUTHOR: &str = "stream-author";
+
+/// Shape of a seeded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Seed for the request mix (kinds, designs, parameters).
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+}
+
+/// The fixed design pool a stream draws from: `(name, cdfg-text)`.
+///
+/// The pool deliberately includes one serial Table II design on which
+/// `embed` fails with the typed `no_incomparable_pairs` error, so every
+/// sufficiently long stream exercises that path.
+pub fn design_pool() -> Vec<(&'static str, String)> {
+    vec![
+        ("iir4", write_cdfg(&iir4_parallel())),
+        (
+            "layered-120",
+            write_cdfg(&layered(&LayeredConfig {
+                ops: 120,
+                layers: 12,
+                seed: 42,
+                ..LayeredConfig::default()
+            })),
+        ),
+        (
+            "mediabench-0",
+            write_cdfg(&mediabench(&mediabench_apps()[0], 0)),
+        ),
+        (
+            "ge-controller",
+            write_cdfg(&table2_design(&table2_designs()[1])),
+        ),
+    ]
+}
+
+/// A watermarked iir4 schedule in the text format, embedded with
+/// [`STREAM_AUTHOR`] — the payload for the stream's valid detect requests.
+///
+/// # Panics
+///
+/// Panics if the iir4 reference design stops being embeddable (that would
+/// be an engine regression, not a caller error).
+pub fn reference_schedule() -> String {
+    let ctx = DesignContext::new(iir4_parallel());
+    let sig = Signature::from_author(STREAM_AUTHOR);
+    let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+    let emb = wm
+        .embed_in(&ctx, &sig, Parallelism::Serial)
+        .expect("iir4 is embeddable");
+    write_schedule(ctx.graph(), &emb.schedule)
+}
+
+fn pick<'a>(rng: &mut SplitMix64, pool: &'a [(&'static str, String)]) -> &'a str {
+    &pool[usize::try_from(rng.below(pool.len() as u64)).expect("pool fits")].1
+}
+
+/// Expands `spec` into its request stream. Deterministic: same spec, same
+/// requests, byte for byte.
+pub fn seeded_stream(spec: &StreamSpec) -> Vec<Request> {
+    let pool = design_pool();
+    let schedule = reference_schedule();
+    let iir4 = &pool[0].1;
+    let mut rng = SplitMix64::new(spec.seed ^ 0x5EED_57EA_4D00_57E4);
+    let mut out = Vec::with_capacity(spec.requests);
+    for i in 0..spec.requests {
+        let roll = rng.below(100);
+        let mut r = if roll < 30 {
+            let mut r = Request::new(RequestKind::Timing);
+            r.design = Some(pick(&mut rng, &pool).to_owned());
+            r
+        } else if roll < 55 {
+            let mut r = Request::new(RequestKind::Analyze);
+            r.design = Some(pick(&mut rng, &pool).to_owned());
+            r.samples = Some(usize::try_from(10 + rng.below(40)).expect("small"));
+            r.seed = Some(rng.below(1 << 16));
+            r
+        } else if roll < 70 {
+            let mut r = Request::new(RequestKind::Embed);
+            r.design = Some(pick(&mut rng, &pool).to_owned());
+            r.author = Some(format!("author-{}", rng.below(3)));
+            r
+        } else if roll < 85 {
+            let mut r = Request::new(RequestKind::Detect);
+            r.design = Some(iir4.clone());
+            r.author = Some(if rng.below(2) == 0 {
+                STREAM_AUTHOR.to_owned()
+            } else {
+                "impostor".to_owned()
+            });
+            r.schedule = Some(schedule.clone());
+            r
+        } else {
+            // Typed-error cases: each yields a deterministic bad_request.
+            match rng.below(4) {
+                0 => Request::new(RequestKind::Timing), // missing design
+                1 => {
+                    let mut r = Request::new(RequestKind::Timing);
+                    r.design = Some("node a definitely_not_an_op\n".to_owned());
+                    r
+                }
+                2 => {
+                    let mut r = Request::new(RequestKind::Analyze);
+                    r.design = Some(iir4.clone());
+                    r.lo = Some(5);
+                    r.hi = Some(2); // inverted bounds
+                    r
+                }
+                _ => {
+                    let mut r = Request::new(RequestKind::Detect);
+                    r.design = Some(iir4.clone());
+                    r.author = Some(STREAM_AUTHOR.to_owned());
+                    r.schedule = Some("not a schedule".to_owned());
+                    r
+                }
+            }
+        };
+        r.id = Some(i as u64);
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec = StreamSpec {
+            seed: 9,
+            requests: 40,
+        };
+        let a = seeded_stream(&spec);
+        let b = seeded_stream(&spec);
+        assert_eq!(a, b);
+        let lines: Vec<String> = a.iter().map(Request::to_line).collect();
+        let again: Vec<String> = b.iter().map(Request::to_line).collect();
+        assert_eq!(lines, again, "byte-exact reproducibility");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = seeded_stream(&StreamSpec {
+            seed: 1,
+            requests: 40,
+        });
+        let b = seeded_stream(&StreamSpec {
+            seed: 2,
+            requests: 40,
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_covers_queued_kinds_and_error_cases() {
+        let reqs = seeded_stream(&StreamSpec {
+            seed: 3,
+            requests: 120,
+        });
+        for k in [
+            RequestKind::Timing,
+            RequestKind::Analyze,
+            RequestKind::Embed,
+            RequestKind::Detect,
+        ] {
+            assert!(reqs.iter().any(|r| r.kind == k), "stream covers {k}");
+        }
+        assert!(
+            reqs.iter()
+                .all(|r| r.kind != RequestKind::Stats && r.kind != RequestKind::Shutdown),
+            "admin kinds never appear in the stream"
+        );
+        assert!(
+            reqs.iter().any(|r| r.design.is_none()),
+            "stream includes typed-error cases"
+        );
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id.expect("id")).collect();
+        assert_eq!(ids, (0..120).collect::<Vec<u64>>(), "sequential ids");
+    }
+}

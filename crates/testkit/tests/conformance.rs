@@ -1,0 +1,44 @@
+//! The committed corpus matches what the current code produces (drift
+//! check), and blessing a fresh corpus immediately passes its own check.
+
+use localwm_testkit::corpus;
+
+#[test]
+fn committed_corpus_is_drift_free() {
+    let drifts = corpus::check(&corpus::corpus_dir()).expect("corpus directory readable");
+    assert!(
+        drifts.is_empty(),
+        "golden corpus drifted — inspect and re-bless if intended:\n{}",
+        drifts
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn bless_then_check_round_trips() {
+    let dir = std::env::temp_dir().join(format!("localwm-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let written = corpus::bless(&dir).expect("bless into temp dir");
+    assert_eq!(written.len(), corpus::builtin_cases().len());
+    let drifts = corpus::check(&dir).expect("check temp corpus");
+    assert!(
+        drifts.is_empty(),
+        "freshly blessed corpus drifted: {drifts:?}"
+    );
+
+    // Perturb one golden; the checker must localize the damage.
+    let victim = dir.join("golden").join(format!("{}.json", written[0]));
+    let mut text = std::fs::read_to_string(&victim).expect("read golden");
+    text.push_str("{\"extra\": true}\n");
+    std::fs::write(&victim, text).expect("corrupt golden");
+    let drifts = corpus::check(&dir).expect("check corrupted corpus");
+    assert_eq!(drifts.len(), 1, "exactly the corrupted golden drifts");
+    assert_eq!(drifts[0].kind, "golden-drift");
+    assert_eq!(drifts[0].name, written[0]);
+    assert!(drifts[0].diff.contains("extra"), "diff pinpoints the edit");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

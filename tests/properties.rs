@@ -1,7 +1,7 @@
 //! Property-based integration tests over randomly generated designs.
 
 use local_watermarks::cdfg::generators::{layered, random_dag, LayeredConfig};
-use local_watermarks::core::{SchedWmConfig, SchedulingWatermarker, Signature};
+use local_watermarks::core::{SchedWmConfig, SchedulingWatermarker, Signature, WatermarkError};
 use local_watermarks::sched::{force_directed_schedule, list_schedule, ResourceSet, Windows};
 use local_watermarks::timing::{bounded_critical_path, KindBounds, UnitTiming};
 use proptest::prelude::*;
@@ -83,6 +83,52 @@ proptest! {
         prop_assert!(cp.lo <= unit);
         prop_assert!(cp.hi >= unit);
         prop_assert_eq!(cp.lo, unit); // lower bound is the all-1 assignment
+    }
+
+    /// Embedding either succeeds (and the round trip matches) or fails
+    /// with the *typed* `NoIncomparablePairs` diagnostic — never an
+    /// untyped error, never a panic. This is the service contract the
+    /// `no_incomparable_pairs` wire code is built on.
+    #[test]
+    fn embed_round_trips_or_fails_typed(seed in 0u64..400, ops in 40usize..300) {
+        let g = layered(&LayeredConfig {
+            ops,
+            layers: (ops / 8).max(2),
+            seed,
+            ..Default::default()
+        });
+        let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+        let sig = Signature::from_author(&format!("typed-{seed}"));
+        match wm.embed(&g, &sig) {
+            Ok(emb) => {
+                let ev = wm.detect(&emb.schedule, &g, &sig).expect("detects own mark");
+                prop_assert!(ev.is_match(), "embedded mark must verify");
+            }
+            Err(WatermarkError::NoIncomparablePairs { domain_size, .. }) => {
+                // The typed diagnostic must describe the domain it searched.
+                prop_assert!(domain_size <= ops);
+            }
+            Err(other) => prop_assert!(false, "untyped embed error: {other}"),
+        }
+    }
+
+    /// Detection never claims a high-confidence match on a fresh,
+    /// unwatermarked schedule of the same design shape: the chance
+    /// probability of an accidental match stays far above the detection
+    /// tolerance.
+    #[test]
+    fn detect_never_false_positives_on_unwatermarked(seed in 0u64..300) {
+        let g = layered(&LayeredConfig { ops: 160, layers: 14, seed, ..Default::default() });
+        let unmarked = list_schedule(&g, &ResourceSet::unlimited(), None).expect("schedules");
+        let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+        let claimant = Signature::from_author(&format!("claimant-{seed}"));
+        if let Ok(ev) = wm.detect(&unmarked, &g, &claimant) {
+            prop_assert!(
+                !ev.is_match_with_tolerance(1e-6),
+                "false positive: unwatermarked schedule matched with pc = 1e{}",
+                ev.log10_pc
+            );
+        }
     }
 
     /// Adding a feasible temporal edge never shortens the critical path.
