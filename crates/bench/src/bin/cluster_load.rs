@@ -1,0 +1,270 @@
+//! Load benchmark for the `localwm-gateway` routing tier: per-request
+//! routing overhead versus a direct backend, multi-client throughput at
+//! 1, 2 and 4 backends, and the first-request latency after a backend
+//! kill (drain-refusal failover to the replica, cold replica cache).
+//!
+//! Backends and the gateway run in-process on loopback sockets; clients
+//! are real TCP connections. Writes `BENCH_gateway.json` (or the path
+//! given as the first argument) in the same shape as the other
+//! `BENCH_*.json` reports.
+
+use std::time::{Duration, Instant};
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::write_cdfg;
+use localwm_gateway::{BackendSpec, GatewayConfig, GatewayHandle};
+use localwm_serve::{Client, Request, RequestKind, ServeConfig, ServerHandle};
+use serde::Value;
+
+struct Sample {
+    name: String,
+    mean_ns: f64,
+    samples: usize,
+}
+
+fn start_backend() -> ServerHandle {
+    localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 256,
+        cache_cap: 16,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+    })
+    .expect("bind backend")
+}
+
+fn start_gateway(backend_addrs: &[String], record_routes: bool) -> GatewayHandle {
+    let specs = backend_addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| BackendSpec {
+            name: format!("b{i}"),
+            addr: addr.clone(),
+        })
+        .collect();
+    localwm_gateway::start(GatewayConfig {
+        backends: specs,
+        replicas: 2,
+        max_retries: 1,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 8,
+        health_interval_ms: None,
+        record_routes,
+        ..GatewayConfig::default()
+    })
+    .expect("bind gateway")
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect_within(addr, Duration::from_secs(5)).expect("connect")
+}
+
+fn timing_request(design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Timing);
+    r.design = Some(design.to_owned());
+    r
+}
+
+/// Mean per-request latency of sending `reqs` serially on one connection.
+fn mean_latency_ns(client: &mut Client, reqs: &[Request]) -> f64 {
+    let start = Instant::now();
+    for r in reqs {
+        let resp = client.call(r).expect("request");
+        assert!(resp.ok, "benchmark request failed: {:?}", resp.error);
+    }
+    start.elapsed().as_nanos() as f64 / reqs.len() as f64
+}
+
+/// Warm per-request latency: direct to one backend vs through a gateway
+/// fronting that same backend — the difference is the routing tier's
+/// relay cost (parse, shard, pooled exchange).
+fn routing_overhead(designs: &[String], out: &mut Vec<Sample>) {
+    const ROUNDS: usize = 8;
+    let reqs: Vec<Request> = designs.iter().map(|d| timing_request(d)).collect();
+
+    let backend = start_backend();
+    let mut direct = connect(&backend.addr().to_string());
+    mean_latency_ns(&mut direct, &reqs); // populate the context cache
+    let mut warm = 0.0;
+    for _ in 0..ROUNDS {
+        warm += mean_latency_ns(&mut direct, &reqs);
+    }
+    out.push(Sample {
+        name: "gateway/timing/direct-backend".to_owned(),
+        mean_ns: warm / ROUNDS as f64,
+        samples: ROUNDS * reqs.len(),
+    });
+
+    let gw = start_gateway(&[backend.addr().to_string()], false);
+    let mut routed = connect(&gw.addr().to_string());
+    mean_latency_ns(&mut routed, &reqs); // warm the gateway's shard-key memo
+    let mut warm = 0.0;
+    for _ in 0..ROUNDS {
+        warm += mean_latency_ns(&mut routed, &reqs);
+    }
+    gw.shutdown();
+    backend.shutdown();
+    out.push(Sample {
+        name: "gateway/timing/via-gateway".to_owned(),
+        mean_ns: warm / ROUNDS as f64,
+        samples: ROUNDS * reqs.len(),
+    });
+}
+
+/// Multi-client throughput through the gateway at a given fleet size.
+fn throughput(designs: &[String], backends: usize, out: &mut Vec<Sample>) {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 12;
+    let fleet: Vec<ServerHandle> = (0..backends).map(|_| start_backend()).collect();
+    let addrs: Vec<String> = fleet.iter().map(|b| b.addr().to_string()).collect();
+    let gw = start_gateway(&addrs, false);
+    let addr = gw.addr().to_string();
+    // Pre-warm every backend's context cache through the gateway.
+    let mut warmup = connect(&addr);
+    for d in designs {
+        assert!(warmup.call(&timing_request(d)).expect("warmup").ok);
+    }
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let designs = designs.to_vec();
+            std::thread::spawn(move || {
+                let mut client = connect(&addr);
+                for i in 0..PER_CLIENT {
+                    let d = &designs[(c + i) % designs.len()];
+                    let resp = client.call(&timing_request(d)).expect("request");
+                    assert!(resp.ok, "load request failed: {:?}", resp.error);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let total = CLIENTS * PER_CLIENT;
+    let mean_ns = start.elapsed().as_nanos() as f64 / total as f64;
+    gw.shutdown();
+    for b in fleet {
+        b.shutdown();
+    }
+    out.push(Sample {
+        name: format!("gateway/timing-load/backends-{backends}"),
+        mean_ns,
+        samples: total,
+    });
+}
+
+/// First-request latency after the shard owner dies: the gateway hits the
+/// dead backend's pooled connection (drain refusal) or a refused dial,
+/// fails over to the replica, and the replica builds the context cold.
+fn failover(designs: &[String], out: &mut Vec<Sample>) {
+    let mut fleet: Vec<Option<ServerHandle>> = (0..2).map(|_| Some(start_backend())).collect();
+    let addrs: Vec<String> = fleet
+        .iter()
+        .map(|b| b.as_ref().expect("alive").addr().to_string())
+        .collect();
+    let gw = start_gateway(&addrs, true);
+    let mut client = connect(&gw.addr().to_string());
+    for d in designs {
+        assert!(client.call(&timing_request(d)).expect("learn owner").ok);
+    }
+    let trace = gw.routing_trace();
+    let victim_name = trace[0].backend.clone().expect("routed");
+    let victim: usize = victim_name
+        .trim_start_matches('b')
+        .parse()
+        .expect("bN name");
+    let owned: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.backend.as_deref() == Some(victim_name.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    fleet[victim].take().expect("victim alive").shutdown();
+
+    let start = Instant::now();
+    for &i in &owned {
+        let resp = client.call(&timing_request(&designs[i])).expect("failover");
+        assert!(resp.ok, "failover request failed: {:?}", resp.error);
+    }
+    let mean_ns = start.elapsed().as_nanos() as f64 / owned.len() as f64;
+    gw.shutdown();
+    for b in fleet.into_iter().flatten() {
+        b.shutdown();
+    }
+    out.push(Sample {
+        name: "gateway/failover/first-request-after-kill".to_owned(),
+        mean_ns,
+        samples: owned.len(),
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gateway.json".to_owned());
+    let apps = mediabench_apps();
+    let designs: Vec<String> = apps
+        .iter()
+        .take(6)
+        .map(|app| write_cdfg(&mediabench(app, 0)))
+        .collect();
+
+    let mut samples = Vec::new();
+    routing_overhead(&designs, &mut samples);
+    for backends in [1, 2, 4] {
+        throughput(&designs, backends, &mut samples);
+    }
+    failover(&designs, &mut samples);
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{:.1}", s.mean_ns / 1e3),
+                s.samples.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["benchmark", "mean µs/req", "n"], &rows)
+    );
+
+    let entries: Vec<Value> = samples
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(s.name.clone())),
+                (
+                    "mean_ns".to_owned(),
+                    Value::Float((s.mean_ns * 10.0).round() / 10.0),
+                ),
+                ("samples".to_owned(), Value::Int(s.samples as i64)),
+            ])
+        })
+        .collect();
+    let note = format!(
+        "cluster_load: in-process localwm-gateway + localwm-serve backends on \
+         loopback TCP; direct-vs-via-gateway = warm serial timing requests over \
+         6 mediabench designs (difference = routing-tier relay cost); \
+         timing-load = 4 sync clients x 12 warm timing requests through the \
+         gateway at 1/2/4 backends; failover = first request per shard after \
+         its owner was killed (replica serves cold); host had {} CPU core(s), \
+         so backend scaling is bounded accordingly and absolute numbers are \
+         pessimistic",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let doc = Value::Object(vec![
+        ("note".to_owned(), Value::Str(note)),
+        ("benchmarks".to_owned(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

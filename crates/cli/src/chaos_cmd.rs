@@ -12,12 +12,18 @@
 use std::time::Duration;
 
 use localwm_testkit::chaos::{self, ChaosConfig};
+use localwm_testkit::cluster::{self, GatewayChaosConfig};
 
 use crate::commands::flag_value;
 
 /// Runs `localwm chaos [--seed N] [--requests N] [--faults-per-point N]
 /// [--workers N] [--queue-depth N] [--cache-cap N] [--recv-timeout-ms N]
-/// [--json] [--report-out FILE]`.
+/// [--json] [--report-out FILE]`, or with `--gateway` the cluster-level
+/// scenario `localwm chaos --gateway [--seed N] [--requests N]
+/// [--backends N] [--replicas N] [--no-kill] [--no-restart]
+/// [--recv-timeout-ms N] [--json] [--report-out FILE]` (seeded backend
+/// kill/restart behind a live gateway; fails when any accepted request is
+/// silently dropped).
 ///
 /// # Errors
 ///
@@ -30,6 +36,9 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
             Some(v) => v.parse().map_err(|_| format!("bad {flag}: `{v}`")),
         }
     };
+    if args.iter().any(|a| a == "--gateway") {
+        return gateway_chaos(args, &parse);
+    }
     let cfg = ChaosConfig {
         seed: parse("--seed", 1)?,
         requests: usize::try_from(parse("--requests", 48)?).map_err(|e| e.to_string())?,
@@ -98,4 +107,61 @@ pub fn chaos(args: &[String]) -> Result<(), String> {
         eprintln!("note: built without `fault-inject` — the plan was armed but no faults can fire");
     }
     Ok(())
+}
+
+/// The `--gateway` scenario: a live 2+-backend cluster behind a real
+/// gateway, a seeded backend kill (and optional restart) mid-stream, and
+/// the no-silent-drop invariant checked over every accepted request.
+fn gateway_chaos(
+    args: &[String],
+    parse: &dyn Fn(&str, u64) -> Result<u64, String>,
+) -> Result<(), String> {
+    let cfg = GatewayChaosConfig {
+        seed: parse("--seed", 1)?,
+        requests: usize::try_from(parse("--requests", 32)?).map_err(|e| e.to_string())?,
+        backends: usize::try_from(parse("--backends", 2)?).map_err(|e| e.to_string())?,
+        replicas: usize::try_from(parse("--replicas", 2)?).map_err(|e| e.to_string())?,
+        kill: !args.iter().any(|a| a == "--no-kill"),
+        restart: !args.iter().any(|a| a == "--no-restart"),
+        recv_timeout: Duration::from_millis(parse("--recv-timeout-ms", 10_000)?),
+    };
+
+    let out = cluster::run_gateway_chaos(&cfg)?;
+
+    let report = serde_json::to_string_pretty(&out.report).map_err(|e| e.to_string())?;
+    if let Some(path) = flag_value(args, "--report-out") {
+        std::fs::write(path, format!("{report}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{report}");
+    } else {
+        println!(
+            "gateway chaos seed {}: {} requests over {} backend(s), replicas {}",
+            cfg.seed, cfg.requests, cfg.backends, cfg.replicas
+        );
+        println!(
+            "  kill {}; restart {}; {} route(s) traced",
+            if cfg.kill { "armed" } else { "off" },
+            if cfg.restart { "armed" } else { "off" },
+            out.trace.len()
+        );
+        match out.violations.len() {
+            0 => println!("invariants: all held (every request answered or typed-errored)"),
+            n => {
+                println!("invariants: {n} VIOLATED");
+                for v in &out.violations {
+                    println!("  {v}");
+                }
+            }
+        }
+    }
+
+    if out.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s) detected",
+            out.violations.len()
+        ))
+    }
 }

@@ -30,6 +30,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("simulate") => simulate(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("serve") => crate::serve_cmd::serve(&args[1..]),
+        Some("gateway") => crate::gateway_cmd::gateway(&args[1..]),
         Some("request") => crate::serve_cmd::request(&args[1..]),
         Some("chaos") => crate::chaos_cmd::chaos(&args[1..]),
         Some("help") | None => {
@@ -56,14 +57,21 @@ USAGE:
                   [--samples N] [--seed N] [--probe-out FILE]
   localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
                 [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
-  localwm request <embed|detect|analyze|timing|stats|shutdown>
+  localwm gateway --backends [name=]HOST:PORT[,...] [--addr HOST:PORT]
+                  [--replicas N] [--max-retries N] [--backoff-base-ms N]
+                  [--backoff-cap-ms N] [--recv-timeout-ms N]
+                  [--health-interval-ms N|off]
+  localwm request <embed|detect|analyze|timing|stats|cluster_stats|shutdown>
                   [--addr HOST:PORT] [--design FILE] [--author ID]
                   [--schedule FILE] [--schedule-out FILE] [--fraction F]
                   [--k K] [--deadline N] [--lo N --hi N] [--samples N]
-                  [--seed N] [--timeout-ms N]
+                  [--seed N] [--timeout-ms N] [--repeat N]
   localwm chaos [--seed N] [--requests N] [--faults-per-point N]
                 [--workers N] [--queue-depth N] [--cache-cap N]
                 [--recv-timeout-ms N] [--json] [--report-out FILE]
+  localwm chaos --gateway [--seed N] [--requests N] [--backends N]
+                [--replicas N] [--no-kill] [--no-restart] [--json]
+                [--recv-timeout-ms N] [--report-out FILE]
 
 DESIGNS (for gen):
   iir4 | cf-iir | linear-ge | wavelet | modem | volterra2 | volterra3 |

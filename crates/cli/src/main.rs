@@ -13,9 +13,13 @@
 //!         [--samples N] [--seed N] [--probe-out FILE]
 //! localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!         [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
-//! localwm request <kind> [--addr HOST:PORT] [--design FILE] ...
+//! localwm gateway --backends [name=]H:P,... [--addr HOST:PORT]
+//!         [--replicas N] [--max-retries N] [--health-interval-ms N|off]
+//! localwm request <kind> [--addr HOST:PORT] [--design FILE] [--repeat N] ...
 //! localwm chaos [--seed N] [--requests N] [--faults-per-point N] [--json]
 //!         [--workers N] [--queue-depth N] [--cache-cap N] [--report-out FILE]
+//! localwm chaos --gateway [--seed N] [--requests N] [--backends N]
+//!         [--replicas N] [--no-kill] [--no-restart] [--json]
 //! ```
 //!
 //! `<design>` for `gen` is one of `iir4`, a Table II key
@@ -27,6 +31,7 @@ use std::process::ExitCode;
 
 mod chaos_cmd;
 mod commands;
+mod gateway_cmd;
 mod serve_cmd;
 
 fn main() -> ExitCode {

@@ -55,12 +55,16 @@ pub fn serve(args: &[String]) -> CliResult {
 
 /// `localwm request <kind> [--addr A] [--design FILE] [--author ID]
 /// [--schedule FILE] [--fraction F] [--k K] [--deadline N] [--lo N --hi N]
-/// [--samples N] [--seed N] [--timeout-ms N] [--schedule-out FILE]`
+/// [--samples N] [--seed N] [--timeout-ms N] [--schedule-out FILE]
+/// [--repeat N]`
+///
+/// `--repeat N` issues the same request N times over one keep-alive
+/// connection and prints a cold-vs-warm latency summary after the (last)
+/// response; with a gateway address this exercises the pooled route path.
 pub fn request(args: &[String]) -> CliResult {
-    let kind_raw = args
-        .first()
-        .map(String::as_str)
-        .ok_or("usage: localwm request <embed|detect|analyze|timing|stats|shutdown> ...")?;
+    let kind_raw = args.first().map(String::as_str).ok_or(
+        "usage: localwm request <embed|detect|analyze|timing|stats|cluster_stats|shutdown> ...",
+    )?;
     let kind =
         RequestKind::parse(kind_raw).ok_or_else(|| format!("unknown request kind `{kind_raw}`"))?;
     let args = &args[1..];
@@ -84,10 +88,12 @@ pub fn request(args: &[String]) -> CliResult {
     req.seed = parse_flag::<u64>(args, "--seed")?;
     req.timeout_ms = parse_flag::<u64>(args, "--timeout-ms")?;
 
+    let repeat = parse_flag::<usize>(args, "--repeat")?.unwrap_or(1).max(1);
+
     let mut client = Client::connect_within(addr, Duration::from_secs(5))
         .map_err(|e| format!("connecting to {addr}: {e}"))?;
-    let resp = client
-        .call(&req)
+    let (resp, latencies) = client
+        .call_repeated(&req, repeat)
         .map_err(|e| format!("request failed: {e}"))?;
 
     if let Some(out) = flag_value(args, "--schedule-out") {
@@ -101,6 +107,18 @@ pub fn request(args: &[String]) -> CliResult {
 
     let rendered = serde_json::to_string_pretty(&resp).expect("response serialization");
     println!("{rendered}");
+    if repeat > 1 {
+        let cold = latencies[0];
+        let warm = &latencies[1..];
+        let min = warm.iter().min().copied().unwrap_or_default();
+        let max = warm.iter().max().copied().unwrap_or_default();
+        let mean = warm.iter().sum::<Duration>() / u32::try_from(warm.len()).unwrap_or(1);
+        println!(
+            "repeat {repeat} over one keep-alive connection: cold {:?}; \
+             warm min {min:?} / mean {mean:?} / max {max:?}",
+            cold
+        );
+    }
     if resp.ok {
         Ok(())
     } else {

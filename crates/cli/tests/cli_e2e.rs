@@ -172,3 +172,125 @@ fn serve_and_request_round_trip_over_the_wire() {
     assert!(dumped.contains("\"requests\""), "metrics dump has counters");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+fn spawn_gateway(backends: &str) -> ServerProc {
+    let mut child = localwm()
+        .args([
+            "gateway",
+            "--backends",
+            backends,
+            "--addr",
+            "127.0.0.1:0",
+            "--health-interval-ms",
+            "off",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn localwm gateway");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read listen line");
+    assert!(
+        first.starts_with("localwm-gateway routing"),
+        "gateway announces its fleet: {first}"
+    );
+    let addr = first
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on listen line")
+        .to_owned();
+    ServerProc {
+        child,
+        addr,
+        _stdout: reader,
+    }
+}
+
+/// The full cluster quickstart through real processes: two backends, one
+/// gateway, keep-alive `--repeat` requests routed through it, fleet-wide
+/// `cluster_stats`, and a gateway drain that leaves the backends running.
+#[test]
+fn gateway_routes_requests_and_aggregates_cluster_stats() {
+    let dir = tmp_dir("gateway");
+    let design = dir.join("iir4.cdfg");
+    run_ok(localwm().args(["gen", "iir4", "-o", design.to_str().unwrap()]));
+
+    let mut b0 = spawn_server(None);
+    let mut b1 = spawn_server(None);
+    let backends = format!("b0={},b1={}", b0.addr, b1.addr);
+    let mut gw = spawn_gateway(&backends);
+    let addr = gw.addr.clone();
+
+    let out = run_ok(localwm().args([
+        "request",
+        "timing",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+        "--repeat",
+        "4",
+    ]));
+    assert!(
+        out.contains("\"ok\": true"),
+        "timing routed upstream: {out}"
+    );
+    assert!(
+        out.contains("repeat 4 over one keep-alive connection"),
+        "--repeat prints the warm-path summary: {out}"
+    );
+
+    let out = run_ok(localwm().args(["request", "cluster_stats", "--addr", &addr]));
+    assert!(out.contains("\"ok\": true"), "cluster_stats ok: {out}");
+    assert!(
+        out.contains("\"aggregate\"") && out.contains("\"gateway\""),
+        "cluster_stats carries fleet sections: {out}"
+    );
+
+    // Draining the gateway must not touch the backends.
+    run_ok(localwm().args(["request", "shutdown", "--addr", &addr]));
+    let status = gw.child.wait().expect("gateway exit");
+    assert!(status.success(), "gateway exits cleanly after shutdown");
+    for b in [&mut b0, &mut b1] {
+        let addr = b.addr.clone();
+        let out = run_ok(localwm().args(["request", "stats", "--addr", &addr]));
+        assert!(
+            out.contains("\"ok\": true"),
+            "backend survives gateway drain: {out}"
+        );
+        run_ok(localwm().args(["request", "shutdown", "--addr", &addr]));
+        assert!(b.child.wait().expect("backend exit").success());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `localwm chaos --gateway` runs the seeded backend-kill scenario end to
+/// end and reports a clean invariant sheet on a healthy seed.
+#[test]
+fn gateway_chaos_subcommand_reports_clean_invariants() {
+    let dir = tmp_dir("gw-chaos");
+    let report = dir.join("report.json");
+    let out = run_ok(localwm().args([
+        "chaos",
+        "--gateway",
+        "--seed",
+        "5",
+        "--requests",
+        "12",
+        "--report-out",
+        report.to_str().unwrap(),
+    ]));
+    assert!(
+        out.contains("invariants: all held"),
+        "clean run reports held invariants: {out}"
+    );
+    let dumped = std::fs::read_to_string(&report).expect("report written");
+    assert!(
+        dumped.contains("\"fates_by_kind\"") && dumped.contains("\"seed\": 5"),
+        "report carries the seeded fate accounting: {dumped}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,43 @@
+//! `localwm-gateway`: a sharded, replicated routing tier over multiple
+//! `localwm-serve` backends.
+//!
+//! The gateway speaks the same JSON-lines protocol as a single backend and
+//! is byte-transparent for data requests: the client's request line is
+//! forwarded verbatim to one backend, and the backend's response line is
+//! relayed verbatim back — so a gateway in front of N backends produces
+//! responses byte-identical to a direct single-backend connection (the
+//! differential oracle in `localwm-testkit` asserts exactly that).
+//!
+//! The moving parts:
+//!
+//! * [`rendezvous`] — highest-random-weight (HRW) hashing: each request is
+//!   keyed by its design's
+//!   [`DesignContext::content_hash`](localwm_engine::DesignContext), and
+//!   backends are ranked per key by a deterministic score. Adding or
+//!   removing a backend only remaps the keys that scored it highest —
+//!   every other shard assignment is untouched.
+//! * [`pool`] — one persistent connection pool per backend (keep-alive
+//!   [`Client`](localwm_serve::Client)s), plus health state and
+//!   per-backend counters and latency histograms.
+//! * [`server`] — the accept loop, the routing/failover state machine
+//!   (capped exponential backoff retries per backend, then failover to the
+//!   next-ranked replica, then a typed `upstream_unavailable` error once
+//!   every replica is exhausted), periodic health probes, the
+//!   `cluster_stats` aggregation, and graceful drain-on-shutdown.
+//!
+//! Admin kinds are answered by the gateway itself: `stats` reports
+//! gateway-local routing counters, `cluster_stats` fans out to every
+//! backend and aggregates their histograms and gauges (queue depth, busy
+//! workers), and `shutdown` drains in-flight routing before acking. The
+//! backends' own lifecycles are *not* coupled to the gateway's: shutting
+//! the gateway down leaves every backend running.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod rendezvous;
+pub mod server;
+
+pub use pool::{BackendSpec, PoolStats};
+pub use server::{start, GatewayConfig, GatewayHandle, RouteRecord};

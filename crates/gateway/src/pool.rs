@@ -1,0 +1,258 @@
+//! Per-backend state: the persistent connection pool, health tracking,
+//! and per-backend routing counters and latency histograms.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use localwm_serve::{Client, Metrics, Outcome, RequestKind};
+use serde::{Serialize, Value};
+
+/// One backend's identity: a stable shard `name` (the rendezvous-hash key
+/// — survives restarts and address changes) and its current socket `addr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Stable shard identity; what rendezvous hashing ranks.
+    pub name: String,
+    /// Current socket address, e.g. `127.0.0.1:7172`.
+    pub addr: String,
+}
+
+impl BackendSpec {
+    /// Parses one `--backends` element: `name=host:port` or a bare
+    /// `host:port` (the address doubles as the shard name).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty names/addresses.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let (name, addr) = match raw.split_once('=') {
+            Some((n, a)) => (n, a),
+            None => (raw, raw),
+        };
+        if name.trim().is_empty() || addr.trim().is_empty() {
+            return Err(format!("bad backend spec `{raw}` (want [name=]host:port)"));
+        }
+        Ok(BackendSpec {
+            name: name.trim().to_owned(),
+            addr: addr.trim().to_owned(),
+        })
+    }
+}
+
+/// A pool-state snapshot for `cluster_stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Idle keep-alive connections currently parked.
+    pub idle: usize,
+    /// Connections dialed over the backend's lifetime.
+    pub created: u64,
+}
+
+/// How many idle keep-alive connections a backend pool parks; beyond this
+/// returned connections are simply dropped (closed).
+const MAX_IDLE: usize = 8;
+
+/// One backend as the gateway sees it: address, pool, health, counters.
+pub struct Backend {
+    /// Stable shard name (immutable; rendezvous identity).
+    pub name: String,
+    addr: Mutex<String>,
+    idle: Mutex<Vec<Client>>,
+    created: AtomicU64,
+    healthy: AtomicBool,
+    probe_failures: AtomicU64,
+    /// Responses this backend served through the gateway.
+    pub served: AtomicU64,
+    /// Upstream call attempts (first tries + retries).
+    pub attempts: AtomicU64,
+    /// Attempts that failed with an I/O error.
+    pub io_errors: AtomicU64,
+    /// Same-backend re-attempts after a failed try.
+    pub retries: AtomicU64,
+    /// Per-kind latency histograms of calls served by this backend.
+    pub latency: Metrics,
+}
+
+impl Backend {
+    /// A healthy backend with an empty pool.
+    pub fn new(spec: BackendSpec) -> Self {
+        Backend {
+            name: spec.name,
+            addr: Mutex::new(spec.addr),
+            idle: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+            healthy: AtomicBool::new(true),
+            probe_failures: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            latency: Metrics::new(),
+        }
+    }
+
+    /// The current upstream address.
+    pub fn addr(&self) -> String {
+        self.addr.lock().expect("addr lock").clone()
+    }
+
+    /// Points the backend at a new address (a restart elsewhere / service
+    /// discovery update). The stale pool is dropped; health resets to
+    /// healthy so the next request or probe re-validates the new address.
+    /// Shard assignments do not move: rendezvous ranks by `name`.
+    pub fn set_addr(&self, addr: &str) {
+        *self.addr.lock().expect("addr lock") = addr.to_owned();
+        self.idle.lock().expect("pool lock").clear();
+        self.healthy.store(true, Ordering::SeqCst);
+        self.probe_failures.store(0, Ordering::SeqCst);
+    }
+
+    /// Whether the last contact (probe or request) succeeded.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Health-probe failures observed so far.
+    pub fn probe_failures(&self) -> u64 {
+        self.probe_failures.load(Ordering::SeqCst)
+    }
+
+    /// Pool snapshot for `cluster_stats`.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            idle: self.idle.lock().expect("pool lock").len(),
+            created: self.created.load(Ordering::SeqCst),
+        }
+    }
+
+    /// A pooled connection, or a fresh dial on an empty pool.
+    fn checkout(&self, recv_timeout: Duration) -> io::Result<Client> {
+        if let Some(c) = self.idle.lock().expect("pool lock").pop() {
+            return Ok(c);
+        }
+        let c = Client::connect(&self.addr())?;
+        c.set_read_timeout(Some(recv_timeout))?;
+        self.created.fetch_add(1, Ordering::SeqCst);
+        Ok(c)
+    }
+
+    /// Parks a healthy connection for reuse (dropped when the pool is at
+    /// [`MAX_IDLE`]).
+    fn checkin(&self, client: Client) {
+        let mut idle = self.idle.lock().expect("pool lock");
+        if idle.len() < MAX_IDLE {
+            idle.push(client);
+        }
+    }
+
+    /// One upstream exchange: checkout (or dial), forward `line` verbatim,
+    /// read one response line, park the connection. The counters are the
+    /// caller's job — this is just the wire hop.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure; the connection involved is discarded, never
+    /// re-pooled.
+    pub fn exchange(&self, line: &str, recv_timeout: Duration) -> io::Result<String> {
+        let mut client = self.checkout(recv_timeout)?;
+        client.send_line(line)?;
+        let resp = client.recv_line()?;
+        self.checkin(client);
+        Ok(resp)
+    }
+
+    /// Marks the outcome of upstream contact for health bookkeeping.
+    pub fn mark(&self, reachable: bool, probe: bool) {
+        self.healthy.store(reachable, Ordering::SeqCst);
+        if probe && !reachable {
+            self.probe_failures.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Records one served response's latency under its request kind.
+    pub fn record_served(&self, kind: RequestKind, latency: Duration, ok: bool) {
+        self.served.fetch_add(1, Ordering::SeqCst);
+        self.latency
+            .record(kind, latency, if ok { Outcome::Ok } else { Outcome::Error });
+    }
+
+    /// The backend's `cluster_stats` entry (upstream snapshot added by the
+    /// caller, which owns the fan-out).
+    pub fn stats_value(&self) -> Vec<(String, Value)> {
+        let pool = self.pool_stats();
+        vec![
+            ("name".to_owned(), Value::Str(self.name.clone())),
+            ("addr".to_owned(), Value::Str(self.addr())),
+            ("healthy".to_owned(), Value::Bool(self.is_healthy())),
+            (
+                "served".to_owned(),
+                self.served.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "attempts".to_owned(),
+                self.attempts.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "io_errors".to_owned(),
+                self.io_errors.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "retries".to_owned(),
+                self.retries.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "probe_failures".to_owned(),
+                self.probe_failures().to_value(),
+            ),
+            (
+                "pool".to_owned(),
+                Value::Object(vec![
+                    ("idle".to_owned(), pool.idle.to_value()),
+                    ("created".to_owned(), pool.created.to_value()),
+                ]),
+            ),
+            ("latency".to_owned(), self.latency.to_value()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_spec_parses_both_forms() {
+        let named = BackendSpec::parse("b0=127.0.0.1:7172").unwrap();
+        assert_eq!(named.name, "b0");
+        assert_eq!(named.addr, "127.0.0.1:7172");
+        let bare = BackendSpec::parse("127.0.0.1:7173").unwrap();
+        assert_eq!(bare.name, "127.0.0.1:7173");
+        assert_eq!(bare.addr, "127.0.0.1:7173");
+        assert!(BackendSpec::parse("=x").is_err());
+        assert!(BackendSpec::parse("x=").is_err());
+    }
+
+    #[test]
+    fn set_addr_clears_pool_and_resets_health() {
+        let b = Backend::new(BackendSpec::parse("b0=127.0.0.1:1").unwrap());
+        b.mark(false, true);
+        assert!(!b.is_healthy());
+        assert_eq!(b.probe_failures(), 1);
+        b.set_addr("127.0.0.1:2");
+        assert!(b.is_healthy());
+        assert_eq!(b.addr(), "127.0.0.1:2");
+        assert_eq!(b.probe_failures(), 0);
+        assert_eq!(b.pool_stats().idle, 0);
+    }
+
+    #[test]
+    fn exchange_against_a_dead_port_is_an_io_error() {
+        // Port 1 on loopback: nothing listens there.
+        let b = Backend::new(BackendSpec::parse("dead=127.0.0.1:1").unwrap());
+        let err = b.exchange("{}", Duration::from_millis(200));
+        assert!(err.is_err());
+        assert_eq!(b.pool_stats().created, 0, "failed dial creates nothing");
+    }
+}

@@ -1,0 +1,685 @@
+//! The gateway server: accept loop, routing/failover state machine,
+//! health probes, `cluster_stats` aggregation, and graceful drain.
+//!
+//! Failover state machine, per data request:
+//!
+//! 1. Compute the shard key (the design's content hash; see
+//!    [`shard_key`](Shared::shard_key)) and rank all backends with
+//!    [`rendezvous::rank`]. The first `replicas` of that ranking are the
+//!    request's candidate set — a stable per-shard replica group.
+//! 2. Candidates currently marked healthy are tried first (the unhealthy
+//!    ones stay in the set as a last resort; ordering within each class
+//!    keeps rendezvous rank, so retries are deterministic).
+//! 3. Each candidate gets `1 + max_retries` attempts; between attempts the
+//!    gateway sleeps a capped exponential backoff
+//!    (`min(backoff_base_ms << attempt, backoff_cap_ms)`).
+//! 4. A candidate that exhausts its attempts is marked unhealthy and the
+//!    request **fails over** to the next candidate.
+//! 5. Only when every candidate is exhausted does the client get a typed
+//!    `upstream_unavailable` error listing the backends tried — an
+//!    accepted request is always answered, never silently dropped.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use localwm_cdfg::parse_cdfg;
+use localwm_engine::DesignContext;
+use localwm_serve::{ErrorCode, Metrics, Outcome, Request, RequestKind, Response, ServiceError};
+use serde::{Serialize, Value};
+
+use crate::pool::{Backend, BackendSpec};
+use crate::rendezvous;
+
+/// Gateway configuration (the CLI's `localwm gateway` flags).
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address, e.g. `127.0.0.1:7272` (`:0` picks a free port).
+    pub addr: String,
+    /// The backend fleet this gateway routes over.
+    pub backends: Vec<BackendSpec>,
+    /// Replica-group size per shard: how many rendezvous-ranked backends a
+    /// request may fail over across (clamped to the fleet size).
+    pub replicas: usize,
+    /// Same-backend retries after a failed attempt (so each candidate gets
+    /// `1 + max_retries` attempts).
+    pub max_retries: u32,
+    /// First retry backoff in milliseconds; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Read timeout applied to upstream calls.
+    pub recv_timeout_ms: u64,
+    /// Health-probe period; `None` disables the prober (the deterministic
+    /// chaos harness does this so retry counts depend only on routing).
+    pub health_interval_ms: Option<u64>,
+    /// Keep a [`RouteRecord`] per routed request. Off by default (the
+    /// trace grows without bound); the testkit turns it on to assert
+    /// routing determinism and build golden transcripts.
+    pub record_routes: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: Vec::new(),
+            replicas: 2,
+            max_retries: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 200,
+            recv_timeout_ms: 30_000,
+            health_interval_ms: Some(500),
+            record_routes: false,
+        }
+    }
+}
+
+/// One routed request, as remembered when
+/// [`GatewayConfig::record_routes`] is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRecord {
+    /// Gateway-wide routing sequence number (0-based).
+    pub index: u64,
+    /// The request's correlation id, if it carried one.
+    pub id: Option<u64>,
+    /// The request kind's wire name.
+    pub kind: String,
+    /// The rendezvous shard key the request hashed to.
+    pub key: u64,
+    /// The backend that served it; `None` when every replica was exhausted
+    /// and the client got `upstream_unavailable`.
+    pub backend: Option<String>,
+    /// Total upstream attempts spent on this request.
+    pub attempts: u64,
+    /// Candidates abandoned before the serving one (0 = primary served).
+    pub failovers: u64,
+}
+
+impl RouteRecord {
+    /// The record as a JSON object (what `localwm chaos --gateway` and the
+    /// golden gateway transcript serialize).
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![("index".to_owned(), self.index.to_value())];
+        if let Some(id) = self.id {
+            fields.push(("id".to_owned(), id.to_value()));
+        }
+        fields.push(("kind".to_owned(), Value::Str(self.kind.clone())));
+        fields.push(("key".to_owned(), self.key.to_value()));
+        fields.push((
+            "backend".to_owned(),
+            match &self.backend {
+                Some(b) => Value::Str(b.clone()),
+                None => Value::Null,
+            },
+        ));
+        fields.push(("attempts".to_owned(), self.attempts.to_value()));
+        fields.push(("failovers".to_owned(), self.failovers.to_value()));
+        Value::Object(fields)
+    }
+}
+
+/// Shard-key memo size cap; past it the map is cleared (the memo is a pure
+/// cache — losing it costs a re-parse, never correctness).
+const KEY_MEMO_CAP: usize = 512;
+
+struct Shared {
+    cfg: GatewayConfig,
+    backends: Vec<Arc<Backend>>,
+    names: Vec<String>,
+    /// text-FNV → content-hash shard-key memo, so repeated designs skip
+    /// the parse on the routing path.
+    key_memo: Mutex<HashMap<u64, u64>>,
+    /// Gateway-side per-kind latency (client-observed, includes failover).
+    metrics: Metrics,
+    routed: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    upstream_errors: AtomicU64,
+    inflight: AtomicU64,
+    shutting_down: AtomicBool,
+    stopped: AtomicBool,
+    routes: Mutex<Vec<RouteRecord>>,
+}
+
+impl Shared {
+    /// The rendezvous shard key for a request.
+    ///
+    /// Requests carrying a design hash to that design's
+    /// [`DesignContext::content_hash`] — the *canonical* hash, so two
+    /// spellings of the same design land on the same shard and hit the
+    /// same backend's context cache. A raw text FNV memoizes the mapping;
+    /// unparseable designs fall back to the text FNV (the backend will
+    /// produce the error either way, deterministically). Design-free
+    /// requests spread by kind and id.
+    fn shard_key(&self, req: &Request) -> u64 {
+        let Some(text) = &req.design else {
+            return rendezvous::fnv1a(req.kind.as_str().as_bytes()) ^ req.id.unwrap_or(0);
+        };
+        let alias = rendezvous::fnv1a(text.as_bytes());
+        if let Some(&key) = self.key_memo.lock().expect("memo lock").get(&alias) {
+            return key;
+        }
+        let key = match parse_cdfg(text) {
+            Ok(graph) => DesignContext::new(graph).content_hash(),
+            Err(_) => alias,
+        };
+        let mut memo = self.key_memo.lock().expect("memo lock");
+        if memo.len() >= KEY_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(alias, key);
+        key
+    }
+
+    /// The per-request candidate set: the first `replicas` backends of the
+    /// rendezvous ranking, healthy ones first (rank order preserved within
+    /// each class).
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        let replicas = self.cfg.replicas.clamp(1, self.backends.len());
+        let ranked = rendezvous::rank(key, &self.names);
+        let group = &ranked[..replicas];
+        let mut ordered: Vec<usize> = group
+            .iter()
+            .copied()
+            .filter(|&i| self.backends[i].is_healthy())
+            .collect();
+        ordered.extend(
+            group
+                .iter()
+                .copied()
+                .filter(|&i| !self.backends[i].is_healthy()),
+        );
+        ordered
+    }
+
+    /// Routes one data request: forwards `raw` verbatim through the
+    /// failover state machine and returns the raw response line to relay
+    /// (upstream bytes untouched, or a locally-built typed error once
+    /// every replica is exhausted).
+    fn route(&self, raw: &str, req: &Request) -> String {
+        let started = Instant::now();
+        let key = self.shard_key(req);
+        let candidates = self.candidates(key);
+        let timeout = Duration::from_millis(self.cfg.recv_timeout_ms);
+        let mut attempts_total: u64 = 0;
+        let mut failovers: u64 = 0;
+        let mut tried: Vec<String> = Vec::new();
+        let index = self.routed.fetch_add(1, Ordering::SeqCst);
+
+        for (rank_pos, &bi) in candidates.iter().enumerate() {
+            let backend = &self.backends[bi];
+            if rank_pos > 0 {
+                failovers += 1;
+                self.failovers.fetch_add(1, Ordering::SeqCst);
+            }
+            for attempt in 0..=self.cfg.max_retries {
+                attempts_total += 1;
+                backend.attempts.fetch_add(1, Ordering::SeqCst);
+                match backend.exchange(raw, timeout) {
+                    // A draining backend answers `shutting_down` on its
+                    // still-open pooled connections: it is *declining* the
+                    // work, so same-backend retries cannot help — fail over
+                    // to the next replica immediately.
+                    Ok(line) if is_drain_refusal(&line) => break,
+                    Ok(line) => {
+                        backend.mark(true, false);
+                        // Sound shape check, not a parse: serve emits compact
+                        // JSON, so the bytes `"ok":true` (unescaped quotes)
+                        // can only be the top-level status field — any quote
+                        // inside a string value is escaped to `\"`.
+                        let ok = line.contains("\"ok\":true");
+                        backend.record_served(req.kind, started.elapsed(), ok);
+                        self.metrics.record(
+                            req.kind,
+                            started.elapsed(),
+                            if ok { Outcome::Ok } else { Outcome::Error },
+                        );
+                        self.push_route(RouteRecord {
+                            index,
+                            id: req.id,
+                            kind: req.kind.as_str().to_owned(),
+                            key,
+                            backend: Some(backend.name.clone()),
+                            attempts: attempts_total,
+                            failovers,
+                        });
+                        return line;
+                    }
+                    Err(_) => {
+                        backend.io_errors.fetch_add(1, Ordering::SeqCst);
+                        if attempt < self.cfg.max_retries {
+                            backend.retries.fetch_add(1, Ordering::SeqCst);
+                            self.retries.fetch_add(1, Ordering::SeqCst);
+                            let ms = self
+                                .cfg
+                                .backoff_base_ms
+                                .saturating_shl(attempt)
+                                .min(self.cfg.backoff_cap_ms);
+                            if ms > 0 {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                        }
+                    }
+                }
+            }
+            backend.mark(false, false);
+            tried.push(backend.name.clone());
+        }
+
+        // Every replica exhausted: the one place the gateway speaks for a
+        // data request, with the typed error the protocol reserves for it.
+        self.upstream_errors.fetch_add(1, Ordering::SeqCst);
+        self.metrics
+            .record(req.kind, started.elapsed(), Outcome::Error);
+        self.push_route(RouteRecord {
+            index,
+            id: req.id,
+            kind: req.kind.as_str().to_owned(),
+            key,
+            backend: None,
+            attempts: attempts_total,
+            failovers,
+        });
+        let err = ServiceError::new(
+            ErrorCode::UpstreamUnavailable,
+            "all replicas for this shard are unreachable",
+        )
+        .with_detail(
+            "backends_tried",
+            Value::Array(tried.into_iter().map(Value::Str).collect()),
+        )
+        .with_detail("attempts", attempts_total.to_value());
+        Response::failure(req.id, req.kind.as_str(), err).to_line()
+    }
+
+    fn push_route(&self, record: RouteRecord) {
+        if self.cfg.record_routes {
+            self.routes.lock().expect("routes lock").push(record);
+        }
+    }
+
+    /// The gateway's own `stats` body (routing counters; backend detail
+    /// lives under `cluster_stats`).
+    fn stats_value(&self) -> Value {
+        Value::Object(vec![
+            ("role".to_owned(), Value::Str("gateway".to_owned())),
+            ("uptime_ms".to_owned(), self.metrics.uptime_ms().to_value()),
+            (
+                "backends".to_owned(),
+                (self.backends.len() as u64).to_value(),
+            ),
+            ("replicas".to_owned(), self.cfg.replicas.to_value()),
+            (
+                "routed".to_owned(),
+                self.routed.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "retries".to_owned(),
+                self.retries.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "failovers".to_owned(),
+                self.failovers.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "upstream_errors".to_owned(),
+                self.upstream_errors.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "inflight".to_owned(),
+                self.inflight.load(Ordering::SeqCst).to_value(),
+            ),
+            ("requests".to_owned(), self.metrics.to_value()),
+        ])
+    }
+
+    /// The `cluster_stats` body: the gateway's routing view plus a live
+    /// fan-out to every backend's `stats`, with fleet-wide gauge
+    /// aggregates (queue depth, busy workers) summed across the backends
+    /// that answered.
+    fn cluster_stats_value(&self) -> Value {
+        let probe = Request::new(RequestKind::Stats).to_line();
+        let timeout = Duration::from_millis(self.cfg.recv_timeout_ms);
+        let mut healthy: u64 = 0;
+        let mut queue_depth: u64 = 0;
+        let mut busy_workers: u64 = 0;
+        let mut workers: u64 = 0;
+        let mut entries = Vec::with_capacity(self.backends.len());
+        for backend in &self.backends {
+            let upstream = match backend.exchange(&probe, timeout) {
+                Ok(line) => {
+                    backend.mark(true, false);
+                    Response::from_line(&line).ok().and_then(|r| r.result)
+                }
+                Err(_) => {
+                    backend.mark(false, false);
+                    None
+                }
+            };
+            if let Some(stats) = &upstream {
+                healthy += 1;
+                busy_workers += uint_field(stats.field("busy_workers"));
+                workers += uint_field(stats.field("workers"));
+                queue_depth += uint_field(stats.field("queue").and_then(|q| q.field("depth")));
+            }
+            let mut fields = backend.stats_value();
+            fields.push(("upstream".to_owned(), upstream.unwrap_or(Value::Null)));
+            entries.push(Value::Object(fields));
+        }
+        Value::Object(vec![
+            ("gateway".to_owned(), self.stats_value()),
+            (
+                "aggregate".to_owned(),
+                Value::Object(vec![
+                    (
+                        "backends".to_owned(),
+                        (self.backends.len() as u64).to_value(),
+                    ),
+                    ("healthy".to_owned(), healthy.to_value()),
+                    ("queue_depth".to_owned(), queue_depth.to_value()),
+                    ("busy_workers".to_owned(), busy_workers.to_value()),
+                    ("workers".to_owned(), workers.to_value()),
+                ]),
+            ),
+            ("backends".to_owned(), Value::Array(entries)),
+        ])
+    }
+}
+
+/// Whether a relayed response line is a backend refusing work because it
+/// is draining. Substring checks are sound here for the same reason as the
+/// `"ok":true` probe: serve emits compact JSON, and any quote inside a
+/// string value is escaped, so these byte patterns only occur as structure.
+fn is_drain_refusal(line: &str) -> bool {
+    line.contains("\"ok\":false") && line.contains("\"code\":\"shutting_down\"")
+}
+
+/// Reads an integer stats field defensively (absent → 0).
+fn uint_field(v: Option<&Value>) -> u64 {
+    match v {
+        Some(Value::UInt(n)) => *n,
+        Some(Value::Int(n)) => u64::try_from(*n).unwrap_or(0),
+        _ => 0,
+    }
+}
+
+/// Backoff shift that saturates instead of overflowing on large attempt
+/// counts.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// A running gateway; dropping the handle does **not** stop it — call
+/// [`GatewayHandle::join`] (wait for a `shutdown` request) or
+/// [`GatewayHandle::shutdown`]. Stopping the gateway never touches the
+/// backends' lifecycles.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the gateway stops (a `shutdown` request arrives or
+    /// [`GatewayHandle::shutdown`] is called from another thread).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Programmatic graceful shutdown: refuses new work, waits for
+    /// in-flight routing to finish, stops every thread.
+    pub fn shutdown(self) {
+        drain(&self.shared);
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// The recorded routing trace (empty unless
+    /// [`GatewayConfig::record_routes`] is on).
+    pub fn routing_trace(&self) -> Vec<RouteRecord> {
+        self.shared.routes.lock().expect("routes lock").clone()
+    }
+
+    /// Points the named backend at a new address (a backend restarted on a
+    /// different port). Returns `false` for an unknown name. Shard
+    /// assignments are untouched: rendezvous ranks by name, not address.
+    pub fn update_backend_addr(&self, name: &str, addr: &str) -> bool {
+        match self.shared.backends.iter().find(|b| b.name == name) {
+            Some(b) => {
+                b.set_addr(addr);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current health flags by backend name (probe/routing view).
+    pub fn backend_health(&self) -> Vec<(String, bool)> {
+        self.shared
+            .backends
+            .iter()
+            .map(|b| (b.name.clone(), b.is_healthy()))
+            .collect()
+    }
+}
+
+/// Starts a gateway; returns once the listener is bound and threads run.
+///
+/// # Errors
+///
+/// Fails on bind errors, an empty backend list, or duplicate backend
+/// names (names are the rendezvous identity — duplicates would alias
+/// shards).
+pub fn start(cfg: GatewayConfig) -> io::Result<GatewayHandle> {
+    if cfg.backends.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "gateway needs at least one backend",
+        ));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for b in &cfg.backends {
+        if !seen.insert(b.name.clone()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("duplicate backend name `{}`", b.name),
+            ));
+        }
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let backends: Vec<Arc<Backend>> = cfg
+        .backends
+        .iter()
+        .map(|s| Arc::new(Backend::new(s.clone())))
+        .collect();
+    let names = backends.iter().map(|b| b.name.clone()).collect();
+    let shared = Arc::new(Shared {
+        backends,
+        names,
+        key_memo: Mutex::new(HashMap::new()),
+        metrics: Metrics::new(),
+        routed: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        upstream_errors: AtomicU64::new(0),
+        inflight: AtomicU64::new(0),
+        shutting_down: AtomicBool::new(false),
+        stopped: AtomicBool::new(false),
+        routes: Mutex::new(Vec::new()),
+        cfg,
+    });
+
+    let mut threads = Vec::with_capacity(2);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("localwm-gw-acceptor".to_owned())
+                .spawn(move || acceptor_loop(&shared, &listener))
+                .expect("spawn gateway acceptor"),
+        );
+    }
+    if let Some(interval) = shared.cfg.health_interval_ms {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("localwm-gw-prober".to_owned())
+                .spawn(move || prober_loop(&shared, Duration::from_millis(interval.max(10))))
+                .expect("spawn gateway prober"),
+        );
+    }
+    Ok(GatewayHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stopped.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                // Detached, like serve's readers: a conn thread exits on
+                // client disconnect; the drain waits on the inflight
+                // counter, not on threads.
+                let _ = std::thread::Builder::new()
+                    .name("localwm-gw-conn".to_owned())
+                    .spawn(move || conn_loop(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Writes one response line; a dead peer is the client's problem.
+fn send_line(stream: &mut TcpStream, line: &str) {
+    let _ = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+}
+
+fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = stream;
+    let reader = io::BufReader::new(read_half);
+    // One request at a time per connection: exactly-one-response ordering
+    // is structural. Concurrency comes from concurrent connections.
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::from_line(&line) {
+            Ok(req) => req,
+            Err(msg) => {
+                // Same parser, same message, same shape a backend would
+                // produce — unparseable lines stay byte-identical too.
+                let resp = Response::failure(
+                    None,
+                    "invalid",
+                    ServiceError::new(ErrorCode::BadRequest, msg),
+                );
+                send_line(&mut write_half, &resp.to_line());
+                continue;
+            }
+        };
+        match req.kind {
+            RequestKind::Stats => {
+                let resp = Response::success(req.id, "stats", shared.stats_value());
+                send_line(&mut write_half, &resp.to_line());
+            }
+            RequestKind::ClusterStats => {
+                let resp = Response::success(req.id, "cluster_stats", shared.cluster_stats_value());
+                send_line(&mut write_half, &resp.to_line());
+            }
+            RequestKind::Shutdown => {
+                let drained = drain(shared);
+                let body = Value::Object(vec![
+                    ("routed".to_owned(), drained.to_value()),
+                    (
+                        "uptime_ms".to_owned(),
+                        shared.metrics.uptime_ms().to_value(),
+                    ),
+                ]);
+                send_line(
+                    &mut write_half,
+                    &Response::success(req.id, "shutdown", body).to_line(),
+                );
+                shared.stopped.store(true, Ordering::SeqCst);
+                break;
+            }
+            _ => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    let resp = Response::failure(
+                        req.id,
+                        req.kind.as_str(),
+                        ServiceError::new(ErrorCode::ShuttingDown, "gateway is draining"),
+                    );
+                    send_line(&mut write_half, &resp.to_line());
+                    continue;
+                }
+                shared.inflight.fetch_add(1, Ordering::SeqCst);
+                let resp_line = shared.route(&line, &req);
+                shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                send_line(&mut write_half, &resp_line);
+            }
+        }
+        if shared.stopped.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn prober_loop(shared: &Arc<Shared>, interval: Duration) {
+    let probe = Request::new(RequestKind::Stats).to_line();
+    let timeout = Duration::from_millis(shared.cfg.recv_timeout_ms);
+    while !shared.stopped.load(Ordering::SeqCst) {
+        for backend in &shared.backends {
+            if shared.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            let up = backend.exchange(&probe, timeout).is_ok();
+            backend.mark(up, true);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Flips the draining flag, waits for in-flight routing to finish, and
+/// returns the total requests routed. Never contacts the backends: a
+/// gateway drain leaves the fleet running.
+fn drain(shared: &Arc<Shared>) -> u64 {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    while shared.inflight.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    shared.routed.load(Ordering::SeqCst)
+}

@@ -1,0 +1,320 @@
+//! Gateway end-to-end tests: real `localwm-serve` backends on loopback,
+//! a gateway routing over them, a [`Client`] driving the gateway.
+
+use std::time::Duration;
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::write_cdfg;
+use localwm_gateway::{BackendSpec, GatewayConfig, GatewayHandle};
+use localwm_serve::{Client, ErrorCode, Request, RequestKind, ServeConfig, ServerHandle};
+use serde::Value;
+
+fn start_backend() -> ServerHandle {
+    localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 32,
+        cache_cap: 8,
+        ..ServeConfig::default()
+    })
+    .expect("bind backend")
+}
+
+/// A gateway config tuned for tests: no prober, no backoff sleeps.
+fn fast_config(backends: Vec<BackendSpec>, replicas: usize) -> GatewayConfig {
+    GatewayConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        backends,
+        replicas,
+        max_retries: 1,
+        backoff_base_ms: 0,
+        backoff_cap_ms: 0,
+        recv_timeout_ms: 10_000,
+        health_interval_ms: None,
+        record_routes: true,
+    }
+}
+
+fn spec(name: &str, backend: &ServerHandle) -> BackendSpec {
+    BackendSpec {
+        name: name.to_owned(),
+        addr: backend.addr().to_string(),
+    }
+}
+
+fn connect(gw: &GatewayHandle) -> Client {
+    Client::connect_within(&gw.addr().to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+fn timing_request(id: u64, design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Timing);
+    r.id = Some(id);
+    r.design = Some(design.to_owned());
+    r
+}
+
+fn designs() -> Vec<String> {
+    let apps = mediabench_apps();
+    vec![
+        write_cdfg(&iir4_parallel()),
+        write_cdfg(&mediabench(&apps[0], 0)),
+        write_cdfg(&mediabench(&apps[1], 0)),
+        write_cdfg(&mediabench(&apps[0], 7)),
+    ]
+}
+
+#[test]
+fn gateway_responses_are_byte_identical_to_direct_backend() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    // The reference backend answers the same requests directly.
+    let reference = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+
+    let mut via_gw = connect(&gw);
+    let mut direct =
+        Client::connect_within(&reference.addr().to_string(), Duration::from_secs(5)).unwrap();
+    for (i, design) in designs().iter().enumerate() {
+        let req = timing_request(i as u64, design);
+        via_gw.send(&req).unwrap();
+        let routed = via_gw.recv_line().unwrap();
+        direct.send(&req).unwrap();
+        let reference_line = direct.recv_line().unwrap();
+        assert_eq!(routed, reference_line, "design {i} bytes diverged");
+    }
+
+    // Both backends should have seen work across 4 distinct designs
+    // (rendezvous spreads shards), and every route is recorded.
+    let trace = gw.routing_trace();
+    assert_eq!(trace.len(), 4);
+    assert!(trace.iter().all(|r| r.failovers == 0 && r.attempts == 1));
+
+    gw.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+    reference.shutdown();
+}
+
+#[test]
+fn same_design_routes_to_the_same_backend_every_time() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+    let mut c = connect(&gw);
+    let design = write_cdfg(&iir4_parallel());
+    for i in 0..6u64 {
+        let resp = c.call(&timing_request(i, &design)).unwrap();
+        assert!(resp.ok);
+    }
+    let trace = gw.routing_trace();
+    assert_eq!(trace.len(), 6);
+    let first = trace[0].backend.clone().expect("served");
+    assert!(
+        trace.iter().all(|r| r.backend.as_deref() == Some(&*first)),
+        "one design = one shard = one backend: {trace:?}"
+    );
+    // All six hits share one shard key (the memoized content hash).
+    assert!(trace.iter().all(|r| r.key == trace[0].key));
+
+    gw.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+}
+
+#[test]
+fn failover_to_replica_when_primary_dies() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+    let mut c = connect(&gw);
+    let design = write_cdfg(&iir4_parallel());
+
+    let first = c.call(&timing_request(1, &design)).unwrap();
+    assert!(first.ok);
+    let primary = gw.routing_trace()[0].backend.clone().unwrap();
+
+    // Kill the backend that owns this shard; its replica must take over
+    // with the same response bytes.
+    if primary == "b0" {
+        b0.shutdown();
+        c.send(&timing_request(2, &design)).unwrap();
+        let after = c.recv_line().unwrap();
+        let resp = localwm_serve::Response::from_line(&after).unwrap();
+        assert!(resp.ok, "replica served after primary death: {after}");
+        let trace = gw.routing_trace();
+        assert_eq!(trace[1].backend.as_deref(), Some("b1"));
+        assert_eq!(trace[1].failovers, 1);
+        b1.shutdown();
+    } else {
+        b1.shutdown();
+        c.send(&timing_request(2, &design)).unwrap();
+        let after = c.recv_line().unwrap();
+        let resp = localwm_serve::Response::from_line(&after).unwrap();
+        assert!(resp.ok, "replica served after primary death: {after}");
+        let trace = gw.routing_trace();
+        assert_eq!(trace[1].backend.as_deref(), Some("b0"));
+        assert_eq!(trace[1].failovers, 1);
+        b0.shutdown();
+    }
+    gw.shutdown();
+}
+
+#[test]
+fn exhausted_replicas_yield_typed_upstream_unavailable() {
+    let b0 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0)], 1)).expect("start gateway");
+    let mut c = connect(&gw);
+    b0.shutdown();
+
+    let resp = c
+        .call(&timing_request(9, &write_cdfg(&iir4_parallel())))
+        .unwrap();
+    assert!(!resp.ok);
+    let err = resp.error.expect("typed error");
+    assert_eq!(err.code, ErrorCode::UpstreamUnavailable);
+    let tried = err
+        .details
+        .iter()
+        .find(|(k, _)| k == "backends_tried")
+        .map(|(_, v)| v.clone());
+    assert_eq!(
+        tried,
+        Some(Value::Array(vec![Value::Str("b0".to_owned())])),
+        "error names the exhausted backends"
+    );
+    let trace = gw.routing_trace();
+    assert_eq!(trace[0].backend, None);
+    assert_eq!(trace[0].attempts, 2, "1 try + 1 retry");
+
+    gw.shutdown();
+}
+
+#[test]
+fn update_backend_addr_reroutes_to_restarted_backend() {
+    let b0 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0)], 1)).expect("start gateway");
+    let mut c = connect(&gw);
+    let design = write_cdfg(&iir4_parallel());
+    assert!(c.call(&timing_request(1, &design)).unwrap().ok);
+
+    // "Restart" the backend: kill it, start a fresh one on a new port, and
+    // point the gateway's `b0` entry at the new address. The shard identity
+    // (the name) is unchanged, so routing is identical.
+    b0.shutdown();
+    let b0v2 = start_backend();
+    assert!(gw.update_backend_addr("b0", &b0v2.addr().to_string()));
+    assert!(!gw.update_backend_addr("nope", "127.0.0.1:1"));
+
+    let resp = c.call(&timing_request(2, &design)).unwrap();
+    assert!(resp.ok, "restarted backend serves the same shard");
+    let trace = gw.routing_trace();
+    assert_eq!(trace[0].key, trace[1].key);
+    assert_eq!(trace[1].backend.as_deref(), Some("b0"));
+
+    gw.shutdown();
+    b0v2.shutdown();
+}
+
+#[test]
+fn cluster_stats_aggregates_backend_gauges() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+    let mut c = connect(&gw);
+    for (i, design) in designs().iter().enumerate() {
+        assert!(c.call(&timing_request(i as u64, design)).unwrap().ok);
+    }
+
+    let resp = c.call(&Request::new(RequestKind::ClusterStats)).unwrap();
+    assert!(resp.ok);
+    assert_eq!(resp.kind, "cluster_stats");
+    let agg = resp.result_field("aggregate").expect("aggregate");
+    assert_eq!(agg.field("backends"), Some(&Value::Int(2)));
+    assert_eq!(agg.field("healthy"), Some(&Value::Int(2)));
+    assert_eq!(
+        agg.field("workers"),
+        Some(&Value::Int(4)),
+        "2 workers per backend, summed"
+    );
+    assert_eq!(agg.field("queue_depth"), Some(&Value::Int(0)));
+    let backends = match resp.result_field("backends") {
+        Some(Value::Array(a)) => a.clone(),
+        other => panic!("expected backend array, got {other:?}"),
+    };
+    assert_eq!(backends.len(), 2);
+    let total_served: i64 = backends
+        .iter()
+        .map(|b| match b.field("served") {
+            Some(Value::Int(n)) => *n,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(total_served, 4, "every routed request counted once");
+    for b in &backends {
+        assert!(
+            !matches!(b.field("upstream"), Some(Value::Null) | None),
+            "healthy backend carries its upstream stats snapshot"
+        );
+    }
+    let gwstats = resp.result_field("gateway").expect("gateway section");
+    assert_eq!(gwstats.field("routed"), Some(&Value::Int(4)));
+    assert_eq!(gwstats.field("upstream_errors"), Some(&Value::Int(0)));
+
+    // The gateway's own `stats` answers with the routing view.
+    let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+    assert!(stats.ok);
+    assert_eq!(
+        stats.result_field("role"),
+        Some(&Value::Str("gateway".to_owned()))
+    );
+
+    gw.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+}
+
+#[test]
+fn gateway_shutdown_request_drains_but_leaves_backends_running() {
+    let b0 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0)], 1)).expect("start gateway");
+    let mut c = connect(&gw);
+    let resp = c.call(&Request::new(RequestKind::Shutdown)).unwrap();
+    assert!(resp.ok);
+    gw.join();
+
+    // The backend is untouched: still answers directly.
+    let mut direct =
+        Client::connect_within(&b0.addr().to_string(), Duration::from_secs(5)).unwrap();
+    let resp = direct
+        .call(&timing_request(1, &write_cdfg(&iir4_parallel())))
+        .unwrap();
+    assert!(resp.ok, "backend survives gateway shutdown");
+    b0.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_the_same_typed_error_as_a_backend() {
+    let b0 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0)], 1)).expect("start gateway");
+
+    let mut via_gw = connect(&gw);
+    let mut direct =
+        Client::connect_within(&b0.addr().to_string(), Duration::from_secs(5)).unwrap();
+    for bad in ["not json", r#"{"id":1}"#, r#"{"kind":"explode"}"#] {
+        via_gw.send_line(bad).unwrap();
+        direct.send_line(bad).unwrap();
+        assert_eq!(
+            via_gw.recv_line().unwrap(),
+            direct.recv_line().unwrap(),
+            "malformed `{bad}` diverged"
+        );
+    }
+
+    gw.shutdown();
+    b0.shutdown();
+}

@@ -1,9 +1,15 @@
 //! A minimal blocking client for the JSON-lines protocol, shared by the
-//! CLI's `localwm request`, the integration tests, and the load bench.
+//! CLI's `localwm request`, the gateway's backend pools, the integration
+//! tests, and the load benches.
+//!
+//! One [`Client`] is one TCP connection; every call reuses it, so repeated
+//! requests ride the warm path (no reconnect, no fresh slow-start). The
+//! CLI's `--repeat N` and the gateway's per-backend pools both lean on
+//! that keep-alive behavior.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{Request, Response};
 
@@ -60,9 +66,19 @@ impl Client {
     ///
     /// Propagates socket write errors.
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        let mut line = req.to_line();
-        line.push('\n');
+        self.send_line(&req.to_line())
+    }
+
+    /// Sends one already-encoded request line verbatim (the gateway's
+    /// forwarding path: the client's bytes go upstream untouched, so
+    /// responses stay byte-identical to a direct backend call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
         self.writer.flush()
     }
 
@@ -104,5 +120,31 @@ impl Client {
     pub fn call(&mut self, req: &Request) -> io::Result<Response> {
         self.send(req)?;
         self.recv()
+    }
+
+    /// Calls `req` `n` times over this one keep-alive connection, returning
+    /// the last response and each call's wall-clock latency. The first
+    /// latency is the cold-path cost (server parses and caches the design);
+    /// the rest measure the warm path without reconnect overhead — this is
+    /// what `localwm request --repeat N` reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Client::call`] error; `n` is clamped to ≥ 1.
+    pub fn call_repeated(
+        &mut self,
+        req: &Request,
+        n: usize,
+    ) -> io::Result<(Response, Vec<Duration>)> {
+        let n = n.max(1);
+        let mut latencies = Vec::with_capacity(n);
+        let mut last = None;
+        for _ in 0..n {
+            let start = Instant::now();
+            let resp = self.call(req)?;
+            latencies.push(start.elapsed());
+            last = Some(resp);
+        }
+        Ok((last.expect("n >= 1"), latencies))
     }
 }

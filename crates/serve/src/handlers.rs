@@ -72,10 +72,9 @@ pub fn execute_with(cache: &ContextCache, req: &Request, par: Parallelism) -> Ha
         RequestKind::Detect => detect(cache, req, par),
         RequestKind::Analyze => analyze(cache, req, par),
         RequestKind::Timing => timing(cache, req),
-        RequestKind::Stats | RequestKind::Shutdown => Err(ServiceError::new(
-            ErrorCode::Internal,
-            "stats/shutdown are handled inline",
-        )),
+        RequestKind::Stats | RequestKind::Shutdown | RequestKind::ClusterStats => Err(
+            ServiceError::new(ErrorCode::Internal, "stats/shutdown are handled inline"),
+        ),
     }
 }
 

@@ -3,7 +3,8 @@
 //! A std-only TCP server speaking a JSON-lines protocol (one request
 //! object per line, one response object per line; see [`protocol`]).
 //! Request kinds: `embed`, `detect`, `analyze`, `timing`, `stats`,
-//! `shutdown`.
+//! `shutdown` (`cluster_stats` is part of the shared protocol but answered
+//! by `localwm-gateway`; a single backend rejects it with a typed error).
 //!
 //! The moving parts:
 //!

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! request  = { "kind": KIND, ["id": u64], ...params } "\n"
-//! KIND     = "embed" | "detect" | "analyze" | "timing" | "stats" | "shutdown"
+//! KIND     = "embed" | "detect" | "analyze" | "timing" | "stats" |
+//!            "shutdown" | "cluster_stats"
 //! params   = "design": cdfg-text      (embed/detect/analyze/timing)
 //!            "author": string         (embed/detect)
 //!            "schedule": sched-text   (detect)
@@ -39,17 +40,23 @@ pub enum RequestKind {
     Stats,
     /// Graceful shutdown: drain in-flight work, then exit.
     Shutdown,
+    /// Cluster-wide aggregated metrics. Answered by `localwm-gateway`
+    /// (per-backend latency histograms, routing counters, pool and health
+    /// state plus aggregated backend gauges); a plain `localwm-serve`
+    /// backend answers it with a typed `bad_request`.
+    ClusterStats,
 }
 
 impl RequestKind {
     /// Every kind, in wire-name order; indexes match [`RequestKind::index`].
-    pub const ALL: [RequestKind; 6] = [
+    pub const ALL: [RequestKind; 7] = [
         RequestKind::Embed,
         RequestKind::Detect,
         RequestKind::Analyze,
         RequestKind::Timing,
         RequestKind::Stats,
         RequestKind::Shutdown,
+        RequestKind::ClusterStats,
     ];
 
     /// The wire name.
@@ -61,6 +68,7 @@ impl RequestKind {
             RequestKind::Timing => "timing",
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::ClusterStats => "cluster_stats",
         }
     }
 
@@ -242,6 +250,9 @@ pub enum ErrorCode {
     DetectFailed,
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The gateway exhausted every replica for the request's shard: all
+    /// candidate backends failed after retries with backoff.
+    UpstreamUnavailable,
     /// Anything else.
     Internal,
 }
@@ -257,6 +268,7 @@ impl ErrorCode {
             ErrorCode::EmbedFailed => "embed_failed",
             ErrorCode::DetectFailed => "detect_failed",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::UpstreamUnavailable => "upstream_unavailable",
             ErrorCode::Internal => "internal",
         }
     }
@@ -271,6 +283,7 @@ impl ErrorCode {
             ErrorCode::EmbedFailed,
             ErrorCode::DetectFailed,
             ErrorCode::ShuttingDown,
+            ErrorCode::UpstreamUnavailable,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)

@@ -135,6 +135,7 @@ struct Shared {
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     panics: AtomicU64,
+    busy_workers: AtomicU64,
     workers: usize,
     injector: Option<Arc<FaultInjector>>,
 }
@@ -156,6 +157,12 @@ impl Shared {
         let mut fields = vec![
             ("uptime_ms".to_owned(), self.metrics.uptime_ms().to_value()),
             ("workers".to_owned(), self.workers.to_value()),
+            // Instantaneous gauges (not counters): sampled at stats time so
+            // a gateway's `cluster_stats` can aggregate live load.
+            (
+                "busy_workers".to_owned(),
+                self.busy_workers.load(Ordering::SeqCst).to_value(),
+            ),
             (
                 "queue".to_owned(),
                 Value::Object(vec![
@@ -310,6 +317,7 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         jobs_submitted: AtomicU64::new(0),
         jobs_completed: AtomicU64::new(0),
         panics: AtomicU64::new(0),
+        busy_workers: AtomicU64::new(0),
         workers,
         injector,
         cfg,
@@ -421,6 +429,23 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 .record(RequestKind::Stats, started.elapsed(), Outcome::Ok);
             conn.send(&resp);
         }
+        // A plain backend cannot answer cluster-wide questions; the typed
+        // error keeps the response shape predictable for misdirected
+        // clients (the gateway answers this kind itself).
+        RequestKind::ClusterStats => {
+            let resp = Response::failure(
+                req.id,
+                "cluster_stats",
+                ServiceError::new(
+                    ErrorCode::BadRequest,
+                    "cluster_stats is answered by localwm-gateway, not a single backend",
+                ),
+            );
+            shared
+                .metrics
+                .record(RequestKind::ClusterStats, started.elapsed(), Outcome::Error);
+            conn.send(&resp);
+        }
         RequestKind::Shutdown => {
             let drained = drain(shared);
             let body = Value::Object(vec![
@@ -516,9 +541,11 @@ fn worker_loop(shared: &Arc<Shared>) {
             // A panicking handler must not kill the worker or leave the
             // request unanswered: contain it, answer with a typed internal
             // error, and count it.
+            shared.busy_workers.fetch_add(1, Ordering::SeqCst);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 handlers::execute(&shared.cache, &job.req)
             }));
+            shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
             let resp = match outcome {
                 Ok(Ok(body)) => Response::success(job.state.id, job.state.kind.as_str(), body),
                 Ok(Err(e)) => Response::failure(job.state.id, job.state.kind.as_str(), e),

@@ -301,3 +301,89 @@ fn requests_during_drain_are_refused_as_shutting_down() {
     assert!(admin.recv().unwrap().ok);
     handle.join();
 }
+
+#[test]
+fn stats_exposes_live_gauges_for_cluster_aggregation() {
+    let handle = start_server(3, 16);
+    let mut c = connect(&handle);
+    let design = write_cdfg(&iir4_parallel());
+    c.call(&timing_request(1, &design)).unwrap();
+
+    let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+    let result = stats.result.as_ref().expect("stats body");
+    // The gauges a gateway's `cluster_stats` sums across the fleet.
+    assert_eq!(result.field("workers"), Some(&Value::Int(3)));
+    assert_eq!(
+        result.field("busy_workers"),
+        Some(&Value::Int(0)),
+        "idle at stats time"
+    );
+    let queue = result.field("queue").expect("queue gauges");
+    assert_eq!(queue.field("depth"), Some(&Value::Int(0)));
+    assert_eq!(queue.field("capacity"), Some(&Value::Int(16)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn busy_worker_gauge_rises_while_a_slow_request_runs() {
+    let handle = start_server(1, 16);
+    let mut slow = connect(&handle);
+    let design = write_cdfg(&iir4_parallel());
+    slow.send(&slow_request(1, &design)).unwrap();
+
+    // Poll stats (answered inline, never queued) until the worker picks
+    // the slow job up; the gauge must read 1 while it runs.
+    let mut c = connect(&handle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+        let busy = stats.result_field("busy_workers").cloned();
+        if busy == Some(Value::Int(1)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "busy_workers never rose: {busy:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(slow.recv().unwrap().ok);
+
+    handle.shutdown();
+}
+
+#[test]
+fn cluster_stats_on_a_single_backend_is_a_typed_bad_request() {
+    let handle = start_server(2, 16);
+    let mut c = connect(&handle);
+    let mut req = Request::new(RequestKind::ClusterStats);
+    req.id = Some(4);
+    let resp = c.call(&req).unwrap();
+    assert!(!resp.ok);
+    assert_eq!(resp.id, Some(4));
+    assert_eq!(resp.kind, "cluster_stats");
+    let err = resp.error.expect("typed error");
+    assert_eq!(err.code, localwm_serve::ErrorCode::BadRequest);
+    assert!(err.message.contains("localwm-gateway"));
+    handle.shutdown();
+}
+
+#[test]
+fn call_repeated_reuses_one_connection_for_the_warm_path() {
+    let handle = start_server(2, 16);
+    let mut c = connect(&handle);
+    let design = write_cdfg(&iir4_parallel());
+    let (last, latencies) = c.call_repeated(&timing_request(1, &design), 5).unwrap();
+    assert!(last.ok);
+    assert_eq!(latencies.len(), 5);
+
+    let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+    let cache = stats.result_field("cache").expect("cache stats");
+    assert_eq!(
+        cache.field("hits"),
+        Some(&Value::Int(4)),
+        "repeats 2..=5 hit the context cache over the kept-alive connection"
+    );
+    handle.shutdown();
+}

@@ -1,23 +1,32 @@
 //! Golden-corpus conformance runner.
 //!
+//! Checks (or regenerates with `--bless`) two golden artifacts:
+//!
+//! * the response corpus — `corpus/designs/*.cdfg` + `corpus/golden/*.json`;
+//! * the gateway routing transcript — `corpus/gateway/transcript.json`,
+//!   recorded by routing the corpus stream across a live 2-backend
+//!   cluster (skip with `--no-gateway` on socket-less environments).
+//!
 //! ```text
 //! cargo run -p localwm-testkit --bin conformance             # check, exit 1 on drift
-//! cargo run -p localwm-testkit --bin conformance -- --bless  # regenerate designs + goldens
+//! cargo run -p localwm-testkit --bin conformance -- --bless  # regenerate everything
 //! cargo run -p localwm-testkit --bin conformance -- --dir X  # use a corpus at X
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use localwm_testkit::corpus;
+use localwm_testkit::{cluster, corpus};
 
 fn main() -> ExitCode {
     let mut bless = false;
+    let mut gateway = true;
     let mut dir = corpus::corpus_dir();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bless" => bless = true,
+            "--no-gateway" => gateway = false,
             "--dir" => match args.next() {
                 Some(d) => dir = PathBuf::from(d),
                 None => {
@@ -26,7 +35,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: conformance [--bless] [--dir PATH]");
+                println!("usage: conformance [--bless] [--no-gateway] [--dir PATH]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -43,36 +52,57 @@ fn main() -> ExitCode {
                 for n in names {
                     println!("  {n}");
                 }
-                ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("bless failed: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
         }
-    } else {
-        match corpus::check(&dir) {
-            Ok(drifts) if drifts.is_empty() => {
-                println!(
-                    "corpus clean: {} cases match their goldens",
-                    corpus::builtin_cases().len()
-                );
-                ExitCode::SUCCESS
-            }
-            Ok(drifts) => {
-                eprintln!("corpus drift ({} findings):", drifts.len());
-                for d in &drifts {
-                    eprintln!("{d}");
+        if gateway {
+            match cluster::bless_transcript(&dir) {
+                Ok(()) => println!("blessed gateway/transcript.json"),
+                Err(e) => {
+                    eprintln!("transcript bless failed: {e}");
+                    return ExitCode::FAILURE;
                 }
-                eprintln!(
-                    "run `cargo run -p localwm-testkit --bin conformance -- --bless` to accept"
-                );
-                ExitCode::FAILURE
             }
+        }
+        ExitCode::SUCCESS
+    } else {
+        let mut drifts = match corpus::check(&dir) {
+            Ok(d) => d,
             Err(e) => {
                 eprintln!("corpus check failed: {e} (missing corpus? run with --bless once)");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
+        };
+        if gateway {
+            match cluster::check_transcript(&dir) {
+                Ok(more) => drifts.extend(more),
+                Err(e) => {
+                    eprintln!("transcript check failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if drifts.is_empty() {
+            println!(
+                "corpus clean: {} cases match their goldens{}",
+                corpus::builtin_cases().len(),
+                if gateway {
+                    ", gateway transcript matches"
+                } else {
+                    " (gateway transcript skipped)"
+                }
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("corpus drift ({} findings):", drifts.len());
+            for d in &drifts {
+                eprintln!("{d}");
+            }
+            eprintln!("run `cargo run -p localwm-testkit --bin conformance -- --bless` to accept");
+            ExitCode::FAILURE
         }
     }
 }

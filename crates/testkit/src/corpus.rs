@@ -214,7 +214,7 @@ impl fmt::Display for Drift {
 }
 
 /// First differing lines between two texts, `-` expected / `+` actual.
-fn line_diff(expected: &str, actual: &str, max_lines: usize) -> String {
+pub(crate) fn line_diff(expected: &str, actual: &str, max_lines: usize) -> String {
     let mut out = Vec::new();
     let e: Vec<&str> = expected.lines().collect();
     let a: Vec<&str> = actual.lines().collect();

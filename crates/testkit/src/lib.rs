@@ -21,6 +21,12 @@
 //!   responses beyond the fired faults, no double-acks, exact drain
 //!   accounting, cache counter consistency). Same seed ⇒ same plan, same
 //!   fired-fault trace, same report.
+//! * [`cluster`] — the cluster harness: a `localwm-gateway` over N live
+//!   backends, the gateway differential lane (gateway responses must be
+//!   byte-identical to a single backend), the golden routing transcript
+//!   (`corpus/gateway/transcript.json`), and gateway chaos (seeded
+//!   backend kill/restart; every accepted request gets exactly one
+//!   response or one typed error, never a silent drop).
 //!
 //! Built with the `fault-inject` feature (the default) the chaos runs fire
 //! real faults; without it the same harness runs fault-free and asserts
@@ -30,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cluster;
 pub mod corpus;
 pub mod oracle;
 pub mod stream;
 
 pub use chaos::{ChaosConfig, ChaosOutcome};
+pub use cluster::{ClusterConfig, ClusterHarness, GatewayChaosConfig, GatewayChaosOutcome};
 
 /// Whether this build of the testkit armed the `fault-inject` seams in
 /// `localwm-serve` (callers like the CLI cannot see the feature flag of a

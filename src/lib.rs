@@ -44,6 +44,7 @@ pub use localwm_cdfg as cdfg;
 pub use localwm_coloring as coloring;
 pub use localwm_core as core;
 pub use localwm_engine as engine;
+pub use localwm_gateway as gateway;
 pub use localwm_prng as prng;
 pub use localwm_sched as sched;
 pub use localwm_serve as serve;
