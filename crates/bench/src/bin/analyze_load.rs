@@ -1,0 +1,280 @@
+//! Service-level `analyze` load benchmark: per-request latency under
+//! concurrent clients at 1 and 4 workers, plus an identical-request burst
+//! that exercises single-flight coalescing.
+//!
+//! Appends its lanes to `BENCH_hotpath.json` (or `--out`), merging with
+//! whatever the `criticality` bin already wrote there: existing entries
+//! with other names are kept, same-named entries are replaced. Baselines
+//! resolve by name from `BENCH_service.json` (the committed pre-flattening
+//! numbers, where `analyze` sat at ~41.5 ms regardless of worker count).
+//! `--quick` trims client/request counts for the CI lane.
+
+use std::time::{Duration, Instant};
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::{Client, Request, RequestKind, ServeConfig, ServerHandle};
+use serde::Value;
+
+struct Lane {
+    name: String,
+    mean_ns: f64,
+    samples: usize,
+    baseline_ns: Option<f64>,
+}
+
+fn start_server(workers: usize) -> ServerHandle {
+    localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth: 256,
+        cache_cap: 16,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+    })
+    .expect("bind loopback")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect_within(&handle.addr().to_string(), Duration::from_secs(5)).expect("connect")
+}
+
+fn analyze_request(design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Analyze);
+    r.design = Some(design.to_owned());
+    r.samples = Some(2_000);
+    r
+}
+
+/// Mean per-request wall-clock of `clients` synchronous connections each
+/// sending `per_client` analyze requests; distinct designs rotate per
+/// client so requests do not coalesce.
+fn throughput(designs: &[String], workers: usize, clients: usize, per_client: usize) -> f64 {
+    let handle = start_server(workers);
+    let addr = handle.addr().to_string();
+    let mut warmup = connect(&handle);
+    for d in designs {
+        let mut r = analyze_request(d);
+        r.samples = Some(1);
+        assert!(warmup.call(&r).expect("warmup").ok);
+    }
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let designs = designs.to_vec();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_within(&addr, Duration::from_secs(5)).expect("connect");
+                for i in 0..per_client {
+                    let mut r = analyze_request(&designs[(c + i) % designs.len()]);
+                    // A per-(client, i) seed keeps every request a distinct
+                    // computation: this lane measures raw throughput, not
+                    // coalescing.
+                    r.seed = Some((c * per_client + i) as u64);
+                    let resp = client.call(&r).expect("request");
+                    assert!(resp.ok, "load request failed: {:?}", resp.error);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    handle.shutdown();
+    elapsed / (clients * per_client) as f64
+}
+
+/// `clients` connections all firing the *identical* analyze request at
+/// once, `rounds` times: in-flight duplicates attach to one computation.
+/// Returns (mean ns/request, coalesced counter at the end).
+fn identical_burst(design: &str, clients: usize, rounds: usize) -> (f64, i64) {
+    let handle = start_server(2);
+    let addr = handle.addr().to_string();
+    let mut req = analyze_request(design);
+    req.samples = Some(20_000);
+    req.seed = Some(7);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let threads: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let req = req.clone();
+                std::thread::spawn(move || {
+                    let mut client =
+                        Client::connect_within(&addr, Duration::from_secs(5)).expect("connect");
+                    let resp = client.call(&req).expect("request");
+                    assert!(resp.ok, "burst request failed: {:?}", resp.error);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+    }
+    let mean = start.elapsed().as_nanos() as f64 / (clients * rounds) as f64;
+    let mut c = connect(&handle);
+    let stats = c.call(&Request::new(RequestKind::Stats)).expect("stats");
+    let coalesced = match stats.result_field("coalesced") {
+        Some(Value::Int(n)) => *n,
+        other => panic!("stats missing coalesced counter: {other:?}"),
+    };
+    handle.shutdown();
+    (mean, coalesced)
+}
+
+/// Merges `lanes` into an existing report: entries with other names are
+/// kept, same-named ones replaced, the note extended.
+fn merge_report(out_path: &str, lanes: &[Lane], note: &str) {
+    let mut kept: Vec<Value> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(out_path) {
+        if let Ok(doc) = serde_json::from_str::<Value>(&text) {
+            if let Some(Value::Str(n)) = doc.field("note") {
+                notes.push(n.clone());
+            }
+            if let Some(Value::Array(entries)) = doc.field("benchmarks") {
+                kept.extend(
+                    entries
+                        .iter()
+                        .filter(|e| match e.field("name") {
+                            Some(Value::Str(n)) => lanes.iter().all(|l| &l.name != n),
+                            _ => true,
+                        })
+                        .cloned(),
+                );
+            }
+        }
+    }
+    notes.push(note.to_owned());
+    for l in lanes {
+        let mut fields = vec![
+            ("name".to_owned(), Value::Str(l.name.clone())),
+            (
+                "mean_ns".to_owned(),
+                Value::Float((l.mean_ns * 10.0).round() / 10.0),
+            ),
+            ("samples".to_owned(), Value::Int(l.samples as i64)),
+        ];
+        if let Some(b) = l.baseline_ns {
+            fields.push(("baseline_ns".to_owned(), Value::Float(b)));
+            fields.push((
+                "speedup".to_owned(),
+                Value::Float((b / l.mean_ns * 100.0).round() / 100.0),
+            ));
+        }
+        kept.push(Value::Object(fields));
+    }
+    let doc = Value::Object(vec![
+        ("note".to_owned(), Value::Str(notes.join(" | "))),
+        ("benchmarks".to_owned(), Value::Array(kept)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}
+
+fn load_baselines(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+        return Vec::new();
+    };
+    let Some(Value::Array(entries)) = doc.field("benchmarks") else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            let name = match e.field("name") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return None,
+            };
+            let mean = match e.field("mean_ns") {
+                Some(Value::Float(f)) => *f,
+                Some(Value::Int(i)) => *i as f64,
+                _ => return None,
+            };
+            Some((name, mean))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_hotpath.json".to_owned();
+    let mut baseline_path = "BENCH_service.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            other => panic!("unknown argument {other} (expected --quick/--out/--baseline)"),
+        }
+    }
+    let (clients, per_client, burst_rounds) = if quick { (4, 4, 3) } else { (8, 12, 8) };
+    let baselines = load_baselines(&baseline_path);
+    let apps = mediabench_apps();
+    let designs: Vec<String> = apps
+        .iter()
+        .take(6)
+        .map(|app| write_cdfg(&mediabench(app, 0)))
+        .collect();
+
+    let mut lanes = Vec::new();
+    for workers in [1usize, 4] {
+        let name = format!("serve/analyze-load/workers-{workers}");
+        let mean = throughput(&designs, workers, clients, per_client);
+        let baseline_ns = baselines.iter().find(|(n, _)| *n == name).map(|&(_, b)| b);
+        lanes.push(Lane {
+            name,
+            mean_ns: mean,
+            samples: clients * per_client,
+            baseline_ns,
+        });
+    }
+    let (burst_mean, coalesced) = identical_burst(&designs[0], clients, burst_rounds);
+    lanes.push(Lane {
+        name: "serve/analyze-load/identical-burst".to_owned(),
+        mean_ns: burst_mean,
+        samples: clients * burst_rounds,
+        baseline_ns: None,
+    });
+
+    let rows: Vec<Vec<String>> = lanes
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                format!("{:.1}", l.mean_ns / 1e3),
+                l.baseline_ns
+                    .map_or_else(|| "-".to_owned(), |b| format!("{:.1}", b / 1e3)),
+                l.baseline_ns
+                    .map_or_else(|| "-".to_owned(), |b| format!("{:.2}x", b / l.mean_ns)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["benchmark", "mean µs/req", "baseline µs", "speedup"],
+            &rows
+        )
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let note = format!(
+        "analyze-load: {clients} sync clients x {per_client} analyze(samples=2000) \
+         requests with distinct seeds (no coalescing) at 1/4 workers; \
+         identical-burst = {clients} clients x {burst_rounds} rounds of one \
+         identical analyze(samples=20000) request, {coalesced} requests \
+         coalesced into in-flight leaders; baselines from {baseline_path}; \
+         host had {cores} CPU core(s)"
+    );
+    merge_report(&out_path, &lanes, &note);
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod csr;
 mod dot;
 mod error;
 mod graph;
@@ -54,6 +55,7 @@ pub mod designs;
 pub mod generators;
 
 pub use builder::CdfgBuilder;
+pub use csr::Csr;
 pub use error::CdfgError;
 pub use graph::{Cdfg, Edge, EdgeKind, Node};
 pub use id::{EdgeId, NodeId};

@@ -1,6 +1,6 @@
 //! Interval critical-path analysis under bounded delay models.
 
-use localwm_cdfg::{Cdfg, NodeId};
+use localwm_cdfg::{Cdfg, Csr, NodeId};
 
 use crate::{DelayBounds, DelayInterval};
 
@@ -69,6 +69,41 @@ pub fn bounded_arrival_with_order<M: DelayBounds + ?Sized>(
     }
 }
 
+/// [`bounded_arrival`] over the flat CSR hot path: per-node delay bounds
+/// come from a precomputed table and predecessors from a packed
+/// [`Csr`](localwm_cdfg::Csr) view, so the sweep touches two flat arrays
+/// instead of chasing `EdgeId → Option<Edge>` indirections.
+///
+/// `order` and `preds` must come from the same topological order (the
+/// memoized [`DesignContext`](crate::DesignContext) guarantees this).
+/// Produces bit-identical results to [`bounded_arrival_with_order`] with an
+/// equivalent model: `max` is insensitive to neighbor enumeration order.
+pub fn bounded_arrival_with_csr(
+    order: &[NodeId],
+    preds: &Csr,
+    bounds: &[DelayInterval],
+) -> BoundedArrival {
+    let mut finish = vec![DelayInterval::fixed(0); order.len()];
+    let mut cp = DelayInterval::fixed(0);
+    for (p, &u) in order.iter().enumerate() {
+        let mut in_lo = 0u64;
+        let mut in_hi = 0u64;
+        for &pi in preds.row(p) {
+            let f = finish[pi as usize];
+            in_lo = in_lo.max(f.lo);
+            in_hi = in_hi.max(f.hi);
+        }
+        let d = bounds[u.index()];
+        let f = DelayInterval::new(in_lo + d.lo, in_hi + d.hi);
+        finish[u.index()] = f;
+        cp = DelayInterval::new(cp.lo.max(f.lo), cp.hi.max(f.hi));
+    }
+    BoundedArrival {
+        finish,
+        critical_path: cp,
+    }
+}
+
 /// The circuit critical-path interval under a bounded delay model.
 pub fn bounded_critical_path<M: DelayBounds + ?Sized>(g: &Cdfg, model: &M) -> DelayInterval {
     bounded_arrival(g, model).critical_path
@@ -110,6 +145,39 @@ pub fn possibly_critical_with_arrival<M: DelayBounds + ?Sized>(
     }
     g.node_ids()
         .filter(|&n| arr.finish[n.index()].hi >= required[n.index()])
+        .collect()
+}
+
+/// [`possibly_critical_with_arrival`] over the flat CSR hot path: the
+/// backward required-time sweep reads packed predecessor/successor rows and
+/// a precomputed bounds table. Bit-identical to the iterator-based variant
+/// (only `min`/`max` reductions and an order-insensitive filter).
+pub fn possibly_critical_with_csr(
+    order: &[NodeId],
+    preds: &Csr,
+    succs: &Csr,
+    bounds: &[DelayInterval],
+    arr: &BoundedArrival,
+) -> Vec<NodeId> {
+    let n = order.len();
+    let mut required = vec![u64::MAX; n];
+    for p in (0..n).rev() {
+        let u = order[p];
+        let r = if succs.row(p).is_empty() {
+            arr.critical_path.hi
+        } else {
+            required[u.index()]
+        };
+        required[u.index()] = required[u.index()].min(r);
+        let start_latest = r - bounds[u.index()].hi;
+        for &pi in preds.row(p) {
+            let slot = &mut required[pi as usize];
+            *slot = (*slot).min(start_latest);
+        }
+    }
+    (0..n)
+        .map(NodeId::from_index)
+        .filter(|&v| arr.finish[v.index()].hi >= required[v.index()])
         .collect()
 }
 

@@ -5,9 +5,9 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use localwm_cdfg::{analysis, Cdfg, CdfgError, EdgeId, NodeId, TopoError};
+use localwm_cdfg::{analysis, Cdfg, CdfgError, Csr, EdgeId, NodeId, TopoError};
 
-use crate::bounded::{bounded_arrival_with_order, possibly_critical_with_arrival, BoundedArrival};
+use crate::bounded::{bounded_arrival_with_csr, possibly_critical_with_csr, BoundedArrival};
 use crate::delay::{DelayBounds, DelayInterval};
 use crate::probe::{NoopProbe, Probe};
 use crate::unit::UnitTiming;
@@ -88,6 +88,7 @@ type FaninCache = HashMap<(NodeId, u32), Arc<Vec<NodeId>>>;
 #[derive(Default)]
 struct Caches {
     topo: OnceLock<Result<Vec<NodeId>, TopoError>>,
+    csr: OnceLock<(Csr, Csr)>,
     unit: OnceLock<UnitTiming>,
     windows: Mutex<HashMap<u32, Arc<WindowTable>>>,
     levels: Mutex<HashMap<NodeId, Arc<Vec<Option<u32>>>>>,
@@ -209,6 +210,42 @@ impl DesignContext {
         self.try_topo().expect("analysis requires a DAG")
     }
 
+    /// Both memoized CSR views, built together from one topo sweep.
+    fn csr_pair(&self) -> &(Csr, Csr) {
+        self.caches.csr.get_or_init(|| {
+            let order = self.topo();
+            self.probe.counter("engine.csr.build", 1);
+            (
+                Csr::preds(&self.graph, order),
+                Csr::succs(&self.graph, order),
+            )
+        })
+    }
+
+    /// The memoized compressed-sparse-row **predecessor** view: packed
+    /// live-edge adjacency with rows laid out in topological order, the
+    /// flat substrate of the timing hot path (Monte-Carlo criticality,
+    /// bounded arrival, unit depth/tail). Built once per generation
+    /// together with [`DesignContext::succs_csr`]; invalidated by mutation
+    /// like every other cached analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn preds_csr(&self) -> &Csr {
+        &self.csr_pair().0
+    }
+
+    /// The memoized compressed-sparse-row **successor** view; see
+    /// [`DesignContext::preds_csr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn succs_csr(&self) -> &Csr {
+        &self.csr_pair().1
+    }
+
     /// The memoized unit-delay timing (ASAP/ALAP/laxity substrate).
     ///
     /// # Panics
@@ -217,8 +254,9 @@ impl DesignContext {
     pub fn unit_timing(&self) -> &UnitTiming {
         self.caches.unit.get_or_init(|| {
             let order = self.topo();
+            let (preds, succs) = self.csr_pair();
             self.probe.counter("engine.unit.build", 1);
-            UnitTiming::with_order(&self.graph, order)
+            UnitTiming::with_csr(&self.graph, order, preds, succs)
         })
     }
 
@@ -345,11 +383,8 @@ impl DesignContext {
         }
         self.probe.counter("engine.bounded.miss", 1);
         let order = self.topo();
-        let arr = Arc::new(bounded_arrival_with_order(
-            &self.graph,
-            order,
-            &Table(bounds),
-        ));
+        let (preds, _) = self.csr_pair();
+        let arr = Arc::new(bounded_arrival_with_csr(order, preds, &bounds));
         cache.insert(key, Arc::clone(&arr));
         arr
     }
@@ -371,7 +406,13 @@ impl DesignContext {
     /// Panics if the graph is cyclic.
     pub fn possibly_critical<M: DelayBounds + ?Sized>(&self, model: &M) -> Vec<NodeId> {
         let arr = self.bounded_arrival(model);
-        possibly_critical_with_arrival(&self.graph, self.topo(), model, &arr)
+        let bounds: Vec<DelayInterval> = self
+            .graph
+            .node_ids()
+            .map(|n| model.bounds(&self.graph, n))
+            .collect();
+        let (preds, succs) = self.csr_pair();
+        possibly_critical_with_csr(self.topo(), preds, succs, &bounds, &arr)
     }
 
     /// A stable content hash of the design: FNV-1a over the canonical
@@ -426,15 +467,6 @@ impl DesignContext {
             let _ = self.caches.unit.set(t);
         }
         Ok(id)
-    }
-}
-
-/// Per-node interval table used as the canonical model for cached entries.
-struct Table(Vec<DelayInterval>);
-
-impl DelayBounds for Table {
-    fn bounds(&self, _g: &Cdfg, n: NodeId) -> DelayInterval {
-        self.0[n.index()]
     }
 }
 

@@ -17,7 +17,8 @@
 //! * [`Probe`] — dependency-free instrumentation hooks (counters, timers,
 //!   events) with a JSON-dumpable [`RecordingProbe`].
 //! * [`Parallelism`] / [`par_map`] — deterministic, order-preserving
-//!   fan-out of independent work across `std::thread::scope` workers.
+//!   fan-out of independent work across a lazily-started persistent worker
+//!   pool ([`pool_stats`] reports its activity).
 //!
 //! # Example
 //!
@@ -32,22 +33,27 @@
 //! // Repeat queries are cache hits; mutation invalidates.
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool contains one audited,
+// narrowly-scoped `unsafe` (a job-lifetime erasure with a documented
+// run-to-completion invariant); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bounded;
 mod context;
 mod delay;
 mod par;
+mod pool;
 mod probe;
 mod unit;
 
 pub use bounded::{
-    bounded_arrival, bounded_arrival_with_order, bounded_critical_path, possibly_critical,
-    possibly_critical_with_arrival, BoundedArrival,
+    bounded_arrival, bounded_arrival_with_csr, bounded_arrival_with_order, bounded_critical_path,
+    possibly_critical, possibly_critical_with_arrival, possibly_critical_with_csr, BoundedArrival,
 };
 pub use context::{DesignContext, EngineError, WindowTable};
 pub use delay::{DelayBounds, DelayInterval, DynamicBounds, KindBounds};
 pub use par::{par_map, Parallelism};
+pub use pool::{pool_stats, PoolStats};
 pub use probe::{timed, NoopProbe, Probe, RecordingProbe};
 pub use unit::UnitTiming;

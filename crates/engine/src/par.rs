@@ -1,11 +1,20 @@
-//! Deterministic fan-out of independent work across scoped threads.
+//! Deterministic fan-out of independent work across the persistent pool.
 //!
 //! Passes that process independent localities (watermark attempt domains,
 //! Monte-Carlo input vectors, …) fan them out with [`par_map`]. Results come
 //! back **in input order** regardless of the worker count, so serial and
 //! parallel runs of a deterministic per-item function are byte-identical.
+//!
+//! Work runs on the process-wide [`pool`](crate::pool) (started lazily on
+//! the first parallel call) instead of freshly spawned scoped threads, so
+//! repeated short batches pay no thread-creation cost. Chunk boundaries are
+//! still derived from [`Parallelism::worker_count`] alone — never from how
+//! many pool threads happen to exist — so outputs are identical whatever
+//! the pool's size.
 
 use std::num::NonZeroUsize;
+
+use crate::pool::run_batch;
 
 /// How much parallelism a pass may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,14 +57,20 @@ impl Parallelism {
     }
 }
 
-/// Maps `f` over `items`, fanning contiguous chunks out across scoped
-/// threads. `f` receives `(index, &item)` and results are returned in input
-/// order, so any deterministic `f` yields identical output for every
-/// [`Parallelism`] choice.
+/// Maps `f` over `items`, fanning contiguous chunks out across the
+/// persistent worker pool. `f` receives `(index, &item)` and results are
+/// returned in input order, so any deterministic `f` yields identical
+/// output for every [`Parallelism`] choice.
+///
+/// When the resolved worker count is 1 — [`Parallelism::Serial`], a
+/// single-item workload, or [`Parallelism::Auto`] on a single-core host —
+/// the map runs inline on the calling thread with **no pool interaction**
+/// (the pool is not even started).
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the first panicking worker's payload).
+/// Propagates panics from `f` (the first captured payload, after the whole
+/// batch has finished).
 ///
 /// ```
 /// use localwm_engine::{par_map, Parallelism};
@@ -74,30 +89,31 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
+    let nchunks = items.len().div_ceil(chunk);
+    let mut parts: Vec<Option<Vec<R>>> = Vec::with_capacity(nchunks);
+    parts.resize_with(nchunks, || None);
+    run_batch(
+        parts
+            .iter_mut()
+            .zip(items.chunks(chunk))
             .enumerate()
-            .map(|(ci, slice)| {
+            .map(|(ci, (slot, slice))| {
                 let f = &f;
-                s.spawn(move || {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(j, t)| f(ci * chunk + j, t))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => chunks.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    chunks.into_iter().flatten().collect()
+                move || {
+                    *slot = Some(
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(j, t)| f(ci * chunk + j, t))
+                            .collect::<Vec<R>>(),
+                    );
+                }
+            }),
+    );
+    parts
+        .into_iter()
+        .flat_map(|p| p.expect("batch ran every chunk"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -139,5 +155,49 @@ mod tests {
         assert_eq!(Parallelism::Threads(0).worker_count(100), 1);
         assert_eq!(Parallelism::Threads(8).worker_count(3), 3);
         assert!(Parallelism::Auto.worker_count(100) >= 1);
+    }
+
+    #[test]
+    fn single_worker_resolution_stays_off_the_pool() {
+        // Serial (and Auto on a single-core host) resolves to one worker,
+        // which must take the inline path: every call to `f` happens on the
+        // calling thread, with no pool hand-off.
+        let me = std::thread::current().id();
+        let items: Vec<u32> = (0..50).collect();
+        let mut modes = vec![Parallelism::Serial, Parallelism::Threads(1)];
+        if Parallelism::Auto.worker_count(usize::MAX) == 1 {
+            modes.push(Parallelism::Auto); // single-core host
+        }
+        for par in modes {
+            let got = par_map(par, &items, |_, &x| (x + 1, std::thread::current().id()));
+            assert!(
+                got.iter().all(|&(_, tid)| tid == me),
+                "inline path left the calling thread under {par:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn panics_propagate_from_pool_workers() {
+        let items: Vec<u32> = (0..40).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(Parallelism::Threads(4), &items, |i, _| {
+                assert!(i != 17, "seventeen");
+                i
+            });
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn repeated_batches_reuse_the_pool() {
+        // Two parallel calls must not change the pool's thread count (the
+        // pool persists), and each queued batch drains completely.
+        let items: Vec<u32> = (0..64).collect();
+        let a = par_map(Parallelism::Threads(4), &items, |_, &x| u64::from(x) * 2);
+        let threads_after_first = crate::pool_stats().threads;
+        let b = par_map(Parallelism::Threads(4), &items, |_, &x| u64::from(x) * 2);
+        assert_eq!(a, b);
+        assert_eq!(crate::pool_stats().threads, threads_after_first);
     }
 }

@@ -1,0 +1,295 @@
+//! A lazily-started, persistent worker pool for [`par_map`](crate::par_map).
+//!
+//! The previous fan-out spawned fresh OS threads inside
+//! `std::thread::scope` on every call — measurable overhead when a service
+//! runs thousands of short analysis batches. This pool starts its workers
+//! once (first parallel submission), parks them on a condvar while idle,
+//! and hands them per-call *batches* of jobs.
+//!
+//! # Lifecycle
+//!
+//! * **Lazy start** — no threads exist until the first batch is submitted;
+//!   purely serial processes never pay for the pool.
+//! * **Drain on idle** — workers park on the queue condvar when no jobs are
+//!   pending ([`PoolStats::park_wakeups`] counts their wakeups); threads
+//!   persist for the process lifetime.
+//! * **Submitter participation** — the submitting thread always runs the
+//!   first job of its batch inline and then helps drain the rest of its own
+//!   batch from the queue. Progress therefore never depends on pool
+//!   capacity: on a single-core host the pool has zero workers and the
+//!   submitter simply runs every job itself.
+//! * **Panic propagation** — a panicking job is caught, the batch still
+//!   runs (and is waited) to completion, and the first captured payload is
+//!   re-thrown to the submitter afterwards.
+//!
+//! # Safety
+//!
+//! Jobs borrow from the submitting stack frame (`&items`, `&f`, `&mut`
+//! output slots) but run on `'static` worker threads, so submission erases
+//! their lifetime (the one `unsafe` in this crate). Soundness rests on a
+//! single invariant, enforced by [`run_batch`]: **the submitter does not
+//! return until every job of its batch has finished running** — normally or
+//! by panic — so no job can outlive the frame it borrows from. This is the
+//! same contract `std::thread::scope` provides, implemented with a batch
+//! completion count and a condvar instead of joins.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased unit of work.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Completion state shared between one submitter and the workers running
+/// its jobs.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    /// Jobs not yet finished (queued, stolen, or running).
+    remaining: usize,
+    /// First captured panic payload, re-thrown by the submitter.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One queued job plus the batch it belongs to.
+struct QueuedJob {
+    batch: Arc<Batch>,
+    job: Job,
+}
+
+/// The process-wide pool: a FIFO of queued jobs and the parked workers
+/// serving it.
+struct Pool {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    work: Condvar,
+    threads: usize,
+    jobs: AtomicU64,
+    park_wakeups: AtomicU64,
+}
+
+/// Snapshot of pool activity, surfaced through service `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool started (0 until first use, and on
+    /// single-core hosts).
+    pub threads: usize,
+    /// Jobs executed through the pool (including ones the submitting
+    /// thread ran itself).
+    pub jobs: u64,
+    /// Times an idle worker woke from its park to look for work.
+    pub park_wakeups: u64,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// The pool handle, starting the workers on first call.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .saturating_sub(1);
+        let p: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            threads,
+            jobs: AtomicU64::new(0),
+            park_wakeups: AtomicU64::new(0),
+        }));
+        for i in 0..threads {
+            std::thread::Builder::new()
+                .name(format!("localwm-pool-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("spawn pool worker");
+        }
+        p
+    })
+}
+
+/// Activity counters of the shared pool. Zero if no batch was ever
+/// submitted (the stats call itself does not start the pool's threads —
+/// it only reads what exists).
+pub fn pool_stats() -> PoolStats {
+    match POOL.get() {
+        Some(p) => PoolStats {
+            threads: p.threads,
+            jobs: p.jobs.load(Ordering::Relaxed),
+            park_wakeups: p.park_wakeups.load(Ordering::Relaxed),
+        },
+        None => PoolStats {
+            threads: 0,
+            jobs: 0,
+            park_wakeups: 0,
+        },
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let entry = {
+            let mut q = pool.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(e) = q.pop_front() {
+                    break e;
+                }
+                q = pool.work.wait(q).expect("pool queue wait");
+                pool.park_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        run_job(pool, &entry.batch, entry.job);
+    }
+}
+
+/// Runs one job, counting it and updating its batch (never unwinds).
+fn run_job(pool: &Pool, batch: &Batch, job: Job) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    pool.jobs.fetch_add(1, Ordering::Relaxed);
+    let mut st = batch.state.lock().expect("batch lock");
+    st.remaining -= 1;
+    if let Err(payload) = result {
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+    }
+    if st.remaining == 0 {
+        batch.done.notify_all();
+    }
+}
+
+/// Removes one not-yet-started job of `batch` from the queue, if any.
+fn steal_own(pool: &Pool, batch: &Arc<Batch>) -> Option<Job> {
+    let mut q = pool.queue.lock().expect("pool queue lock");
+    let idx = q.iter().position(|e| Arc::ptr_eq(&e.batch, batch))?;
+    q.remove(idx).map(|e| e.job)
+}
+
+/// Erases the borrow lifetime of a job so it can sit on the `'static`
+/// queue. Sound **only** under the run-to-completion invariant documented
+/// at module level and upheld by [`run_batch`].
+#[allow(unsafe_code)]
+fn erase<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    // SAFETY: run_batch blocks until `remaining == 0`, i.e. until this
+    // closure has either run to completion or panicked (and the payload
+    // been captured), before the submitting frame — owner of everything
+    // the closure borrows — can return.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) }
+}
+
+/// Runs every job of one batch to completion across the pool, the
+/// submitting thread included, then re-throws the first captured panic.
+///
+/// Jobs may borrow from the caller's stack frame; the call does not return
+/// until all of them have finished.
+pub(crate) fn run_batch<'scope, I, J>(jobs: I)
+where
+    I: IntoIterator<Item = J>,
+    J: FnOnce() + Send + 'scope,
+{
+    let mut queued: Vec<Job> = jobs
+        .into_iter()
+        .map(|j| erase(Box::new(j) as Box<dyn FnOnce() + Send + 'scope>))
+        .collect();
+    if queued.is_empty() {
+        return;
+    }
+    let first = queued.remove(0);
+    let batch = Arc::new(Batch {
+        state: Mutex::new(BatchState {
+            remaining: 1 + queued.len(),
+            panic: None,
+        }),
+        done: Condvar::new(),
+    });
+    let pool = pool();
+    if !queued.is_empty() {
+        let mut q = pool.queue.lock().expect("pool queue lock");
+        q.extend(queued.into_iter().map(|job| QueuedJob {
+            batch: Arc::clone(&batch),
+            job,
+        }));
+        drop(q);
+        pool.work.notify_all();
+    }
+    // The submitter works too: its own first chunk, then whatever of its
+    // batch the workers have not picked up yet.
+    run_job(pool, &batch, first);
+    while let Some(job) = steal_own(pool, &batch) {
+        run_job(pool, &batch, job);
+    }
+    let mut st = batch.state.lock().expect("batch lock");
+    while st.remaining > 0 {
+        st = batch.done.wait(st).expect("batch wait");
+    }
+    if let Some(payload) = st.panic.take() {
+        drop(st);
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn batch_runs_every_job_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run_batch(hits.iter().map(|h| {
+            || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        run_batch(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn jobs_can_borrow_mutably_through_disjoint_slots() {
+        let mut out = vec![0u64; 8];
+        run_batch(out.iter_mut().enumerate().map(|(i, slot)| {
+            move || {
+                *slot = (i as u64) * 10;
+            }
+        }));
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn panic_is_rethrown_after_the_batch_completes() {
+        let done = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch((0..6).map(|i| {
+                let done = &done;
+                move || {
+                    if i == 2 {
+                        panic!("boom in job {i}");
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom in job 2"));
+        // Every non-panicking job still ran before the rethrow.
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn stats_count_jobs() {
+        let before = pool_stats();
+        run_batch((0..5).map(|_| || {}));
+        let after = pool_stats();
+        assert!(after.jobs >= before.jobs + 5);
+    }
+}

@@ -1,6 +1,6 @@
 //! Unit-delay (control-step) timing.
 
-use localwm_cdfg::{Cdfg, NodeId};
+use localwm_cdfg::{Cdfg, Csr, NodeId};
 
 /// Control-step timing of a CDFG under the homogeneous SDF model: every
 /// schedulable operation takes exactly one control step; inputs, constants
@@ -75,6 +75,43 @@ impl UnitTiming {
         }
         let critical_path = depth.iter().copied().max().unwrap_or(0);
         let schedulable = g.node_ids().map(|id| g.kind(id).is_schedulable()).collect();
+        UnitTiming {
+            depth,
+            tail,
+            schedulable,
+            critical_path,
+        }
+    }
+
+    /// Builds timing over packed CSR adjacency — the flat hot path used by
+    /// the memoized [`DesignContext`](crate::DesignContext). The depth and
+    /// tail sweeps gather from predecessor/successor rows laid out in topo
+    /// order, so both passes stream the packed neighbor arrays instead of
+    /// dereferencing `EdgeId → Option<Edge>` per neighbor.
+    ///
+    /// Bit-identical to [`UnitTiming::with_order`]: the recurrences are
+    /// `max` reductions, insensitive to neighbor enumeration order.
+    pub fn with_csr(g: &Cdfg, order: &[NodeId], preds: &Csr, succs: &Csr) -> Self {
+        let n = g.node_count();
+        let schedulable: Vec<bool> = g.node_ids().map(|id| g.kind(id).is_schedulable()).collect();
+        let mut depth = vec![0u32; n];
+        let mut tail = vec![0u32; n];
+        for (p, &u) in order.iter().enumerate() {
+            let mut best = 0;
+            for &pi in preds.row(p) {
+                best = best.max(depth[pi as usize]);
+            }
+            depth[u.index()] = best + u32::from(schedulable[u.index()]);
+        }
+        for p in (0..n).rev() {
+            let u = order[p];
+            let mut best = 0;
+            for &si in succs.row(p) {
+                best = best.max(tail[si as usize]);
+            }
+            tail[u.index()] = best + u32::from(schedulable[u.index()]);
+        }
+        let critical_path = depth.iter().copied().max().unwrap_or(0);
         UnitTiming {
             depth,
             tail,

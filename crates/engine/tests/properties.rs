@@ -8,9 +8,12 @@
 
 use localwm_cdfg::analysis::{fanin_within, levels_from};
 use localwm_cdfg::generators::random_dag;
-use localwm_cdfg::{topo_order, NodeId};
-use localwm_engine::{bounded_critical_path, DesignContext, KindBounds, Parallelism, UnitTiming};
+use localwm_cdfg::{topo_order, EdgeId, NodeId, OpKind};
+use localwm_engine::{
+    bounded_critical_path, DesignContext, KindBounds, Parallelism, RecordingProbe, UnitTiming,
+};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// One step of a random schedule: which memoized query to issue, or
 /// whether to mutate the graph between queries.
@@ -180,4 +183,86 @@ proptest! {
         });
         prop_assert_eq!(serial, threaded);
     }
+
+    /// The memoized CSR views enumerate exactly the live neighbor multisets
+    /// of the iterator API — including after random edge removals leave
+    /// tombstones in the edge slab (the trap a naive edge-slab walk would
+    /// fall into).
+    #[test]
+    fn csr_matches_iterator_neighbors_after_removals(
+        n in 4usize..40,
+        p in 0.05f64..0.4,
+        seed in 0u64..1000,
+        removals in proptest::collection::vec(0usize..1000, 0..12),
+    ) {
+        let mut g = random_dag(n, p, seed);
+        for r in removals {
+            let ids: Vec<EdgeId> = g.edge_ids().collect();
+            if ids.is_empty() {
+                break;
+            }
+            g.remove_edge(ids[r % ids.len()]).expect("live edge id");
+        }
+        let ctx = DesignContext::new(g);
+        let preds = ctx.preds_csr();
+        let succs = ctx.succs_csr();
+        prop_assert_eq!(preds.edge_count(), ctx.graph().edge_count());
+        prop_assert_eq!(succs.edge_count(), ctx.graph().edge_count());
+        for v in ctx.graph().node_ids() {
+            let mut want: Vec<u32> = ctx.graph().preds(v).map(|u| u.index() as u32).collect();
+            let mut got: Vec<u32> = preds.neighbors_of(v).to_vec();
+            want.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, want, "pred multiset diverged at {}", v);
+            let mut want: Vec<u32> = ctx.graph().succs(v).map(|u| u.index() as u32).collect();
+            let mut got: Vec<u32> = succs.neighbors_of(v).to_vec();
+            want.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, want, "succ multiset diverged at {}", v);
+        }
+    }
+}
+
+/// Mutation bumps the generation and drops the memoized CSR: the next query
+/// rebuilds it (observable through the `engine.csr.build` counter) against
+/// the mutated graph.
+#[test]
+fn csr_is_invalidated_and_rebuilt_on_mutation() {
+    let probe = Arc::new(RecordingProbe::new());
+    let mut ctx = DesignContext::new(random_dag(20, 0.2, 3)).with_probe(probe.clone());
+
+    let rows_before = ctx.preds_csr().rows();
+    let _ = ctx.succs_csr();
+    assert_eq!(rows_before, ctx.graph().node_count());
+    assert_eq!(
+        probe.counter_value("engine.csr.build"),
+        1,
+        "repeat queries share one build"
+    );
+    let gen_before = ctx.generation();
+
+    // Append a node behind the last topo node; the rebuilt CSR must see it.
+    let tail = ctx.mutate(|g| {
+        let anchor = topo_order(g)
+            .expect("DAG")
+            .last()
+            .copied()
+            .expect("nonempty");
+        let tail = g.add_node(OpKind::Not);
+        g.add_data_edge(anchor, tail).expect("forward edge");
+        tail
+    });
+    assert!(
+        ctx.generation() > gen_before,
+        "mutation bumps the generation"
+    );
+
+    let preds = ctx.preds_csr();
+    assert_eq!(
+        probe.counter_value("engine.csr.build"),
+        2,
+        "mutation forces a rebuild"
+    );
+    assert_eq!(preds.rows(), ctx.graph().node_count());
+    assert_eq!(preds.degree_of(tail), 1, "rebuilt view sees the new edge");
 }

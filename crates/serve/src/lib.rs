@@ -36,6 +36,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod singleflight;
 
 pub use cache::{CacheStats, ContextCache};
 pub use client::Client;

@@ -20,6 +20,7 @@
 //! metrics snapshot is dumped (`--metrics-out`), and only then does the
 //! `shutdown` request get its acknowledgement.
 
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,6 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use localwm_engine::Parallelism;
 use serde::{Serialize, Value};
 
 use crate::cache::ContextCache;
@@ -35,6 +37,7 @@ use crate::handlers;
 use crate::metrics::{Metrics, Outcome};
 use crate::protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
 use crate::queue::{BoundedQueue, PushError};
+use crate::singleflight::coalescing_key;
 
 /// Server configuration (the CLI's `localwm serve` flags).
 #[derive(Debug, Clone)]
@@ -116,9 +119,19 @@ struct Job {
     req: Request,
     conn: Arc<Conn>,
     state: Arc<JobState>,
+    /// Single-flight key; `Some` only for coalescible kinds, where this job
+    /// is the flight's *leader* (followers never enter the queue).
+    key: Option<u64>,
 }
 
 struct Pending {
+    state: Arc<JobState>,
+    conn: Arc<Conn>,
+}
+
+/// A request that attached to an identical in-flight computation: it gets
+/// the leader's response bytes, re-stamped with its own correlation id.
+struct Waiter {
     state: Arc<JobState>,
     conn: Arc<Conn>,
 }
@@ -129,14 +142,35 @@ struct Shared {
     cache: ContextCache,
     metrics: Metrics,
     pending: Mutex<Vec<Pending>>,
+    /// In-flight single-flight entries: key → waiters attached so far. An
+    /// entry is inserted when a coalescible leader is dispatched and
+    /// removed when its computation completes (or its queue push fails),
+    /// so identical requests arriving in between attach instead of
+    /// recomputing.
+    inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
     shutting_down: AtomicBool,
     stopped: AtomicBool,
+    /// Live client sockets, keyed by a per-connection id. [`stop`] shuts
+    /// every one down so detached reader threads exit promptly and peers
+    /// see a closed socket — never a half-dead server that still answers.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
     metrics_dumped: AtomicBool,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
+    /// Requests answered by attaching to another request's computation.
+    coalesced: AtomicU64,
+    /// Handler executions that actually ran (excludes coalesced followers
+    /// and watchdog-answered skips).
+    executed: AtomicU64,
     panics: AtomicU64,
     busy_workers: AtomicU64,
     workers: usize,
+    /// Parallelism for nested engine passes, resolved once at startup from
+    /// `LOCALWM_THREADS`. Engine passes are parallelism-invariant, so this
+    /// only affects speed; parallel work runs on the process-wide engine
+    /// worker pool shared by all serve workers.
+    engine_par: Parallelism,
     injector: Option<Arc<FaultInjector>>,
 }
 
@@ -181,6 +215,22 @@ impl Shared {
                     ("capacity".to_owned(), c.capacity.to_value()),
                 ]),
             ),
+            (
+                "coalesced".to_owned(),
+                self.coalesced.load(Ordering::SeqCst).to_value(),
+            ),
+            (
+                "executed".to_owned(),
+                self.executed.load(Ordering::SeqCst).to_value(),
+            ),
+            ("pool".to_owned(), {
+                let p = localwm_engine::pool_stats();
+                Value::Object(vec![
+                    ("threads".to_owned(), p.threads.to_value()),
+                    ("jobs".to_owned(), p.jobs.to_value()),
+                    ("park_wakeups".to_owned(), p.park_wakeups.to_value()),
+                ])
+            }),
             (
                 "panics".to_owned(),
                 self.panics.load(Ordering::SeqCst).to_value(),
@@ -311,14 +361,20 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         cache: ContextCache::new(cfg.cache_cap),
         metrics: Metrics::new(),
         pending: Mutex::new(Vec::new()),
+        inflight: Mutex::new(HashMap::new()),
         shutting_down: AtomicBool::new(false),
         stopped: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        next_conn_id: AtomicU64::new(0),
         metrics_dumped: AtomicBool::new(false),
         jobs_submitted: AtomicU64::new(0),
         jobs_completed: AtomicU64::new(0),
+        coalesced: AtomicU64::new(0),
+        executed: AtomicU64::new(0),
         panics: AtomicU64::new(0),
         busy_workers: AtomicU64::new(0),
         workers,
+        engine_par: Parallelism::from_env(),
         injector,
         cfg,
     });
@@ -382,6 +438,21 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Register a handle to the socket so `stop` can close it out from
+    // under the blocking read below; deregister on the way out so the
+    // table only ever holds live connections.
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    match stream.try_clone() {
+        Ok(clone) => {
+            let mut conns = shared.conns.lock().expect("conns lock");
+            if shared.stopped.load(Ordering::SeqCst) {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            conns.insert(conn_id, clone);
+        }
+        Err(_) => return,
+    }
     let conn = Arc::new(Conn {
         stream: Mutex::new(stream),
         injector: shared.injector.clone(),
@@ -416,6 +487,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
             break;
         }
     }
+    shared.conns.lock().expect("conns lock").remove(&conn_id);
 }
 
 fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
@@ -486,11 +558,33 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                     conn: Arc::clone(conn),
                 });
             }
+            // Single-flight: an identical in-flight analyze/timing request
+            // attaches to the leader's computation instead of queueing.
+            // The leader's entry is registered here at dispatch time, so
+            // requests coalesce even while the leader is still queued.
+            let key = coalescing_key(&req);
+            if let Some(k) = key {
+                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                if let Some(waiters) = inflight.get_mut(&k) {
+                    waiters.push(Waiter {
+                        state,
+                        conn: Arc::clone(conn),
+                    });
+                    shared.coalesced.fetch_add(1, Ordering::SeqCst);
+                    // Counted as submitted; the leader's worker counts the
+                    // completion when it fans the response out, so drain
+                    // still waits for every waiter to be answered.
+                    shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                inflight.insert(k, Vec::new());
+            }
             shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
             let job = Job {
                 req,
                 conn: Arc::clone(conn),
                 state,
+                key,
             };
             // Injected queue-full burst: indistinguishable on the wire from
             // a genuine capacity rejection.
@@ -516,6 +610,17 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                         ServiceError::new(ErrorCode::ShuttingDown, "server is draining")
                     }
                 };
+                // The flight never took off: clear its entry and fail any
+                // waiters that raced in between registration and the push.
+                let waiters = job
+                    .key
+                    .and_then(|k| shared.inflight.lock().expect("inflight lock").remove(&k))
+                    .unwrap_or_default();
+                for w in waiters {
+                    let resp = Response::failure(w.state.id, kind.as_str(), err.clone());
+                    shared.respond_once(&w.state, &w.conn, &resp, Outcome::Error);
+                    shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+                }
                 let resp = Response::failure(job.state.id, kind.as_str(), err);
                 shared.respond_once(&job.state, &job.conn, &resp, Outcome::Error);
                 shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
@@ -537,13 +642,31 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.cache.evict_all();
             }
         }
-        if !job.state.responded.load(Ordering::SeqCst) {
+        // Execute unless the job is already moot: the leader was answered
+        // (watchdog timeout) *and* no waiter needs the result. The decision
+        // and the skip-path entry removal happen under the inflight lock,
+        // so a waiter can never attach to an entry that is being abandoned.
+        let run = match job.key {
+            Some(k) => {
+                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                let has_waiters = inflight.get(&k).is_some_and(|w| !w.is_empty());
+                if !job.state.responded.load(Ordering::SeqCst) || has_waiters {
+                    true
+                } else {
+                    inflight.remove(&k);
+                    false
+                }
+            }
+            None => !job.state.responded.load(Ordering::SeqCst),
+        };
+        if run {
             // A panicking handler must not kill the worker or leave the
             // request unanswered: contain it, answer with a typed internal
             // error, and count it.
             shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+            shared.executed.fetch_add(1, Ordering::SeqCst);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                handlers::execute(&shared.cache, &job.req)
+                handlers::execute_with(&shared.cache, &job.req, shared.engine_par)
             }));
             shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
             let resp = match outcome {
@@ -564,7 +687,21 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
             };
             let outcome = if resp.ok { Outcome::Ok } else { Outcome::Error };
+            // Retire the flight *before* responding, so identical requests
+            // arriving from here on start a fresh computation instead of
+            // attaching to a finished one.
+            let waiters = job
+                .key
+                .and_then(|k| shared.inflight.lock().expect("inflight lock").remove(&k))
+                .unwrap_or_default();
             shared.respond_once(&job.state, &job.conn, &resp, outcome);
+            for w in waiters {
+                // Same response bytes, re-stamped with the waiter's id.
+                let mut r = resp.clone();
+                r.id = w.state.id;
+                shared.respond_once(&w.state, &w.conn, &r, outcome);
+                shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+            }
         }
         shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
     }
@@ -621,8 +758,17 @@ fn drain(shared: &Arc<Shared>) -> u64 {
     shared.jobs_completed.load(Ordering::SeqCst)
 }
 
-/// Stops the acceptor, watchdog, and (via queue closure) the workers.
+/// Stops the acceptor, watchdog, and (via queue closure) the workers, and
+/// closes every live client socket. Closing the sockets makes the stop
+/// *externally deterministic*: peers (and connection pools holding kept-
+/// alive sockets to this server) see EOF as soon as the stop lands, instead
+/// of racing against detached reader threads that might still answer for a
+/// scheduling-dependent moment.
 fn stop(shared: &Arc<Shared>) {
     shared.stopped.store(true, Ordering::SeqCst);
     shared.queue.close();
+    let conns = shared.conns.lock().expect("conns lock");
+    for stream in conns.values() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
 }

@@ -1,0 +1,99 @@
+//! Single-flight coalescing keys for identical in-flight requests.
+//!
+//! When N clients ask the same (pure, deterministic) question at once, the
+//! server should compute the answer once and fan it out, not N times.
+//! Coalescing applies to the read-only analysis kinds — `analyze` and
+//! `timing` — whose responses are functions of the request alone. Mutating
+//! or identity-bearing kinds (`embed` draws watermark edges, `detect`
+//! checks a signature) are deliberately excluded: they are cheap relative
+//! to analysis and their handlers are the ones exercised for per-request
+//! observability.
+//!
+//! The key is an FNV-1a hash of the request's canonical wire line with the
+//! two per-caller fields — `id` (correlation) and `timeout_ms` (deadline) —
+//! stripped, so requests differing only in those still coalesce. Everything
+//! else (design text, delay bounds, sample count, seed, deadline steps)
+//! participates: any parameter that changes the answer changes the key.
+
+use crate::protocol::{Request, RequestKind};
+
+/// The coalescing key of a request, or `None` for kinds that never
+/// coalesce.
+pub fn coalescing_key(req: &Request) -> Option<u64> {
+    if !matches!(req.kind, RequestKind::Analyze | RequestKind::Timing) {
+        return None;
+    }
+    let mut canon = req.clone();
+    canon.id = None;
+    canon.timeout_ms = None;
+    Some(fnv1a(canon.to_line().as_bytes()))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_req() -> Request {
+        let mut r = Request::new(RequestKind::Analyze);
+        r.design = Some("node a add\n".to_owned());
+        r.samples = Some(40);
+        r.seed = Some(7);
+        r
+    }
+
+    #[test]
+    fn id_and_timeout_do_not_split_the_flight() {
+        let base = analyze_req();
+        let mut a = base.clone();
+        a.id = Some(1);
+        a.timeout_ms = Some(100);
+        let mut b = base.clone();
+        b.id = Some(2);
+        b.timeout_ms = Some(9999);
+        assert_eq!(coalescing_key(&a), coalescing_key(&base));
+        assert_eq!(coalescing_key(&a), coalescing_key(&b));
+    }
+
+    #[test]
+    fn answer_changing_params_split_the_flight() {
+        let base = analyze_req();
+        let mut other_seed = base.clone();
+        other_seed.seed = Some(8);
+        let mut other_samples = base.clone();
+        other_samples.samples = Some(41);
+        let mut other_design = base.clone();
+        other_design.design = Some("node b mul\n".to_owned());
+        let k = coalescing_key(&base);
+        assert_ne!(coalescing_key(&other_seed), k);
+        assert_ne!(coalescing_key(&other_samples), k);
+        assert_ne!(coalescing_key(&other_design), k);
+    }
+
+    #[test]
+    fn only_analysis_kinds_coalesce() {
+        assert!(coalescing_key(&analyze_req()).is_some());
+        let mut t = analyze_req();
+        t.kind = RequestKind::Timing;
+        assert!(coalescing_key(&t).is_some());
+        for kind in [
+            RequestKind::Embed,
+            RequestKind::Detect,
+            RequestKind::Stats,
+            RequestKind::Shutdown,
+            RequestKind::ClusterStats,
+        ] {
+            let mut r = analyze_req();
+            r.kind = kind;
+            assert_eq!(coalescing_key(&r), None, "{kind} must not coalesce");
+        }
+    }
+}

@@ -33,12 +33,15 @@ fn timing_request(id: u64, design: &str) -> Request {
     r
 }
 
-/// An analyze request heavy enough to occupy a worker for a while.
+/// An analyze request heavy enough to occupy a worker for a while. The
+/// seed is derived from the id so requests with distinct ids are distinct
+/// jobs (single-flight coalescing never merges them).
 fn slow_request(id: u64, design: &str) -> Request {
     let mut r = Request::new(RequestKind::Analyze);
     r.id = Some(id);
     r.design = Some(design.to_owned());
     r.samples = Some(200_000);
+    r.seed = Some(id);
     r
 }
 
@@ -162,6 +165,74 @@ fn full_queue_yields_typed_overloaded_without_stalling_the_acceptor() {
     // The displaced work itself still completes.
     assert!(busy1.recv().unwrap().ok);
     assert!(busy2.recv().unwrap().ok);
+    handle.shutdown();
+}
+
+#[test]
+fn identical_inflight_analyses_coalesce_into_one_execution() {
+    let handle = start_server(1, 16);
+    let design = write_cdfg(&iir4_parallel());
+
+    // Park the single worker on a distinct slow job so the identical batch
+    // below all arrives while its leader is still queued.
+    let mut blocker = connect(&handle);
+    blocker.send(&slow_request(99, &design)).unwrap();
+    let mut stats_conn = connect(&handle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = stats_conn.call(&Request::new(RequestKind::Stats)).unwrap();
+        if stats.result_field("busy_workers") == Some(&Value::Int(1)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never picked the blocker up"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let before = stats_conn.call(&Request::new(RequestKind::Stats)).unwrap();
+    let executed_before = match before.result_field("executed") {
+        Some(Value::Int(n)) => *n,
+        other => panic!("expected executed counter, got {other:?}"),
+    };
+
+    // N identical analyze requests (same id, same parameters) from N
+    // connections: one leader queues, the rest attach to its flight.
+    const N: usize = 4;
+    let mut req = Request::new(RequestKind::Analyze);
+    req.id = Some(42);
+    req.design = Some(design.clone());
+    req.samples = Some(500);
+    req.seed = Some(123);
+    let mut clients: Vec<Client> = (0..N).map(|_| connect(&handle)).collect();
+    for c in &mut clients {
+        c.send(&req).unwrap();
+    }
+
+    let lines: Vec<String> = clients.iter_mut().map(|c| c.recv_line().unwrap()).collect();
+    assert!(
+        lines.iter().all(|l| l == &lines[0]),
+        "fanned-out responses must be byte-identical"
+    );
+    let parsed: Value = serde_json::from_str(&lines[0]).expect("response is JSON");
+    assert_eq!(parsed.field("ok"), Some(&Value::Bool(true)));
+    assert!(blocker.recv().unwrap().ok);
+
+    let stats = stats_conn.call(&Request::new(RequestKind::Stats)).unwrap();
+    assert_eq!(
+        stats.result_field("coalesced"),
+        Some(&Value::Int(i64::try_from(N).unwrap() - 1)),
+        "all but the leader coalesced"
+    );
+    match stats.result_field("executed") {
+        Some(Value::Int(n)) => assert_eq!(
+            *n - executed_before,
+            1,
+            "the identical batch ran the kernel exactly once"
+        ),
+        other => panic!("expected executed counter, got {other:?}"),
+    }
+
     handle.shutdown();
 }
 

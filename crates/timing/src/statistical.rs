@@ -11,8 +11,10 @@
 //! independent of how samples are fanned out across worker threads: serial
 //! and parallel sweeps are byte-identical.
 
+use std::time::Instant;
+
 use localwm_cdfg::{Cdfg, NodeId};
-use localwm_engine::{par_map, timed, DesignContext, Parallelism};
+use localwm_engine::{par_map, DesignContext, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,13 +39,19 @@ impl CriticalityReport {
 
     /// The `q`-quantile of the sampled circuit delay (`q ∈ [0, 1]`).
     ///
+    /// Uses the **lower-rank** rule on the sorted sample vector: the result
+    /// is `delays[floor((n - 1) · q)]`, the largest sampled delay whose rank
+    /// fraction does not exceed `q`. The returned value is always one that
+    /// was actually sampled, the mapping is monotone in `q`, `q = 0` is the
+    /// minimum, and `q = 1` the maximum.
+    ///
     /// # Panics
     ///
     /// Panics if no samples were drawn or `q` is out of range.
     pub fn delay_quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         assert!(!self.delays.is_empty(), "no samples drawn");
-        let idx = ((self.delays.len() - 1) as f64 * q).round() as usize;
+        let idx = ((self.delays.len() - 1) as f64 * q).floor() as usize;
         self.delays[idx]
     }
 
@@ -112,6 +120,10 @@ pub fn criticality_in<M: DelayBounds>(
     assert!(samples > 0, "at least one sample required");
     let g = ctx.graph();
     let order = ctx.topo();
+    // Flat CSR adjacency: each sweep below streams packed u32 neighbor rows
+    // laid out in topo order instead of chasing EdgeId → Option<Edge>.
+    let preds = ctx.preds_csr();
+    let succs = ctx.succs_csr();
     let n = g.node_count();
     let bounds: Vec<DelayInterval> = g.node_ids().map(|v| model.bounds(g, v)).collect();
     let probe = ctx.probe();
@@ -126,58 +138,70 @@ pub fn criticality_in<M: DelayBounds>(
         .filter(|&(lo, hi)| lo < hi)
         .collect();
 
-    let parts = timed(probe, "timing.criticality", || {
-        par_map(par, &ranges, |_, &(lo, hi)| {
-            let mut hits = vec![0u64; n];
-            let mut delays = Vec::with_capacity(hi - lo);
-            let mut finish = vec![0u64; n];
-            let mut required = vec![u64::MAX; n];
-            for s in lo..hi {
-                let mut rng = StdRng::seed_from_u64(sample_seed(seed, s as u64));
-                // Draw one consistent delay assignment.
-                let d: Vec<u64> = bounds
-                    .iter()
-                    .map(|b| {
-                        if b.lo == b.hi {
-                            b.lo
-                        } else {
-                            rng.gen_range(b.lo..=b.hi)
-                        }
-                    })
-                    .collect();
-                // Forward arrival times.
-                let mut circuit = 0u64;
-                for &v in order {
-                    let arrive = g.preds(v).map(|p| finish[p.index()]).max().unwrap_or(0);
-                    finish[v.index()] = arrive + d[v.index()];
-                    circuit = circuit.max(finish[v.index()]);
-                }
-                // Backward required times at the sampled circuit delay.
-                for r in required.iter_mut() {
-                    *r = u64::MAX;
-                }
-                for &v in order.iter().rev() {
-                    let r = if g.succs(v).next().is_none() {
-                        circuit
-                    } else {
-                        required[v.index()]
-                    };
-                    required[v.index()] = required[v.index()].min(r);
-                    let start_latest = r.saturating_sub(d[v.index()]);
-                    for p in g.preds(v) {
-                        required[p.index()] = required[p.index()].min(start_latest);
-                    }
-                }
-                for v in 0..n {
-                    if finish[v] == required[v] {
-                        hits[v] += 1;
-                    }
-                }
-                delays.push(circuit);
+    let sweep_start = Instant::now();
+    let parts = par_map(par, &ranges, |_, &(lo, hi)| {
+        // Per-worker scratch, reused across every sample in the range: the
+        // delay draw `d` fills in place instead of allocating per sample.
+        let mut hits = vec![0u64; n];
+        let mut delays = Vec::with_capacity(hi - lo);
+        let mut finish = vec![0u64; n];
+        let mut required = vec![u64::MAX; n];
+        let mut d = vec![0u64; n];
+        for s in lo..hi {
+            let mut rng = StdRng::seed_from_u64(sample_seed(seed, s as u64));
+            // Draw one consistent delay assignment (node-index order, so
+            // the RNG stream is identical to the historical allocation).
+            for (slot, b) in d.iter_mut().zip(&bounds) {
+                *slot = if b.lo == b.hi {
+                    b.lo
+                } else {
+                    rng.gen_range(b.lo..=b.hi)
+                };
             }
-            (hits, delays)
-        })
+            // Forward arrival times over packed predecessor rows.
+            let mut circuit = 0u64;
+            for (p, &v) in order.iter().enumerate() {
+                let mut arrive = 0u64;
+                for &pi in preds.row(p) {
+                    arrive = arrive.max(finish[pi as usize]);
+                }
+                let f = arrive + d[v.index()];
+                finish[v.index()] = f;
+                circuit = circuit.max(f);
+            }
+            // Backward required times at the sampled circuit delay.
+            for r in required.iter_mut() {
+                *r = u64::MAX;
+            }
+            for p in (0..n).rev() {
+                let v = order[p];
+                let r = if succs.row(p).is_empty() {
+                    circuit
+                } else {
+                    required[v.index()]
+                };
+                required[v.index()] = required[v.index()].min(r);
+                let start_latest = r.saturating_sub(d[v.index()]);
+                for &pi in preds.row(p) {
+                    let slot = &mut required[pi as usize];
+                    *slot = (*slot).min(start_latest);
+                }
+            }
+            for v in 0..n {
+                if finish[v] == required[v] {
+                    hits[v] += 1;
+                }
+            }
+            delays.push(circuit);
+        }
+        (hits, delays)
     });
+    let sweep_ns = u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    probe.timer_ns("timing.criticality", sweep_ns);
+    probe.counter(
+        "timing.criticality.ns_per_sample",
+        sweep_ns / samples as u64,
+    );
 
     let mut hits = vec![0u64; n];
     let mut delays = Vec::with_capacity(samples);
@@ -278,6 +302,43 @@ mod tests {
             count(&loose) >= count(&tight),
             "delay uncertainty should widen the sometimes-critical set"
         );
+    }
+
+    #[test]
+    fn quantile_uses_the_lower_rank_rule() {
+        let report = |delays: Vec<u64>| CriticalityReport {
+            criticality: Vec::new(),
+            samples: delays.len(),
+            delays,
+        };
+        // n = 1: every quantile is the only sample.
+        let r1 = report(vec![7]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(r1.delay_quantile(q), 7);
+        }
+        // n = 2: floor((2 - 1) * 0.5) = 0 — the median is the *lower* of
+        // the two samples (nearest-rank rounding would pick the upper).
+        let r2 = report(vec![3, 9]);
+        assert_eq!(r2.delay_quantile(0.0), 3);
+        assert_eq!(r2.delay_quantile(0.5), 3);
+        assert_eq!(r2.delay_quantile(1.0), 9);
+        // n = 3: floor((3 - 1) * 0.5) = 1 — the exact middle sample.
+        let r3 = report(vec![1, 5, 8]);
+        assert_eq!(r3.delay_quantile(0.0), 1);
+        assert_eq!(r3.delay_quantile(0.5), 5);
+        assert_eq!(r3.delay_quantile(1.0), 8);
+    }
+
+    #[test]
+    fn criticality_reports_per_sample_cost() {
+        let g = random_dag(30, 0.2, 4);
+        let rec = std::sync::Arc::new(localwm_engine::RecordingProbe::new());
+        let ctx = DesignContext::from(&g).with_probe(rec.clone());
+        let _ = criticality_in(&ctx, &KindBounds::uniform(1, 3), 25, 3, Parallelism::Serial);
+        assert_eq!(rec.counter_value("timing.criticality.samples"), 25);
+        assert_eq!(rec.timer_count("timing.criticality"), 1);
+        // ns_per_sample (elapsed/samples) is recorded once per run.
+        assert!(rec.counter_value("timing.criticality.ns_per_sample") < u64::MAX);
     }
 
     #[test]
