@@ -33,6 +33,7 @@ fn start_server(workers: usize) -> ServerHandle {
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan: None,
+        session_idle_ms: None,
     })
     .expect("bind loopback")
 }

@@ -32,6 +32,7 @@ fn start_backend() -> ServerHandle {
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan: None,
+        session_idle_ms: None,
     })
     .expect("bind backend")
 }

@@ -1,0 +1,157 @@
+//! Incremental-vs-scratch cost of interactive edit traces.
+//!
+//! Replays one seeded edit trace (temporal-edge churn + `analyze`/`timing`
+//! queries; see `localwm_testkit::trace`) through both session lanes:
+//!
+//! * *incremental* — one held session; mutations dirty-cone patch the
+//!   derived analyses and the Monte-Carlo capture is re-used per sample.
+//! * *scratch* — a fresh session per step: re-parse the design, replay
+//!   every prior edit batch, recompute the analysis from nothing. This is
+//!   exactly what a session-less client pays per round trip.
+//!
+//! Both lanes produce byte-identical response lines (asserted here — the
+//! benchmark doubles as an oracle run); the report records the per-step
+//! means and their ratio.
+//!
+//! ```text
+//! cargo run --release -p localwm-bench --bin edit_trace            # full
+//! cargo run --release -p localwm-bench --bin edit_trace -- --quick # CI smoke
+//! ```
+//!
+//! Results land in `BENCH_incremental.json` (or the path given after the
+//! flags).
+
+use std::time::Instant;
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::write_cdfg;
+use localwm_testkit::trace::{
+    named_layered, parse_trace, replay_incremental, replay_scratch, seeded_trace, TraceSpec,
+};
+use serde::Value;
+
+struct Shape {
+    label: &'static str,
+    ops: usize,
+    edit_steps: usize,
+    samples: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_incremental.json".to_owned());
+    let shape = if quick {
+        Shape {
+            label: "quick",
+            ops: 400,
+            edit_steps: 10,
+            samples: 24,
+        }
+    } else {
+        Shape {
+            label: "full",
+            ops: 2000,
+            edit_steps: 30,
+            samples: 48,
+        }
+    };
+
+    let graph = named_layered(shape.ops, 8, shape.ops / 50, 17);
+    let design = write_cdfg(&graph);
+    let trace = seeded_trace(
+        &graph,
+        &TraceSpec {
+            seed: 23,
+            edit_steps: shape.edit_steps,
+            edits_per_step: 2,
+            samples: shape.samples,
+        },
+    )
+    .expect("generated design is traceable");
+    let steps = parse_trace(&trace).expect("generated trace parses");
+
+    // Warm-up pass (allocator, page cache), then the measured passes.
+    let _ = replay_incremental(&design, &steps, "warm").expect("warmup");
+    let start = Instant::now();
+    let inc_lines = replay_incremental(&design, &steps, "bench").expect("incremental lane");
+    let inc_ns = start.elapsed().as_nanos() as f64 / steps.len() as f64;
+    let start = Instant::now();
+    let scratch_lines = replay_scratch(&design, &steps, "bench").expect("scratch lane");
+    let scratch_ns = start.elapsed().as_nanos() as f64 / steps.len() as f64;
+
+    assert_eq!(
+        inc_lines, scratch_lines,
+        "incremental and scratch lanes must stay byte-identical"
+    );
+
+    let speedup = scratch_ns / inc_ns;
+    let prefix = format!("incremental/{}/", shape.label);
+    let results = [
+        (format!("{prefix}trace-step/held-session"), inc_ns),
+        (format!("{prefix}trace-step/fresh-per-step"), scratch_ns),
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, ns)| {
+            vec![
+                name.clone(),
+                format!("{:.1}", ns / 1e3),
+                steps.len().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["benchmark", "mean µs/step", "n"], &rows)
+    );
+    println!(
+        "speedup: {speedup:.1}x ({} ops, {} steps, {} samples/query)",
+        shape.ops,
+        steps.len(),
+        shape.samples
+    );
+
+    let entries: Vec<Value> = results
+        .iter()
+        .map(|(name, ns)| {
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(name.clone())),
+                (
+                    "mean_ns".to_owned(),
+                    Value::Float((ns * 10.0).round() / 10.0),
+                ),
+                ("samples".to_owned(), Value::Int(steps.len() as i64)),
+            ])
+        })
+        .collect();
+    let note = format!(
+        "edit_trace: one seeded interactive trace ({} temporal-edge edit \
+         batches, an analyze of {} Monte-Carlo samples after each, a timing \
+         query every fourth) over a {}-op layered design, replayed through a \
+         held incremental session (dirty-cone patching, reusable MC capture) \
+         vs a fresh context per step (re-parse + full recompute — the \
+         session-less cost). Both lanes byte-identical by assertion. Host \
+         had {} CPU core(s); both lanes are single-threaded serial, so the \
+         ratio is hardware-independent.",
+        shape.edit_steps,
+        shape.samples,
+        shape.ops,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    let report = Value::Object(vec![
+        ("note".to_owned(), Value::Str(note)),
+        (
+            "speedup".to_owned(),
+            Value::Float((speedup * 10.0).round() / 10.0),
+        ),
+        ("benchmarks".to_owned(), Value::Array(entries)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    println!("wrote {out_path}");
+}

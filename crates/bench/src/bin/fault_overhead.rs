@@ -73,6 +73,7 @@ fn start_server(fault_plan: Option<FaultPlan>) -> ServerHandle {
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan,
+        session_idle_ms: None,
     })
     .expect("bind loopback")
 }

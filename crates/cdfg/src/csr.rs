@@ -142,6 +142,52 @@ impl Csr {
     pub fn degree_of(&self, n: NodeId) -> usize {
         self.neighbors_of(n).len()
     }
+
+    /// Appends an empty row at the end of the row order for a freshly
+    /// added node. The incremental engine calls this when a mutation adds
+    /// nodes without reordering the rest of the graph: a brand-new node
+    /// has no edges yet, and placing it last is always topologically valid
+    /// (its edges arrive in later [`Csr::refresh_row`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is the next dense node index (nodes are arena
+    /// allocated, so additions are strictly sequential).
+    pub fn append_empty_row(&mut self, n: NodeId) {
+        assert_eq!(
+            n.index(),
+            self.pos.len(),
+            "appended node must be the next dense index"
+        );
+        let p = self.offsets.len() - 1;
+        self.pos
+            .push(u32::try_from(p).expect("row count exceeds u32::MAX"));
+        self.offsets
+            .push(*self.offsets.last().expect("offsets non-empty"));
+    }
+
+    /// Replaces the neighbor row of `n` wholesale with `neighbors` (dense
+    /// node indices, in the graph's current adjacency order), shifting the
+    /// packed array and later offsets as needed.
+    ///
+    /// This is the in-place patch used when a mutation touches a node's
+    /// edge list but leaves the topological order valid: only the affected
+    /// rows are rewritten instead of rebuilding the whole view. Patched
+    /// views are exactly equal to a fresh build over the same order.
+    pub fn refresh_row(&mut self, n: NodeId, neighbors: &[u32]) {
+        let p = self.pos[n.index()] as usize;
+        let start = self.offsets[p] as usize;
+        let end = self.offsets[p + 1] as usize;
+        self.targets.splice(start..end, neighbors.iter().copied());
+        let old_len = end - start;
+        if neighbors.len() != old_len {
+            let grow = u32::try_from(neighbors.len()).expect("row exceeds u32::MAX");
+            let shrink = u32::try_from(old_len).expect("row fits in u32");
+            for off in &mut self.offsets[p + 1..] {
+                *off = *off + grow - shrink;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +270,66 @@ mod tests {
     fn short_order_panics() {
         let (g, [a, ..]) = diamond();
         let _ = Csr::preds(&g, &[a]);
+    }
+
+    /// Refreshes `n`'s row in both views from the graph's current
+    /// adjacency, the way the incremental engine does after an edge edit.
+    fn refresh_node(g: &Cdfg, preds: &mut Csr, succs: &mut Csr, n: NodeId) {
+        let p: Vec<u32> = g.preds(n).map(|x| x.index() as u32).collect();
+        let s: Vec<u32> = g.succs(n).map(|x| x.index() as u32).collect();
+        preds.refresh_row(n, &p);
+        succs.refresh_row(n, &s);
+    }
+
+    #[test]
+    fn patched_rows_equal_a_fresh_build() {
+        let (mut g, [a, b, c, d]) = diamond();
+        let order = g.topo_order().unwrap();
+        let mut preds = Csr::preds(&g, &order);
+        let mut succs = Csr::succs(&g, &order);
+
+        // Edge add that keeps the topo order valid: a -> d.
+        g.add_data_edge(a, d).unwrap();
+        refresh_node(&g, &mut preds, &mut succs, a);
+        refresh_node(&g, &mut preds, &mut succs, d);
+        assert_eq!(preds, Csr::preds(&g, &order));
+        assert_eq!(succs, Csr::succs(&g, &order));
+
+        // Edge removal: b -> d goes away.
+        let eid = g
+            .edge_ids()
+            .find(|&e| {
+                let edge = g.edge(e).unwrap();
+                edge.src() == b && edge.dst() == d
+            })
+            .unwrap();
+        g.remove_edge(eid).unwrap();
+        refresh_node(&g, &mut preds, &mut succs, b);
+        refresh_node(&g, &mut preds, &mut succs, d);
+        assert_eq!(preds, Csr::preds(&g, &order));
+        assert_eq!(succs, Csr::succs(&g, &order));
+        let _ = c;
+    }
+
+    #[test]
+    fn appended_rows_extend_the_order_at_the_tail() {
+        let (mut g, [a, _b, _c, d]) = diamond();
+        let order = g.topo_order().unwrap();
+        let mut preds = Csr::preds(&g, &order);
+        let mut succs = Csr::succs(&g, &order);
+
+        let e = g.add_node(OpKind::Not);
+        preds.append_empty_row(e);
+        succs.append_empty_row(e);
+        g.add_data_edge(d, e).unwrap();
+        refresh_node(&g, &mut preds, &mut succs, d);
+        refresh_node(&g, &mut preds, &mut succs, e);
+
+        let mut extended = order.clone();
+        extended.push(e);
+        assert_eq!(preds, Csr::preds(&g, &extended));
+        assert_eq!(succs, Csr::succs(&g, &extended));
+        assert_eq!(preds.neighbors_of(e), &[d.index() as u32]);
+        assert_eq!(succs.degree_of(a), 2);
     }
 }

@@ -56,16 +56,21 @@ USAGE:
   localwm analyze <design.cdfg> [--deadline N] [--lo N --hi N]
                   [--samples N] [--seed N] [--probe-out FILE]
   localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
+                [--cache-cap N] [--default-timeout-ms N]
+                [--session-idle-ms N] [--metrics-out FILE]
   localwm gateway --backends [name=]HOST:PORT[,...] [--addr HOST:PORT]
                   [--replicas N] [--max-retries N] [--backoff-base-ms N]
                   [--backoff-cap-ms N] [--recv-timeout-ms N]
                   [--health-interval-ms N|off]
-  localwm request <embed|detect|analyze|timing|stats|cluster_stats|shutdown>
+  localwm request <embed|detect|analyze|timing|open|mutate|close|stats|
+                   cluster_stats|shutdown>
                   [--addr HOST:PORT] [--design FILE] [--author ID]
                   [--schedule FILE] [--schedule-out FILE] [--fraction F]
                   [--k K] [--deadline N] [--lo N --hi N] [--samples N]
                   [--seed N] [--timeout-ms N] [--repeat N]
+                  [--session ID] [--edits FILE]
+  localwm request --edit-trace FILE --design FILE [--session ID]
+                  [--addr HOST:PORT]
   localwm chaos [--seed N] [--requests N] [--faults-per-point N]
                 [--workers N] [--queue-depth N] [--cache-cap N]
                 [--recv-timeout-ms N] [--json] [--report-out FILE]

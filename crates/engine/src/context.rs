@@ -1,6 +1,6 @@
 //! The memoized analysis context shared by every pass.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -9,8 +9,9 @@ use localwm_cdfg::{analysis, Cdfg, CdfgError, Csr, EdgeId, NodeId, TopoError};
 
 use crate::bounded::{bounded_arrival_with_csr, possibly_critical_with_csr, BoundedArrival};
 use crate::delay::{DelayBounds, DelayInterval};
+use crate::editor::{DesignEditor, EditLog, EditRecord};
 use crate::probe::{NoopProbe, Probe};
-use crate::unit::UnitTiming;
+use crate::unit::{cone_positions, UnitTiming};
 
 /// Error from a fallible context query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +86,60 @@ impl WindowTable {
 /// Fanin-cone cache keyed by `(root, max_dist)`.
 type FaninCache = HashMap<(NodeId, u32), Arc<Vec<NodeId>>>;
 
+/// A bounded-arrival result displaced by a mutation but kept for
+/// dirty-cone patching: still exact for every node whose fan-in cone the
+/// mutations since `generation` did not touch.
+struct StaleArrival {
+    /// [`fingerprint`] of the bounds vector it was built from.
+    key: u64,
+    /// Node count at build time (bounds are in node-id order and node ids
+    /// are append-only, so `fingerprint(&bounds[..len]) == key` proves the
+    /// surviving nodes' bounds are unchanged).
+    len: usize,
+    /// Generation the result was valid at; [`DesignContext::dirty_since`]
+    /// from here gives the touched set.
+    generation: u64,
+    arr: Arc<BoundedArrival>,
+}
+
+/// Mutations remembered for [`DesignContext::dirty_since`] before the
+/// history is pruned (each event is one `mutate` batch's touched set).
+const DIRTY_HISTORY_CAP: usize = 64;
+
+/// Displaced bounded-arrival results kept for patching (newest win).
+const STALE_BOUNDED_CAP: usize = 8;
+
+/// The touched-node set of one `mutate` batch.
+struct DirtyEvent {
+    /// Generation *after* the batch applied.
+    generation: u64,
+    nodes: Vec<NodeId>,
+}
+
+/// Ring of per-mutation dirty sets, with a floor below which history was
+/// pruned (or a full invalidation erased it).
+#[derive(Default)]
+struct DirtyHistory {
+    floor: u64,
+    events: VecDeque<DirtyEvent>,
+}
+
+impl DirtyHistory {
+    fn record(&mut self, generation: u64, nodes: Vec<NodeId>) {
+        self.events.push_back(DirtyEvent { generation, nodes });
+        if self.events.len() > DIRTY_HISTORY_CAP {
+            if let Some(ev) = self.events.pop_front() {
+                self.floor = ev.generation;
+            }
+        }
+    }
+
+    fn reset(&mut self, generation: u64) {
+        self.floor = generation;
+        self.events.clear();
+    }
+}
+
 #[derive(Default)]
 struct Caches {
     topo: OnceLock<Result<Vec<NodeId>, TopoError>>,
@@ -94,6 +149,7 @@ struct Caches {
     levels: Mutex<HashMap<NodeId, Arc<Vec<Option<u32>>>>>,
     fanin: Mutex<FaninCache>,
     bounded: Mutex<HashMap<u64, Arc<BoundedArrival>>>,
+    stale_bounded: Mutex<Vec<StaleArrival>>,
     content: OnceLock<u64>,
 }
 
@@ -129,6 +185,8 @@ pub struct DesignContext {
     generation: u64,
     probe: Arc<dyn Probe>,
     caches: Caches,
+    dirty: DirtyHistory,
+    cone_limit: Option<usize>,
 }
 
 impl fmt::Debug for DesignContext {
@@ -148,6 +206,8 @@ impl DesignContext {
             generation: 0,
             probe: Arc::new(NoopProbe),
             caches: Caches::default(),
+            dirty: DirtyHistory::default(),
+            cone_limit: None,
         }
     }
 
@@ -183,6 +243,65 @@ impl DesignContext {
     /// unchanged.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The nodes touched by every mutation after generation `since`
+    /// (deduplicated, in id order; empty when `since` is the current
+    /// generation). Returns `None` when the history cannot answer — `since`
+    /// predates the retained window, an untracked mutation intervened, or
+    /// `since` is from the future — in which case a consumer must treat
+    /// everything as dirty.
+    ///
+    /// This is the contract external incremental layers (the Monte-Carlo
+    /// criticality cache in `localwm-timing`, for one) build on: a result
+    /// computed at `since` stays exact for every node whose recompute cone
+    /// avoids this set.
+    pub fn dirty_since(&self, since: u64) -> Option<Vec<NodeId>> {
+        if since > self.generation || since < self.dirty.floor {
+            return None;
+        }
+        let mut set = BTreeSet::new();
+        for ev in &self.dirty.events {
+            if ev.generation > since {
+                set.extend(ev.nodes.iter().copied());
+            }
+        }
+        Some(set.into_iter().collect())
+    }
+
+    /// The dirty-cone size threshold: patches recompute at most this many
+    /// nodes before falling back to a full rebuild. Defaults to
+    /// `max(64, V / 2)` — past half the graph, a cone sweep stops paying
+    /// for its bookkeeping.
+    pub fn cone_limit(&self) -> usize {
+        self.cone_limit
+            .unwrap_or_else(|| (self.graph.node_count() / 2).max(64))
+    }
+
+    /// Overrides the dirty-cone threshold (`None` restores the default).
+    /// Tests use tiny limits to force the full-rebuild fallback.
+    pub fn set_cone_limit(&mut self, limit: Option<usize>) {
+        self.cone_limit = limit;
+    }
+
+    /// The forward (fan-out) cone of `seeds` as row positions in the
+    /// memoized topological order, ascending; `None` if the cone exceeds
+    /// `limit` nodes or the graph is cyclic.
+    pub fn forward_cone_within(&self, seeds: &[NodeId], limit: usize) -> Option<Vec<usize>> {
+        self.try_topo().ok()?;
+        let (preds, succs) = self.csr_pair();
+        cone_positions(preds, succs, seeds, limit, false)
+    }
+
+    /// The backward (fan-in) cone of `seeds` as row positions in the
+    /// memoized topological order, ascending; `None` if the cone exceeds
+    /// `limit` nodes or the graph is cyclic. The ancestor closure of an
+    /// edit: every node whose backward-looking analysis results (required
+    /// times, slack) can move when only `seeds` changed.
+    pub fn backward_cone_within(&self, seeds: &[NodeId], limit: usize) -> Option<Vec<usize>> {
+        self.try_topo().ok()?;
+        let (preds, succs) = self.csr_pair();
+        cone_positions(preds, succs, seeds, limit, true)
     }
 
     /// The memoized topological order (deterministic lowest-id-first).
@@ -364,7 +483,12 @@ impl DesignContext {
     ///
     /// Models are identified by a fingerprint of their per-node intervals,
     /// so distinct model values that induce the same bounds share one cache
-    /// entry.
+    /// entry. A miss first probes the stale store: a result displaced by
+    /// recent mutations whose surviving-node bounds are provably unchanged
+    /// (prefix fingerprint match) is **patched** — only the dirty fan-out
+    /// cone is re-swept, seeded with the cached frontier values — instead
+    /// of recomputed, when the cone fits [`DesignContext::cone_limit`].
+    /// Patched results are byte-identical to from-scratch ones.
     ///
     /// # Panics
     ///
@@ -381,12 +505,80 @@ impl DesignContext {
             self.probe.counter("engine.bounded.hit", 1);
             return Arc::clone(a);
         }
+        if let Some(patched) = self.patch_stale_bounded(&bounds) {
+            self.probe.counter("engine.bounded.patch", 1);
+            let arr = Arc::new(patched);
+            cache.insert(key, Arc::clone(&arr));
+            return arr;
+        }
         self.probe.counter("engine.bounded.miss", 1);
         let order = self.topo();
         let (preds, _) = self.csr_pair();
         let arr = Arc::new(bounded_arrival_with_csr(order, preds, &bounds));
         cache.insert(key, Arc::clone(&arr));
         arr
+    }
+
+    /// Tries to derive the arrival analysis for `bounds` by patching a
+    /// stale entry: re-sweep only the dirty forward cone on top of the
+    /// cached finish values. Newest entries are probed first.
+    fn patch_stale_bounded(&self, bounds: &[DelayInterval]) -> Option<BoundedArrival> {
+        let order = match self.try_topo() {
+            Ok(o) => o,
+            Err(_) => return None,
+        };
+        let limit = self.cone_limit();
+        let stale = self
+            .caches
+            .stale_bounded
+            .lock()
+            .expect("stale bounded lock");
+        for entry in stale.iter().rev() {
+            // The prefix fingerprint proves every pre-existing node kept
+            // its interval (bounds are in node-id order and ids are
+            // append-only). Structure-sensitive models (DynamicBounds) fail
+            // this check after an edge edit and fall through to a full
+            // recompute — exactly right, their intervals moved.
+            if entry.len > bounds.len() || fingerprint(&bounds[..entry.len]) != entry.key {
+                continue;
+            }
+            let Some(mut seeds) = self.dirty_since(entry.generation) else {
+                continue;
+            };
+            for i in entry.len..bounds.len() {
+                seeds.push(NodeId::from_index(i));
+            }
+            let (preds, succs) = self.csr_pair();
+            let Some(cone) = cone_positions(preds, succs, &seeds, limit, false) else {
+                continue;
+            };
+            let mut finish = entry.arr.finish.clone();
+            finish.resize(bounds.len(), DelayInterval::fixed(0));
+            // Ascending topo positions: cone nodes read either earlier
+            // cone nodes (already final) or untouched nodes (still exact) —
+            // the same recurrence `bounded_arrival_with_csr` runs, applied
+            // to the subset that could have moved.
+            for &p in &cone {
+                let u = order[p].index();
+                let mut in_lo = 0u64;
+                let mut in_hi = 0u64;
+                for &pi in preds.row(p) {
+                    in_lo = in_lo.max(finish[pi as usize].lo);
+                    in_hi = in_hi.max(finish[pi as usize].hi);
+                }
+                let d = bounds[u];
+                finish[u] = DelayInterval::new(in_lo + d.lo, in_hi + d.hi);
+            }
+            let mut cp = DelayInterval::fixed(0);
+            for f in &finish {
+                cp = DelayInterval::new(cp.lo.max(f.lo), cp.hi.max(f.hi));
+            }
+            return Some(BoundedArrival {
+                finish,
+                critical_path: cp,
+            });
+        }
+        None
     }
 
     /// The memoized circuit critical-path interval under `model`.
@@ -431,43 +623,181 @@ impl DesignContext {
             .get_or_init(|| fnv1a_bytes(localwm_cdfg::write_cdfg(&self.graph).as_bytes()))
     }
 
-    /// Mutates the graph through `f`, bumping the generation and dropping
-    /// every cached analysis.
-    pub fn mutate<R>(&mut self, f: impl FnOnce(&mut Cdfg) -> R) -> R {
-        let r = f(&mut self.graph);
-        self.generation += 1;
-        self.probe.counter("engine.invalidate", 1);
-        self.caches = Caches::default();
+    /// Mutates the graph through `f`, bumping the generation and patching
+    /// the cached analyses in place wherever the recorded edits allow it.
+    ///
+    /// The closure receives a [`DesignEditor`] — the same mutation surface
+    /// as [`Cdfg`] plus read access via `Deref`, with every edit recorded.
+    /// From the record the context derives the dirty node set and:
+    ///
+    /// * keeps the memoized topological order when no added edge
+    ///   contradicts it (new nodes append at the tail), patching the CSR
+    ///   views row-wise instead of rebuilding them;
+    /// * recomputes unit depth/tail only over the dirty fan-out/fan-in
+    ///   cones ([`UnitTiming::cone_update`]), falling back to a lazy full
+    ///   rebuild past [`DesignContext::cone_limit`];
+    /// * moves bounded-arrival results into a stale store from which later
+    ///   queries patch just the dirty cone (see
+    ///   [`DesignContext::bounded_arrival`]);
+    /// * records the dirty set for [`DesignContext::dirty_since`].
+    ///
+    /// Every patched artifact is byte-identical to a from-scratch
+    /// recomputation — the analyses are max/min reductions insensitive to
+    /// which valid topological order carries them. Untracked mutations
+    /// (through [`DesignEditor::graph_mut`]) fall back to dropping
+    /// everything, exactly the old contract.
+    pub fn mutate<R>(&mut self, f: impl FnOnce(&mut DesignEditor) -> R) -> R {
+        let old_len = self.graph.node_count();
+        let mut editor = DesignEditor::new(&mut self.graph);
+        let r = f(&mut editor);
+        let log = editor.into_log();
+        self.apply(old_len, &log);
         r
     }
 
-    /// Adds a temporal (precedence) edge and **incrementally** refreshes the
-    /// unit-timing cache instead of discarding it; all other caches are
-    /// dropped and the generation is bumped.
-    ///
-    /// The incremental update assumes the new edge keeps the graph acyclic —
-    /// the same contract as [`UnitTiming::add_edge_update`]. Watermark
-    /// embedding guarantees this by testing `asap(src) + tail(dst)` against
-    /// the deadline before drawing an edge.
+    /// Adds a temporal (precedence) edge through the incremental mutation
+    /// path: the unit-timing cache is cone-patched rather than discarded,
+    /// and (unlike the historical fast path) an order-changing edge is
+    /// detected and handled by a lazy rebuild instead of being undefined
+    /// behavior.
     ///
     /// # Errors
     ///
     /// Propagates [`CdfgError`] from the underlying edge insertion.
     pub fn add_temporal_edge(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, CdfgError> {
-        let id = self.graph.add_temporal_edge(src, dst)?;
-        self.generation += 1;
-        let unit = self.caches.unit.take().map(|mut t| {
-            t.add_edge_update(&self.graph, src, dst);
-            t
-        });
-        self.probe.counter("engine.invalidate", 1);
-        self.caches = Caches::default();
-        if let Some(t) = unit {
-            self.probe.counter("engine.unit.incremental", 1);
-            let _ = self.caches.unit.set(t);
-        }
-        Ok(id)
+        self.mutate(|e| e.add_temporal_edge(src, dst))
     }
+
+    /// Applies one mutation batch: bump the generation, then patch or
+    /// invalidate.
+    fn apply(&mut self, old_len: usize, log: &EditLog) {
+        self.generation += 1;
+        self.probe.counter("engine.invalidate", 1);
+        if log.full || !self.apply_incremental(old_len, log) {
+            self.dirty.reset(self.generation);
+            self.caches = Caches::default();
+        }
+    }
+
+    /// The dirty-tracking invalidation path. Returns `false` when the
+    /// previous state cannot be patched (cached order was cyclic), sending
+    /// the caller to full invalidation.
+    fn apply_incremental(&mut self, old_len: usize, log: &EditLog) -> bool {
+        let mut touched: BTreeSet<NodeId> = BTreeSet::new();
+        for e in &log.edits {
+            match *e {
+                EditRecord::NodeAdded(n) | EditRecord::LiteralSet(n) => {
+                    touched.insert(n);
+                }
+                EditRecord::EdgeAdded { src, dst } | EditRecord::EdgeRemoved { src, dst } => {
+                    touched.insert(src);
+                    touched.insert(dst);
+                }
+            }
+        }
+        let dirty: Vec<NodeId> = touched.into_iter().collect();
+
+        // Displace live bounded results into the stale store before the
+        // value caches are cleared: they stay exact outside the dirty cone
+        // and queries patch them back in.
+        let prev_generation = self.generation - 1;
+        {
+            let live = self.caches.bounded.get_mut().expect("bounded cache lock");
+            let stale = self
+                .caches
+                .stale_bounded
+                .get_mut()
+                .expect("stale bounded lock");
+            for (key, arr) in live.drain() {
+                stale.push(StaleArrival {
+                    key,
+                    len: old_len,
+                    generation: prev_generation,
+                    arr,
+                });
+            }
+            if stale.len() > STALE_BOUNDED_CAP {
+                let excess = stale.len() - STALE_BOUNDED_CAP;
+                stale.drain(..excess);
+            }
+        }
+
+        // Value caches rebuild from the patched substrate on demand.
+        self.caches.windows.get_mut().expect("windows lock").clear();
+        self.caches.levels.get_mut().expect("levels lock").clear();
+        self.caches.fanin.get_mut().expect("fanin lock").clear();
+        let _ = self.caches.content.take();
+
+        let topo_cached = self.caches.topo.take();
+        let csr_cached = self.caches.csr.take();
+        let unit_cached = self.caches.unit.take();
+        match topo_cached {
+            Some(Ok(mut order)) if order_preserved(&order, self.graph.node_count(), log) => {
+                for i in old_len..self.graph.node_count() {
+                    order.push(NodeId::from_index(i));
+                }
+                if let Some((mut preds, mut succs)) = csr_cached {
+                    for i in old_len..self.graph.node_count() {
+                        let n = NodeId::from_index(i);
+                        preds.append_empty_row(n);
+                        succs.append_empty_row(n);
+                    }
+                    for &n in &dirty {
+                        let p: Vec<u32> = self.graph.preds(n).map(|x| x.index() as u32).collect();
+                        let s: Vec<u32> = self.graph.succs(n).map(|x| x.index() as u32).collect();
+                        preds.refresh_row(n, &p);
+                        succs.refresh_row(n, &s);
+                    }
+                    self.probe.counter("engine.csr.patch", 1);
+                    if let Some(mut unit) = unit_cached {
+                        if unit.cone_update(
+                            &self.graph,
+                            &order,
+                            &preds,
+                            &succs,
+                            &dirty,
+                            self.cone_limit(),
+                        ) {
+                            self.probe.counter("engine.unit.incremental", 1);
+                            let _ = self.caches.unit.set(unit);
+                        }
+                    }
+                    let _ = self.caches.csr.set((preds, succs));
+                }
+                let _ = self.caches.topo.set(Ok(order));
+            }
+            // A cached cyclic verdict leaves no patchable state behind.
+            Some(Err(_)) => return false,
+            // Order-changing edit, or the order was never computed: the
+            // structural caches rebuild lazily. The dirty record still
+            // lets value-level patches (stale bounded, external caches)
+            // proceed — their math is order-insensitive.
+            _ => {}
+        }
+        self.dirty.record(self.generation, dirty);
+        true
+    }
+}
+
+/// Whether the cached topological order (plus new nodes appended at the
+/// tail) is still a valid order after the batch: every added edge must
+/// point forward. Removals never invalidate an order.
+fn order_preserved(order: &[NodeId], node_count: usize, log: &EditLog) -> bool {
+    let mut pos = vec![u32::MAX; node_count];
+    for (p, &n) in order.iter().enumerate() {
+        pos[n.index()] = u32::try_from(p).expect("node count fits u32");
+    }
+    for (i, p) in pos.iter_mut().enumerate().skip(order.len()) {
+        *p = u32::try_from(i).expect("node count fits u32");
+    }
+    for e in &log.edits {
+        if let EditRecord::EdgeAdded { src, dst } = *e {
+            if pos[src.index()] >= pos[dst.index()] {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// FNV-1a over a byte string.

@@ -1,0 +1,277 @@
+//! The recording mutation editor behind [`DesignContext::mutate`].
+//!
+//! Incremental invalidation needs to know *what* a mutation touched, not
+//! just that one happened. [`DesignEditor`] wraps the graph for the
+//! duration of a `mutate` closure: it exposes the same mutation surface as
+//! [`Cdfg`] (and [`Deref`]s to it for read access), but records every
+//! structural edit into an [`EditLog`]. The context turns that log into a
+//! dirty node set and patches its caches in place instead of discarding
+//! them — falling back to full invalidation whenever the closure escapes
+//! through [`DesignEditor::graph_mut`], where the touched set is unknown.
+//!
+//! [`DesignContext::mutate`]: crate::DesignContext::mutate
+
+use std::ops::Deref;
+
+use localwm_cdfg::{Cdfg, CdfgError, Edge, EdgeId, EdgeKind, NodeId, OpKind};
+
+/// One recorded structural edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EditRecord {
+    /// A node was appended (ids are arena-sequential, never reused).
+    NodeAdded(NodeId),
+    /// An edge between two nodes was inserted.
+    EdgeAdded {
+        /// Edge source.
+        src: NodeId,
+        /// Edge destination.
+        dst: NodeId,
+    },
+    /// An edge between two nodes was tombstoned.
+    EdgeRemoved {
+        /// Former edge source.
+        src: NodeId,
+        /// Former edge destination.
+        dst: NodeId,
+    },
+    /// A node's literal payload changed (content, not topology).
+    LiteralSet(NodeId),
+}
+
+/// Everything one `mutate` call did to the graph.
+#[derive(Debug, Default)]
+pub(crate) struct EditLog {
+    /// Structural edits in application order.
+    pub(crate) edits: Vec<EditRecord>,
+    /// The closure reached the raw graph via [`DesignEditor::graph_mut`]:
+    /// the touched set is unknown and the context must invalidate fully.
+    pub(crate) full: bool,
+}
+
+/// The mutable graph view handed to [`mutate`](crate::DesignContext::mutate)
+/// closures.
+///
+/// Mirrors every [`Cdfg`] mutator one-for-one (same names, same signatures,
+/// same errors) and [`Deref`]s to the graph for read access, so existing
+/// closures written against `&mut Cdfg` compile unchanged. Each mutator
+/// additionally records what it touched, which is what lets the context
+/// keep its derived caches alive across the mutation.
+pub struct DesignEditor<'g> {
+    graph: &'g mut Cdfg,
+    log: EditLog,
+}
+
+impl<'g> DesignEditor<'g> {
+    pub(crate) fn new(graph: &'g mut Cdfg) -> Self {
+        DesignEditor {
+            graph,
+            log: EditLog::default(),
+        }
+    }
+
+    pub(crate) fn into_log(self) -> EditLog {
+        self.log
+    }
+
+    /// Adds an anonymous node; see [`Cdfg::add_node`].
+    pub fn add_node(&mut self, kind: OpKind) -> NodeId {
+        let id = self.graph.add_node(kind);
+        self.log.edits.push(EditRecord::NodeAdded(id));
+        id
+    }
+
+    /// Adds a named node; see [`Cdfg::add_named_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_named_node(&mut self, kind: OpKind, name: impl Into<String>) -> NodeId {
+        let id = self.graph.add_named_node(kind, name);
+        self.log.edits.push(EditRecord::NodeAdded(id));
+        id
+    }
+
+    /// Adds a named node, failing on duplicates; see
+    /// [`Cdfg::try_add_named_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::DuplicateName`] if the name exists.
+    pub fn try_add_named_node(
+        &mut self,
+        kind: OpKind,
+        name: impl Into<String>,
+    ) -> Result<NodeId, CdfgError> {
+        let id = self.graph.try_add_named_node(kind, name)?;
+        self.log.edits.push(EditRecord::NodeAdded(id));
+        Ok(id)
+    }
+
+    /// Attaches a literal to a node; see [`Cdfg::set_literal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_literal(&mut self, id: NodeId, value: i64) {
+        self.graph.set_literal(id, value);
+        self.log.edits.push(EditRecord::LiteralSet(id));
+    }
+
+    /// Adds an edge of the given kind; see [`Cdfg::add_edge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cdfg::add_edge`].
+    pub fn add_edge(
+        &mut self,
+        kind: EdgeKind,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<EdgeId, CdfgError> {
+        let id = self.graph.add_edge(kind, src, dst)?;
+        self.log.edits.push(EditRecord::EdgeAdded { src, dst });
+        Ok(id)
+    }
+
+    /// Adds a data edge; see [`Cdfg::add_data_edge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cdfg::add_edge`].
+    pub fn add_data_edge(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, CdfgError> {
+        self.add_edge(EdgeKind::Data, src, dst)
+    }
+
+    /// Adds a control edge; see [`Cdfg::add_control_edge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cdfg::add_edge`].
+    pub fn add_control_edge(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, CdfgError> {
+        self.add_edge(EdgeKind::Control, src, dst)
+    }
+
+    /// Adds a temporal edge; see [`Cdfg::add_temporal_edge`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cdfg::add_edge`].
+    pub fn add_temporal_edge(&mut self, src: NodeId, dst: NodeId) -> Result<EdgeId, CdfgError> {
+        self.add_edge(EdgeKind::Temporal, src, dst)
+    }
+
+    /// Adds an edge, rejecting cycles; see [`Cdfg::add_edge_acyclic`].
+    ///
+    /// # Errors
+    ///
+    /// All of [`Cdfg::add_edge`]'s errors plus [`CdfgError::WouldCycle`].
+    pub fn add_edge_acyclic(
+        &mut self,
+        kind: EdgeKind,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<EdgeId, CdfgError> {
+        let id = self.graph.add_edge_acyclic(kind, src, dst)?;
+        self.log.edits.push(EditRecord::EdgeAdded { src, dst });
+        Ok(id)
+    }
+
+    /// Removes an edge; see [`Cdfg::remove_edge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::UnknownEdge`] for missing or removed ids.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<Edge, CdfgError> {
+        let edge = self.graph.remove_edge(id)?;
+        self.log.edits.push(EditRecord::EdgeRemoved {
+            src: edge.src(),
+            dst: edge.dst(),
+        });
+        Ok(edge)
+    }
+
+    /// Removes every temporal edge; see [`Cdfg::strip_temporal_edges`].
+    pub fn strip_temporal_edges(&mut self) -> usize {
+        let ids: Vec<EdgeId> = self
+            .graph
+            .edge_ids()
+            .filter(|&e| {
+                self.graph
+                    .edge(e)
+                    .is_some_and(|x| x.kind() == EdgeKind::Temporal)
+            })
+            .collect();
+        for id in &ids {
+            let _ = self.remove_edge(*id);
+        }
+        ids.len()
+    }
+
+    /// Escape hatch to the raw graph for mutations the editor does not
+    /// mirror. Using it marks the whole mutation as untracked, so the
+    /// context falls back to full invalidation — correct, just not
+    /// incremental.
+    pub fn graph_mut(&mut self) -> &mut Cdfg {
+        self.log.full = true;
+        self.graph
+    }
+}
+
+impl Deref for DesignEditor<'_> {
+    type Target = Cdfg;
+
+    fn deref(&self) -> &Cdfg {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn editor_records_every_tracked_edit() {
+        let mut g = Cdfg::new();
+        let mut ed = DesignEditor::new(&mut g);
+        let a = ed.add_node(OpKind::Input);
+        let b = ed.add_named_node(OpKind::Add, "sum");
+        ed.set_literal(a, 7);
+        let e = ed.add_data_edge(a, b).unwrap();
+        ed.remove_edge(e).unwrap();
+        assert!(ed.add_edge_acyclic(EdgeKind::Data, b, a).is_ok());
+        // A cycle-rejected edge records nothing.
+        assert!(ed.add_edge_acyclic(EdgeKind::Data, a, b).is_err());
+        let log = ed.into_log();
+        assert!(!log.full);
+        assert_eq!(
+            log.edits,
+            vec![
+                EditRecord::NodeAdded(a),
+                EditRecord::NodeAdded(b),
+                EditRecord::LiteralSet(a),
+                EditRecord::EdgeAdded { src: a, dst: b },
+                EditRecord::EdgeRemoved { src: a, dst: b },
+                EditRecord::EdgeAdded { src: b, dst: a },
+            ]
+        );
+    }
+
+    #[test]
+    fn graph_mut_marks_the_log_full() {
+        let mut g = Cdfg::new();
+        let mut ed = DesignEditor::new(&mut g);
+        ed.graph_mut().add_node(OpKind::Input);
+        let log = ed.into_log();
+        assert!(log.full);
+        assert!(log.edits.is_empty());
+    }
+
+    #[test]
+    fn deref_gives_read_access() {
+        let mut g = Cdfg::new();
+        let mut ed = DesignEditor::new(&mut g);
+        let a = ed.add_named_node(OpKind::Input, "x");
+        assert_eq!(ed.node_by_name("x"), Some(a));
+        assert_eq!(ed.node_count(), 1);
+    }
+}

@@ -42,6 +42,7 @@
 mod bounded;
 mod context;
 mod delay;
+mod editor;
 mod par;
 mod pool;
 mod probe;
@@ -53,6 +54,7 @@ pub use bounded::{
 };
 pub use context::{DesignContext, EngineError, WindowTable};
 pub use delay::{DelayBounds, DelayInterval, DynamicBounds, KindBounds};
+pub use editor::DesignEditor;
 pub use par::{par_map, Parallelism};
 pub use pool::{pool_stats, PoolStats};
 pub use probe::{timed, NoopProbe, Probe, RecordingProbe};

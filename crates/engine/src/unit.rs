@@ -208,6 +208,110 @@ impl UnitTiming {
             }
         }
     }
+
+    /// Recomputes exactly the fan-out/fan-in cones of `seeds` after an
+    /// arbitrary batch of structural edits (node adds, edge adds *and*
+    /// removals — unlike the monotone [`UnitTiming::add_edge_update`],
+    /// values may decrease).
+    ///
+    /// `order`, `preds` and `succs` must reflect the **post-edit** graph
+    /// (the context patches its CSR views first); new nodes must sit at the
+    /// tail of `order` in id order. Returns `false` without touching `self`
+    /// beyond array growth when either cone exceeds `limit` nodes — the
+    /// caller then falls back to a full rebuild.
+    ///
+    /// Exact by construction: a node outside the forward cone has an
+    /// unchanged predecessor set and unchanged predecessor depths, so its
+    /// depth is unchanged; cone nodes are recomputed in ascending topo
+    /// position from already-final values (symmetrically for tails), which
+    /// is precisely what [`UnitTiming::with_csr`] would compute.
+    pub fn cone_update(
+        &mut self,
+        g: &Cdfg,
+        order: &[NodeId],
+        preds: &Csr,
+        succs: &Csr,
+        seeds: &[NodeId],
+        limit: usize,
+    ) -> bool {
+        let n = g.node_count();
+        if self.depth.len() < n {
+            self.depth.resize(n, 0);
+            self.tail.resize(n, 0);
+            for i in self.schedulable.len()..n {
+                self.schedulable
+                    .push(g.kind(NodeId::from_index(i)).is_schedulable());
+            }
+        }
+        let Some(fwd) = cone_positions(preds, succs, seeds, limit, false) else {
+            return false;
+        };
+        let Some(bwd) = cone_positions(preds, succs, seeds, limit, true) else {
+            return false;
+        };
+        for &p in &fwd {
+            let u = order[p];
+            let mut best = 0;
+            for &pi in preds.row(p) {
+                best = best.max(self.depth[pi as usize]);
+            }
+            self.depth[u.index()] = best + u32::from(self.schedulable[u.index()]);
+        }
+        for &p in bwd.iter().rev() {
+            let u = order[p];
+            let mut best = 0;
+            for &si in succs.row(p) {
+                best = best.max(self.tail[si as usize]);
+            }
+            self.tail[u.index()] = best + u32::from(self.schedulable[u.index()]);
+        }
+        // Depths may have shrunk, so the critical path is rescanned, not
+        // max-merged.
+        self.critical_path = self.depth.iter().copied().max().unwrap_or(0);
+        true
+    }
+}
+
+/// The reachable row positions from `seeds` (inclusive), walking successor
+/// rows (`backward == false`) or predecessor rows (`backward == true`),
+/// sorted ascending. `None` once the cone exceeds `limit`.
+pub(crate) fn cone_positions(
+    preds: &Csr,
+    succs: &Csr,
+    seeds: &[NodeId],
+    limit: usize,
+    backward: bool,
+) -> Option<Vec<usize>> {
+    let step = if backward { preds } else { succs };
+    let mut seen = vec![false; step.rows()];
+    let mut stack = Vec::with_capacity(seeds.len());
+    let mut cone = Vec::new();
+    for &s in seeds {
+        let p = step.position(s);
+        if !seen[p] {
+            seen[p] = true;
+            stack.push(p);
+            cone.push(p);
+        }
+    }
+    while let Some(p) = stack.pop() {
+        if cone.len() > limit {
+            return None;
+        }
+        for &ni in step.row(p) {
+            let np = step.position(NodeId::from_index(ni as usize));
+            if !seen[np] {
+                seen[np] = true;
+                stack.push(np);
+                cone.push(np);
+            }
+        }
+    }
+    if cone.len() > limit {
+        return None;
+    }
+    cone.sort_unstable();
+    Some(cone)
 }
 
 #[cfg(test)]
@@ -296,6 +400,46 @@ mod tests {
             assert_eq!(t.laxity(n), fresh.laxity(n), "laxity mismatch at {n}");
         }
         assert_eq!(t.critical_path(), fresh.critical_path());
+    }
+
+    #[test]
+    fn cone_update_matches_rebuild_after_mixed_edits() {
+        use localwm_cdfg::Csr;
+        let mut g = iir4_parallel();
+        let mut order = g.topo_order().unwrap();
+        let preds0 = Csr::preds(&g, &order);
+        let succs0 = Csr::succs(&g, &order);
+        let mut t = UnitTiming::with_csr(&g, &order, &preds0, &succs0);
+
+        // A mixed batch: drop an edge on the critical chain, append a new
+        // op fed by A9. Removal may *shrink* depths — the case the monotone
+        // add_edge_update cannot handle.
+        let a2 = g.node_by_name("A2").unwrap();
+        let a9 = g.node_by_name("A9").unwrap();
+        let victim = g
+            .edge_ids()
+            .find(|&e| g.edge(e).unwrap().src() == a2)
+            .unwrap();
+        let vdst = g.edge(victim).unwrap().dst();
+        g.remove_edge(victim).unwrap();
+        let extra = g.add_node(OpKind::Not);
+        g.add_data_edge(a9, extra).unwrap();
+        order.push(extra);
+
+        let preds = Csr::preds(&g, &order);
+        let succs = Csr::succs(&g, &order);
+        let seeds = [a2, vdst, a9, extra];
+        assert!(t.cone_update(&g, &order, &preds, &succs, &seeds, g.node_count()));
+        let fresh = UnitTiming::with_csr(&g, &order, &preds, &succs);
+        for n in g.node_ids() {
+            assert_eq!(t.asap(n), fresh.asap(n), "depth mismatch at {n}");
+            assert_eq!(t.tail(n), fresh.tail(n), "tail mismatch at {n}");
+        }
+        assert_eq!(t.critical_path(), fresh.critical_path());
+
+        // A tiny limit forces the fallback signal.
+        let mut t2 = UnitTiming::with_csr(&g, &order, &preds, &succs);
+        assert!(!t2.cone_update(&g, &order, &preds, &succs, &seeds, 1));
     }
 
     #[test]

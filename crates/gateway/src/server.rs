@@ -156,7 +156,18 @@ impl Shared {
     /// unparseable designs fall back to the text FNV (the backend will
     /// produce the error either way, deterministically). Design-free
     /// requests spread by kind and id.
+    ///
+    /// Session-scoped requests override all of that: they hash the session
+    /// id alone, so `open`, every `mutate`/`timing`/`analyze` carrying the
+    /// id, and `close` all land on the backend holding the session state.
+    /// If that backend dies, the standard failover machinery retargets the
+    /// shard's next replica — which does not hold the session and answers
+    /// with a typed `session_expired`, telling the client to re-open; a
+    /// session is never silently rebound to stale state.
     fn shard_key(&self, req: &Request) -> u64 {
+        if let Some(session) = &req.session {
+            return rendezvous::fnv1a(session.as_bytes());
+        }
         let Some(text) = &req.design else {
             return rendezvous::fnv1a(req.kind.as_str().as_bytes()) ^ req.id.unwrap_or(0);
         };

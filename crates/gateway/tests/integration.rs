@@ -219,6 +219,120 @@ fn update_backend_addr_reroutes_to_restarted_backend() {
     b0v2.shutdown();
 }
 
+fn session_request(kind: RequestKind, id: u64, session: &str) -> Request {
+    let mut r = Request::new(kind);
+    r.id = Some(id);
+    r.session = Some(session.to_owned());
+    r
+}
+
+#[test]
+fn sessions_stick_to_one_backend_and_match_from_scratch() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let reference = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+    let mut c = connect(&gw);
+
+    let mut open = session_request(RequestKind::Open, 1, "gw-s1");
+    open.design = Some(write_cdfg(&iir4_parallel()));
+    assert!(c.call(&open).unwrap().ok);
+    let mut m = session_request(RequestKind::Mutate, 2, "gw-s1");
+    m.edits = Some("add-node t9 not\nadd-edge data A9 t9\n".to_owned());
+    assert!(c.call(&m).unwrap().ok);
+    let mut q = session_request(RequestKind::Analyze, 3, "gw-s1");
+    q.samples = Some(50);
+    q.seed = Some(4);
+    c.send(&q).unwrap();
+    let via_session = c.recv_line().unwrap();
+    assert!(
+        c.call(&session_request(RequestKind::Close, 4, "gw-s1"))
+            .unwrap()
+            .ok
+    );
+
+    // Every session request hashed the session id, so one backend (and one
+    // shard key) served the whole conversation.
+    let trace = gw.routing_trace();
+    assert_eq!(trace.len(), 4);
+    let owner = trace[0].backend.clone().expect("served");
+    assert!(
+        trace
+            .iter()
+            .all(|r| r.backend.as_deref() == Some(&*owner) && r.key == trace[0].key),
+        "session must stick to one backend: {trace:?}"
+    );
+
+    // The held analysis is byte-identical to a from-scratch analyze of the
+    // mutated design against an untouched backend.
+    let mut g = iir4_parallel();
+    let t9 = g.add_named_node(localwm_cdfg::OpKind::Not, "t9");
+    let a9 = g.node_by_name("A9").unwrap();
+    g.add_data_edge(a9, t9).unwrap();
+    let mut scratch = Request::new(RequestKind::Analyze);
+    scratch.id = Some(3);
+    scratch.design = Some(write_cdfg(&g));
+    scratch.samples = Some(50);
+    scratch.seed = Some(4);
+    let mut direct =
+        Client::connect_within(&reference.addr().to_string(), Duration::from_secs(5)).unwrap();
+    direct.send(&scratch).unwrap();
+    assert_eq!(via_session, direct.recv_line().unwrap());
+
+    gw.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+    reference.shutdown();
+}
+
+#[test]
+fn session_failover_is_a_typed_session_expired_never_silent() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+    let mut c = connect(&gw);
+
+    let mut open = session_request(RequestKind::Open, 1, "gw-s2");
+    open.design = Some(write_cdfg(&iir4_parallel()));
+    assert!(c.call(&open).unwrap().ok);
+    let owner = gw.routing_trace()[0].backend.clone().expect("served");
+
+    // Kill the backend holding the session. The replica that takes the
+    // shard over has no such session: the client gets a typed
+    // `session_expired` telling it to re-open — never a silent success
+    // against stale state, never a dropped request.
+    let survivor = if owner == "b0" {
+        b0.shutdown();
+        b1
+    } else {
+        b1.shutdown();
+        b0
+    };
+    let resp = c
+        .call(&session_request(RequestKind::Timing, 2, "gw-s2"))
+        .unwrap();
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.error.expect("typed error").code,
+        ErrorCode::SessionExpired
+    );
+    let trace = gw.routing_trace();
+    assert_eq!(
+        trace[1].failovers, 1,
+        "replica answered after the owner died"
+    );
+
+    // Re-opening on the survivor works: same id, fresh state.
+    let mut reopen = session_request(RequestKind::Open, 3, "gw-s2");
+    reopen.design = Some(write_cdfg(&iir4_parallel()));
+    assert!(c.call(&reopen).unwrap().ok);
+
+    gw.shutdown();
+    survivor.shutdown();
+}
+
 #[test]
 fn cluster_stats_aggregates_backend_gauges() {
     let b0 = start_backend();

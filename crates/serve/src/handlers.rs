@@ -18,9 +18,9 @@ use serde::{object, Serialize, Value};
 use crate::cache::ContextCache;
 use crate::protocol::{ErrorCode, Request, RequestKind, ServiceError};
 
-type HandlerResult = Result<Value, ServiceError>;
+pub(crate) type HandlerResult = Result<Value, ServiceError>;
 
-fn bad_request(msg: impl Into<String>) -> ServiceError {
+pub(crate) fn bad_request(msg: impl Into<String>) -> ServiceError {
     ServiceError::new(ErrorCode::BadRequest, msg)
 }
 
@@ -35,7 +35,7 @@ fn design_context(cache: &ContextCache, req: &Request) -> Result<Arc<DesignConte
         .map_err(|e| bad_request(format!("bad design: {e}")))
 }
 
-fn bounds(req: &Request) -> Result<KindBounds, ServiceError> {
+pub(crate) fn bounds(req: &Request) -> Result<KindBounds, ServiceError> {
     let lo = req.lo.unwrap_or(1);
     let hi = req.hi.unwrap_or(3);
     if lo > hi {
@@ -75,6 +75,10 @@ pub fn execute_with(cache: &ContextCache, req: &Request, par: Parallelism) -> Ha
         RequestKind::Stats | RequestKind::Shutdown | RequestKind::ClusterStats => Err(
             ServiceError::new(ErrorCode::Internal, "stats/shutdown are handled inline"),
         ),
+        RequestKind::Open | RequestKind::Mutate | RequestKind::Close => Err(ServiceError::new(
+            ErrorCode::Internal,
+            "session requests are handled inline by the connection thread",
+        )),
     }
 }
 
@@ -145,6 +149,13 @@ fn detect(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResul
 
 fn timing(cache: &ContextCache, req: &Request) -> HandlerResult {
     let ctx = design_context(cache, req)?;
+    timing_body(&ctx, req)
+}
+
+/// The `timing` result object for an already-resolved context. Shared by
+/// the cached from-scratch path and the session path, so a session's
+/// response is byte-identical to re-sending the current design text.
+pub(crate) fn timing_body(ctx: &DesignContext, req: &Request) -> HandlerResult {
     let cp = ctx.critical_path();
     let deadline = req.deadline.unwrap_or(cp);
     let w = ctx
@@ -171,11 +182,26 @@ fn timing(cache: &ContextCache, req: &Request) -> HandlerResult {
 
 fn analyze(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
     let ctx = design_context(cache, req)?;
-    let base = timing(cache, req)?;
+    let model = bounds(req)?;
     let samples = req.samples.unwrap_or(100);
     let seed = req.seed.unwrap_or(0);
-    let model = bounds(req)?;
     let report = criticality_in(&ctx, &model, samples, seed, par);
+    analyze_body(&ctx, req, &report)
+}
+
+/// The `analyze` result object for an already-resolved context and a
+/// precomputed criticality report. The session path feeds this from its
+/// incremental [`CriticalityCache`](localwm_timing::CriticalityCache),
+/// whose reports are byte-identical to [`criticality_in`] — so the merged
+/// body is too.
+pub(crate) fn analyze_body(
+    ctx: &DesignContext,
+    req: &Request,
+    report: &localwm_timing::CriticalityReport,
+) -> HandlerResult {
+    let base = timing_body(ctx, req)?;
+    let samples = req.samples.unwrap_or(100);
+    let seed = req.seed.unwrap_or(0);
     let g = ctx.graph();
     let mut hot: Vec<(f64, localwm_cdfg::NodeId)> = g
         .node_ids()

@@ -18,6 +18,13 @@
 //!   surfaced by the `stats` request and `--metrics-out`.
 //! * [`server`] — acceptor, worker pool, deadline watchdog, graceful
 //!   drain-on-shutdown.
+//! * [`session::SessionState`] — interactive sessions (`open` / `mutate` /
+//!   `close`): a held design mutated by edit scripts and re-analyzed
+//!   incrementally (dirty-cone patching in the engine), with responses
+//!   byte-identical to from-scratch requests. Sessions are answered inline
+//!   on the connection thread (strict per-connection ordering), excluded
+//!   from single-flight coalescing, idle-evicted by the watchdog, and
+//!   closed by drain.
 //! * [`client::Client`] — the blocking client used by `localwm request`,
 //!   the integration tests, and the load bench.
 //! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`] /
@@ -36,6 +43,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod session;
 pub mod singleflight;
 
 pub use cache::{CacheStats, ContextCache};
@@ -45,3 +53,4 @@ pub use metrics::{Metrics, Outcome};
 pub use protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ServeConfig, ServerHandle};
+pub use session::SessionState;

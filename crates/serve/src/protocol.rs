@@ -6,13 +6,17 @@
 //! ```text
 //! request  = { "kind": KIND, ["id": u64], ...params } "\n"
 //! KIND     = "embed" | "detect" | "analyze" | "timing" | "stats" |
-//!            "shutdown" | "cluster_stats"
-//! params   = "design": cdfg-text      (embed/detect/analyze/timing)
+//!            "shutdown" | "cluster_stats" | "open" | "mutate" | "close"
+//! params   = "design": cdfg-text      (embed/detect/analyze/timing/open)
 //!            "author": string         (embed/detect)
 //!            "schedule": sched-text   (detect)
 //!            "fraction": f64 | "k": u64             (embed)
 //!            "deadline": u32, "lo": u64, "hi": u64  (analyze/timing)
 //!            "samples": u64, "seed": u64            (analyze)
+//!            "session": string        (open/mutate/close; optional on
+//!                                      timing/analyze to query the held
+//!                                      design incrementally)
+//!            "edits": edit-script     (mutate; one edit per line)
 //!            "timeout_ms": u64        (any; per-request deadline)
 //! response = { ["id": u64], "kind": KIND, "ok": bool,
 //!              "result": object | "error": {"code": CODE, "message": str, ...} } "\n"
@@ -45,11 +49,20 @@ pub enum RequestKind {
     /// state plus aggregated backend gauges); a plain `localwm-serve`
     /// backend answers it with a typed `bad_request`.
     ClusterStats,
+    /// Open an interactive session holding the parsed design server-side;
+    /// subsequent `mutate`/`timing`/`analyze` requests carrying the same
+    /// `session` id run against the held (incrementally re-analyzed)
+    /// design.
+    Open,
+    /// Apply an edit script to an open session's design.
+    Mutate,
+    /// Close an open session and release its design.
+    Close,
 }
 
 impl RequestKind {
     /// Every kind, in wire-name order; indexes match [`RequestKind::index`].
-    pub const ALL: [RequestKind; 7] = [
+    pub const ALL: [RequestKind; 10] = [
         RequestKind::Embed,
         RequestKind::Detect,
         RequestKind::Analyze,
@@ -57,6 +70,9 @@ impl RequestKind {
         RequestKind::Stats,
         RequestKind::Shutdown,
         RequestKind::ClusterStats,
+        RequestKind::Open,
+        RequestKind::Mutate,
+        RequestKind::Close,
     ];
 
     /// The wire name.
@@ -69,6 +85,9 @@ impl RequestKind {
             RequestKind::Stats => "stats",
             RequestKind::Shutdown => "shutdown",
             RequestKind::ClusterStats => "cluster_stats",
+            RequestKind::Open => "open",
+            RequestKind::Mutate => "mutate",
+            RequestKind::Close => "close",
         }
     }
 
@@ -116,6 +135,11 @@ pub struct Request {
     pub samples: Option<usize>,
     /// Monte-Carlo seed (analyze).
     pub seed: Option<u64>,
+    /// Interactive session id (open/mutate/close; optional on
+    /// timing/analyze to run against the held design).
+    pub session: Option<String>,
+    /// Edit script for `mutate`, one edit per line.
+    pub edits: Option<String>,
     /// Per-request deadline in milliseconds; past it the watchdog answers
     /// with a `deadline_exceeded` error.
     pub timeout_ms: Option<u64>,
@@ -137,6 +161,8 @@ impl Request {
             hi: None,
             samples: None,
             seed: None,
+            session: None,
+            edits: None,
             timeout_ms: None,
         }
     }
@@ -191,6 +217,16 @@ impl Serialize for Request {
         push_field(&mut fields, "seed", self.seed.map(|v| v.to_value()));
         push_field(
             &mut fields,
+            "session",
+            self.session.as_ref().map(|v| v.to_value()),
+        );
+        push_field(
+            &mut fields,
+            "edits",
+            self.edits.as_ref().map(|v| v.to_value()),
+        );
+        push_field(
+            &mut fields,
             "timeout_ms",
             self.timeout_ms.map(|v| v.to_value()),
         );
@@ -226,6 +262,8 @@ impl Deserialize for Request {
             hi: opt(v, "hi")?,
             samples: opt(v, "samples")?,
             seed: opt(v, "seed")?,
+            session: opt(v, "session")?,
+            edits: opt(v, "edits")?,
             timeout_ms: opt(v, "timeout_ms")?,
         })
     }
@@ -253,6 +291,10 @@ pub enum ErrorCode {
     /// The gateway exhausted every replica for the request's shard: all
     /// candidate backends failed after retries with backoff.
     UpstreamUnavailable,
+    /// The named session does not exist on this backend: never opened,
+    /// idle-evicted, closed by drain, or lost when its backend was
+    /// replaced. The client must re-`open` and replay.
+    SessionExpired,
     /// Anything else.
     Internal,
 }
@@ -269,6 +311,7 @@ impl ErrorCode {
             ErrorCode::DetectFailed => "detect_failed",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::UpstreamUnavailable => "upstream_unavailable",
+            ErrorCode::SessionExpired => "session_expired",
             ErrorCode::Internal => "internal",
         }
     }
@@ -284,6 +327,7 @@ impl ErrorCode {
             ErrorCode::DetectFailed,
             ErrorCode::ShuttingDown,
             ErrorCode::UpstreamUnavailable,
+            ErrorCode::SessionExpired,
         ]
         .into_iter()
         .find(|c| c.as_str() == s)
@@ -458,6 +502,21 @@ mod tests {
         assert!(!line.contains('\n'), "one line on the wire");
         let back = Request::from_line(&line).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn session_requests_round_trip() {
+        let mut req = Request::new(RequestKind::Mutate);
+        req.id = Some(9);
+        req.session = Some("s-1".to_owned());
+        req.edits = Some("add-node t7 not\nadd-edge data a t7\n".to_owned());
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(
+            ErrorCode::parse("session_expired"),
+            ErrorCode::SessionExpired
+        );
+        assert_eq!(ErrorCode::SessionExpired.as_str(), "session_expired");
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct ServeConfig {
     /// with the `fault-inject` feature (ignored — with a warning — without
     /// it). See [`crate::fault`].
     pub fault_plan: Option<FaultPlan>,
+    /// Evict interactive sessions idle for longer than this; `None`
+    /// disables idle eviction (sessions live until `close` or drain). An
+    /// evicted session answers subsequent requests with a typed
+    /// `session_expired` error.
+    pub session_idle_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -71,8 +76,20 @@ impl Default for ServeConfig {
             default_timeout_ms: None,
             metrics_out: None,
             fault_plan: None,
+            session_idle_ms: None,
         }
     }
+}
+
+/// Hard cap on concurrently open sessions; past it `open` answers with a
+/// typed `overloaded` error.
+const SESSION_CAP: usize = 64;
+
+/// One held session plus its idle clock; the entry mutex serializes
+/// cross-connection access to the same session id (one connection's
+/// requests are already ordered by its reader thread).
+struct SessionEntry {
+    state: Mutex<(crate::session::SessionState, Instant)>,
 }
 
 struct Conn {
@@ -148,6 +165,11 @@ struct Shared {
     /// so identical requests arriving in between attach instead of
     /// recomputing.
     inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
+    /// Open interactive sessions by client-chosen id.
+    sessions: Mutex<HashMap<String, Arc<SessionEntry>>>,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    sessions_expired: AtomicU64,
     shutting_down: AtomicBool,
     stopped: AtomicBool,
     /// Live client sockets, keyed by a per-connection id. [`stop`] shuts
@@ -213,6 +235,31 @@ impl Shared {
                     ("evictions".to_owned(), c.evictions.to_value()),
                     ("entries".to_owned(), c.entries.to_value()),
                     ("capacity".to_owned(), c.capacity.to_value()),
+                ]),
+            ),
+            (
+                "sessions".to_owned(),
+                Value::Object(vec![
+                    (
+                        "open".to_owned(),
+                        self.sessions
+                            .lock()
+                            .expect("sessions lock")
+                            .len()
+                            .to_value(),
+                    ),
+                    (
+                        "opened".to_owned(),
+                        self.sessions_opened.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "closed".to_owned(),
+                        self.sessions_closed.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "expired".to_owned(),
+                        self.sessions_expired.load(Ordering::SeqCst).to_value(),
+                    ),
                 ]),
             ),
             (
@@ -362,6 +409,10 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         metrics: Metrics::new(),
         pending: Mutex::new(Vec::new()),
         inflight: Mutex::new(HashMap::new()),
+        sessions: Mutex::new(HashMap::new()),
+        sessions_opened: AtomicU64::new(0),
+        sessions_closed: AtomicU64::new(0),
+        sessions_expired: AtomicU64::new(0),
         shutting_down: AtomicBool::new(false),
         stopped: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
@@ -544,6 +595,19 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 ));
                 return;
             }
+            // Session requests run inline on this connection thread: strict
+            // per-connection ordering (a mutate never races its follow-up
+            // query), naturally excluded from coalescing and the queue, but
+            // counted in the submitted/completed pair so drain waits for
+            // them.
+            if matches!(
+                kind,
+                RequestKind::Open | RequestKind::Mutate | RequestKind::Close
+            ) || req.session.is_some()
+            {
+                handle_session(shared, conn, &req, started);
+                return;
+            }
             let timeout = req.timeout_ms.or(shared.cfg.default_timeout_ms);
             let state = Arc::new(JobState {
                 id: req.id,
@@ -626,6 +690,141 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
             }
         }
+    }
+}
+
+/// Executes one session request inline and answers it. No deadline is
+/// armed: session work is strictly ordered per connection, and a watchdog
+/// answer racing an in-place mutation could tear the session's view of
+/// which edits were applied.
+fn handle_session(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Request, started: Instant) {
+    let state = Arc::new(JobState {
+        id: req.id,
+        kind: req.kind,
+        deadline: None,
+        responded: AtomicBool::new(false),
+        started,
+    });
+    shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+    shared.executed.fetch_add(1, Ordering::SeqCst);
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_session(shared, req)));
+    let resp = match result {
+        Ok(Ok(body)) => Response::success(req.id, req.kind.as_str(), body),
+        Ok(Err(e)) => Response::failure(req.id, req.kind.as_str(), e),
+        Err(panic) => {
+            shared.panics.fetch_add(1, Ordering::SeqCst);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Response::failure(
+                req.id,
+                req.kind.as_str(),
+                ServiceError::new(
+                    ErrorCode::Internal,
+                    format!("session handler panicked: {msg}"),
+                ),
+            )
+        }
+    };
+    let outcome = if resp.ok { Outcome::Ok } else { Outcome::Error };
+    shared.respond_once(&state, conn, &resp, outcome);
+    shared.jobs_completed.fetch_add(1, Ordering::SeqCst);
+}
+
+fn session_expired(sid: &str) -> ServiceError {
+    ServiceError::new(
+        ErrorCode::SessionExpired,
+        format!("session `{sid}` is not open on this backend (never opened, idle-evicted, or closed); re-open and replay"),
+    )
+}
+
+fn run_session(shared: &Arc<Shared>, req: &Request) -> Result<Value, ServiceError> {
+    let sid = req
+        .session
+        .as_deref()
+        .ok_or_else(|| ServiceError::new(ErrorCode::BadRequest, "missing `session` id"))?;
+    let lookup = |sid: &str| -> Result<Arc<SessionEntry>, ServiceError> {
+        shared
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .get(sid)
+            .cloned()
+            .ok_or_else(|| session_expired(sid))
+    };
+    match req.kind {
+        RequestKind::Open => {
+            let design = req.design.as_deref().ok_or_else(|| {
+                ServiceError::new(ErrorCode::BadRequest, "missing `design` (CDFG text)")
+            })?;
+            let state = crate::session::SessionState::open(design)?;
+            let body = state.describe(sid);
+            let mut table = shared.sessions.lock().expect("sessions lock");
+            if table.len() >= SESSION_CAP && !table.contains_key(sid) {
+                return Err(ServiceError::new(
+                    ErrorCode::Overloaded,
+                    "session table is full; close a session and retry",
+                )
+                .with_detail("session_cap", SESSION_CAP.to_value()));
+            }
+            // Re-opening an id replaces the held design (deterministic:
+            // last open wins).
+            table.insert(
+                sid.to_owned(),
+                Arc::new(SessionEntry {
+                    state: Mutex::new((state, Instant::now())),
+                }),
+            );
+            shared.sessions_opened.fetch_add(1, Ordering::SeqCst);
+            Ok(body)
+        }
+        RequestKind::Close => {
+            let entry = shared
+                .sessions
+                .lock()
+                .expect("sessions lock")
+                .remove(sid)
+                .ok_or_else(|| session_expired(sid))?;
+            shared.sessions_closed.fetch_add(1, Ordering::SeqCst);
+            let entry = Arc::try_unwrap(entry).map_err(|_| {
+                ServiceError::new(
+                    ErrorCode::Internal,
+                    "session is still executing a request on another connection",
+                )
+            })?;
+            let (state, _) = entry.state.into_inner().expect("session lock");
+            Ok(state.close(sid))
+        }
+        RequestKind::Mutate => {
+            let edits = req.edits.as_deref().ok_or_else(|| {
+                ServiceError::new(ErrorCode::BadRequest, "missing `edits` (edit script)")
+            })?;
+            let entry = lookup(sid)?;
+            let mut guard = entry.state.lock().expect("session lock");
+            guard.1 = Instant::now();
+            guard.0.mutate(sid, edits)
+        }
+        RequestKind::Timing => {
+            let entry = lookup(sid)?;
+            let mut guard = entry.state.lock().expect("session lock");
+            guard.1 = Instant::now();
+            guard.0.timing(req)
+        }
+        RequestKind::Analyze => {
+            let entry = lookup(sid)?;
+            let mut guard = entry.state.lock().expect("session lock");
+            guard.1 = Instant::now();
+            guard.0.analyze(req, shared.engine_par)
+        }
+        other => Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!(
+                "`{other}` does not accept a `session` (only open/mutate/close/timing/analyze)"
+            ),
+        )),
     }
 }
 
@@ -733,6 +932,22 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                 }
             });
         }
+        // Idle-session sweep: evict sessions untouched for longer than the
+        // configured idle window. `try_lock` skips entries mid-request —
+        // an active session is by definition not idle.
+        if let Some(idle_ms) = shared.cfg.session_idle_ms {
+            let idle = Duration::from_millis(idle_ms);
+            let mut sessions = shared.sessions.lock().expect("sessions lock");
+            let before = sessions.len();
+            sessions.retain(|_, entry| match entry.state.try_lock() {
+                Ok(guard) => guard.1.elapsed() < idle,
+                Err(_) => true,
+            });
+            let evicted = (before - sessions.len()) as u64;
+            if evicted > 0 {
+                shared.sessions_expired.fetch_add(evicted, Ordering::SeqCst);
+            }
+        }
         std::thread::sleep(Duration::from_millis(2));
     }
 }
@@ -751,6 +966,17 @@ fn drain(shared: &Arc<Shared>) -> u64 {
             break;
         }
         std::thread::sleep(Duration::from_millis(2));
+    }
+    // Sessions do not survive a drain: close them all (their in-flight
+    // requests completed above) so held designs are released and a
+    // restarted client starts from a clean, typed `session_expired`.
+    {
+        let mut sessions = shared.sessions.lock().expect("sessions lock");
+        let n = sessions.len() as u64;
+        sessions.clear();
+        if n > 0 {
+            shared.sessions_closed.fetch_add(n, Ordering::SeqCst);
+        }
     }
     if !shared.metrics_dumped.swap(true, Ordering::SeqCst) {
         shared.dump_metrics(true);

@@ -23,6 +23,13 @@ pub fn coalescing_key(req: &Request) -> Option<u64> {
     if !matches!(req.kind, RequestKind::Analyze | RequestKind::Timing) {
         return None;
     }
+    // Session-scoped queries answer from held mutable state, not from the
+    // request alone: two identical lines can straddle a mutate and must
+    // both run. (The server answers them inline anyway; this guard keeps
+    // the exclusion explicit for any path that consults the key.)
+    if req.session.is_some() {
+        return None;
+    }
     let mut canon = req.clone();
     canon.id = None;
     canon.timeout_ms = None;
@@ -90,10 +97,22 @@ mod tests {
             RequestKind::Stats,
             RequestKind::Shutdown,
             RequestKind::ClusterStats,
+            RequestKind::Open,
+            RequestKind::Mutate,
+            RequestKind::Close,
         ] {
             let mut r = analyze_req();
             r.kind = kind;
             assert_eq!(coalescing_key(&r), None, "{kind} must not coalesce");
         }
+    }
+
+    #[test]
+    fn session_scoped_queries_never_coalesce() {
+        let mut r = analyze_req();
+        r.session = Some("s-1".to_owned());
+        assert_eq!(coalescing_key(&r), None);
+        r.kind = RequestKind::Timing;
+        assert_eq!(coalescing_key(&r), None);
     }
 }

@@ -18,6 +18,7 @@ fn start_server(workers: usize, queue_depth: usize) -> localwm_serve::ServerHand
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan: None,
+        session_idle_ms: None,
     })
     .expect("bind loopback")
 }
@@ -281,6 +282,7 @@ fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
         default_timeout_ms: None,
         metrics_out: Some(aborted.to_string_lossy().into_owned()),
         fault_plan: None,
+        session_idle_ms: None,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -299,6 +301,7 @@ fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
         default_timeout_ms: None,
         metrics_out: Some(drained.to_string_lossy().into_owned()),
         fault_plan: None,
+        session_idle_ms: None,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -437,6 +440,160 @@ fn cluster_stats_on_a_single_backend_is_a_typed_bad_request() {
     let err = resp.error.expect("typed error");
     assert_eq!(err.code, localwm_serve::ErrorCode::BadRequest);
     assert!(err.message.contains("localwm-gateway"));
+    handle.shutdown();
+}
+
+fn session_request(kind: RequestKind, id: u64, session: &str) -> Request {
+    let mut r = Request::new(kind);
+    r.id = Some(id);
+    r.session = Some(session.to_owned());
+    r
+}
+
+#[test]
+fn session_analysis_over_the_wire_matches_from_scratch() {
+    let handle = start_server(2, 16);
+    let mut c = connect(&handle);
+    let design = write_cdfg(&iir4_parallel());
+
+    // Open, mutate twice, analyze through the session.
+    let mut open = session_request(RequestKind::Open, 1, "wire-1");
+    open.design = Some(design.clone());
+    let resp = c.call(&open).unwrap();
+    assert!(resp.ok, "open failed: {:?}", resp.error);
+
+    let mut m1 = session_request(RequestKind::Mutate, 2, "wire-1");
+    m1.edits = Some("add-node t9 not\nadd-edge data A9 t9\n".to_owned());
+    assert!(c.call(&m1).unwrap().ok);
+    let mut m2 = session_request(RequestKind::Mutate, 3, "wire-1");
+    m2.edits = Some("add-edge temp A1 A5\n".to_owned());
+    assert!(c.call(&m2).unwrap().ok);
+
+    let mut q = session_request(RequestKind::Analyze, 4, "wire-1");
+    q.samples = Some(64);
+    q.seed = Some(9);
+    let held = c.call(&q).unwrap();
+    assert!(held.ok);
+
+    // From-scratch reference: the same final design as one analyze request.
+    let mut g = iir4_parallel();
+    let t9 = g.add_named_node(localwm_cdfg::OpKind::Not, "t9");
+    let a9 = g.node_by_name("A9").unwrap();
+    g.add_data_edge(a9, t9).unwrap();
+    let a1 = g.node_by_name("A1").unwrap();
+    let a5 = g.node_by_name("A5").unwrap();
+    g.add_edge(localwm_cdfg::EdgeKind::Temporal, a1, a5)
+        .unwrap();
+    let mut scratch_req = Request::new(RequestKind::Analyze);
+    scratch_req.id = Some(4); // same id so the response lines match exactly
+    scratch_req.design = Some(write_cdfg(&g));
+    scratch_req.samples = Some(64);
+    scratch_req.seed = Some(9);
+    let scratch = c.call(&scratch_req).unwrap();
+    assert!(scratch.ok);
+    assert_eq!(
+        held.to_line(),
+        scratch.to_line(),
+        "session analyze must be byte-identical to from-scratch"
+    );
+
+    // Close reports the mutation count; a second close is typed expired.
+    let resp = c
+        .call(&session_request(RequestKind::Close, 5, "wire-1"))
+        .unwrap();
+    assert!(resp.ok);
+    assert_eq!(resp.result_field("mutations"), Some(&Value::Int(2)));
+    let resp = c
+        .call(&session_request(RequestKind::Close, 6, "wire-1"))
+        .unwrap();
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.error.expect("typed error").code.as_str(),
+        "session_expired"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_evicted_with_a_typed_error() {
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 8,
+        cache_cap: 2,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: Some(30),
+    })
+    .expect("bind loopback");
+    let mut c = connect(&handle);
+    let mut open = session_request(RequestKind::Open, 1, "idle-1");
+    open.design = Some(write_cdfg(&iir4_parallel()));
+    assert!(c.call(&open).unwrap().ok);
+
+    // Let the watchdog sweep the idle session out.
+    std::thread::sleep(Duration::from_millis(200));
+    let resp = c
+        .call(&session_request(RequestKind::Timing, 2, "idle-1"))
+        .unwrap();
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.error.expect("typed error").code.as_str(),
+        "session_expired"
+    );
+
+    let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+    let sessions = stats.result_field("sessions").expect("session stats");
+    assert_eq!(sessions.field("expired"), Some(&Value::Int(1)));
+    assert_eq!(sessions.field("open"), Some(&Value::Int(0)));
+    handle.shutdown();
+}
+
+#[test]
+fn drain_closes_open_sessions_cleanly() {
+    let handle = start_server(1, 8);
+    let mut c = connect(&handle);
+    let mut open = session_request(RequestKind::Open, 1, "drain-1");
+    open.design = Some(write_cdfg(&iir4_parallel()));
+    assert!(c.call(&open).unwrap().ok);
+
+    let mut admin = connect(&handle);
+    assert!(admin.call(&Request::new(RequestKind::Shutdown)).unwrap().ok);
+    handle.join();
+    // The server exited with a session still open: the drain closed it
+    // (released the held design) rather than leaking or hanging.
+}
+
+#[test]
+fn session_queries_against_unknown_ids_are_typed_expired() {
+    let handle = start_server(1, 8);
+    let mut c = connect(&handle);
+    for kind in [
+        RequestKind::Mutate,
+        RequestKind::Timing,
+        RequestKind::Analyze,
+    ] {
+        let mut r = session_request(kind, 1, "ghost");
+        r.edits = Some("add-node t1 not\n".to_owned());
+        let resp = c.call(&r).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(
+            resp.error.expect("typed error").code.as_str(),
+            "session_expired",
+            "{kind}"
+        );
+    }
+    // A session-tagged embed is a bad request, not a silent fallback.
+    let mut r = session_request(RequestKind::Embed, 2, "ghost");
+    r.design = Some(write_cdfg(&iir4_parallel()));
+    r.author = Some("x".to_owned());
+    let resp = c.call(&r).unwrap();
+    assert!(!resp.ok);
+    assert_eq!(
+        resp.error.expect("typed error").code.as_str(),
+        "bad_request"
+    );
     handle.shutdown();
 }
 

@@ -58,6 +58,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        match corpus::bless_traces(&dir) {
+            Ok(names) => println!("blessed {} edit traces", names.len()),
+            Err(e) => {
+                eprintln!("trace bless failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         if gateway {
             match cluster::bless_transcript(&dir) {
                 Ok(()) => println!("blessed gateway/transcript.json"),
@@ -76,6 +83,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        match corpus::check_traces(&dir) {
+            Ok(more) => drifts.extend(more),
+            Err(e) => {
+                eprintln!("trace check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         if gateway {
             match cluster::check_transcript(&dir) {
                 Ok(more) => drifts.extend(more),

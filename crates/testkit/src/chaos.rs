@@ -173,6 +173,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan: Some(plan.clone()),
+        session_idle_ms: None,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();

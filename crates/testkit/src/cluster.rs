@@ -200,6 +200,7 @@ fn start_backend(workers: usize) -> Result<ServerHandle, String> {
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan: None,
+        session_idle_ms: None,
     })
     .map_err(|e| format!("start backend: {e}"))
 }

@@ -191,6 +191,134 @@ pub fn golden_text(case: &CorpusCase) -> String {
     s
 }
 
+/// One golden edit-trace case: a starting design, the trace text, and
+/// (on disk) the expected per-step responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCase {
+    /// File stem under `corpus/traces/`.
+    pub name: String,
+    /// Starting design (canonical CDFG text).
+    pub design: String,
+    /// Trace text (edit batches + queries; see [`crate::trace`]).
+    pub trace: String,
+}
+
+/// The built-in golden traces: a seeded churn trace and a hand-written
+/// one that crosses typed-error steps (bad edits are corpus content).
+pub fn builtin_traces() -> Vec<TraceCase> {
+    let iir4 = write_cdfg(&iir4_parallel());
+    let seeded = crate::trace::seeded_trace(
+        &iir4_parallel(),
+        &crate::trace::TraceSpec {
+            seed: 11,
+            edit_steps: 5,
+            edits_per_step: 2,
+            samples: 24,
+        },
+    )
+    .expect("iir4 is traceable");
+    vec![
+        TraceCase {
+            name: "iir4-churn".to_owned(),
+            design: iir4.clone(),
+            trace: seeded,
+        },
+        TraceCase {
+            name: "iir4-errors".to_owned(),
+            design: iir4,
+            trace: "add-edge temp A1 A5\nquery analyze 24 7\n\
+                    add-edge temp A2 A6\nadd-edge temp A9 A1\n\
+                    query analyze 24 7\nadd-edge data nope A5\nquery timing\n"
+                .to_owned(),
+        },
+    ]
+}
+
+/// The golden file text for one trace case: the incremental lane's exact
+/// per-step response lines (the scratch and TCP lanes must match these
+/// byte for byte — the oracle asserts that; the golden pins them in time).
+///
+/// # Panics
+///
+/// Panics if the built-in design stops parsing (an engine regression).
+pub fn trace_golden_text(case: &TraceCase) -> String {
+    let steps = crate::trace::parse_trace(&case.trace).expect("builtin trace parses");
+    let lines = crate::trace::replay_incremental(&case.design, &steps, "trace")
+        .expect("builtin design parses");
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+/// Diffs the committed trace corpus (`corpus/traces/<name>.trace` +
+/// `<name>.golden.jsonl`) against the built-ins.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than missing files (reported as drift).
+pub fn check_traces(dir: &Path) -> io::Result<Vec<Drift>> {
+    let mut drifts = Vec::new();
+    for case in builtin_traces() {
+        let trace_path = dir.join("traces").join(format!("{}.trace", case.name));
+        match fs::read_to_string(&trace_path) {
+            Ok(on_disk) if on_disk == case.trace => {}
+            Ok(on_disk) => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "trace-drift",
+                diff: line_diff(&case.trace, &on_disk, 5),
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "missing-trace",
+                diff: String::new(),
+            }),
+            Err(e) => return Err(e),
+        }
+        let golden_path = dir
+            .join("traces")
+            .join(format!("{}.golden.jsonl", case.name));
+        let expected = trace_golden_text(&case);
+        match fs::read_to_string(&golden_path) {
+            Ok(on_disk) if on_disk == expected => {}
+            Ok(on_disk) => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "trace-golden-drift",
+                diff: line_diff(&expected, &on_disk, 8),
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => drifts.push(Drift {
+                name: case.name.clone(),
+                kind: "missing-trace-golden",
+                diff: String::new(),
+            }),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(drifts)
+}
+
+/// Writes the trace corpus under `dir` (the `--bless` mode).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn bless_traces(dir: &Path) -> io::Result<Vec<String>> {
+    fs::create_dir_all(dir.join("traces"))?;
+    let mut written = Vec::new();
+    for case in builtin_traces() {
+        fs::write(
+            dir.join("traces").join(format!("{}.trace", case.name)),
+            &case.trace,
+        )?;
+        fs::write(
+            dir.join("traces")
+                .join(format!("{}.golden.jsonl", case.name)),
+            trace_golden_text(&case),
+        )?;
+        written.push(case.name);
+    }
+    Ok(written)
+}
+
 /// One detected divergence between the computed corpus and disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Drift {

@@ -21,6 +21,11 @@
 //!   responses beyond the fired faults, no double-acks, exact drain
 //!   accounting, cache counter consistency). Same seed ⇒ same plan, same
 //!   fired-fault trace, same report.
+//! * [`trace`] — edit-trace replay: seeded interactive-session traces
+//!   (edit batches + analysis queries) run through a held incremental
+//!   session, a fresh-context-per-step scratch lane, and a real TCP
+//!   session, all byte-compared — the oracle that pins the dirty-cone
+//!   invalidation contract (incrementality changes cost, never bytes).
 //! * [`cluster`] — the cluster harness: a `localwm-gateway` over N live
 //!   backends, the gateway differential lane (gateway responses must be
 //!   byte-identical to a single backend), the golden routing transcript
@@ -40,6 +45,7 @@ pub mod cluster;
 pub mod corpus;
 pub mod oracle;
 pub mod stream;
+pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosOutcome};
 pub use cluster::{ClusterConfig, ClusterHarness, GatewayChaosConfig, GatewayChaosOutcome};
@@ -50,6 +56,7 @@ pub use cluster::{ClusterConfig, ClusterHarness, GatewayChaosConfig, GatewayChao
 pub fn fault_inject_compiled() -> bool {
     cfg!(feature = "fault-inject")
 }
-pub use corpus::CorpusCase;
+pub use corpus::{CorpusCase, TraceCase};
 pub use oracle::DifferentialReport;
 pub use stream::StreamSpec;
+pub use trace::{TraceReport, TraceSpec, TraceStep};

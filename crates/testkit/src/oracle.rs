@@ -94,6 +94,7 @@ pub fn tcp_lines(
         default_timeout_ms: None,
         metrics_out: None,
         fault_plan: None,
+        session_idle_ms: None,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();

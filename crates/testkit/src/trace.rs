@@ -1,0 +1,553 @@
+//! Edit traces: recorded interactive sessions, replayed two ways.
+//!
+//! A *trace* is a text file interleaving session edit scripts (the same
+//! grammar `localwm-serve`'s `mutate` accepts) with analysis queries:
+//!
+//! ```text
+//! add-edge temp A1 A5          # edit lines batch into one mutate
+//! add-node t9 not
+//! add-edge data A9 t9
+//! query timing                 # or: query timing <deadline>
+//! query analyze 64 7           # samples, seed
+//! ```
+//!
+//! Consecutive edit lines form one `mutate` step; each `query` line is its
+//! own step. The differential oracle ([`run_trace_differential`]) replays
+//! the same trace through three lanes and demands byte-identical response
+//! lines, typed errors included:
+//!
+//! * `incremental` — one held [`SessionState`], dirty-cone patching across
+//!   every step; the reference lane.
+//! * `scratch` — a **fresh** session per step: the original design is
+//!   re-opened and every prior edit batch replayed before the step runs,
+//!   so nothing incremental survives. (Replaying edits, not re-parsing the
+//!   mutated design text, is deliberate: a session may hold graphs the
+//!   text format cannot round-trip, e.g. mid-script arity violations.)
+//! * `tcp-session` — a real server on a loopback socket, the trace driven
+//!   through the wire protocol's `open`/`mutate`/`close`.
+//!
+//! [`seeded_trace`] generates deterministic traces (temporal-edge churn
+//! that keeps the node count fixed, so the incremental Monte-Carlo capture
+//! stays patchable), and [`named_layered`] builds large designs with
+//! addressable node names for the `edit_trace` benchmark.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use localwm_cdfg::{Cdfg, OpKind};
+use localwm_engine::{DesignContext, Parallelism};
+use localwm_serve::fault::SplitMix64;
+use localwm_serve::session::SessionState;
+use localwm_serve::{Client, Request, RequestKind, Response, ServeConfig};
+
+/// One replayable trace step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceStep {
+    /// A batch of consecutive edit lines — one `mutate` request.
+    Edits(String),
+    /// `query timing [deadline]`.
+    Timing {
+        /// Optional deadline (control steps) for the window table.
+        deadline: Option<u32>,
+    },
+    /// `query analyze <samples> <seed>`.
+    Analyze {
+        /// Monte-Carlo sample count.
+        samples: usize,
+        /// Monte-Carlo seed.
+        seed: u64,
+    },
+}
+
+/// Parses trace text into steps; consecutive edit lines batch into one
+/// [`TraceStep::Edits`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed `query`
+/// lines. Edit lines are *not* validated here — bad edits are trace
+/// content (they must replay to the same typed error in every lane).
+pub fn parse_trace(text: &str) -> Result<Vec<TraceStep>, String> {
+    let mut steps = Vec::new();
+    let mut batch = String::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(query) = line.strip_prefix("query ") else {
+            batch.push_str(line);
+            batch.push('\n');
+            continue;
+        };
+        if !batch.is_empty() {
+            steps.push(TraceStep::Edits(std::mem::take(&mut batch)));
+        }
+        let toks: Vec<&str> = query.split_whitespace().collect();
+        let step = match toks.as_slice() {
+            ["timing"] => TraceStep::Timing { deadline: None },
+            ["timing", d] => TraceStep::Timing {
+                deadline: Some(
+                    d.parse()
+                        .map_err(|_| format!("trace line {}: bad deadline `{d}`", ln + 1))?,
+                ),
+            },
+            ["analyze", s, seed] => TraceStep::Analyze {
+                samples: s
+                    .parse()
+                    .map_err(|_| format!("trace line {}: bad samples `{s}`", ln + 1))?,
+                seed: seed
+                    .parse()
+                    .map_err(|_| format!("trace line {}: bad seed `{seed}`", ln + 1))?,
+            },
+            _ => {
+                return Err(format!(
+                    "trace line {}: unrecognized query `{query}` \
+                     (timing [deadline] | analyze <samples> <seed>)",
+                    ln + 1
+                ))
+            }
+        };
+        steps.push(step);
+    }
+    if !batch.is_empty() {
+        steps.push(TraceStep::Edits(batch));
+    }
+    Ok(steps)
+}
+
+/// Shape of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Seed for the edit mix.
+    pub seed: u64,
+    /// Number of edit batches (each followed by an `analyze` query).
+    pub edit_steps: usize,
+    /// Edit lines per batch.
+    pub edits_per_step: usize,
+    /// Sample count for the generated `analyze` queries.
+    pub samples: usize,
+}
+
+/// Generates a deterministic trace against `graph`: temporal-edge churn
+/// (adds forward in the base topological order, removals of previously
+/// added edges) with an `analyze` query after every batch and a `timing`
+/// query every fourth. Node count never changes, so the session's
+/// Monte-Carlo capture stays patchable across the whole trace.
+///
+/// Edits are biased toward the tail of the topological order to keep
+/// dirty cones small — the regime incremental recomputation exists for.
+///
+/// # Errors
+///
+/// Returns a message if the graph is cyclic or has unnamed nodes (the
+/// edit grammar addresses nodes by name).
+pub fn seeded_trace(graph: &Cdfg, spec: &TraceSpec) -> Result<String, String> {
+    let ctx = DesignContext::new(graph.clone());
+    let order = ctx.try_topo().map_err(|e| e.to_string())?;
+    let names: Vec<String> = order
+        .iter()
+        .map(|&n| {
+            graph
+                .node(n)
+                .and_then(|x| x.name().map(str::to_owned))
+                .ok_or_else(|| format!("node {n} has no name; traces address nodes by name"))
+        })
+        .collect::<Result<_, _>>()?;
+    let n = names.len();
+    if n < 4 {
+        return Err("design too small to trace".to_owned());
+    }
+    let mut rng = SplitMix64::new(spec.seed ^ 0x007A_C30F_ED17);
+    // One analysis seed for the whole trace: an interactive client watches
+    // the *same* query update as it edits, which is also what keeps the
+    // session's Monte-Carlo capture reusable (the seed keys the cache).
+    let analyze_seed = rng.below(1 << 16);
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut out = String::new();
+    for step in 0..spec.edit_steps {
+        for _ in 0..spec.edits_per_step {
+            let remove = !live.is_empty() && rng.below(100) < 30;
+            if remove {
+                let k = usize::try_from(rng.below(live.len() as u64)).expect("index fits");
+                let (i, j) = live.swap_remove(k);
+                seen.remove(&(i, j));
+                out.push_str(&format!("remove-edge temp {} {}\n", names[i], names[j]));
+                continue;
+            }
+            // Forward w.r.t. the base topological order, upper half: the
+            // base order stays valid after every add, and cones stay small.
+            let lo = n / 2;
+            for _ in 0..16 {
+                let i = lo + usize::try_from(rng.below((n - 1 - lo) as u64)).expect("index fits");
+                let j = i + 1 + usize::try_from(rng.below((n - 1 - i) as u64)).expect("index fits");
+                if seen.insert((i, j)) {
+                    live.push((i, j));
+                    out.push_str(&format!("add-edge temp {} {}\n", names[i], names[j]));
+                    break;
+                }
+            }
+        }
+        if step % 4 == 3 {
+            out.push_str("query timing\n");
+        }
+        out.push_str(&format!("query analyze {} {analyze_seed}\n", spec.samples));
+    }
+    Ok(out)
+}
+
+/// A layered random DAG with *named* nodes (`i<k>` inputs, `n<k>` ops), so
+/// generated traces can address every node. Data-operand arity is honored
+/// (`add` takes two predecessors, `not` one), so the design round-trips
+/// through the text format.
+pub fn named_layered(ops: usize, inputs: usize, layers: usize, seed: u64) -> Cdfg {
+    let mut g = Cdfg::new();
+    let mut rng = SplitMix64::new(seed ^ 0x1A7E_2ED0);
+    let inputs = inputs.max(2);
+    let layers = layers.max(1);
+    let mut prev: Vec<localwm_cdfg::NodeId> = (0..inputs)
+        .map(|k| g.add_named_node(OpKind::Input, format!("i{k}")))
+        .collect();
+    let mut all = prev.clone();
+    let per_layer = ops.div_ceil(layers).max(1);
+    let mut made = 0usize;
+    for _ in 0..layers {
+        let mut layer = Vec::with_capacity(per_layer);
+        for _ in 0..per_layer {
+            if made >= ops {
+                break;
+            }
+            let id = if rng.below(100) < 70 {
+                let node = g.add_named_node(OpKind::Add, format!("n{made}"));
+                let a = prev[usize::try_from(rng.below(prev.len() as u64)).expect("fits")];
+                let b = all[usize::try_from(rng.below(all.len() as u64)).expect("fits")];
+                g.add_data_edge(a, node).expect("forward edge");
+                g.add_data_edge(b, node).expect("forward edge");
+                node
+            } else {
+                let node = g.add_named_node(OpKind::Not, format!("n{made}"));
+                let a = prev[usize::try_from(rng.below(prev.len() as u64)).expect("fits")];
+                g.add_data_edge(a, node).expect("forward edge");
+                node
+            };
+            made += 1;
+            layer.push(id);
+        }
+        if layer.is_empty() {
+            break;
+        }
+        all.extend(layer.iter().copied());
+        prev = layer;
+    }
+    g
+}
+
+/// One lane disagreement at a trace step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMismatch {
+    /// Lane that diverged from the incremental reference.
+    pub lane: String,
+    /// Step index in the parsed trace.
+    pub step: usize,
+    /// The reference (incremental) response line.
+    pub want: String,
+    /// The diverging lane's line.
+    pub got: String,
+}
+
+/// Outcome of a trace differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Steps replayed.
+    pub steps: usize,
+    /// Typed-error responses in the reference lane (covered, not skipped).
+    pub error_responses: usize,
+    /// Every lane disagreement (empty = all lanes byte-identical).
+    pub mismatches: Vec<TraceMismatch>,
+}
+
+fn step_response(state: &mut SessionState, session: &str, id: u64, step: &TraceStep) -> String {
+    let (kind, result) = match step {
+        TraceStep::Edits(edits) => ("mutate", state.mutate(session, edits)),
+        TraceStep::Timing { deadline } => {
+            let mut req = Request::new(RequestKind::Timing);
+            req.deadline = *deadline;
+            ("timing", state.timing(&req))
+        }
+        TraceStep::Analyze { samples, seed } => {
+            let mut req = Request::new(RequestKind::Analyze);
+            req.samples = Some(*samples);
+            req.seed = Some(*seed);
+            ("analyze", state.analyze(&req, Parallelism::Serial))
+        }
+    };
+    match result {
+        Ok(v) => Response::success(Some(id), kind, v),
+        Err(e) => Response::failure(Some(id), kind, e),
+    }
+    .to_line()
+}
+
+/// Replays the trace through one held session — the incremental lane.
+///
+/// # Errors
+///
+/// Returns a message if the design itself does not parse (traces assume a
+/// valid starting design; *edits* may fail and that is trace content).
+pub fn replay_incremental(
+    design: &str,
+    steps: &[TraceStep],
+    session: &str,
+) -> Result<Vec<String>, String> {
+    let mut state = SessionState::open(design).map_err(|e| e.to_string())?;
+    Ok(steps
+        .iter()
+        .enumerate()
+        .map(|(i, step)| step_response(&mut state, session, i as u64, step))
+        .collect())
+}
+
+/// Replays the trace with a fresh session per step — the scratch lane.
+/// Step `k` re-opens the original design and replays edit batches
+/// `0..k` before executing, so no incremental state survives between
+/// steps.
+///
+/// # Errors
+///
+/// Same as [`replay_incremental`].
+pub fn replay_scratch(
+    design: &str,
+    steps: &[TraceStep],
+    session: &str,
+) -> Result<Vec<String>, String> {
+    let mut lines = Vec::with_capacity(steps.len());
+    for (k, step) in steps.iter().enumerate() {
+        let mut state = SessionState::open(design).map_err(|e| e.to_string())?;
+        for prior in &steps[..k] {
+            if let TraceStep::Edits(edits) = prior {
+                // Failures replay identically (prefix retained) — ignore
+                // the result, the *response* was compared at its own step.
+                let _ = state.mutate(session, edits);
+            }
+        }
+        lines.push(step_response(&mut state, session, k as u64, step));
+    }
+    Ok(lines)
+}
+
+/// Replays the trace through a real server over TCP (`open`, one request
+/// per step, `close`), returning the per-step raw response lines.
+///
+/// # Errors
+///
+/// Returns a message on socket failures or if the `open` itself fails.
+pub fn replay_tcp(design: &str, steps: &[TraceStep], session: &str) -> Result<Vec<String>, String> {
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 16,
+        cache_cap: 2,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let run = || -> Result<Vec<String>, String> {
+        let mut c = Client::connect_within(&handle.addr().to_string(), Duration::from_secs(5))
+            .map_err(|e| format!("connect: {e}"))?;
+        let mut open = Request::new(RequestKind::Open);
+        open.id = Some(u64::MAX);
+        open.session = Some(session.to_owned());
+        open.design = Some(design.to_owned());
+        let opened = c.call(&open).map_err(|e| format!("open: {e}"))?;
+        if !opened.ok {
+            return Err(format!("open refused: {:?}", opened.error));
+        }
+        let mut lines = Vec::with_capacity(steps.len());
+        for (i, step) in steps.iter().enumerate() {
+            let mut req = match step {
+                TraceStep::Edits(edits) => {
+                    let mut r = Request::new(RequestKind::Mutate);
+                    r.edits = Some(edits.clone());
+                    r
+                }
+                TraceStep::Timing { deadline } => {
+                    let mut r = Request::new(RequestKind::Timing);
+                    r.deadline = *deadline;
+                    r
+                }
+                TraceStep::Analyze { samples, seed } => {
+                    let mut r = Request::new(RequestKind::Analyze);
+                    r.samples = Some(*samples);
+                    r.seed = Some(*seed);
+                    r
+                }
+            };
+            req.id = Some(i as u64);
+            req.session = Some(session.to_owned());
+            c.send(&req).map_err(|e| format!("send: {e}"))?;
+            lines.push(c.recv_line().map_err(|e| format!("recv: {e}"))?);
+        }
+        let mut close = Request::new(RequestKind::Close);
+        close.session = Some(session.to_owned());
+        let _ = c.call(&close);
+        Ok(lines)
+    };
+    let lines = run();
+    handle.shutdown();
+    lines
+}
+
+/// Runs the full trace differential: incremental (reference) vs scratch
+/// vs a real TCP session, byte-compared per step.
+///
+/// # Errors
+///
+/// Returns a message if a lane cannot run at all (bad starting design,
+/// socket failure). Disagreements are *not* errors — they land in
+/// [`TraceReport::mismatches`].
+pub fn run_trace_differential(design: &str, trace: &str) -> Result<TraceReport, String> {
+    let steps = parse_trace(trace)?;
+    let session = "trace";
+    let reference = replay_incremental(design, &steps, session)?;
+    let lanes = vec![
+        (
+            "scratch".to_owned(),
+            replay_scratch(design, &steps, session)?,
+        ),
+        (
+            "tcp-session".to_owned(),
+            replay_tcp(design, &steps, session)?,
+        ),
+    ];
+    let mut mismatches = Vec::new();
+    for (lane, lines) in &lanes {
+        for (i, (want, got)) in reference.iter().zip(lines).enumerate() {
+            if want != got {
+                mismatches.push(TraceMismatch {
+                    lane: lane.clone(),
+                    step: i,
+                    want: want.clone(),
+                    got: got.clone(),
+                });
+            }
+        }
+        if lines.len() != reference.len() {
+            mismatches.push(TraceMismatch {
+                lane: lane.clone(),
+                step: reference.len().min(lines.len()),
+                want: format!("{} lines", reference.len()),
+                got: format!("{} lines", lines.len()),
+            });
+        }
+    }
+    Ok(TraceReport {
+        steps: steps.len(),
+        error_responses: reference
+            .iter()
+            .filter(|l| l.contains("\"ok\":false"))
+            .count(),
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::designs::iir4_parallel;
+    use localwm_cdfg::write_cdfg;
+
+    #[test]
+    fn parse_batches_edits_and_reads_queries() {
+        let steps = parse_trace(
+            "# header\nadd-edge temp A1 A5\nadd-node t1 not\nquery timing 9\n\nquery analyze 32 4\nremove-edge temp A1 A5\n",
+        )
+        .unwrap();
+        assert_eq!(
+            steps,
+            vec![
+                TraceStep::Edits("add-edge temp A1 A5\nadd-node t1 not\n".to_owned()),
+                TraceStep::Timing { deadline: Some(9) },
+                TraceStep::Analyze {
+                    samples: 32,
+                    seed: 4
+                },
+                TraceStep::Edits("remove-edge temp A1 A5\n".to_owned()),
+            ]
+        );
+        assert!(parse_trace("query analyze nope 4\n").is_err());
+        assert!(parse_trace("query explode\n").is_err());
+    }
+
+    #[test]
+    fn seeded_traces_are_deterministic_and_replayable() {
+        let g = iir4_parallel();
+        let spec = TraceSpec {
+            seed: 11,
+            edit_steps: 6,
+            edits_per_step: 2,
+            samples: 16,
+        };
+        let a = seeded_trace(&g, &spec).unwrap();
+        assert_eq!(a, seeded_trace(&g, &spec).unwrap());
+        let steps = parse_trace(&a).unwrap();
+        let lines = replay_incremental(&write_cdfg(&g), &steps, "t").unwrap();
+        assert_eq!(lines.len(), steps.len());
+        // Every generated edit applies cleanly (forward temporal churn).
+        assert!(lines.iter().all(|l| l.contains("\"ok\":true")), "{lines:?}");
+    }
+
+    #[test]
+    fn differential_lanes_agree_on_a_seeded_trace() {
+        let g = iir4_parallel();
+        let trace = seeded_trace(
+            &g,
+            &TraceSpec {
+                seed: 3,
+                edit_steps: 4,
+                edits_per_step: 2,
+                samples: 24,
+            },
+        )
+        .unwrap();
+        let report = run_trace_differential(&write_cdfg(&g), &trace).unwrap();
+        assert!(report.mismatches.is_empty(), "{:?}", report.mismatches);
+        assert!(report.steps >= 8);
+    }
+
+    #[test]
+    fn typed_errors_replay_identically_in_every_lane() {
+        let g = iir4_parallel();
+        // A mid-trace failing batch (cycle) and an unknown-node batch: the
+        // prefix of a failing batch stays applied in every lane.
+        let trace = "add-edge temp A1 A5\nquery analyze 16 1\n\
+                     add-edge temp A2 A6\nadd-edge temp A9 A1\n\
+                     query analyze 16 1\nadd-edge data nope A5\nquery timing\n";
+        let report = run_trace_differential(&write_cdfg(&g), trace).unwrap();
+        assert!(report.mismatches.is_empty(), "{:?}", report.mismatches);
+        assert_eq!(report.error_responses, 2, "both bad batches covered");
+    }
+
+    #[test]
+    fn named_layered_round_trips_and_traces() {
+        let g = named_layered(120, 4, 10, 9);
+        let text = write_cdfg(&g);
+        let back = localwm_cdfg::parse_cdfg(&text).expect("round trip");
+        assert_eq!(back.node_count(), g.node_count());
+        let trace = seeded_trace(
+            &g,
+            &TraceSpec {
+                seed: 5,
+                edit_steps: 3,
+                edits_per_step: 2,
+                samples: 8,
+            },
+        )
+        .unwrap();
+        let steps = parse_trace(&trace).unwrap();
+        let lines = replay_incremental(&text, &steps, "t").unwrap();
+        assert!(lines.iter().all(|l| l.contains("\"ok\":true")), "{lines:?}");
+    }
+}

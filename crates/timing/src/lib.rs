@@ -14,6 +14,10 @@
 //!   criticality probabilities and circuit-delay quantiles under any
 //!   bounded model, with deterministic per-sample seeding so serial and
 //!   parallel runs agree exactly.
+//! * [`CriticalityCache`] — the same analysis memoized across graph
+//!   mutations: per-sample draws and arrival times survive an edit and
+//!   only the dirty fan-out cone is re-timed, with provable
+//!   byte-identity to a from-scratch run.
 //!
 //! # Example
 //!
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod incremental;
 mod statistical;
 
 pub use localwm_engine::{
@@ -38,4 +43,5 @@ pub use localwm_engine::{
     DelayInterval, DesignContext, DynamicBounds, KindBounds, UnitTiming,
 };
 
+pub use incremental::CriticalityCache;
 pub use statistical::{criticality, criticality_in, CriticalityReport};

@@ -1,8 +1,12 @@
 //! Property-based tests for the timing analyses.
 
 use localwm_cdfg::generators::{layered, random_dag, LayeredConfig};
-use localwm_cdfg::NodeId;
-use localwm_timing::{bounded_arrival, bounded_critical_path, KindBounds, UnitTiming};
+use localwm_cdfg::{EdgeKind, NodeId};
+use localwm_engine::Parallelism;
+use localwm_timing::{
+    bounded_arrival, bounded_critical_path, criticality_in, CriticalityCache, DesignContext,
+    KindBounds, UnitTiming,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -62,6 +66,54 @@ proptest! {
             prop_assert_eq!(inc.asap(v), fresh.asap(v));
             prop_assert_eq!(inc.tail(v), fresh.tail(v));
             prop_assert_eq!(inc.laxity(v), fresh.laxity(v));
+        }
+    }
+
+    /// The staleness contract of the cross-mutation criticality cache: no
+    /// interleaving of tracked mutations (temporal-edge adds, edge
+    /// removals) and queries can make a cached report diverge from a
+    /// from-scratch run on the current graph. This is the external
+    /// `generation()`/`dirty_since()` consumer the engine's dirty
+    /// tracking exists for, driven through the same mutate path sessions
+    /// use.
+    #[test]
+    fn criticality_cache_never_stale_under_interleaving(
+        n in 10usize..40,
+        p in 0.08f64..0.3,
+        seed in 0u64..500,
+        schedule in proptest::collection::vec(0u8..=255, 2..16),
+    ) {
+        let g = random_dag(n, p, seed);
+        let mut ctx = DesignContext::new(g);
+        let model = KindBounds::uniform(1, 4);
+        let mut cache = CriticalityCache::new();
+        for (i, &code) in schedule.iter().enumerate() {
+            match code % 4 {
+                0 => {
+                    // Temporal-edge add, forward in the current order so it
+                    // can never create a cycle.
+                    let order = ctx.topo().to_vec();
+                    let a = order[usize::from(code) % order.len()];
+                    let b = order[(usize::from(code) + 1 + i) % order.len()];
+                    if a != b && !ctx.reaches(a, b) && !ctx.reaches(b, a) {
+                        prop_assert!(ctx.mutate(|ed| ed.add_edge(EdgeKind::Temporal, a, b)).is_ok());
+                    }
+                }
+                1 => {
+                    let edges: Vec<_> = ctx.graph().edge_ids().collect();
+                    if !edges.is_empty() {
+                        let victim = edges[usize::from(code) % edges.len()];
+                        prop_assert!(ctx.mutate(|ed| ed.remove_edge(victim)).is_ok());
+                    }
+                }
+                _ => {
+                    let inc = cache.criticality_in(&ctx, &model, 32, 9, Parallelism::Serial);
+                    let scratch = criticality_in(&ctx, &model, 32, 9, Parallelism::Serial);
+                    prop_assert_eq!(inc.samples, scratch.samples);
+                    prop_assert_eq!(&inc.delays, &scratch.delays);
+                    prop_assert_eq!(&inc.criticality, &scratch.criticality);
+                }
+            }
         }
     }
 
