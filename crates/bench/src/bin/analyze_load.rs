@@ -34,6 +34,7 @@ fn start_server(workers: usize) -> ServerHandle {
         metrics_out: None,
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .expect("bind loopback")
 }

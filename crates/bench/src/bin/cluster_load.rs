@@ -33,6 +33,7 @@ fn start_backend() -> ServerHandle {
         metrics_out: None,
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .expect("bind backend")
 }

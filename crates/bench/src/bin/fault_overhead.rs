@@ -74,6 +74,7 @@ fn start_server(fault_plan: Option<FaultPlan>) -> ServerHandle {
         metrics_out: None,
         fault_plan,
         session_idle_ms: None,
+        store_dir: None,
     })
     .expect("bind loopback")
 }

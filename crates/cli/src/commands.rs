@@ -32,6 +32,7 @@ pub fn run(args: &[String]) -> CliResult {
         Some("serve") => crate::serve_cmd::serve(&args[1..]),
         Some("gateway") => crate::gateway_cmd::gateway(&args[1..]),
         Some("request") => crate::serve_cmd::request(&args[1..]),
+        Some("store") => crate::store_cmd::store(&args[1..]),
         Some("chaos") => crate::chaos_cmd::chaos(&args[1..]),
         Some("help") | None => {
             println!("{HELP}");
@@ -58,6 +59,8 @@ USAGE:
   localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
                 [--cache-cap N] [--default-timeout-ms N]
                 [--session-idle-ms N] [--metrics-out FILE]
+                [--store-dir DIR]
+  localwm store <ls|get HASH|verify|compact> --dir DIR [-o FILE]
   localwm gateway --backends [name=]HOST:PORT[,...] [--addr HOST:PORT]
                   [--replicas N] [--max-retries N] [--backoff-base-ms N]
                   [--backoff-cap-ms N] [--recv-timeout-ms N]
@@ -68,7 +71,7 @@ USAGE:
                   [--schedule FILE] [--schedule-out FILE] [--fraction F]
                   [--k K] [--deadline N] [--lo N --hi N] [--samples N]
                   [--seed N] [--timeout-ms N] [--repeat N]
-                  [--session ID] [--edits FILE]
+                  [--session ID] [--edits FILE] [--binary]
   localwm request --edit-trace FILE --design FILE [--session ID]
                   [--addr HOST:PORT]
   localwm chaos [--seed N] [--requests N] [--faults-per-point N]

@@ -13,6 +13,8 @@
 //!         [--samples N] [--seed N] [--probe-out FILE]
 //! localwm serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!         [--cache-cap N] [--default-timeout-ms N] [--metrics-out FILE]
+//!         [--store-dir DIR]
+//! localwm store <ls|get HASH|verify|compact> --dir DIR
 //! localwm gateway --backends [name=]H:P,... [--addr HOST:PORT]
 //!         [--replicas N] [--max-retries N] [--health-interval-ms N|off]
 //! localwm request <kind> [--addr HOST:PORT] [--design FILE] [--repeat N] ...
@@ -33,6 +35,7 @@ mod chaos_cmd;
 mod commands;
 mod gateway_cmd;
 mod serve_cmd;
+mod store_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

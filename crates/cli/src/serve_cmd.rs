@@ -26,7 +26,8 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
 }
 
 /// `localwm serve [--addr A] [--workers N] [--queue-depth N] [--cache-cap N]
-/// [--default-timeout-ms N] [--session-idle-ms N] [--metrics-out FILE]`
+/// [--default-timeout-ms N] [--session-idle-ms N] [--metrics-out FILE]
+/// [--store-dir DIR]`
 pub fn serve(args: &[String]) -> CliResult {
     let mut cfg = ServeConfig {
         addr: flag_value(args, "--addr")
@@ -46,6 +47,7 @@ pub fn serve(args: &[String]) -> CliResult {
     cfg.default_timeout_ms = parse_flag::<u64>(args, "--default-timeout-ms")?;
     cfg.session_idle_ms = parse_flag::<u64>(args, "--session-idle-ms")?;
     cfg.metrics_out = flag_value(args, "--metrics-out").map(str::to_owned);
+    cfg.store_dir = flag_value(args, "--store-dir").map(str::to_owned);
 
     let handle = localwm_serve::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
     println!("localwm-serve listening on {}", handle.addr());
@@ -57,7 +59,10 @@ pub fn serve(args: &[String]) -> CliResult {
 /// `localwm request <kind> [--addr A] [--design FILE] [--author ID]
 /// [--schedule FILE] [--fraction F] [--k K] [--deadline N] [--lo N --hi N]
 /// [--samples N] [--seed N] [--timeout-ms N] [--schedule-out FILE]
-/// [--repeat N] [--session ID] [--edits FILE]`
+/// [--repeat N] [--session ID] [--edits FILE] [--binary]`
+///
+/// `--binary` negotiates the `LWMB1` framed encoding for the connection;
+/// responses decode to the same bytes, so output is unchanged.
 ///
 /// Or: `localwm request --edit-trace FILE --design FILE [--session ID]
 /// [--addr A]` — replays a whole edit trace (see `localwm-testkit`'s trace
@@ -102,8 +107,13 @@ pub fn request(args: &[String]) -> CliResult {
 
     let repeat = parse_flag::<usize>(args, "--repeat")?.unwrap_or(1).max(1);
 
-    let mut client = Client::connect_within(addr, Duration::from_secs(5))
-        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let wait = Duration::from_secs(5);
+    let mut client = if args.iter().any(|a| a == "--binary") {
+        Client::connect_binary_within(addr, wait)
+    } else {
+        Client::connect_within(addr, wait)
+    }
+    .map_err(|e| format!("connecting to {addr}: {e}"))?;
     let (resp, latencies) = client
         .call_repeated(&req, repeat)
         .map_err(|e| format!("request failed: {e}"))?;

@@ -294,3 +294,179 @@ fn gateway_chaos_subcommand_reports_clean_invariants() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+fn spawn_store_server(store_dir: &Path) -> ServerProc {
+    let mut child = localwm()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--store-dir",
+            store_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn localwm serve --store-dir");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read listen line");
+    let addr = first
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on listen line")
+        .to_owned();
+    ServerProc {
+        child,
+        addr,
+        _stdout: reader,
+    }
+}
+
+/// The persistence quickstart through real processes: a `--store-dir`
+/// server populates its store, the `localwm store` maintenance commands
+/// walk it (`ls`, `get`, `verify`, `compact`), a restarted server answers
+/// byte-identically from the store, and `verify` exits nonzero once a
+/// record's bytes are flipped.
+#[test]
+fn store_subcommands_manage_a_populated_store_dir() {
+    let dir = tmp_dir("store");
+    let design = dir.join("iir4.cdfg");
+    let store_dir = dir.join("store");
+    run_ok(localwm().args(["gen", "iir4", "-o", design.to_str().unwrap()]));
+
+    // First life: a timing request writes the design through to the store.
+    let mut server = spawn_store_server(&store_dir);
+    let addr = server.addr.clone();
+    let first_life = run_ok(localwm().args([
+        "request",
+        "timing",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+    ]));
+    assert!(first_life.contains("\"ok\": true"));
+    run_ok(localwm().args(["request", "shutdown", "--addr", &addr]));
+    assert!(server.child.wait().expect("server exit").success());
+
+    // The maintenance walk sees the design + alias pair.
+    let sd = store_dir.to_str().unwrap();
+    let ls = run_ok(localwm().args(["store", "ls", "--dir", sd]));
+    assert!(
+        ls.contains("design") && ls.contains("alias") && ls.contains("2 record(s)"),
+        "ls lists both records: {ls}"
+    );
+    let hash = ls
+        .lines()
+        .find(|l| l.starts_with("design"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .expect("design hash in ls output")
+        .to_owned();
+    let got = run_ok(localwm().args(["store", "get", &hash, "--dir", sd]));
+    assert_eq!(
+        got,
+        std::fs::read_to_string(&design).unwrap(),
+        "get round-trips the stored design to its exact CDFG text"
+    );
+    let verify = run_ok(localwm().args(["store", "verify", "--dir", sd]));
+    assert!(verify.contains("verified 2 record(s)"), "{verify}");
+    let compact = run_ok(localwm().args(["store", "compact", "--dir", sd]));
+    assert!(compact.contains("compacted 2 live record(s)"), "{compact}");
+
+    // Second life, same store: byte-identical response, no reparse (the
+    // store block reports hits and zero new puts).
+    let mut server = spawn_store_server(&store_dir);
+    let addr = server.addr.clone();
+    let second_life = run_ok(localwm().args([
+        "request",
+        "timing",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+    ]));
+    let body = |out: &str| {
+        out.lines()
+            .take_while(|l| !l.starts_with("repeat "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        body(&second_life),
+        body(&first_life),
+        "a warm restart serves byte-identical responses"
+    );
+    let stats = run_ok(localwm().args(["request", "stats", "--addr", &addr]));
+    assert!(
+        stats.contains("\"store\"") && stats.contains("\"puts\": 0"),
+        "stats exposes the store block with no reparse-writes: {stats}"
+    );
+    run_ok(localwm().args(["request", "shutdown", "--addr", &addr]));
+    assert!(server.child.wait().expect("server exit").success());
+
+    // Flip one payload byte behind the index: verify must exit nonzero and
+    // name the corrupt segment.
+    let seg = store_dir.join("seg-000000.lwm");
+    let mut bytes = std::fs::read(&seg).expect("read segment");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&seg, bytes).expect("corrupt segment");
+    let out = localwm()
+        .args(["store", "verify", "--dir", sd])
+        .output()
+        .expect("spawn verify");
+    assert!(
+        !out.status.success(),
+        "verify exits nonzero on checksum mismatch"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("seg-000000.lwm"),
+        "verify names the corrupt segment: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `localwm request --binary` negotiates the framed encoding and prints
+/// the same response a JSON connection would.
+#[test]
+fn request_binary_flag_round_trips_through_the_framed_encoding() {
+    let dir = tmp_dir("binary");
+    let design = dir.join("iir4.cdfg");
+    run_ok(localwm().args(["gen", "iir4", "-o", design.to_str().unwrap()]));
+    let mut server = spawn_server(None);
+    let addr = server.addr.clone();
+
+    let json = run_ok(localwm().args([
+        "request",
+        "timing",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+    ]));
+    let binary = run_ok(localwm().args([
+        "request",
+        "timing",
+        "--addr",
+        &addr,
+        "--design",
+        design.to_str().unwrap(),
+        "--binary",
+    ]));
+    assert_eq!(binary, json, "both encodings print the same response");
+
+    let stats = run_ok(localwm().args(["request", "stats", "--addr", &addr]));
+    assert!(
+        stats.contains("\"binary_conns\": 1"),
+        "the binary connection was counted: {stats}"
+    );
+    run_ok(localwm().args(["request", "shutdown", "--addr", &addr]));
+    assert!(server.child.wait().expect("server exit").success());
+    std::fs::remove_dir_all(&dir).ok();
+}

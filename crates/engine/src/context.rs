@@ -211,6 +211,20 @@ impl DesignContext {
         }
     }
 
+    /// Wraps a graph rehydrated from a content-addressed store, seeding
+    /// the memoized content hash with the key it was stored under. The
+    /// caller asserts `content_hash` is the FNV-1a of the graph's
+    /// canonical text — for store-loaded designs that holds by
+    /// construction, because the store keys design records by exactly
+    /// that hash. Seeding skips the serialize-and-hash pass a fresh
+    /// context would pay on its first cache insertion, which is part of
+    /// the warm-start win.
+    pub fn from_stored(graph: Cdfg, content_hash: u64) -> Self {
+        let ctx = DesignContext::new(graph);
+        let _ = ctx.caches.content.set(content_hash);
+        ctx
+    }
+
     /// Replaces the instrumentation probe (default: no-op).
     #[must_use]
     pub fn with_probe(mut self, probe: Arc<dyn Probe>) -> Self {

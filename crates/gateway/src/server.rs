@@ -29,7 +29,10 @@ use std::time::{Duration, Instant};
 
 use localwm_cdfg::parse_cdfg;
 use localwm_engine::DesignContext;
-use localwm_serve::{ErrorCode, Metrics, Outcome, Request, RequestKind, Response, ServiceError};
+use localwm_serve::{
+    ErrorCode, Metrics, Outcome, Request, RequestKind, Response, ServiceError, BINARY_MAGIC,
+};
+use localwm_store::binval::{decode_value, read_frame, value_to_bytes, write_frame};
 use serde::{Serialize, Value};
 
 use crate::pool::{Backend, BackendSpec};
@@ -141,6 +144,13 @@ struct Shared {
     failovers: AtomicU64,
     upstream_errors: AtomicU64,
     inflight: AtomicU64,
+    /// Client-side encoding counters. The gateway relays each client in
+    /// its negotiated encoding; backend pools always speak JSON lines, so
+    /// these count the client edge only.
+    json_conns: AtomicU64,
+    binary_conns: AtomicU64,
+    json_requests: AtomicU64,
+    binary_requests: AtomicU64,
     shutting_down: AtomicBool,
     stopped: AtomicBool,
     routes: Mutex<Vec<RouteRecord>>,
@@ -345,6 +355,27 @@ impl Shared {
                 "inflight".to_owned(),
                 self.inflight.load(Ordering::SeqCst).to_value(),
             ),
+            (
+                "protocol".to_owned(),
+                Value::Object(vec![
+                    (
+                        "json_conns".to_owned(),
+                        self.json_conns.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "binary_conns".to_owned(),
+                        self.binary_conns.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "json_requests".to_owned(),
+                        self.json_requests.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "binary_requests".to_owned(),
+                        self.binary_requests.load(Ordering::SeqCst).to_value(),
+                    ),
+                ]),
+            ),
             ("requests".to_owned(), self.metrics.to_value()),
         ])
     }
@@ -360,6 +391,30 @@ impl Shared {
         let mut queue_depth: u64 = 0;
         let mut busy_workers: u64 = 0;
         let mut workers: u64 = 0;
+        // Fleet-wide store aggregation: counters summed over the backends
+        // that mounted a store, plus how many did.
+        let mut stores_mounted: u64 = 0;
+        let mut store_sums = [0u64; 6];
+        const STORE_FIELDS: [&str; 6] = [
+            "segments",
+            "bytes",
+            "records",
+            "hits",
+            "misses",
+            "dropped_tail",
+        ];
+        // Fleet-wide encoding split, summed over the backends that
+        // answered. The gateway's own client-edge counters live under
+        // `gateway.protocol`; this block is the backends' view (which is
+        // all-JSON today: backend pools relay in JSON lines regardless of
+        // what the client negotiated).
+        let mut protocol_sums = [0u64; 4];
+        const PROTOCOL_FIELDS: [&str; 4] = [
+            "json_conns",
+            "binary_conns",
+            "json_requests",
+            "binary_requests",
+        ];
         let mut entries = Vec::with_capacity(self.backends.len());
         for backend in &self.backends {
             let upstream = match backend.exchange(&probe, timeout) {
@@ -377,11 +432,34 @@ impl Shared {
                 busy_workers += uint_field(stats.field("busy_workers"));
                 workers += uint_field(stats.field("workers"));
                 queue_depth += uint_field(stats.field("queue").and_then(|q| q.field("depth")));
+                if let Some(store) = stats.field("store") {
+                    stores_mounted += 1;
+                    for (sum, name) in store_sums.iter_mut().zip(STORE_FIELDS) {
+                        *sum += uint_field(store.field(name));
+                    }
+                }
+                if let Some(protocol) = stats.field("protocol") {
+                    for (sum, name) in protocol_sums.iter_mut().zip(PROTOCOL_FIELDS) {
+                        *sum += uint_field(protocol.field(name));
+                    }
+                }
             }
             let mut fields = backend.stats_value();
             fields.push(("upstream".to_owned(), upstream.unwrap_or(Value::Null)));
             entries.push(Value::Object(fields));
         }
+        let mut store_fields = vec![("mounted".to_owned(), stores_mounted.to_value())];
+        store_fields.extend(
+            STORE_FIELDS
+                .iter()
+                .zip(store_sums)
+                .map(|(name, sum)| ((*name).to_owned(), sum.to_value())),
+        );
+        let protocol_fields: Vec<(String, Value)> = PROTOCOL_FIELDS
+            .iter()
+            .zip(protocol_sums)
+            .map(|(name, sum)| ((*name).to_owned(), sum.to_value()))
+            .collect();
         Value::Object(vec![
             ("gateway".to_owned(), self.stats_value()),
             (
@@ -395,6 +473,8 @@ impl Shared {
                     ("queue_depth".to_owned(), queue_depth.to_value()),
                     ("busy_workers".to_owned(), busy_workers.to_value()),
                     ("workers".to_owned(), workers.to_value()),
+                    ("store".to_owned(), Value::Object(store_fields)),
+                    ("protocol".to_owned(), Value::Object(protocol_fields)),
                 ]),
             ),
             ("backends".to_owned(), Value::Array(entries)),
@@ -534,6 +614,10 @@ pub fn start(cfg: GatewayConfig) -> io::Result<GatewayHandle> {
         failovers: AtomicU64::new(0),
         upstream_errors: AtomicU64::new(0),
         inflight: AtomicU64::new(0),
+        json_conns: AtomicU64::new(0),
+        binary_conns: AtomicU64::new(0),
+        json_requests: AtomicU64::new(0),
+        binary_requests: AtomicU64::new(0),
         shutting_down: AtomicBool::new(false),
         stopped: AtomicBool::new(false),
         routes: Mutex::new(Vec::new()),
@@ -594,74 +678,150 @@ fn send_line(stream: &mut TcpStream, line: &str) {
         .and_then(|()| stream.flush());
 }
 
+/// Writes one response line re-encoded as a binary frame. Response lines
+/// are our own (or a backend's) serializer output, so the re-parse cannot
+/// fail; the frame carries the identical value tree.
+fn send_frame(stream: &mut TcpStream, line: &str) {
+    let value: Value =
+        serde_json::from_str(line).expect("response lines are valid JSON by construction");
+    let _ = write_frame(stream, &value_to_bytes(&value));
+}
+
+/// Answers one decoded request line: the response line to relay, plus
+/// whether the gateway should stop (a `shutdown` was acknowledged).
+fn answer_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    let req = match Request::from_line(line) {
+        Ok(req) => req,
+        Err(msg) => {
+            // Same parser, same message, same shape a backend would
+            // produce — unparseable lines stay byte-identical too.
+            let resp = Response::failure(
+                None,
+                "invalid",
+                ServiceError::new(ErrorCode::BadRequest, msg),
+            );
+            return (resp.to_line(), false);
+        }
+    };
+    match req.kind {
+        RequestKind::Stats => {
+            let resp = Response::success(req.id, "stats", shared.stats_value());
+            (resp.to_line(), false)
+        }
+        RequestKind::ClusterStats => {
+            let resp = Response::success(req.id, "cluster_stats", shared.cluster_stats_value());
+            (resp.to_line(), false)
+        }
+        RequestKind::Shutdown => {
+            let drained = drain(shared);
+            let body = Value::Object(vec![
+                ("routed".to_owned(), drained.to_value()),
+                (
+                    "uptime_ms".to_owned(),
+                    shared.metrics.uptime_ms().to_value(),
+                ),
+            ]);
+            (Response::success(req.id, "shutdown", body).to_line(), true)
+        }
+        _ => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                let resp = Response::failure(
+                    req.id,
+                    req.kind.as_str(),
+                    ServiceError::new(ErrorCode::ShuttingDown, "gateway is draining"),
+                );
+                return (resp.to_line(), false);
+            }
+            shared.inflight.fetch_add(1, Ordering::SeqCst);
+            let resp_line = shared.route(line, &req);
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            (resp_line, false)
+        }
+    }
+}
+
 fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut write_half = stream;
-    let reader = io::BufReader::new(read_half);
+    let mut reader = io::BufReader::new(read_half);
+    // Encoding negotiation, mirroring the backends': a first line equal to
+    // the magic switches this client to binary frames. The conversion
+    // happens entirely at this edge — backend pools keep speaking JSON
+    // lines, and both envelopes carry the same value trees.
+    let mut first_line = String::new();
+    let binary = match reader.read_line(&mut first_line) {
+        Ok(n) if n > 0 => first_line.trim() == BINARY_MAGIC,
+        _ => return,
+    };
+    if binary {
+        shared.binary_conns.fetch_add(1, Ordering::SeqCst);
+        binary_conn_loop(shared, &mut reader, &mut write_half);
+        return;
+    }
+    shared.json_conns.fetch_add(1, Ordering::SeqCst);
     // One request at a time per connection: exactly-one-response ordering
     // is structural. Concurrency comes from concurrent connections.
-    for line in reader.lines() {
+    let first = std::iter::once(Ok(first_line.trim_end_matches(['\r', '\n']).to_owned()));
+    for line in first.chain(reader.lines()) {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        let req = match Request::from_line(&line) {
-            Ok(req) => req,
+        shared.json_requests.fetch_add(1, Ordering::SeqCst);
+        let (resp_line, stop) = answer_line(shared, &line);
+        send_line(&mut write_half, &resp_line);
+        if stop {
+            shared.stopped.store(true, Ordering::SeqCst);
+            break;
+        }
+        if shared.stopped.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// The binary client edge: frames in, frames out, with each frame's value
+/// tree re-rendered to a JSON line for the (JSON-speaking) routing path.
+fn binary_conn_loop(
+    shared: &Arc<Shared>,
+    reader: &mut io::BufReader<TcpStream>,
+    write_half: &mut TcpStream,
+) {
+    loop {
+        let body = match read_frame(reader) {
+            Ok(body) => body,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => {
+                let resp = Response::failure(
+                    None,
+                    "invalid",
+                    ServiceError::new(ErrorCode::BadRequest, format!("undecodable frame: {e}")),
+                );
+                send_frame(write_half, &resp.to_line());
+                break;
+            }
+        };
+        shared.binary_requests.fetch_add(1, Ordering::SeqCst);
+        let line = match decode_value(&body) {
+            Ok(value) => serde_json::to_string(&value).expect("value serialization is infallible"),
             Err(msg) => {
-                // Same parser, same message, same shape a backend would
-                // produce — unparseable lines stay byte-identical too.
                 let resp = Response::failure(
                     None,
                     "invalid",
                     ServiceError::new(ErrorCode::BadRequest, msg),
                 );
-                send_line(&mut write_half, &resp.to_line());
+                send_frame(write_half, &resp.to_line());
                 continue;
             }
         };
-        match req.kind {
-            RequestKind::Stats => {
-                let resp = Response::success(req.id, "stats", shared.stats_value());
-                send_line(&mut write_half, &resp.to_line());
-            }
-            RequestKind::ClusterStats => {
-                let resp = Response::success(req.id, "cluster_stats", shared.cluster_stats_value());
-                send_line(&mut write_half, &resp.to_line());
-            }
-            RequestKind::Shutdown => {
-                let drained = drain(shared);
-                let body = Value::Object(vec![
-                    ("routed".to_owned(), drained.to_value()),
-                    (
-                        "uptime_ms".to_owned(),
-                        shared.metrics.uptime_ms().to_value(),
-                    ),
-                ]);
-                send_line(
-                    &mut write_half,
-                    &Response::success(req.id, "shutdown", body).to_line(),
-                );
-                shared.stopped.store(true, Ordering::SeqCst);
-                break;
-            }
-            _ => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    let resp = Response::failure(
-                        req.id,
-                        req.kind.as_str(),
-                        ServiceError::new(ErrorCode::ShuttingDown, "gateway is draining"),
-                    );
-                    send_line(&mut write_half, &resp.to_line());
-                    continue;
-                }
-                shared.inflight.fetch_add(1, Ordering::SeqCst);
-                let resp_line = shared.route(&line, &req);
-                shared.inflight.fetch_sub(1, Ordering::SeqCst);
-                send_line(&mut write_half, &resp_line);
-            }
+        let (resp_line, stop) = answer_line(shared, &line);
+        send_frame(write_half, &resp_line);
+        if stop {
+            shared.stopped.store(true, Ordering::SeqCst);
+            break;
         }
         if shared.stopped.load(Ordering::SeqCst) {
             break;

@@ -432,3 +432,108 @@ fn malformed_lines_get_the_same_typed_error_as_a_backend() {
     gw.shutdown();
     b0.shutdown();
 }
+
+#[test]
+fn binary_clients_relay_through_the_gateway_byte_identically() {
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let gw = localwm_gateway::start(fast_config(vec![spec("b0", &b0), spec("b1", &b1)], 2))
+        .expect("start gateway");
+    let addr = gw.addr().to_string();
+
+    let mut json = connect(&gw);
+    let mut bin =
+        Client::connect_binary_within(&addr, Duration::from_secs(5)).expect("binary connect");
+    for (i, design) in designs().iter().enumerate() {
+        let req = timing_request(i as u64, design);
+        json.send(&req).unwrap();
+        let reference = json.recv_line().unwrap();
+        bin.send(&req).unwrap();
+        assert_eq!(
+            bin.recv_line().unwrap(),
+            reference,
+            "design {i}: gateway binary relay diverged from JSON"
+        );
+    }
+    // A typed error relays byte-identically too.
+    let mut bad = Request::new(RequestKind::Timing);
+    bad.id = Some(99);
+    bad.design = Some("not a cdfg".to_owned());
+    json.send(&bad).unwrap();
+    let reference = json.recv_line().unwrap();
+    assert!(reference.contains("\"ok\":false"));
+    bin.send(&bad).unwrap();
+    assert_eq!(bin.recv_line().unwrap(), reference);
+
+    // cluster_stats aggregates the fleet's store and protocol blocks, and
+    // the gateway's own stats count this client edge's encoding split.
+    let cluster = bin.call(&Request::new(RequestKind::ClusterStats)).unwrap();
+    assert!(cluster.ok);
+    let aggregate = cluster.result_field("aggregate").expect("aggregate");
+    let store = aggregate.field("store").expect("aggregate store block");
+    assert_eq!(
+        store.field("mounted"),
+        Some(&Value::Int(0)),
+        "these backends run memory-only"
+    );
+    let protocol = aggregate.field("protocol").expect("aggregate protocol");
+    assert!(matches!(protocol.field("json_requests"), Some(&Value::Int(n)) if n > 0));
+    let gw_stats = cluster
+        .result_field("gateway")
+        .expect("gateway stats")
+        .field("protocol")
+        .expect("gateway protocol block")
+        .clone();
+    assert_eq!(gw_stats.field("json_conns"), Some(&Value::Int(1)));
+    assert_eq!(gw_stats.field("binary_conns"), Some(&Value::Int(1)));
+    assert_eq!(gw_stats.field("json_requests"), Some(&Value::Int(5)));
+    assert_eq!(
+        gw_stats.field("binary_requests"),
+        Some(&Value::Int(6)),
+        "4 timing + bad request + this cluster_stats call"
+    );
+
+    gw.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+}
+
+#[test]
+fn store_backed_fleet_aggregates_store_stats_through_cluster_stats() {
+    let dir = std::env::temp_dir().join(format!("localwm-gw-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let backend = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 32,
+        cache_cap: 8,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("bind store-backed backend");
+    let gw =
+        localwm_gateway::start(fast_config(vec![spec("b0", &backend)], 1)).expect("start gateway");
+
+    let mut c = connect(&gw);
+    let design = write_cdfg(&iir4_parallel());
+    assert!(c.call(&timing_request(1, &design)).unwrap().ok);
+
+    let cluster = c.call(&Request::new(RequestKind::ClusterStats)).unwrap();
+    let store = cluster
+        .result_field("aggregate")
+        .expect("aggregate")
+        .field("store")
+        .expect("store block")
+        .clone();
+    assert_eq!(store.field("mounted"), Some(&Value::Int(1)));
+    assert_eq!(
+        store.field("records"),
+        Some(&Value::Int(2)),
+        "design + alias written through on the parse miss"
+    );
+    assert!(matches!(store.field("bytes"), Some(&Value::Int(n)) if n > 0));
+
+    gw.shutdown();
+    backend.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,6 +6,13 @@
 //! timing, window tables, bounded-delay arrivals — are computed once per
 //! design, not once per request. Hits, misses and evictions are counted
 //! for the `stats` request.
+//!
+//! With `--store-dir`, a [`DesignStore`] sits under the LRU as a
+//! write-through tier: an in-memory miss consults the store (text alias →
+//! content hash → binary design record, decoded without touching the text
+//! parser), and a true miss parses the text then writes the design and its
+//! alias through to disk. A restarted replica therefore warm-starts: its
+//! first request per design costs a binary decode, not a parse.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,6 +20,9 @@ use std::sync::{Arc, Mutex};
 
 use localwm_cdfg::{parse_cdfg, Cdfg};
 use localwm_engine::DesignContext;
+use localwm_store::binval::{decode_value, value_to_bytes};
+use localwm_store::{DesignStore, RecordKind};
+use serde::{Deserialize, Serialize};
 
 struct Entry {
     ctx: Arc<DesignContext>,
@@ -42,6 +52,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub struct ContextCache {
     state: Mutex<Lru>,
     capacity: usize,
+    store: Option<Arc<DesignStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -72,18 +83,35 @@ impl ContextCache {
                 tick: 0,
             }),
             capacity: capacity.max(1),
+            store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
+    /// A cache backed by a durable write-through store tier.
+    pub fn with_store(capacity: usize, store: Arc<DesignStore>) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.store = Some(store);
+        cache
+    }
+
+    /// The store tier, when one is mounted.
+    pub fn store(&self) -> Option<&Arc<DesignStore>> {
+        self.store.as_ref()
+    }
+
     /// Returns the shared context for the raw CDFG `text`.
     ///
     /// Byte-identical text seen before takes the alias fast path: no parse,
-    /// no canonicalization, just a hash of the request bytes. Novel text is
-    /// parsed and resolved through the canonical content hash, so two
-    /// different spellings of the same design still share one context.
+    /// no canonicalization, just a hash of the request bytes. With a store
+    /// mounted, an in-memory miss next tries the durable tier — alias
+    /// record to content hash to binary design record, decoded without the
+    /// text parser. Only a true miss parses the text, and its design and
+    /// alias are then written through to the store. Novel text always
+    /// resolves through the canonical content hash, so two different
+    /// spellings of the same design still share one context.
     ///
     /// # Errors
     ///
@@ -102,19 +130,30 @@ impl ContextCache {
                 }
             }
         }
+        if let Some(store) = &self.store {
+            if let Some(ctx) = load_from_store(store, text_key) {
+                return Ok(self.insert_ctx(ctx, Some(text_key)));
+            }
+        }
         let graph = parse_cdfg(text).map_err(|e| e.to_string())?;
-        Ok(self.insert(graph, Some(text_key)))
+        let fresh = DesignContext::new(graph);
+        if let Some(store) = &self.store {
+            write_through(store, &fresh, text_key);
+        }
+        Ok(self.insert_ctx(fresh, Some(text_key)))
     }
 
     /// Returns the shared context for `graph`, inserting (and, at capacity,
-    /// evicting the least-recently-used design) on miss.
+    /// evicting the least-recently-used design) on miss. Bypasses the
+    /// store tier: direct graph insertions have no request text to alias.
     pub fn get_or_insert(&self, graph: Cdfg) -> Arc<DesignContext> {
-        self.insert(graph, None)
+        self.insert_ctx(DesignContext::new(graph), None)
     }
 
-    fn insert(&self, graph: Cdfg, text_key: Option<u64>) -> Arc<DesignContext> {
-        // Hashing happens outside the cache lock: it serializes the graph.
-        let fresh = DesignContext::new(graph);
+    fn insert_ctx(&self, fresh: DesignContext, text_key: Option<u64>) -> Arc<DesignContext> {
+        // Hashing happens outside the cache lock: it serializes the graph
+        // (unless the context came from the store, where the hash is
+        // seeded from the record key).
         let key = fresh.content_hash();
         let mut lru = self.state.lock().expect("cache lock");
         lru.tick += 1;
@@ -182,6 +221,34 @@ impl ContextCache {
             entries: self.state.lock().expect("cache lock").entries.len(),
             capacity: self.capacity,
         }
+    }
+}
+
+/// Resolves `text_key` through the store tier: alias record → content
+/// hash → design record → decoded graph, hydrated with its known hash.
+/// Any miss or corruption returns `None` (the caller falls back to
+/// parsing; corrupt reads are already counted in the store's stats).
+fn load_from_store(store: &DesignStore, text_key: u64) -> Option<DesignContext> {
+    let alias = store.get(RecordKind::Alias, text_key).ok()??;
+    let hash = u64::from_le_bytes(alias.try_into().ok()?);
+    let bytes = store.get(RecordKind::Design, hash).ok()??;
+    let value = decode_value(&bytes).ok()?;
+    let graph = Cdfg::from_value(&value).ok()?;
+    Some(DesignContext::from_stored(graph, hash))
+}
+
+/// Writes a freshly parsed design and its text alias through to the
+/// store. Write failures degrade the durability tier, not the request:
+/// they are logged and the parse result is served normally.
+fn write_through(store: &DesignStore, fresh: &DesignContext, text_key: u64) {
+    let hash = fresh.content_hash();
+    let design = value_to_bytes(&fresh.graph().to_value());
+    if let Err(e) = store.put(RecordKind::Design, hash, &design) {
+        eprintln!("localwm-serve: store write-through (design {hash:016x}): {e}");
+        return;
+    }
+    if let Err(e) = store.put(RecordKind::Alias, text_key, &hash.to_le_bytes()) {
+        eprintln!("localwm-serve: store write-through (alias {text_key:016x}): {e}");
     }
 }
 
@@ -326,6 +393,38 @@ mod tests {
         let s = storm.stats();
         assert_eq!((s.hits, s.misses), (0, 2), "alias survived the storm");
         assert_counter_identity(&storm);
+    }
+
+    #[test]
+    fn store_tier_round_trips_designs_without_reparsing() {
+        let dir = std::env::temp_dir().join(format!("localwm-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = write_cdfg(&iir4_parallel());
+
+        // First process: a parse miss writes the design and alias through.
+        let store = Arc::new(DesignStore::open(&dir).unwrap());
+        let cache = ContextCache::with_store(4, Arc::clone(&store));
+        let a = cache.get_or_parse(&text).unwrap();
+        let s = store.stats();
+        assert_eq!(s.records, 2, "design + alias records");
+        assert_eq!(s.puts, 2);
+
+        // Second process (fresh cache, same dir): the store answers, the
+        // text parser is never consulted, and the hydrated context carries
+        // the stored content hash.
+        let store2 = Arc::new(DesignStore::open(&dir).unwrap());
+        let cache2 = ContextCache::with_store(4, Arc::clone(&store2));
+        let b = cache2.get_or_parse(&text).unwrap();
+        assert_eq!(b.content_hash(), a.content_hash());
+        assert_eq!(write_cdfg(b.graph()), text, "same design, byte-identical");
+        let s2 = store2.stats();
+        assert_eq!(s2.hits, 2, "alias + design reads came from disk");
+        assert_eq!(s2.puts, 0, "nothing was re-written");
+        // The in-memory alias now covers the resend: no further store reads.
+        let _ = cache2.get_or_parse(&text).unwrap();
+        assert_eq!(store2.stats().hits, 2);
+        assert_counter_identity(&cache2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

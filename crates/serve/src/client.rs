@@ -1,6 +1,9 @@
-//! A minimal blocking client for the JSON-lines protocol, shared by the
-//! CLI's `localwm request`, the gateway's backend pools, the integration
-//! tests, and the load benches.
+//! A minimal blocking client for the wire protocol, shared by the CLI's
+//! `localwm request`, the gateway's backend pools, the integration tests,
+//! and the load benches. Speaks JSON lines by default; [`Client::connect_binary`]
+//! negotiates the `LWMB1` framed binary encoding instead, behind the same
+//! API — line-level methods transcode at the boundary, so callers (and
+//! differential tests) see byte-identical JSON either way.
 //!
 //! One [`Client`] is one TCP connection; every call reuses it, so repeated
 //! requests ride the warm path (no reconnect, no fresh slow-start). The
@@ -11,12 +14,16 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use crate::protocol::{Request, Response};
+use localwm_store::binval::{decode_value, read_frame, value_to_bytes, write_frame};
+use serde::Value;
+
+use crate::protocol::{Request, Response, BINARY_MAGIC};
 
 /// One connection to a running server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    binary: bool,
 }
 
 impl Client {
@@ -29,7 +36,32 @@ impl Client {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client {
+            reader,
+            writer,
+            binary: false,
+        })
+    }
+
+    /// Connects and negotiates the `LWMB1` binary protocol: the magic line
+    /// goes out immediately, and every subsequent request/response on this
+    /// connection is a length-prefixed checksummed frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and negotiation-write errors.
+    pub fn connect_binary(addr: &str) -> io::Result<Client> {
+        let mut client = Client::connect(addr)?;
+        client.writer.write_all(BINARY_MAGIC.as_bytes())?;
+        client.writer.write_all(b"\n")?;
+        client.writer.flush()?;
+        client.binary = true;
+        Ok(client)
+    }
+
+    /// Whether this connection negotiated the binary encoding.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     /// Connects, retrying for up to `wait` while the server is starting.
@@ -41,6 +73,23 @@ impl Client {
         let deadline = std::time::Instant::now() + wait;
         loop {
             match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// [`Client::connect_binary`], retrying for up to `wait` while the
+    /// server is starting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once `wait` elapses.
+    pub fn connect_binary_within(addr: &str, wait: Duration) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match Client::connect_binary(addr) {
                 Ok(c) => return Ok(c),
                 Err(e) if std::time::Instant::now() >= deadline => return Err(e),
                 Err(_) => std::thread::sleep(Duration::from_millis(10)),
@@ -60,34 +109,56 @@ impl Client {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Sends one request line.
+    /// Sends one request in this connection's negotiated encoding.
     ///
     /// # Errors
     ///
     /// Propagates socket write errors.
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        self.send_line(&req.to_line())
+        if self.binary {
+            write_frame(&mut self.writer, &req.to_frame())
+        } else {
+            self.send_line(&req.to_line())
+        }
     }
 
-    /// Sends one already-encoded request line verbatim (the gateway's
+    /// Sends one already-encoded JSON request line verbatim (the gateway's
     /// forwarding path: the client's bytes go upstream untouched, so
-    /// responses stay byte-identical to a direct backend call).
+    /// responses stay byte-identical to a direct backend call). On a binary
+    /// connection the line is transcoded to a frame at this boundary —
+    /// same value tree, different envelope.
     ///
     /// # Errors
     ///
-    /// Propagates socket write errors.
+    /// Propagates socket write errors, or `InvalidInput` when a binary
+    /// connection is handed an unparseable line.
     pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        if self.binary {
+            let value: Value = serde_json::from_str(line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            return write_frame(&mut self.writer, &value_to_bytes(&value));
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()
     }
 
-    /// Reads the next raw response line (without the trailing newline).
+    /// Reads the next raw response line (without the trailing newline). On
+    /// a binary connection the next frame is read and re-rendered to JSON —
+    /// the protocol's codecs are bijective, so the returned line is
+    /// byte-identical to what a JSON connection would have received.
     ///
     /// # Errors
     ///
-    /// Fails on socket errors or a server-closed connection.
+    /// Fails on socket errors, a server-closed connection, or (binary) a
+    /// corrupt frame.
     pub fn recv_line(&mut self) -> io::Result<String> {
+        if self.binary {
+            let body = read_frame(&mut self.reader)?;
+            let value =
+                decode_value(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            return Ok(serde_json::to_string(&value).expect("value serialization is infallible"));
+        }
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {

@@ -1,10 +1,14 @@
 //! `localwm-serve`: a concurrent analysis service over the localwm engine.
 //!
 //! A std-only TCP server speaking a JSON-lines protocol (one request
-//! object per line, one response object per line; see [`protocol`]).
-//! Request kinds: `embed`, `detect`, `analyze`, `timing`, `stats`,
-//! `shutdown` (`cluster_stats` is part of the shared protocol but answered
-//! by `localwm-gateway`; a single backend rejects it with a typed error).
+//! object per line, one response object per line; see [`protocol`]), with
+//! an optional per-connection binary encoding: a client whose first line
+//! is the [`protocol::BINARY_MAGIC`] magic gets length-prefixed
+//! checksummed frames carrying the same value trees (see
+//! [`localwm_store::binval`]). Request kinds: `embed`, `detect`,
+//! `analyze`, `timing`, `stats`, `shutdown` (`cluster_stats` is part of
+//! the shared protocol but answered by `localwm-gateway`; a single backend
+//! rejects it with a typed error).
 //!
 //! The moving parts:
 //!
@@ -13,7 +17,10 @@
 //!   blocks).
 //! * [`cache::ContextCache`] — content-hash-keyed LRU of shared
 //!   [`DesignContext`](localwm_engine::DesignContext)s with hit/miss/
-//!   eviction counters.
+//!   eviction counters, optionally backed by a durable write-through
+//!   [`localwm_store::DesignStore`] (`--store-dir`): a cache miss checks
+//!   the store before parsing, so a restarted server answers its working
+//!   set without reparsing a single design.
 //! * [`metrics::Metrics`] — per-kind latency histograms and counters,
 //!   surfaced by the `stats` request and `--metrics-out`.
 //! * [`server`] — acceptor, worker pool, deadline watchdog, graceful
@@ -50,7 +57,7 @@ pub use cache::{CacheStats, ContextCache};
 pub use client::Client;
 pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultSpec, FiredFault, InjectionPoint};
 pub use metrics::{Metrics, Outcome};
-pub use protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
+pub use protocol::{ErrorCode, Request, RequestKind, Response, ServiceError, BINARY_MAGIC};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use session::SessionState;

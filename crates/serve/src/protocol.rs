@@ -24,10 +24,25 @@
 //!
 //! Requests may be pipelined on one connection; responses carry the echoed
 //! `id` so clients can match them when they complete out of order.
+//!
+//! # Binary negotiation
+//!
+//! A client that opens its connection with the single line
+//! [`BINARY_MAGIC`] (`LWMB1`) switches that connection to length-prefixed
+//! binary frames: every subsequent request and response is one
+//! [`localwm_store::binval`] frame carrying the binary encoding of exactly
+//! the same `Value` tree the JSON line would carry. JSON-lines remains the
+//! default and the compatibility path; the two encodings are
+//! decode-equivalent by construction (the testkit differential lane proves
+//! it over the full golden corpus).
 
 use std::fmt;
 
+use localwm_store::binval;
 use serde::{DeError, Deserialize, Serialize, Value};
+
+/// The negotiation line that switches a fresh connection to binary frames.
+pub const BINARY_MAGIC: &str = "LWMB1";
 
 /// The request kinds the service understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +194,21 @@ impl Request {
     /// Returns a message for malformed JSON or an unknown/missing kind.
     pub fn from_line(line: &str) -> Result<Self, String> {
         serde_json::from_str(line).map_err(|e| e.to_string())
+    }
+
+    /// Encodes the request as one binary frame body (the `LWMB1` wire).
+    pub fn to_frame(&self) -> Vec<u8> {
+        binval::value_to_bytes(&self.to_value())
+    }
+
+    /// Decodes one binary frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed bytes or an unknown/missing kind.
+    pub fn from_frame(body: &[u8]) -> Result<Self, String> {
+        let v = binval::decode_value(body)?;
+        Self::from_value(&v).map_err(|e| e.to_string())
     }
 }
 
@@ -449,6 +479,21 @@ impl Response {
         serde_json::from_str(line).map_err(|e| e.to_string())
     }
 
+    /// Encodes the response as one binary frame body (the `LWMB1` wire).
+    pub fn to_frame(&self) -> Vec<u8> {
+        binval::value_to_bytes(&self.to_value())
+    }
+
+    /// Decodes one binary frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed bytes or a shape mismatch.
+    pub fn from_frame(body: &[u8]) -> Result<Self, String> {
+        let v = binval::decode_value(body)?;
+        Self::from_value(&v).map_err(|e| e.to_string())
+    }
+
     /// A field of the result object, if this is a success carrying one.
     pub fn result_field(&self, name: &str) -> Option<&Value> {
         self.result.as_ref().and_then(|r| r.field(name))
@@ -553,6 +598,26 @@ mod tests {
                 ("pairs_examined".to_owned(), Value::Int(90)),
             ]
         );
+    }
+
+    #[test]
+    fn binary_frames_are_decode_equivalent_to_json_lines() {
+        let mut req = Request::new(RequestKind::Analyze);
+        req.id = Some(12);
+        req.design = Some("node a add\n".to_owned());
+        req.samples = Some(40);
+        req.seed = Some(0);
+        let back = Request::from_frame(&req.to_frame()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.to_line(), req.to_line(), "same canonical JSON");
+
+        let err = ServiceError::new(ErrorCode::Overloaded, "queue full")
+            .with_detail("queue_capacity", 64u64.to_value());
+        let resp = Response::failure(Some(12), "analyze", err);
+        let back = Response::from_frame(&resp.to_frame()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.to_line(), resp.to_line(), "typed errors included");
+        assert!(Response::from_frame(b"\xFFgarbage").is_err());
     }
 
     #[test]

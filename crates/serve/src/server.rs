@@ -29,13 +29,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use localwm_engine::Parallelism;
+use localwm_store::binval::{read_frame, write_frame};
+use localwm_store::DesignStore;
 use serde::{Serialize, Value};
 
 use crate::cache::ContextCache;
 use crate::fault::{FaultAction, FaultInjector, FaultPlan, FiredFault, InjectionPoint};
 use crate::handlers;
 use crate::metrics::{Metrics, Outcome};
-use crate::protocol::{ErrorCode, Request, RequestKind, Response, ServiceError};
+use crate::protocol::{ErrorCode, Request, RequestKind, Response, ServiceError, BINARY_MAGIC};
 use crate::queue::{BoundedQueue, PushError};
 use crate::singleflight::coalescing_key;
 
@@ -64,6 +66,12 @@ pub struct ServeConfig {
     /// evicted session answers subsequent requests with a typed
     /// `session_expired` error.
     pub session_idle_ms: Option<u64>,
+    /// Mount a durable [`DesignStore`] at this directory as a
+    /// write-through tier under the context cache (`--store-dir`).
+    /// Opt-in; `None` keeps the cache memory-only. Sessions are excluded:
+    /// their held designs are mutable working state, not content-addressed
+    /// artifacts.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +85,7 @@ impl Default for ServeConfig {
             metrics_out: None,
             fault_plan: None,
             session_idle_ms: None,
+            store_dir: None,
         }
     }
 }
@@ -95,23 +104,36 @@ struct SessionEntry {
 struct Conn {
     stream: Mutex<TcpStream>,
     injector: Option<Arc<FaultInjector>>,
+    /// True once the connection negotiated the `LWMB1` binary protocol;
+    /// responses then go out as frames instead of JSON lines.
+    binary: bool,
 }
 
 impl Conn {
+    /// The response's wire bytes in this connection's negotiated encoding.
+    fn encode(&self, resp: &Response) -> Vec<u8> {
+        if self.binary {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &resp.to_frame()).expect("vec write is infallible");
+            wire
+        } else {
+            let mut line = resp.to_line();
+            line.push('\n');
+            line.into_bytes()
+        }
+    }
+
     fn send(&self, resp: &Response) {
-        let mut line = resp.to_line();
-        line.push('\n');
+        let wire = self.encode(resp);
         if let Some(inj) = &self.injector {
             match inj.check(InjectionPoint::SockWrite) {
                 Some(FaultAction::DropResponse) => return, // simulated write error
                 Some(FaultAction::PartialWrite) => {
-                    // A torn write: a prefix of the line goes out, then the
-                    // connection dies mid-response.
+                    // A torn write: a prefix of the encoded response goes
+                    // out, then the connection dies mid-response.
                     let mut s = self.stream.lock().expect("conn lock");
-                    let half = line.len() / 2;
-                    let _ = s
-                        .write_all(&line.as_bytes()[..half])
-                        .and_then(|()| s.flush());
+                    let half = wire.len() / 2;
+                    let _ = s.write_all(&wire[..half]).and_then(|()| s.flush());
                     let _ = s.shutdown(Shutdown::Both);
                     return;
                 }
@@ -120,7 +142,7 @@ impl Conn {
         }
         let mut s = self.stream.lock().expect("conn lock");
         // A dead peer is not a server error; drop the response.
-        let _ = s.write_all(line.as_bytes()).and_then(|()| s.flush());
+        let _ = s.write_all(&wire).and_then(|()| s.flush());
     }
 }
 
@@ -157,6 +179,10 @@ struct Shared {
     cfg: ServeConfig,
     queue: BoundedQueue<Job>,
     cache: ContextCache,
+    /// The durable design store mounted under the cache (`--store-dir`);
+    /// also held here so `stats` can report it without going through the
+    /// cache. `None` when the server runs memory-only.
+    store: Option<Arc<DesignStore>>,
     metrics: Metrics,
     pending: Mutex<Vec<Pending>>,
     /// In-flight single-flight entries: key → waiters attached so far. An
@@ -187,6 +213,13 @@ struct Shared {
     executed: AtomicU64,
     panics: AtomicU64,
     busy_workers: AtomicU64,
+    /// Per-encoding connection and request counters, reported in the
+    /// `protocol` stats block. A connection is counted once at negotiation
+    /// time; every decoded request bumps its encoding's request counter.
+    json_conns: AtomicU64,
+    binary_conns: AtomicU64,
+    json_requests: AtomicU64,
+    binary_requests: AtomicU64,
     workers: usize,
     /// Parallelism for nested engine passes, resolved once at startup from
     /// `LOCALWM_THREADS`. Engine passes are parallelism-invariant, so this
@@ -282,8 +315,49 @@ impl Shared {
                 "panics".to_owned(),
                 self.panics.load(Ordering::SeqCst).to_value(),
             ),
+            (
+                "protocol".to_owned(),
+                Value::Object(vec![
+                    (
+                        "json_conns".to_owned(),
+                        self.json_conns.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "binary_conns".to_owned(),
+                        self.binary_conns.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "json_requests".to_owned(),
+                        self.json_requests.load(Ordering::SeqCst).to_value(),
+                    ),
+                    (
+                        "binary_requests".to_owned(),
+                        self.binary_requests.load(Ordering::SeqCst).to_value(),
+                    ),
+                ]),
+            ),
             ("requests".to_owned(), self.metrics.to_value()),
         ];
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            fields.push((
+                "store".to_owned(),
+                Value::Object(vec![
+                    ("segments".to_owned(), s.segments.to_value()),
+                    ("bytes".to_owned(), s.bytes.to_value()),
+                    ("records".to_owned(), s.records.to_value()),
+                    ("hits".to_owned(), s.hits.to_value()),
+                    ("misses".to_owned(), s.misses.to_value()),
+                    ("puts".to_owned(), s.puts.to_value()),
+                    ("recovered".to_owned(), s.recovered.to_value()),
+                    ("dropped_tail".to_owned(), s.dropped_tail.to_value()),
+                    (
+                        "checksum_failures".to_owned(),
+                        s.checksum_failures.to_value(),
+                    ),
+                ]),
+            ));
+        }
         if let Some(inj) = &self.injector {
             fields.push((
                 "faults_fired".to_owned(),
@@ -403,9 +477,20 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         }
         None
     };
+    let store = match &cfg.store_dir {
+        Some(dir) => Some(Arc::new(DesignStore::open(dir).map_err(|e| {
+            io::Error::new(e.kind(), format!("opening design store at {dir}: {e}"))
+        })?)),
+        None => None,
+    };
+    let cache = match &store {
+        Some(s) => ContextCache::with_store(cfg.cache_cap, Arc::clone(s)),
+        None => ContextCache::new(cfg.cache_cap),
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(cfg.queue_depth),
-        cache: ContextCache::new(cfg.cache_cap),
+        cache,
+        store,
         metrics: Metrics::new(),
         pending: Mutex::new(Vec::new()),
         inflight: Mutex::new(HashMap::new()),
@@ -424,6 +509,10 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         executed: AtomicU64::new(0),
         panics: AtomicU64::new(0),
         busy_workers: AtomicU64::new(0),
+        json_conns: AtomicU64::new(0),
+        binary_conns: AtomicU64::new(0),
+        json_requests: AtomicU64::new(0),
+        binary_requests: AtomicU64::new(0),
         workers,
         engine_par: Parallelism::from_env(),
         injector,
@@ -504,41 +593,114 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
         }
         Err(_) => return,
     }
+    // Encoding negotiation: a first line equal to the magic switches this
+    // connection to length-prefixed binary frames; anything else is the
+    // first JSON request and the connection stays on JSON lines.
+    let mut reader = io::BufReader::new(read_half);
+    let mut first_line = String::new();
+    let binary = match io::BufRead::read_line(&mut reader, &mut first_line) {
+        Ok(n) if n > 0 => first_line.trim() == BINARY_MAGIC,
+        _ => {
+            shared.conns.lock().expect("conns lock").remove(&conn_id);
+            return;
+        }
+    };
     let conn = Arc::new(Conn {
         stream: Mutex::new(stream),
         injector: shared.injector.clone(),
+        binary,
     });
-    let reader = io::BufReader::new(read_half);
-    for line in io::BufRead::lines(reader) {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    if binary {
+        shared.binary_conns.fetch_add(1, Ordering::SeqCst);
+        binary_conn_loop(shared, &conn, &mut reader);
+    } else {
+        shared.json_conns.fetch_add(1, Ordering::SeqCst);
+        if handle_json_line(shared, &conn, &first_line) {
+            for line in io::BufRead::lines(reader) {
+                let Ok(line) = line else { break };
+                if !handle_json_line(shared, &conn, &line) {
+                    break;
+                }
+            }
         }
+    }
+    shared.conns.lock().expect("conns lock").remove(&conn_id);
+}
+
+/// Handles one JSON wire line; returns `false` once the connection should
+/// close (injected read fault or server stop).
+fn handle_json_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    if let Some(inj) = &shared.injector {
+        if matches!(
+            inj.check(InjectionPoint::SockRead),
+            Some(FaultAction::DropConnection)
+        ) {
+            // Simulated read error: the request just read is lost and
+            // the connection dies before it is processed.
+            let s = conn.stream.lock().expect("conn lock");
+            let _ = s.shutdown(Shutdown::Both);
+            return false;
+        }
+    }
+    shared.json_requests.fetch_add(1, Ordering::SeqCst);
+    match Request::from_line(line.trim_end_matches(['\r', '\n'])) {
+        Err(msg) => conn.send(&Response::failure(
+            None,
+            "invalid",
+            ServiceError::new(ErrorCode::BadRequest, msg),
+        )),
+        Ok(req) => dispatch(shared, conn, req),
+    }
+    !shared.stopped.load(Ordering::SeqCst)
+}
+
+/// The binary-protocol request loop: length-prefixed checksummed frames in,
+/// frames out. A frame that decodes to a non-request shape gets a typed
+/// `bad_request` answer; a frame failing its checksum gets the same answer
+/// and then the connection closes, because stream framing cannot be
+/// trusted past a corrupt length prefix.
+fn binary_conn_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, reader: &mut io::BufReader<TcpStream>) {
+    loop {
+        let body = match read_frame(reader) {
+            Ok(body) => body,
+            // EOF at a frame boundary (or a torn tail from a dying peer):
+            // nobody is left to answer.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => {
+                conn.send(&Response::failure(
+                    None,
+                    "invalid",
+                    ServiceError::new(ErrorCode::BadRequest, format!("undecodable frame: {e}")),
+                ));
+                break;
+            }
+        };
         if let Some(inj) = &shared.injector {
             if matches!(
                 inj.check(InjectionPoint::SockRead),
                 Some(FaultAction::DropConnection)
             ) {
-                // Simulated read error: the request just read is lost and
-                // the connection dies before it is processed.
                 let s = conn.stream.lock().expect("conn lock");
                 let _ = s.shutdown(Shutdown::Both);
                 break;
             }
         }
-        match Request::from_line(&line) {
+        shared.binary_requests.fetch_add(1, Ordering::SeqCst);
+        match Request::from_frame(&body) {
             Err(msg) => conn.send(&Response::failure(
                 None,
                 "invalid",
                 ServiceError::new(ErrorCode::BadRequest, msg),
             )),
-            Ok(req) => dispatch(shared, &conn, req),
+            Ok(req) => dispatch(shared, conn, req),
         }
         if shared.stopped.load(Ordering::SeqCst) {
             break;
         }
     }
-    shared.conns.lock().expect("conns lock").remove(&conn_id);
 }
 
 fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {

@@ -19,6 +19,7 @@ fn start_server(workers: usize, queue_depth: usize) -> localwm_serve::ServerHand
         metrics_out: None,
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .expect("bind loopback")
 }
@@ -283,6 +284,7 @@ fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
         metrics_out: Some(aborted.to_string_lossy().into_owned()),
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -302,6 +304,7 @@ fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
         metrics_out: Some(drained.to_string_lossy().into_owned()),
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -525,6 +528,7 @@ fn idle_sessions_are_evicted_with_a_typed_error() {
         metrics_out: None,
         fault_plan: None,
         session_idle_ms: Some(30),
+        store_dir: None,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -614,4 +618,122 @@ fn call_repeated_reuses_one_connection_for_the_warm_path() {
         "repeats 2..=5 hit the context cache over the kept-alive connection"
     );
     handle.shutdown();
+}
+
+#[test]
+fn binary_connection_gets_byte_identical_responses_and_is_counted() {
+    let handle = start_server(2, 16);
+    let design = write_cdfg(&iir4_parallel());
+    let req = timing_request(7, &design);
+
+    // Reference bytes over a JSON-lines connection.
+    let mut json = connect(&handle);
+    json.send(&req).unwrap();
+    let reference = json.recv_line().unwrap();
+
+    // Same request over a negotiated binary connection: the re-rendered
+    // frame must be byte-identical, typed errors included.
+    let mut bin = Client::connect_binary_within(&handle.addr().to_string(), Duration::from_secs(5))
+        .expect("binary connect");
+    assert!(bin.is_binary());
+    bin.send(&req).unwrap();
+    assert_eq!(
+        bin.recv_line().unwrap(),
+        reference,
+        "binary frames must decode to the same response bytes"
+    );
+    let mut bad = Request::new(RequestKind::Timing);
+    bad.id = Some(8);
+    bad.design = Some("this is not a cdfg".to_owned());
+    json.send(&bad).unwrap();
+    bin.send(&bad).unwrap();
+    let bad_json = json.recv_line().unwrap();
+    assert!(bad_json.contains("\"ok\":false"));
+    assert_eq!(bin.recv_line().unwrap(), bad_json);
+
+    let stats = bin.call(&Request::new(RequestKind::Stats)).unwrap();
+    let protocol = stats.result_field("protocol").expect("protocol stats");
+    assert_eq!(protocol.field("json_conns"), Some(&Value::Int(1)));
+    assert_eq!(protocol.field("binary_conns"), Some(&Value::Int(1)));
+    assert_eq!(protocol.field("json_requests"), Some(&Value::Int(2)));
+    assert_eq!(
+        protocol.field("binary_requests"),
+        Some(&Value::Int(3)),
+        "timing + bad request + this stats call"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn restarted_server_answers_from_the_store_without_reparsing() {
+    let dir = std::env::temp_dir().join(format!("localwm-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_cfg = || ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 16,
+        cache_cap: 4,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+    };
+    let apps = mediabench_apps();
+    let designs = [
+        write_cdfg(&iir4_parallel()),
+        write_cdfg(&mediabench(&apps[0], 0)),
+    ];
+
+    // First life: populate the store through parse misses.
+    let first = localwm_serve::start(store_cfg()).expect("bind first life");
+    let mut reference = Vec::new();
+    {
+        let mut c = connect(&first);
+        for (i, d) in designs.iter().enumerate() {
+            c.send(&timing_request(i as u64, d)).unwrap();
+            reference.push(c.recv_line().unwrap());
+        }
+        let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+        let store = stats.result_field("store").expect("store stats");
+        assert_eq!(
+            store.field("records"),
+            Some(&Value::Int(4)),
+            "design + alias per design"
+        );
+        assert_eq!(store.field("puts"), Some(&Value::Int(4)));
+    }
+    first.shutdown();
+
+    // Second life, same --store-dir: byte-identical answers, served from
+    // the store (store hits, no new puts — nothing was reparsed).
+    let second = localwm_serve::start(store_cfg()).expect("bind second life");
+    {
+        let mut c = connect(&second);
+        for (i, d) in designs.iter().enumerate() {
+            c.send(&timing_request(i as u64, d)).unwrap();
+            assert_eq!(
+                c.recv_line().unwrap(),
+                reference[i],
+                "a warm restart must not change response bytes"
+            );
+        }
+        let stats = c.call(&Request::new(RequestKind::Stats)).unwrap();
+        let store = stats.result_field("store").expect("store stats");
+        assert_eq!(
+            store.field("hits"),
+            Some(&Value::Int(4)),
+            "alias + design lookup per design"
+        );
+        assert_eq!(store.field("puts"), Some(&Value::Int(0)));
+        assert_eq!(store.field("dropped_tail"), Some(&Value::Int(0)));
+        let cache = stats.result_field("cache").expect("cache stats");
+        assert_eq!(
+            cache.field("misses"),
+            Some(&Value::Int(2)),
+            "store loads still count as cache misses"
+        );
+    }
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

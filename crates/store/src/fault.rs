@@ -1,0 +1,245 @@
+//! Deterministic storage fault injection, mirroring the serve-side seams.
+//!
+//! Three storage faults real disks exhibit:
+//!
+//! * **Short write** — an append persists only a prefix of the record (a
+//!   torn tail after power loss). The store believes the write succeeded;
+//!   the truth surfaces on the next open as a recovered/dropped tail.
+//! * **Read error** — a `get` fails with an I/O error even though the
+//!   record is intact on disk.
+//! * **Checksum flip** — one payload byte is corrupted in flight, so the
+//!   record lands with a checksum that cannot verify (silent media
+//!   corruption; caught by `get`, `verify` and the open-time scan).
+//!
+//! Plans are seeded with the same splitmix64 construction as the serve
+//! fault plans: identical seeds produce identical schedules, and the
+//! injector fires on deterministic per-point operation counters. The seams
+//! in [`store`](crate::store) are only compiled with the `fault-inject`
+//! feature; without it no injector can be installed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Where in the store a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StorePoint {
+    /// A record append (faults: short write, checksum flip).
+    Append,
+    /// A record read (fault: injected I/O error).
+    Read,
+}
+
+impl StorePoint {
+    /// Every point, in order; indexes match [`StorePoint::index`].
+    pub const ALL: [StorePoint; 2] = [StorePoint::Append, StorePoint::Read];
+
+    /// A dense index for per-point tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorePoint::Append => "append",
+            StorePoint::Read => "read",
+        }
+    }
+}
+
+/// What an injected storage fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFaultAction {
+    /// Persist only this fraction (numerator of 1/2, 1/4, …) of the record
+    /// bytes, then report success — a torn tail ([`StorePoint::Append`]).
+    ShortWrite,
+    /// Corrupt one payload byte after the checksum was computed
+    /// ([`StorePoint::Append`]).
+    ChecksumFlip,
+    /// Fail the read with an injected I/O error ([`StorePoint::Read`]).
+    ReadError,
+}
+
+impl StoreFaultAction {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreFaultAction::ShortWrite => "short_write",
+            StoreFaultAction::ChecksumFlip => "checksum_flip",
+            StoreFaultAction::ReadError => "read_error",
+        }
+    }
+}
+
+/// One planned storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFaultSpec {
+    /// Which point this fault arms.
+    pub point: StorePoint,
+    /// Zero-based operation index at that point.
+    pub at_index: u64,
+    /// What happens when it fires.
+    pub action: StoreFaultAction,
+}
+
+/// A deterministic, seeded schedule of storage faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreFaultPlan {
+    /// The generating seed (0 for hand-built plans).
+    pub seed: u64,
+    /// The armed faults, sorted by `(point, at_index)`.
+    pub faults: Vec<StoreFaultSpec>,
+}
+
+/// Splitmix64, byte-identical to the serve-side generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StoreFaultPlan {
+    /// An empty plan (no faults ever fire).
+    pub fn empty() -> Self {
+        StoreFaultPlan {
+            seed: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A plan with a single armed fault.
+    pub fn single(point: StorePoint, at_index: u64, action: StoreFaultAction) -> Self {
+        StoreFaultPlan {
+            seed: 0,
+            faults: vec![StoreFaultSpec {
+                point,
+                at_index,
+                action,
+            }],
+        }
+    }
+
+    /// Generates a plan from `seed`: up to `per_point` faults per point
+    /// with indices drawn from `[0, horizon)`. Identical arguments always
+    /// produce the identical plan.
+    pub fn generate(seed: u64, horizon: u64, per_point: usize) -> Self {
+        let mut state = seed ^ 0x5E6D_E27F_AB17_5EED;
+        let mut faults = Vec::new();
+        for point in StorePoint::ALL {
+            let mut used = Vec::new();
+            for _ in 0..per_point {
+                let at_index = splitmix(&mut state) % horizon.max(1);
+                let roll = splitmix(&mut state);
+                if used.contains(&at_index) {
+                    continue; // collisions are dropped, deterministically
+                }
+                used.push(at_index);
+                let action = match point {
+                    StorePoint::Append => {
+                        if roll & 1 == 0 {
+                            StoreFaultAction::ShortWrite
+                        } else {
+                            StoreFaultAction::ChecksumFlip
+                        }
+                    }
+                    StorePoint::Read => StoreFaultAction::ReadError,
+                };
+                faults.push(StoreFaultSpec {
+                    point,
+                    at_index,
+                    action,
+                });
+            }
+        }
+        faults.sort_by_key(|f| (f.point, f.at_index));
+        StoreFaultPlan { seed, faults }
+    }
+}
+
+/// One storage fault that actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredStoreFault {
+    /// The point that fired.
+    pub point: StorePoint,
+    /// The operation index at which it fired.
+    pub index: u64,
+    /// The action performed.
+    pub action: StoreFaultAction,
+}
+
+/// The runtime side of a [`StoreFaultPlan`]: per-point counters, the armed
+/// table, and a trace of everything that fired.
+pub struct StoreFaultInjector {
+    armed: [HashMap<u64, StoreFaultAction>; 2],
+    counters: [AtomicU64; 2],
+    trace: Mutex<Vec<FiredStoreFault>>,
+}
+
+impl StoreFaultInjector {
+    /// An injector armed with `plan`.
+    pub fn from_plan(plan: &StoreFaultPlan) -> Self {
+        let mut armed: [HashMap<u64, StoreFaultAction>; 2] = Default::default();
+        for f in &plan.faults {
+            armed[f.point.index()].insert(f.at_index, f.action);
+        }
+        StoreFaultInjector {
+            armed,
+            counters: Default::default(),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Ticks `point`'s counter and returns the armed fault at this index,
+    /// if any; fired faults are appended to the trace.
+    pub fn check(&self, point: StorePoint) -> Option<StoreFaultAction> {
+        let index = self.counters[point.index()].fetch_add(1, Ordering::SeqCst);
+        let action = self.armed[point.index()].get(&index).copied();
+        if let Some(action) = action {
+            self.trace
+                .lock()
+                .expect("trace lock")
+                .push(FiredStoreFault {
+                    point,
+                    index,
+                    action,
+                });
+        }
+        action
+    }
+
+    /// Everything that fired, in firing order.
+    pub fn trace(&self) -> Vec<FiredStoreFault> {
+        self.trace.lock().expect("trace lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_generates_the_identical_plan() {
+        let a = StoreFaultPlan::generate(11, 32, 3);
+        let b = StoreFaultPlan::generate(11, 32, 3);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty());
+        assert_ne!(a, StoreFaultPlan::generate(12, 32, 3));
+    }
+
+    #[test]
+    fn injector_fires_exactly_at_armed_indices() {
+        let plan = StoreFaultPlan::single(StorePoint::Append, 1, StoreFaultAction::ShortWrite);
+        let inj = StoreFaultInjector::from_plan(&plan);
+        assert_eq!(inj.check(StorePoint::Append), None);
+        assert_eq!(
+            inj.check(StorePoint::Append),
+            Some(StoreFaultAction::ShortWrite)
+        );
+        assert_eq!(inj.check(StorePoint::Append), None);
+        assert_eq!(inj.check(StorePoint::Read), None);
+        assert_eq!(inj.trace().len(), 1);
+    }
+}

@@ -174,6 +174,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         metrics_out: None,
         fault_plan: Some(plan.clone()),
         session_idle_ms: None,
+        store_dir: None,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();

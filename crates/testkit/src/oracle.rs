@@ -12,6 +12,10 @@
 //! * `tcp-cold` — a real server on a loopback socket, fresh cache.
 //! * `tcp-warm` — the same server and connection, second pass: every
 //!   context comes from the warm cache and the bytes still may not move.
+//! * `tcp-binary-cold` / `tcp-binary-warm` — the same two passes over a
+//!   connection that negotiated the `LWMB1` framed binary encoding. The
+//!   client decodes each frame back to a JSON line, so lane comparison
+//!   proves both encodings carry byte-identical response objects.
 //!
 //! The in-process lanes build response lines exactly the way the server's
 //! workers do ([`Response::success`]/[`Response::failure`] + `to_line`),
@@ -86,6 +90,31 @@ pub fn tcp_lines(
     cache_cap: usize,
     workers: usize,
 ) -> Result<(Vec<String>, Vec<String>), String> {
+    tcp_lines_with(requests, cache_cap, workers, false)
+}
+
+/// [`tcp_lines`] over a connection that negotiated the `LWMB1` framed
+/// binary encoding. The returned lines are the client's decode of each
+/// frame, so comparing them against the JSON lanes proves the encodings
+/// carry byte-identical response objects.
+///
+/// # Errors
+///
+/// As [`tcp_lines`].
+pub fn tcp_binary_lines(
+    requests: &[Request],
+    cache_cap: usize,
+    workers: usize,
+) -> Result<(Vec<String>, Vec<String>), String> {
+    tcp_lines_with(requests, cache_cap, workers, true)
+}
+
+fn tcp_lines_with(
+    requests: &[Request],
+    cache_cap: usize,
+    workers: usize,
+    binary: bool,
+) -> Result<(Vec<String>, Vec<String>), String> {
     let handle = localwm_serve::start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers,
@@ -95,12 +124,17 @@ pub fn tcp_lines(
         metrics_out: None,
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();
     let run_pass = || -> Result<Vec<String>, String> {
-        let mut c = Client::connect_within(&addr, Duration::from_secs(5))
-            .map_err(|e| format!("connect: {e}"))?;
+        let connect = if binary {
+            Client::connect_binary_within
+        } else {
+            Client::connect_within
+        };
+        let mut c = connect(&addr, Duration::from_secs(5)).map_err(|e| format!("connect: {e}"))?;
         let mut lines = Vec::with_capacity(requests.len());
         for req in requests {
             c.send(req).map_err(|e| format!("send: {e}"))?;
@@ -129,6 +163,7 @@ pub fn run_differential(
 ) -> Result<DifferentialReport, String> {
     let reference = inproc_lines(requests, cache_cap, Parallelism::Serial);
     let (tcp_cold, tcp_warm) = tcp_lines(requests, cache_cap, 2)?;
+    let (bin_cold, bin_warm) = tcp_binary_lines(requests, cache_cap, 2)?;
     let lanes: Vec<(String, Vec<String>)> = vec![
         (
             "inproc-threads3".to_owned(),
@@ -140,6 +175,8 @@ pub fn run_differential(
         ),
         ("tcp-cold".to_owned(), tcp_cold),
         ("tcp-warm".to_owned(), tcp_warm),
+        ("tcp-binary-cold".to_owned(), bin_cold),
+        ("tcp-binary-warm".to_owned(), bin_warm),
     ];
     let mut mismatches = Vec::new();
     for (lane, lines) in &lanes {

@@ -352,6 +352,7 @@ pub fn replay_tcp(design: &str, steps: &[TraceStep], session: &str) -> Result<Ve
         metrics_out: None,
         fault_plan: None,
         session_idle_ms: None,
+        store_dir: None,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let run = || -> Result<Vec<String>, String> {
