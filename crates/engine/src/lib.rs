@@ -56,6 +56,6 @@ pub use context::{DesignContext, EngineError, WindowTable};
 pub use delay::{DelayBounds, DelayInterval, DynamicBounds, KindBounds};
 pub use editor::DesignEditor;
 pub use par::{par_map, Parallelism};
-pub use pool::{pool_stats, PoolStats};
+pub use pool::{pool_stats, set_pool_threads, PoolStats};
 pub use probe::{timed, NoopProbe, Probe, RecordingProbe};
 pub use unit::UnitTiming;

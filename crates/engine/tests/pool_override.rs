@@ -1,0 +1,78 @@
+//! Pool-size override — isolated in its own test binary because the pool
+//! starts once per process and its size is pinned at first use. A single
+//! `#[test]` keeps the start deterministic; running this alongside the
+//! unit tests (same binary, arbitrary order) would race the pin.
+
+use localwm_engine::{par_map, pool_stats, set_pool_threads, Parallelism};
+
+#[test]
+fn override_pins_the_worker_count_before_first_use() {
+    // Before any batch has run, the override must report effective.
+    assert!(
+        set_pool_threads(3),
+        "override before first use must take effect"
+    );
+    assert_eq!(pool_stats().threads, 0, "no threads before first batch");
+
+    // First parallel batch starts the pool at the overridden size even on
+    // a single-core host, where the default would be zero workers.
+    let out = par_map(
+        Parallelism::Threads(4),
+        &[1u64, 2, 3, 4, 5, 6, 7, 8],
+        |_, x| x * 2,
+    );
+    assert_eq!(out, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+    let stats = pool_stats();
+    assert_eq!(stats.threads, 3, "pool sized by the override, not the host");
+    assert!(stats.jobs >= 1);
+
+    // Once started, the size is pinned: a late override reports inert.
+    assert!(
+        !set_pool_threads(9),
+        "override after first use must report inert"
+    );
+    assert_eq!(pool_stats().threads, 3);
+
+    // Force genuine parallelism: four jobs rendezvous on one barrier, so
+    // the submitter alone cannot finish the batch — the three pinned
+    // workers must steal the other three jobs.
+    let barrier = std::sync::Barrier::new(4);
+    let mut slots = [0u32; 4];
+    {
+        let barrier = &barrier;
+        localwm_engine::par_map(Parallelism::Threads(4), &[0u32, 1, 2, 3], |_, x| {
+            barrier.wait();
+            x + 10
+        })
+        .into_iter()
+        .zip(slots.iter_mut())
+        .for_each(|(v, s)| *s = v);
+    }
+    assert_eq!(slots, [10, 11, 12, 13]);
+    assert!(
+        pool_stats().steals >= 3,
+        "barrier batch requires workers to steal its jobs"
+    );
+
+    // With real workers live, concurrent batches still produce exact
+    // results (each job runs exactly once, order preserved).
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                s.spawn(move || {
+                    let items: Vec<u64> = (0..64).map(|i| i + k * 1000).collect();
+                    let doubled = par_map(Parallelism::Threads(4), &items, |_, x| x * 2);
+                    assert_eq!(
+                        doubled,
+                        items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                        "batch {k} corrupted under concurrency"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("concurrent batch panicked");
+        }
+    });
+    assert!(pool_stats().jobs >= 1 + 4 + 4 * 4);
+}

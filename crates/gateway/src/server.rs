@@ -415,6 +415,20 @@ impl Shared {
             "json_requests",
             "binary_requests",
         ];
+        // Fleet-wide engine-pool activity (work-stealing counters) and
+        // sharded-cache counters, summed over the backends that answered.
+        // Cache sums are over each backend's aggregate view — the shard
+        // breakdown stays per-backend under `backends[i].upstream.cache`.
+        let mut pool_sums = [0u64; 5];
+        const POOL_FIELDS: [&str; 5] = [
+            "threads",
+            "jobs",
+            "steals",
+            "cross_batch_steals",
+            "park_wakeups",
+        ];
+        let mut cache_sums = [0u64; 5];
+        const CACHE_FIELDS: [&str; 5] = ["hits", "misses", "evictions", "entries", "capacity"];
         let mut entries = Vec::with_capacity(self.backends.len());
         for backend in &self.backends {
             let upstream = match backend.exchange(&probe, timeout) {
@@ -443,6 +457,16 @@ impl Shared {
                         *sum += uint_field(protocol.field(name));
                     }
                 }
+                if let Some(pool) = stats.field("pool") {
+                    for (sum, name) in pool_sums.iter_mut().zip(POOL_FIELDS) {
+                        *sum += uint_field(pool.field(name));
+                    }
+                }
+                if let Some(cache) = stats.field("cache") {
+                    for (sum, name) in cache_sums.iter_mut().zip(CACHE_FIELDS) {
+                        *sum += uint_field(cache.field(name));
+                    }
+                }
             }
             let mut fields = backend.stats_value();
             fields.push(("upstream".to_owned(), upstream.unwrap_or(Value::Null)));
@@ -460,6 +484,16 @@ impl Shared {
             .zip(protocol_sums)
             .map(|(name, sum)| ((*name).to_owned(), sum.to_value()))
             .collect();
+        let pool_fields: Vec<(String, Value)> = POOL_FIELDS
+            .iter()
+            .zip(pool_sums)
+            .map(|(name, sum)| ((*name).to_owned(), sum.to_value()))
+            .collect();
+        let cache_fields: Vec<(String, Value)> = CACHE_FIELDS
+            .iter()
+            .zip(cache_sums)
+            .map(|(name, sum)| ((*name).to_owned(), sum.to_value()))
+            .collect();
         Value::Object(vec![
             ("gateway".to_owned(), self.stats_value()),
             (
@@ -475,6 +509,8 @@ impl Shared {
                     ("workers".to_owned(), workers.to_value()),
                     ("store".to_owned(), Value::Object(store_fields)),
                     ("protocol".to_owned(), Value::Object(protocol_fields)),
+                    ("pool".to_owned(), Value::Object(pool_fields)),
+                    ("cache".to_owned(), Value::Object(cache_fields)),
                 ]),
             ),
             ("backends".to_owned(), Value::Array(entries)),

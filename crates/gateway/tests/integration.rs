@@ -356,6 +356,19 @@ fn cluster_stats_aggregates_backend_gauges() {
         "2 workers per backend, summed"
     );
     assert_eq!(agg.field("queue_depth"), Some(&Value::Int(0)));
+    // Fleet-wide sharded-cache and work-stealing-pool aggregates: each
+    // backend's timing requests were cache misses, summed here.
+    let cache = agg.field("cache").expect("aggregate cache block");
+    let misses = match cache.field("misses") {
+        Some(Value::Int(n)) => *n,
+        other => panic!("cache misses should be an int, got {other:?}"),
+    };
+    assert!(misses >= 2, "both backends parsed at least one design");
+    let pool = agg.field("pool").expect("aggregate pool block");
+    assert!(
+        pool.field("steals").is_some() && pool.field("cross_batch_steals").is_some(),
+        "pool aggregate carries the work-stealing counters"
+    );
     let backends = match resp.result_field("backends") {
         Some(Value::Array(a)) => a.clone(),
         other => panic!("expected backend array, got {other:?}"),

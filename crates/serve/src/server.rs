@@ -185,12 +185,14 @@ struct Shared {
     store: Option<Arc<DesignStore>>,
     metrics: Metrics,
     pending: Mutex<Vec<Pending>>,
-    /// In-flight single-flight entries: key → waiters attached so far. An
-    /// entry is inserted when a coalescible leader is dispatched and
-    /// removed when its computation completes (or its queue push fails),
-    /// so identical requests arriving in between attach instead of
-    /// recomputing.
-    inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
+    /// In-flight single-flight entries, sharded by coalescing key: key →
+    /// waiters attached so far. An entry is inserted when a coalescible
+    /// leader is dispatched and removed when its computation completes (or
+    /// its queue push fails), so identical requests arriving in between
+    /// attach instead of recomputing. Every operation on a key happens
+    /// under that key's shard lock alone, so coalescing stays correct per
+    /// shard while distinct designs stop serializing on one mutex.
+    inflight: Vec<Mutex<HashMap<u64, Vec<Waiter>>>>,
     /// Open interactive sessions by client-chosen id.
     sessions: Mutex<HashMap<String, Arc<SessionEntry>>>,
     sessions_opened: AtomicU64,
@@ -229,7 +231,21 @@ struct Shared {
     injector: Option<Arc<FaultInjector>>,
 }
 
+/// Single-flight shard count: small and fixed — entries are transient
+/// (one per distinct in-flight computation), so this bounds lock
+/// contention, not memory.
+const INFLIGHT_SHARDS: u64 = 8;
+
 impl Shared {
+    /// The single-flight shard holding `key` — same SplitMix64-style mix
+    /// the cache uses, so placement is a pure function of the key.
+    fn inflight_shard(&self, key: u64) -> &Mutex<HashMap<u64, Vec<Waiter>>> {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        &self.inflight[((z ^ (z >> 31)) % INFLIGHT_SHARDS) as usize]
+    }
+
     /// Sends `resp` unless someone (worker or watchdog) already answered
     /// this job, and records the latency under the winning outcome.
     fn respond_once(&self, state: &JobState, conn: &Conn, resp: &Response, outcome: Outcome) {
@@ -263,11 +279,32 @@ impl Shared {
             (
                 "cache".to_owned(),
                 Value::Object(vec![
+                    // Aggregate view first (sums over shards; existing
+                    // consumers keep reading these names), then the
+                    // per-shard breakdown.
                     ("hits".to_owned(), c.hits.to_value()),
                     ("misses".to_owned(), c.misses.to_value()),
                     ("evictions".to_owned(), c.evictions.to_value()),
                     ("entries".to_owned(), c.entries.to_value()),
                     ("capacity".to_owned(), c.capacity.to_value()),
+                    (
+                        "shards".to_owned(),
+                        Value::Array(
+                            self.cache
+                                .shard_stats()
+                                .into_iter()
+                                .map(|s| {
+                                    Value::Object(vec![
+                                        ("hits".to_owned(), s.hits.to_value()),
+                                        ("misses".to_owned(), s.misses.to_value()),
+                                        ("evictions".to_owned(), s.evictions.to_value()),
+                                        ("entries".to_owned(), s.entries.to_value()),
+                                        ("capacity".to_owned(), s.capacity.to_value()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             (
@@ -308,6 +345,11 @@ impl Shared {
                 Value::Object(vec![
                     ("threads".to_owned(), p.threads.to_value()),
                     ("jobs".to_owned(), p.jobs.to_value()),
+                    ("steals".to_owned(), p.steals.to_value()),
+                    (
+                        "cross_batch_steals".to_owned(),
+                        p.cross_batch_steals.to_value(),
+                    ),
                     ("park_wakeups".to_owned(), p.park_wakeups.to_value()),
                 ])
             }),
@@ -493,7 +535,9 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         store,
         metrics: Metrics::new(),
         pending: Mutex::new(Vec::new()),
-        inflight: Mutex::new(HashMap::new()),
+        inflight: (0..INFLIGHT_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
         sessions: Mutex::new(HashMap::new()),
         sessions_opened: AtomicU64::new(0),
         sessions_closed: AtomicU64::new(0),
@@ -790,7 +834,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             // requests coalesce even while the leader is still queued.
             let key = coalescing_key(&req);
             if let Some(k) = key {
-                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                let mut inflight = shared.inflight_shard(k).lock().expect("inflight lock");
                 if let Some(waiters) = inflight.get_mut(&k) {
                     waiters.push(Waiter {
                         state,
@@ -840,7 +884,13 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 // waiters that raced in between registration and the push.
                 let waiters = job
                     .key
-                    .and_then(|k| shared.inflight.lock().expect("inflight lock").remove(&k))
+                    .and_then(|k| {
+                        shared
+                            .inflight_shard(k)
+                            .lock()
+                            .expect("inflight lock")
+                            .remove(&k)
+                    })
                     .unwrap_or_default();
                 for w in waiters {
                     let resp = Response::failure(w.state.id, kind.as_str(), err.clone());
@@ -1009,7 +1059,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         // so a waiter can never attach to an entry that is being abandoned.
         let run = match job.key {
             Some(k) => {
-                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                let mut inflight = shared.inflight_shard(k).lock().expect("inflight lock");
                 let has_waiters = inflight.get(&k).is_some_and(|w| !w.is_empty());
                 if !job.state.responded.load(Ordering::SeqCst) || has_waiters {
                     true
@@ -1053,7 +1103,13 @@ fn worker_loop(shared: &Arc<Shared>) {
             // attaching to a finished one.
             let waiters = job
                 .key
-                .and_then(|k| shared.inflight.lock().expect("inflight lock").remove(&k))
+                .and_then(|k| {
+                    shared
+                        .inflight_shard(k)
+                        .lock()
+                        .expect("inflight lock")
+                        .remove(&k)
+                })
                 .unwrap_or_default();
             shared.respond_once(&job.state, &job.conn, &resp, outcome);
             for w in waiters {

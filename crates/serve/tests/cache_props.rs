@@ -1,0 +1,154 @@
+//! Property-based tests for the sharded context cache: exact capacity
+//! splits, pure shard placement, counter identities under insert storms,
+//! and a model-checked LRU (aliases included) that would catch any stale
+//! alias hit.
+
+use std::collections::HashMap;
+
+use localwm_cdfg::generators::{layered, mediabench, mediabench_apps, LayeredConfig};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::ContextCache;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The capacity split across shards is exact: per-shard capacities sum
+    /// to the configured total (no padding, no truncation), every shard
+    /// holds at least one design, and the shard count is clamped to
+    /// `1..=capacity`.
+    #[test]
+    fn capacity_split_is_exact(capacity in 0usize..200, shards in 0usize..40) {
+        let cache = ContextCache::with_shards(capacity, shards);
+        let total = capacity.max(1);
+        let per_shard: Vec<usize> =
+            cache.shard_stats().iter().map(|s| s.capacity).collect();
+        prop_assert_eq!(per_shard.iter().sum::<usize>(), total);
+        prop_assert!(per_shard.iter().all(|&c| c >= 1));
+        prop_assert_eq!(cache.shard_count(), shards.clamp(1, total));
+        prop_assert_eq!(cache.stats().capacity, total);
+        // The split is as even as an exact split can be.
+        let (min, max) = (
+            per_shard.iter().min().copied().unwrap_or(0),
+            per_shard.iter().max().copied().unwrap_or(0),
+        );
+        prop_assert!(max - min <= 1, "split is balanced: {:?}", per_shard);
+    }
+
+    /// Shard placement is a pure function of the content hash and the
+    /// shard count: stable on one cache, identical across caches with the
+    /// same shard count, always in range.
+    #[test]
+    fn shard_choice_is_a_pure_function(
+        capacity in 1usize..64,
+        shards in 1usize..16,
+        keys in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let a = ContextCache::with_shards(capacity, shards);
+        // A second cache with a different capacity but the same effective
+        // shard count must place every key identically.
+        let b = ContextCache::with_shards(capacity * 3 + shards, a.shard_count());
+        prop_assert_eq!(a.shard_count(), b.shard_count());
+        for &k in &keys {
+            let s = a.shard_of(k);
+            prop_assert!(s < a.shard_count());
+            prop_assert_eq!(a.shard_of(k), s, "stable on one cache");
+            prop_assert_eq!(b.shard_of(k), s, "same count, same placement");
+        }
+    }
+
+    /// Under a random insert storm, every shard's eviction counter is
+    /// monotone, the identity `evictions == misses - entries` holds per
+    /// shard and in aggregate after every operation, no shard exceeds its
+    /// capacity slice, and the aggregate view is the exact sum of shards.
+    #[test]
+    fn insert_storms_keep_every_shard_accounted(
+        capacity in 1usize..6,
+        shards in 1usize..5,
+        ops in proptest::collection::vec(0usize..12, 1..25),
+    ) {
+        let cache = ContextCache::with_shards(capacity, shards);
+        let apps = mediabench_apps();
+        let mut last_evictions = vec![0u64; cache.shard_count()];
+        for &op in &ops {
+            // 12 distinct designs: 3 mediabench apps x 4 salts.
+            cache.get_or_insert(mediabench(&apps[op % 3], (op / 3) as u64));
+            let per_shard = cache.shard_stats();
+            for (i, s) in per_shard.iter().enumerate() {
+                prop_assert!(s.evictions >= last_evictions[i], "shard {} went backwards", i);
+                last_evictions[i] = s.evictions;
+                prop_assert_eq!(s.evictions, s.misses - s.entries as u64);
+                prop_assert!(s.entries <= s.capacity);
+            }
+            let agg = cache.stats();
+            prop_assert_eq!(agg.hits, per_shard.iter().map(|s| s.hits).sum::<u64>());
+            prop_assert_eq!(agg.misses, per_shard.iter().map(|s| s.misses).sum::<u64>());
+            prop_assert_eq!(
+                agg.evictions,
+                per_shard.iter().map(|s| s.evictions).sum::<u64>()
+            );
+            prop_assert_eq!(
+                agg.entries,
+                per_shard.iter().map(|s| s.entries).sum::<usize>()
+            );
+            prop_assert_eq!(agg.evictions, agg.misses - agg.entries as u64);
+        }
+    }
+
+    /// Model-checked single-shard LRU over `get_or_parse`: a reference
+    /// model replays every lookup and predicts hit/miss/eviction counts
+    /// exactly. A text alias surviving its entry's eviction would show up
+    /// as an unpredicted hit; an alias dying too early as an unpredicted
+    /// miss.
+    #[test]
+    fn text_aliases_die_with_their_entries(
+        capacity in 1usize..4,
+        ops in proptest::collection::vec(0usize..5, 1..30),
+    ) {
+        // Five distinct small designs, spelled once each (so the alias
+        // fast path is exercised on every repeat).
+        let texts: Vec<String> = (0..5)
+            .map(|seed| {
+                write_cdfg(&layered(&LayeredConfig {
+                    ops: 12,
+                    layers: 3,
+                    seed,
+                    ..LayeredConfig::default()
+                }))
+            })
+            .collect();
+        // One shard: global LRU order is strict, so the model is exact.
+        let cache = ContextCache::with_shards(capacity, 1);
+        let mut key_of: HashMap<usize, u64> = HashMap::new();
+        // Content keys in recency order, least recent first.
+        let mut lru: Vec<u64> = Vec::new();
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for &i in &ops {
+            let expect_hit =
+                key_of.get(&i).is_some_and(|k| lru.contains(k));
+            let ctx = cache.get_or_parse(&texts[i]).expect("valid design");
+            let key = ctx.content_hash();
+            if let Some(&known) = key_of.get(&i) {
+                prop_assert_eq!(known, key, "content hash is stable");
+            }
+            key_of.insert(i, key);
+            if expect_hit {
+                hits += 1;
+                lru.retain(|&k| k != key);
+            } else {
+                misses += 1;
+                if lru.len() >= capacity {
+                    lru.remove(0);
+                    evictions += 1;
+                }
+            }
+            lru.push(key);
+            let s = cache.stats();
+            prop_assert_eq!(
+                (s.hits, s.misses, s.evictions, s.entries),
+                (hits, misses, evictions, lru.len()),
+                "cache diverged from the LRU model"
+            );
+        }
+    }
+}

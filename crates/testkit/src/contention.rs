@@ -1,0 +1,344 @@
+//! The contention harness: N client threads hammering one live server,
+//! checked against a serial in-process reference.
+//!
+//! [`run`] starts a real server on a loopback socket and replays a
+//! deterministic per-client request stream from [`ContentionSpec::clients`]
+//! concurrent connections. Two aiming modes:
+//!
+//! * **one-shard** (`spread: false`) — every client hammers the *same*
+//!   design, so all cache traffic lands on a single content shard and its
+//!   lock sees maximum contention;
+//! * **spread** (`spread: true`) — client `i` works design `i % pool`, so
+//!   traffic fans out across shards and the shards contend on nothing but
+//!   the aggregate view.
+//!
+//! Afterwards the harness checks, without tolerance:
+//!
+//! * **byte-identical responses** — every client's lines equal the serial
+//!   [`inproc_lines`] reference for its stream (analysis results are pure
+//!   functions of the request, so contention may not move a byte);
+//! * **completion** — every client drained its whole stream under a read
+//!   timeout, so a shard/coalescing deadlock fails fast instead of hanging;
+//! * **shard accounting** — the `stats` cache block's aggregate counters
+//!   equal the sum over its `shards` array, every shard satisfies
+//!   `evictions == misses − entries` and `entries ≤ capacity`, and the set
+//!   of shards that saw misses is exactly the set a local
+//!   [`ContextCache`] predicts for the designs in play (placement is a
+//!   pure function of the content hash, so the prediction is exact —
+//!   singleton in one-shard mode).
+//!
+//! Violations land in [`ContentionOutcome::violations`]; harness-level
+//! failures (bind, connect, dead sockets) are `Err`s.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use localwm_engine::Parallelism;
+use localwm_serve::{Client, ContextCache, Request, RequestKind, ServeConfig};
+use serde::Value;
+
+use crate::oracle::inproc_lines;
+use crate::stream::design_pool;
+
+/// Knobs for one contention run. Everything that affects the request
+/// streams is explicit here, so the serial reference is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionSpec {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per client.
+    pub rounds: usize,
+    /// `false`: all clients hammer one design (one shard). `true`: client
+    /// `i` works design `i % pool` (traffic spread across shards).
+    pub spread: bool,
+    /// Context-cache capacity for the server under test.
+    pub cache_cap: usize,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for ContentionSpec {
+    fn default() -> Self {
+        ContentionSpec {
+            clients: 4,
+            rounds: 8,
+            spread: false,
+            cache_cap: 4,
+            workers: 2,
+        }
+    }
+}
+
+/// Everything a contention run produces.
+#[derive(Debug, Clone)]
+pub struct ContentionOutcome {
+    /// Clients that ran.
+    pub clients: usize,
+    /// Requests each client replayed.
+    pub requests_per_client: usize,
+    /// Shard indices that saw cache misses on the live server.
+    pub hot_shards: Vec<usize>,
+    /// The server's final `stats` cache block (aggregate + `shards`).
+    pub cache: Value,
+    /// Human-readable invariant violations (empty = healthy run).
+    pub violations: Vec<String>,
+}
+
+/// The deterministic request stream client `client` replays: alternating
+/// `timing` and `analyze` over the client's design, ids `0..rounds`.
+/// A pure function of `(spec, client)` — the serial reference leans on
+/// that.
+pub fn client_stream(spec: &ContentionSpec, client: usize) -> Vec<Request> {
+    let pool = design_pool();
+    let design = if spec.spread {
+        &pool[client % pool.len()].1
+    } else {
+        &pool[0].1
+    };
+    let mut out = Vec::with_capacity(spec.rounds);
+    for r in 0..spec.rounds {
+        let mut req = if r % 2 == 0 {
+            let mut q = Request::new(RequestKind::Timing);
+            q.design = Some(design.clone());
+            q
+        } else {
+            let mut q = Request::new(RequestKind::Analyze);
+            q.design = Some(design.clone());
+            q.samples = Some(10 + r % 7);
+            q.seed = Some((client as u64) * 1000 + r as u64);
+            q
+        };
+        req.id = Some(r as u64);
+        out.push(req);
+    }
+    out
+}
+
+/// The distinct designs a spec's streams touch, in client order.
+fn designs_in_play(spec: &ContentionSpec) -> Vec<String> {
+    let pool = design_pool();
+    if spec.spread {
+        (0..spec.clients.min(pool.len()))
+            .map(|i| pool[i].1.clone())
+            .collect()
+    } else {
+        vec![pool[0].1.clone()]
+    }
+}
+
+fn int_field(v: Option<&Value>, name: &str) -> Result<i64, String> {
+    match v.and_then(|x| x.field(name)) {
+        Some(Value::Int(n)) => Ok(*n),
+        other => Err(format!(
+            "stats field `{name}` missing or not an int: {other:?}"
+        )),
+    }
+}
+
+/// Runs one contention scenario end to end. See the module docs for what
+/// is checked; violations land in [`ContentionOutcome::violations`] rather
+/// than failing the run.
+///
+/// # Errors
+///
+/// Returns a message only for harness-level failures (cannot bind or
+/// connect, a client socket died, the stats block is missing) — never for
+/// invariant violations.
+pub fn run(spec: &ContentionSpec) -> Result<ContentionOutcome, String> {
+    let streams: Vec<Vec<Request>> = (0..spec.clients).map(|i| client_stream(spec, i)).collect();
+    let references: Vec<Vec<String>> = streams
+        .iter()
+        .map(|reqs| inproc_lines(reqs, spec.cache_cap, Parallelism::Serial))
+        .collect();
+
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: spec.workers,
+        queue_depth: (spec.clients * spec.rounds).max(16),
+        cache_cap: spec.cache_cap,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+        store_dir: None,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    let replayed: Vec<Result<Vec<String>, String>> = std::thread::scope(|s| {
+        let addr = &addr;
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|reqs| {
+                s.spawn(move || -> Result<Vec<String>, String> {
+                    let c = Client::connect_within(addr, Duration::from_secs(5))
+                        .map_err(|e| format!("connect: {e}"))?;
+                    // A deadlock shows up as a timeout here, not a hang.
+                    c.set_read_timeout(Some(Duration::from_secs(30)))
+                        .map_err(|e| format!("set timeout: {e}"))?;
+                    let mut c = c;
+                    let mut lines = Vec::with_capacity(reqs.len());
+                    for req in reqs {
+                        c.send(req).map_err(|e| format!("send: {e}"))?;
+                        lines.push(c.recv_line().map_err(|e| format!("recv: {e}"))?);
+                    }
+                    Ok(lines)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_owned()))
+            })
+            .collect()
+    });
+
+    // All workers are idle once every client drained its stream, so the
+    // counters are settled before the stats probe.
+    let mut admin = Client::connect_within(&addr, Duration::from_secs(5))
+        .map_err(|e| format!("admin connect: {e}"))?;
+    let stats = admin
+        .call(&Request::new(RequestKind::Stats))
+        .map_err(|e| format!("stats: {e}"))?;
+    let cache = stats
+        .result_field("cache")
+        .cloned()
+        .ok_or("stats response carried no cache section")?;
+    handle.shutdown();
+
+    let mut violations: Vec<String> = Vec::new();
+    for (i, got) in replayed.into_iter().enumerate() {
+        let got = got.map_err(|e| format!("client {i}: {e}"))?;
+        let want = &references[i];
+        if got.len() != want.len() {
+            violations.push(format!(
+                "client {i}: {} lines answered, {} expected",
+                got.len(),
+                want.len()
+            ));
+            continue;
+        }
+        for (j, (w, g)) in want.iter().zip(&got).enumerate() {
+            if w != g {
+                violations.push(format!(
+                    "client {i} request {j}: response diverged from the \
+                     serial reference:\n  want {w}\n  got  {g}"
+                ));
+            }
+        }
+    }
+
+    // ---- Shard accounting ----
+    let shards = match cache.field("shards") {
+        Some(Value::Array(items)) => items.clone(),
+        other => return Err(format!("cache stats without a shards array: {other:?}")),
+    };
+    let mut sums = [0i64; 5];
+    const FIELDS: [&str; 5] = ["hits", "misses", "evictions", "entries", "capacity"];
+    let mut hot = BTreeSet::new();
+    for (i, shard) in shards.iter().enumerate() {
+        for (k, name) in FIELDS.iter().enumerate() {
+            sums[k] += int_field(Some(shard), name)?;
+        }
+        let misses = int_field(Some(shard), "misses")?;
+        let evictions = int_field(Some(shard), "evictions")?;
+        let entries = int_field(Some(shard), "entries")?;
+        let capacity = int_field(Some(shard), "capacity")?;
+        if evictions != misses - entries {
+            violations.push(format!(
+                "shard {i}: evictions {evictions} != misses {misses} - entries {entries}"
+            ));
+        }
+        if entries > capacity {
+            violations.push(format!(
+                "shard {i} over capacity: {entries} entries > {capacity}"
+            ));
+        }
+        if misses > 0 {
+            hot.insert(i);
+        }
+    }
+    for (k, name) in FIELDS.iter().enumerate() {
+        let agg = int_field(Some(&cache), name)?;
+        if agg != sums[k] {
+            violations.push(format!(
+                "aggregate {name} {agg} != sum over shards {}",
+                sums[k]
+            ));
+        }
+    }
+
+    // Placement is a pure function of the content hash, so a local cache
+    // predicts exactly which shards the live server dirtied.
+    let oracle_cache = ContextCache::new(spec.cache_cap);
+    for text in designs_in_play(spec) {
+        oracle_cache
+            .get_or_parse(&text)
+            .map_err(|e| format!("oracle parse: {e}"))?;
+    }
+    let predicted: BTreeSet<usize> = oracle_cache
+        .shard_stats()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.misses > 0)
+        .map(|(i, _)| i)
+        .collect();
+    if hot != predicted {
+        violations.push(format!(
+            "hot shards {hot:?} != predicted placement {predicted:?}"
+        ));
+    }
+    if !spec.spread && hot.len() != 1 {
+        violations.push(format!(
+            "one-shard mode dirtied {} shards: {hot:?}",
+            hot.len()
+        ));
+    }
+
+    Ok(ContentionOutcome {
+        clients: spec.clients,
+        requests_per_client: spec.rounds,
+        hot_shards: hot.into_iter().collect(),
+        cache,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_aimed() {
+        let spec = ContentionSpec::default();
+        let a = client_stream(&spec, 0);
+        let b = client_stream(&spec, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.rounds);
+        // One-shard mode: every client carries the same design.
+        let c1 = client_stream(&spec, 1);
+        assert_eq!(a[0].design, c1[0].design);
+        // Spread mode: clients 0 and 1 work different designs.
+        let spread = ContentionSpec {
+            spread: true,
+            ..spec
+        };
+        let s0 = client_stream(&spread, 0);
+        let s1 = client_stream(&spread, 1);
+        assert_ne!(s0[0].design, s1[0].design);
+    }
+
+    #[test]
+    fn one_shard_smoke_run_is_clean() {
+        let out = run(&ContentionSpec {
+            clients: 3,
+            rounds: 4,
+            ..ContentionSpec::default()
+        })
+        .expect("harness ran");
+        assert!(out.violations.is_empty(), "{:#?}", out.violations);
+        assert_eq!(out.hot_shards.len(), 1, "all traffic on one shard");
+    }
+}

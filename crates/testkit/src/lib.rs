@@ -32,6 +32,11 @@
 //!   (`corpus/gateway/transcript.json`), and gateway chaos (seeded
 //!   backend kill/restart; every accepted request gets exactly one
 //!   response or one typed error, never a silent drop).
+//! * [`contention`] — the contention harness: N client threads hammering
+//!   one live server (all on one cache shard, or spread across shards),
+//!   byte-compared against the serial in-process reference, with the
+//!   sharded cache's counter accounting checked against a pure placement
+//!   oracle.
 //!
 //! Built with the `fault-inject` feature (the default) the chaos runs fire
 //! real faults; without it the same harness runs fault-free and asserts
@@ -42,6 +47,7 @@
 
 pub mod chaos;
 pub mod cluster;
+pub mod contention;
 pub mod corpus;
 pub mod oracle;
 pub mod stream;
@@ -49,6 +55,7 @@ pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosOutcome};
 pub use cluster::{ClusterConfig, ClusterHarness, GatewayChaosConfig, GatewayChaosOutcome};
+pub use contention::{ContentionOutcome, ContentionSpec};
 
 /// Whether this build of the testkit armed the `fault-inject` seams in
 /// `localwm-serve` (callers like the CLI cannot see the feature flag of a

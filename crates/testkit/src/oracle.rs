@@ -16,6 +16,15 @@
 //!   connection that negotiated the `LWMB1` framed binary encoding. The
 //!   client decodes each frame back to a JSON line, so lane comparison
 //!   proves both encodings carry byte-identical response objects.
+//! * `inproc-scalar` — the serial handlers again, but with the Monte-Carlo
+//!   kernel pinned to one SoA lane
+//!   ([`with_soa_lanes`](localwm_timing::with_soa_lanes)`(1, ..)`), so the
+//!   vectorized lane width provably never leaks into the wire bytes.
+//! * `sharded-contended-c0..cN` — concurrent TCP clients each replay the
+//!   *full* stream against one live multi-worker server, so its sharded
+//!   cache, single-flight coalescing, and work-stealing pool run under
+//!   real contention; every client's lines must still equal the serial
+//!   reference.
 //!
 //! The in-process lanes build response lines exactly the way the server's
 //! workers do ([`Response::success`]/[`Response::failure`] + `to_line`),
@@ -150,6 +159,67 @@ fn tcp_lines_with(
     Ok((cold, warm))
 }
 
+/// Replays the full stream from `clients` concurrent connections against
+/// one live multi-worker server, returning each client's response lines.
+/// The server's sharded cache and work-stealing pool run under real
+/// contention; each client still sees its own responses in request order,
+/// so per-client lines remain directly comparable to the serial reference.
+///
+/// # Errors
+///
+/// Returns a message on socket failures (bind, connect, send, recv) or a
+/// panicked client thread.
+pub fn tcp_contended_lines(
+    requests: &[Request],
+    cache_cap: usize,
+    workers: usize,
+    clients: usize,
+) -> Result<Vec<Vec<String>>, String> {
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth: (requests.len() * clients).max(16),
+        cache_cap,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+        store_dir: None,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr().to_string();
+    let lines: Vec<Result<Vec<String>, String>> = std::thread::scope(|s| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || -> Result<Vec<String>, String> {
+                    let mut c = Client::connect_within(addr, Duration::from_secs(5))
+                        .map_err(|e| format!("connect: {e}"))?;
+                    let mut out = Vec::with_capacity(requests.len());
+                    for req in requests {
+                        c.send(req).map_err(|e| format!("send: {e}"))?;
+                        out.push(c.recv_line().map_err(|e| format!("recv: {e}"))?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("contended client panicked".to_owned()))
+            })
+            .collect()
+    });
+    handle.shutdown();
+    lines
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.map_err(|e| format!("contended client {i}: {e}")))
+        .collect()
+}
+
 /// Runs the full differential oracle over `requests`.
 ///
 /// # Errors
@@ -164,7 +234,8 @@ pub fn run_differential(
     let reference = inproc_lines(requests, cache_cap, Parallelism::Serial);
     let (tcp_cold, tcp_warm) = tcp_lines(requests, cache_cap, 2)?;
     let (bin_cold, bin_warm) = tcp_binary_lines(requests, cache_cap, 2)?;
-    let lanes: Vec<(String, Vec<String>)> = vec![
+    let contended = tcp_contended_lines(requests, cache_cap, 3, 3)?;
+    let mut lanes: Vec<(String, Vec<String>)> = vec![
         (
             "inproc-threads3".to_owned(),
             inproc_lines(requests, cache_cap, Parallelism::Threads(3)),
@@ -173,11 +244,23 @@ pub fn run_differential(
             "inproc-env".to_owned(),
             inproc_lines(requests, cache_cap, Parallelism::from_env()),
         ),
+        (
+            "inproc-scalar".to_owned(),
+            localwm_timing::with_soa_lanes(1, || {
+                inproc_lines(requests, cache_cap, Parallelism::Serial)
+            }),
+        ),
         ("tcp-cold".to_owned(), tcp_cold),
         ("tcp-warm".to_owned(), tcp_warm),
         ("tcp-binary-cold".to_owned(), bin_cold),
         ("tcp-binary-warm".to_owned(), bin_warm),
     ];
+    lanes.extend(
+        contended
+            .into_iter()
+            .enumerate()
+            .map(|(i, lines)| (format!("sharded-contended-c{i}"), lines)),
+    );
     let mut mismatches = Vec::new();
     for (lane, lines) in &lanes {
         for (i, (want, got)) in reference.iter().zip(lines).enumerate() {

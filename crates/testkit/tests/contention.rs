@@ -1,0 +1,59 @@
+//! Acceptance: the sharded serve cache holds up under real client
+//! contention — byte-identical responses, no deadlock, and shard
+//! accounting that sums exactly — in both aiming modes.
+
+use localwm_testkit::contention::{self, ContentionSpec};
+
+#[test]
+fn one_shard_contention_is_byte_identical_and_accounted() {
+    let out = contention::run(&ContentionSpec {
+        clients: 4,
+        rounds: 8,
+        spread: false,
+        cache_cap: 4,
+        workers: 2,
+    })
+    .expect("harness ran");
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+    assert_eq!(out.clients, 4);
+    assert_eq!(out.requests_per_client, 8);
+    assert_eq!(
+        out.hot_shards.len(),
+        1,
+        "every client hammered one design, so exactly one shard saw misses: {:?}",
+        out.hot_shards
+    );
+}
+
+#[test]
+fn spread_contention_is_byte_identical_and_accounted() {
+    let out = contention::run(&ContentionSpec {
+        clients: 4,
+        rounds: 8,
+        spread: true,
+        cache_cap: 8,
+        workers: 2,
+    })
+    .expect("harness ran");
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+    assert!(
+        out.hot_shards.len() >= 2,
+        "four distinct designs should land on at least two shards: {:?}",
+        out.hot_shards
+    );
+}
+
+#[test]
+fn contention_survives_a_thrashing_cache() {
+    // Capacity 1 forces continuous eviction storms under contention; the
+    // counter identities and byte-exactness must survive the thrash.
+    let out = contention::run(&ContentionSpec {
+        clients: 3,
+        rounds: 6,
+        spread: true,
+        cache_cap: 1,
+        workers: 2,
+    })
+    .expect("harness ran");
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+}

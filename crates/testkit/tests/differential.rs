@@ -18,6 +18,7 @@ fn corpus_lanes_are_byte_identical() {
         "inproc-serial",
         "inproc-threads3",
         "inproc-env",
+        "inproc-scalar",
         "tcp-cold",
         "tcp-warm",
         "tcp-binary-cold",
@@ -29,6 +30,16 @@ fn corpus_lanes_are_byte_identical() {
             report.lanes
         );
     }
+    assert!(
+        report
+            .lanes
+            .iter()
+            .filter(|l| l.starts_with("sharded-contended-c"))
+            .count()
+            >= 2,
+        "contended lanes missing from {:?}",
+        report.lanes
+    );
     assert!(
         report.error_responses > 0,
         "the oracle must cover typed-error responses, not just successes"

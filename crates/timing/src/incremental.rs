@@ -44,10 +44,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use localwm_engine::{DesignContext, Parallelism};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::statistical::sample_seed;
+use crate::statistical::soa_sweep;
 use crate::{criticality_in, CriticalityReport, DelayBounds, DelayInterval};
 
 /// Largest `samples × nodes` product the cache will retain (three `u64`
@@ -307,13 +305,13 @@ impl CriticalityCache {
         Some(report_from(cap))
     }
 
-    /// The full path: one serial run mirroring
-    /// [`criticality_in`](crate::criticality_in)'s per-sample math exactly
-    /// (per-sample seeding makes partitioning irrelevant to the result),
-    /// capturing the draws, finish times, and tail lengths for later
-    /// patching. The backward pass is the pull form over tails; its
-    /// critical flags equal the push-form `finish == required` flags
-    /// because `required[v] = circuit − tail[v]` (see the module docs).
+    /// The full path: one serial run through the shared SoA block kernel
+    /// ([`soa_sweep`]) — the same code `criticality_in` times with, so the
+    /// captured draws, finish times, and tail lengths are the scratch
+    /// run's by construction (per-sample seeding makes partitioning and
+    /// lane width irrelevant to the values). A transpose sink rotates each
+    /// node-major lane block into the cache's sample-major arrays, which
+    /// is the layout the per-sample patch worklists want.
     fn capture_from_scratch(
         &mut self,
         ctx: &DesignContext,
@@ -332,48 +330,34 @@ impl CriticalityCache {
         let mut all_crit = vec![false; samples * n];
         let mut hits = vec![0u64; n];
         let mut circuits = Vec::with_capacity(samples);
-        for s in 0..samples {
-            let base = s * n;
-            let d = &mut all_d[base..base + n];
-            let finish = &mut all_finish[base..base + n];
-            let tail = &mut all_tail[base..base + n];
-            let mut rng = StdRng::seed_from_u64(sample_seed(seed, s as u64));
-            // Node-index order with fixed intervals skipping their draw —
-            // the exact RNG stream of the from-scratch sweep.
-            for (slot, b) in d.iter_mut().zip(&bounds) {
-                *slot = if b.lo == b.hi {
-                    b.lo
-                } else {
-                    rng.gen_range(b.lo..=b.hi)
-                };
-            }
-            let mut circuit = 0u64;
-            for (p, &v) in order.iter().enumerate() {
-                let mut arrive = 0u64;
-                for &pi in preds.row(p) {
-                    arrive = arrive.max(finish[pi as usize]);
+        let lanes = crate::statistical::soa_lanes();
+        soa_sweep(
+            order,
+            preds,
+            succs,
+            &bounds,
+            seed,
+            0,
+            samples,
+            lanes,
+            |blk| {
+                for lane in 0..blk.k {
+                    let base = (blk.s0 + lane) * n;
+                    let circuit = blk.circuit[lane];
+                    for v in 0..n {
+                        let f = blk.finish[v * blk.lanes + lane];
+                        let t = blk.tail[v * blk.lanes + lane];
+                        all_d[base + v] = blk.d[v * blk.lanes + lane];
+                        all_finish[base + v] = f;
+                        all_tail[base + v] = t;
+                        let hit = f + t == circuit;
+                        all_crit[base + v] = hit;
+                        hits[v] += u64::from(hit);
+                    }
+                    circuits.push(circuit);
                 }
-                let f = arrive + d[v.index()];
-                finish[v.index()] = f;
-                circuit = circuit.max(f);
-            }
-            for p in (0..n).rev() {
-                let v = order[p].index();
-                let mut l = 0u64;
-                for &si in succs.row(p) {
-                    l = l.max(d[si as usize] + tail[si as usize]);
-                }
-                tail[v] = l;
-            }
-            for v in 0..n {
-                let hit = finish[v] + tail[v] == circuit;
-                all_crit[base + v] = hit;
-                if hit {
-                    hits[v] += 1;
-                }
-            }
-            circuits.push(circuit);
-        }
+            },
+        );
         self.capture = Some(Capture {
             samples,
             seed,

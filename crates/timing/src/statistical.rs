@@ -10,10 +10,35 @@
 //! derived from the run seed and the sample index, so the result is
 //! independent of how samples are fanned out across worker threads: serial
 //! and parallel sweeps are byte-identical.
+//!
+//! # The SoA kernel
+//!
+//! Samples are independent, so the sweep processes them `K` at a time in a
+//! structure-of-arrays layout ([`soa_sweep`]): every per-node quantity
+//! (delay draw, finish time, tail length) is a contiguous `K`-wide lane
+//! row, and the forward/backward passes walk the memoized CSR once per
+//! *block* doing branch-free `max`/`add` over whole lane rows — the shape
+//! LLVM autovectorizes. Determinism is untouched because the lanes never
+//! interact: lane `j` of a block starting at sample `s0` draws from
+//! `sample_seed(seed, s0 + j)`, in node-index order with fixed (`lo ==
+//! hi`) intervals skipping their draw — the exact RNG stream the scalar
+//! loop used — and integer `max`/`add` have no rounding to reorder. `K =
+//! 1` *is* the scalar loop, just spelled once. A run whose sample count
+//! `K` does not divide ends with one short block that simply uses fewer
+//! lanes.
+//!
+//! The backward pass caches circuit-independent **tails** (longest delay
+//! path strictly below each node) instead of required times; a node is
+//! critical iff `finish[v] + tail[v] == circuit`, which equals the
+//! push-form `finish == required` test because `required[v] = circuit −
+//! tail[v]` (see the proof in [`crate::CriticalityCache`]'s module docs).
+//! This is also the form the incremental cache captures, so the cache's
+//! from-scratch path reuses this kernel verbatim through a transpose sink.
 
+use std::cell::Cell;
 use std::time::Instant;
 
-use localwm_cdfg::{Cdfg, NodeId};
+use localwm_cdfg::{Cdfg, Csr, NodeId};
 use localwm_engine::{par_map, DesignContext, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +92,152 @@ impl CriticalityReport {
     }
 }
 
+/// Lane width the SoA kernel uses unless overridden: wide enough to fill a
+/// 512-bit vector of `u64`, small enough that three `n × K` scratch rows
+/// stay cache-resident for realistic designs.
+const DEFAULT_SOA_LANES: usize = 8;
+
+thread_local! {
+    /// Per-thread lane-width override; `None` means [`DEFAULT_SOA_LANES`].
+    static LANE_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the SoA kernel's lane width pinned to `lanes` **on this
+/// thread** (clamped to at least 1). The width is resolved once at each
+/// `criticality*` entry point on the calling thread and carried into its
+/// worker closures, so the override covers parallel sweeps started inside
+/// `f` even though the workers run elsewhere.
+///
+/// Lane width never changes results — every width is byte-identical (the
+/// differential oracles pin this) — only how many samples share a pass.
+/// This hook exists so tests and oracle lanes can exercise specific widths
+/// (`1` = the scalar path, a prime = perpetual tail blocks) without an
+/// environment variable racing other threads.
+pub fn with_soa_lanes<R>(lanes: usize, f: impl FnOnce() -> R) -> R {
+    let prev = LANE_OVERRIDE.with(|c| c.replace(Some(lanes.max(1))));
+    let result = f();
+    LANE_OVERRIDE.with(|c| c.set(prev));
+    result
+}
+
+/// The lane width in effect on the calling thread.
+pub(crate) fn soa_lanes() -> usize {
+    LANE_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or(DEFAULT_SOA_LANES)
+        .max(1)
+}
+
+/// One finished block of the SoA sweep, handed to the sink: `k` live lanes
+/// (samples `s0 .. s0 + k`) in node-major rows of stride `lanes`. Quantity
+/// `q` of node index `v` in lane `j` sits at `q[v * lanes + j]`.
+pub(crate) struct SoaBlock<'a> {
+    /// Sample index of lane 0.
+    pub s0: usize,
+    /// Live lanes in this block (`< lanes` only in a final short block).
+    pub k: usize,
+    /// Row stride.
+    pub lanes: usize,
+    /// Delay draws.
+    pub d: &'a [u64],
+    /// Forward finish times.
+    pub finish: &'a [u64],
+    /// Tail lengths (longest delay path strictly below the node).
+    pub tail: &'a [u64],
+    /// Per-lane circuit delay (max finish), indexed `0 .. k`.
+    pub circuit: &'a [u64],
+}
+
+/// The Monte-Carlo inner loop: times samples `lo .. hi` of the run
+/// `(seed, bounds)` in K-lane SoA blocks over the memoized CSR, calling
+/// `sink` once per block. Single source of truth for the per-sample math —
+/// the parallel sweep and the incremental cache's capture both drive it.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn soa_sweep<F: FnMut(&SoaBlock)>(
+    order: &[NodeId],
+    preds: &Csr,
+    succs: &Csr,
+    bounds: &[DelayInterval],
+    seed: u64,
+    lo: usize,
+    hi: usize,
+    lanes: usize,
+    mut sink: F,
+) {
+    let n = order.len();
+    let mut d = vec![0u64; n * lanes];
+    let mut finish = vec![0u64; n * lanes];
+    let mut tail = vec![0u64; n * lanes];
+    let mut circuit = vec![0u64; lanes];
+    let mut acc = vec![0u64; lanes];
+    let mut s = lo;
+    while s < hi {
+        let k = lanes.min(hi - s);
+        if k < lanes {
+            // Final short block: clear the dead lanes' draws so the
+            // full-width arithmetic below stays bounded (their outputs are
+            // never read).
+            d.fill(0);
+        }
+        // One RNG per live lane, draws in node-index order with fixed
+        // intervals skipping theirs — the historical per-sample stream.
+        for lane in 0..k {
+            let mut rng = StdRng::seed_from_u64(sample_seed(seed, (s + lane) as u64));
+            for (i, b) in bounds.iter().enumerate() {
+                d[i * lanes + lane] = if b.lo == b.hi {
+                    b.lo
+                } else {
+                    rng.gen_range(b.lo..=b.hi)
+                };
+            }
+        }
+        circuit.fill(0);
+        // Forward: arrivals in topo order, whole lane rows at a time.
+        for (p, &v) in order.iter().enumerate() {
+            let vi = v.index();
+            acc.fill(0);
+            for &pi in preds.row(p) {
+                let row = &finish[pi as usize * lanes..][..lanes];
+                for (a, &f) in acc.iter_mut().zip(row) {
+                    *a = (*a).max(f);
+                }
+            }
+            let drow = &d[vi * lanes..][..lanes];
+            let frow = &mut finish[vi * lanes..][..lanes];
+            for lane in 0..lanes {
+                let f = acc[lane] + drow[lane];
+                frow[lane] = f;
+                circuit[lane] = circuit[lane].max(f);
+            }
+        }
+        // Backward: tails in reverse topo order (successor rows sit at
+        // later positions, already final this block).
+        for p in (0..n).rev() {
+            let vi = order[p].index();
+            acc.fill(0);
+            for &si in succs.row(p) {
+                let si = si as usize;
+                let drow = &d[si * lanes..][..lanes];
+                let trow = &tail[si * lanes..][..lanes];
+                for ((a, &dd), &tt) in acc.iter_mut().zip(drow).zip(trow) {
+                    *a = (*a).max(dd + tt);
+                }
+            }
+            tail[vi * lanes..][..lanes].copy_from_slice(&acc);
+        }
+        sink(&SoaBlock {
+            s0: s,
+            k,
+            lanes,
+            d: &d,
+            finish: &finish,
+            tail: &tail,
+            circuit: &circuit,
+        });
+        s += k;
+    }
+}
+
 /// Runs `samples` Monte-Carlo timing simulations of `g` under `model`,
 /// drawing each node's delay uniformly from its interval.
 ///
@@ -102,10 +273,11 @@ pub fn criticality<M: DelayBounds>(
 }
 
 /// [`criticality`] against a shared [`DesignContext`], fanning independent
-/// input vectors across scoped worker threads per `par`.
+/// input vectors across scoped worker threads per `par` and timing them
+/// through the SoA block kernel ([`soa_sweep`]).
 ///
 /// Per-sample seeding makes the output identical for every
-/// [`Parallelism`] choice.
+/// [`Parallelism`] choice *and* every lane width ([`with_soa_lanes`]).
 ///
 /// # Panics
 ///
@@ -128,6 +300,9 @@ pub fn criticality_in<M: DelayBounds>(
     let bounds: Vec<DelayInterval> = g.node_ids().map(|v| model.bounds(g, v)).collect();
     let probe = ctx.probe();
     probe.counter("timing.criticality.samples", samples as u64);
+    // Resolved here, on the calling thread, so a `with_soa_lanes` override
+    // reaches the worker closures as a plain captured value.
+    let lanes = soa_lanes();
 
     // Contiguous sample ranges, one per worker; per-sample seeds make the
     // partitioning irrelevant to the result.
@@ -140,60 +315,22 @@ pub fn criticality_in<M: DelayBounds>(
 
     let sweep_start = Instant::now();
     let parts = par_map(par, &ranges, |_, &(lo, hi)| {
-        // Per-worker scratch, reused across every sample in the range: the
-        // delay draw `d` fills in place instead of allocating per sample.
         let mut hits = vec![0u64; n];
         let mut delays = Vec::with_capacity(hi - lo);
-        let mut finish = vec![0u64; n];
-        let mut required = vec![u64::MAX; n];
-        let mut d = vec![0u64; n];
-        for s in lo..hi {
-            let mut rng = StdRng::seed_from_u64(sample_seed(seed, s as u64));
-            // Draw one consistent delay assignment (node-index order, so
-            // the RNG stream is identical to the historical allocation).
-            for (slot, b) in d.iter_mut().zip(&bounds) {
-                *slot = if b.lo == b.hi {
-                    b.lo
-                } else {
-                    rng.gen_range(b.lo..=b.hi)
-                };
-            }
-            // Forward arrival times over packed predecessor rows.
-            let mut circuit = 0u64;
-            for (p, &v) in order.iter().enumerate() {
-                let mut arrive = 0u64;
-                for &pi in preds.row(p) {
-                    arrive = arrive.max(finish[pi as usize]);
+        soa_sweep(order, preds, succs, &bounds, seed, lo, hi, lanes, |blk| {
+            // Branch-free criticality count per node: a node is critical
+            // in a lane iff finish + tail reaches that lane's circuit.
+            for (v, slot) in hits.iter_mut().enumerate() {
+                let frow = &blk.finish[v * blk.lanes..][..blk.lanes];
+                let trow = &blk.tail[v * blk.lanes..][..blk.lanes];
+                let mut hit = 0u64;
+                for lane in 0..blk.k {
+                    hit += u64::from(frow[lane] + trow[lane] == blk.circuit[lane]);
                 }
-                let f = arrive + d[v.index()];
-                finish[v.index()] = f;
-                circuit = circuit.max(f);
+                *slot += hit;
             }
-            // Backward required times at the sampled circuit delay.
-            for r in required.iter_mut() {
-                *r = u64::MAX;
-            }
-            for p in (0..n).rev() {
-                let v = order[p];
-                let r = if succs.row(p).is_empty() {
-                    circuit
-                } else {
-                    required[v.index()]
-                };
-                required[v.index()] = required[v.index()].min(r);
-                let start_latest = r.saturating_sub(d[v.index()]);
-                for &pi in preds.row(p) {
-                    let slot = &mut required[pi as usize];
-                    *slot = (*slot).min(start_latest);
-                }
-            }
-            for v in 0..n {
-                if finish[v] == required[v] {
-                    hits[v] += 1;
-                }
-            }
-            delays.push(circuit);
-        }
+            delays.extend_from_slice(&blk.circuit[..blk.k]);
+        });
         (hits, delays)
     });
     let sweep_ns = u64::try_from(sweep_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -289,6 +426,65 @@ mod tests {
                 serial.criticality, p.criticality,
                 "criticality differs under {par:?}"
             );
+        }
+    }
+
+    #[test]
+    fn lane_width_never_changes_the_report() {
+        // 97 samples: K = 8 leaves a 1-lane tail block, K = 5 a 2-lane
+        // one, K = 97 a single full block, K = 1 is the scalar path.
+        let g = random_dag(40, 0.15, 13);
+        let ctx = DesignContext::from(&g);
+        let model = KindBounds::uniform(1, 4);
+        let scalar = with_soa_lanes(1, || {
+            criticality_in(&ctx, &model, 97, 17, Parallelism::Serial)
+        });
+        for lanes in [2, 5, 8, 16, 97, 200] {
+            let wide = with_soa_lanes(lanes, || {
+                criticality_in(&ctx, &model, 97, 17, Parallelism::Serial)
+            });
+            assert_eq!(scalar.delays, wide.delays, "delays differ at K={lanes}");
+            assert_eq!(
+                scalar.criticality, wide.criticality,
+                "criticality differs at K={lanes}"
+            );
+        }
+        // The default width (no override) matches too.
+        let default = criticality_in(&ctx, &model, 97, 17, Parallelism::Serial);
+        assert_eq!(scalar.delays, default.delays);
+        assert_eq!(scalar.criticality, default.criticality);
+    }
+
+    #[test]
+    fn lane_override_is_scoped_and_restored() {
+        assert_eq!(soa_lanes(), DEFAULT_SOA_LANES);
+        let inner = with_soa_lanes(3, || {
+            let nested = with_soa_lanes(5, soa_lanes);
+            assert_eq!(nested, 5);
+            soa_lanes()
+        });
+        assert_eq!(inner, 3);
+        assert_eq!(soa_lanes(), DEFAULT_SOA_LANES);
+        // Zero clamps to the scalar path instead of dividing by zero.
+        assert_eq!(with_soa_lanes(0, soa_lanes), 1);
+    }
+
+    #[test]
+    fn zero_width_intervals_are_exact_and_nan_free() {
+        // Every interval has lo == hi (no draws at all) — including the
+        // all-zero-delay degenerate where the circuit delay is 0 and
+        // *every* node is critical. Probabilities must stay exact
+        // (0 or 1), never NaN.
+        let g = random_dag(30, 0.2, 3);
+        for (lo, hi) in [(2, 2), (0, 0)] {
+            let r = criticality(&g, &KindBounds::uniform(lo, hi), 64, 5);
+            assert!(r.criticality.iter().all(|p| !p.is_nan()));
+            assert!(r.criticality.iter().all(|&p| p == 0.0 || p == 1.0));
+            assert!(r.delays.iter().all(|&dl| dl == r.delays[0]));
+            if lo == 0 {
+                assert!(r.criticality.iter().all(|&p| p == 1.0));
+                assert_eq!(r.delays[0], 0);
+            }
         }
     }
 
