@@ -1,0 +1,575 @@
+//! Budgeted, seeded attack transformations on scheduled designs.
+//!
+//! Every transformation takes a design (graph + schedule), an attack
+//! *budget* in `[0, 1]` — the fraction of the solution the attacker is
+//! willing to rework — and a deterministic seed, and produces an attacked
+//! design plus a reproducible [`AttackTrace`]. Three invariants hold for
+//! every kind, budget and seed:
+//!
+//! * the attacked schedule is **valid** for the attacked graph — the
+//!   models assume a competent adversary who keeps the solution working;
+//! * budget `0` is the **identity**: the outcome is byte-identical to the
+//!   input and the trace records no edits;
+//! * the same `(input, kind, budget, seed)` tuple reproduces the same
+//!   outcome byte-for-byte on every platform: every random choice draws
+//!   from [`localwm_prng::SplitMix64`].
+
+use std::fmt;
+
+use localwm_cdfg::{Cdfg, EdgeId, EdgeKind, NodeId};
+use localwm_prng::SplitMix64;
+use localwm_sched::Schedule;
+
+/// The attack taxonomy (paper §IV-A's tampering discussion, generalized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Random legal moves of operations within their live slack windows —
+    /// local tampering that preserves the dependence structure.
+    Reschedule,
+    /// Redirect dependence edges to other live operations (keeping the
+    /// graph acyclic and the schedule valid), then re-place the freed
+    /// endpoints — structural tampering.
+    Rewire,
+    /// Re-run scheduling over a contiguous topological subregion —
+    /// locality resynthesis, the "redo part of the design" attack.
+    Resynth,
+    /// Remove a fraction of the temporal (constraint) edges from the
+    /// constrained specification and re-synthesize the whole schedule —
+    /// constraint stripping, the strongest attack short of redesign.
+    Strip,
+}
+
+impl AttackKind {
+    /// Every kind, in sweep order.
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::Reschedule,
+        AttackKind::Rewire,
+        AttackKind::Resynth,
+        AttackKind::Strip,
+    ];
+
+    /// Stable wire/CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttackKind::Reschedule => "reschedule",
+            AttackKind::Rewire => "rewire",
+            AttackKind::Resynth => "resynth",
+            AttackKind::Strip => "strip",
+        }
+    }
+
+    /// Parses a wire/CLI name.
+    pub fn parse(s: &str) -> Option<AttackKind> {
+        AttackKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// Position within [`AttackKind::ALL`].
+    pub fn index(self) -> usize {
+        AttackKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("every kind is in ALL")
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One attack run: which transformation, how much of the solution it may
+/// rework, and the seed driving every random choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// The transformation.
+    pub kind: AttackKind,
+    /// Fraction of the relevant units (ops or edges) the attack may touch,
+    /// clamped to `[0, 1]`. `0` is the identity.
+    pub budget: f64,
+    /// Seed for the attack's [`SplitMix64`] stream.
+    pub seed: u64,
+}
+
+/// One applied edit, in application order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackEdit {
+    /// Moved one operation to a different control step.
+    Move {
+        /// The moved operation.
+        node: NodeId,
+        /// Its step before the move.
+        from: u32,
+        /// Its step after the move.
+        to: u32,
+    },
+    /// Replaced the edge `src → old_dst` with `src → new_dst`.
+    Rewire {
+        /// The retained source.
+        src: NodeId,
+        /// The disconnected destination.
+        old_dst: NodeId,
+        /// The new destination.
+        new_dst: NodeId,
+    },
+    /// Removed the temporal constraint `src → dst`.
+    Strip {
+        /// Constraint source.
+        src: NodeId,
+        /// Constraint destination.
+        dst: NodeId,
+    },
+    /// Re-ran scheduling over `region_len` ops starting at topological
+    /// position `region_start`.
+    Resynth {
+        /// First topological position of the region.
+        region_start: usize,
+        /// Number of schedulable ops in the region.
+        region_len: usize,
+    },
+}
+
+impl fmt::Display for AttackEdit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AttackEdit::Move { node, from, to } => write!(f, "move {node} {from}->{to}"),
+            AttackEdit::Rewire {
+                src,
+                old_dst,
+                new_dst,
+            } => write!(f, "rewire {src}->{old_dst} to {src}->{new_dst}"),
+            AttackEdit::Strip { src, dst } => write!(f, "strip {src}->{dst}"),
+            AttackEdit::Resynth {
+                region_start,
+                region_len,
+            } => write!(f, "resynth @{region_start}+{region_len}"),
+        }
+    }
+}
+
+/// The byte-reproducible record of one attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackTrace {
+    /// The transformation that ran.
+    pub kind: AttackKind,
+    /// The (clamped) budget it ran with.
+    pub budget: f64,
+    /// The seed that drove it.
+    pub seed: u64,
+    /// Every applied edit, in order.
+    pub edits: Vec<AttackEdit>,
+}
+
+impl AttackTrace {
+    /// One line per edit, prefixed with a header — stable across
+    /// platforms, so traces can be diffed and blessed as goldens.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "attack {} budget {} seed {} edits {}\n",
+            self.kind,
+            self.budget,
+            self.seed,
+            self.edits.len()
+        );
+        for e in &self.edits {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+/// An attacked design: possibly modified graph, a schedule valid for it,
+/// and the trace of what the attacker did.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The attacked graph (unchanged for [`AttackKind::Reschedule`] and
+    /// [`AttackKind::Resynth`]).
+    pub graph: Cdfg,
+    /// The attacked schedule; always valid for `graph`.
+    pub schedule: Schedule,
+    /// What happened.
+    pub trace: AttackTrace,
+}
+
+/// `ceil(budget · n)` with the budget clamped to `[0, 1]` (NaN counts as
+/// zero) — any positive budget touches at least one unit.
+fn budget_count(budget: f64, n: usize) -> usize {
+    if budget.is_nan() {
+        return 0;
+    }
+    let b = budget.clamp(0.0, 1.0);
+    ((b * n as f64).ceil() as usize).min(n)
+}
+
+/// The live window of `n` given its currently scheduled neighbours:
+/// `[max(pred steps)+1, min(succ steps)-1]`, the successor-free side
+/// bounded by `available_steps`.
+fn live_window(g: &Cdfg, s: &Schedule, n: NodeId, available_steps: u32) -> (u32, u32) {
+    let lo = g
+        .preds(n)
+        .filter_map(|p| s.step(p))
+        .max()
+        .map_or(1, |m| m + 1);
+    let hi = g
+        .succs(n)
+        .filter_map(|d| s.step(d))
+        .min()
+        .map_or(available_steps, |m| m.saturating_sub(1));
+    (lo, hi)
+}
+
+/// Applies one budgeted attack. See the module docs for the invariants
+/// (validity, budget-0 identity, seeded determinism).
+///
+/// `g` is the specification the attacker holds — the public design for
+/// [`AttackKind::Reschedule`] / [`AttackKind::Rewire`] /
+/// [`AttackKind::Resynth`], the *constrained* (marked) specification for
+/// [`AttackKind::Strip`].
+///
+/// # Panics
+///
+/// Panics if `schedule` is not valid for `g`.
+pub fn apply(
+    g: &Cdfg,
+    schedule: &Schedule,
+    available_steps: u32,
+    cfg: &AttackConfig,
+) -> AttackOutcome {
+    assert!(
+        schedule.validate(g).is_ok(),
+        "attacks require a valid input schedule"
+    );
+    let budget = if cfg.budget.is_nan() {
+        0.0
+    } else {
+        cfg.budget.clamp(0.0, 1.0)
+    };
+    let mut rng = SplitMix64::new(cfg.seed);
+    let (graph, schedule, edits) = match cfg.kind {
+        AttackKind::Reschedule => reschedule_attack(g, schedule, available_steps, budget, &mut rng),
+        AttackKind::Rewire => rewire_attack(g, schedule, available_steps, budget, &mut rng),
+        AttackKind::Resynth => resynth_attack(g, schedule, available_steps, budget, &mut rng),
+        AttackKind::Strip => strip_attack(g, schedule, budget, &mut rng),
+    };
+    debug_assert!(schedule.validate(&graph).is_ok());
+    AttackOutcome {
+        graph,
+        schedule,
+        trace: AttackTrace {
+            kind: cfg.kind,
+            budget,
+            seed: cfg.seed,
+            edits,
+        },
+    }
+}
+
+fn schedulable_ops(g: &Cdfg) -> Vec<NodeId> {
+    g.node_ids()
+        .filter(|&n| g.kind(n).is_schedulable())
+        .collect()
+}
+
+/// `budget · op_count` random legal window moves.
+fn reschedule_attack(
+    g: &Cdfg,
+    schedule: &Schedule,
+    available_steps: u32,
+    budget: f64,
+    rng: &mut SplitMix64,
+) -> (Cdfg, Schedule, Vec<AttackEdit>) {
+    let ops = schedulable_ops(g);
+    let moves = budget_count(budget, ops.len());
+    let mut s = schedule.clone();
+    let mut edits = Vec::new();
+    for _ in 0..moves {
+        let n = ops[usize::try_from(rng.below(ops.len() as u64)).expect("op index fits")];
+        let (lo, hi) = live_window(g, &s, n, available_steps);
+        if lo >= hi {
+            continue; // pinned by its neighbours
+        }
+        let from = s.step(n).expect("schedulable ops are scheduled");
+        let to = rng.in_range_u32(lo, hi);
+        if to != from {
+            s.set_step(n, to);
+            edits.push(AttackEdit::Move { node: n, from, to });
+        }
+    }
+    (g.clone(), s, edits)
+}
+
+/// `budget · edge_count` edge redirections. Each edit picks a live
+/// dependence edge `u → v` between scheduled ops, redirects it to a random
+/// op `w` scheduled strictly after `u` (rejecting redirections that would
+/// create a cycle), and then nudges the freed `v` within its new window so
+/// the solution actually changes shape.
+fn rewire_attack(
+    g: &Cdfg,
+    schedule: &Schedule,
+    available_steps: u32,
+    budget: f64,
+    rng: &mut SplitMix64,
+) -> (Cdfg, Schedule, Vec<AttackEdit>) {
+    let mut g2 = g.clone();
+    let mut s = schedule.clone();
+    let ops = schedulable_ops(&g2);
+    let eligible = |g2: &Cdfg, id: EdgeId| {
+        let e = g2.edge(id).expect("live edge");
+        e.kind() != EdgeKind::Temporal
+            && g2.kind(e.src()).is_schedulable()
+            && g2.kind(e.dst()).is_schedulable()
+    };
+    let base: Vec<EdgeId> = g2.edge_ids().filter(|&id| eligible(&g2, id)).collect();
+    let target = budget_count(budget, base.len());
+    let mut edits = Vec::new();
+    for _ in 0..target {
+        let candidates: Vec<EdgeId> = g2.edge_ids().filter(|&id| eligible(&g2, id)).collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let id =
+            candidates[usize::try_from(rng.below(candidates.len() as u64)).expect("index fits")];
+        let (kind, src, old_dst) = {
+            let e = g2.edge(id).expect("live edge");
+            (e.kind(), e.src(), e.dst())
+        };
+        let src_step = s.step(src).expect("scheduled");
+        // A handful of random attempts to find a legal new destination.
+        for _ in 0..8 {
+            let w = ops[usize::try_from(rng.below(ops.len() as u64)).expect("index fits")];
+            if w == src || w == old_dst {
+                continue;
+            }
+            let w_step = s.step(w).expect("scheduled");
+            if w_step <= src_step {
+                continue; // would break the schedule ordering
+            }
+            if g2.add_edge_acyclic(kind, src, w).is_err() {
+                continue; // cycle or malformed — try another target
+            }
+            g2.remove_edge(id).expect("the picked edge is live");
+            edits.push(AttackEdit::Rewire {
+                src,
+                old_dst,
+                new_dst: w,
+            });
+            // The freed destination may now slide: move it somewhere
+            // random within its (possibly wider) window.
+            let (lo, hi) = live_window(&g2, &s, old_dst, available_steps);
+            if lo < hi {
+                let from = s.step(old_dst).expect("scheduled");
+                let to = rng.in_range_u32(lo, hi);
+                if to != from {
+                    s.set_step(old_dst, to);
+                    edits.push(AttackEdit::Move {
+                        node: old_dst,
+                        from,
+                        to,
+                    });
+                }
+            }
+            break;
+        }
+    }
+    (g2, s, edits)
+}
+
+/// Re-places a contiguous topological region of `budget · op_count`
+/// operations: each op in the region moves to its earliest feasible step
+/// plus a random hold of `0..=2`, clamped by its scheduled successors — a
+/// partial re-synthesis that compacts (or jitters) the region.
+fn resynth_attack(
+    g: &Cdfg,
+    schedule: &Schedule,
+    available_steps: u32,
+    budget: f64,
+    rng: &mut SplitMix64,
+) -> (Cdfg, Schedule, Vec<AttackEdit>) {
+    let topo = g.topo_order().expect("attack inputs are DAGs");
+    let ops: Vec<NodeId> = topo
+        .into_iter()
+        .filter(|&n| g.kind(n).is_schedulable())
+        .collect();
+    let region_len = budget_count(budget, ops.len());
+    if region_len == 0 {
+        return (g.clone(), schedule.clone(), Vec::new());
+    }
+    let region_start =
+        usize::try_from(rng.below((ops.len() - region_len + 1) as u64)).expect("region start fits");
+    let mut s = schedule.clone();
+    let mut edits = vec![AttackEdit::Resynth {
+        region_start,
+        region_len,
+    }];
+    for &n in &ops[region_start..region_start + region_len] {
+        let (lo, hi) = live_window(g, &s, n, available_steps);
+        if lo > hi {
+            continue; // neighbours leave no room; the current step stands
+        }
+        let hold = u32::try_from(rng.below(3)).expect("hold fits");
+        let to = (lo + hold).min(hi);
+        let from = s.step(n).expect("scheduled");
+        if to != from {
+            s.set_step(n, to);
+            edits.push(AttackEdit::Move { node: n, from, to });
+        }
+    }
+    (g.clone(), s, edits)
+}
+
+/// Removes `budget · temporal_edge_count` randomly chosen temporal
+/// (constraint) edges from the constrained specification, then
+/// re-synthesizes the whole schedule with a randomized greedy walk — the
+/// attacker re-runs the tool on a partially stripped spec.
+fn strip_attack(
+    g: &Cdfg,
+    schedule: &Schedule,
+    budget: f64,
+    rng: &mut SplitMix64,
+) -> (Cdfg, Schedule, Vec<AttackEdit>) {
+    let temporal: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|&id| g.edge(id).expect("live edge").kind() == EdgeKind::Temporal)
+        .collect();
+    let count = budget_count(budget, temporal.len());
+    if count == 0 {
+        return (g.clone(), schedule.clone(), Vec::new());
+    }
+    // Partial Fisher–Yates: the first `count` slots are a uniform sample
+    // without replacement.
+    let mut pool = temporal;
+    for i in 0..count {
+        let j = i + usize::try_from(rng.below((pool.len() - i) as u64)).expect("index fits");
+        pool.swap(i, j);
+    }
+    let mut g2 = g.clone();
+    let mut edits = Vec::new();
+    for &id in &pool[..count] {
+        let e = g2.remove_edge(id).expect("sampled edge is live");
+        edits.push(AttackEdit::Strip {
+            src: e.src(),
+            dst: e.dst(),
+        });
+    }
+    // Full randomized re-synthesis on the stripped spec.
+    let topo = g2.topo_order().expect("stripping keeps the graph acyclic");
+    let ops: Vec<NodeId> = topo
+        .into_iter()
+        .filter(|&n| g2.kind(n).is_schedulable())
+        .collect();
+    let mut s = Schedule::empty(&g2);
+    for &n in &ops {
+        let lo = g2
+            .preds(n)
+            .filter_map(|p| s.step(p))
+            .max()
+            .map_or(1, |m| m + 1);
+        let hold = u32::try_from(rng.below(3)).expect("hold fits");
+        s.set_step(n, lo + hold);
+    }
+    edits.push(AttackEdit::Resynth {
+        region_start: 0,
+        region_len: ops.len(),
+    });
+    (g2, s, edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localwm_cdfg::generators::{layered, LayeredConfig};
+    use localwm_cdfg::write_cdfg;
+
+    fn design() -> (Cdfg, Schedule, u32) {
+        let g = layered(&LayeredConfig {
+            ops: 80,
+            layers: 8,
+            seed: 3,
+            ..LayeredConfig::default()
+        });
+        let ctx = localwm_engine::DesignContext::from(&g);
+        let s = localwm_core::attack::reschedule_with(&ctx, &mut SplitMix64::new(1)).unwrap();
+        let steps = s.length() + 4;
+        (g, s, steps)
+    }
+
+    #[test]
+    fn every_kind_keeps_the_schedule_valid() {
+        let (g, s, steps) = design();
+        for kind in AttackKind::ALL {
+            for &budget in &[0.0, 0.1, 0.5, 1.0] {
+                let out = apply(
+                    &g,
+                    &s,
+                    steps,
+                    &AttackConfig {
+                        kind,
+                        budget,
+                        seed: 5,
+                    },
+                );
+                assert!(
+                    out.schedule.validate(&out.graph).is_ok(),
+                    "{kind} budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_zero_is_the_identity() {
+        let (g, s, steps) = design();
+        for kind in AttackKind::ALL {
+            let out = apply(
+                &g,
+                &s,
+                steps,
+                &AttackConfig {
+                    kind,
+                    budget: 0.0,
+                    seed: 9,
+                },
+            );
+            assert!(out.trace.edits.is_empty(), "{kind}");
+            assert_eq!(out.schedule, s, "{kind}");
+            assert_eq!(write_cdfg(&out.graph), write_cdfg(&g), "{kind}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_trace() {
+        let (g, s, steps) = design();
+        for kind in AttackKind::ALL {
+            let cfg = AttackConfig {
+                kind,
+                budget: 0.4,
+                seed: 11,
+            };
+            let a = apply(&g, &s, steps, &cfg);
+            let b = apply(&g, &s, steps, &cfg);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.trace.render(), b.trace.render());
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(write_cdfg(&a.graph), write_cdfg(&b.graph));
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in AttackKind::ALL {
+            assert_eq!(AttackKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(AttackKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn budget_count_is_clamped_and_monotone() {
+        assert_eq!(budget_count(0.0, 100), 0);
+        assert_eq!(budget_count(0.001, 100), 1);
+        assert_eq!(budget_count(0.5, 100), 50);
+        assert_eq!(budget_count(1.0, 100), 100);
+        assert_eq!(budget_count(7.0, 100), 100);
+        assert_eq!(budget_count(-3.0, 100), 0);
+        assert_eq!(budget_count(f64::NAN, 100), 0);
+    }
+}

@@ -13,7 +13,7 @@
 
 use localwm_bench::report::render_table;
 use localwm_cdfg::generators::{mediabench, mediabench_apps};
-use localwm_core::attack::{alterations_to_defeat, perturb_schedule, reschedule};
+use localwm_core::attack::{alterations_to_defeat, perturb_schedule_with, reschedule_with};
 use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     // --- Analytic model --------------------------------------------------
     let total_pairs = 50_000u64;
     let marked = 100u64;
-    let needed = alterations_to_defeat(total_pairs, marked, 0.5, 1e-6);
+    let needed = alterations_to_defeat(total_pairs, marked, 0.5, 1e-6).expect("model inputs valid");
     println!(
         "analytic: 100k-op design, {marked} marked pairs of {total_pairs}, \
          E[psi]=1/2, target Pc 1e-6:"
@@ -56,7 +56,13 @@ fn main() {
         let mut digits = 0.0;
         const SEEDS: u64 = 5;
         for seed in 0..SEEDS {
-            let (p, _) = perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, seed);
+            let (p, _) = perturb_schedule_with(
+                &g,
+                &emb.schedule,
+                emb.available_steps,
+                moves,
+                &mut localwm_prng::SplitMix64::new(seed),
+            );
             let ev = wm.detect(&p, &g, &signature).expect("detection runs");
             surv += ev.satisfied_fraction();
             digits += ev.satisfied_fraction() * -ev.log10_pc;
@@ -82,7 +88,11 @@ fn main() {
     );
 
     // --- Full re-synthesis attack ----------------------------------------
-    let fresh = reschedule(&g, 99).expect("rescheduling succeeds");
+    let fresh = reschedule_with(
+        &localwm_engine::DesignContext::from(&g),
+        &mut localwm_prng::SplitMix64::new(99),
+    )
+    .expect("rescheduling succeeds");
     let ev = wm.detect(&fresh, &g, &signature).expect("detection runs");
     println!(
         "full re-synthesis from the stripped spec: {:.1}% of constraints \

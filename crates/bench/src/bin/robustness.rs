@@ -16,7 +16,7 @@
 
 use localwm_bench::report::render_table;
 use localwm_cdfg::generators::{mediabench, mediabench_apps};
-use localwm_core::attack::perturb_schedule;
+use localwm_core::attack::perturb_schedule_with;
 use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature};
 
 const SIGNIFICANCE: f64 = 1e-6;
@@ -50,8 +50,13 @@ fn main() {
         let mut fp = 0u32;
         let mut surv = 0.0;
         for seed in 0..ATTACK_SEEDS {
-            let (tampered, _) =
-                perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, seed);
+            let (tampered, _) = perturb_schedule_with(
+                &g,
+                &emb.schedule,
+                emb.available_steps,
+                moves,
+                &mut localwm_prng::SplitMix64::new(seed),
+            );
             let ev = wm.detect(&tampered, &g, &author).expect("detects");
             surv += ev.satisfied_fraction();
             strict_tp += u32::from(ev.is_match());

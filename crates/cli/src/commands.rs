@@ -26,6 +26,8 @@ pub fn run(args: &[String]) -> CliResult {
         Some("dot") => dot(&args[1..]),
         Some("embed") => embed(&args[1..]),
         Some("detect") => detect(&args[1..]),
+        Some("attack") => crate::attack_cmd::attack(&args[1..]),
+        Some("strength") => crate::attack_cmd::strength(&args[1..]),
         Some("schedule") => schedule_cmd(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
@@ -51,6 +53,13 @@ USAGE:
   localwm embed <design.cdfg> --author ID [--fraction F | --k K] \\
                 [-o schedule.txt] [--marked marked.cdfg]
   localwm detect <design.cdfg> <schedule.txt> --author ID
+  localwm attack <design.cdfg> --author ID [--fraction F | --k K] \\
+                 [--attack reschedule|rewire|resynth|strip] [--budget B]
+                 [--seed N] [-o schedule.txt] [--trace-out FILE]
+  localwm strength <design.cdfg> --author ID [--fraction F | --k K]
+                   [--budgets B1,B2,...] [--seed N] [--json] [-o FILE]
+  localwm strength --corpus DIR --author ID [--budgets B1,B2,...] [--seed N]
+                   [--json] [-o FILE]
   localwm schedule <design.cdfg> [--scheduler list|fds|alap] [--steps N]
                    [--alu N] [--mult N] [--mem N] [--branch N]
   localwm simulate <design.cdfg> [--seed N]
@@ -65,12 +74,13 @@ USAGE:
                   [--replicas N] [--max-retries N] [--backoff-base-ms N]
                   [--backoff-cap-ms N] [--recv-timeout-ms N]
                   [--health-interval-ms N|off]
-  localwm request <embed|detect|analyze|timing|open|mutate|close|stats|
-                   cluster_stats|shutdown>
+  localwm request <embed|detect|analyze|timing|attack|strength|open|mutate|
+                   close|stats|cluster_stats|shutdown>
                   [--addr HOST:PORT] [--design FILE] [--author ID]
                   [--schedule FILE] [--schedule-out FILE] [--fraction F]
                   [--k K] [--deadline N] [--lo N --hi N] [--samples N]
-                  [--seed N] [--timeout-ms N] [--repeat N]
+                  [--seed N] [--attack KIND] [--budget B] [--budgets LIST]
+                  [--timeout-ms N] [--repeat N]
                   [--session ID] [--edits FILE] [--binary]
   localwm request --edit-trace FILE --design FILE [--session ID]
                   [--addr HOST:PORT]
@@ -92,7 +102,7 @@ pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> 
         .map(String::as_str)
 }
 
-fn positional(args: &[String], idx: usize) -> Option<&str> {
+pub(crate) fn positional(args: &[String], idx: usize) -> Option<&str> {
     args.iter()
         .filter(|a| !a.starts_with('-'))
         .scan(false, |skip, a| {
@@ -106,7 +116,7 @@ fn positional(args: &[String], idx: usize) -> Option<&str> {
         .map(String::as_str)
 }
 
-fn load_design(path: &str) -> Result<Cdfg, String> {
+pub(crate) fn load_design(path: &str) -> Result<Cdfg, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     parse_cdfg(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
@@ -192,7 +202,9 @@ fn dot(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn watermarker(args: &[String]) -> Result<SchedulingWatermarker, String> {
+/// Watermark parameters shared by `embed`/`detect`/`attack`/`strength`:
+/// `--fraction F` sizes the constraint set to F·N edges, `--k K` pins it.
+pub(crate) fn wm_config(args: &[String]) -> Result<SchedWmConfig, String> {
     let mut config = SchedWmConfig::default();
     if let Some(f) = flag_value(args, "--fraction") {
         let f: f64 = f.parse().map_err(|_| format!("bad fraction `{f}`"))?;
@@ -201,10 +213,14 @@ fn watermarker(args: &[String]) -> Result<SchedulingWatermarker, String> {
     if let Some(k) = flag_value(args, "--k") {
         config.k = k.parse().map_err(|_| format!("bad k `{k}`"))?;
     }
-    Ok(SchedulingWatermarker::new(config))
+    Ok(config)
 }
 
-fn signature(args: &[String]) -> Result<Signature, String> {
+fn watermarker(args: &[String]) -> Result<SchedulingWatermarker, String> {
+    Ok(SchedulingWatermarker::new(wm_config(args)?))
+}
+
+pub(crate) fn signature(args: &[String]) -> Result<Signature, String> {
     flag_value(args, "--author")
         .map(Signature::from_author)
         .ok_or_else(|| "missing --author <id>".to_owned())

@@ -7,6 +7,10 @@
 //! localwm embed <design.cdfg> --author <id>          watermark + schedule
 //!         [--fraction F | --k K] -o schedule.txt [--marked marked.cdfg]
 //! localwm detect <design.cdfg> <schedule.txt> --author <id>
+//! localwm attack <design.cdfg> --author <id> [--attack KIND] [--budget B]
+//!         [--seed N] [-o schedule.txt] [--trace-out FILE]
+//! localwm strength <design.cdfg>|--corpus DIR --author <id>
+//!         [--budgets B1,B2,...] [--seed N] [--json] [-o FILE]
 //! localwm schedule <design.cdfg> [--scheduler list|fds|alap] [--steps N]
 //! localwm simulate <design.cdfg> [--seed N]
 //! localwm analyze <design.cdfg> [--deadline N] [--lo N --hi N]
@@ -31,6 +35,7 @@
 
 use std::process::ExitCode;
 
+mod attack_cmd;
 mod chaos_cmd;
 mod commands;
 mod gateway_cmd;

@@ -58,7 +58,8 @@ pub fn serve(args: &[String]) -> CliResult {
 
 /// `localwm request <kind> [--addr A] [--design FILE] [--author ID]
 /// [--schedule FILE] [--fraction F] [--k K] [--deadline N] [--lo N --hi N]
-/// [--samples N] [--seed N] [--timeout-ms N] [--schedule-out FILE]
+/// [--samples N] [--seed N] [--attack KIND] [--budget B] [--budgets LIST]
+/// [--timeout-ms N] [--schedule-out FILE]
 /// [--repeat N] [--session ID] [--edits FILE] [--binary]`
 ///
 /// `--binary` negotiates the `LWMB1` framed encoding for the connection;
@@ -76,7 +77,7 @@ pub fn request(args: &[String]) -> CliResult {
         return replay_edit_trace(args);
     }
     let kind_raw = args.first().map(String::as_str).ok_or(
-        "usage: localwm request <embed|detect|analyze|timing|open|mutate|close|stats|cluster_stats|shutdown> ...",
+        "usage: localwm request <embed|detect|analyze|timing|attack|strength|open|mutate|close|stats|cluster_stats|shutdown> ...",
     )?;
     let kind =
         RequestKind::parse(kind_raw).ok_or_else(|| format!("unknown request kind `{kind_raw}`"))?;
@@ -103,6 +104,9 @@ pub fn request(args: &[String]) -> CliResult {
     req.hi = parse_flag::<u64>(args, "--hi")?;
     req.samples = parse_flag::<usize>(args, "--samples")?;
     req.seed = parse_flag::<u64>(args, "--seed")?;
+    req.attack = flag_value(args, "--attack").map(str::to_owned);
+    req.budget = parse_flag::<f64>(args, "--budget")?;
+    req.budgets = flag_value(args, "--budgets").map(str::to_owned);
     req.timeout_ms = parse_flag::<u64>(args, "--timeout-ms")?;
 
     let repeat = parse_flag::<usize>(args, "--repeat")?.unwrap_or(1).max(1);

@@ -1,36 +1,40 @@
 //! Tampering models for coloring watermarks.
+//!
+//! Perturbations draw from [`localwm_prng::SplitMix64`] — the toolkit's
+//! canonical deterministic stream — so the same seed reproduces the same
+//! recoloring byte-for-byte on every platform. [`perturb_coloring`] is the
+//! seed-taking deprecated shim over [`perturb_coloring_with`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use localwm_prng::SplitMix64;
 
 use crate::{validate_coloring, Coloring, UGraph};
 
 /// Randomly recolors up to `moves` vertices, keeping the coloring proper
 /// (each move picks a random vertex and a random color legal for its
-/// neighbourhood, within the current palette plus one spare).
+/// neighbourhood, within the current palette plus one spare), drawing
+/// every choice from `rng`.
 ///
 /// Returns the perturbed coloring and the number of effective recolorings.
 ///
 /// # Panics
 ///
 /// Panics if the input coloring is not proper for `g`.
-pub fn perturb_coloring(
+pub fn perturb_coloring_with(
     g: &UGraph,
     coloring: &Coloring,
     moves: usize,
-    seed: u64,
+    rng: &mut SplitMix64,
 ) -> (Coloring, usize) {
     assert!(
         validate_coloring(g, coloring),
         "perturbation requires a proper coloring"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut colors = coloring.as_slice().to_vec();
     let palette = coloring.color_count() as u32 + 1;
     let n = g.vertex_count();
     let mut applied = 0usize;
     for _ in 0..moves {
-        let v = rng.gen_range(0..n);
+        let v = usize::try_from(rng.below(n as u64)).expect("vertex index fits");
         let forbidden: Vec<u32> = g.neighbours(v).iter().map(|&u| colors[u]).collect();
         let legal: Vec<u32> = (0..palette)
             .filter(|c| !forbidden.contains(c) && *c != colors[v])
@@ -38,12 +42,30 @@ pub fn perturb_coloring(
         if legal.is_empty() {
             continue;
         }
-        colors[v] = legal[rng.gen_range(0..legal.len())];
+        colors[v] = legal[usize::try_from(rng.below(legal.len() as u64)).expect("color fits")];
         applied += 1;
     }
     let out = Coloring::from_colors(colors);
     debug_assert!(validate_coloring(g, &out));
     (out, applied)
+}
+
+/// Seed-taking shim over [`perturb_coloring_with`].
+///
+/// # Panics
+///
+/// Panics if the input coloring is not proper for `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use perturb_coloring_with with a localwm_prng::SplitMix64 stream"
+)]
+pub fn perturb_coloring(
+    g: &UGraph,
+    coloring: &Coloring,
+    moves: usize,
+    seed: u64,
+) -> (Coloring, usize) {
+    perturb_coloring_with(g, coloring, moves, &mut SplitMix64::new(seed))
 }
 
 #[cfg(test)]
@@ -52,11 +74,15 @@ mod tests {
     use crate::{greedy_coloring, ColoringConfig, ColoringWatermarker};
     use localwm_prng::Signature;
 
+    fn rng(seed: u64) -> SplitMix64 {
+        SplitMix64::new(seed)
+    }
+
     #[test]
     fn perturbation_keeps_coloring_proper() {
         let g = UGraph::random(200, 0.05, 3);
         let c = greedy_coloring(&g);
-        let (p, applied) = perturb_coloring(&g, &c, 100, 1);
+        let (p, applied) = perturb_coloring_with(&g, &c, 100, &mut rng(1));
         assert!(applied > 0);
         assert!(validate_coloring(&g, &p));
     }
@@ -68,10 +94,18 @@ mod tests {
         let sig = Signature::from_author("coloring-victim");
         let emb = wm.embed(&g, &sig).unwrap();
         let light = wm
-            .detect(&perturb_coloring(&g, &emb.coloring, 20, 2).0, &g, &sig)
+            .detect(
+                &perturb_coloring_with(&g, &emb.coloring, 20, &mut rng(2)).0,
+                &g,
+                &sig,
+            )
             .unwrap();
         let heavy = wm
-            .detect(&perturb_coloring(&g, &emb.coloring, 2000, 2).0, &g, &sig)
+            .detect(
+                &perturb_coloring_with(&g, &emb.coloring, 2000, &mut rng(2)).0,
+                &g,
+                &sig,
+            )
             .unwrap();
         assert!(light.satisfied_fraction() >= heavy.satisfied_fraction());
         // Must-differ constraints survive *most* random recolorings (a
@@ -84,8 +118,19 @@ mod tests {
     fn zero_moves_is_identity() {
         let g = UGraph::random(50, 0.1, 4);
         let c = greedy_coloring(&g);
-        let (p, applied) = perturb_coloring(&g, &c, 0, 7);
+        let (p, applied) = perturb_coloring_with(&g, &c, 0, &mut rng(7));
         assert_eq!(applied, 0);
         assert_eq!(p, c);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn seed_taking_shim_matches_the_stream_entry_point() {
+        let g = UGraph::random(80, 0.08, 6);
+        let c = greedy_coloring(&g);
+        assert_eq!(
+            perturb_coloring(&g, &c, 25, 11),
+            perturb_coloring_with(&g, &c, 25, &mut rng(11))
+        );
     }
 }

@@ -5,23 +5,32 @@
 //! predetermined standard." These models quantify how much of a solution an
 //! attacker must perturb:
 //!
-//! * [`perturb_schedule`] — random legal moves of operations within their
-//!   live windows (local tampering that preserves solution validity).
-//! * [`reschedule`] — a full re-synthesis with a different (randomized)
-//!   priority function, the strongest whole-solution attack short of
-//!   redesign.
+//! * [`perturb_schedule_with`] — random legal moves of operations within
+//!   their live windows (local tampering that preserves solution validity).
+//! * [`reschedule_with`] — a full re-synthesis with a different
+//!   (randomized) priority function, the strongest whole-solution attack
+//!   short of redesign.
 //! * [`alterations_to_defeat`] — the analytic model behind the paper's
 //!   "alter 63 % of the final solution" argument.
+//!
+//! All randomized models draw from [`localwm_prng::SplitMix64`], the
+//! toolkit's canonical deterministic stream: the same seed produces the
+//! same perturbation byte-for-byte on every platform. The seed-taking
+//! entry points ([`perturb_schedule`], [`reschedule`], [`reschedule_in`])
+//! remain as thin deprecated shims over the stream-taking ones; the
+//! richer budgeted attack suite lives in `localwm-attack`.
+
+use std::fmt;
 
 use localwm_cdfg::{Cdfg, NodeId};
 use localwm_engine::DesignContext;
+use localwm_prng::SplitMix64;
 use localwm_sched::{Schedule, ScheduleError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Randomly moves up to `moves` operations to different control steps,
 /// keeping the schedule valid (each op stays within the window its
-/// currently-scheduled neighbours allow, and within `available_steps`).
+/// currently-scheduled neighbours allow, and within `available_steps`),
+/// drawing every choice from `rng`.
 ///
 /// Returns the perturbed schedule and the number of moves actually applied
 /// (an op whose neighbours pin it in place cannot move).
@@ -29,18 +38,17 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 ///
 /// Panics if the input schedule is invalid for `g`.
-pub fn perturb_schedule(
+pub fn perturb_schedule_with(
     g: &Cdfg,
     schedule: &Schedule,
     available_steps: u32,
     moves: usize,
-    seed: u64,
+    rng: &mut SplitMix64,
 ) -> (Schedule, usize) {
     assert!(
         schedule.validate(g).is_ok(),
         "perturbation requires a valid schedule"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut s = schedule.clone();
     let ops: Vec<NodeId> = g
         .node_ids()
@@ -48,7 +56,7 @@ pub fn perturb_schedule(
         .collect();
     let mut applied = 0usize;
     for _ in 0..moves {
-        let n = ops[rng.gen_range(0..ops.len())];
+        let n = ops[usize::try_from(rng.below(ops.len() as u64)).expect("op index fits")];
         // Live window given currently scheduled neighbours.
         let lo = g
             .preds(n)
@@ -64,7 +72,7 @@ pub fn perturb_schedule(
             continue; // pinned
         }
         let cur = s.step(n).expect("schedulable ops are scheduled");
-        let new = rng.gen_range(lo..=hi);
+        let new = rng.in_range_u32(lo, hi);
         if new != cur {
             s.set_step(n, new);
             applied += 1;
@@ -74,23 +82,35 @@ pub fn perturb_schedule(
     (s, applied)
 }
 
-/// Re-synthesizes the design from scratch with a randomized priority list
-/// scheduler — the attack of re-running a different tool on the (stripped)
-/// specification.
-///
-/// # Errors
-///
-/// Propagates scheduling failures.
+/// Seed-taking shim over [`perturb_schedule_with`].
 ///
 /// # Panics
 ///
-/// Panics if the graph is cyclic.
-pub fn reschedule(g: &Cdfg, seed: u64) -> Result<Schedule, ScheduleError> {
-    reschedule_in(&DesignContext::from(g), seed)
+/// Panics if the input schedule is invalid for `g`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use perturb_schedule_with with a localwm_prng::SplitMix64 stream"
+)]
+pub fn perturb_schedule(
+    g: &Cdfg,
+    schedule: &Schedule,
+    available_steps: u32,
+    moves: usize,
+    seed: u64,
+) -> (Schedule, usize) {
+    perturb_schedule_with(
+        g,
+        schedule,
+        available_steps,
+        moves,
+        &mut SplitMix64::new(seed),
+    )
 }
 
-/// [`reschedule`] against a shared [`DesignContext`], reusing its memoized
-/// topological order.
+/// Re-synthesizes the design from scratch with a randomized priority list
+/// scheduler — the attack of re-running a different tool on the (stripped)
+/// specification. Walks in topo order, placing each op at its earliest
+/// feasible step plus a random hold of 0..=2 steps drawn from `rng`.
 ///
 /// # Errors
 ///
@@ -99,12 +119,12 @@ pub fn reschedule(g: &Cdfg, seed: u64) -> Result<Schedule, ScheduleError> {
 /// # Panics
 ///
 /// Panics if the graph is cyclic.
-pub fn reschedule_in(ctx: &DesignContext, seed: u64) -> Result<Schedule, ScheduleError> {
+pub fn reschedule_with(
+    ctx: &DesignContext,
+    rng: &mut SplitMix64,
+) -> Result<Schedule, ScheduleError> {
     let g = ctx.graph();
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut s = Schedule::empty(g);
-    // Randomized-greedy: walk in topo order, placing each op at its
-    // earliest feasible step plus a random hold of 0..=2 steps.
     for &n in ctx.topo() {
         if !g.kind(n).is_schedulable() {
             continue;
@@ -114,12 +134,89 @@ pub fn reschedule_in(ctx: &DesignContext, seed: u64) -> Result<Schedule, Schedul
             .filter_map(|p| s.step(p))
             .max()
             .map_or(1, |m| m + 1);
-        let hold = rng.gen_range(0..=2);
+        let hold = u32::try_from(rng.below(3)).expect("hold fits");
         s.set_step(n, lo + hold);
     }
     debug_assert!(s.validate(g).is_ok());
     Ok(s)
 }
+
+/// Seed-taking shim over [`reschedule_with`].
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use reschedule_with with a localwm_prng::SplitMix64 stream"
+)]
+pub fn reschedule(g: &Cdfg, seed: u64) -> Result<Schedule, ScheduleError> {
+    reschedule_with(&DesignContext::from(g), &mut SplitMix64::new(seed))
+}
+
+/// Seed-taking shim over [`reschedule_with`] for a shared
+/// [`DesignContext`].
+///
+/// # Errors
+///
+/// Propagates scheduling failures.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+#[deprecated(
+    since = "0.1.0",
+    note = "use reschedule_with with a localwm_prng::SplitMix64 stream"
+)]
+pub fn reschedule_in(ctx: &DesignContext, seed: u64) -> Result<Schedule, ScheduleError> {
+    reschedule_with(ctx, &mut SplitMix64::new(seed))
+}
+
+/// A degenerate input to the analytic tampering model: the typed
+/// diagnosis, not a panic, so services and the CLI can surface it like
+/// any other watermarking error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackModelError {
+    /// The solution has no alterable operation pairs (an empty or
+    /// single-op schedule): the model is undefined, there is nothing an
+    /// attacker could alter.
+    NoAlterablePairs,
+    /// The mean coincidence ratio must lie strictly inside `(0, 1)`;
+    /// a zero-signature design (no marked constraints, ratio 0 or 1)
+    /// carries no proof to defeat.
+    InvalidRatio(
+        /// The offending ratio.
+        f64,
+    ),
+    /// The target coincidence probability must lie strictly inside
+    /// `(0, 1)`.
+    InvalidTarget(
+        /// The offending target.
+        f64,
+    ),
+}
+
+impl fmt::Display for AttackModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackModelError::NoAlterablePairs => {
+                write!(f, "no alterable pairs: the solution is empty or trivial")
+            }
+            AttackModelError::InvalidRatio(r) => {
+                write!(f, "mean coincidence ratio {r} outside (0, 1)")
+            }
+            AttackModelError::InvalidTarget(t) => {
+                write!(f, "target coincidence probability {t} outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackModelError {}
 
 /// The analytic tampering model: how many random pair-order alterations an
 /// attacker must apply before the expected surviving proof drops below
@@ -140,23 +237,32 @@ pub fn reschedule_in(ctx: &DesignContext, seed: u64) -> Result<Schedule, Schedul
 /// order as the paper's 31 729, and the same conclusion: the attacker must
 /// rework most of the solution. `EXPERIMENTS.md` discusses the difference.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `mean_ratio` is not in `(0, 1)` or `target_pc` not in `(0, 1)`.
+/// Returns a typed [`AttackModelError`] on degenerate inputs — an empty
+/// solution (`total_pairs == 0`) or out-of-range `mean_ratio` /
+/// `target_pc` — instead of panicking.
 pub fn alterations_to_defeat(
     total_pairs: u64,
     marked_edges: u64,
     mean_ratio: f64,
     target_pc: f64,
-) -> u64 {
-    assert!((0.0..1.0).contains(&mean_ratio) && mean_ratio > 0.0);
-    assert!((0.0..1.0).contains(&target_pc) && target_pc > 0.0);
+) -> Result<u64, AttackModelError> {
+    if !(mean_ratio > 0.0 && mean_ratio < 1.0) {
+        return Err(AttackModelError::InvalidRatio(mean_ratio));
+    }
+    if !(target_pc > 0.0 && target_pc < 1.0) {
+        return Err(AttackModelError::InvalidTarget(target_pc));
+    }
+    if total_pairs == 0 {
+        return Err(AttackModelError::NoAlterablePairs);
+    }
     if marked_edges == 0 {
-        return 0;
+        return Ok(0);
     }
     let survivors_allowed = (target_pc.ln() / mean_ratio.ln()).floor();
     let must_destroy = (marked_edges as f64 - survivors_allowed).max(0.0);
-    ((total_pairs as f64) * must_destroy / marked_edges as f64).ceil() as u64
+    Ok(((total_pairs as f64) * must_destroy / marked_edges as f64).ceil() as u64)
 }
 
 #[cfg(test)]
@@ -165,12 +271,17 @@ mod tests {
     use crate::{SchedWmConfig, SchedulingWatermarker, Signature};
     use localwm_cdfg::generators::{mediabench, mediabench_apps};
 
+    fn rng(seed: u64) -> SplitMix64 {
+        SplitMix64::new(seed)
+    }
+
     #[test]
     fn perturbation_keeps_schedule_valid() {
         let g = mediabench(&mediabench_apps()[0], 0);
         let wm = SchedulingWatermarker::new(SchedWmConfig::default());
         let emb = wm.embed(&g, &Signature::from_author("victim")).unwrap();
-        let (p, applied) = perturb_schedule(&g, &emb.schedule, emb.available_steps, 200, 1);
+        let (p, applied) =
+            perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 200, &mut rng(1));
         assert!(applied > 0);
         assert!(p.validate(&g).is_ok());
     }
@@ -184,7 +295,7 @@ mod tests {
         });
         let s = Signature::from_author("victim-2");
         let emb = wm.embed(&g, &s).unwrap();
-        let (p, _) = perturb_schedule(&g, &emb.schedule, emb.available_steps, 30, 7);
+        let (p, _) = perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 30, &mut rng(7));
         let ev = wm.detect(&p, &g, &s).unwrap();
         assert!(
             ev.satisfied_fraction() >= 0.6,
@@ -203,7 +314,8 @@ mod tests {
         });
         let s = Signature::from_author("tolerant-victim");
         let emb = wm.embed(&g, &s).unwrap();
-        let (p, _) = perturb_schedule(&g, &emb.schedule, emb.available_steps, 150, 5);
+        let (p, _) =
+            perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 150, &mut rng(5));
         let ev = wm.detect(&p, &g, &s).unwrap();
         // A handful of constraints may break...
         assert!(ev.satisfied_fraction() > 0.7);
@@ -230,14 +342,14 @@ mod tests {
         let emb = wm.embed(&g, &s).unwrap();
         let light = wm
             .detect(
-                &perturb_schedule(&g, &emb.schedule, emb.available_steps, 20, 3).0,
+                &perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 20, &mut rng(3)).0,
                 &g,
                 &s,
             )
             .unwrap();
         let heavy = wm
             .detect(
-                &perturb_schedule(&g, &emb.schedule, emb.available_steps, 5000, 3).0,
+                &perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 5000, &mut rng(3)).0,
                 &g,
                 &s,
             )
@@ -248,16 +360,38 @@ mod tests {
     #[test]
     fn reschedule_produces_valid_unmarked_solution() {
         let g = mediabench(&mediabench_apps()[2], 0);
-        let s1 = reschedule(&g, 1).unwrap();
-        let s2 = reschedule(&g, 2).unwrap();
+        let ctx = DesignContext::from(&g);
+        let s1 = reschedule_with(&ctx, &mut rng(1)).unwrap();
+        let s2 = reschedule_with(&ctx, &mut rng(2)).unwrap();
         assert!(s1.validate(&g).is_ok());
         assert_ne!(s1, s2, "different seeds should differ");
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn seed_taking_shims_match_the_stream_entry_points() {
+        let g = mediabench(&mediabench_apps()[0], 0);
+        let wm = SchedulingWatermarker::new(SchedWmConfig::default());
+        let emb = wm.embed(&g, &Signature::from_author("shim")).unwrap();
+        let via_shim = perturb_schedule(&g, &emb.schedule, emb.available_steps, 40, 9);
+        let via_stream =
+            perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 40, &mut rng(9));
+        assert_eq!(via_shim, via_stream);
+        let ctx = DesignContext::from(&g);
+        assert_eq!(
+            reschedule(&g, 4).unwrap(),
+            reschedule_with(&ctx, &mut rng(4)).unwrap()
+        );
+        assert_eq!(
+            reschedule_in(&ctx, 4).unwrap(),
+            reschedule_with(&ctx, &mut rng(4)).unwrap()
+        );
+    }
+
+    #[test]
     fn analytic_model_reproduces_papers_order_of_magnitude() {
         // 100 000 ops, 100 edges, ratio 1/2, target 1e-6.
-        let f = alterations_to_defeat(50_000, 100, 0.5, 1e-6);
+        let f = alterations_to_defeat(50_000, 100, 0.5, 1e-6).unwrap();
         // Paper reports 31 729 (63 % of 50 000); our model gives 40 500
         // (80 %). Same conclusion: the majority of the solution must change.
         assert_eq!(f, 40_500);
@@ -266,8 +400,34 @@ mod tests {
 
     #[test]
     fn analytic_model_edge_cases() {
-        assert_eq!(alterations_to_defeat(1000, 0, 0.5, 1e-6), 0);
+        assert_eq!(alterations_to_defeat(1000, 0, 0.5, 1e-6), Ok(0));
         // Weak mark (few edges): already below target, nothing to do.
-        assert_eq!(alterations_to_defeat(1000, 10, 0.5, 1e-6), 0);
+        assert_eq!(alterations_to_defeat(1000, 10, 0.5, 1e-6), Ok(0));
+    }
+
+    #[test]
+    fn analytic_model_rejects_degenerate_inputs_with_typed_errors() {
+        // Empty schedule: no alterable pairs.
+        assert_eq!(
+            alterations_to_defeat(0, 5, 0.5, 1e-6),
+            Err(AttackModelError::NoAlterablePairs)
+        );
+        // Zero-signature design: ratio collapses to 0 (or 1).
+        assert_eq!(
+            alterations_to_defeat(1000, 5, 0.0, 1e-6),
+            Err(AttackModelError::InvalidRatio(0.0))
+        );
+        assert_eq!(
+            alterations_to_defeat(1000, 5, 1.0, 1e-6),
+            Err(AttackModelError::InvalidRatio(1.0))
+        );
+        assert_eq!(
+            alterations_to_defeat(1000, 5, 0.5, 0.0),
+            Err(AttackModelError::InvalidTarget(0.0))
+        );
+        assert!(alterations_to_defeat(0, 5, 0.5, 1e-6)
+            .unwrap_err()
+            .to_string()
+            .contains("no alterable pairs"));
     }
 }

@@ -22,13 +22,10 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// A splitmix64-style finalizer: decorrelates the combined key/backend
-/// hash so neighboring keys don't produce correlated rankings.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// One SplitMix64 draw: decorrelates the combined key/backend hash so
+/// neighboring keys don't produce correlated rankings.
+fn mix(z: u64) -> u64 {
+    localwm_prng::SplitMix64::new(z).next_u64()
 }
 
 /// The HRW score of `backend` for `key`. Higher wins.

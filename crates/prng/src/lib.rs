@@ -32,7 +32,9 @@
 mod bitstream;
 mod rc4;
 mod signature;
+mod splitmix;
 
 pub use bitstream::Bitstream;
 pub use rc4::Rc4;
 pub use signature::Signature;
+pub use splitmix::SplitMix64;

@@ -132,14 +132,11 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// The shard index a key maps to among `shards`: a SplitMix64-style
-/// finalizer over the key so FNV's weak low bits don't bias placement,
-/// reduced mod the shard count. Pure — no state, no randomness.
+/// The shard index a key maps to among `shards`: one SplitMix64 draw over
+/// the key so FNV's weak low bits don't bias placement, reduced mod the
+/// shard count. Pure — no state, no randomness.
 fn shard_index(key: u64, shards: usize) -> usize {
-    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) % shards as u64) as usize
+    (localwm_prng::SplitMix64::new(key).next_u64() % shards as u64) as usize
 }
 
 impl ContextCache {

@@ -157,31 +157,10 @@ pub struct FaultPlan {
     pub faults: Vec<FaultSpec>,
 }
 
-/// A splittable counter-based PRNG (splitmix64): identical sequences for
-/// identical seeds on every platform.
-#[derive(Debug, Clone)]
-pub struct SplitMix64(u64);
-
-impl SplitMix64 {
-    /// A generator seeded with `seed`.
-    pub fn new(seed: u64) -> Self {
-        SplitMix64(seed)
-    }
-
-    /// The next 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// An unbiased-enough draw in `[0, bound)` (`bound` clamped to ≥ 1).
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next_u64() % bound.max(1)
-    }
-}
+/// The toolkit-wide deterministic stream, re-exported where fault plans
+/// historically found it (the implementation now lives in `localwm-prng`
+/// so every seeded adversarial path shares one generator).
+pub use localwm_prng::SplitMix64;
 
 impl FaultPlan {
     /// An empty plan (no faults ever fire).

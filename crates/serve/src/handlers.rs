@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use localwm_attack::{AttackConfig, AttackKind, StrengthConfig};
 use localwm_core::{SchedWmConfig, SchedulingWatermarker, Signature, WatermarkError};
 use localwm_engine::{DesignContext, KindBounds, Parallelism};
 use localwm_sched::{parse_schedule, write_schedule};
@@ -79,6 +80,8 @@ pub fn execute_with(cache: &ContextCache, req: &Request, par: Parallelism) -> Ha
             ErrorCode::Internal,
             "session requests are handled inline by the connection thread",
         )),
+        RequestKind::Attack => attack(cache, req, par),
+        RequestKind::Strength => strength(cache, req, par),
     }
 }
 
@@ -89,7 +92,7 @@ fn signature(req: &Request) -> Result<Signature, ServiceError> {
         .ok_or_else(|| bad_request("missing `author`"))
 }
 
-fn watermarker(req: &Request) -> SchedulingWatermarker {
+fn wm_config(req: &Request) -> SchedWmConfig {
     let mut config = SchedWmConfig::default();
     if let Some(f) = req.fraction {
         config = SchedWmConfig::with_node_fraction(f);
@@ -97,14 +100,18 @@ fn watermarker(req: &Request) -> SchedulingWatermarker {
     if let Some(k) = req.k {
         config.k = k;
     }
-    SchedulingWatermarker::new(config)
+    config
 }
 
-fn embed(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
-    let ctx = design_context(cache, req)?;
-    let sig = signature(req)?;
-    let wm = watermarker(req);
-    let emb = wm.embed_in(&ctx, &sig, par).map_err(|e| match e {
+fn watermarker(req: &Request) -> SchedulingWatermarker {
+    SchedulingWatermarker::new(wm_config(req))
+}
+
+/// Maps embedding-side watermark failures to typed wire errors; shared by
+/// `embed` and the robustness kinds so a serial design produces the same
+/// `no_incomparable_pairs` diagnostic everywhere.
+fn embed_error(e: WatermarkError) -> ServiceError {
+    match e {
         WatermarkError::NoIncomparablePairs {
             domain_size,
             pairs_examined,
@@ -112,7 +119,14 @@ fn embed(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult
             .with_detail("domain_size", domain_size.to_value())
             .with_detail("pairs_examined", pairs_examined.to_value()),
         other => ServiceError::new(ErrorCode::EmbedFailed, other.to_string()),
-    })?;
+    }
+}
+
+fn embed(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let sig = signature(req)?;
+    let wm = watermarker(req);
+    let emb = wm.embed_in(&ctx, &sig, par).map_err(embed_error)?;
     Ok(object(vec![
         ("edges", emb.edges.len().to_value()),
         ("localities", emb.domains.len().to_value()),
@@ -238,6 +252,75 @@ pub(crate) fn analyze_body(
     Ok(Value::Object(fields))
 }
 
+fn attack(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let sig = signature(req)?;
+    let kind_name = req.attack.as_deref().unwrap_or("reschedule");
+    let kind = AttackKind::parse(kind_name)
+        .ok_or_else(|| bad_request(format!("unknown attack kind `{kind_name}`")))?;
+    let budget = req.budget.unwrap_or(0.25);
+    if !(0.0..=1.0).contains(&budget) {
+        return Err(bad_request(format!("budget {budget} outside [0, 1]")));
+    }
+    let seed = req.seed.unwrap_or(0);
+    let run = localwm_attack::attack_once_in(
+        &ctx,
+        &sig,
+        par,
+        &AttackConfig { kind, budget, seed },
+        &wm_config(req),
+    )
+    .map_err(embed_error)?;
+    let mut fields = match run.cell.to_value() {
+        Value::Object(f) => f,
+        _ => unreachable!("cells serialize as objects"),
+    };
+    fields.push(("seed".to_owned(), seed.to_value()));
+    fields.push(("baseline_length".to_owned(), run.baseline_length.to_value()));
+    fields.push(("wm_edges".to_owned(), run.wm_edges.to_value()));
+    fields.push((
+        "schedule".to_owned(),
+        write_schedule(&run.outcome.graph, &run.outcome.schedule).to_value(),
+    ));
+    Ok(Value::Object(fields))
+}
+
+fn parse_budgets(req: &Request) -> Result<Vec<f64>, ServiceError> {
+    let Some(text) = req.budgets.as_deref() else {
+        return Ok(localwm_attack::DEFAULT_BUDGETS.to_vec());
+    };
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let b: f64 = part
+            .parse()
+            .map_err(|_| bad_request(format!("bad budget `{part}`")))?;
+        if !(0.0..=1.0).contains(&b) {
+            return Err(bad_request(format!("budget {b} outside [0, 1]")));
+        }
+        out.push(b);
+    }
+    if out.is_empty() {
+        return Err(bad_request("empty `budgets` list"));
+    }
+    Ok(out)
+}
+
+fn strength(cache: &ContextCache, req: &Request, par: Parallelism) -> HandlerResult {
+    let ctx = design_context(cache, req)?;
+    let sig = signature(req)?;
+    let cfg = StrengthConfig {
+        budgets: parse_budgets(req)?,
+        seed: req.seed.unwrap_or(0),
+        wm: wm_config(req),
+    };
+    let report = localwm_attack::strength_report_in(&ctx, &sig, par, &cfg).map_err(embed_error)?;
+    Ok(report.to_value())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +369,65 @@ mod tests {
         let no_author = req_with_design(RequestKind::Embed);
         let err = execute(&cache, &no_author).unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn attack_measures_and_is_deterministic() {
+        let cache = ContextCache::new(2);
+        let mut req = req_with_design(RequestKind::Attack);
+        req.author = Some("server-test".to_owned());
+        req.attack = Some("reschedule".to_owned());
+        req.budget = Some(0.5);
+        req.seed = Some(3);
+        let a = execute(&cache, &req).unwrap();
+        let b = execute_with(&cache, &req, Parallelism::Auto).unwrap();
+        assert_eq!(a, b, "seeded attacks are parallelism-invariant");
+        assert!(matches!(a.field("survived"), Some(Value::Bool(_))));
+        assert!(matches!(a.field("strength"), Some(Value::Float(_))));
+        assert!(matches!(a.field("schedule"), Some(Value::Str(_))));
+    }
+
+    #[test]
+    fn strength_sweeps_the_requested_budgets() {
+        let cache = ContextCache::new(2);
+        let mut req = req_with_design(RequestKind::Strength);
+        req.author = Some("server-test".to_owned());
+        req.budgets = Some("0, 0.3".to_owned());
+        req.seed = Some(5);
+        let out = execute(&cache, &req).unwrap();
+        match out.field("rows") {
+            Some(Value::Array(rows)) => assert_eq!(rows.len(), 2),
+            other => panic!("expected rows array, got {other:?}"),
+        }
+        match out.field("cells") {
+            Some(Value::Array(cells)) => assert_eq!(cells.len(), 8),
+            other => panic!("expected cells array, got {other:?}"),
+        }
+        let mut bad = req.clone();
+        bad.budgets = Some("0,nope".to_owned());
+        assert_eq!(
+            execute(&cache, &bad).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        let mut out_of_range = req.clone();
+        out_of_range.budgets = Some("0,1.5".to_owned());
+        assert_eq!(
+            execute(&cache, &out_of_range).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn robustness_kinds_surface_typed_embed_errors() {
+        use localwm_cdfg::designs::{table2_design, table2_designs};
+        let cache = ContextCache::new(2);
+        for kind in [RequestKind::Attack, RequestKind::Strength] {
+            let mut req = Request::new(kind);
+            req.design = Some(write_cdfg(&table2_design(&table2_designs()[1])));
+            req.author = Some("anyone".to_owned());
+            let err = execute(&cache, &req).unwrap_err();
+            assert_eq!(err.code, ErrorCode::NoIncomparablePairs, "{kind}");
+        }
     }
 
     #[test]

@@ -6,13 +6,20 @@
 //! ```text
 //! request  = { "kind": KIND, ["id": u64], ...params } "\n"
 //! KIND     = "embed" | "detect" | "analyze" | "timing" | "stats" |
-//!            "shutdown" | "cluster_stats" | "open" | "mutate" | "close"
-//! params   = "design": cdfg-text      (embed/detect/analyze/timing/open)
-//!            "author": string         (embed/detect)
+//!            "shutdown" | "cluster_stats" | "open" | "mutate" | "close" |
+//!            "attack" | "strength"
+//! params   = "design": cdfg-text      (embed/detect/analyze/timing/open/
+//!                                      attack/strength)
+//!            "author": string         (embed/detect/attack/strength)
 //!            "schedule": sched-text   (detect)
-//!            "fraction": f64 | "k": u64             (embed)
+//!            "fraction": f64 | "k": u64             (embed/attack/strength)
 //!            "deadline": u32, "lo": u64, "hi": u64  (analyze/timing)
-//!            "samples": u64, "seed": u64            (analyze)
+//!            "samples": u64, "seed": u64            (analyze; seed also
+//!                                                    drives attack/strength)
+//!            "attack": string         (attack; "reschedule" | "rewire" |
+//!                                      "resynth" | "strip")
+//!            "budget": f64            (attack; fraction in [0, 1])
+//!            "budgets": string        (strength; comma-separated budgets)
 //!            "session": string        (open/mutate/close; optional on
 //!                                      timing/analyze to query the held
 //!                                      design incrementally)
@@ -73,11 +80,17 @@ pub enum RequestKind {
     Mutate,
     /// Close an open session and release its design.
     Close,
+    /// Apply one seeded, budgeted attack to a freshly embedded watermark
+    /// and measure the surviving evidence.
+    Attack,
+    /// Sweep the whole attack suite over budget levels and return the
+    /// design's robustness report.
+    Strength,
 }
 
 impl RequestKind {
     /// Every kind, in wire-name order; indexes match [`RequestKind::index`].
-    pub const ALL: [RequestKind; 10] = [
+    pub const ALL: [RequestKind; 12] = [
         RequestKind::Embed,
         RequestKind::Detect,
         RequestKind::Analyze,
@@ -88,6 +101,8 @@ impl RequestKind {
         RequestKind::Open,
         RequestKind::Mutate,
         RequestKind::Close,
+        RequestKind::Attack,
+        RequestKind::Strength,
     ];
 
     /// The wire name.
@@ -103,6 +118,8 @@ impl RequestKind {
             RequestKind::Open => "open",
             RequestKind::Mutate => "mutate",
             RequestKind::Close => "close",
+            RequestKind::Attack => "attack",
+            RequestKind::Strength => "strength",
         }
     }
 
@@ -155,6 +172,13 @@ pub struct Request {
     pub session: Option<String>,
     /// Edit script for `mutate`, one edit per line.
     pub edits: Option<String>,
+    /// Attack kind name (`attack`): `reschedule`, `rewire`, `resynth` or
+    /// `strip`.
+    pub attack: Option<String>,
+    /// Attack budget in `[0, 1]` (`attack`).
+    pub budget: Option<f64>,
+    /// Comma-separated budget sweep (`strength`), e.g. `"0,0.15,0.45"`.
+    pub budgets: Option<String>,
     /// Per-request deadline in milliseconds; past it the watchdog answers
     /// with a `deadline_exceeded` error.
     pub timeout_ms: Option<u64>,
@@ -178,6 +202,9 @@ impl Request {
             seed: None,
             session: None,
             edits: None,
+            attack: None,
+            budget: None,
+            budgets: None,
             timeout_ms: None,
         }
     }
@@ -257,6 +284,17 @@ impl Serialize for Request {
         );
         push_field(
             &mut fields,
+            "attack",
+            self.attack.as_ref().map(|v| v.to_value()),
+        );
+        push_field(&mut fields, "budget", self.budget.map(|v| v.to_value()));
+        push_field(
+            &mut fields,
+            "budgets",
+            self.budgets.as_ref().map(|v| v.to_value()),
+        );
+        push_field(
+            &mut fields,
             "timeout_ms",
             self.timeout_ms.map(|v| v.to_value()),
         );
@@ -294,6 +332,9 @@ impl Deserialize for Request {
             seed: opt(v, "seed")?,
             session: opt(v, "session")?,
             edits: opt(v, "edits")?,
+            attack: opt(v, "attack")?,
+            budget: opt(v, "budget")?,
+            budgets: opt(v, "budgets")?,
             timeout_ms: opt(v, "timeout_ms")?,
         })
     }
@@ -562,6 +603,24 @@ mod tests {
             ErrorCode::SessionExpired
         );
         assert_eq!(ErrorCode::SessionExpired.as_str(), "session_expired");
+    }
+
+    #[test]
+    fn attack_and_strength_requests_round_trip() {
+        let mut req = Request::new(RequestKind::Attack);
+        req.design = Some("node a add\n".to_owned());
+        req.author = Some("alice".to_owned());
+        req.attack = Some("rewire".to_owned());
+        req.budget = Some(0.25);
+        req.seed = Some(7);
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back, req);
+        let mut sweep = Request::new(RequestKind::Strength);
+        sweep.budgets = Some("0,0.15,0.45".to_owned());
+        let back = Request::from_line(&sweep.to_line()).unwrap();
+        assert_eq!(back, sweep);
+        let frame = Request::from_frame(&req.to_frame()).unwrap();
+        assert_eq!(frame.to_line(), req.to_line());
     }
 
     #[test]

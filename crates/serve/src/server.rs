@@ -237,13 +237,11 @@ struct Shared {
 const INFLIGHT_SHARDS: u64 = 8;
 
 impl Shared {
-    /// The single-flight shard holding `key` — same SplitMix64-style mix
-    /// the cache uses, so placement is a pure function of the key.
+    /// The single-flight shard holding `key` — same SplitMix64 draw the
+    /// cache uses, so placement is a pure function of the key.
     fn inflight_shard(&self, key: u64) -> &Mutex<HashMap<u64, Vec<Waiter>>> {
-        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        &self.inflight[((z ^ (z >> 31)) % INFLIGHT_SHARDS) as usize]
+        let z = localwm_prng::SplitMix64::new(key).next_u64();
+        &self.inflight[(z % INFLIGHT_SHARDS) as usize]
     }
 
     /// Sends `resp` unless someone (worker or watchdog) already answered

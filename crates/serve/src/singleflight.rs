@@ -2,11 +2,14 @@
 //!
 //! When N clients ask the same (pure, deterministic) question at once, the
 //! server should compute the answer once and fan it out, not N times.
-//! Coalescing applies to the read-only analysis kinds — `analyze` and
-//! `timing` — whose responses are functions of the request alone. Mutating
-//! or identity-bearing kinds (`embed` draws watermark edges, `detect`
-//! checks a signature) are deliberately excluded: they are cheap relative
-//! to analysis and their handlers are the ones exercised for per-request
+//! Coalescing applies to the read-only analysis kinds — `analyze`,
+//! `timing`, and the robustness kinds `attack` / `strength` — whose
+//! responses are functions of the request alone (the robustness kinds are
+//! fully seeded, so identical lines compute identical sweeps, and they are
+//! the most expensive kinds the service offers). Mutating or
+//! identity-bearing kinds (`embed` draws watermark edges, `detect` checks
+//! a signature) are deliberately excluded: they are cheap relative to
+//! analysis and their handlers are the ones exercised for per-request
 //! observability.
 //!
 //! The key is an FNV-1a hash of the request's canonical wire line with the
@@ -20,7 +23,10 @@ use crate::protocol::{Request, RequestKind};
 /// The coalescing key of a request, or `None` for kinds that never
 /// coalesce.
 pub fn coalescing_key(req: &Request) -> Option<u64> {
-    if !matches!(req.kind, RequestKind::Analyze | RequestKind::Timing) {
+    if !matches!(
+        req.kind,
+        RequestKind::Analyze | RequestKind::Timing | RequestKind::Attack | RequestKind::Strength
+    ) {
         return None;
     }
     // Session-scoped queries answer from held mutable state, not from the
@@ -88,9 +94,15 @@ mod tests {
     #[test]
     fn only_analysis_kinds_coalesce() {
         assert!(coalescing_key(&analyze_req()).is_some());
-        let mut t = analyze_req();
-        t.kind = RequestKind::Timing;
-        assert!(coalescing_key(&t).is_some());
+        for kind in [
+            RequestKind::Timing,
+            RequestKind::Attack,
+            RequestKind::Strength,
+        ] {
+            let mut r = analyze_req();
+            r.kind = kind;
+            assert!(coalescing_key(&r).is_some(), "{kind} must coalesce");
+        }
         for kind in [
             RequestKind::Embed,
             RequestKind::Detect,

@@ -11,10 +11,12 @@
 //! Each golden file records, as pretty-printed JSON, the exact protocol
 //! [`Response`] objects the service produces for a fixed request battery
 //! against that design: `timing`, `analyze` (fixed samples/seed), `embed`
-//! (fixed author), and — when the embed succeeds — `detect` of the embedded
-//! schedule. Designs where embed fails (the serial Table II entries) commit
-//! the typed `no_incomparable_pairs` error response instead; typed errors
-//! are corpus content, not corpus failures.
+//! (fixed author), — when the embed succeeds — `detect` of the embedded
+//! schedule, and the robustness kinds `attack` (one seeded budgeted
+//! transformation) and `strength` (the full budget-sweep report). Designs
+//! where embed fails (the serial Table II entries) commit the typed
+//! `no_incomparable_pairs` error response instead — for the robustness
+//! kinds too; typed errors are corpus content, not corpus failures.
 //!
 //! [`check`] recomputes every golden and diffs it against disk; [`bless`]
 //! rewrites designs and goldens (the `--bless` flag of the `conformance`
@@ -119,6 +121,21 @@ pub fn case_requests(case: &CorpusCase) -> Vec<Request> {
             reqs.push(detect);
         }
     }
+    // Robustness kinds run unconditionally: on serial designs they commit
+    // their typed `no_incomparable_pairs` errors as corpus content.
+    let mut attack = with_design(RequestKind::Attack);
+    attack.author = Some(CORPUS_AUTHOR.to_owned());
+    attack.fraction = Some(0.25);
+    attack.attack = Some("rewire".to_owned());
+    attack.budget = Some(0.2);
+    attack.seed = Some(7);
+    reqs.push(attack);
+    let mut strength = with_design(RequestKind::Strength);
+    strength.author = Some(CORPUS_AUTHOR.to_owned());
+    strength.fraction = Some(0.25);
+    strength.budgets = Some("0,0.15,0.45".to_owned());
+    strength.seed = Some(7);
+    reqs.push(strength);
     for (i, r) in reqs.iter_mut().enumerate() {
         r.id = Some(i as u64);
     }

@@ -356,13 +356,10 @@ pub fn criticality_in<M: DelayBounds>(
     }
 }
 
-/// SplitMix64-style mix of the run seed and a sample index: well-separated
+/// SplitMix64 mix of the run seed and a sample index: well-separated
 /// per-sample streams that do not depend on work partitioning.
 pub(crate) fn sample_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    localwm_prng::SplitMix64::mix(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 #[cfg(test)]

@@ -5,13 +5,17 @@
 //! ```
 
 use local_watermarks::cdfg::generators::{mediabench, mediabench_apps};
-use local_watermarks::core::attack::{alterations_to_defeat, perturb_schedule, reschedule};
+use local_watermarks::core::attack::{
+    alterations_to_defeat, perturb_schedule_with, reschedule_with,
+};
 use local_watermarks::core::{SchedWmConfig, SchedulingWatermarker, Signature, WatermarkError};
+use local_watermarks::engine::DesignContext;
+use local_watermarks::prng::SplitMix64;
 
 fn main() -> Result<(), WatermarkError> {
     // The analytic argument (paper §IV-A): erasing 100 marked pairs in a
     // 100k-op design needs a redesign-scale perturbation.
-    let needed = alterations_to_defeat(50_000, 100, 0.5, 1e-6);
+    let needed = alterations_to_defeat(50_000, 100, 0.5, 1e-6).expect("well-formed model inputs");
     println!(
         "analytic: erasing a 100-edge mark from a 100k-op design takes \
          ~{needed} pair alterations ({:.0}% of the solution)\n",
@@ -34,8 +38,9 @@ fn main() -> Result<(), WatermarkError> {
     );
 
     for moves in [0usize, 50, 500, 5000] {
+        let mut rng = SplitMix64::new(42);
         let (tampered, applied) =
-            perturb_schedule(&g, &emb.schedule, emb.available_steps, moves, 42);
+            perturb_schedule_with(&g, &emb.schedule, emb.available_steps, moves, &mut rng);
         let ev = wm.detect(&tampered, &g, &sig)?;
         println!(
             "after {applied:4} random legal moves: {:5.1}% of constraints \
@@ -46,7 +51,8 @@ fn main() -> Result<(), WatermarkError> {
     }
 
     // The strongest attack short of redesign: re-synthesize from scratch.
-    let fresh = reschedule(&g, 7)?;
+    let ctx = DesignContext::new(g.clone());
+    let fresh = reschedule_with(&ctx, &mut SplitMix64::new(7))?;
     let ev = wm.detect(&fresh, &g, &sig)?;
     println!(
         "\nfull re-synthesis: {:.1}% of constraints coincide by chance, \

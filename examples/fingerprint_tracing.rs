@@ -45,8 +45,12 @@ fn main() -> Result<(), WatermarkError> {
     assert_eq!(traced.recipient, "fab-beta");
 
     // A clean-room schedule traces to nobody.
-    let fresh = local_watermarks::core::attack::reschedule(&design, 1234)
-        .map_err(WatermarkError::Schedule)?;
+    let ctx = local_watermarks::engine::DesignContext::new(design.clone());
+    let fresh = local_watermarks::core::attack::reschedule_with(
+        &ctx,
+        &mut local_watermarks::prng::SplitMix64::new(1234),
+    )
+    .map_err(WatermarkError::Schedule)?;
     let nobody = identify(&wm, &fresh, &design, &author, &recipients)?;
     println!(
         "independent re-synthesis traces to: {:?}",

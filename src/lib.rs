@@ -40,6 +40,7 @@
 //! # Ok::<(), local_watermarks::core::WatermarkError>(())
 //! ```
 
+pub use localwm_attack as attack;
 pub use localwm_cdfg as cdfg;
 pub use localwm_coloring as coloring;
 pub use localwm_core as core;

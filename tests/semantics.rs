@@ -44,12 +44,15 @@ fn attack_perturbations_preserve_semantics_too() {
     // A valid perturbed schedule still computes the right values — the
     // attacker's dilemma: only order changes, so the mark's evidence is
     // all that moves.
-    use local_watermarks::core::attack::perturb_schedule;
+    use local_watermarks::core::attack::perturb_schedule_with;
+    use local_watermarks::prng::SplitMix64;
     let g = mediabench(&mediabench_apps()[2], 0);
     let wm = SchedulingWatermarker::new(SchedWmConfig::default());
     let sig = Signature::from_author("attack-semantics");
     let emb = wm.embed(&g, &sig).expect("embeds");
-    let (tampered, _) = perturb_schedule(&g, &emb.schedule, emb.available_steps, 500, 3);
+    let mut rng = SplitMix64::new(3);
+    let (tampered, _) =
+        perturb_schedule_with(&g, &emb.schedule, emb.available_steps, 500, &mut rng);
 
     let inputs = Inputs::seeded(7);
     let reference = interpret(&g, &inputs).expect("interprets");
