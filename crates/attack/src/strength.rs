@@ -207,34 +207,49 @@ pub fn strength_report_in(
     let baseline = wm.detect_in(&emb.schedule, ctx, sig, par)?;
     let baseline_length = emb.schedule.length();
     let base = SplitMix64::new(cfg.seed);
-    let mut cells = Vec::with_capacity(cfg.budgets.len() * AttackKind::ALL.len());
+    // Every `(budget, kind)` cell derives an independent sub-stream from
+    // the master seed alone — stable under reordering or extending the
+    // sweep grid — so the grid fans out over the engine pool and
+    // reassembles positionally. Detection inside a cell runs serial: the
+    // sweep is the parallel axis, and nesting pools would oversubscribe.
+    // Cell values (and therefore report bytes) are identical under every
+    // parallelism setting.
+    let grid: Vec<(u64, f64, AttackKind)> = cfg
+        .budgets
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, &budget)| {
+            AttackKind::ALL
+                .into_iter()
+                .map(move |kind| (bi as u64, budget, kind))
+        })
+        .collect();
+    let measured = localwm_engine::par_map(par, &grid, |_, &(bi, budget, kind)| {
+        let cell_seed = base.derive((bi << 8) | kind.index() as u64).next_u64();
+        let attack_cfg = AttackConfig {
+            kind,
+            budget,
+            seed: cell_seed,
+        };
+        let surface = attack_surface(kind, ctx, &emb);
+        let outcome = apply(surface, &emb.schedule, emb.available_steps, &attack_cfg);
+        measure(
+            &wm,
+            ctx,
+            sig,
+            Parallelism::Serial,
+            &outcome,
+            &attack_cfg,
+            baseline_length,
+        )
+    });
+    let mut cells = Vec::with_capacity(grid.len());
+    for cell in measured {
+        cells.push(cell?);
+    }
     let mut rows = Vec::with_capacity(cfg.budgets.len());
     for (bi, &budget) in cfg.budgets.iter().enumerate() {
-        let row_start = cells.len();
-        for kind in AttackKind::ALL {
-            // Independent per-cell stream: stable under reordering or
-            // extending the sweep grid.
-            let cell_seed = base
-                .derive(((bi as u64) << 8) | kind.index() as u64)
-                .next_u64();
-            let attack_cfg = AttackConfig {
-                kind,
-                budget,
-                seed: cell_seed,
-            };
-            let surface = attack_surface(kind, ctx, &emb);
-            let outcome = apply(surface, &emb.schedule, emb.available_steps, &attack_cfg);
-            cells.push(measure(
-                &wm,
-                ctx,
-                sig,
-                par,
-                &outcome,
-                &attack_cfg,
-                baseline_length,
-            )?);
-        }
-        let row_cells = &cells[row_start..];
+        let row_cells = &cells[bi * AttackKind::ALL.len()..(bi + 1) * AttackKind::ALL.len()];
         let n = row_cells.len() as f64;
         rows.push(BudgetRow {
             budget,
@@ -404,10 +419,18 @@ mod tests {
         let sig = Signature::from_author("strength-author");
         let a = strength_report_in(&ctx, &sig, Parallelism::Serial, &quick_cfg()).unwrap();
         let b = strength_report_in(&ctx, &sig, Parallelism::from_env(), &quick_cfg()).unwrap();
+        // Threads(3) forces a real fan-out of the sweep grid over the
+        // engine pool even on a single-core host.
+        let c = strength_report_in(&ctx, &sig, Parallelism::Threads(3), &quick_cfg()).unwrap();
         assert_eq!(a, b);
+        assert_eq!(a, c);
         assert_eq!(
             serde_json::to_string(&a.to_value()),
             serde_json::to_string(&b.to_value())
+        );
+        assert_eq!(
+            serde_json::to_string(&a.to_value()),
+            serde_json::to_string(&c.to_value())
         );
     }
 

@@ -74,11 +74,23 @@ fn main() {
     for (name, graph) in &designs {
         let ctx = DesignContext::new(graph.clone());
         // Warm-up embeds the design once (allocator, memoized builders),
-        // then the measured sweep runs end to end.
+        // then the measured sweeps run end to end.
         let _ = strength_report_in(&ctx, &sig, par, &cfg).expect("portfolio designs embed");
+        // The sweep grid fans out over the engine pool; measure it against
+        // the serial sweep and prove the parallel report is byte-identical
+        // (the per-cell RNG streams derive from the master seed alone).
+        let start = Instant::now();
+        let serial =
+            strength_report_in(&ctx, &sig, Parallelism::Serial, &cfg).expect("serial sweep");
+        let serial_ms = start.elapsed().as_nanos() as f64 / 1e6;
         let start = Instant::now();
         let report = strength_report_in(&ctx, &sig, par, &cfg).expect("portfolio designs embed");
         let ms = start.elapsed().as_nanos() as f64 / 1e6;
+        assert_eq!(
+            serde_json::to_string(&serial.to_value()),
+            serde_json::to_string(&report.to_value()),
+            "parallel sweep must be byte-identical to serial"
+        );
         rows.push(vec![
             format!("attack-sweep/{name}"),
             report.ops.to_string(),
@@ -101,6 +113,14 @@ fn main() {
             (
                 "sweep_ms".to_owned(),
                 Value::Float((ms * 10.0).round() / 10.0),
+            ),
+            (
+                "serial_sweep_ms".to_owned(),
+                Value::Float((serial_ms * 10.0).round() / 10.0),
+            ),
+            (
+                "parallel_speedup".to_owned(),
+                Value::Float(((serial_ms / ms) * 100.0).round() / 100.0),
             ),
         ]));
         reports.push(report);
@@ -138,8 +158,9 @@ fn main() {
          fraction 0.25, then every attack kind at every budget level with \
          re-detection, seed {SWEEP_SEED}) over {} design(s). The aggregate \
          rows are the corpus-wide robustness table — fully seeded, so they \
-         are byte-stable; sweep_ms is wall time on this host ({} CPU \
-         core(s)).",
+         are byte-stable; sweep_ms is the pool-parallel sweep's wall time \
+         and serial_sweep_ms the single-thread sweep's (byte-identical \
+         reports, asserted) on this host ({} CPU core(s)).",
         designs.len(),
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     );

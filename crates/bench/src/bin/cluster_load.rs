@@ -34,6 +34,7 @@ fn start_backend() -> ServerHandle {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind backend")
 }

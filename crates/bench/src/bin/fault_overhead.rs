@@ -75,6 +75,7 @@ fn start_server(fault_plan: Option<FaultPlan>) -> ServerHandle {
         fault_plan,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback")
 }

@@ -30,9 +30,7 @@ fn main() {
         matches.len()
     );
     let name = |n: localwm_cdfg::NodeId| -> String {
-        g.node(n)
-            .and_then(|x| x.name())
-            .map_or_else(|| n.to_string(), str::to_owned)
+        g.node_name(n).map_or_else(|| n.to_string(), str::to_owned)
     };
     let mut rows = Vec::new();
     for m in &matches {

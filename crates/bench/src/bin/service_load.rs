@@ -31,6 +31,7 @@ fn start_server(workers: usize) -> ServerHandle {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback")
 }

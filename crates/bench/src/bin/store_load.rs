@@ -44,6 +44,7 @@ fn start_server(store_dir: Option<&std::path::Path>) -> ServerHandle {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: store_dir.map(|d| d.to_str().expect("utf8 path").to_owned()),
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback")
 }

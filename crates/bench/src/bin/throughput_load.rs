@@ -1,0 +1,313 @@
+//! Request-path throughput benchmark: warm cache-hit `timing` requests
+//! over a loopback connection, serial (one call per round trip) vs
+//! pipelined at in-flight windows 1/4/8, plus allocations per warm
+//! request from the counting allocator (`--features alloc-count`).
+//!
+//! Writes `BENCH_throughput.json` (or `--out`) in the shape of the other
+//! `BENCH_*.json` reports. `--baseline <path>` embeds a previously
+//! captured run (the committed report carries the pre-optimization
+//! baseline this way, so the alloc-budget regression check and the
+//! README numbers both resolve from one file). `--quick` trims request
+//! counts for the CI lane and checks the two hot-path regressions: the
+//! window-8 pipelined lane must beat window-1, and warm-hit allocations
+//! must stay within 1.2x the recorded budget.
+
+use std::time::{Duration, Instant};
+
+use localwm_bench::report::render_table;
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::generators::{mediabench, mediabench_apps};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::{Client, Request, RequestKind, ServeConfig, ServerHandle};
+use serde::Value;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: localwm_engine::CountingAlloc = localwm_engine::CountingAlloc;
+
+fn start_server(workers: usize) -> ServerHandle {
+    localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth: 256,
+        cache_cap: 16,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+        store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
+    })
+    .expect("bind loopback")
+}
+
+fn timing_request(id: u64, design: &str) -> Request {
+    let mut r = Request::new(RequestKind::Timing);
+    r.id = Some(id);
+    r.design = Some(design.to_owned());
+    r
+}
+
+struct Lane {
+    name: String,
+    req_per_s: f64,
+    requests: usize,
+    allocs_per_req: Option<f64>,
+}
+
+/// Warm cache-hit serial lane: one request per round trip on one kept
+/// connection. Returns (req/s, allocations per request) — the alloc
+/// column is `None` without the `alloc-count` feature.
+fn serial_lane(addr: &str, design: &str, requests: usize) -> (f64, Option<f64>) {
+    let mut c = Client::connect_within(addr, Duration::from_secs(5)).expect("connect");
+    for _ in 0..3 {
+        assert!(c.call(&timing_request(1, design)).expect("warmup").ok);
+    }
+    #[cfg(feature = "alloc-count")]
+    let before = localwm_engine::alloc_stats();
+    let start = Instant::now();
+    for _ in 0..requests {
+        assert!(c.call(&timing_request(1, design)).expect("request").ok);
+    }
+    let elapsed = start.elapsed();
+    #[cfg(feature = "alloc-count")]
+    let allocs = {
+        let delta = localwm_engine::alloc_stats().delta(&before);
+        Some(delta.allocs as f64 / requests as f64)
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let allocs = None;
+    (requests as f64 / elapsed.as_secs_f64(), allocs)
+}
+
+/// Warm-repeat lane: the `--repeat N` warm path through
+/// [`Client::call_repeated`] — one request serialized once, responses
+/// read back-to-back on the kept-alive connection. This is the lane the
+/// allocation budget is recorded against.
+fn repeat_lane(addr: &str, design: &str, requests: usize) -> (f64, Option<f64>) {
+    let mut c = Client::connect_within(addr, Duration::from_secs(5)).expect("connect");
+    let req = timing_request(1, design);
+    let _ = c.call_repeated(&req, 3).expect("warmup");
+    #[cfg(feature = "alloc-count")]
+    let before = localwm_engine::alloc_stats();
+    let start = Instant::now();
+    let (last, latencies) = c.call_repeated(&req, requests).expect("repeat");
+    let elapsed = start.elapsed();
+    assert!(last.ok, "repeat request failed: {:?}", last.error);
+    assert_eq!(latencies.len(), requests);
+    #[cfg(feature = "alloc-count")]
+    let allocs = {
+        let delta = localwm_engine::alloc_stats().delta(&before);
+        Some(delta.allocs as f64 / requests as f64)
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let allocs = None;
+    (requests as f64 / elapsed.as_secs_f64(), allocs)
+}
+
+/// Pipelined lane at a fixed in-flight `window`: bursts of identical warm
+/// `timing` requests (distinct ids) sent through `call_pipelined`, which
+/// keeps `window` requests in flight on the wire per round trip.
+fn pipelined_lane(addr: &str, design: &str, requests: usize, window: usize) -> f64 {
+    let mut c = Client::connect_within(addr, Duration::from_secs(5)).expect("connect");
+    for _ in 0..3 {
+        assert!(c.call(&timing_request(1, design)).expect("warmup").ok);
+    }
+    let bursts = requests / window;
+    // Batches are built outside the timed region: the lane measures the
+    // wire and server, and both window sizes get the same treatment.
+    let batches: Vec<Vec<Request>> = (0..bursts)
+        .map(|b| {
+            (0..window)
+                .map(|i| timing_request((b * window + i) as u64, design))
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    for batch in &batches {
+        let responses = c.call_pipelined(batch).expect("pipelined burst");
+        assert_eq!(responses.len(), window);
+        for (i, resp) in responses.iter().enumerate() {
+            assert!(resp.ok, "pipelined request failed: {:?}", resp.error);
+            assert_eq!(resp.id, batch[i].id, "responses arrive in request order");
+        }
+    }
+    let elapsed = start.elapsed();
+    (bursts * window) as f64 / elapsed.as_secs_f64()
+}
+
+/// A previously captured report to embed as the baseline section.
+fn load_baseline(path: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str::<Value>(&text).ok()
+}
+
+/// `benchmarks[name].{req_per_s, allocs_per_request}` out of a report doc.
+fn lane_stat(doc: &Value, name: &str, field: &str) -> Option<f64> {
+    let Some(Value::Array(entries)) = doc.field("benchmarks") else {
+        return None;
+    };
+    entries
+        .iter()
+        .find(|e| matches!(e.field("name"), Some(Value::Str(s)) if s == name))
+        .and_then(|e| match e.field(field) {
+            Some(Value::Float(f)) => Some(*f),
+            Some(Value::Int(i)) => Some(*i as f64),
+            _ => None,
+        })
+}
+
+fn main() {
+    let mut quick = false;
+    let mut serial_only = false;
+    let mut out_path = "BENCH_throughput.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--serial-only" => serial_only = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                panic!("unknown argument {other} (expected --quick/--serial-only/--out/--baseline)")
+            }
+        }
+    }
+    let requests = if quick { 400 } else { 4000 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let apps = mediabench_apps();
+    let designs = [
+        ("iir4", write_cdfg(&iir4_parallel())),
+        ("mediabench-0", write_cdfg(&mediabench(&apps[0], 0))),
+    ];
+
+    let handle = start_server(2);
+    let addr = handle.addr().to_string();
+    let mut lanes: Vec<Lane> = Vec::new();
+    for (tag, design) in &designs {
+        let (rps, allocs) = serial_lane(&addr, design, requests);
+        lanes.push(Lane {
+            name: format!("serve/throughput/{tag}/serial"),
+            req_per_s: rps,
+            requests,
+            allocs_per_req: allocs,
+        });
+        let (rps, allocs) = repeat_lane(&addr, design, requests);
+        lanes.push(Lane {
+            name: format!("serve/throughput/{tag}/repeat"),
+            req_per_s: rps,
+            requests,
+            allocs_per_req: allocs,
+        });
+        if serial_only {
+            continue;
+        }
+        for window in [1usize, 4, 8] {
+            let rps = pipelined_lane(&addr, design, requests, window);
+            lanes.push(Lane {
+                name: format!("serve/throughput/{tag}/pipelined/w{window}"),
+                req_per_s: rps,
+                requests,
+                allocs_per_req: None,
+            });
+        }
+    }
+    handle.shutdown();
+
+    let rows: Vec<Vec<String>> = lanes
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                format!("{:.0}", l.req_per_s),
+                l.allocs_per_req
+                    .map_or_else(|| "-".to_owned(), |a| format!("{a:.1}")),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["benchmark", "req/s", "allocs/req"], &rows)
+    );
+
+    let entries: Vec<Value> = lanes
+        .iter()
+        .map(|l| {
+            let mut fields = vec![
+                ("name".to_owned(), Value::Str(l.name.clone())),
+                (
+                    "req_per_s".to_owned(),
+                    Value::Float((l.req_per_s * 10.0).round() / 10.0),
+                ),
+                ("requests".to_owned(), Value::Int(l.requests as i64)),
+            ];
+            if let Some(a) = l.allocs_per_req {
+                fields.push((
+                    "allocs_per_request".to_owned(),
+                    Value::Float((a * 10.0).round() / 10.0),
+                ));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    let note = format!(
+        "throughput_load: warm cache-hit timing requests over one loopback \
+         connection, {requests} requests per lane, 2 workers; serial = one \
+         call per round trip, pipelined/wN = call_pipelined bursts with N \
+         requests in flight (distinct ids, so w>1 lanes also exercise \
+         single-flight coalescing of identical warm work); allocs/request = \
+         process-wide counting-allocator delta over the serial lane (client \
+         and server share the process, so the number covers the whole \
+         request path); host had {cores} CPU core(s)"
+    );
+    let mut doc_fields = vec![
+        ("note".to_owned(), Value::Str(note)),
+        ("benchmarks".to_owned(), Value::Array(entries)),
+    ];
+    let baseline_doc = baseline_path.as_deref().and_then(load_baseline);
+    if let Some(b) = &baseline_doc {
+        doc_fields.push(("baseline".to_owned(), b.clone()));
+    }
+    let doc = Value::Object(doc_fields);
+    let json = serde_json::to_string_pretty(&doc).expect("render json");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+
+    // Regression gates (CI `--quick` lane): pipelining must win, and the
+    // warm hot path must stay inside its recorded allocation budget.
+    if quick && !serial_only {
+        let iir_w8 = lanes
+            .iter()
+            .find(|l| l.name == "serve/throughput/iir4/pipelined/w8")
+            .expect("w8 lane");
+        let iir_w1 = lanes
+            .iter()
+            .find(|l| l.name == "serve/throughput/iir4/pipelined/w1")
+            .expect("w1 lane");
+        if iir_w8.req_per_s < iir_w1.req_per_s {
+            eprintln!(
+                "REGRESSION: pipelined w8 ({:.0} req/s) slower than w1 ({:.0} req/s)",
+                iir_w8.req_per_s, iir_w1.req_per_s
+            );
+            std::process::exit(1);
+        }
+    }
+    if let (Some(b), Some(measured)) = (
+        &baseline_doc,
+        lanes
+            .iter()
+            .find(|l| l.name == "serve/throughput/iir4/repeat")
+            .and_then(|l| l.allocs_per_req),
+    ) {
+        if let Some(budget) = lane_stat(b, "serve/throughput/iir4/repeat", "allocs_per_request") {
+            if measured > budget * 1.2 {
+                eprintln!(
+                    "REGRESSION: {measured:.1} allocs/request exceeds the \
+                     recorded budget {budget:.1} by more than 20%"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -28,7 +28,7 @@ impl Cdfg {
         let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
         for id in self.node_ids() {
             let node = self.node(id).expect("id in range");
-            let label = match node.name() {
+            let label = match self.node_name(id) {
                 Some(n) => format!("{n}\\n{}", node.kind()),
                 None => format!("{id}\\n{}", node.kind()),
             };

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{CdfgError, EdgeId, NodeId, OpKind};
+use crate::{CdfgError, EdgeId, NodeId, OpKind, StrArena, Sym};
 
 /// The kind of a CDFG edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,10 +31,14 @@ impl EdgeKind {
 }
 
 /// A CDFG node: one operation.
+///
+/// Names are interned: a node stores an optional [`Sym`] into its graph's
+/// [`StrArena`]; resolve it through [`Cdfg::node_name`] (or
+/// [`Cdfg::sym_str`]) rather than the node alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     kind: OpKind,
-    name: Option<String>,
+    name: Option<Sym>,
     literal: Option<i64>,
 }
 
@@ -44,10 +48,12 @@ impl Node {
         self.kind
     }
 
-    /// The optional human-readable name (e.g. `A5`, `C3` in the paper's IIR
-    /// example).
-    pub fn name(&self) -> Option<&str> {
-        self.name.as_deref()
+    /// The interned symbol of the node's optional human-readable name
+    /// (e.g. `A5`, `C3` in the paper's IIR example); resolve it with
+    /// [`Cdfg::sym_str`] on the owning graph, or use [`Cdfg::node_name`]
+    /// directly.
+    pub fn name_sym(&self) -> Option<Sym> {
+        self.name
     }
 
     /// The literal attached to the node: the value of a `Const`, or the
@@ -110,7 +116,10 @@ pub struct Cdfg {
     edges: Vec<Option<Edge>>,
     out_edges: Vec<Vec<EdgeId>>,
     in_edges: Vec<Vec<EdgeId>>,
-    names: HashMap<String, NodeId>,
+    /// All node names, interned once each.
+    arena: StrArena,
+    /// Name symbol → node. Keys resolve through `arena`.
+    names: HashMap<Sym, NodeId>,
 }
 
 impl Cdfg {
@@ -126,6 +135,7 @@ impl Cdfg {
             edges: Vec::with_capacity(edges),
             out_edges: Vec::with_capacity(nodes),
             in_edges: Vec::with_capacity(nodes),
+            arena: StrArena::new(),
             names: HashMap::new(),
         }
     }
@@ -177,7 +187,7 @@ impl Cdfg {
     ///
     /// Panics if the name is already taken; use [`Cdfg::try_add_named_node`]
     /// for a fallible variant.
-    pub fn add_named_node(&mut self, kind: OpKind, name: impl Into<String>) -> NodeId {
+    pub fn add_named_node(&mut self, kind: OpKind, name: impl AsRef<str>) -> NodeId {
         self.try_add_named_node(kind, name)
             .expect("duplicate node name")
     }
@@ -190,17 +200,20 @@ impl Cdfg {
     pub fn try_add_named_node(
         &mut self,
         kind: OpKind,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
     ) -> Result<NodeId, CdfgError> {
-        let name = name.into();
-        if self.names.contains_key(&name) {
-            return Err(CdfgError::DuplicateName(name));
+        let name = name.as_ref();
+        // Every interned symbol belongs to exactly one named node, so a
+        // lookup hit *is* the duplicate check.
+        if self.arena.lookup(name).is_some() {
+            return Err(CdfgError::DuplicateName(name.to_owned()));
         }
+        let sym = self.arena.intern(name);
         let id = NodeId::from_index(self.nodes.len());
-        self.names.insert(name.clone(), id);
+        self.names.insert(sym, id);
         self.nodes.push(Node {
             kind,
-            name: Some(name),
+            name: Some(sym),
             literal: None,
         });
         self.out_edges.push(Vec::new());
@@ -210,7 +223,28 @@ impl Cdfg {
 
     /// Looks a node up by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names.get(name).copied()
+        let sym = self.arena.lookup(name)?;
+        self.names.get(&sym).copied()
+    }
+
+    /// The name of a node, resolved through the graph's intern arena;
+    /// `None` for anonymous nodes and out-of-range ids.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.nodes
+            .get(id.index())
+            .and_then(|n| n.name)
+            .map(|s| self.arena.get(s))
+    }
+
+    /// Resolves an interned name symbol (from [`Node::name_sym`]) against
+    /// this graph's arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol came from a different graph and is out of
+    /// range there (see [`StrArena::get`]).
+    pub fn sym_str(&self, sym: Sym) -> &str {
+        self.arena.get(sym)
     }
 
     /// Returns the node payload, or `None` for an out-of-range id.
@@ -499,7 +533,7 @@ impl Cdfg {
 /// deserialization.
 #[cfg(feature = "serde")]
 mod serde_impls {
-    use super::{Cdfg, Edge, EdgeKind, Node};
+    use super::{Cdfg, Edge, EdgeKind};
     use crate::EdgeId;
     use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -532,30 +566,6 @@ mod serde_impls {
         }
     }
 
-    impl Serialize for Node {
-        fn to_value(&self) -> Value {
-            Value::Object(vec![
-                ("kind".to_owned(), self.kind.to_value()),
-                ("name".to_owned(), self.name.to_value()),
-                ("literal".to_owned(), self.literal.to_value()),
-            ])
-        }
-    }
-
-    impl Deserialize for Node {
-        fn from_value(v: &Value) -> Result<Self, DeError> {
-            let field = |name: &str| {
-                v.field(name)
-                    .ok_or_else(|| DeError::msg(format!("node missing `{name}`")))
-            };
-            Ok(Node {
-                kind: Deserialize::from_value(field("kind")?)?,
-                name: Deserialize::from_value(field("name")?)?,
-                literal: Deserialize::from_value(field("literal")?)?,
-            })
-        }
-    }
-
     impl Serialize for Edge {
         fn to_value(&self) -> Value {
             Value::Object(vec![
@@ -582,8 +592,28 @@ mod serde_impls {
 
     impl Serialize for Cdfg {
         fn to_value(&self) -> Value {
+            // Nodes serialize inline (not via a `Serialize for Node`) so
+            // interned name symbols resolve through the arena; the bytes
+            // are identical to the former `Option<String>` field.
+            let nodes: Vec<Value> = self
+                .nodes
+                .iter()
+                .map(|n| {
+                    Value::Object(vec![
+                        ("kind".to_owned(), n.kind.to_value()),
+                        (
+                            "name".to_owned(),
+                            match n.name {
+                                Some(sym) => Value::Str(self.arena.get(sym).to_owned()),
+                                None => Value::Null,
+                            },
+                        ),
+                        ("literal".to_owned(), n.literal.to_value()),
+                    ])
+                })
+                .collect();
             Value::Object(vec![
-                ("nodes".to_owned(), self.nodes.to_value()),
+                ("nodes".to_owned(), Value::Array(nodes)),
                 ("edges".to_owned(), self.edges.to_value()),
             ])
         }
@@ -591,33 +621,37 @@ mod serde_impls {
 
     impl Deserialize for Cdfg {
         fn from_value(v: &Value) -> Result<Self, DeError> {
-            let nodes: Vec<Node> = Deserialize::from_value(
-                v.field("nodes")
-                    .ok_or_else(|| DeError::msg("cdfg missing `nodes`"))?,
-            )?;
+            let Some(Value::Array(nodes_v)) = v.field("nodes") else {
+                return Err(DeError::msg("cdfg missing `nodes`"));
+            };
             let edges: Vec<Option<Edge>> = Deserialize::from_value(
                 v.field("edges")
                     .ok_or_else(|| DeError::msg("cdfg missing `edges`"))?,
             )?;
-            let mut g = Cdfg {
-                nodes,
-                edges,
-                out_edges: Vec::new(),
-                in_edges: Vec::new(),
-                names: std::collections::HashMap::new(),
-            };
-            g.out_edges = vec![Vec::new(); g.nodes.len()];
-            g.in_edges = vec![Vec::new(); g.nodes.len()];
-            for (ni, n) in g.nodes.iter().enumerate() {
-                if let Some(name) = &n.name {
-                    if g.names
-                        .insert(name.clone(), crate::NodeId::from_index(ni))
-                        .is_some()
-                    {
-                        return Err(DeError::msg(format!("duplicate node name `{name}`")));
+            let mut g = Cdfg::with_capacity(nodes_v.len(), edges.len());
+            for nv in nodes_v {
+                let field = |name: &str| {
+                    nv.field(name)
+                        .ok_or_else(|| DeError::msg(format!("node missing `{name}`")))
+                };
+                let kind = Deserialize::from_value(field("kind")?)?;
+                let id = match field("name")? {
+                    Value::Null => g.add_node(kind),
+                    Value::Str(name) => g
+                        .try_add_named_node(kind, name)
+                        .map_err(|_| DeError::msg(format!("duplicate node name `{name}`")))?,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected node-name string or null, got {other:?}"
+                        )))
                     }
+                };
+                let literal: Option<i64> = Deserialize::from_value(field("literal")?)?;
+                if let Some(lit) = literal {
+                    g.set_literal(id, lit);
                 }
             }
+            g.edges = edges;
             for (ei, e) in g.edges.iter().enumerate() {
                 let Some(e) = e else { continue };
                 if e.src.index() >= g.nodes.len() || e.dst.index() >= g.nodes.len() {
@@ -725,7 +759,9 @@ mod tests {
         let mut g = Cdfg::new();
         let a = g.add_named_node(OpKind::Add, "A1");
         assert_eq!(g.node_by_name("A1"), Some(a));
-        assert_eq!(g.node(a).unwrap().name(), Some("A1"));
+        assert_eq!(g.node_name(a), Some("A1"));
+        let sym = g.node(a).unwrap().name_sym().expect("named");
+        assert_eq!(g.sym_str(sym), "A1");
         assert!(g.try_add_named_node(OpKind::Add, "A1").is_err());
     }
 

@@ -1,0 +1,176 @@
+//! Per-design string interning: [`StrArena`] + [`Sym`].
+//!
+//! Node names used to be `Option<String>` on every [`Node`](crate::Node) —
+//! one heap string per named node, plus a second copy in the graph's
+//! name-lookup index. A [`Cdfg`](crate::Cdfg) now owns one [`StrArena`]:
+//! all names live concatenated in a single growable buffer, a node stores
+//! a [`Sym`] (a `u32` span index), and the lookup index maps name hashes
+//! to symbols. Construction of an N-node design therefore does O(N)
+//! *amortized* small allocations (buffer and span-table growth) instead of
+//! two `String` allocations per name, and cloning a graph clones three
+//! flat buffers instead of N strings.
+//!
+//! Interning is deduplicating: the same spelling interns to the same
+//! `Sym`, so symbol equality is name equality *within one arena*. Symbols
+//! are meaningless across arenas — resolve through the owning graph
+//! ([`Cdfg::node_name`](crate::Cdfg::node_name)) before comparing across
+//! designs. Round-trips are exact: the arena stores the bytes it was
+//! given, so `intern` → [`StrArena::get`] returns the identical string
+//! and textfmt/DOT/serde output is byte-identical to the `String`-field
+//! representation.
+
+use std::collections::HashMap;
+
+/// An interned string: a dense index into its owning [`StrArena`].
+///
+/// `Sym`s are only meaningful against the arena that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense arena index of this symbol.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deduplicating append-only string arena; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct StrArena {
+    /// Every interned string, concatenated.
+    buf: String,
+    /// `(start, end)` byte span of each symbol in `buf`.
+    spans: Vec<(u32, u32)>,
+    /// FNV-1a name hash → symbols with that hash (almost always one; the
+    /// chain exists only for hash collisions, resolved by comparing bytes).
+    index: HashMap<u64, Vec<Sym>>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl StrArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many distinct strings are interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Interns `s`, returning the existing symbol when the same spelling
+    /// was interned before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena exceeds `u32::MAX` bytes or symbols (designs
+    /// are orders of magnitude smaller).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        let h = fnv1a(s.as_bytes());
+        if let Some(chain) = self.index.get(&h) {
+            for &sym in chain {
+                if self.get(sym) == s {
+                    return sym;
+                }
+            }
+        }
+        let start = u32::try_from(self.buf.len()).expect("arena byte overflow");
+        self.buf.push_str(s);
+        let end = u32::try_from(self.buf.len()).expect("arena byte overflow");
+        let sym = Sym(u32::try_from(self.spans.len()).expect("arena symbol overflow"));
+        self.spans.push((start, end));
+        self.index.entry(h).or_default().push(sym);
+        sym
+    }
+
+    /// The symbol `s` interns to, if it was interned.
+    #[must_use]
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        let chain = self.index.get(&fnv1a(s.as_bytes()))?;
+        chain.iter().copied().find(|&sym| self.get(sym) == s)
+    }
+
+    /// Resolves a symbol to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a symbol from a different arena whose index is out of
+    /// range (an in-range foreign symbol resolves to the *wrong* string —
+    /// symbols must stay with their arena).
+    #[must_use]
+    pub fn get(&self, sym: Sym) -> &str {
+        let (start, end) = self.spans[sym.index()];
+        &self.buf[start as usize..end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trips_exact_bytes() {
+        let mut a = StrArena::new();
+        let s1 = a.intern("A9");
+        let s2 = a.intern("C3@2");
+        let s3 = a.intern("");
+        assert_eq!(a.get(s1), "A9");
+        assert_eq!(a.get(s2), "C3@2");
+        assert_eq!(a.get(s3), "");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut a = StrArena::new();
+        let s1 = a.intern("A9");
+        let s2 = a.intern("A9");
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.lookup("A9"), Some(s1));
+        assert_eq!(a.lookup("A8"), None);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut a = StrArena::new();
+        let mut syms = Vec::new();
+        for i in 0..100 {
+            syms.push(a.intern(&format!("n{i}")));
+        }
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(a.get(s), format!("n{i}"));
+        }
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn prefix_and_concat_confusions_are_impossible() {
+        // "ab" then "a": the second is not a prefix-hit on the first's
+        // span, and "b" was never interned even though its bytes exist.
+        let mut a = StrArena::new();
+        let ab = a.intern("ab");
+        let just_a = a.intern("a");
+        assert_ne!(ab, just_a);
+        assert_eq!(a.get(ab), "ab");
+        assert_eq!(a.get(just_a), "a");
+        assert_eq!(a.lookup("b"), None);
+    }
+}

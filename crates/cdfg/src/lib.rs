@@ -45,6 +45,7 @@ mod dot;
 mod error;
 mod graph;
 mod id;
+mod intern;
 mod op;
 mod textfmt;
 mod topo;
@@ -59,6 +60,7 @@ pub use csr::Csr;
 pub use error::CdfgError;
 pub use graph::{Cdfg, Edge, EdgeKind, Node};
 pub use id::{EdgeId, NodeId};
+pub use intern::{StrArena, Sym};
 pub use op::OpKind;
 pub use textfmt::{parse_cdfg, write_cdfg};
 pub use topo::{topo_order, TopoError};

@@ -29,28 +29,33 @@ use crate::{Cdfg, CdfgError, OpKind};
 /// # Ok::<(), localwm_cdfg::CdfgError>(())
 /// ```
 pub fn write_cdfg(g: &Cdfg) -> String {
+    use std::fmt::Write as _;
     let mut out = String::new();
-    let name_of = |id: crate::NodeId| -> String {
-        match g.node(id).and_then(|n| n.name()) {
-            Some(n) => n.to_owned(),
-            None => format!("n{}", id.index()),
+    // Names resolve straight out of the intern arena; anonymous nodes
+    // render their synthetic name in place — no per-name String.
+    let push_name = |out: &mut String, id: crate::NodeId| match g.node_name(id) {
+        Some(n) => out.push_str(n),
+        None => {
+            let _ = write!(out, "n{}", id.index());
         }
     };
     for id in g.node_ids() {
         let node = g.node(id).expect("id in range");
-        out.push_str(&format!("node {} {}\n", name_of(id), node.kind()));
+        out.push_str("node ");
+        push_name(&mut out, id);
+        let _ = writeln!(out, " {}", node.kind());
     }
     for e in g.edges() {
         let tag = match e.kind() {
-            crate::EdgeKind::Data => "data",
-            crate::EdgeKind::Control => "ctrl",
-            crate::EdgeKind::Temporal => "temp",
+            crate::EdgeKind::Data => "data ",
+            crate::EdgeKind::Control => "ctrl ",
+            crate::EdgeKind::Temporal => "temp ",
         };
-        out.push_str(&format!(
-            "{tag} {} {}\n",
-            name_of(e.src()),
-            name_of(e.dst())
-        ));
+        out.push_str(tag);
+        push_name(&mut out, e.src());
+        out.push(' ');
+        push_name(&mut out, e.dst());
+        out.push('\n');
     }
     out
 }

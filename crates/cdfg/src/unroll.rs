@@ -49,10 +49,7 @@ pub fn unroll(g: &Cdfg, k: usize) -> Result<Cdfg, CdfgError> {
     let state_inputs: Vec<NodeId> = g
         .node_ids()
         .filter(|&n| {
-            g.kind(n) == OpKind::Input
-                && g.node(n)
-                    .and_then(|x| x.name())
-                    .is_some_and(|name| name.starts_with('s'))
+            g.kind(n) == OpKind::Input && g.node_name(n).is_some_and(|name| name.starts_with('s'))
         })
         .collect();
     let paired = delays.len().min(state_inputs.len());
@@ -73,7 +70,7 @@ pub fn unroll(g: &Cdfg, k: usize) -> Result<Cdfg, CdfgError> {
             if j > 0 && state_inputs[..paired].contains(&n) {
                 continue;
             }
-            let new = match g.node(n).and_then(|x| x.name()) {
+            let new = match g.node_name(n) {
                 Some(name) => out.try_add_named_node(kind, format!("{name}@{j}"))?,
                 None => out.add_node(kind),
             };
@@ -187,10 +184,7 @@ mod tests {
         let state_inputs = u
             .node_ids()
             .filter(|&n| {
-                u.kind(n) == OpKind::Input
-                    && u.node(n)
-                        .and_then(|x| x.name())
-                        .is_some_and(|m| m.starts_with('s'))
+                u.kind(n) == OpKind::Input && u.node_name(n).is_some_and(|m| m.starts_with('s'))
             })
             .count();
         assert_eq!(state_inputs, 4, "only the first copy keeps state inputs");

@@ -335,10 +335,7 @@ fn simulate(args: &[String]) -> CliResult {
     let trace = interpret_in(&ctx, &Inputs::seeded(seed)).map_err(|e| e.to_string())?;
     println!("# outputs (seed {seed})");
     for (n, v) in trace.outputs(g) {
-        let name = g
-            .node(n)
-            .and_then(|x| x.name().map(str::to_owned))
-            .unwrap_or_else(|| n.to_string());
+        let name = g.node_name(n).map_or_else(|| n.to_string(), str::to_owned);
         println!("{name} = {v}");
     }
     Ok(())
@@ -410,10 +407,7 @@ fn analyze(args: &[String]) -> CliResult {
         report.delay_quantile(0.95)
     );
     for &(p, n) in hot.iter().take(5) {
-        let name = g
-            .node(n)
-            .and_then(|x| x.name().map(str::to_owned))
-            .unwrap_or_else(|| n.to_string());
+        let name = g.node_name(n).map_or_else(|| n.to_string(), str::to_owned);
         println!("  {name:<12} critical in {:.0}% of samples", 100.0 * p);
     }
 

@@ -1,0 +1,94 @@
+//! A counting global allocator for allocation-budget regression tests.
+//!
+//! [`CountingAlloc`] wraps [`System`] and counts every `alloc` /
+//! `realloc` / `alloc_zeroed` call (and the bytes they request) in
+//! process-wide relaxed atomics. The type exists behind the `alloc-count`
+//! feature and is **not** registered by this crate: each binary or test
+//! that wants counting declares its own
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: localwm_engine::CountingAlloc = localwm_engine::CountingAlloc;
+//! ```
+//!
+//! so enabling the feature never changes a build that didn't opt in, and
+//! two crates can't fight over the registration. Counter reads are
+//! snapshots ([`alloc_stats`]): the hot-path budget tests take a snapshot,
+//! run N warm requests, take another, and assert on the per-request delta
+//! ([`AllocStats::delta`]). Counters are process-wide — every thread's
+//! allocations land in the same totals — which is exactly what a
+//! "whole request path, client and server included" budget wants.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed global allocator that counts calls and bytes.
+/// Register it with `#[global_allocator]` in the binary under test.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is one allocator round-trip; count the grown size so
+        // byte totals reflect what the program asked for, not the delta.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// A snapshot of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocator calls that handed out memory (`alloc`, `alloc_zeroed`,
+    /// `realloc`).
+    pub allocs: u64,
+    /// `dealloc` calls.
+    pub frees: u64,
+    /// Total bytes requested across counted calls.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// The counter movement since an `earlier` snapshot.
+    #[must_use]
+    pub fn delta(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// The current process-wide counters. Zeros until a binary registers
+/// [`CountingAlloc`] as its global allocator.
+#[must_use]
+pub fn alloc_stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}

@@ -150,6 +150,7 @@ struct Caches {
     fanin: Mutex<FaninCache>,
     bounded: Mutex<HashMap<u64, Arc<BoundedArrival>>>,
     stale_bounded: Mutex<Vec<StaleArrival>>,
+    possibly: Mutex<HashMap<u64, Arc<Vec<NodeId>>>>,
     content: OnceLock<u64>,
 }
 
@@ -508,12 +509,22 @@ impl DesignContext {
     ///
     /// Panics if the graph is cyclic.
     pub fn bounded_arrival<M: DelayBounds + ?Sized>(&self, model: &M) -> Arc<BoundedArrival> {
+        let key = self.model_fingerprint(model);
+        {
+            let cache = self.caches.bounded.lock().expect("bounded cache lock");
+            if let Some(a) = cache.get(&key) {
+                self.probe.counter("engine.bounded.hit", 1);
+                return Arc::clone(a);
+            }
+        }
+        // Miss: materialize the per-node bounds once for the patch probe
+        // and the from-scratch sweep. (The hit path above never allocates
+        // — the fingerprint streams over the model.)
         let bounds: Vec<DelayInterval> = self
             .graph
             .node_ids()
             .map(|n| model.bounds(&self.graph, n))
             .collect();
-        let key = fingerprint(&bounds);
         let mut cache = self.caches.bounded.lock().expect("bounded cache lock");
         if let Some(a) = cache.get(&key) {
             self.probe.counter("engine.bounded.hit", 1);
@@ -611,6 +622,28 @@ impl DesignContext {
     ///
     /// Panics if the graph is cyclic.
     pub fn possibly_critical<M: DelayBounds + ?Sized>(&self, model: &M) -> Vec<NodeId> {
+        (*self.possibly_critical_shared(model)).clone()
+    }
+
+    /// [`DesignContext::possibly_critical`] as a shared, memoized set:
+    /// repeated queries under the same model (the serve hot path asks per
+    /// request) hit the cache and pay one `Arc` clone instead of a full
+    /// slack sweep. Keyed by the same per-node bounds fingerprint as the
+    /// arrival cache; invalidated by mutation alongside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn possibly_critical_shared<M: DelayBounds + ?Sized>(&self, model: &M) -> Arc<Vec<NodeId>> {
+        let key = self.model_fingerprint(model);
+        {
+            let cache = self.caches.possibly.lock().expect("possibly cache lock");
+            if let Some(set) = cache.get(&key) {
+                self.probe.counter("engine.possibly.hit", 1);
+                return Arc::clone(set);
+            }
+        }
+        self.probe.counter("engine.possibly.miss", 1);
         let arr = self.bounded_arrival(model);
         let bounds: Vec<DelayInterval> = self
             .graph
@@ -618,7 +651,39 @@ impl DesignContext {
             .map(|n| model.bounds(&self.graph, n))
             .collect();
         let (preds, succs) = self.csr_pair();
-        possibly_critical_with_csr(self.topo(), preds, succs, &bounds, &arr)
+        let set = Arc::new(possibly_critical_with_csr(
+            self.topo(),
+            preds,
+            succs,
+            &bounds,
+            &arr,
+        ));
+        self.caches
+            .possibly
+            .lock()
+            .expect("possibly cache lock")
+            .insert(key, Arc::clone(&set));
+        set
+    }
+
+    /// The bounds fingerprint [`fingerprint`] would produce for `model`'s
+    /// per-node intervals, computed by streaming over the graph instead of
+    /// materializing the interval vector. Cache keys for the arrival and
+    /// possibly-critical caches come from here on their hit paths.
+    fn model_fingerprint<M: DelayBounds + ?Sized>(&self, model: &M) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for n in self.graph.node_ids() {
+            let i = model.bounds(&self.graph, n);
+            mix(i.lo);
+            mix(i.hi);
+        }
+        h
     }
 
     /// A stable content hash of the design: FNV-1a over the canonical
@@ -740,6 +805,11 @@ impl DesignContext {
         self.caches.windows.get_mut().expect("windows lock").clear();
         self.caches.levels.get_mut().expect("levels lock").clear();
         self.caches.fanin.get_mut().expect("fanin lock").clear();
+        self.caches
+            .possibly
+            .get_mut()
+            .expect("possibly lock")
+            .clear();
         let _ = self.caches.content.take();
 
         let topo_cached = self.caches.topo.take();

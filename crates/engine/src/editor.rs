@@ -85,7 +85,7 @@ impl<'g> DesignEditor<'g> {
     /// # Panics
     ///
     /// Panics if the name is already taken.
-    pub fn add_named_node(&mut self, kind: OpKind, name: impl Into<String>) -> NodeId {
+    pub fn add_named_node(&mut self, kind: OpKind, name: impl AsRef<str>) -> NodeId {
         let id = self.graph.add_named_node(kind, name);
         self.log.edits.push(EditRecord::NodeAdded(id));
         id
@@ -100,7 +100,7 @@ impl<'g> DesignEditor<'g> {
     pub fn try_add_named_node(
         &mut self,
         kind: OpKind,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
     ) -> Result<NodeId, CdfgError> {
         let id = self.graph.try_add_named_node(kind, name)?;
         self.log.edits.push(EditRecord::NodeAdded(id));

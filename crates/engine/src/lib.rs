@@ -39,6 +39,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+mod allocstats;
 mod bounded;
 mod context;
 mod delay;
@@ -48,6 +50,8 @@ mod pool;
 mod probe;
 mod unit;
 
+#[cfg(feature = "alloc-count")]
+pub use allocstats::{alloc_stats, AllocStats, CountingAlloc};
 pub use bounded::{
     bounded_arrival, bounded_arrival_with_csr, bounded_arrival_with_order, bounded_critical_path,
     possibly_critical, possibly_critical_with_arrival, possibly_critical_with_csr, BoundedArrival,

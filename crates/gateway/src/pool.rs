@@ -163,6 +163,25 @@ impl Backend {
         Ok(resp)
     }
 
+    /// A pipelined upstream exchange: checkout (or dial), forward every
+    /// line verbatim in one buffered write, read the response lines back
+    /// in request order, park the connection. One round trip for the whole
+    /// burst — the serve side's ordered writer guarantees response `i`
+    /// answers line `i`. Like [`Backend::exchange`], counters are the
+    /// caller's job.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure; the connection involved is discarded, never
+    /// re-pooled, and responses already read are lost — the caller falls
+    /// back to routing each line individually.
+    pub fn exchange_many(&self, lines: &[&str], recv_timeout: Duration) -> io::Result<Vec<String>> {
+        let mut client = self.checkout(recv_timeout)?;
+        let responses = client.pipeline_lines(lines)?;
+        self.checkin(client);
+        Ok(responses)
+    }
+
     /// Marks the outcome of upstream contact for health bookkeeping.
     pub fn mark(&self, reachable: bool, probe: bool) {
         self.healthy.store(reachable, Ordering::SeqCst);

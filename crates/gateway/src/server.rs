@@ -18,6 +18,17 @@
 //! 5. Only when every candidate is exhausted does the client get a typed
 //!    `upstream_unavailable` error listing the backends tried — an
 //!    accepted request is always answered, never silently dropped.
+//!
+//! A pipelining client gets the **burst relay**: complete request lines
+//! the client already buffered join the current line as one burst (capped
+//! at [`MAX_BURST`], never blocking), and consecutive data requests in the
+//! burst that rank the same primary backend go upstream as a single
+//! pipelined exchange — one round trip for the whole run. The fast path is
+//! strictly opportunistic: any line it cannot serve (upstream I/O error,
+//! drain refusal) re-enters the per-request failover state machine above,
+//! and responses are always written back in request order. A lockstep
+//! client degenerates to bursts of one, taking the classic path bytes-
+//! for-bytes.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -316,6 +327,69 @@ impl Shared {
         )
         .with_detail("attempts", attempts_total.to_value());
         Response::failure(req.id, req.kind.as_str(), err).to_line()
+    }
+
+    /// Routes a read-ahead burst of data requests that all rank the same
+    /// `primary` backend: one pipelined upstream exchange for the whole
+    /// group, falling back to the per-request failover state machine
+    /// ([`Shared::route`]) for any line the fast path could not serve.
+    ///
+    /// The burst attempt is strictly opportunistic — no same-backend
+    /// retries at burst granularity, and a failed or drain-refused line
+    /// re-enters `route` with its own candidate set — so the gateway's
+    /// invariant (an accepted request is always answered, in order) is
+    /// unchanged.
+    fn route_group(&self, primary: usize, items: &[(&str, Request, u64)]) -> Vec<String> {
+        let started = Instant::now();
+        let backend = &self.backends[primary];
+        let timeout = Duration::from_millis(self.cfg.recv_timeout_ms);
+        let lines: Vec<&str> = items.iter().map(|(line, _, _)| *line).collect();
+        backend
+            .attempts
+            .fetch_add(items.len() as u64, Ordering::SeqCst);
+        match backend.exchange_many(&lines, timeout) {
+            Ok(responses) => {
+                backend.mark(true, false);
+                items
+                    .iter()
+                    .zip(responses)
+                    .map(|((line, req, key), resp)| {
+                        if is_drain_refusal(&resp) {
+                            // The backend declined the work; the per-request
+                            // machinery fails over past it.
+                            return self.route(line, req);
+                        }
+                        let ok = resp.contains("\"ok\":true");
+                        backend.record_served(req.kind, started.elapsed(), ok);
+                        self.metrics.record(
+                            req.kind,
+                            started.elapsed(),
+                            if ok { Outcome::Ok } else { Outcome::Error },
+                        );
+                        let index = self.routed.fetch_add(1, Ordering::SeqCst);
+                        self.push_route(RouteRecord {
+                            index,
+                            id: req.id,
+                            kind: req.kind.as_str().to_owned(),
+                            key: *key,
+                            backend: Some(backend.name.clone()),
+                            attempts: 1,
+                            failovers: 0,
+                        });
+                        resp
+                    })
+                    .collect()
+            }
+            Err(_) => {
+                backend
+                    .io_errors
+                    .fetch_add(items.len() as u64, Ordering::SeqCst);
+                items
+                    .iter()
+                    .map(|(line, req, _)| self.route(line, req))
+                    .collect()
+            }
+        }
     }
 
     fn push_route(&self, record: RouteRecord) {
@@ -706,39 +780,38 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
-/// Writes one response line; a dead peer is the client's problem.
-fn send_line(stream: &mut TcpStream, line: &str) {
-    let _ = stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .and_then(|()| stream.flush());
-}
-
 /// Writes one response line re-encoded as a binary frame. Response lines
 /// are our own (or a backend's) serializer output, so the re-parse cannot
 /// fail; the frame carries the identical value tree.
 fn send_frame(stream: &mut TcpStream, line: &str) {
-    let value: Value =
-        serde_json::from_str(line).expect("response lines are valid JSON by construction");
+    let value =
+        serde_json::from_str_value(line).expect("response lines are valid JSON by construction");
     let _ = write_frame(stream, &value_to_bytes(&value));
 }
 
 /// Answers one decoded request line: the response line to relay, plus
 /// whether the gateway should stop (a `shutdown` was acknowledged).
 fn answer_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
-    let req = match Request::from_line(line) {
-        Ok(req) => req,
-        Err(msg) => {
-            // Same parser, same message, same shape a backend would
-            // produce — unparseable lines stay byte-identical too.
-            let resp = Response::failure(
-                None,
-                "invalid",
-                ServiceError::new(ErrorCode::BadRequest, msg),
-            );
-            return (resp.to_line(), false);
-        }
-    };
+    match Request::from_line(line) {
+        Ok(req) => answer_parsed(shared, line, &req),
+        Err(msg) => (bad_request_line(msg), false),
+    }
+}
+
+/// The typed `bad_request` response line for an unparseable request —
+/// same parser, same message, same shape a backend would produce, so
+/// unparseable lines stay byte-identical too.
+fn bad_request_line(msg: String) -> String {
+    Response::failure(
+        None,
+        "invalid",
+        ServiceError::new(ErrorCode::BadRequest, msg),
+    )
+    .to_line()
+}
+
+/// [`answer_line`] past the parse: answers an already-decoded request.
+fn answer_parsed(shared: &Arc<Shared>, line: &str, req: &Request) -> (String, bool) {
     match req.kind {
         RequestKind::Stats => {
             let resp = Response::success(req.id, "stats", shared.stats_value());
@@ -769,11 +842,88 @@ fn answer_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
                 return (resp.to_line(), false);
             }
             shared.inflight.fetch_add(1, Ordering::SeqCst);
-            let resp_line = shared.route(line, &req);
+            let resp_line = shared.route(line, req);
             shared.inflight.fetch_sub(1, Ordering::SeqCst);
             (resp_line, false)
         }
     }
+}
+
+/// How many read-ahead requests one burst may carry — the gateway-side
+/// mirror of serve's pipeline window.
+const MAX_BURST: usize = 8;
+
+/// Whether a request takes the routed data path (as opposed to a control
+/// kind the gateway answers itself).
+fn is_data_kind(kind: RequestKind) -> bool {
+    !matches!(
+        kind,
+        RequestKind::Stats | RequestKind::ClusterStats | RequestKind::Shutdown
+    )
+}
+
+/// Answers a read-ahead burst of decoded lines in order: consecutive data
+/// requests that rank the same primary backend are relayed upstream as
+/// one pipelined exchange via [`Shared::route_group`]; everything else
+/// (control kinds, parse errors, drain mode, singleton runs) takes the
+/// per-line path unchanged. Returns the response lines in request order
+/// plus the stop flag; lines after an acknowledged `shutdown` are
+/// dropped, exactly as the lockstep loop never reads past one.
+fn answer_burst(shared: &Arc<Shared>, burst: &[String]) -> (Vec<String>, bool) {
+    let mut out = Vec::with_capacity(burst.len());
+    let mut i = 0;
+    while i < burst.len() {
+        let req = match Request::from_line(&burst[i]) {
+            Ok(req) => req,
+            Err(msg) => {
+                out.push(bad_request_line(msg));
+                i += 1;
+                continue;
+            }
+        };
+        if !is_data_kind(req.kind) || shared.shutting_down.load(Ordering::SeqCst) {
+            let (resp, stop) = answer_parsed(shared, &burst[i], &req);
+            out.push(resp);
+            if stop {
+                return (out, true);
+            }
+            i += 1;
+            continue;
+        }
+        // The maximal run of data requests sharing this request's primary
+        // backend; each keeps its own shard key for records and fallback.
+        let key = shared.shard_key(&req);
+        let primary = shared.candidates(key)[0];
+        let mut items: Vec<(&str, Request, u64)> = vec![(burst[i].as_str(), req, key)];
+        let mut j = i + 1;
+        while j < burst.len() {
+            let Ok(next) = Request::from_line(&burst[j]) else {
+                break;
+            };
+            if !is_data_kind(next.kind) {
+                break;
+            }
+            let next_key = shared.shard_key(&next);
+            if shared.candidates(next_key)[0] != primary {
+                break;
+            }
+            items.push((burst[j].as_str(), next, next_key));
+            j += 1;
+        }
+        shared
+            .inflight
+            .fetch_add(items.len() as u64, Ordering::SeqCst);
+        if let [(line, req, _)] = items.as_slice() {
+            out.push(shared.route(line, req));
+        } else {
+            out.extend(shared.route_group(primary, &items));
+        }
+        shared
+            .inflight
+            .fetch_sub(items.len() as u64, Ordering::SeqCst);
+        i = j;
+    }
+    (out, false)
 }
 
 fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
@@ -798,17 +948,60 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     }
     shared.json_conns.fetch_add(1, Ordering::SeqCst);
-    // One request at a time per connection: exactly-one-response ordering
-    // is structural. Concurrency comes from concurrent connections.
-    let first = std::iter::once(Ok(first_line.trim_end_matches(['\r', '\n']).to_owned()));
-    for line in first.chain(reader.lines()) {
-        let Ok(line) = line else { break };
+    // The burst relay: each blocking read yields the head of a burst, and
+    // complete lines the client already pipelined into our buffer join it
+    // (capped at MAX_BURST, never blocking on a partial line). The whole
+    // burst is answered in order and written back in one buffered write. A
+    // lockstep client degenerates to bursts of one — same bytes, same
+    // order, same per-line state machine.
+    let mut head = Some(first_line.trim_end_matches(['\r', '\n']).to_owned());
+    let mut burst: Vec<String> = Vec::new();
+    let mut out_buf: Vec<u8> = Vec::new();
+    loop {
+        let line = match head.take() {
+            Some(line) => line,
+            None => {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(n) if n > 0 => {}
+                    _ => break,
+                }
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                line
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        shared.json_requests.fetch_add(1, Ordering::SeqCst);
-        let (resp_line, stop) = answer_line(shared, &line);
-        send_line(&mut write_half, &resp_line);
+        burst.clear();
+        burst.push(line);
+        while burst.len() < MAX_BURST && reader.buffer().contains(&b'\n') {
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_err() {
+                break;
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            if !line.trim().is_empty() {
+                burst.push(line);
+            }
+        }
+        shared
+            .json_requests
+            .fetch_add(burst.len() as u64, Ordering::SeqCst);
+        let (responses, stop) = answer_burst(shared, &burst);
+        out_buf.clear();
+        for resp in &responses {
+            out_buf.extend_from_slice(resp.as_bytes());
+            out_buf.push(b'\n');
+        }
+        // A dead peer is the client's problem.
+        let _ = write_half
+            .write_all(&out_buf)
+            .and_then(|()| write_half.flush());
         if stop {
             shared.stopped.store(true, Ordering::SeqCst);
             break;

@@ -521,6 +521,7 @@ fn store_backed_fleet_aggregates_store_stats_through_cluster_stats() {
         queue_depth: 32,
         cache_cap: 8,
         store_dir: Some(dir.to_string_lossy().into_owned()),
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
         ..ServeConfig::default()
     })
     .expect("bind store-backed backend");

@@ -144,10 +144,7 @@ impl Schedule {
             let mut names: Vec<String> = bucket
                 .iter()
                 .map(|&n| {
-                    let label = g
-                        .node(n)
-                        .and_then(|x| x.name().map(str::to_owned))
-                        .unwrap_or_else(|| n.to_string());
+                    let label = g.node_name(n).map_or_else(|| n.to_string(), str::to_owned);
                     format!("{label}({})", g.kind(n))
                 })
                 .collect();

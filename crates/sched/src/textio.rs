@@ -14,11 +14,15 @@ use crate::Schedule;
 pub fn write_schedule(g: &Cdfg, s: &Schedule) -> String {
     let mut out = String::from("# localwm schedule v1\n");
     for (n, step) in s.iter() {
-        let name = g
-            .node(n)
-            .and_then(|x| x.name().map(str::to_owned))
-            .unwrap_or_else(|| format!("n{}", n.index()));
-        out.push_str(&format!("{name} {step}\n"));
+        use std::fmt::Write as _;
+        match g.node_name(n) {
+            Some(name) => {
+                let _ = writeln!(out, "{name} {step}");
+            }
+            None => {
+                let _ = writeln!(out, "n{} {step}", n.index());
+            }
+        }
     }
     out
 }
@@ -58,7 +62,7 @@ fn resolve(g: &Cdfg, name: &str) -> Option<NodeId> {
     // Synthetic `n<i>` names for anonymous nodes.
     let idx: usize = name.strip_prefix('n')?.parse().ok()?;
     let id = NodeId::from_index(idx);
-    if g.node(id).is_some_and(|x| x.name().is_none()) {
+    if g.node(id).is_some() && g.node_name(id).is_none() {
         Some(id)
     } else {
         None

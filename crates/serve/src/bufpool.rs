@@ -1,0 +1,110 @@
+//! Reusable IO buffer slabs for the request hot path.
+//!
+//! Every response the server writes used to allocate a fresh `String`
+//! (JSON line) or `Vec<u8>` (binary frame) and drop it after the write.
+//! A [`BufPool`] keeps those slabs alive across requests: workers check
+//! a buffer out, encode into it, and check it back in *cleared but not
+//! freed*, so a warm connection reaches steady state with zero encode
+//! allocations. One pool lives on each connection — its slab count is
+//! naturally bounded by the connection's pipeline window.
+
+use std::sync::Mutex;
+
+/// Slabs larger than this are dropped at check-in instead of pooled, so
+/// one huge design sweep cannot pin its peak allocation forever.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+/// A pool of reusable `Vec<u8>` and `String` slabs.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    bytes: Mutex<Vec<Vec<u8>>>,
+    strings: Mutex<Vec<String>>,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// Checks out a byte buffer (empty, capacity retained from past use).
+    pub fn checkout_bytes(&self) -> Vec<u8> {
+        self.bytes
+            .lock()
+            .expect("bufpool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a byte buffer to the pool, cleared but with its capacity
+    /// kept for the next checkout.
+    pub fn checkin_bytes(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        self.bytes.lock().expect("bufpool lock").push(buf);
+    }
+
+    /// Checks out a string buffer (empty, capacity retained).
+    pub fn checkout_string(&self) -> String {
+        self.strings
+            .lock()
+            .expect("bufpool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a string buffer to the pool, cleared.
+    pub fn checkin_string(&self, mut buf: String) {
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        buf.clear();
+        self.strings.lock().expect("bufpool lock").push(buf);
+    }
+
+    /// Pooled slab counts `(bytes, strings)` — test observability.
+    pub fn idle(&self) -> (usize, usize) {
+        (
+            self.bytes.lock().expect("bufpool lock").len(),
+            self.strings.lock().expect("bufpool lock").len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkin_clears_but_keeps_capacity() {
+        let pool = BufPool::new();
+        let mut b = pool.checkout_bytes();
+        b.extend_from_slice(b"hello world");
+        let cap = b.capacity();
+        pool.checkin_bytes(b);
+        let b = pool.checkout_bytes();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.idle().0, 0);
+    }
+
+    #[test]
+    fn strings_round_trip_too() {
+        let pool = BufPool::new();
+        let mut s = pool.checkout_string();
+        s.push_str("{\"ok\":true}");
+        pool.checkin_bytes(Vec::new());
+        pool.checkin_string(s);
+        assert_eq!(pool.idle(), (1, 1));
+        assert!(pool.checkout_string().is_empty());
+    }
+
+    #[test]
+    fn oversized_slabs_are_dropped_not_pooled() {
+        let pool = BufPool::new();
+        pool.checkin_bytes(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        assert_eq!(pool.idle().0, 0, "huge slab must not be retained");
+    }
+}

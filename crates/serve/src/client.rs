@@ -14,8 +14,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use localwm_store::binval::{decode_value, read_frame, value_to_bytes, write_frame};
-use serde::Value;
+use localwm_store::binval::{decode_value, read_frame_into, value_to_bytes, write_frame};
 
 use crate::protocol::{Request, Response, BINARY_MAGIC};
 
@@ -24,6 +23,13 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     binary: bool,
+    /// Recycled wire buffers: every send encodes into `send_buf` (one
+    /// write syscall per request or burst) and every binary receive lands
+    /// in `frame_buf`; both are cleared per use, never freed, so a warm
+    /// connection does request/response IO without allocating.
+    send_buf: Vec<u8>,
+    frame_buf: Vec<u8>,
+    line_buf: String,
 }
 
 impl Client {
@@ -40,6 +46,9 @@ impl Client {
             reader,
             writer,
             binary: false,
+            send_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            line_buf: String::new(),
         })
     }
 
@@ -115,11 +124,10 @@ impl Client {
     ///
     /// Propagates socket write errors.
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        if self.binary {
-            write_frame(&mut self.writer, &req.to_frame())
-        } else {
-            self.send_line(&req.to_line())
-        }
+        self.send_buf.clear();
+        encode_request(req, self.binary, &mut self.send_buf);
+        self.writer.write_all(&self.send_buf)?;
+        self.writer.flush()
     }
 
     /// Sends one already-encoded JSON request line verbatim (the gateway's
@@ -134,12 +142,14 @@ impl Client {
     /// connection is handed an unparseable line.
     pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         if self.binary {
-            let value: Value = serde_json::from_str(line)
+            let value = serde_json::from_str_value(line)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
             return write_frame(&mut self.writer, &value_to_bytes(&value));
         }
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        self.send_buf.clear();
+        self.send_buf.extend_from_slice(line.as_bytes());
+        self.send_buf.push(b'\n');
+        self.writer.write_all(&self.send_buf)?;
         self.writer.flush()
     }
 
@@ -154,9 +164,9 @@ impl Client {
     /// corrupt frame.
     pub fn recv_line(&mut self) -> io::Result<String> {
         if self.binary {
-            let body = read_frame(&mut self.reader)?;
-            let value =
-                decode_value(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            read_frame_into(&mut self.reader, &mut self.frame_buf)?;
+            let value = decode_value(&self.frame_buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             return Ok(serde_json::to_string(&value).expect("value serialization is infallible"));
         }
         let mut line = String::new();
@@ -173,14 +183,46 @@ impl Client {
         Ok(line)
     }
 
+    /// Reads the next raw response into this connection's recycled buffer
+    /// (no per-read allocation); decode the result with
+    /// [`Response::from_line`]. The hot-path primitive under [`Client::recv`],
+    /// [`Client::call_repeated`], and [`Client::call_pipelined`].
+    fn recv_reused(&mut self) -> io::Result<()> {
+        if self.binary {
+            return read_frame_into(&mut self.reader, &mut self.frame_buf);
+        }
+        self.line_buf.clear();
+        let n = self.reader.read_line(&mut self.line_buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while self.line_buf.ends_with('\n') || self.line_buf.ends_with('\r') {
+            self.line_buf.pop();
+        }
+        Ok(())
+    }
+
+    /// Decodes the response last read by [`Client::recv_reused`].
+    fn decode_reused(&self) -> io::Result<Response> {
+        let decoded = if self.binary {
+            Response::from_frame(&self.frame_buf)
+        } else {
+            Response::from_line(&self.line_buf)
+        };
+        decoded.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
     /// Reads and decodes the next response.
     ///
     /// # Errors
     ///
-    /// Fails on socket errors or an undecodable response line.
+    /// Fails on socket errors or an undecodable response.
     pub fn recv(&mut self) -> io::Result<Response> {
-        let line = self.recv_line()?;
-        Response::from_line(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        self.recv_reused()?;
+        self.decode_reused()
     }
 
     /// Sends `req` and waits for its response.
@@ -201,21 +243,123 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`Client::call`] error; `n` is clamped to ≥ 1.
+    /// Propagates the first [`Client::send`]/receive error; `n` is clamped
+    /// to ≥ 1. The request is encoded once and its wire bytes replayed
+    /// every iteration; responses land in one recycled buffer, and only
+    /// the final one is decoded — the warm path allocates nothing per
+    /// iteration.
     pub fn call_repeated(
         &mut self,
         req: &Request,
         n: usize,
     ) -> io::Result<(Response, Vec<Duration>)> {
         let n = n.max(1);
+        let mut wire = std::mem::take(&mut self.send_buf);
+        wire.clear();
+        encode_request(req, self.binary, &mut wire);
         let mut latencies = Vec::with_capacity(n);
-        let mut last = None;
         for _ in 0..n {
             let start = Instant::now();
-            let resp = self.call(req)?;
+            let sent = self
+                .writer
+                .write_all(&wire)
+                .and_then(|()| self.writer.flush())
+                .and_then(|()| self.recv_reused());
+            if let Err(e) = sent {
+                self.send_buf = wire;
+                return Err(e);
+            }
             latencies.push(start.elapsed());
-            last = Some(resp);
         }
-        Ok((last.expect("n >= 1"), latencies))
+        self.send_buf = wire;
+        Ok((self.decode_reused()?, latencies))
+    }
+
+    /// Relays a burst of already-encoded JSON request lines pipelined:
+    /// every line goes out in one buffered write, then the raw response
+    /// lines come back in request order. The verbatim-forwarding sibling
+    /// of [`Client::call_pipelined`] — the gateway's burst relay uses it
+    /// to fan a read-ahead burst upstream in one round trip while keeping
+    /// the forwarded bytes untouched. On a binary connection each line is
+    /// transcoded to a frame at this boundary, exactly as
+    /// [`Client::send_line`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and (binary) unparseable lines; on error
+    /// the connection should be discarded — responses may still be in
+    /// flight.
+    pub fn pipeline_lines(&mut self, lines: &[&str]) -> io::Result<Vec<String>> {
+        let mut wire = std::mem::take(&mut self.send_buf);
+        wire.clear();
+        for line in lines {
+            if self.binary {
+                let parsed = serde_json::from_str_value(line);
+                let value = match parsed {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.send_buf = wire;
+                        return Err(io::Error::new(io::ErrorKind::InvalidInput, e.to_string()));
+                    }
+                };
+                write_frame(&mut wire, &value_to_bytes(&value)).expect("vec write is infallible");
+            } else {
+                wire.extend_from_slice(line.as_bytes());
+                wire.push(b'\n');
+            }
+        }
+        let sent = self
+            .writer
+            .write_all(&wire)
+            .and_then(|()| self.writer.flush());
+        self.send_buf = wire;
+        sent?;
+        let mut responses = Vec::with_capacity(lines.len());
+        for _ in lines {
+            responses.push(self.recv_line()?);
+        }
+        Ok(responses)
+    }
+
+    /// Sends a burst of requests back-to-back — one buffered write, one
+    /// flush — and reads their responses in request order. This is the
+    /// client half of connection pipelining: the server's ordered writer
+    /// guarantees response `i` answers request `i`, so the byte stream is
+    /// identical to `reqs.len()` lockstep [`Client::call`]s while paying
+    /// one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write/read errors and undecodable responses; on
+    /// error, responses already read are lost (the connection should be
+    /// discarded, as in-flight responses may still be arriving).
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        let mut wire = std::mem::take(&mut self.send_buf);
+        wire.clear();
+        for req in reqs {
+            encode_request(req, self.binary, &mut wire);
+        }
+        let sent = self
+            .writer
+            .write_all(&wire)
+            .and_then(|()| self.writer.flush());
+        self.send_buf = wire;
+        sent?;
+        let mut responses = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            responses.push(self.recv()?);
+        }
+        Ok(responses)
+    }
+}
+
+/// Appends `req`'s wire bytes — a framed body or a JSON line plus
+/// newline — to `out`.
+fn encode_request(req: &Request, binary: bool, out: &mut Vec<u8>) {
+    if binary {
+        write_frame(out, &req.to_frame()).expect("vec write is infallible");
+    } else {
+        out.extend_from_slice(req.to_line().as_bytes());
+        out.push(b'\n');
     }
 }

@@ -182,7 +182,7 @@ pub(crate) fn timing_body(ctx: &DesignContext, req: &Request) -> HandlerResult {
         .count();
     let model = bounds(req)?;
     let interval = ctx.bounded_critical_path(&model);
-    let maybe = ctx.possibly_critical(&model);
+    let maybe = ctx.possibly_critical_shared(&model);
     Ok(object(vec![
         ("ops", g.op_count().to_value()),
         ("critical_path", cp.to_value()),
@@ -228,9 +228,8 @@ pub(crate) fn analyze_body(
         .take(5)
         .map(|&(p, n)| {
             let name = g
-                .node(n)
-                .and_then(|x| x.name().map(str::to_owned))
-                .unwrap_or_else(|| format!("n{}", n.index()));
+                .node_name(n)
+                .map_or_else(|| format!("n{}", n.index()), str::to_owned);
             Value::Array(vec![Value::Str(name), Value::Float(p)])
         })
         .collect();

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod cache;
 pub mod client;
 pub mod fault;

@@ -211,7 +211,57 @@ impl Request {
 
     /// Encodes the request as one wire line (no trailing newline).
     pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("request serialization is infallible")
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends the request's wire line to `out` — the same bytes as
+    /// [`Request::to_line`], without lowering to an intermediate `Value`
+    /// (which deep-copies the design text). The client's per-request
+    /// encode runs through this.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        fn str_field(out: &mut String, name: &str, v: Option<&str>) {
+            if let Some(s) = v {
+                let _ = write!(out, ",\"{name}\":");
+                serde_json::string_to_json_into(s, out);
+            }
+        }
+        fn uint_field(out: &mut String, name: &str, v: Option<u64>) {
+            if let Some(u) = v {
+                let _ = write!(out, ",\"{name}\":{u}");
+            }
+        }
+        fn float_field(out: &mut String, name: &str, v: Option<f64>) {
+            if let Some(f) = v {
+                let _ = write!(out, ",\"{name}\":");
+                serde_json::float_to_json_into(f, out);
+            }
+        }
+        out.push('{');
+        if let Some(id) = self.id {
+            let _ = write!(out, "\"id\":{id},");
+        }
+        out.push_str("\"kind\":");
+        serde_json::string_to_json_into(self.kind.as_str(), out);
+        str_field(out, "design", self.design.as_deref());
+        str_field(out, "author", self.author.as_deref());
+        str_field(out, "schedule", self.schedule.as_deref());
+        float_field(out, "fraction", self.fraction);
+        uint_field(out, "k", self.k.map(|v| v as u64));
+        uint_field(out, "deadline", self.deadline.map(u64::from));
+        uint_field(out, "lo", self.lo);
+        uint_field(out, "hi", self.hi);
+        uint_field(out, "samples", self.samples.map(|v| v as u64));
+        uint_field(out, "seed", self.seed);
+        str_field(out, "session", self.session.as_deref());
+        str_field(out, "edits", self.edits.as_deref());
+        str_field(out, "attack", self.attack.as_deref());
+        float_field(out, "budget", self.budget);
+        str_field(out, "budgets", self.budgets.as_deref());
+        uint_field(out, "timeout_ms", self.timeout_ms);
+        out.push('}');
     }
 
     /// Decodes one wire line.
@@ -220,7 +270,8 @@ impl Request {
     ///
     /// Returns a message for malformed JSON or an unknown/missing kind.
     pub fn from_line(line: &str) -> Result<Self, String> {
-        serde_json::from_str(line).map_err(|e| e.to_string())
+        let v = serde_json::from_str_value(line).map_err(|e| e.to_string())?;
+        Self::from_wire_value(v).map_err(|e| serde_json::Error::from(e).to_string())
     }
 
     /// Encodes the request as one binary frame body (the `LWMB1` wire).
@@ -235,7 +286,43 @@ impl Request {
     /// Returns a message for malformed bytes or an unknown/missing kind.
     pub fn from_frame(body: &[u8]) -> Result<Self, String> {
         let v = binval::decode_value(body)?;
-        Self::from_value(&v).map_err(|e| e.to_string())
+        Self::from_wire_value(v).map_err(|e| e.to_string())
+    }
+
+    /// Rebuilds a request from an owned envelope tree, moving the large
+    /// text payloads (`design`, `schedule`, `edits` — multi-kilobyte on
+    /// the hot path) out of the tree instead of deep-copying them. Only
+    /// well-typed string payloads are stashed; everything else flows
+    /// through the generic `Deserialize` path, so accepted shapes, error
+    /// messages, and error precedence are unchanged.
+    fn from_wire_value(mut v: Value) -> Result<Self, DeError> {
+        let mut stash: [Option<String>; 3] = [None, None, None];
+        if let Value::Object(fields) = &mut v {
+            for (slot, name) in ["design", "schedule", "edits"].into_iter().enumerate() {
+                // First occurrence only, matching `Value::field`; the
+                // stashed slot reads as `null` (absent and `null` decode
+                // identically) so later duplicates stay shadowed.
+                if let Some((_, val)) = fields.iter_mut().find(|(k, _)| k == name) {
+                    if matches!(val, Value::Str(_)) {
+                        if let Value::Str(s) = std::mem::replace(val, Value::Null) {
+                            stash[slot] = Some(s);
+                        }
+                    }
+                }
+            }
+        }
+        let mut req = Self::from_value(&v)?;
+        let [design, schedule, edits] = stash;
+        if design.is_some() {
+            req.design = design;
+        }
+        if schedule.is_some() {
+            req.schedule = schedule;
+        }
+        if edits.is_some() {
+            req.edits = edits;
+        }
+        Ok(req)
     }
 }
 
@@ -508,7 +595,35 @@ impl Response {
 
     /// Encodes the response as one wire line (no trailing newline).
     pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("response serialization is infallible")
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends the response's wire line to `out` — the same bytes as
+    /// [`Response::to_line`], without building the intermediate `Value`
+    /// envelope (and without deep-copying the result tree into it). The
+    /// server's per-response encode runs through this with a pooled
+    /// buffer, so a warm response costs no allocations to serialize.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push('{');
+        if let Some(id) = self.id {
+            let _ = write!(out, "\"id\":{id},");
+        }
+        out.push_str("\"kind\":");
+        serde_json::string_to_json_into(&self.kind, out);
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        if let Some(r) = &self.result {
+            out.push_str(",\"result\":");
+            serde_json::value_to_string_into(r, out);
+        }
+        if let Some(e) = &self.error {
+            out.push_str(",\"error\":");
+            serde_json::value_to_string_into(&e.to_value(), out);
+        }
+        out.push('}');
     }
 
     /// Decodes one wire line.
@@ -517,7 +632,71 @@ impl Response {
     ///
     /// Returns a message for malformed JSON or a shape mismatch.
     pub fn from_line(line: &str) -> Result<Self, String> {
-        serde_json::from_str(line).map_err(|e| e.to_string())
+        let v = serde_json::from_str_value(line).map_err(|e| e.to_string())?;
+        Self::from_wire_value(v).map_err(|e| serde_json::Error::from(e).to_string())
+    }
+
+    /// Rebuilds a response from an owned envelope tree, moving the
+    /// `result` subtree and `kind` string out instead of deep-copying
+    /// them (the generic [`Deserialize`] path clones both). Same accepted
+    /// shapes and same error messages as `from_value`; the client's
+    /// per-response decode runs through this.
+    fn from_wire_value(v: Value) -> Result<Self, DeError> {
+        let Value::Object(fields) = v else {
+            return Self::from_value(&v);
+        };
+        let mut id: Option<u64> = None;
+        let mut kind: Option<String> = None;
+        let mut ok: Option<bool> = None;
+        let mut result: Option<Value> = None;
+        let mut error: Option<ServiceError> = None;
+        // First occurrence of each key wins, matching `Value::field` —
+        // tracked separately from the decoded options because a leading
+        // `null` also claims its key.
+        let (mut saw_id, mut saw_ok, mut saw_result, mut saw_error) = (false, false, false, false);
+        for (k, val) in fields {
+            match k.as_str() {
+                "id" if !saw_id => {
+                    saw_id = true;
+                    id = match &val {
+                        Value::Null => None,
+                        x => Some(
+                            u64::from_value(x)
+                                .map_err(|e| DeError::msg(format!("field `id`: {e}")))?,
+                        ),
+                    };
+                }
+                "kind" if kind.is_none() => {
+                    kind = match val {
+                        Value::Str(s) => Some(s),
+                        x => Some(String::from_value(&x)?),
+                    };
+                }
+                "ok" if !saw_ok => {
+                    saw_ok = true;
+                    ok = Some(bool::from_value(&val)?);
+                }
+                "result" if !saw_result => {
+                    saw_result = true;
+                    result = Some(val);
+                }
+                "error" if !saw_error => {
+                    saw_error = true;
+                    error = match &val {
+                        Value::Null => None,
+                        e => Some(ServiceError::from_value(e)?),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Ok(Response {
+            id,
+            kind: kind.ok_or_else(|| DeError::msg("missing field `kind`"))?,
+            ok: ok.ok_or_else(|| DeError::msg("missing field `ok`"))?,
+            result,
+            error,
+        })
     }
 
     /// Encodes the response as one binary frame body (the `LWMB1` wire).
@@ -532,7 +711,7 @@ impl Response {
     /// Returns a message for malformed bytes or a shape mismatch.
     pub fn from_frame(body: &[u8]) -> Result<Self, String> {
         let v = binval::decode_value(body)?;
-        Self::from_value(&v).map_err(|e| e.to_string())
+        Self::from_wire_value(v).map_err(|e| e.to_string())
     }
 
     /// A field of the result object, if this is a success carrying one.
@@ -657,6 +836,83 @@ mod tests {
                 ("pairs_examined".to_owned(), Value::Int(90)),
             ]
         );
+    }
+
+    #[test]
+    fn direct_request_writer_matches_the_tree_serializer() {
+        let mut full = Request::new(RequestKind::Analyze);
+        full.id = Some(42);
+        full.design = Some("node a add\nnode b \"q\"\n".to_owned());
+        full.author = Some("alice".to_owned());
+        full.schedule = Some("a 0\n".to_owned());
+        full.fraction = Some(0.5);
+        full.k = Some(4);
+        full.deadline = Some(9);
+        full.lo = Some(1);
+        full.hi = Some(3);
+        full.samples = Some(100);
+        full.seed = Some(7);
+        full.session = Some("s-1".to_owned());
+        full.edits = Some("add-node t not\n".to_owned());
+        full.attack = Some("resynth".to_owned());
+        full.budget = Some(0.25);
+        full.budgets = Some("0,0.5".to_owned());
+        full.timeout_ms = Some(250);
+        let mut sparse = Request::new(RequestKind::Stats);
+        let mut no_id = Request::new(RequestKind::Timing);
+        no_id.design = Some("node a add\n".to_owned());
+        no_id.fraction = Some(2.0);
+        for req in [full, sparse.clone(), no_id] {
+            assert_eq!(
+                req.to_line(),
+                serde_json::to_string(&req).unwrap(),
+                "direct writer diverged for {req:?}"
+            );
+        }
+        sparse.id = Some(0);
+        assert_eq!(sparse.to_line(), serde_json::to_string(&sparse).unwrap());
+    }
+
+    #[test]
+    fn direct_json_writer_matches_the_tree_serializer() {
+        // The hand-rolled envelope writer must emit the exact bytes the
+        // generic `Serialize` path does — goldens and transcripts are
+        // pinned to those bytes.
+        let bodies = [
+            Response::success(
+                Some(7),
+                "timing",
+                serde::object(vec![
+                    ("ops", 9u32.to_value()),
+                    ("critical_path", 6u32.to_value()),
+                    ("note", Value::Str("a \"quoted\"\nline\t".to_owned())),
+                    ("neg", Value::Int(-3)),
+                    ("frac", Value::Float(0.25)),
+                    ("flag", Value::Bool(false)),
+                    ("gap", Value::Null),
+                    ("list", Value::Array(vec![1u32.to_value(), 2u32.to_value()])),
+                ]),
+            ),
+            Response::success(None, "stats", serde::object(vec![])),
+            Response::failure(
+                Some(3),
+                "embed",
+                ServiceError::new(ErrorCode::NoIncomparablePairs, "too serial")
+                    .with_detail("domain_size", 11u64.to_value()),
+            ),
+            Response::failure(
+                None,
+                "invalid",
+                ServiceError::new(ErrorCode::BadRequest, "no"),
+            ),
+        ];
+        for resp in bodies {
+            assert_eq!(
+                resp.to_line(),
+                serde_json::to_string(&resp).unwrap(),
+                "direct writer diverged for {resp:?}"
+            );
+        }
     }
 
     #[test]

@@ -21,18 +21,19 @@
 //! `shutdown` request get its acknowledgement.
 
 use std::collections::HashMap;
-use std::io::{self, Write};
+use std::io::{self, IoSlice, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use localwm_engine::Parallelism;
-use localwm_store::binval::{read_frame, write_frame};
+use localwm_store::binval::{encode_value, frame_header, read_frame_into, write_frame};
 use localwm_store::DesignStore;
 use serde::{Serialize, Value};
 
+use crate::bufpool::BufPool;
 use crate::cache::ContextCache;
 use crate::fault::{FaultAction, FaultInjector, FaultPlan, FiredFault, InjectionPoint};
 use crate::handlers;
@@ -72,7 +73,17 @@ pub struct ServeConfig {
     /// their held designs are mutable working state, not content-addressed
     /// artifacts.
     pub store_dir: Option<String>,
+    /// Per-connection pipeline window: how many decoded requests may be in
+    /// flight (accepted but not yet written back) before the connection's
+    /// reader stops reading ahead. Responses always leave in request
+    /// order, so the byte stream is identical to lockstep request/response
+    /// at any window. `1` disables read-ahead entirely.
+    pub pipeline_window: usize,
 }
+
+/// Default per-connection pipeline window (see
+/// [`ServeConfig::pipeline_window`]).
+pub const DEFAULT_PIPELINE_WINDOW: usize = 8;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -86,6 +97,7 @@ impl Default for ServeConfig {
             fault_plan: None,
             session_idle_ms: None,
             store_dir: None,
+            pipeline_window: DEFAULT_PIPELINE_WINDOW,
         }
     }
 }
@@ -107,48 +119,269 @@ struct Conn {
     /// True once the connection negotiated the `LWMB1` binary protocol;
     /// responses then go out as frames instead of JSON lines.
     binary: bool,
+    /// Reusable encode buffers: checked out per response, cleared (not
+    /// freed) on check-in, so a warm connection encodes without
+    /// allocating.
+    pool: BufPool,
+    /// Ordered-writer state: responses carry the sequence number their
+    /// request was read with and go on the wire strictly in that order,
+    /// whatever order the workers finish in.
+    order: Mutex<OrderState>,
+    /// Signalled whenever `next_write` advances; the reader waits on it
+    /// when the pipeline window is full.
+    wrote: Condvar,
+    /// Max requests in flight on this connection (`>= 1`).
+    window: u64,
+}
+
+#[derive(Default)]
+struct OrderState {
+    /// Next sequence number to hand to a newly read request.
+    next_seq: u64,
+    /// Next sequence number allowed on the wire.
+    next_write: u64,
+    /// Completed responses waiting for their turn.
+    parked: HashMap<u64, Outgoing>,
+    /// Encoded responses already at their turn but held off the socket
+    /// while later requests are still in flight (Nagle-style response
+    /// coalescing): a pipelined burst then goes out as one vectored
+    /// write instead of one syscall per response. Flushed as soon as
+    /// the pipeline drains or `window` responses accumulate, so a
+    /// lockstep client never waits on it.
+    held: Vec<Vec<u8>>,
+}
+
+/// A completed response in the ordered-writer's terms.
+enum Outgoing {
+    /// Encoded wire bytes: a JSON line (newline included) or a binary
+    /// frame *body* (its 12-byte header rides a separate vectored slice
+    /// at write time).
+    Write(Vec<u8>),
+    /// Injected torn write: fully encoded wire bytes of which only half
+    /// go out before the socket dies.
+    Partial(Vec<u8>),
+    /// Injected dropped response: nothing goes on the wire, but ordering
+    /// still advances so the pipeline never stalls behind it.
+    Dropped,
 }
 
 impl Conn {
-    /// The response's wire bytes in this connection's negotiated encoding.
-    fn encode(&self, resp: &Response) -> Vec<u8> {
-        if self.binary {
-            let mut wire = Vec::new();
-            write_frame(&mut wire, &resp.to_frame()).expect("vec write is infallible");
-            wire
-        } else {
-            let mut line = resp.to_line();
-            line.push('\n');
-            line.into_bytes()
+    fn new(
+        stream: TcpStream,
+        injector: Option<Arc<FaultInjector>>,
+        binary: bool,
+        window: u64,
+    ) -> Conn {
+        Conn {
+            stream: Mutex::new(stream),
+            injector,
+            binary,
+            pool: BufPool::new(),
+            order: Mutex::new(OrderState::default()),
+            wrote: Condvar::new(),
+            window: window.max(1),
         }
     }
 
-    fn send(&self, resp: &Response) {
-        let wire = self.encode(resp);
+    /// Reserves the next response slot for a request just read. Blocks
+    /// while the pipeline window is full (backpressure: the reader stops
+    /// reading ahead); returns `None` once the server stops, so reader
+    /// threads never wedge on a window that will not drain.
+    fn assign_seq(&self, stopped: &AtomicBool) -> Option<u64> {
+        let mut st = self.order.lock().expect("order lock");
+        while st.next_seq - st.next_write >= self.window {
+            if stopped.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .wrote
+                .wait_timeout(st, Duration::from_millis(20))
+                .expect("order lock");
+            st = guard;
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        Some(seq)
+    }
+
+    /// The response's wire bytes in this connection's negotiated encoding,
+    /// in a pooled buffer (JSON: line plus newline; binary: frame body
+    /// alone).
+    fn encode(&self, resp: &Response) -> Vec<u8> {
+        let mut buf = self.pool.checkout_bytes();
+        if self.binary {
+            encode_value(&resp.to_value(), &mut buf);
+        } else {
+            let mut line = self.pool.checkout_string();
+            resp.write_json(&mut line);
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            self.pool.checkin_string(line);
+        }
+        buf
+    }
+
+    fn send(&self, seq: u64, resp: &Response) {
         if let Some(inj) = &self.injector {
             match inj.check(InjectionPoint::SockWrite) {
-                Some(FaultAction::DropResponse) => return, // simulated write error
+                Some(FaultAction::DropResponse) => {
+                    // Simulated write error: the response vanishes, but its
+                    // slot is consumed so later responses still flow.
+                    self.complete(seq, Outgoing::Dropped);
+                    return;
+                }
                 Some(FaultAction::PartialWrite) => {
                     // A torn write: a prefix of the encoded response goes
-                    // out, then the connection dies mid-response.
-                    let mut s = self.stream.lock().expect("conn lock");
-                    let half = wire.len() / 2;
-                    let _ = s.write_all(&wire[..half]).and_then(|()| s.flush());
-                    let _ = s.shutdown(Shutdown::Both);
+                    // out (at its ordered turn), then the connection dies
+                    // mid-response.
+                    let mut wire = Vec::new();
+                    if self.binary {
+                        write_frame(&mut wire, &resp.to_frame()).expect("vec write is infallible");
+                    } else {
+                        let mut line = resp.to_line();
+                        line.push('\n');
+                        wire = line.into_bytes();
+                    }
+                    self.complete(seq, Outgoing::Partial(wire));
                     return;
                 }
                 _ => {}
             }
         }
-        let mut s = self.stream.lock().expect("conn lock");
-        // A dead peer is not a server error; drop the response.
-        let _ = s.write_all(&wire).and_then(|()| s.flush());
+        let buf = self.encode(resp);
+        self.complete(seq, Outgoing::Write(buf));
     }
+
+    /// Hands a completed response to the ordered writer. If `seq` is next
+    /// on the wire, this thread stages it — plus every consecutively
+    /// parked successor — and flushes the staged bytes in one vectored
+    /// write once no earlier request is still in flight; otherwise it
+    /// parks until the earlier responses land.
+    fn complete(&self, seq: u64, out: Outgoing) {
+        let mut st = self.order.lock().expect("order lock");
+        if seq != st.next_write {
+            st.parked.insert(seq, out);
+            return;
+        }
+        let mut ready = vec![out];
+        st.next_write += 1;
+        loop {
+            let turn = st.next_write;
+            let Some(next) = st.parked.remove(&turn) else {
+                break;
+            };
+            ready.push(next);
+            st.next_write += 1;
+        }
+        // Seqs are assigned only after a request is fully read, so every
+        // in-flight seq completes without further client input — holding
+        // bytes until the pipeline drains cannot deadlock a waiting
+        // client. Writing under the order lock is what keeps the byte
+        // stream in request order; the window bounds how much can ever
+        // be held, so the hold time stays short.
+        let drained = st.next_write == st.next_seq;
+        self.write_batch(&mut st, ready, drained);
+        self.wrote.notify_all();
+    }
+
+    fn write_batch(&self, st: &mut OrderState, ready: Vec<Outgoing>, drained: bool) {
+        for out in ready {
+            match out {
+                Outgoing::Write(buf) => st.held.push(buf),
+                Outgoing::Dropped => {}
+                Outgoing::Partial(wire) => {
+                    // Flush everything ahead of the torn response, then
+                    // write half of it and kill the socket.
+                    let mut stream = self.stream.lock().expect("conn lock");
+                    self.flush_batch(&mut stream, &mut st.held);
+                    let half = wire.len() / 2;
+                    let _ = stream
+                        .write_all(&wire[..half])
+                        .and_then(|()| stream.flush());
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        // Holdback: with later requests still in flight their responses
+        // are due shortly, so keep accumulating (up to one window) and
+        // pay one syscall for the burst instead of one per response.
+        if st.held.is_empty() || (!drained && (st.held.len() as u64) < self.window) {
+            return;
+        }
+        let mut stream = self.stream.lock().expect("conn lock");
+        self.flush_batch(&mut stream, &mut st.held);
+    }
+
+    /// One vectored write + flush for a batch of encoded responses; write
+    /// errors are ignored (a dead peer is not a server error). Buffers
+    /// return to the pool.
+    fn flush_batch(&self, stream: &mut TcpStream, batch: &mut Vec<Vec<u8>>) {
+        match batch.as_slice() {
+            [] => return,
+            // The common (unbatched) case stays allocation-free: header
+            // and body as two stack slices.
+            [body] if self.binary => {
+                let header = frame_header(body).expect("response fits the frame cap");
+                let _ = write_all_vectored(stream, &[&header, body]).and_then(|()| stream.flush());
+            }
+            [line] => {
+                let _ = stream.write_all(line).and_then(|()| stream.flush());
+            }
+            bodies => {
+                let headers: Vec<[u8; 12]> = if self.binary {
+                    bodies
+                        .iter()
+                        .map(|b| frame_header(b).expect("response fits the frame cap"))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let mut parts: Vec<&[u8]> = Vec::with_capacity(bodies.len() * 2);
+                for (i, body) in bodies.iter().enumerate() {
+                    if self.binary {
+                        parts.push(&headers[i]);
+                    }
+                    parts.push(body);
+                }
+                let _ = write_all_vectored(stream, &parts).and_then(|()| stream.flush());
+            }
+        }
+        for buf in batch.drain(..) {
+            self.pool.checkin_bytes(buf);
+        }
+    }
+}
+
+/// `write_all` across many buffers in as few syscalls as the platform
+/// allows: each round offers every remaining slice to `write_vectored`.
+fn write_all_vectored(stream: &mut TcpStream, parts: &[&[u8]]) -> io::Result<()> {
+    let mut i = 0;
+    let mut off = 0;
+    while i < parts.len() {
+        let mut slices = Vec::with_capacity(parts.len() - i);
+        slices.push(IoSlice::new(&parts[i][off..]));
+        slices.extend(parts[i + 1..].iter().map(|p| IoSlice::new(p)));
+        let mut n = stream.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        while i < parts.len() && n >= parts[i].len() - off {
+            n -= parts[i].len() - off;
+            i += 1;
+            off = 0;
+        }
+        off += n;
+    }
+    Ok(())
 }
 
 struct JobState {
     id: Option<u64>,
     kind: RequestKind,
+    /// The connection-local sequence number of the request, consumed by
+    /// the ordered writer when the response (or its injected absence)
+    /// goes out.
+    seq: u64,
     deadline: Option<Instant>,
     responded: AtomicBool,
     started: Instant,
@@ -252,7 +485,7 @@ impl Shared {
         }
         self.metrics
             .record(state.kind, state.started.elapsed(), outcome);
-        conn.send(resp);
+        conn.send(state.seq, resp);
     }
 
     fn stats_value(&self) -> Value {
@@ -647,21 +880,31 @@ fn conn_loop(shared: &Arc<Shared>, stream: TcpStream) {
             return;
         }
     };
-    let conn = Arc::new(Conn {
-        stream: Mutex::new(stream),
-        injector: shared.injector.clone(),
+    let conn = Arc::new(Conn::new(
+        stream,
+        shared.injector.clone(),
         binary,
-    });
+        shared.cfg.pipeline_window as u64,
+    ));
     if binary {
         shared.binary_conns.fetch_add(1, Ordering::SeqCst);
         binary_conn_loop(shared, &conn, &mut reader);
     } else {
         shared.json_conns.fetch_add(1, Ordering::SeqCst);
         if handle_json_line(shared, &conn, &first_line) {
-            for line in io::BufRead::lines(reader) {
-                let Ok(line) = line else { break };
-                if !handle_json_line(shared, &conn, &line) {
-                    break;
+            // One recycled line buffer for the whole connection: cleared
+            // per request, never freed, so a warm conn reads without
+            // allocating.
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match io::BufRead::read_line(&mut reader, &mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        if !handle_json_line(shared, &conn, &line) {
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -688,13 +931,21 @@ fn handle_json_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) -> bool 
         }
     }
     shared.json_requests.fetch_add(1, Ordering::SeqCst);
+    // Window backpressure: with `pipeline_window` requests in flight the
+    // reader parks here instead of reading further ahead.
+    let Some(seq) = conn.assign_seq(&shared.stopped) else {
+        return false;
+    };
     match Request::from_line(line.trim_end_matches(['\r', '\n'])) {
-        Err(msg) => conn.send(&Response::failure(
-            None,
-            "invalid",
-            ServiceError::new(ErrorCode::BadRequest, msg),
-        )),
-        Ok(req) => dispatch(shared, conn, req),
+        Err(msg) => conn.send(
+            seq,
+            &Response::failure(
+                None,
+                "invalid",
+                ServiceError::new(ErrorCode::BadRequest, msg),
+            ),
+        ),
+        Ok(req) => dispatch(shared, conn, req, seq),
     }
     !shared.stopped.load(Ordering::SeqCst)
 }
@@ -705,21 +956,31 @@ fn handle_json_line(shared: &Arc<Shared>, conn: &Arc<Conn>, line: &str) -> bool 
 /// and then the connection closes, because stream framing cannot be
 /// trusted past a corrupt length prefix.
 fn binary_conn_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, reader: &mut io::BufReader<TcpStream>) {
+    // One recycled frame buffer for the whole connection.
+    let mut body = Vec::new();
     loop {
-        let body = match read_frame(reader) {
-            Ok(body) => body,
+        match read_frame_into(reader, &mut body) {
+            Ok(()) => {}
             // EOF at a frame boundary (or a torn tail from a dying peer):
             // nobody is left to answer.
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => {
-                conn.send(&Response::failure(
-                    None,
-                    "invalid",
-                    ServiceError::new(ErrorCode::BadRequest, format!("undecodable frame: {e}")),
-                ));
+                if let Some(seq) = conn.assign_seq(&shared.stopped) {
+                    conn.send(
+                        seq,
+                        &Response::failure(
+                            None,
+                            "invalid",
+                            ServiceError::new(
+                                ErrorCode::BadRequest,
+                                format!("undecodable frame: {e}"),
+                            ),
+                        ),
+                    );
+                }
                 break;
             }
-        };
+        }
         if let Some(inj) = &shared.injector {
             if matches!(
                 inj.check(InjectionPoint::SockRead),
@@ -731,13 +992,19 @@ fn binary_conn_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, reader: &mut io::Buf
             }
         }
         shared.binary_requests.fetch_add(1, Ordering::SeqCst);
+        let Some(seq) = conn.assign_seq(&shared.stopped) else {
+            break;
+        };
         match Request::from_frame(&body) {
-            Err(msg) => conn.send(&Response::failure(
-                None,
-                "invalid",
-                ServiceError::new(ErrorCode::BadRequest, msg),
-            )),
-            Ok(req) => dispatch(shared, conn, req),
+            Err(msg) => conn.send(
+                seq,
+                &Response::failure(
+                    None,
+                    "invalid",
+                    ServiceError::new(ErrorCode::BadRequest, msg),
+                ),
+            ),
+            Ok(req) => dispatch(shared, conn, req, seq),
         }
         if shared.stopped.load(Ordering::SeqCst) {
             break;
@@ -745,7 +1012,7 @@ fn binary_conn_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, reader: &mut io::Buf
     }
 }
 
-fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
+fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request, seq: u64) {
     let started = Instant::now();
     match req.kind {
         // Answered inline so they work even when the queue is full.
@@ -754,7 +1021,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             shared
                 .metrics
                 .record(RequestKind::Stats, started.elapsed(), Outcome::Ok);
-            conn.send(&resp);
+            conn.send(seq, &resp);
         }
         // A plain backend cannot answer cluster-wide questions; the typed
         // error keeps the response shape predictable for misdirected
@@ -771,7 +1038,7 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
             shared
                 .metrics
                 .record(RequestKind::ClusterStats, started.elapsed(), Outcome::Error);
-            conn.send(&resp);
+            conn.send(seq, &resp);
         }
         RequestKind::Shutdown => {
             let drained = drain(shared);
@@ -787,16 +1054,19 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 .record(RequestKind::Shutdown, started.elapsed(), Outcome::Ok);
             // Acknowledge before stopping the threads, so the response is on
             // the wire before the process is free to exit.
-            conn.send(&Response::success(req.id, "shutdown", body));
+            conn.send(seq, &Response::success(req.id, "shutdown", body));
             stop(shared);
         }
         kind => {
             if shared.shutting_down.load(Ordering::SeqCst) {
-                conn.send(&Response::failure(
-                    req.id,
-                    kind.as_str(),
-                    ServiceError::new(ErrorCode::ShuttingDown, "server is draining"),
-                ));
+                conn.send(
+                    seq,
+                    &Response::failure(
+                        req.id,
+                        kind.as_str(),
+                        ServiceError::new(ErrorCode::ShuttingDown, "server is draining"),
+                    ),
+                );
                 return;
             }
             // Session requests run inline on this connection thread: strict
@@ -809,13 +1079,14 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
                 RequestKind::Open | RequestKind::Mutate | RequestKind::Close
             ) || req.session.is_some()
             {
-                handle_session(shared, conn, &req, started);
+                handle_session(shared, conn, &req, started, seq);
                 return;
             }
             let timeout = req.timeout_ms.or(shared.cfg.default_timeout_ms);
             let state = Arc::new(JobState {
                 id: req.id,
                 kind,
+                seq,
                 deadline: timeout.map(|ms| started + Duration::from_millis(ms)),
                 responded: AtomicBool::new(false),
                 started,
@@ -907,10 +1178,17 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<Conn>, req: Request) {
 /// armed: session work is strictly ordered per connection, and a watchdog
 /// answer racing an in-place mutation could tear the session's view of
 /// which edits were applied.
-fn handle_session(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Request, started: Instant) {
+fn handle_session(
+    shared: &Arc<Shared>,
+    conn: &Arc<Conn>,
+    req: &Request,
+    started: Instant,
+    seq: u64,
+) {
     let state = Arc::new(JobState {
         id: req.id,
         kind: req.kind,
+        seq,
         deadline: None,
         responded: AtomicBool::new(false),
         started,

@@ -12,11 +12,16 @@
 //! analysis and their handlers are the ones exercised for per-request
 //! observability.
 //!
-//! The key is an FNV-1a hash of the request's canonical wire line with the
-//! two per-caller fields — `id` (correlation) and `timeout_ms` (deadline) —
-//! stripped, so requests differing only in those still coalesce. Everything
-//! else (design text, delay bounds, sample count, seed, deadline steps)
-//! participates: any parameter that changes the answer changes the key.
+//! The key is a streaming FNV-1a hash over the request's answer-relevant
+//! fields, with the two per-caller fields — `id` (correlation) and
+//! `timeout_ms` (deadline) — excluded, so requests differing only in those
+//! still coalesce. Everything else (design text, delay bounds, sample
+//! count, seed, deadline steps) participates: any parameter that changes
+//! the answer changes the key. The hash streams straight over the field
+//! bytes — no request clone, no re-rendered wire line — because this runs
+//! on the connection reader for every analysis request. Each field is
+//! prefixed with a distinct tag and (for strings) its length, so field
+//! boundaries can never alias.
 
 use crate::protocol::{Request, RequestKind};
 
@@ -36,19 +41,58 @@ pub fn coalescing_key(req: &Request) -> Option<u64> {
     if req.session.is_some() {
         return None;
     }
-    let mut canon = req.clone();
-    canon.id = None;
-    canon.timeout_ms = None;
-    Some(fnv1a(canon.to_line().as_bytes()))
+    let mut h = Fnv1a::new();
+    h.bytes(&[req.kind.index() as u8]);
+    h.opt_str(1, req.design.as_deref());
+    h.opt_str(2, req.author.as_deref());
+    h.opt_str(3, req.schedule.as_deref());
+    h.opt_u64(4, req.fraction.map(f64::to_bits));
+    h.opt_u64(5, req.k.map(|v| v as u64));
+    h.opt_u64(6, req.deadline.map(u64::from));
+    h.opt_u64(7, req.lo);
+    h.opt_u64(8, req.hi);
+    h.opt_u64(9, req.samples.map(|v| v as u64));
+    h.opt_u64(10, req.seed);
+    h.opt_str(11, req.edits.as_deref());
+    h.opt_str(12, req.attack.as_deref());
+    h.opt_u64(13, req.budget.map(f64::to_bits));
+    h.opt_str(14, req.budgets.as_deref());
+    Some(h.finish())
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Absent fields hash nothing; present ones hash tag, length, bytes.
+    fn opt_str(&mut self, tag: u8, s: Option<&str>) {
+        if let Some(s) = s {
+            self.bytes(&[tag]);
+            self.bytes(&(s.len() as u64).to_le_bytes());
+            self.bytes(s.as_bytes());
+        }
+    }
+
+    fn opt_u64(&mut self, tag: u8, v: Option<u64>) {
+        if let Some(v) = v {
+            self.bytes(&[tag]);
+            self.bytes(&v.to_le_bytes());
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! Allocation-budget regression test for the warm request hot path.
+//!
+//! Gated on the `alloc-count` feature: the test binary registers
+//! [`localwm_engine::CountingAlloc`] as its global allocator, drives a
+//! real server over loopback TCP, and asserts that a warm cache-hit
+//! `timing` request — client encode, server decode, cache hit, response
+//! encode, client decode, the whole round trip — stays under a fixed
+//! allocation budget per request. Run it with
+//!
+//! ```text
+//! cargo test -p localwm-serve --features alloc-count --test alloc_budget
+//! ```
+//!
+//! The budget is deliberately a hard constant, not a recorded baseline:
+//! pooled IO buffers, interned graphs, and reused response buffers are
+//! what keep the warm path this lean, and an accidental per-request
+//! `String`/`Vec` shows up here as a hard failure. (`throughput_load
+//! --baseline` is the complementary check against recorded numbers with a
+//! 20% tolerance.)
+#![cfg(feature = "alloc-count")]
+
+use std::time::Duration;
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::write_cdfg;
+use localwm_engine::{alloc_stats, CountingAlloc};
+use localwm_serve::{Client, Request, RequestKind, ServeConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocator calls one warm cache-hit `timing` round trip may spend,
+/// averaged over the measured batch (which also absorbs watchdog and
+/// accept-loop background noise). The warm path measured ~122 allocations
+/// per request before this PR's pooling work and ~19–21 after it (direct
+/// JSON writers, owned wire decode, memoized possibly-critical set); the
+/// budget leaves about 2x headroom over the measured number so scheduler
+/// noise cannot flake the test, while a regression toward the old
+/// per-request `String` churn still fails loudly.
+const WARM_TIMING_ALLOC_BUDGET: u64 = 40;
+
+#[test]
+fn warm_cache_hit_timing_stays_under_the_alloc_budget() {
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_depth: 64,
+        cache_cap: 4,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+        store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
+    })
+    .expect("bind loopback");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect_within(&addr, Duration::from_secs(5)).expect("connect");
+
+    let mut req = Request::new(RequestKind::Timing);
+    req.design = Some(write_cdfg(&iir4_parallel()));
+
+    // Warm everything: the design enters the context cache, the client's
+    // recycled buffers grow to their steady-state capacities.
+    let (resp, _) = client.call_repeated(&req, 32).expect("warm-up pass");
+    assert!(resp.ok, "warm-up timing request succeeds");
+
+    const ITERS: u64 = 256;
+    let before = alloc_stats();
+    let (resp, _) = client
+        .call_repeated(&req, ITERS as usize)
+        .expect("measured pass");
+    let delta = alloc_stats().delta(&before);
+    assert!(resp.ok, "measured timing request succeeds");
+
+    let per_request = delta.allocs as f64 / ITERS as f64;
+    assert!(
+        per_request <= WARM_TIMING_ALLOC_BUDGET as f64,
+        "warm cache-hit timing spent {per_request:.1} allocations per \
+         request (budget {WARM_TIMING_ALLOC_BUDGET}); the hot path has \
+         regressed toward per-request churn"
+    );
+    handle.shutdown();
+}

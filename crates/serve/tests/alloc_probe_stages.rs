@@ -1,0 +1,69 @@
+//! Diagnostic (ignored) breakdown of where the warm timing hot path
+//! allocates: parse, execute, encode. Run with
+//! `cargo test -p localwm-serve --features alloc-count --release --test
+//! alloc_probe_stages -- --ignored --nocapture`.
+#![cfg(feature = "alloc-count")]
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::write_cdfg;
+use localwm_engine::{alloc_stats, CountingAlloc};
+use localwm_serve::{ContextCache, Request, RequestKind, Response};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+#[ignore = "diagnostic probe, not a regression gate"]
+fn stage_breakdown() {
+    let design = write_cdfg(&iir4_parallel());
+    let mut req = Request::new(RequestKind::Timing);
+    req.id = Some(1);
+    req.design = Some(design);
+    let line = req.to_line();
+    let cache = ContextCache::new(4);
+    let parsed = Request::from_line(&line).unwrap();
+    let result = localwm_serve::handlers::execute(&cache, &parsed).unwrap();
+    let resp = Response::success(parsed.id, parsed.kind.as_str(), result);
+    let wire = resp.to_line();
+    const N: u64 = 1000;
+
+    let before = alloc_stats();
+    for _ in 0..N {
+        let r = Request::from_line(&line).unwrap();
+        std::hint::black_box(&r);
+    }
+    let d = alloc_stats().delta(&before);
+    println!("parse: {:.1} allocs/iter", d.allocs as f64 / N as f64);
+
+    let before = alloc_stats();
+    for _ in 0..N {
+        let out = localwm_serve::handlers::execute(&cache, &parsed).unwrap();
+        std::hint::black_box(&out);
+    }
+    let d = alloc_stats().delta(&before);
+    println!(
+        "execute(warm): {:.1} allocs/iter",
+        d.allocs as f64 / N as f64
+    );
+
+    let mut s = String::new();
+    let before = alloc_stats();
+    for _ in 0..N {
+        s.clear();
+        resp.write_json(&mut s);
+        std::hint::black_box(&s);
+    }
+    let d = alloc_stats().delta(&before);
+    println!("encode resp: {:.1} allocs/iter", d.allocs as f64 / N as f64);
+
+    let before = alloc_stats();
+    for _ in 0..N {
+        let r = Response::from_line(&wire).unwrap();
+        std::hint::black_box(&r);
+    }
+    let d = alloc_stats().delta(&before);
+    println!(
+        "client decode resp: {:.1} allocs/iter",
+        d.allocs as f64 / N as f64
+    );
+}

@@ -20,6 +20,7 @@ fn start_server(workers: usize, queue_depth: usize) -> localwm_serve::ServerHand
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback")
 }
@@ -42,9 +43,49 @@ fn slow_request(id: u64, design: &str) -> Request {
     let mut r = Request::new(RequestKind::Analyze);
     r.id = Some(id);
     r.design = Some(design.to_owned());
-    r.samples = Some(200_000);
+    // Heavy enough that the stats-gauge polling below reliably observes
+    // the busy/queued states; debug builds run the Monte-Carlo kernel an
+    // order of magnitude slower, so they get a smaller sample count.
+    r.samples = Some(if cfg!(debug_assertions) {
+        400_000
+    } else {
+        2_000_000
+    });
     r.seed = Some(id);
     r
+}
+
+/// Polls inline `stats` (answered on the connection thread, never queued)
+/// until `pred` holds on the result object. The tests that need a precise
+/// worker/queue interleaving wait on live gauges instead of sleeping for
+/// a machine-speed-dependent amount of time.
+fn wait_for_stats(handle: &localwm_serve::ServerHandle, pred: impl Fn(&Value) -> bool) {
+    let mut c = connect(handle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = c.call(&Request::new(RequestKind::Stats)).expect("stats");
+        let result = resp.result.as_ref().expect("stats body");
+        if pred(result) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never reached the expected worker/queue state"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn int_gauge(result: &Value, path: &[&str]) -> i64 {
+    let mut v = result;
+    for p in path {
+        v = v.field(p).unwrap_or(&Value::Null);
+    }
+    match v {
+        Value::Int(i) => *i,
+        Value::UInt(u) => *u as i64,
+        _ => -1,
+    }
 }
 
 #[test]
@@ -141,13 +182,15 @@ fn full_queue_yields_typed_overloaded_without_stalling_the_acceptor() {
     let handle = start_server(1, 1);
     let design = write_cdfg(&iir4_parallel());
 
-    // Occupy the single worker, then fill the single queue slot.
+    // Occupy the single worker, then fill the single queue slot. The
+    // stats gauges confirm each stage landed before the next request
+    // goes out — fixed sleeps race a fast machine.
     let mut busy1 = connect(&handle);
     busy1.send(&slow_request(1, &design)).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
+    wait_for_stats(&handle, |r| int_gauge(r, &["busy_workers"]) == 1);
     let mut busy2 = connect(&handle);
     busy2.send(&slow_request(2, &design)).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
+    wait_for_stats(&handle, |r| int_gauge(r, &["queue", "depth"]) == 1);
 
     // A third request must bounce immediately with a typed error.
     let mut probe = connect(&handle);
@@ -285,6 +328,7 @@ fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -305,6 +349,7 @@ fn metrics_are_flushed_even_on_abort_and_flag_the_unclean_shutdown() {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -357,22 +402,25 @@ fn requests_during_drain_are_refused_as_shutting_down() {
     let design = write_cdfg(&iir4_parallel());
     let mut busy = connect(&handle);
     busy.send(&slow_request(1, &design)).unwrap();
-    std::thread::sleep(Duration::from_millis(50));
+    wait_for_stats(&handle, |r| int_gauge(r, &["busy_workers"]) == 1);
 
     let mut admin = connect(&handle);
     admin.send(&Request::new(RequestKind::Shutdown)).unwrap();
-    std::thread::sleep(Duration::from_millis(20));
 
-    // While the drain is in progress, new work is refused.
-    let mut late = connect(&handle);
-    let resp = late.call(&timing_request(9, &design));
-    if let Ok(resp) = resp {
-        assert!(!resp.ok);
-        assert_eq!(
-            resp.error.expect("typed error").code.as_str(),
-            "shutting_down"
-        );
-    } // A refused/closed connection is also an acceptable drain behavior.
+    // While the drain is in progress, new work is refused. The drain can
+    // also finish first on a fast box, so a refused or closed connection
+    // is an acceptable outcome too.
+    if let Ok(mut late) =
+        Client::connect_within(&handle.addr().to_string(), Duration::from_millis(500))
+    {
+        if let Ok(resp) = late.call(&timing_request(9, &design)) {
+            assert!(!resp.ok);
+            assert_eq!(
+                resp.error.expect("typed error").code.as_str(),
+                "shutting_down"
+            );
+        }
+    }
 
     assert!(busy.recv().unwrap().ok, "in-flight job still drained");
     assert!(admin.recv().unwrap().ok);
@@ -529,6 +577,7 @@ fn idle_sessions_are_evicted_with_a_typed_error() {
         fault_plan: None,
         session_idle_ms: Some(30),
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind loopback");
     let mut c = connect(&handle);
@@ -678,6 +727,7 @@ fn restarted_server_answers_from_the_store_without_reparsing() {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: Some(dir.to_string_lossy().into_owned()),
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     };
     let apps = mediabench_apps();
     let designs = [

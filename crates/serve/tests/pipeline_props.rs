@@ -1,0 +1,135 @@
+//! Property-based tests for connection pipelining: whatever mix of
+//! requests a client keeps in flight — fast kinds the reader answers
+//! inline (`stats`), pooled analysis kinds (`timing`/`analyze`), cache
+//! hits, and typed errors — the ordered writer must deliver response `i`
+//! for request `i`, never reordering, dropping, or duplicating.
+
+use std::time::Duration;
+
+use localwm_cdfg::designs::iir4_parallel;
+use localwm_cdfg::generators::{layered, LayeredConfig};
+use localwm_cdfg::write_cdfg;
+use localwm_serve::{Client, Request, RequestKind, ServeConfig};
+use proptest::prelude::*;
+
+/// The request mix one in-flight slot can carry. Inline-answered and
+/// pool-queued kinds deliberately interleave: inline responses are
+/// produced on the reader thread while earlier pooled responses are still
+/// executing, which is exactly the overtaking the ordered writer must
+/// park.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// `timing` on a small design — pooled, cacheable.
+    TimingA,
+    /// `timing` on a second design — pooled, different cache entry.
+    TimingB,
+    /// `analyze` on the first design — pooled, heavier.
+    Analyze,
+    /// `stats` — answered inline on the reader thread.
+    Stats,
+    /// `timing` on an unparseable design — a typed error, still pooled.
+    BadDesign,
+}
+
+fn request_for(slot: Slot, id: u64, design_a: &str, design_b: &str) -> Request {
+    let mut req = match slot {
+        Slot::TimingA => {
+            let mut r = Request::new(RequestKind::Timing);
+            r.design = Some(design_a.to_owned());
+            r
+        }
+        Slot::TimingB => {
+            let mut r = Request::new(RequestKind::Timing);
+            r.design = Some(design_b.to_owned());
+            r
+        }
+        Slot::Analyze => {
+            let mut r = Request::new(RequestKind::Analyze);
+            r.design = Some(design_a.to_owned());
+            r.samples = Some(16);
+            r.seed = Some(7);
+            r
+        }
+        Slot::Stats => Request::new(RequestKind::Stats),
+        Slot::BadDesign => {
+            let mut r = Request::new(RequestKind::Timing);
+            r.design = Some("node a not_an_op\n".to_owned());
+            r
+        }
+    };
+    req.id = Some(id);
+    req
+}
+
+const SLOTS: [Slot; 5] = [
+    Slot::TimingA,
+    Slot::TimingB,
+    Slot::Analyze,
+    Slot::Stats,
+    Slot::BadDesign,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any interleaving of in-flight requests comes back in request order:
+    /// response `i` echoes request `i`'s correlation id and kind, typed
+    /// errors included, for every window size.
+    #[test]
+    fn pipelined_responses_never_reorder(
+        slot_picks in proptest::collection::vec(0usize..SLOTS.len(), 1..20),
+        window in 1usize..10,
+    ) {
+        let slots: Vec<Slot> = slot_picks.iter().map(|&i| SLOTS[i]).collect();
+        let design_a = write_cdfg(&iir4_parallel());
+        let design_b = write_cdfg(&layered(&LayeredConfig {
+            ops: 24,
+            layers: 4,
+            seed: 11,
+            ..LayeredConfig::default()
+        }));
+        let handle = localwm_serve::start(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 64,
+            cache_cap: 4,
+            default_timeout_ms: None,
+            metrics_out: None,
+            fault_plan: None,
+            session_idle_ms: None,
+            store_dir: None,
+            pipeline_window: window,
+        })
+        .expect("bind loopback");
+        let addr = handle.addr().to_string();
+        let mut client =
+            Client::connect_within(&addr, Duration::from_secs(5)).expect("connect");
+
+        let requests: Vec<Request> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| request_for(slot, i as u64, &design_a, &design_b))
+            .collect();
+        let responses = client.call_pipelined(&requests).expect("pipelined burst");
+        handle.shutdown();
+
+        prop_assert_eq!(responses.len(), requests.len());
+        for (i, (slot, resp)) in slots.iter().zip(&responses).enumerate() {
+            prop_assert_eq!(
+                resp.id,
+                Some(i as u64),
+                "response {} answers request {} (slot {:?})",
+                i,
+                i,
+                slot
+            );
+            let want_kind = match slot {
+                Slot::TimingA | Slot::TimingB | Slot::BadDesign => "timing",
+                Slot::Analyze => "analyze",
+                Slot::Stats => "stats",
+            };
+            prop_assert_eq!(resp.kind.as_str(), want_kind);
+            prop_assert_eq!(resp.ok, !matches!(slot, Slot::BadDesign));
+        }
+    }
+}

@@ -42,17 +42,13 @@ pub fn iterate(
     let state_inputs: Vec<NodeId> = g
         .node_ids()
         .filter(|&n| {
-            g.kind(n) == OpKind::Input
-                && g.node(n)
-                    .and_then(|x| x.name())
-                    .is_some_and(|m| m.starts_with('s'))
+            g.kind(n) == OpKind::Input && g.node_name(n).is_some_and(|m| m.starts_with('s'))
         })
         .collect();
     let paired = delays.len().min(state_inputs.len());
     let name_of = |n: NodeId| -> String {
-        g.node(n)
-            .and_then(|x| x.name().map(str::to_owned))
-            .unwrap_or_else(|| format!("n{}", n.index()))
+        g.node_name(n)
+            .map_or_else(|| format!("n{}", n.index()), str::to_owned)
     };
 
     let mut traces = Vec::with_capacity(k);
@@ -109,7 +105,7 @@ mod tests {
             if u.kind(n) != localwm_cdfg::OpKind::Input {
                 continue;
             }
-            let full = u.node(n).and_then(|x| x.name()).expect("named copies");
+            let full = u.node_name(n).expect("named copies");
             let (base, copy) = full.split_once('@').expect("name@copy");
             let j: usize = copy.parse().expect("copy index");
             inputs.set(n, stimulus(j, base));

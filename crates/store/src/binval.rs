@@ -211,6 +211,20 @@ pub fn decode_value(buf: &[u8]) -> Result<Value, String> {
 ///
 /// Propagates write errors; rejects bodies over [`MAX_FRAME_LEN`].
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    let header = frame_header(body)?;
+    w.write_all(&header)?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// The 12-byte header ([`write_frame`]'s length + checksum prefix) for
+/// `body`, computed separately so writers can put header and body on the
+/// wire as two vectored slices instead of copying them into one buffer.
+///
+/// # Errors
+///
+/// Rejects bodies over [`MAX_FRAME_LEN`].
+pub fn frame_header(body: &[u8]) -> io::Result<[u8; 12]> {
     let len = u32::try_from(body.len())
         .ok()
         .filter(|&l| l <= MAX_FRAME_LEN)
@@ -223,9 +237,7 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
     let mut header = [0u8; 12];
     header[..4].copy_from_slice(&len.to_le_bytes());
     header[4..].copy_from_slice(&fnv1a(body).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(body)?;
-    w.flush()
+    Ok(header)
 }
 
 /// Reads one frame body, verifying length bound and checksum.
@@ -236,6 +248,19 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
 /// `InvalidData` on oversized frames or checksum mismatches, and any
 /// underlying read error otherwise.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    read_frame_into(r, &mut body)?;
+    Ok(body)
+}
+
+/// [`read_frame`] into a caller-owned buffer (cleared first), so a
+/// connection loop reads every frame into one recycled allocation.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`]; on error the buffer contents are
+/// unspecified.
+pub fn read_frame_into<R: Read>(r: &mut R, body: &mut Vec<u8>) -> io::Result<()> {
     let mut header = [0u8; 12];
     r.read_exact(&mut header)?;
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
@@ -246,16 +271,17 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
             format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    let got = fnv1a(&body);
+    body.clear();
+    body.resize(len as usize, 0);
+    r.read_exact(body)?;
+    let got = fnv1a(body);
     if got != want {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame checksum mismatch: stored {want:016x}, computed {got:016x}"),
         ));
     }
-    Ok(body)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -175,6 +175,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
         fault_plan: Some(plan.clone()),
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();

@@ -219,6 +219,7 @@ fn start_backend(workers: usize) -> Result<ServerHandle, String> {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .map_err(|e| format!("start backend: {e}"))
 }

@@ -161,6 +161,7 @@ pub fn run(spec: &ContentionSpec) -> Result<ContentionOutcome, String> {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();

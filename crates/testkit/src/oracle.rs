@@ -16,6 +16,13 @@
 //!   connection that negotiated the `LWMB1` framed binary encoding. The
 //!   client decodes each frame back to a JSON line, so lane comparison
 //!   proves both encodings carry byte-identical response objects.
+//! * `tcp-pipelined-w8-cold` / `tcp-pipelined-w8-warm` — the same two
+//!   passes with the client pipelining the stream in bursts of 8 in-flight
+//!   requests. The server's ordered writer must keep response `i` answering
+//!   request `i`, so the lanes must match the lockstep reference byte for
+//!   byte — typed errors included.
+//! * `tcp-binary-pipelined-w8-cold` / `-warm` — the pipelined passes over
+//!   an `LWMB1` framed binary connection.
 //! * `inproc-scalar` — the serial handlers again, but with the Monte-Carlo
 //!   kernel pinned to one SoA lane
 //!   ([`with_soa_lanes`](localwm_timing::with_soa_lanes)`(1, ..)`), so the
@@ -134,6 +141,7 @@ fn tcp_lines_with(
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();
@@ -148,6 +156,64 @@ fn tcp_lines_with(
         for req in requests {
             c.send(req).map_err(|e| format!("send: {e}"))?;
             lines.push(c.recv_line().map_err(|e| format!("recv: {e}"))?);
+        }
+        Ok(lines)
+    };
+    let cold = run_pass();
+    let warm = cold.as_ref().ok().map(|_| run_pass());
+    handle.shutdown();
+    let cold = cold?;
+    let warm = warm.expect("warm pass ran after successful cold pass")?;
+    Ok((cold, warm))
+}
+
+/// [`tcp_lines`] with the client pipelining the stream in bursts of
+/// `window` in-flight requests (one buffered write per burst, responses
+/// read back in request order). Runs a cold and a warm pass over one
+/// server, JSON lines or `LWMB1` frames per `binary`. Comparing the
+/// returned lines against the lockstep lanes proves the server's ordered
+/// writer never reorders or drops a pipelined response.
+///
+/// # Errors
+///
+/// Returns a message on socket failures (bind, connect, send, recv).
+pub fn tcp_pipelined_lines(
+    requests: &[Request],
+    cache_cap: usize,
+    workers: usize,
+    window: usize,
+    binary: bool,
+) -> Result<(Vec<String>, Vec<String>), String> {
+    let window = window.max(1);
+    let handle = localwm_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth: requests.len().max(16),
+        cache_cap,
+        default_timeout_ms: None,
+        metrics_out: None,
+        fault_plan: None,
+        session_idle_ms: None,
+        store_dir: None,
+        pipeline_window: window,
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr().to_string();
+    let run_pass = || -> Result<Vec<String>, String> {
+        let connect = if binary {
+            Client::connect_binary_within
+        } else {
+            Client::connect_within
+        };
+        let mut c = connect(&addr, Duration::from_secs(5)).map_err(|e| format!("connect: {e}"))?;
+        let mut lines = Vec::with_capacity(requests.len());
+        for burst in requests.chunks(window) {
+            let encoded: Vec<String> = burst.iter().map(Request::to_line).collect();
+            let burst_lines: Vec<&str> = encoded.iter().map(String::as_str).collect();
+            lines.extend(
+                c.pipeline_lines(&burst_lines)
+                    .map_err(|e| format!("pipelined burst: {e}"))?,
+            );
         }
         Ok(lines)
     };
@@ -185,6 +251,7 @@ pub fn tcp_contended_lines(
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let addr = handle.addr().to_string();
@@ -234,6 +301,8 @@ pub fn run_differential(
     let reference = inproc_lines(requests, cache_cap, Parallelism::Serial);
     let (tcp_cold, tcp_warm) = tcp_lines(requests, cache_cap, 2)?;
     let (bin_cold, bin_warm) = tcp_binary_lines(requests, cache_cap, 2)?;
+    let (pipe_cold, pipe_warm) = tcp_pipelined_lines(requests, cache_cap, 2, 8, false)?;
+    let (bin_pipe_cold, bin_pipe_warm) = tcp_pipelined_lines(requests, cache_cap, 2, 8, true)?;
     let contended = tcp_contended_lines(requests, cache_cap, 3, 3)?;
     let mut lanes: Vec<(String, Vec<String>)> = vec![
         (
@@ -254,6 +323,10 @@ pub fn run_differential(
         ("tcp-warm".to_owned(), tcp_warm),
         ("tcp-binary-cold".to_owned(), bin_cold),
         ("tcp-binary-warm".to_owned(), bin_warm),
+        ("tcp-pipelined-w8-cold".to_owned(), pipe_cold),
+        ("tcp-pipelined-w8-warm".to_owned(), pipe_warm),
+        ("tcp-binary-pipelined-w8-cold".to_owned(), bin_pipe_cold),
+        ("tcp-binary-pipelined-w8-warm".to_owned(), bin_pipe_warm),
     ];
     lanes.extend(
         contended

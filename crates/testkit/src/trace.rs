@@ -149,8 +149,8 @@ pub fn seeded_trace(graph: &Cdfg, spec: &TraceSpec) -> Result<String, String> {
         .iter()
         .map(|&n| {
             graph
-                .node(n)
-                .and_then(|x| x.name().map(str::to_owned))
+                .node_name(n)
+                .map(str::to_owned)
                 .ok_or_else(|| format!("node {n} has no name; traces address nodes by name"))
         })
         .collect::<Result<_, _>>()?;
@@ -353,6 +353,7 @@ pub fn replay_tcp(design: &str, steps: &[TraceStep], session: &str) -> Result<Ve
         fault_plan: None,
         session_idle_ms: None,
         store_dir: None,
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .map_err(|e| format!("bind: {e}"))?;
     let run = || -> Result<Vec<String>, String> {

@@ -23,6 +23,10 @@ fn corpus_lanes_are_byte_identical() {
         "tcp-warm",
         "tcp-binary-cold",
         "tcp-binary-warm",
+        "tcp-pipelined-w8-cold",
+        "tcp-pipelined-w8-warm",
+        "tcp-binary-pipelined-w8-cold",
+        "tcp-binary-pipelined-w8-warm",
     ] {
         assert!(
             report.lanes.iter().any(|l| l == lane),

@@ -63,6 +63,7 @@ fn store_server(dir: &std::path::Path) -> localwm_serve::ServerHandle {
         fault_plan: None,
         session_idle_ms: None,
         store_dir: Some(dir.to_str().expect("utf8 path").to_owned()),
+        pipeline_window: localwm_serve::server::DEFAULT_PIPELINE_WINDOW,
     })
     .expect("bind store-backed server")
 }

@@ -63,12 +63,63 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes a value to compact JSON, appending to `out`. Buffer-reuse
+/// variant of [`to_string`] for hot paths that serialize per request:
+/// callers clear and recycle one `String` instead of allocating a fresh
+/// one per call. The bytes appended are identical to [`to_string`]'s.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(&value.to_value(), out, None, 0);
+}
+
+/// Serializes an already-built [`Value`] to compact JSON, appending to
+/// `out`, without the defensive clone `to_string_into(&value)` would pay
+/// (a `Value`'s `to_value()` is a deep copy). Hot paths that hold a tree
+/// and a recycled buffer serialize allocation-free through this.
+pub fn value_to_string_into(v: &Value, out: &mut String) {
+    write_value(v, out, None, 0);
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out` —
+/// the exact bytes [`to_string`] produces for `Value::Str(s)`. Lets
+/// hand-rolled envelope writers stay byte-compatible with the tree
+/// serializer.
+pub fn string_to_json_into(s: &str, out: &mut String) {
+    write_string(s, out);
+}
+
+/// Appends `f` exactly as [`to_string`] renders `Value::Float(f)`: a
+/// decimal point is always embedded so the value re-parses as a float,
+/// and non-finite values render as `null`.
+pub fn float_to_json_into(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
 /// Parses a JSON document into a value.
 ///
 /// # Errors
 ///
 /// Returns [`Error`] on malformed JSON or a shape mismatch.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    Ok(T::from_value(&from_str_value(s)?)?)
+}
+
+/// Parses a JSON document into the raw [`Value`] tree. Equivalent to
+/// `from_str::<Value>`, minus that path's `Value::from_value` round trip
+/// — which is a deep clone of the freshly parsed tree. Decoders that
+/// consume the tree by value start here.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON.
+pub fn from_str_value(s: &str) -> Result<Value> {
     let mut p = Parser {
         s: s.as_bytes(),
         i: 0,
@@ -78,27 +129,25 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
     if p.i != p.s.len() {
         return Err(Error::msg("trailing characters"));
     }
-    Ok(T::from_value(&v)?)
+    Ok(v)
 }
 
 fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
-        Value::Float(f) => {
-            if f.is_finite() {
-                // Always embed a decimal point so the value re-parses as float.
-                let s = format!("{f}");
-                out.push_str(&s);
-                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-                    out.push_str(".0");
-                }
-            } else {
-                out.push_str("null");
-            }
+        // `fmt::Write` on a `String` formats integers in place; going
+        // through `to_string` would cost one heap allocation per number,
+        // which dominates the profile of numeric result objects.
+        Value::Int(i) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{i}");
         }
+        Value::UInt(u) => {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => float_to_json_into(*f, out),
         Value::Str(s) => write_string(s, out),
         Value::Array(items) => {
             out.push('[');
@@ -147,19 +196,34 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    // Copy maximal runs that need no escaping in one `push_str`; long
+    // payload strings (multi-kilobyte design texts) are dominated by such
+    // runs, and char-at-a-time pushes show up hot in the request path.
+    let bytes = s.as_bytes();
+    let mut from = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[from..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                c => {
+                    use std::fmt::Write as _;
+                    let _ = write!(out, "\\u{:04x}", u32::from(c));
+                }
             }
-            c => out.push(c),
+            i += 1;
+            from = i;
+        } else {
+            i += 1;
         }
     }
+    out.push_str(&s[from..]);
     out.push('"');
 }
 
@@ -275,8 +339,35 @@ impl Parser<'_> {
 
     fn string(&mut self) -> Result<String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Scan ahead to the closing quote to size the buffer once:
+        // escapes only ever shrink the decoded text, so this reservation
+        // is an upper bound and long strings (design texts run to
+        // kilobytes) decode with a single allocation instead of doubling
+        // growth.
+        let mut end = self.i;
+        while let Some(&b) = self.s.get(end) {
+            match b {
+                b'"' => break,
+                b'\\' => end += 2,
+                _ => end += 1,
+            }
+        }
+        let mut out = String::with_capacity(end.saturating_sub(self.i));
         loop {
+            // Copy the maximal run of plain single-byte characters in one
+            // `push_str` rather than byte-at-a-time pushes.
+            let run = self.i;
+            while let Some(&b) = self.s.get(self.i) {
+                if b == b'"' || b == b'\\' || b >= 0x80 {
+                    break;
+                }
+                self.i += 1;
+            }
+            if self.i > run {
+                let chunk = std::str::from_utf8(&self.s[run..self.i])
+                    .map_err(|_| Error::msg("invalid UTF-8"))?;
+                out.push_str(chunk);
+            }
             let b = *self
                 .s
                 .get(self.i)
